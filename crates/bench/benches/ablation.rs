@@ -1,0 +1,69 @@
+//! Ablation benchmarks over the methodology's design choices: the index
+//! of dispersion, the ranking criterion, and the clustering feature
+//! scaling — each timed on the same case-study data.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use limba_analysis::cluster_regions::{cluster_regions, FeatureScaling};
+use limba_analysis::Analyzer;
+use limba_stats::dispersion::{DispersionIndex, DispersionKind};
+use limba_stats::rank::RankingCriterion;
+
+fn bench_dispersion_choice(c: &mut Criterion) {
+    let m = limba_calibrate::paper::paper_measurements().unwrap();
+    let mut group = c.benchmark_group("ablation_dispersion");
+    for kind in DispersionKind::ALL {
+        group.bench_with_input(BenchmarkId::from_parameter(kind.name()), &m, |b, m| {
+            b.iter(|| {
+                Analyzer::new()
+                    .with_dispersion(kind)
+                    .analyze(std::hint::black_box(m))
+                    .unwrap()
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_criterion_choice(c: &mut Criterion) {
+    let m = limba_calibrate::paper::paper_measurements().unwrap();
+    let criteria: Vec<(&str, RankingCriterion)> = vec![
+        ("maximum", RankingCriterion::Maximum),
+        ("top3", RankingCriterion::TopK(3)),
+        ("p90", RankingCriterion::Percentile(90.0)),
+        ("threshold", RankingCriterion::Threshold(0.001)),
+    ];
+    let mut group = c.benchmark_group("ablation_criterion");
+    for (name, criterion) in criteria {
+        group.bench_with_input(BenchmarkId::from_parameter(name), &m, |b, m| {
+            b.iter(|| {
+                Analyzer::new()
+                    .with_criterion(criterion)
+                    .analyze(std::hint::black_box(m))
+                    .unwrap()
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_feature_scaling(c: &mut Criterion) {
+    let m = limba_calibrate::paper::paper_measurements().unwrap();
+    let mut group = c.benchmark_group("ablation_feature_scaling");
+    for (name, scaling) in [
+        ("raw", FeatureScaling::Raw),
+        ("zscore", FeatureScaling::ZScore),
+    ] {
+        group.bench_with_input(BenchmarkId::from_parameter(name), &m, |b, m| {
+            b.iter(|| cluster_regions(std::hint::black_box(m), 2, 0, scaling).unwrap());
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_dispersion_choice,
+    bench_criterion_choice,
+    bench_feature_scaling
+);
+criterion_main!(benches);

@@ -1,0 +1,41 @@
+//! Microbenchmarks of the indices of dispersion: cost per data set as the
+//! processor count grows, and the relative cost of the index families.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use limba_stats::dispersion::{DispersionIndex, DispersionKind};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn data(n: usize) -> Vec<f64> {
+    let mut rng = StdRng::seed_from_u64(n as u64);
+    (0..n).map(|_| rng.gen_range(0.1..10.0)).collect()
+}
+
+fn bench_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("euclidean_scaling");
+    for &n in &[16usize, 64, 256, 1024, 4096] {
+        let d = data(n);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &d, |b, d| {
+            b.iter(|| {
+                DispersionKind::Euclidean
+                    .index(std::hint::black_box(d))
+                    .unwrap()
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_kinds(c: &mut Criterion) {
+    let mut group = c.benchmark_group("index_kinds_p256");
+    let d = data(256);
+    for kind in DispersionKind::ALL {
+        group.bench_with_input(BenchmarkId::from_parameter(kind.name()), &d, |b, d| {
+            b.iter(|| kind.index(std::hint::black_box(d)).unwrap());
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_scaling, bench_kinds);
+criterion_main!(benches);

@@ -1,0 +1,108 @@
+//! End-to-end pipeline benchmarks: simulate → trace → reduce → analyze,
+//! and the analyze-only stage on the paper's case study.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use limba_analysis::Analyzer;
+use limba_bench::simulated_cfd;
+use limba_mpisim::{MachineConfig, Simulator};
+use limba_workloads::{cfd::CfdConfig, Imbalance};
+
+fn bench_pipeline(c: &mut Criterion) {
+    let program = CfdConfig::new(16)
+        .with_iterations(2)
+        .with_imbalance(Imbalance::RandomJitter { amplitude: 0.25 })
+        .with_seed(2003)
+        .build_program()
+        .unwrap();
+    let sim = Simulator::new(MachineConfig::new(16));
+    c.bench_function("pipeline_simulate_reduce_analyze", |b| {
+        b.iter(|| {
+            let out = sim.run(std::hint::black_box(&program)).unwrap();
+            let reduced = out.reduce().unwrap();
+            Analyzer::new().analyze(&reduced.measurements).unwrap()
+        });
+    });
+}
+
+fn bench_analyze_only(c: &mut Criterion) {
+    let paper = limba_calibrate::paper::paper_measurements().unwrap();
+    c.bench_function("analyze_paper_case_study", |b| {
+        b.iter(|| {
+            Analyzer::new()
+                .analyze(std::hint::black_box(&paper))
+                .unwrap()
+        });
+    });
+    let simulated = simulated_cfd(2).reduce().unwrap().measurements;
+    c.bench_function("analyze_simulated_cfd", |b| {
+        b.iter(|| {
+            Analyzer::new()
+                .analyze(std::hint::black_box(&simulated))
+                .unwrap()
+        });
+    });
+}
+
+fn bench_calibration(c: &mut Criterion) {
+    c.bench_function("calibrate_paper_matrix", |b| {
+        b.iter(|| limba_calibrate::paper::paper_measurements().unwrap());
+    });
+}
+
+fn bench_drilldown(c: &mut Criterion) {
+    use limba_analysis::hierarchy::{drilldown, RegionTree};
+    use limba_workloads::amr::AmrConfig;
+    let program = AmrConfig::new(16)
+        .with_steps(3)
+        .with_refinement(Imbalance::Hotspot {
+            rank: 5,
+            factor: 5.0,
+        })
+        .build_program()
+        .unwrap();
+    let out = Simulator::new(MachineConfig::new(16))
+        .run(&program)
+        .unwrap();
+    let reduced = out.reduce().unwrap();
+    let tree = RegionTree::from_parents(limba_trace::region_parents(&out.trace).unwrap()).unwrap();
+    c.bench_function("hierarchical_drilldown_amr", |b| {
+        b.iter(|| {
+            drilldown(
+                std::hint::black_box(&reduced.measurements),
+                &tree,
+                limba_stats::dispersion::DispersionKind::Euclidean,
+                0.5,
+            )
+            .unwrap()
+        });
+    });
+}
+
+fn bench_evolution(c: &mut Criterion) {
+    let trace = simulated_cfd(4).trace;
+    let matrices: Vec<_> = limba_trace::reduce_windows(&trace, 16)
+        .unwrap()
+        .into_iter()
+        .map(|w| w.measurements)
+        .collect();
+    c.bench_function("imbalance_evolution_16_windows", |b| {
+        b.iter(|| {
+            limba_analysis::evolution::imbalance_evolution(
+                std::hint::black_box(&matrices),
+                limba_stats::dispersion::DispersionKind::Euclidean,
+                0.02,
+            )
+            .unwrap()
+        });
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_pipeline,
+    bench_analyze_only,
+    bench_calibration,
+    bench_drilldown,
+    bench_evolution
+);
+criterion_main!(benches);

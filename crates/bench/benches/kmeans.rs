@@ -1,0 +1,51 @@
+//! Benchmarks of k-means clustering: the paper's tiny 7-point case and
+//! larger region sets.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use limba_cluster::{KMeans, KMeansConfig};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn points(n: usize, dim: usize) -> Vec<Vec<f64>> {
+    let mut rng = StdRng::seed_from_u64(42);
+    (0..n)
+        .map(|_| (0..dim).map(|_| rng.gen_range(0.0..100.0)).collect())
+        .collect()
+}
+
+fn bench_kmeans(c: &mut Criterion) {
+    let mut group = c.benchmark_group("kmeans");
+    for &(n, k) in &[(7usize, 2usize), (100, 4), (1000, 8)] {
+        let pts = points(n, 4);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("n{n}_k{k}")),
+            &pts,
+            |b, pts| {
+                b.iter(|| {
+                    KMeans::new(KMeansConfig::new(k).with_seed(1).with_restarts(4))
+                        .fit(std::hint::black_box(pts))
+                        .unwrap()
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_paper_clustering(c: &mut Criterion) {
+    let m = limba_calibrate::paper::paper_measurements().unwrap();
+    c.bench_function("paper_region_clustering", |b| {
+        b.iter(|| {
+            limba_analysis::cluster_regions::cluster_regions(
+                std::hint::black_box(&m),
+                2,
+                0,
+                limba_analysis::cluster_regions::FeatureScaling::ZScore,
+            )
+            .unwrap()
+        });
+    });
+}
+
+criterion_group!(benches, bench_kmeans, bench_paper_clustering);
+criterion_main!(benches);

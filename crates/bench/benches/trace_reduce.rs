@@ -1,0 +1,58 @@
+//! Benchmarks of tracefile encoding, decoding, and reduction.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use limba_bench::simulated_cfd;
+
+fn bench_codecs(c: &mut Criterion) {
+    let trace = simulated_cfd(4).trace;
+    let events = trace.events().len() as u64;
+    let bin = limba_trace::binary::to_bytes(&trace);
+    let txt = limba_trace::text::to_string(&trace);
+
+    let mut group = c.benchmark_group("trace_codec");
+    group.throughput(Throughput::Elements(events));
+    group.bench_function("binary_encode", |b| {
+        b.iter(|| limba_trace::binary::to_bytes(std::hint::black_box(&trace)));
+    });
+    group.bench_function("binary_decode", |b| {
+        b.iter(|| limba_trace::binary::from_bytes(std::hint::black_box(&bin)).unwrap());
+    });
+    group.bench_function("text_encode", |b| {
+        b.iter(|| limba_trace::text::to_string(std::hint::black_box(&trace)));
+    });
+    group.bench_function("text_decode", |b| {
+        b.iter(|| limba_trace::text::from_str(std::hint::black_box(&txt)).unwrap());
+    });
+    group.finish();
+}
+
+fn bench_reduce(c: &mut Criterion) {
+    let mut group = c.benchmark_group("trace_reduce");
+    for &iters in &[1usize, 4, 16] {
+        let trace = simulated_cfd(iters).trace;
+        group.throughput(Throughput::Elements(trace.events().len() as u64));
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("cfd_{iters}it")),
+            &trace,
+            |b, t| {
+                b.iter(|| limba_trace::reduce(std::hint::black_box(t)).unwrap());
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_windowed_reduce(c: &mut Criterion) {
+    let trace = simulated_cfd(4).trace;
+    let mut group = c.benchmark_group("trace_reduce_windows");
+    group.throughput(Throughput::Elements(trace.events().len() as u64));
+    for &windows in &[4usize, 16, 64] {
+        group.bench_with_input(BenchmarkId::from_parameter(windows), &trace, |b, t| {
+            b.iter(|| limba_trace::reduce_windows(std::hint::black_box(t), windows).unwrap());
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_codecs, bench_reduce, bench_windowed_reduce);
+criterion_main!(benches);

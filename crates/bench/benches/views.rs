@@ -1,0 +1,32 @@
+//! Benchmarks of the three analysis views over growing measurement
+//! matrices (regions × 4 activities × processors).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use limba_bench::random_measurements;
+use limba_stats::dispersion::DispersionKind;
+
+fn bench_views(c: &mut Criterion) {
+    let mut group = c.benchmark_group("views");
+    for &(regions, procs) in &[(7usize, 16usize), (32, 64), (128, 256)] {
+        let m = random_measurements(regions, procs, 7);
+        let label = format!("{regions}x4x{procs}");
+        group.bench_with_input(BenchmarkId::new("activity", &label), &m, |b, m| {
+            b.iter(|| limba_analysis::views::activity_view(m, DispersionKind::Euclidean).unwrap());
+        });
+        let av = limba_analysis::views::activity_view(&m, DispersionKind::Euclidean).unwrap();
+        group.bench_with_input(
+            BenchmarkId::new("region", &label),
+            &(&m, &av),
+            |b, (m, av)| {
+                b.iter(|| limba_analysis::views::region_view(m, av).unwrap());
+            },
+        );
+        group.bench_with_input(BenchmarkId::new("processor", &label), &m, |b, m| {
+            b.iter(|| limba_analysis::views::processor_view(m).unwrap());
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_views);
+criterion_main!(benches);

@@ -1,0 +1,191 @@
+//! One-shot reproduction check: every table, figure, and in-text claim of
+//! the paper, verified programmatically with PASS/FAIL lines. Exits
+//! nonzero if any check fails, so it doubles as a CI gate.
+
+use limba_analysis::Analyzer;
+use limba_bench::{paper_report, paper_report_with_tail, simulated_cfd};
+use limba_calibrate::paper::{claims, LOOPS, TABLE1, TABLE1_OVERALL, TABLE2, TABLE3, TABLE4};
+use limba_model::{ActivityKind, ProcessorId, RegionId, STANDARD_ACTIVITIES};
+
+struct Checker {
+    passed: usize,
+    failed: usize,
+}
+
+impl Checker {
+    fn check(&mut self, label: &str, ok: bool) {
+        println!("[{}] {label}", if ok { "PASS" } else { "FAIL" });
+        if ok {
+            self.passed += 1;
+        } else {
+            self.failed += 1;
+        }
+    }
+}
+
+fn main() {
+    let mut c = Checker {
+        passed: 0,
+        failed: 0,
+    };
+    let report = paper_report();
+    let scaled = paper_report_with_tail();
+
+    // Table 1.
+    let mut ok = true;
+    for (i, row) in report.profile.regions.iter().enumerate() {
+        ok &= (row.seconds - TABLE1_OVERALL[i]).abs() < 1e-9;
+        for (j, &kind) in STANDARD_ACTIVITIES.iter().enumerate() {
+            ok &= (row.activity_seconds(kind) - TABLE1[i][j]).abs() < 1e-9;
+        }
+    }
+    c.check("Table 1: all 35 cells exact", ok);
+
+    // Table 2.
+    let mut ok = true;
+    for i in 0..LOOPS {
+        for j in 0..4 {
+            match report.activity_view.id[i][j] {
+                Some(id) => ok &= (id - TABLE2[i][j]).abs() < 1e-7 && TABLE1[i][j] > 0.0,
+                None => ok &= TABLE1[i][j] == 0.0,
+            }
+        }
+    }
+    c.check("Table 2: all ID_ij cells within 1e-7, dashes preserved", ok);
+
+    // Table 3.
+    let mut ok = true;
+    for &(kind, id_a, sid_a) in &TABLE3 {
+        let id = report
+            .activity_view
+            .summaries
+            .iter()
+            .find(|s| s.kind == kind)
+            .map(|s| s.id)
+            .unwrap_or(f64::NAN);
+        let sid = scaled
+            .activity_view
+            .summaries
+            .iter()
+            .find(|s| s.kind == kind)
+            .map(|s| s.sid)
+            .unwrap_or(f64::NAN);
+        ok &= (id - id_a).abs() < 5e-4 && (sid - sid_a).abs() < 5e-5;
+    }
+    c.check(
+        "Table 3: ID_A within 5e-4 and SID_A within 5e-5 of print",
+        ok,
+    );
+    c.check(
+        "Table 3: synchronization most imbalanced raw, demoted when scaled",
+        report.findings.most_imbalanced_activity.map(|x| x.0)
+            == Some(ActivityKind::Synchronization)
+            && report.findings.most_imbalanced_activity_scaled.map(|x| x.0)
+                == Some(ActivityKind::Computation),
+    );
+
+    // Table 4.
+    let mut ok = true;
+    for (i, &(id_c, sid_c)) in TABLE4.iter().enumerate() {
+        let r = RegionId::new(i);
+        let id = report
+            .region_view
+            .summary_of(r)
+            .map(|s| s.id)
+            .unwrap_or(f64::NAN);
+        let sid = scaled
+            .region_view
+            .summary_of(r)
+            .map(|s| s.sid)
+            .unwrap_or(f64::NAN);
+        ok &= (id - id_c).abs() < 5e-4 && (sid - sid_c).abs() < 5e-5;
+    }
+    c.check(
+        "Table 4: ID_C within 5e-4 and SID_C within 5e-5 of print",
+        ok,
+    );
+    c.check(
+        "Table 4: loop 6 most imbalanced raw, loop 1 the tuning candidate",
+        report.findings.most_imbalanced_region.map(|x| x.0) == Some(RegionId::new(5))
+            && report
+                .findings
+                .tuning_candidates
+                .first()
+                .map(|t| t.name == "loop 1" && t.is_heaviest)
+                .unwrap_or(false),
+    );
+
+    // Figures.
+    let fig1 = report
+        .pattern_for(ActivityKind::Computation)
+        .expect("computes");
+    c.check(
+        "Figure 1: loop 4 has 5/16 upper and loop 6 has 11/16 lower",
+        fig1.rows[3].upper_tail_count() == claims::FIG1_LOOP4_UPPER
+            && fig1.rows[5].lower_tail_count() == claims::FIG1_LOOP6_LOWER,
+    );
+    let fig2 = report.pattern_for(ActivityKind::PointToPoint).expect("p2p");
+    c.check(
+        "Figure 2: exactly the p2p-performing loops 3,4,5,6 appear",
+        fig2.rows
+            .iter()
+            .map(|r| r.region.index())
+            .collect::<Vec<_>>()
+            == vec![2, 3, 4, 5],
+    );
+
+    // Clustering.
+    let clustering = report.clustering.as_ref().expect("clustering on");
+    c.check(
+        "Clustering: k-means groups {loop 1, loop 2} vs the rest",
+        clustering.assignments == vec![0, 0, 1, 1, 1, 1, 1],
+    );
+
+    // Processor view.
+    let f = &report.findings.processors;
+    c.check(
+        "Processor view: processor 1 most frequent (loops 3 and 7)",
+        f.most_frequently_imbalanced == Some((ProcessorId::new(claims::MOST_FREQUENT_PROC), 2))
+            && f.regions_per_processor[claims::MOST_FREQUENT_PROC]
+                .iter()
+                .map(|r| r.index())
+                .collect::<Vec<_>>()
+                == claims::MOST_FREQUENT_LOOPS.to_vec(),
+    );
+    c.check(
+        "Processor view: processor 2 longest imbalanced via loop 1 only",
+        f.longest_imbalanced.map(|x| x.0) == Some(ProcessorId::new(claims::LONGEST_PROC))
+            && f.regions_per_processor[claims::LONGEST_PROC]
+                .iter()
+                .map(|r| r.index())
+                .collect::<Vec<_>>()
+                == vec![claims::LONGEST_LOOP],
+    );
+
+    // End-to-end simulated run (no calibration).
+    let out = simulated_cfd(2);
+    let m = out.reduce().expect("reduces").measurements;
+    let sim = Analyzer::new().analyze(&m).expect("analyzes");
+    c.check(
+        "Simulated: loop 1 heaviest, computation dominant",
+        sim.coarse.heaviest_region_name == "loop 1"
+            && sim.coarse.dominant_activity == ActivityKind::Computation,
+    );
+    c.check(
+        "Simulated: sync most imbalanced raw, demoted scaled, core is the candidate",
+        sim.findings.most_imbalanced_activity.map(|x| x.0) == Some(ActivityKind::Synchronization)
+            && sim.findings.most_imbalanced_activity_scaled.map(|x| x.0)
+                != Some(ActivityKind::Synchronization)
+            && sim
+                .findings
+                .tuning_candidates
+                .first()
+                .map(|t| t.is_heaviest)
+                .unwrap_or(false),
+    );
+
+    println!("\n{} passed, {} failed", c.passed, c.failed);
+    if c.failed > 0 {
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,39 @@
+//! Regenerates the Section 4 clustering result: k-means partitions the
+//! loops into {loop 1, loop 2} vs the rest.
+
+use limba_analysis::cluster_regions::{cluster_regions, FeatureScaling};
+use limba_bench::{paper_report, simulated_cfd_measurements};
+use limba_calibrate::paper::LOOP_NAMES;
+
+fn main() {
+    println!("=== Section 4: k-means clustering of the loops (k = 2) ===\n");
+    let report = paper_report();
+    let c = report.clustering.as_ref().expect("clustering enabled");
+    for (g, members) in c.groups.iter().enumerate() {
+        let names: Vec<&str> = members.iter().map(|&r| LOOP_NAMES[r.index()]).collect();
+        println!("group {g}: {}", names.join(", "));
+    }
+    println!("paper:  group 0 = loop 1, loop 2; group 1 = the remaining loops");
+
+    println!("\n-- feature scaling ablation --");
+    let m = limba_calibrate::paper::paper_measurements().expect("calibrates");
+    for scaling in [FeatureScaling::ZScore, FeatureScaling::Raw] {
+        let c = cluster_regions(&m, 2, 0, scaling).expect("clusters");
+        println!(
+            "{scaling:?}: assignments {:?} (wcss {:.3})",
+            c.assignments, c.wcss
+        );
+    }
+    println!("(the paper's partition is the optimum under z-scored features)");
+
+    println!("\n-- simulated CFD proxy --");
+    let m = simulated_cfd_measurements(2);
+    let c = cluster_regions(&m, 2, 0, FeatureScaling::ZScore).expect("clusters");
+    for (g, members) in c.groups.iter().enumerate() {
+        let names: Vec<String> = members
+            .iter()
+            .map(|&r| m.region_info(r).name().to_string())
+            .collect();
+        println!("group {g}: {}", names.join(", "));
+    }
+}

@@ -1,0 +1,28 @@
+//! Regenerates Figure 1: patterns of computation times.
+
+use limba_bench::paper_report;
+use limba_calibrate::paper::claims;
+use limba_model::ActivityKind;
+
+fn main() {
+    println!("=== Figure 1: patterns of the times spent in computation ===\n");
+    let report = paper_report();
+    let grid = report
+        .pattern_for(ActivityKind::Computation)
+        .expect("computation performed");
+    print!("{}", limba_viz::pattern::render(grid));
+    print!("\n{}", limba_viz::pattern::tail_summary(grid));
+    let loop4 = &grid.rows[3];
+    let loop6 = &grid.rows[5];
+    println!(
+        "\nloop 4 upper-15% processors: {} (paper: {})",
+        loop4.upper_tail_count(),
+        claims::FIG1_LOOP4_UPPER
+    );
+    println!(
+        "loop 6 lower-15% processors: {} (paper: {})",
+        loop6.lower_tail_count(),
+        claims::FIG1_LOOP6_LOWER
+    );
+    println!("\nSVG: see `limba paper --svg <dir>` for the rendered figure.");
+}

@@ -1,0 +1,31 @@
+//! Regenerates Figure 2: patterns of point-to-point communication times.
+
+use limba_bench::paper_report;
+use limba_model::ActivityKind;
+use limba_stats::describe::mean;
+
+fn main() {
+    println!("=== Figure 2: patterns of the times spent in point-to-point communications ===\n");
+    let report = paper_report();
+    let grid = report
+        .pattern_for(ActivityKind::PointToPoint)
+        .expect("p2p performed");
+    print!("{}", limba_viz::pattern::render(grid));
+    print!("\n{}", limba_viz::pattern::tail_summary(grid));
+    // "the behavior of the processors executing point-to-point
+    // communications is very balanced": quantify via the mean ID_ij of
+    // the p2p column vs the other activities.
+    let col = 1; // point-to-point column in the standard activity order
+    let p2p: Vec<f64> = (0..7)
+        .filter_map(|i| report.activity_view.id[i][col])
+        .collect();
+    let sync: Vec<f64> = (0..7)
+        .filter_map(|i| report.activity_view.id[i][3])
+        .collect();
+    println!(
+        "\nmean p2p ID_ij = {:.5}, mean sync ID_ij = {:.5} (paper: p2p 'very balanced' relative to sync)",
+        mean(&p2p).expect("p2p rows exist"),
+        mean(&sync).expect("sync rows exist"),
+    );
+    println!("rows shown: only the loops performing the activity, as in the paper.");
+}

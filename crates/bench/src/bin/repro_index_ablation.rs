@@ -1,0 +1,63 @@
+//! Dispersion-index ablation: the methodology treats the index of
+//! dispersion as a pluggable choice ("the choice of the most appropriate
+//! index … depends on the objective of the study"). Would the paper's
+//! conclusions change under a different index?
+
+use limba_analysis::Analyzer;
+use limba_model::ActivityKind;
+use limba_stats::dispersion::{DispersionIndex, DispersionKind};
+
+fn main() {
+    println!("=== Index-of-dispersion ablation on the paper's case study ===\n");
+    let m = limba_calibrate::paper::paper_measurements().expect("calibrates");
+    println!(
+        "{:<12} {:>18} {:>14} {:>16} {:>14}",
+        "index", "worst activity", "worst loop", "scaled activity", "candidate"
+    );
+    let mut agree = 0;
+    for kind in DispersionKind::ALL {
+        let report = Analyzer::new()
+            .with_dispersion(kind)
+            .analyze(&m)
+            .expect("analyzes");
+        let worst_activity = report
+            .findings
+            .most_imbalanced_activity
+            .map(|x| x.0.to_string())
+            .unwrap_or_default();
+        let worst_loop = report
+            .findings
+            .most_imbalanced_region
+            .map(|x| format!("loop {}", x.0.index() + 1))
+            .unwrap_or_default();
+        let scaled = report
+            .findings
+            .most_imbalanced_activity_scaled
+            .map(|x| x.0)
+            .unwrap_or(ActivityKind::Computation);
+        let candidate = report
+            .findings
+            .tuning_candidates
+            .first()
+            .map(|c| c.name.clone())
+            .unwrap_or_default();
+        let matches_paper =
+            worst_activity == "synchronization" && worst_loop == "loop 6" && candidate == "loop 1";
+        if matches_paper {
+            agree += 1;
+        }
+        println!(
+            "{:<12} {worst_activity:>18} {worst_loop:>14} {:>16} {candidate:>14}{}",
+            kind.name(),
+            scaled.to_string(),
+            if matches_paper { "" } else { "   <- diverges" }
+        );
+    }
+    println!(
+        "\n{agree}/{} indices reproduce the paper's three headline findings\n\
+         (worst activity = synchronization, worst loop = loop 6, candidate = loop 1).\n\
+         All provided indices are Schur-convex, so divergences reflect weighting,\n\
+         not a different notion of spread.",
+        DispersionKind::ALL.len()
+    );
+}

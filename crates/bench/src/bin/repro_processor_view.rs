@@ -1,0 +1,65 @@
+//! Regenerates the Section 4 processor-view findings.
+
+use limba_bench::paper_report;
+use limba_calibrate::paper::claims;
+use limba_model::{ProcessorId, RegionId};
+
+fn main() {
+    println!("=== Section 4: processor view ===\n");
+    let report = paper_report();
+    let f = &report.findings.processors;
+
+    let (proc, count) = f.most_frequently_imbalanced.expect("findings exist");
+    let loops: Vec<String> = f.regions_per_processor[proc.index()]
+        .iter()
+        .map(|r| format!("loop {}", r.index() + 1))
+        .collect();
+    println!(
+        "most frequently imbalanced: processor {} on {count} loops ({})",
+        proc.index() + 1,
+        loops.join(", ")
+    );
+    println!(
+        "paper:                      processor {} on 2 loops (loop 3, loop 7)",
+        claims::MOST_FREQUENT_PROC + 1
+    );
+
+    let (proc, duration) = f.longest_imbalanced.expect("findings exist");
+    println!(
+        "\nimbalanced for the longest time: processor {} ({duration:.2} s)",
+        proc.index() + 1
+    );
+    let id = report
+        .processor_view
+        .id_of(
+            RegionId::new(claims::LONGEST_LOOP),
+            ProcessorId::new(claims::LONGEST_PROC),
+        )
+        .expect("participates");
+    println!(
+        "paper:                           processor {} (loop 1, ID_P {} and 15.93 s wall clock)",
+        claims::LONGEST_PROC + 1,
+        claims::LONGEST_ID
+    );
+    println!(
+        "measured ID_P of processor {} on loop 1: {id:.5} (qualitative: the full matrix is not\n\
+         published, so the exact value is not pinned down by Tables 1-2)",
+        claims::LONGEST_PROC + 1
+    );
+
+    println!("\nper-loop most imbalanced processors:");
+    for (i, entry) in report
+        .processor_view
+        .most_imbalanced_per_region
+        .iter()
+        .enumerate()
+    {
+        if let Some((p, d, wall)) = entry {
+            println!(
+                "  loop {}: processor {:>2} (ID_P {d:.5}, wall clock {wall:.3} s)",
+                i + 1,
+                p.index() + 1
+            );
+        }
+    }
+}

@@ -1,0 +1,61 @@
+//! Machine-scaling study (beyond the paper's single 16-processor run —
+//! its future work plans "measurements collected on different parallel
+//! systems"): how the methodology's indicators move as the same CFD
+//! proxy runs on larger machines.
+
+use limba_analysis::Analyzer;
+use limba_model::ActivityKind;
+use limba_mpisim::{MachineConfig, Simulator};
+use limba_workloads::{cfd::CfdConfig, Imbalance};
+
+fn main() {
+    println!("=== Scaling study: CFD proxy with ±25% jitter on P = 4 … 64 ===\n");
+    println!(
+        "{:>5} {:>10} {:>12} {:>12} {:>12} {:>14}",
+        "P", "makespan", "comp ID_A", "sync ID_A", "top SID_C", "candidate"
+    );
+    for p in [4usize, 8, 16, 32, 64] {
+        let program = CfdConfig::new(p)
+            .with_iterations(2)
+            .with_imbalance(Imbalance::RandomJitter { amplitude: 0.25 })
+            .with_seed(2003)
+            .build_program()
+            .expect("builds");
+        let out = Simulator::new(MachineConfig::new(p))
+            .run(&program)
+            .expect("runs");
+        let m = out.reduce().expect("reduces").measurements;
+        let report = Analyzer::new()
+            .with_cluster_k(0)
+            .analyze(&m)
+            .expect("analyzes");
+        let id_of = |kind: ActivityKind| {
+            report
+                .activity_view
+                .summaries
+                .iter()
+                .find(|s| s.kind == kind)
+                .map(|s| s.id)
+                .unwrap_or(0.0)
+        };
+        let (sid, name) = report
+            .findings
+            .tuning_candidates
+            .first()
+            .map(|c| (c.sid, c.name.clone()))
+            .unwrap_or((0.0, "-".into()));
+        println!(
+            "{p:>5} {:>9.3}s {:>12.5} {:>12.5} {sid:>12.5} {name:>14}",
+            out.stats.makespan,
+            id_of(ActivityKind::Computation),
+            id_of(ActivityKind::Synchronization),
+        );
+    }
+    println!(
+        "\nExpected shape: for i.i.d. per-rank jitter the Euclidean index decays like \
+         1/sqrt(P) (concentration of the standardized vector around 1/P), and the \
+         synchronization dispersion follows the same law; the makespan stays nearly \
+         flat (work per rank is constant, collectives cost only log P). The \
+         methodology's top candidate stays a heavy loop at every scale."
+    );
+}

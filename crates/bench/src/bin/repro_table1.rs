@@ -1,0 +1,64 @@
+//! Regenerates Table 1: per-loop wall-clock breakdown.
+//!
+//! The calibrated reconstruction must match the paper exactly; the
+//! simulated CFD proxy must reproduce the *shape* (loop ordering, which
+//! activities appear where, computation dominant).
+
+use limba_bench::{compare_line, paper_report, simulated_cfd_measurements};
+use limba_calibrate::paper::{LOOP_NAMES, TABLE1, TABLE1_OVERALL};
+use limba_model::{ActivityKind, ProgramProfile, STANDARD_ACTIVITIES};
+
+fn main() {
+    println!("=== Table 1: wall clock time of the loops and breakdown ===\n");
+    let report = paper_report();
+    println!("-- calibrated reconstruction vs paper --");
+    for (i, row) in report.profile.regions.iter().enumerate() {
+        println!(
+            "{}",
+            compare_line(
+                &format!("{} overall", LOOP_NAMES[i]),
+                TABLE1_OVERALL[i],
+                row.seconds
+            )
+        );
+        for (j, &kind) in STANDARD_ACTIVITIES.iter().enumerate() {
+            if TABLE1[i][j] > 0.0 {
+                println!(
+                    "{}",
+                    compare_line(
+                        &format!("  {} {kind}", LOOP_NAMES[i]),
+                        TABLE1[i][j],
+                        row.activity_seconds(kind)
+                    )
+                );
+            }
+        }
+    }
+
+    println!("\n-- simulated CFD proxy (shape check) --");
+    let m = simulated_cfd_measurements(2);
+    let profile = ProgramProfile::from_measurements(&m);
+    let heaviest = profile.heaviest_region().expect("has regions");
+    println!(
+        "heaviest region: {} ({:.1}% of wall clock; paper: loop 1, ~27%)",
+        heaviest.name,
+        heaviest.fraction_of_program * 100.0
+    );
+    let (kind, _) = profile.dominant_activity().expect("has activities");
+    println!("dominant activity: {kind} (paper: computation)");
+    let worst_p2p = profile
+        .worst_region_for(ActivityKind::PointToPoint)
+        .expect("p2p performed");
+    println!("longest point-to-point: {} (paper: loop 3)", worst_p2p.name);
+    let sync_loops: Vec<&str> = profile
+        .regions
+        .iter()
+        .filter(|r| {
+            r.breakdown
+                .iter()
+                .any(|b| b.kind == ActivityKind::Synchronization && b.performed)
+        })
+        .map(|r| r.name.as_str())
+        .collect();
+    println!("loops performing synchronization: {sync_loops:?} (paper: 3 loops)");
+}

@@ -1,0 +1,43 @@
+//! Regenerates Table 2: indices of dispersion `ID_ij`.
+
+use limba_bench::{compare_line, paper_report, simulated_cfd_measurements};
+use limba_calibrate::paper::{LOOP_NAMES, TABLE1, TABLE2};
+use limba_model::STANDARD_ACTIVITIES;
+use limba_stats::dispersion::DispersionKind;
+
+fn main() {
+    println!("=== Table 2: indices of dispersion ID_ij ===\n");
+    let report = paper_report();
+    println!("-- calibrated reconstruction vs paper --");
+    let mut worst: f64 = 0.0;
+    for i in 0..LOOP_NAMES.len() {
+        for (j, &kind) in STANDARD_ACTIVITIES.iter().enumerate() {
+            if TABLE1[i][j] <= 0.0 {
+                continue;
+            }
+            let measured = report.activity_view.id[i][j].expect("performed cell");
+            worst = worst.max((measured - TABLE2[i][j]).abs());
+            println!(
+                "{}",
+                compare_line(&format!("{} {kind}", LOOP_NAMES[i]), TABLE2[i][j], measured)
+            );
+        }
+    }
+    println!("\nlargest absolute deviation: {worst:.2e}");
+
+    println!("\n-- simulated CFD proxy (shape check) --");
+    let m = simulated_cfd_measurements(2);
+    let av =
+        limba_analysis::views::activity_view(&m, DispersionKind::Euclidean).expect("view computes");
+    // The paper's qualitative claims: synchronization is the most
+    // imbalanced activity per-cell; point-to-point in loop 3 is balanced.
+    let sync_ids: Vec<f64> = (0..7).filter_map(|i| av.id[i][3]).collect();
+    let comp_ids: Vec<f64> = (0..7).filter_map(|i| av.id[i][0]).collect();
+    let max_sync = sync_ids.iter().copied().fold(0.0, f64::max);
+    let max_comp = comp_ids.iter().copied().fold(0.0, f64::max);
+    println!("max sync ID_ij = {max_sync:.5}, max computation ID_ij = {max_comp:.5}");
+    println!(
+        "sync more dispersed than computation: {} (paper: yes)",
+        max_sync > max_comp
+    );
+}

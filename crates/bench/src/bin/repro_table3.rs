@@ -1,0 +1,36 @@
+//! Regenerates Table 3: activity-view summary `ID_A`, `SID_A`.
+
+use limba_bench::{compare_line, paper_report, paper_report_with_tail};
+use limba_calibrate::paper::TABLE3;
+
+fn main() {
+    println!("=== Table 3: activity view summary ===\n");
+    let loops_only = paper_report();
+    let with_tail = paper_report_with_tail();
+    for &(kind, id_a, sid_a) in &TABLE3 {
+        let id = loops_only
+            .activity_view
+            .summaries
+            .iter()
+            .find(|s| s.kind == kind)
+            .map(|s| s.id)
+            .expect("activity present");
+        let sid = with_tail
+            .activity_view
+            .summaries
+            .iter()
+            .find(|s| s.kind == kind)
+            .map(|s| s.sid)
+            .expect("activity present");
+        println!("{}", compare_line(&format!("{kind} ID_A"), id_a, id));
+        println!("{}", compare_line(&format!("{kind} SID_A"), sid_a, sid));
+    }
+    println!(
+        "\nmost imbalanced activity (raw): {:?} (paper: synchronization)",
+        loops_only.findings.most_imbalanced_activity.map(|x| x.0)
+    );
+    println!(
+        "after scaling by time share:    {:?} (paper: computation; sync 'not a suitable candidate')",
+        loops_only.findings.most_imbalanced_activity_scaled.map(|x| x.0)
+    );
+}

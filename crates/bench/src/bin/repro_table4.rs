@@ -1,0 +1,46 @@
+//! Regenerates Table 4: code-region view summary `ID_C`, `SID_C`.
+
+use limba_bench::{compare_line, paper_report, paper_report_with_tail};
+use limba_calibrate::paper::{LOOP_NAMES, TABLE4};
+use limba_model::RegionId;
+
+fn main() {
+    println!("=== Table 4: code region view summary ===\n");
+    let loops_only = paper_report();
+    let with_tail = paper_report_with_tail();
+    for (i, &(id_c, sid_c)) in TABLE4.iter().enumerate() {
+        let r = RegionId::new(i);
+        let id = loops_only
+            .region_view
+            .summary_of(r)
+            .map(|s| s.id)
+            .expect("loop present");
+        let sid = with_tail
+            .region_view
+            .summary_of(r)
+            .map(|s| s.sid)
+            .expect("loop present");
+        println!(
+            "{}",
+            compare_line(&format!("{} ID_C", LOOP_NAMES[i]), id_c, id)
+        );
+        println!(
+            "{}",
+            compare_line(&format!("{} SID_C", LOOP_NAMES[i]), sid_c, sid)
+        );
+    }
+    let most = loops_only
+        .findings
+        .most_imbalanced_region
+        .expect("regions exist");
+    println!(
+        "\nmost imbalanced loop (raw ID_C): {} (paper: loop 6, ID 0.13734)",
+        LOOP_NAMES[most.0.index()]
+    );
+    let top = &loops_only.findings.tuning_candidates[0];
+    println!(
+        "top tuning candidate by SID_C:   {} (paper: loop 1 — 'the core of the program'){}",
+        top.name,
+        if top.is_heaviest { " [heaviest]" } else { "" }
+    );
+}

@@ -1,0 +1,87 @@
+//! Error type for calibration.
+
+use std::error::Error;
+use std::fmt;
+
+use limba_model::ModelError;
+use limba_stats::StatsError;
+
+/// Error raised by the inverse-synthesis solver.
+#[derive(Debug)]
+pub enum CalibrateError {
+    /// The requested dispersion exceeds what the shape can produce.
+    TargetUnreachable {
+        /// Requested index of dispersion.
+        target: f64,
+        /// Largest value the shape supports for this processor count.
+        max: f64,
+    },
+    /// The shape or its parameters were invalid for the processor count.
+    InvalidShape {
+        /// What was wrong.
+        detail: String,
+    },
+    /// A target or count input was invalid (negative, non-finite, zero
+    /// processors).
+    InvalidInput {
+        /// What was wrong.
+        detail: String,
+    },
+    /// Building the synthesized measurements failed.
+    Model(ModelError),
+    /// A statistical computation failed.
+    Stats(StatsError),
+}
+
+impl fmt::Display for CalibrateError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CalibrateError::TargetUnreachable { target, max } => write!(
+                f,
+                "dispersion target {target} exceeds the shape's maximum {max}"
+            ),
+            CalibrateError::InvalidShape { detail } => write!(f, "invalid shape: {detail}"),
+            CalibrateError::InvalidInput { detail } => write!(f, "invalid input: {detail}"),
+            CalibrateError::Model(e) => write!(f, "building measurements failed: {e}"),
+            CalibrateError::Stats(e) => write!(f, "statistics failed: {e}"),
+        }
+    }
+}
+
+impl Error for CalibrateError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            CalibrateError::Model(e) => Some(e),
+            CalibrateError::Stats(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<ModelError> for CalibrateError {
+    fn from(e: ModelError) -> Self {
+        CalibrateError::Model(e)
+    }
+}
+
+impl From<StatsError> for CalibrateError {
+    fn from(e: StatsError) -> Self {
+        CalibrateError::Stats(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_mentions_values() {
+        let e = CalibrateError::TargetUnreachable {
+            target: 0.5,
+            max: 0.3,
+        };
+        assert!(e.to_string().contains("0.5"));
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<CalibrateError>();
+    }
+}

@@ -1,0 +1,53 @@
+//! Inverse synthesis of measurement matrices from published marginals.
+//!
+//! The paper publishes the *marginals* of its case-study measurements —
+//! the per-loop activity times `t_ij` (Table 1) and the indices of
+//! dispersion `ID_ij` (Table 2) — but not the underlying
+//! `7 × 4 × 16` matrix `t_ijp`. This crate solves the inverse problem:
+//! construct per-processor times whose cell means equal the published
+//! `t_ij` and whose Euclidean indices of dispersion equal the published
+//! `ID_ij` to high precision.
+//!
+//! The construction picks a [`Shape`] (how the imbalance is distributed
+//! over processors: a ramp, a bimodal split, …), then bisects the shape's
+//! spread parameter until the resulting dispersion hits the target —
+//! possible because the dispersion is monotone in the spread. A
+//! permutation finally decides *which* processor takes which position,
+//! which drives the paper's processor-view findings and the bin counts of
+//! its pattern figures.
+//!
+//! [`paper`] contains the published data and the fully calibrated
+//! reconstruction of the case study.
+//!
+//! # Example
+//!
+//! ```
+//! use limba_calibrate::{solve_weights, Shape};
+//! use limba_stats::dispersion::{DispersionIndex, EuclideanFromMean};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let w = solve_weights(&Shape::Ramp, 16, 0.1287)?;
+//! let id = EuclideanFromMean.index(&w)?;
+//! assert!((id - 0.1287).abs() < 1e-9);
+//! // Weights have mean one, so scaling by t_ij preserves the marginal.
+//! assert!((w.iter().sum::<f64>() / 16.0 - 1.0).abs() < 1e-12);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod paper;
+
+mod error;
+mod placement;
+mod shape;
+mod solve;
+mod synth;
+
+pub use error::CalibrateError;
+pub use placement::Placement;
+pub use shape::Shape;
+pub use solve::{max_dispersion, solve_weights};
+pub use synth::SyntheticCase;

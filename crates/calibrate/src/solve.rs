@@ -1,0 +1,175 @@
+//! Bisection solver matching a dispersion target.
+
+use limba_stats::dispersion::{DispersionIndex, EuclideanFromMean};
+
+use crate::{CalibrateError, Shape};
+
+const THETA_MAX: f64 = 1e9;
+const TOLERANCE: f64 = 1e-12;
+
+fn weights_at(direction: &[f64], theta: f64) -> Vec<f64> {
+    let raw: Vec<f64> = direction
+        .iter()
+        .map(|&d| (1.0 + theta * d).max(0.0))
+        .collect();
+    let mean = raw.iter().sum::<f64>() / raw.len() as f64;
+    raw.into_iter().map(|w| w / mean).collect()
+}
+
+fn dispersion_at(direction: &[f64], theta: f64) -> f64 {
+    EuclideanFromMean
+        .index(&weights_at(direction, theta))
+        .expect("weights are positive with mean one")
+}
+
+/// The largest Euclidean dispersion the shape can produce for `n`
+/// processors (the `θ → ∞` limit, evaluated numerically).
+///
+/// # Errors
+///
+/// Propagates shape validation errors.
+pub fn max_dispersion(shape: &Shape, n: usize) -> Result<f64, CalibrateError> {
+    let direction = shape.direction(n)?;
+    if n == 1 {
+        return Ok(0.0);
+    }
+    Ok(dispersion_at(&direction, THETA_MAX))
+}
+
+/// Solves for per-processor weights with mean one whose Euclidean index
+/// of dispersion equals `target`, distributed according to `shape` in
+/// ascending position order.
+///
+/// Multiplying the returned weights by a cell total `t_ij` produces
+/// per-processor times `t_ijp` whose mean is `t_ij` and whose dispersion
+/// is `target` (the index is scale invariant).
+///
+/// # Errors
+///
+/// Returns [`CalibrateError::TargetUnreachable`] when `target` exceeds
+/// the shape's maximum, [`CalibrateError::InvalidInput`] for a negative
+/// or non-finite target, and shape validation errors.
+pub fn solve_weights(shape: &Shape, n: usize, target: f64) -> Result<Vec<f64>, CalibrateError> {
+    if !target.is_finite() || target < 0.0 {
+        return Err(CalibrateError::InvalidInput {
+            detail: format!("dispersion target must be finite and non-negative, got {target}"),
+        });
+    }
+    let direction = shape.direction(n)?;
+    if target == 0.0 {
+        return Ok(vec![1.0; n]);
+    }
+    let max = dispersion_at(&direction, THETA_MAX);
+    if target > max {
+        return Err(CalibrateError::TargetUnreachable { target, max });
+    }
+    let (mut lo, mut hi) = (0.0f64, 1.0f64);
+    while dispersion_at(&direction, hi) < target {
+        hi *= 2.0;
+        if hi > THETA_MAX {
+            hi = THETA_MAX;
+            break;
+        }
+    }
+    for _ in 0..200 {
+        let mid = 0.5 * (lo + hi);
+        if dispersion_at(&direction, mid) < target {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+        if hi - lo < TOLERANCE * hi.max(1.0) {
+            break;
+        }
+    }
+    Ok(weights_at(&direction, 0.5 * (lo + hi)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn check(shape: &Shape, n: usize, target: f64) {
+        let w = solve_weights(shape, n, target).unwrap();
+        let got = EuclideanFromMean.index(&w).unwrap();
+        assert!(
+            (got - target).abs() < 1e-9,
+            "{shape:?} n={n}: wanted {target}, got {got}"
+        );
+        let mean = w.iter().sum::<f64>() / n as f64;
+        assert!((mean - 1.0).abs() < 1e-12);
+        assert!(w.iter().all(|&x| x >= 0.0));
+    }
+
+    #[test]
+    fn ramp_hits_all_paper_targets() {
+        // Every ID_ij value of the paper's Table 2.
+        for &t in &[
+            0.03674, 0.06793, 0.12870, 0.01095, 0.00318, 0.00672, 0.02833, 0.01615, 0.10742,
+            0.00933, 0.08872, 0.04907, 0.30571, 0.05017, 0.23200, 0.16163, 0.00719, 0.01138,
+        ] {
+            check(&Shape::Ramp, 16, t);
+        }
+    }
+
+    #[test]
+    fn bimodal_hits_targets_and_keeps_cluster_structure() {
+        let w = solve_weights(&Shape::Bimodal { high: 5 }, 16, 0.01615).unwrap();
+        let got = EuclideanFromMean.index(&w).unwrap();
+        assert!((got - 0.01615).abs() < 1e-9);
+        // 11 equal light positions, 5 equal heavy positions.
+        for i in 0..11 {
+            assert!((w[i] - w[0]).abs() < 1e-12);
+        }
+        for i in 11..16 {
+            assert!((w[i] - w[15]).abs() < 1e-12);
+        }
+        assert!(w[15] > w[0]);
+    }
+
+    #[test]
+    fn zero_target_gives_uniform_weights() {
+        assert_eq!(solve_weights(&Shape::Ramp, 8, 0.0).unwrap(), vec![1.0; 8]);
+    }
+
+    #[test]
+    fn unreachable_target_reports_maximum() {
+        let err = solve_weights(&Shape::Ramp, 16, 0.9).unwrap_err();
+        match err {
+            CalibrateError::TargetUnreachable { target, max } => {
+                assert_eq!(target, 0.9);
+                // Ramp limit for P=16 is ≈ 0.3227.
+                assert!((max - 0.3227).abs() < 0.01, "max = {max}");
+            }
+            other => panic!("unexpected error {other}"),
+        }
+    }
+
+    #[test]
+    fn invalid_targets_rejected() {
+        assert!(solve_weights(&Shape::Ramp, 8, -0.1).is_err());
+        assert!(solve_weights(&Shape::Ramp, 8, f64::NAN).is_err());
+    }
+
+    #[test]
+    fn max_dispersion_ordering() {
+        // Concentrating on fewer processors allows more spread.
+        let ramp = max_dispersion(&Shape::Ramp, 16).unwrap();
+        let bi5 = max_dispersion(&Shape::Bimodal { high: 5 }, 16).unwrap();
+        let bi1 = max_dispersion(&Shape::Bimodal { high: 1 }, 16).unwrap();
+        assert!(bi1 > bi5);
+        assert!(bi5 > ramp);
+        // Bimodal{high} limit is sqrt(1/high − 1/n).
+        assert!((bi5 - (1.0f64 / 5.0 - 1.0 / 16.0).sqrt()).abs() < 1e-6);
+        assert!((bi1 - (1.0f64 - 1.0 / 16.0).sqrt()).abs() < 1e-6);
+        assert_eq!(max_dispersion(&Shape::Ramp, 1).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn weights_are_ascending_for_ramp() {
+        let w = solve_weights(&Shape::Ramp, 16, 0.1).unwrap();
+        for pair in w.windows(2) {
+            assert!(pair[1] >= pair[0]);
+        }
+    }
+}

@@ -1,0 +1,210 @@
+//! `limba analyze`.
+
+use std::fs;
+
+use limba_analysis::Analyzer;
+use limba_stats::dispersion::DispersionKind;
+use limba_stats::rank::RankingCriterion;
+use limba_trace::Trace;
+
+use crate::args::{parse, Parsed};
+
+fn parse_dispersion(name: &str) -> Result<DispersionKind, String> {
+    DispersionKind::ALL
+        .into_iter()
+        .find(|k| {
+            use limba_stats::dispersion::DispersionIndex;
+            k.name() == name
+        })
+        .ok_or_else(|| format!("unknown dispersion index {name:?}"))
+}
+
+fn parse_criterion(spec: &str) -> Result<RankingCriterion, String> {
+    let bad = || format!("invalid criterion spec {spec:?}");
+    match spec.split_once(':') {
+        None if spec == "max" => Ok(RankingCriterion::Maximum),
+        Some(("topk", n)) => Ok(RankingCriterion::TopK(n.parse().map_err(|_| bad())?)),
+        Some(("threshold", x)) => Ok(RankingCriterion::Threshold(x.parse().map_err(|_| bad())?)),
+        Some(("percentile", p)) => Ok(RankingCriterion::Percentile(p.parse().map_err(|_| bad())?)),
+        _ => Err(bad()),
+    }
+}
+
+/// Loads a tracefile with format auto-detection (shared with `compare`).
+pub(crate) fn load_trace_auto(path: &str) -> Result<Trace, String> {
+    load_trace(path, "auto")
+}
+
+fn load_trace(path: &str, format: &str) -> Result<Trace, String> {
+    let data = fs::read(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let as_binary = |d: &[u8]| limba_trace::binary::from_bytes(d).map_err(|e| e.to_string());
+    let as_text = |d: &[u8]| {
+        let s = std::str::from_utf8(d).map_err(|e| e.to_string())?;
+        limba_trace::text::from_str(s).map_err(|e| e.to_string())
+    };
+    match format {
+        "binary" => as_binary(&data),
+        "text" => as_text(&data),
+        "auto" => {
+            if data.starts_with(b"LIMBATRC") {
+                as_binary(&data)
+            } else {
+                as_text(&data)
+            }
+        }
+        other => Err(format!("unknown trace format {other:?}")),
+    }
+}
+
+/// Runs `limba analyze <tracefile> [options]`.
+pub fn run(argv: &[String]) -> Result<(), String> {
+    let parsed: Parsed = parse(argv)?;
+    let path = parsed
+        .positional
+        .first()
+        .ok_or("analyze needs a tracefile path")?;
+    let format = parsed.get("format").unwrap_or("auto");
+    let dispersion = parse_dispersion(parsed.get("dispersion").unwrap_or("euclidean"))?;
+    let criterion = parse_criterion(parsed.get("criterion").unwrap_or("max"))?;
+    let clusters: usize = parsed.get_or("clusters", 2)?;
+
+    let windows: usize = parsed.get_or("windows", 0)?;
+
+    let trace = load_trace(path, format)?;
+    let reduced = limba_trace::reduce(&trace).map_err(|e| e.to_string())?;
+    // Counting parameters (message/byte distributions) render as part of
+    // the report when the trace recorded any.
+    let report = Analyzer::new()
+        .with_dispersion(dispersion)
+        .with_criterion(criterion)
+        .with_cluster_k(clusters)
+        .analyze_with_counts(&reduced.measurements, &reduced.counts)
+        .map_err(|e| e.to_string())?;
+    print!("{}", limba_viz::report::render(&report));
+
+    if let Some(dir) = parsed.get("csv") {
+        let dir = std::path::Path::new(dir);
+        fs::create_dir_all(dir).map_err(|e| e.to_string())?;
+        let files = [
+            ("profile.csv", limba_viz::csv::profile_csv(&report)),
+            ("dispersions.csv", limba_viz::csv::dispersions_csv(&report)),
+            ("summaries.csv", limba_viz::csv::summaries_csv(&report)),
+            (
+                "processor_view.csv",
+                limba_viz::csv::processor_view_csv(&report),
+            ),
+        ];
+        for (name, content) in files {
+            fs::write(dir.join(name), content).map_err(|e| e.to_string())?;
+        }
+        println!("\ncsv tables written to {}", dir.display());
+    }
+
+    if parsed.get("drilldown").map(|v| v != "off").unwrap_or(false) {
+        use limba_analysis::hierarchy::{drilldown, RegionTree};
+        let parents = limba_trace::region_parents(&trace).map_err(|e| e.to_string())?;
+        let tree = RegionTree::from_parents(parents).map_err(|e| e.to_string())?;
+        let dd =
+            drilldown(&reduced.measurements, &tree, dispersion, 0.5).map_err(|e| e.to_string())?;
+        println!("\n== drill-down ==");
+        if dd.path.is_empty() {
+            println!("no imbalanced region found");
+        }
+        for (depth, step) in dd.path.iter().enumerate() {
+            println!(
+                "{}-> {} (inclusive SID_C {:.5}, {:.0}% of program)",
+                "  ".repeat(depth),
+                step.name,
+                step.sid,
+                step.fraction_of_program * 100.0
+            );
+        }
+    }
+
+    if windows > 0 {
+        let sliced = limba_trace::reduce_windows(&trace, windows).map_err(|e| e.to_string())?;
+        let matrices: Vec<_> = sliced.into_iter().map(|w| w.measurements).collect();
+        let evolution = limba_analysis::evolution::imbalance_evolution(&matrices, dispersion, 0.02)
+            .map_err(|e| e.to_string())?;
+        println!("\n== imbalance evolution ({windows} windows) ==");
+        for series in &evolution.series {
+            let values: Vec<String> = series
+                .values
+                .iter()
+                .map(|v| v.map(|v| format!("{v:.3}")).unwrap_or_else(|| "-".into()))
+                .collect();
+            println!(
+                "{:<16} [{}] slope {:+.4} → {:?}",
+                series.activity.to_string(),
+                values.join(" "),
+                series.slope,
+                series.trend
+            );
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dispersion_names_round_trip() {
+        use limba_stats::dispersion::DispersionIndex;
+        for k in DispersionKind::ALL {
+            assert_eq!(parse_dispersion(k.name()).unwrap(), k);
+        }
+        assert!(parse_dispersion("zeta").is_err());
+    }
+
+    #[test]
+    fn criterion_specs() {
+        assert_eq!(parse_criterion("max").unwrap(), RankingCriterion::Maximum);
+        assert_eq!(
+            parse_criterion("topk:3").unwrap(),
+            RankingCriterion::TopK(3)
+        );
+        assert_eq!(
+            parse_criterion("threshold:0.5").unwrap(),
+            RankingCriterion::Threshold(0.5)
+        );
+        assert_eq!(
+            parse_criterion("percentile:90").unwrap(),
+            RankingCriterion::Percentile(90.0)
+        );
+        assert!(parse_criterion("best").is_err());
+        assert!(parse_criterion("topk:x").is_err());
+    }
+
+    #[test]
+    fn auto_format_detection() {
+        use limba_trace::{Event, TraceBuilder};
+        let mut b = TraceBuilder::new(1);
+        let r = b.add_region("r");
+        b.push(Event::enter(0.0, 0, r));
+        b.push(Event::leave(1.0, 0, r));
+        let trace = b.build();
+        let dir = std::env::temp_dir();
+
+        let bin_path = dir.join("limba-auto.bin");
+        fs::write(&bin_path, limba_trace::binary::to_bytes(&trace)).unwrap();
+        let got = load_trace(bin_path.to_str().unwrap(), "auto").unwrap();
+        assert_eq!(got, trace);
+
+        let txt_path = dir.join("limba-auto.txt");
+        fs::write(&txt_path, limba_trace::text::to_string(&trace)).unwrap();
+        let got = load_trace(txt_path.to_str().unwrap(), "auto").unwrap();
+        assert_eq!(got, trace);
+
+        fs::remove_file(bin_path).ok();
+        fs::remove_file(txt_path).ok();
+    }
+
+    #[test]
+    fn missing_file_is_reported() {
+        assert!(load_trace("/nonexistent/limba.trace", "auto")
+            .unwrap_err()
+            .contains("cannot read"));
+    }
+}

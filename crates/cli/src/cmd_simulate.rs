@@ -1,0 +1,190 @@
+//! `limba simulate` and `limba demo`.
+
+use std::fs::File;
+use std::io::BufWriter;
+
+use limba_mpisim::{MachineConfig, Program, Simulator};
+use limba_trace::Trace;
+use limba_workloads::{
+    amr::AmrConfig, cfd::CfdConfig, fft::FftConfig, irregular::IrregularConfig,
+    master_worker::MasterWorkerConfig, pipeline::PipelineConfig, stencil::StencilConfig,
+    sweep::SweepConfig, Imbalance,
+};
+
+use crate::args::{parse, parse_imbalance, Parsed};
+
+fn build_program(
+    workload: &str,
+    ranks: usize,
+    iterations: Option<usize>,
+    imbalance: Imbalance,
+    seed: u64,
+) -> Result<Program, String> {
+    let program = match workload {
+        "cfd" => CfdConfig::new(ranks)
+            .with_iterations(iterations.unwrap_or(1))
+            .with_imbalance(imbalance)
+            .with_seed(seed)
+            .build_program(),
+        "stencil" => {
+            // Squarest grid for the rank count.
+            let px = (1..=ranks)
+                .filter(|d| ranks % d == 0)
+                .min_by_key(|&d| (d as i64 - (ranks as f64).sqrt() as i64).abs())
+                .unwrap_or(1);
+            StencilConfig::new(px, ranks / px)
+                .with_iterations(iterations.unwrap_or(10))
+                .with_imbalance(imbalance)
+                .with_seed(seed)
+                .build_program()
+        }
+        "master-worker" => MasterWorkerConfig::new(ranks)
+            .with_tasks(iterations.unwrap_or(2 * ranks.saturating_sub(1)))
+            .with_imbalance(imbalance)
+            .with_seed(seed)
+            .build_program(),
+        "pipeline" => PipelineConfig::new(ranks)
+            .with_items(iterations.unwrap_or(8))
+            .with_imbalance(imbalance)
+            .with_seed(seed)
+            .build_program(),
+        "irregular" => IrregularConfig::new(ranks)
+            .with_steps(iterations.unwrap_or(4))
+            .with_imbalance(imbalance)
+            .with_seed(seed)
+            .build_program(),
+        "fft" => FftConfig::new(ranks)
+            .with_iterations(iterations.unwrap_or(2))
+            .with_imbalance(imbalance)
+            .with_seed(seed)
+            .build_program(),
+        "amr" => AmrConfig::new(ranks)
+            .with_steps(iterations.unwrap_or(2))
+            .with_refinement(imbalance)
+            .with_seed(seed)
+            .build_program(),
+        "sweep" => SweepConfig::new(ranks)
+            .with_sweeps(iterations.unwrap_or(2))
+            .with_imbalance(imbalance)
+            .with_seed(seed)
+            .build_program(),
+        other => return Err(format!("unknown workload {other:?}")),
+    };
+    program.map_err(|e| e.to_string())
+}
+
+fn simulate(program: &Program, ranks: usize) -> Result<limba_mpisim::SimOutput, String> {
+    Simulator::new(MachineConfig::new(ranks))
+        .run(program)
+        .map_err(|e| e.to_string())
+}
+
+fn write_trace(trace: &Trace, path: &str, format: &str) -> Result<(), String> {
+    let file = File::create(path).map_err(|e| format!("cannot create {path}: {e}"))?;
+    let writer = BufWriter::new(file);
+    match format {
+        "binary" => limba_trace::binary::write(trace, writer).map_err(|e| e.to_string()),
+        "text" => limba_trace::text::write(trace, writer).map_err(|e| e.to_string()),
+        other => Err(format!("unknown trace format {other:?}")),
+    }
+}
+
+/// Runs `limba simulate <workload> [options]`.
+pub fn run(argv: &[String]) -> Result<(), String> {
+    let parsed: Parsed = parse(argv)?;
+    let workload = parsed
+        .positional
+        .first()
+        .ok_or("simulate needs a workload name")?
+        .clone();
+    let ranks: usize = parsed.get_or("ranks", 16)?;
+    let iterations: Option<usize> = match parsed.get("iterations") {
+        Some(v) => Some(v.parse().map_err(|_| "invalid --iterations")?),
+        None => None,
+    };
+    let imbalance = match parsed.get("imbalance") {
+        Some(spec) => parse_imbalance(spec)?,
+        None => Imbalance::None,
+    };
+    let seed: u64 = parsed.get_or("seed", 0)?;
+    let out = parsed.get("out").unwrap_or("trace.limba").to_string();
+    let format = parsed.get("format").unwrap_or("binary").to_string();
+
+    let program = build_program(&workload, ranks, iterations, imbalance, seed)?;
+    let output = simulate(&program, ranks)?;
+    write_trace(&output.trace, &out, &format)?;
+    println!(
+        "simulated {workload} on {ranks} ranks: makespan {:.4} s, {} messages, {} bytes",
+        output.stats.makespan, output.stats.messages, output.stats.bytes
+    );
+    println!(
+        "trace written to {out} ({format}, {} events)",
+        output.trace.events().len()
+    );
+    Ok(())
+}
+
+/// Runs `limba demo`: CFD proxy with injected skew, analyzed in memory.
+pub fn demo() -> Result<(), String> {
+    let program = CfdConfig::new(16)
+        .with_iterations(2)
+        .with_imbalance(Imbalance::LinearSkew { spread: 0.4 })
+        .build_program()
+        .map_err(|e| e.to_string())?;
+    let output = simulate(&program, 16)?;
+    let reduced = output.reduce().map_err(|e| e.to_string())?;
+    let report = limba_analysis::Analyzer::new()
+        .analyze(&reduced.measurements)
+        .map_err(|e| e.to_string())?;
+    print!("{}", limba_viz::report::render(&report));
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builds_every_workload() {
+        for w in [
+            "cfd",
+            "stencil",
+            "master-worker",
+            "pipeline",
+            "irregular",
+            "fft",
+            "sweep",
+            "amr",
+        ] {
+            let p = build_program(w, 8, None, Imbalance::None, 0).unwrap();
+            assert!(p.total_ops() > 0, "{w} is empty");
+        }
+        assert!(build_program("nope", 8, None, Imbalance::None, 0).is_err());
+    }
+
+    #[test]
+    fn stencil_grid_factors_rank_count() {
+        // 12 ranks → 3×4 or 4×3; must build and simulate.
+        let p = build_program("stencil", 12, Some(2), Imbalance::None, 0).unwrap();
+        simulate(&p, 12).unwrap();
+    }
+
+    #[test]
+    fn trace_round_trips_through_files() {
+        let dir = std::env::temp_dir();
+        let program = build_program("cfd", 4, Some(1), Imbalance::None, 0).unwrap();
+        let out = simulate(&program, 4).unwrap();
+        for format in ["binary", "text"] {
+            let path = dir.join(format!("limba-cli-test.{format}"));
+            let path = path.to_str().unwrap();
+            write_trace(&out.trace, path, format).unwrap();
+            let data = std::fs::File::open(path).unwrap();
+            let back = match format {
+                "binary" => limba_trace::binary::read(data).unwrap(),
+                _ => limba_trace::text::read(data).unwrap(),
+            };
+            assert_eq!(back, out.trace);
+            std::fs::remove_file(path).ok();
+        }
+    }
+}

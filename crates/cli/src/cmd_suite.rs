@@ -1,0 +1,144 @@
+//! `limba suite`: a tracefile-testbed-style sweep — run every workload
+//! under every imbalance injector, analyze each run, and print a summary
+//! table. (In the spirit of the Tracefile Testbed the paper's authors
+//! co-built: a corpus of runs to compare methodologies on.)
+
+use limba_analysis::Analyzer;
+use limba_mpisim::{MachineConfig, Program, Simulator};
+use limba_workloads::{
+    cfd::CfdConfig, fft::FftConfig, irregular::IrregularConfig, master_worker::MasterWorkerConfig,
+    pipeline::PipelineConfig, stencil::StencilConfig, sweep::SweepConfig, Imbalance,
+};
+
+use crate::args::{parse, Parsed};
+
+fn programs(ranks: usize, imbalance: Imbalance) -> Vec<(&'static str, Program)> {
+    vec![
+        (
+            "cfd",
+            CfdConfig::new(ranks)
+                .with_imbalance(imbalance)
+                .build_program()
+                .unwrap(),
+        ),
+        (
+            "stencil",
+            StencilConfig::new(ranks / 2, 2)
+                .with_iterations(4)
+                .with_imbalance(imbalance)
+                .build_program()
+                .unwrap(),
+        ),
+        (
+            "master-worker",
+            MasterWorkerConfig::new(ranks)
+                .with_tasks(ranks * 3)
+                .with_imbalance(imbalance)
+                .build_program()
+                .unwrap(),
+        ),
+        (
+            "pipeline",
+            PipelineConfig::new(ranks)
+                .with_items(12)
+                .with_imbalance(imbalance)
+                .build_program()
+                .unwrap(),
+        ),
+        (
+            "irregular",
+            IrregularConfig::new(ranks)
+                .with_imbalance(imbalance)
+                .build_program()
+                .unwrap(),
+        ),
+        (
+            "fft",
+            FftConfig::new(ranks)
+                .with_imbalance(imbalance)
+                .build_program()
+                .unwrap(),
+        ),
+        (
+            "sweep",
+            SweepConfig::new(ranks)
+                .with_imbalance(imbalance)
+                .build_program()
+                .unwrap(),
+        ),
+    ]
+}
+
+/// Runs `limba suite [--ranks N]`.
+pub fn run(argv: &[String]) -> Result<(), String> {
+    let parsed: Parsed = parse(argv)?;
+    let ranks: usize = parsed.get_or("ranks", 8)?;
+    if ranks < 4 || ranks % 2 != 0 {
+        return Err("suite needs an even rank count of at least 4".into());
+    }
+    let injectors: Vec<(&str, Imbalance)> = vec![
+        ("none", Imbalance::None),
+        ("linear:0.4", Imbalance::LinearSkew { spread: 0.4 }),
+        (
+            "block:2,2.5",
+            Imbalance::BlockSkew {
+                heavy: 2,
+                factor: 2.5,
+            },
+        ),
+        (
+            "hotspot:1,3",
+            Imbalance::Hotspot {
+                rank: 1,
+                factor: 3.0,
+            },
+        ),
+        ("jitter:0.25", Imbalance::RandomJitter { amplitude: 0.25 }),
+    ];
+    let sim = Simulator::new(MachineConfig::new(ranks));
+    println!(
+        "{:<14} {:<14} {:>10} {:>10} {:>22}",
+        "workload", "imbalance", "makespan", "max SID_C", "top candidate"
+    );
+    println!("{}", "-".repeat(74));
+    for (iname, imbalance) in &injectors {
+        for (wname, program) in programs(ranks, *imbalance) {
+            let out = sim
+                .run(&program)
+                .map_err(|e| format!("{wname}/{iname}: {e}"))?;
+            let reduced = out.reduce().map_err(|e| e.to_string())?;
+            let report = Analyzer::new()
+                .with_cluster_k(0)
+                .analyze(&reduced.measurements)
+                .map_err(|e| e.to_string())?;
+            let (sid, top) = report
+                .findings
+                .tuning_candidates
+                .first()
+                .map(|c| (c.sid, c.name.clone()))
+                .unwrap_or((0.0, "-".into()));
+            println!(
+                "{wname:<14} {iname:<14} {:>9.3}s {sid:>10.5} {top:>22}",
+                out.stats.makespan
+            );
+        }
+        println!();
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn suite_runs_on_small_machine() {
+        run(&["--ranks".to_string(), "4".to_string()]).unwrap();
+    }
+
+    #[test]
+    fn odd_or_tiny_rank_counts_rejected() {
+        assert!(run(&["--ranks".to_string(), "3".to_string()]).is_err());
+        assert!(run(&["--ranks".to_string(), "2".to_string()]).is_err());
+    }
+}

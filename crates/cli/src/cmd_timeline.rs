@@ -1,0 +1,61 @@
+//! `limba timeline`: render a tracefile as an SVG timeline.
+
+use std::fs;
+
+use crate::args::parse;
+
+/// Runs `limba timeline <tracefile> [--out PATH] [--width PX]`.
+pub fn run(argv: &[String]) -> Result<(), String> {
+    let parsed = parse(argv)?;
+    let path = parsed
+        .positional
+        .first()
+        .ok_or("timeline needs a tracefile path")?;
+    let out = parsed.get("out").unwrap_or("timeline.svg");
+    let width: usize = parsed.get_or("width", 1200)?;
+
+    let data = fs::read(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let trace = if data.starts_with(b"LIMBATRC") {
+        limba_trace::binary::from_bytes(&data).map_err(|e| e.to_string())?
+    } else {
+        let s = std::str::from_utf8(&data).map_err(|e| e.to_string())?;
+        limba_trace::text::from_str(s).map_err(|e| e.to_string())?
+    };
+    let svg = limba_viz::timeline::timeline_svg(&trace, width).map_err(|e| e.to_string())?;
+    fs::write(out, svg).map_err(|e| e.to_string())?;
+    println!("timeline written to {out}");
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_a_simulated_trace() {
+        use limba_mpisim::{MachineConfig, Simulator};
+        use limba_workloads::cfd::CfdConfig;
+        let program = CfdConfig::new(4).build_program().unwrap();
+        let out = Simulator::new(MachineConfig::new(4)).run(&program).unwrap();
+        let dir = std::env::temp_dir();
+        let trace_path = dir.join("limba-timeline-test.trace");
+        limba_trace::binary::write(&out.trace, std::fs::File::create(&trace_path).unwrap())
+            .unwrap();
+        let svg_path = dir.join("limba-timeline-test.svg");
+        run(&[
+            trace_path.to_str().unwrap().to_string(),
+            "--out".to_string(),
+            svg_path.to_str().unwrap().to_string(),
+        ])
+        .unwrap();
+        let svg = std::fs::read_to_string(&svg_path).unwrap();
+        assert!(svg.starts_with("<svg"));
+        std::fs::remove_file(trace_path).ok();
+        std::fs::remove_file(svg_path).ok();
+    }
+
+    #[test]
+    fn missing_file_is_reported() {
+        assert!(run(&["/nonexistent.trace".to_string()]).is_err());
+    }
+}

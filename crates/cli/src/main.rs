@@ -1,0 +1,88 @@
+//! `limba` — the load-imbalance performance tool.
+//!
+//! The paper's conclusion calls for integrating the methodology "into a
+//! performance tool": this binary is that tool. It simulates workloads on
+//! the message-passing machine model, writes tracefiles, analyzes them,
+//! and regenerates the paper's tables and figures.
+
+use std::process::ExitCode;
+
+mod args;
+mod cmd_analyze;
+mod cmd_compare;
+mod cmd_paper;
+mod cmd_simulate;
+mod cmd_suite;
+mod cmd_timeline;
+
+const USAGE: &str = "\
+limba — load-imbalance analysis of parallel programs
+
+USAGE:
+  limba simulate <workload> [OPTIONS]   run a workload, write a tracefile
+  limba analyze <tracefile> [OPTIONS]   analyze a tracefile, print the report
+  limba compare <before> <after>        verify a tuning change between two traces
+  limba paper [OPTIONS]                 regenerate the paper's case study
+  limba suite [--ranks N]               sweep all workloads × injectors, print a summary
+  limba timeline <tracefile> [OPTIONS]  render a tracefile as an SVG timeline
+  limba demo                            simulate the CFD proxy and analyze it
+
+WORKLOADS (simulate):
+  cfd | stencil | master-worker | pipeline | irregular | fft | sweep | amr
+
+OPTIONS (simulate):
+  --ranks N              number of MPI ranks (default 16)
+  --iterations N         iterations / steps / items (default workload-specific)
+  --imbalance SPEC       none | linear:SPREAD | block:HEAVY,FACTOR |
+                         jitter:AMPLITUDE | hotspot:RANK,FACTOR
+  --seed N               RNG seed for stochastic injectors (default 0)
+  --out PATH             tracefile path (default trace.limba)
+  --format FMT           binary | text (default binary)
+
+OPTIONS (analyze):
+  --dispersion KIND      euclidean | variance | cv | mad | max-excess |
+                         range | gini (default euclidean)
+  --criterion SPEC       max | topk:N | threshold:X | percentile:P
+  --clusters N           number of region clusters, 0 disables (default 2)
+  --drilldown on         also run the hierarchical top-down localization
+  --csv DIR              also export the tables as CSV files into DIR
+  --windows N            also slice the run into N windows and report how
+                         each activity's imbalance evolves (default off)
+  --format FMT           tracefile format: auto | binary | text (default auto)
+
+OPTIONS (timeline):
+  --out PATH             output SVG path (default timeline.svg)
+  --width PX             image width in pixels (default 1200)
+
+OPTIONS (paper):
+  --svg DIR              also write figure SVGs into DIR
+";
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let Some((command, rest)) = argv.split_first() else {
+        eprint!("{USAGE}");
+        return ExitCode::FAILURE;
+    };
+    let result = match command.as_str() {
+        "simulate" => cmd_simulate::run(rest),
+        "analyze" => cmd_analyze::run(rest),
+        "compare" => cmd_compare::run(rest),
+        "paper" => cmd_paper::run(rest),
+        "suite" => cmd_suite::run(rest),
+        "timeline" => cmd_timeline::run(rest),
+        "demo" => cmd_simulate::demo(),
+        "help" | "--help" | "-h" => {
+            print!("{USAGE}");
+            Ok(())
+        }
+        other => Err(format!("unknown command {other:?}; see `limba help`")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(message) => {
+            eprintln!("error: {message}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,238 @@
+//! Integration tests driving the `limba` binary end to end.
+
+use std::path::PathBuf;
+use std::process::{Command, Output};
+
+fn limba(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_limba"))
+        .args(args)
+        .output()
+        .expect("binary runs")
+}
+
+fn temp_path(name: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("limba-cli-it-{name}"))
+}
+
+#[test]
+fn help_prints_usage() {
+    let out = limba(&["help"]);
+    assert!(out.status.success());
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(stdout.contains("USAGE"));
+    assert!(stdout.contains("simulate"));
+}
+
+#[test]
+fn no_args_fails_with_usage() {
+    let out = limba(&[]);
+    assert!(!out.status.success());
+    assert!(String::from_utf8(out.stderr).unwrap().contains("USAGE"));
+}
+
+#[test]
+fn unknown_command_fails() {
+    let out = limba(&["frobnicate"]);
+    assert!(!out.status.success());
+    assert!(String::from_utf8(out.stderr)
+        .unwrap()
+        .contains("unknown command"));
+}
+
+#[test]
+fn simulate_then_analyze_round_trip() {
+    let trace = temp_path("roundtrip.trace");
+    let out = limba(&[
+        "simulate",
+        "cfd",
+        "--ranks",
+        "8",
+        "--imbalance",
+        "linear:0.4",
+        "--out",
+        trace.to_str().unwrap(),
+    ]);
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert!(String::from_utf8(out.stdout)
+        .unwrap()
+        .contains("trace written"));
+
+    let out = limba(&["analyze", trace.to_str().unwrap(), "--criterion", "topk:3"]);
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(stdout.contains("== findings =="));
+    assert!(stdout.contains("tuning candidate"));
+    assert!(stdout.contains("loop 1"));
+    std::fs::remove_file(&trace).ok();
+}
+
+#[test]
+fn text_format_traces_analyze_too() {
+    let trace = temp_path("text.trace");
+    let out = limba(&[
+        "simulate",
+        "pipeline",
+        "--ranks",
+        "4",
+        "--format",
+        "text",
+        "--out",
+        trace.to_str().unwrap(),
+    ]);
+    assert!(out.status.success());
+    let content = std::fs::read_to_string(&trace).unwrap();
+    assert!(content.starts_with("limba-trace v1"));
+    let out = limba(&["analyze", trace.to_str().unwrap(), "--clusters", "0"]);
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    std::fs::remove_file(&trace).ok();
+}
+
+#[test]
+fn analyze_with_alternative_dispersion() {
+    let trace = temp_path("gini.trace");
+    assert!(limba(&[
+        "simulate",
+        "irregular",
+        "--ranks",
+        "4",
+        "--imbalance",
+        "hotspot:2,3",
+        "--out",
+        trace.to_str().unwrap(),
+    ])
+    .status
+    .success());
+    let out = limba(&["analyze", trace.to_str().unwrap(), "--dispersion", "gini"]);
+    assert!(out.status.success());
+    std::fs::remove_file(&trace).ok();
+}
+
+#[test]
+fn paper_command_prints_tables() {
+    let out = limba(&["paper"]);
+    assert!(out.status.success());
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    for needle in [
+        "Table 1", "Table 2", "Table 3", "Table 4", "Figure 1", "Figure 2",
+    ] {
+        assert!(stdout.contains(needle), "missing {needle}");
+    }
+    // Spot-check two published numbers.
+    assert!(stdout.contains("0.30571")); // loop 5 sync ID
+    assert!(stdout.contains("19.051")); // loop 1 overall
+}
+
+#[test]
+fn demo_runs_the_full_pipeline() {
+    let out = limba(&["demo"]);
+    assert!(out.status.success());
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(stdout.contains("== coarse grain =="));
+}
+
+#[test]
+fn analyze_with_windows_reports_evolution() {
+    let trace = temp_path("windows.trace");
+    assert!(limba(&[
+        "simulate",
+        "fft",
+        "--ranks",
+        "4",
+        "--iterations",
+        "3",
+        "--imbalance",
+        "jitter:0.3",
+        "--out",
+        trace.to_str().unwrap(),
+    ])
+    .status
+    .success());
+    let out = limba(&[
+        "analyze",
+        trace.to_str().unwrap(),
+        "--windows",
+        "4",
+        "--clusters",
+        "0",
+    ]);
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(stdout.contains("imbalance evolution (4 windows)"));
+    assert!(stdout.contains("slope"));
+    std::fs::remove_file(&trace).ok();
+}
+
+#[test]
+fn amr_drilldown_localizes_nested_culprit() {
+    let trace = temp_path("amr.trace");
+    assert!(limba(&[
+        "simulate",
+        "amr",
+        "--ranks",
+        "8",
+        "--imbalance",
+        "hotspot:3,5",
+        "--out",
+        trace.to_str().unwrap(),
+    ])
+    .status
+    .success());
+    let out = limba(&[
+        "analyze",
+        trace.to_str().unwrap(),
+        "--drilldown",
+        "on",
+        "--clusters",
+        "0",
+    ]);
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(stdout.contains("== drill-down =="));
+    assert!(stdout.contains("flux"));
+    std::fs::remove_file(&trace).ok();
+}
+
+#[test]
+fn sweep_workload_simulates() {
+    let trace = temp_path("sweep.trace");
+    let out = limba(&[
+        "simulate",
+        "sweep",
+        "--ranks",
+        "6",
+        "--out",
+        trace.to_str().unwrap(),
+    ]);
+    assert!(out.status.success());
+    std::fs::remove_file(&trace).ok();
+}
+
+#[test]
+fn bad_flags_are_reported() {
+    let out = limba(&["simulate", "cfd", "--ranks"]);
+    assert!(!out.status.success());
+    let out = limba(&["simulate", "cfd", "--imbalance", "zigzag:3"]);
+    assert!(!out.status.success());
+    let out = limba(&["analyze", "/nonexistent.trace"]);
+    assert!(!out.status.success());
+}

@@ -1,0 +1,225 @@
+//! Internal cluster-quality measures.
+
+use crate::distance::{squared_euclidean, validate_points};
+use crate::ClusterError;
+
+fn centroid_of(points: &[Vec<f64>], members: &[usize], dim: usize) -> Vec<f64> {
+    let mut c = vec![0.0; dim];
+    for &i in members {
+        for (s, &v) in c.iter_mut().zip(&points[i]) {
+            *s += v;
+        }
+    }
+    for s in &mut c {
+        *s /= members.len() as f64;
+    }
+    c
+}
+
+fn clusters_of(assignments: &[usize]) -> Vec<Vec<usize>> {
+    let k = assignments
+        .iter()
+        .copied()
+        .max()
+        .map(|m| m + 1)
+        .unwrap_or(0);
+    let mut clusters = vec![Vec::new(); k];
+    for (i, &a) in assignments.iter().enumerate() {
+        clusters[a].push(i);
+    }
+    clusters
+}
+
+fn validate_pair(points: &[Vec<f64>], assignments: &[usize]) -> Result<usize, ClusterError> {
+    let dim = validate_points(points)?;
+    if assignments.len() != points.len() {
+        return Err(ClusterError::DimensionMismatch {
+            expected: points.len(),
+            found: assignments.len(),
+        });
+    }
+    Ok(dim)
+}
+
+/// Within-cluster sum of squared distances to cluster centroids.
+///
+/// # Errors
+///
+/// Returns an error when points are invalid or `assignments` does not have
+/// one label per point.
+pub fn within_cluster_sum_of_squares(
+    points: &[Vec<f64>],
+    assignments: &[usize],
+) -> Result<f64, ClusterError> {
+    let dim = validate_pair(points, assignments)?;
+    let mut total = 0.0;
+    for members in clusters_of(assignments) {
+        if members.is_empty() {
+            continue;
+        }
+        let c = centroid_of(points, &members, dim);
+        for &i in &members {
+            total += squared_euclidean(&points[i], &c);
+        }
+    }
+    Ok(total)
+}
+
+/// Mean silhouette coefficient over all points, in `[-1, 1]`; larger means
+/// better-separated clusters. Points in singleton clusters contribute `0`.
+///
+/// # Errors
+///
+/// Same conditions as [`within_cluster_sum_of_squares`].
+pub fn silhouette(points: &[Vec<f64>], assignments: &[usize]) -> Result<f64, ClusterError> {
+    validate_pair(points, assignments)?;
+    let clusters = clusters_of(assignments);
+    let occupied = clusters.iter().filter(|c| !c.is_empty()).count();
+    if occupied < 2 {
+        // Silhouette is undefined for a single cluster; report 0.
+        return Ok(0.0);
+    }
+    let n = points.len();
+    let mut total = 0.0;
+    for i in 0..n {
+        let own = assignments[i];
+        if clusters[own].len() <= 1 {
+            continue; // contributes 0
+        }
+        // a(i): mean distance to own cluster (excluding self).
+        let a: f64 = clusters[own]
+            .iter()
+            .filter(|&&j| j != i)
+            .map(|&j| squared_euclidean(&points[i], &points[j]).sqrt())
+            .sum::<f64>()
+            / (clusters[own].len() - 1) as f64;
+        // b(i): smallest mean distance to another cluster.
+        let mut b = f64::INFINITY;
+        for (c, members) in clusters.iter().enumerate() {
+            if c == own || members.is_empty() {
+                continue;
+            }
+            let d: f64 = members
+                .iter()
+                .map(|&j| squared_euclidean(&points[i], &points[j]).sqrt())
+                .sum::<f64>()
+                / members.len() as f64;
+            b = b.min(d);
+        }
+        let denom = a.max(b);
+        if denom > 0.0 {
+            total += (b - a) / denom;
+        }
+    }
+    Ok(total / n as f64)
+}
+
+/// Calinski–Harabasz index (variance-ratio criterion); larger is better.
+/// Returns `0` when there are fewer than two occupied clusters or fewer
+/// points than clusters.
+///
+/// # Errors
+///
+/// Same conditions as [`within_cluster_sum_of_squares`].
+pub fn calinski_harabasz(points: &[Vec<f64>], assignments: &[usize]) -> Result<f64, ClusterError> {
+    let dim = validate_pair(points, assignments)?;
+    let clusters: Vec<Vec<usize>> = clusters_of(assignments)
+        .into_iter()
+        .filter(|c| !c.is_empty())
+        .collect();
+    let k = clusters.len();
+    let n = points.len();
+    if k < 2 || n <= k {
+        return Ok(0.0);
+    }
+    let all: Vec<usize> = (0..n).collect();
+    let global = centroid_of(points, &all, dim);
+    let mut between = 0.0;
+    let mut within = 0.0;
+    for members in &clusters {
+        let c = centroid_of(points, members, dim);
+        between += members.len() as f64 * squared_euclidean(&c, &global);
+        for &i in members {
+            within += squared_euclidean(&points[i], &c);
+        }
+    }
+    if within == 0.0 {
+        return Ok(f64::INFINITY);
+    }
+    Ok((between / (k - 1) as f64) / (within / (n - k) as f64))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn blobs() -> (Vec<Vec<f64>>, Vec<usize>) {
+        let points = vec![
+            vec![0.0, 0.0],
+            vec![0.1, 0.0],
+            vec![0.0, 0.1],
+            vec![9.0, 9.0],
+            vec![9.1, 9.0],
+            vec![9.0, 9.1],
+        ];
+        let assignments = vec![0, 0, 0, 1, 1, 1];
+        (points, assignments)
+    }
+
+    #[test]
+    fn wcss_of_tight_clusters_is_small() {
+        let (pts, asg) = blobs();
+        let w = within_cluster_sum_of_squares(&pts, &asg).unwrap();
+        assert!(w < 0.1, "wcss = {w}");
+        // Everything in one cluster is much worse.
+        let one = within_cluster_sum_of_squares(&pts, &vec![0; 6]).unwrap();
+        assert!(one > 50.0);
+    }
+
+    #[test]
+    fn silhouette_high_for_good_split_low_for_bad() {
+        let (pts, asg) = blobs();
+        let good = silhouette(&pts, &asg).unwrap();
+        assert!(good > 0.9, "good = {good}");
+        let bad = silhouette(&pts, &[0, 1, 0, 1, 0, 1]).unwrap();
+        assert!(bad < good);
+    }
+
+    #[test]
+    fn silhouette_single_cluster_is_zero() {
+        let (pts, _) = blobs();
+        assert_eq!(silhouette(&pts, &vec![0; 6]).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn calinski_harabasz_prefers_true_split() {
+        let (pts, asg) = blobs();
+        let good = calinski_harabasz(&pts, &asg).unwrap();
+        let bad = calinski_harabasz(&pts, &[0, 1, 0, 1, 0, 1]).unwrap();
+        assert!(good > bad);
+        assert_eq!(calinski_harabasz(&pts, &vec![0; 6]).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn ch_is_infinite_for_zero_within_variance() {
+        let pts = vec![vec![0.0], vec![0.0], vec![5.0], vec![5.0]];
+        let ch = calinski_harabasz(&pts, &[0, 0, 1, 1]).unwrap();
+        assert!(ch.is_infinite());
+    }
+
+    #[test]
+    fn mismatched_assignments_rejected() {
+        let (pts, _) = blobs();
+        assert!(within_cluster_sum_of_squares(&pts, &[0, 1]).is_err());
+        assert!(silhouette(&pts, &[0]).is_err());
+        assert!(calinski_harabasz(&pts, &[]).is_err());
+    }
+
+    #[test]
+    fn singleton_cluster_contributes_zero_silhouette() {
+        let pts = vec![vec![0.0], vec![0.1], vec![9.0]];
+        let s = silhouette(&pts, &[0, 0, 1]).unwrap();
+        // Two of three points have well-defined coefficients near 1.
+        assert!(s > 0.5 && s < 1.0);
+    }
+}

@@ -1,0 +1,61 @@
+//! Error type for clustering.
+
+use std::error::Error;
+use std::fmt;
+
+/// Error raised by clustering routines.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ClusterError {
+    /// No points were provided.
+    EmptyData,
+    /// `k` was zero or exceeded the number of points.
+    InvalidK {
+        /// Requested number of clusters.
+        k: usize,
+        /// Number of points available.
+        points: usize,
+    },
+    /// Points have inconsistent dimensionality.
+    DimensionMismatch {
+        /// Dimension of the first point.
+        expected: usize,
+        /// Dimension of the offending point.
+        found: usize,
+    },
+    /// A coordinate was not finite.
+    NonFiniteCoordinate,
+}
+
+impl fmt::Display for ClusterError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ClusterError::EmptyData => write!(f, "no points to cluster"),
+            ClusterError::InvalidK { k, points } => {
+                write!(f, "cannot form {k} clusters from {points} points")
+            }
+            ClusterError::DimensionMismatch { expected, found } => {
+                write!(
+                    f,
+                    "point dimension {found} does not match expected {expected}"
+                )
+            }
+            ClusterError::NonFiniteCoordinate => write!(f, "point coordinates must be finite"),
+        }
+    }
+}
+
+impl Error for ClusterError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        assert!(ClusterError::InvalidK { k: 3, points: 2 }
+            .to_string()
+            .contains('3'));
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<ClusterError>();
+    }
+}

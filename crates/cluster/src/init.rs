@@ -1,0 +1,126 @@
+//! Centroid initialization strategies.
+
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+use crate::distance::squared_euclidean;
+
+/// How initial centroids are chosen.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum InitMethod {
+    /// k-means++: spread seeds with probability proportional to squared
+    /// distance from the nearest already-chosen seed. Default.
+    #[default]
+    KMeansPlusPlus,
+    /// Forgy: pick `k` distinct points uniformly at random.
+    Forgy,
+}
+
+impl InitMethod {
+    /// Chooses `k` initial centroids from `points`.
+    ///
+    /// Callers guarantee `1 <= k <= points.len()` and validated points.
+    pub(crate) fn choose<R: Rng>(
+        self,
+        points: &[Vec<f64>],
+        k: usize,
+        rng: &mut R,
+    ) -> Vec<Vec<f64>> {
+        match self {
+            InitMethod::Forgy => {
+                let mut idx: Vec<usize> = (0..points.len()).collect();
+                idx.shuffle(rng);
+                idx.truncate(k);
+                idx.into_iter().map(|i| points[i].clone()).collect()
+            }
+            InitMethod::KMeansPlusPlus => {
+                let mut centroids = Vec::with_capacity(k);
+                let first = rng.gen_range(0..points.len());
+                centroids.push(points[first].clone());
+                let mut d2: Vec<f64> = points
+                    .iter()
+                    .map(|p| squared_euclidean(p, &centroids[0]))
+                    .collect();
+                while centroids.len() < k {
+                    let total: f64 = d2.iter().sum();
+                    let next = if total <= 0.0 {
+                        // All remaining points coincide with a centroid;
+                        // fall back to an arbitrary point.
+                        rng.gen_range(0..points.len())
+                    } else {
+                        let mut target = rng.gen_range(0.0..total);
+                        let mut chosen = points.len() - 1;
+                        for (i, &d) in d2.iter().enumerate() {
+                            if target < d {
+                                chosen = i;
+                                break;
+                            }
+                            target -= d;
+                        }
+                        chosen
+                    };
+                    centroids.push(points[next].clone());
+                    let newest = centroids.last().expect("just pushed");
+                    for (d, p) in d2.iter_mut().zip(points) {
+                        let nd = squared_euclidean(p, newest);
+                        if nd < *d {
+                            *d = nd;
+                        }
+                    }
+                }
+                centroids
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn grid() -> Vec<Vec<f64>> {
+        (0..10).map(|i| vec![i as f64]).collect()
+    }
+
+    #[test]
+    fn forgy_picks_distinct_points() {
+        let pts = grid();
+        let mut rng = StdRng::seed_from_u64(1);
+        let c = InitMethod::Forgy.choose(&pts, 4, &mut rng);
+        assert_eq!(c.len(), 4);
+        for i in 0..c.len() {
+            for j in i + 1..c.len() {
+                assert_ne!(c[i], c[j]);
+            }
+        }
+    }
+
+    #[test]
+    fn plus_plus_picks_k_centroids() {
+        let pts = grid();
+        let mut rng = StdRng::seed_from_u64(2);
+        let c = InitMethod::KMeansPlusPlus.choose(&pts, 3, &mut rng);
+        assert_eq!(c.len(), 3);
+    }
+
+    #[test]
+    fn plus_plus_handles_duplicate_points() {
+        let pts = vec![vec![1.0]; 5];
+        let mut rng = StdRng::seed_from_u64(3);
+        let c = InitMethod::KMeansPlusPlus.choose(&pts, 3, &mut rng);
+        assert_eq!(c.len(), 3);
+        for cc in &c {
+            assert_eq!(cc, &vec![1.0]);
+        }
+    }
+
+    #[test]
+    fn deterministic_for_fixed_seed() {
+        let pts = grid();
+        let a = InitMethod::KMeansPlusPlus.choose(&pts, 3, &mut StdRng::seed_from_u64(9));
+        let b = InitMethod::KMeansPlusPlus.choose(&pts, 3, &mut StdRng::seed_from_u64(9));
+        assert_eq!(a, b);
+    }
+}

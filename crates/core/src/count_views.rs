@@ -1,0 +1,177 @@
+//! Dissimilarity analysis of counting parameters.
+//!
+//! The paper's model covers "counting parameters, such as, number of I/O
+//! operations, number of bytes read/written, number of memory accesses,
+//! number of cache misses" alongside the timings it focuses on. Counts
+//! share the `region × processor` structure, so the same standardization
+//! and indices of dispersion apply: an uneven distribution of bytes sent
+//! across processors is communication-volume imbalance even before it
+//! shows up as time.
+
+use serde::{Deserialize, Serialize};
+
+use limba_model::{CountKind, CountMatrix, RegionId};
+use limba_stats::dispersion::{DispersionIndex, DispersionKind};
+
+use crate::AnalysisError;
+
+/// Dispersion of one recorded `(region, count kind)` cell.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CountCell {
+    /// The region.
+    pub region: RegionId,
+    /// The counted quantity.
+    pub kind: CountKind,
+    /// Total count over all processors.
+    pub total: f64,
+    /// Index of dispersion of the per-processor counts.
+    pub id: f64,
+}
+
+/// Per-kind summary across regions.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CountSummary {
+    /// The counted quantity.
+    pub kind: CountKind,
+    /// Program-wide total of the quantity.
+    pub total: f64,
+    /// Weighted average of the per-region dispersions, weighted by each
+    /// region's share of the kind's total (the counting analogue of
+    /// `ID_A`).
+    pub id: f64,
+}
+
+/// The complete counting-parameter view.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CountView {
+    /// One entry per recorded cell with a positive total.
+    pub cells: Vec<CountCell>,
+    /// One summary per kind that was recorded.
+    pub summaries: Vec<CountSummary>,
+}
+
+impl CountView {
+    /// The most unevenly distributed cell, if any.
+    pub fn most_imbalanced_cell(&self) -> Option<&CountCell> {
+        self.cells.iter().max_by(|a, b| a.id.total_cmp(&b.id))
+    }
+
+    /// Summary of one kind, if recorded.
+    pub fn summary_of(&self, kind: CountKind) -> Option<&CountSummary> {
+        self.summaries.iter().find(|s| s.kind == kind)
+    }
+}
+
+/// Computes dispersion indices over all recorded counting cells.
+///
+/// Cells whose total is zero carry no distribution and are skipped.
+///
+/// # Errors
+///
+/// Propagates statistical errors (which indicate invalid counts).
+pub fn count_view(
+    counts: &CountMatrix,
+    dispersion: DispersionKind,
+) -> Result<CountView, AnalysisError> {
+    let mut cells = Vec::new();
+    for (region, kind, slice) in counts.cells() {
+        let total: f64 = slice.iter().sum();
+        if total <= 0.0 {
+            continue;
+        }
+        cells.push(CountCell {
+            region,
+            kind,
+            total,
+            id: dispersion.index(slice)?,
+        });
+    }
+    let mut summaries: Vec<CountSummary> = Vec::new();
+    for cell in &cells {
+        match summaries.iter_mut().find(|s| s.kind == cell.kind) {
+            Some(s) => {
+                s.total += cell.total;
+                s.id += cell.total * cell.id; // normalized below
+            }
+            None => summaries.push(CountSummary {
+                kind: cell.kind,
+                total: cell.total,
+                id: cell.total * cell.id,
+            }),
+        }
+    }
+    for s in &mut summaries {
+        s.id /= s.total;
+    }
+    Ok(CountView { cells, summaries })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use limba_model::CountMatrixBuilder;
+
+    fn sample() -> CountMatrix {
+        let mut b = CountMatrixBuilder::new(4);
+        let r0 = RegionId::new(0);
+        let r1 = RegionId::new(1);
+        // Balanced messages in region 0.
+        for p in 0..4 {
+            b.record(r0, CountKind::MessagesSent, p, 10.0).unwrap();
+        }
+        // All bytes from one processor in region 1.
+        b.record(r1, CountKind::BytesSent, 2, 4096.0).unwrap();
+        b.build()
+    }
+
+    #[test]
+    fn balanced_counts_have_zero_dispersion() {
+        let v = count_view(&sample(), DispersionKind::Euclidean).unwrap();
+        let msg = v
+            .cells
+            .iter()
+            .find(|c| c.kind == CountKind::MessagesSent)
+            .unwrap();
+        assert!(msg.id.abs() < 1e-12);
+        assert_eq!(msg.total, 40.0);
+    }
+
+    #[test]
+    fn concentrated_counts_are_flagged() {
+        let v = count_view(&sample(), DispersionKind::Euclidean).unwrap();
+        let worst = v.most_imbalanced_cell().unwrap();
+        assert_eq!(worst.kind, CountKind::BytesSent);
+        // One of four holds everything: sqrt(1 − 1/4).
+        assert!((worst.id - 0.75f64.sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn summaries_aggregate_per_kind() {
+        let mut b = CountMatrixBuilder::new(2);
+        // Two regions of the same kind with different spreads and weights.
+        b.record(RegionId::new(0), CountKind::IoOperations, 0, 3.0)
+            .unwrap();
+        b.record(RegionId::new(0), CountKind::IoOperations, 1, 3.0)
+            .unwrap(); // balanced, total 6
+        b.record(RegionId::new(1), CountKind::IoOperations, 0, 2.0)
+            .unwrap(); // concentrated, total 2
+        let v = count_view(&b.build(), DispersionKind::Euclidean).unwrap();
+        let s = v.summary_of(CountKind::IoOperations).unwrap();
+        assert_eq!(s.total, 8.0);
+        // Weighted: (6·0 + 2·sqrt(1/2)) / 8.
+        assert!((s.id - 2.0 * 0.5f64.sqrt() / 8.0).abs() < 1e-12);
+        assert!(v.summary_of(CountKind::CacheMisses).is_none());
+    }
+
+    #[test]
+    fn empty_matrix_yields_empty_view() {
+        let v = count_view(
+            &CountMatrixBuilder::new(2).build(),
+            DispersionKind::Euclidean,
+        )
+        .unwrap();
+        assert!(v.cells.is_empty());
+        assert!(v.summaries.is_empty());
+        assert!(v.most_imbalanced_cell().is_none());
+    }
+}

@@ -1,0 +1,119 @@
+//! Strongly typed identifiers for regions and processors.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// Identifier of a code region (loop, routine, statement block).
+///
+/// Region ids are dense indices handed out by
+/// [`MeasurementsBuilder::add_region`](crate::MeasurementsBuilder::add_region)
+/// in registration order, so they can be used to index per-region arrays.
+///
+/// # Example
+///
+/// ```
+/// use limba_model::RegionId;
+/// let r = RegionId::new(3);
+/// assert_eq!(r.index(), 3);
+/// assert_eq!(r.to_string(), "region#3");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct RegionId(usize);
+
+impl RegionId {
+    /// Creates a region id from a dense index.
+    pub fn new(index: usize) -> Self {
+        RegionId(index)
+    }
+
+    /// Returns the dense index of this region.
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+impl fmt::Display for RegionId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "region#{}", self.0)
+    }
+}
+
+impl From<usize> for RegionId {
+    fn from(index: usize) -> Self {
+        RegionId(index)
+    }
+}
+
+/// Identifier of an allocated processor (an MPI rank in the paper's setting).
+///
+/// # Example
+///
+/// ```
+/// use limba_model::ProcessorId;
+/// let p = ProcessorId::new(0);
+/// assert_eq!(p.to_string(), "proc#0");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct ProcessorId(usize);
+
+impl ProcessorId {
+    /// Creates a processor id from a dense index.
+    pub fn new(index: usize) -> Self {
+        ProcessorId(index)
+    }
+
+    /// Returns the dense index of this processor.
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+impl fmt::Display for ProcessorId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "proc#{}", self.0)
+    }
+}
+
+impl From<usize> for ProcessorId {
+    fn from(index: usize) -> Self {
+        ProcessorId(index)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn region_id_round_trips_index() {
+        for i in [0usize, 1, 7, 1024] {
+            assert_eq!(RegionId::new(i).index(), i);
+            assert_eq!(RegionId::from(i), RegionId::new(i));
+        }
+    }
+
+    #[test]
+    fn processor_id_round_trips_index() {
+        for i in [0usize, 15, 255] {
+            assert_eq!(ProcessorId::new(i).index(), i);
+            assert_eq!(ProcessorId::from(i), ProcessorId::new(i));
+        }
+    }
+
+    #[test]
+    fn ids_are_ordered_by_index() {
+        assert!(RegionId::new(1) < RegionId::new(2));
+        assert!(ProcessorId::new(0) < ProcessorId::new(9));
+    }
+
+    #[test]
+    fn display_is_nonempty_and_distinct() {
+        assert_eq!(RegionId::new(5).to_string(), "region#5");
+        assert_eq!(ProcessorId::new(5).to_string(), "proc#5");
+        assert_ne!(
+            RegionId::new(5).to_string(),
+            ProcessorId::new(5).to_string()
+        );
+    }
+}

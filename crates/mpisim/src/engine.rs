@@ -1,0 +1,961 @@
+//! The discrete-event execution engine.
+
+use std::collections::{HashMap, VecDeque};
+
+use limba_model::ActivityKind;
+use limba_trace::{Event, ReducedTrace, Trace, TraceBuilder};
+
+use crate::collectives::collective_cost;
+use crate::{CollectiveKind, MachineConfig, Op, Program, SimError};
+
+/// Summary statistics of one simulated run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SimStats {
+    /// Per-rank completion time in seconds.
+    pub rank_end_times: Vec<f64>,
+    /// Latest completion time over all ranks (the run's makespan).
+    pub makespan: f64,
+    /// Total point-to-point messages delivered.
+    pub messages: u64,
+    /// Total point-to-point payload bytes delivered.
+    pub bytes: u64,
+    /// Number of collective operations completed.
+    pub collectives: u64,
+}
+
+/// Output of a simulation: the recorded trace plus summary statistics.
+#[derive(Debug, Clone)]
+pub struct SimOutput {
+    /// The event trace of the run.
+    pub trace: Trace,
+    /// Summary statistics.
+    pub stats: SimStats,
+}
+
+impl SimOutput {
+    /// Reduces the trace to measurement matrices (see
+    /// [`limba_trace::reduce`]).
+    ///
+    /// # Errors
+    ///
+    /// Propagates trace validation/reduction errors; a trace produced by
+    /// the simulator is always well-formed, so failures indicate a bug.
+    pub fn reduce(&self) -> Result<ReducedTrace, SimError> {
+        Ok(limba_trace::reduce(&self.trace)?)
+    }
+}
+
+/// In-flight message on one `(src, dst)` channel.
+#[derive(Debug, Clone, Copy)]
+enum MsgInFlight {
+    /// Sender already finished its side; payload arrives at `arrival`.
+    Eager { arrival: f64, bytes: u64 },
+    /// Sender is blocked waiting for the receiver (rendezvous protocol);
+    /// it became ready at `sender_ready`.
+    Rendezvous { sender_ready: f64, bytes: u64 },
+}
+
+/// Outstanding nonblocking request of one rank.
+#[derive(Debug, Clone, Copy)]
+enum Outstanding {
+    /// Nonblocking send: the local buffer is free at this time.
+    SendDone(f64),
+    /// Nonblocking receive posted at this time, waiting for `src`.
+    RecvPending { src: usize, posted: f64 },
+}
+
+#[derive(Debug, Clone, Default)]
+struct RankState {
+    pc: usize,
+    time: f64,
+    /// Set when a Recv was reached but could not complete (posted time).
+    recv_posted: Option<f64>,
+    /// Set when a Wait on a pending receive was reached but could not
+    /// complete (the time the wait started).
+    wait_started: Option<f64>,
+    /// True when the current Send op is already queued as a rendezvous.
+    send_registered: bool,
+    /// Set when waiting inside a collective (arrival time).
+    collective_arrived: Option<f64>,
+    /// Number of collective calls completed so far.
+    collective_counter: usize,
+    /// Outstanding nonblocking requests by handle.
+    handles: HashMap<u32, Outstanding>,
+}
+
+#[derive(Debug)]
+struct CollectiveInstance {
+    kind: CollectiveKind,
+    max_bytes: u64,
+    arrivals: Vec<Option<f64>>,
+    arrived: usize,
+}
+
+/// The simulator: runs a [`Program`] on a [`MachineConfig`].
+#[derive(Debug, Clone)]
+pub struct Simulator {
+    config: MachineConfig,
+}
+
+impl Simulator {
+    /// Creates a simulator for the given machine.
+    pub fn new(config: MachineConfig) -> Self {
+        Simulator { config }
+    }
+
+    /// The machine being simulated.
+    pub fn config(&self) -> &MachineConfig {
+        &self.config
+    }
+
+    /// Runs `program` to completion, producing the trace and statistics.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when the configuration is invalid, the program
+    /// references more ranks than the machine has, or the ranks deadlock
+    /// (e.g. a receive whose matching send never happens).
+    pub fn run(&self, program: &Program) -> Result<SimOutput, SimError> {
+        self.config.validate()?;
+        let p = self.config.processors();
+        if program.ranks() > p {
+            return Err(SimError::RankOutOfRange {
+                rank: program.ranks() - 1,
+                ranks: p,
+            });
+        }
+        let n = program.ranks();
+
+        let mut builder = TraceBuilder::new(n);
+        for name in program.region_names() {
+            builder.add_region(name.clone());
+        }
+
+        let mut states = vec![RankState::default(); n];
+        let mut channels: HashMap<(usize, usize), VecDeque<MsgInFlight>> = HashMap::new();
+        let mut collectives: Vec<CollectiveInstance> = Vec::new();
+        let mut stats = SimStats {
+            rank_end_times: vec![0.0; n],
+            makespan: 0.0,
+            messages: 0,
+            bytes: 0,
+            collectives: 0,
+        };
+
+        loop {
+            let mut progress = false;
+            for rank in 0..n {
+                while self.step(
+                    rank,
+                    program,
+                    &mut states,
+                    &mut channels,
+                    &mut collectives,
+                    &mut builder,
+                    &mut stats,
+                )? {
+                    progress = true;
+                }
+            }
+            if states
+                .iter()
+                .enumerate()
+                .all(|(r, s)| s.pc >= program.ops(r).len())
+            {
+                break;
+            }
+            if !progress {
+                let detail = states
+                    .iter()
+                    .enumerate()
+                    .filter(|(r, s)| s.pc < program.ops(*r).len())
+                    .map(|(r, s)| {
+                        format!(
+                            "rank {r} stuck at op {:?} (pc {})",
+                            program.ops(r)[s.pc],
+                            s.pc
+                        )
+                    })
+                    .collect::<Vec<_>>()
+                    .join("; ");
+                return Err(SimError::Deadlock { detail });
+            }
+        }
+
+        for (rank, s) in states.iter().enumerate() {
+            stats.rank_end_times[rank] = s.time;
+            stats.makespan = stats.makespan.max(s.time);
+        }
+        Ok(SimOutput {
+            trace: builder.build(),
+            stats,
+        })
+    }
+
+    /// Executes at most one op of `rank`. Returns `true` when progress was
+    /// made (the op completed), `false` when the rank is blocked or done.
+    #[allow(clippy::too_many_arguments)]
+    fn step(
+        &self,
+        rank: usize,
+        program: &Program,
+        states: &mut [RankState],
+        channels: &mut HashMap<(usize, usize), VecDeque<MsgInFlight>>,
+        collectives: &mut Vec<CollectiveInstance>,
+        builder: &mut TraceBuilder,
+        stats: &mut SimStats,
+    ) -> Result<bool, SimError> {
+        let ops = program.ops(rank);
+        if states[rank].pc >= ops.len() {
+            return Ok(false);
+        }
+        let op = ops[states[rank].pc];
+        let o = self.config.overhead();
+        match op {
+            Op::Compute { seconds } => {
+                states[rank].time += seconds / self.config.cpu_speed(rank);
+                states[rank].pc += 1;
+                Ok(true)
+            }
+            Op::Enter { region } => {
+                builder.push(Event::enter(states[rank].time, rank as u32, region));
+                states[rank].pc += 1;
+                Ok(true)
+            }
+            Op::Leave { region } => {
+                builder.push(Event::leave(states[rank].time, rank as u32, region));
+                states[rank].pc += 1;
+                Ok(true)
+            }
+            Op::Send { dst, bytes } => {
+                if bytes <= self.config.eager_threshold() {
+                    let begin = states[rank].time;
+                    let end = begin + o + self.config.link_transfer_time(rank, dst, bytes);
+                    builder.push(Event::begin_activity(
+                        begin,
+                        rank as u32,
+                        ActivityKind::PointToPoint,
+                    ));
+                    builder.push(Event::message_send(begin, rank as u32, dst as u32, bytes));
+                    builder.push(Event::end_activity(
+                        end,
+                        rank as u32,
+                        ActivityKind::PointToPoint,
+                    ));
+                    channels
+                        .entry((rank, dst))
+                        .or_default()
+                        .push_back(MsgInFlight::Eager {
+                            arrival: end + self.config.link_latency(rank, dst),
+                            bytes,
+                        });
+                    states[rank].time = end;
+                    states[rank].pc += 1;
+                    stats.messages += 1;
+                    stats.bytes += bytes;
+                    Ok(true)
+                } else {
+                    if !states[rank].send_registered {
+                        channels.entry((rank, dst)).or_default().push_back(
+                            MsgInFlight::Rendezvous {
+                                sender_ready: states[rank].time,
+                                bytes,
+                            },
+                        );
+                        states[rank].send_registered = true;
+                    }
+                    // Blocked until the receiver performs the match.
+                    Ok(false)
+                }
+            }
+            Op::Recv { src } => {
+                let posted = *states[rank].recv_posted.get_or_insert(states[rank].time);
+                let Some(queue) = channels.get_mut(&(src, rank)) else {
+                    return Ok(false);
+                };
+                let Some(&head) = queue.front() else {
+                    return Ok(false);
+                };
+                match head {
+                    MsgInFlight::Eager { arrival, bytes } => {
+                        queue.pop_front();
+                        let end = (posted + o).max(arrival);
+                        builder.push(Event::begin_activity(
+                            posted,
+                            rank as u32,
+                            ActivityKind::PointToPoint,
+                        ));
+                        builder.push(Event::message_recv(end, rank as u32, src as u32, bytes));
+                        builder.push(Event::end_activity(
+                            end,
+                            rank as u32,
+                            ActivityKind::PointToPoint,
+                        ));
+                        states[rank].time = end;
+                        states[rank].recv_posted = None;
+                        states[rank].pc += 1;
+                        Ok(true)
+                    }
+                    MsgInFlight::Rendezvous {
+                        sender_ready,
+                        bytes,
+                    } => {
+                        queue.pop_front();
+                        let sync = posted.max(sender_ready);
+                        let sender_done =
+                            sync + o + self.config.link_transfer_time(src, rank, bytes);
+                        let recv_done = sender_done + self.config.link_latency(src, rank);
+                        // Complete the blocked sender's side.
+                        builder.push(Event::begin_activity(
+                            sender_ready,
+                            src as u32,
+                            ActivityKind::PointToPoint,
+                        ));
+                        builder.push(Event::message_send(
+                            sender_ready,
+                            src as u32,
+                            rank as u32,
+                            bytes,
+                        ));
+                        builder.push(Event::end_activity(
+                            sender_done,
+                            src as u32,
+                            ActivityKind::PointToPoint,
+                        ));
+                        states[src].time = sender_done;
+                        states[src].send_registered = false;
+                        states[src].pc += 1;
+                        // Complete the receive.
+                        builder.push(Event::begin_activity(
+                            posted,
+                            rank as u32,
+                            ActivityKind::PointToPoint,
+                        ));
+                        builder.push(Event::message_recv(
+                            recv_done,
+                            rank as u32,
+                            src as u32,
+                            bytes,
+                        ));
+                        builder.push(Event::end_activity(
+                            recv_done,
+                            rank as u32,
+                            ActivityKind::PointToPoint,
+                        ));
+                        states[rank].time = recv_done;
+                        states[rank].recv_posted = None;
+                        states[rank].pc += 1;
+                        stats.messages += 1;
+                        stats.bytes += bytes;
+                        Ok(true)
+                    }
+                }
+            }
+            Op::Isend { dst, bytes, handle } => {
+                // Buffered nonblocking send: the NIC takes over; the
+                // local buffer frees after the injection completes.
+                let begin = states[rank].time;
+                let issue = begin + o;
+                let buffer_free = issue + self.config.link_transfer_time(rank, dst, bytes);
+                builder.push(Event::begin_activity(
+                    begin,
+                    rank as u32,
+                    ActivityKind::PointToPoint,
+                ));
+                builder.push(Event::message_send(begin, rank as u32, dst as u32, bytes));
+                builder.push(Event::end_activity(
+                    issue,
+                    rank as u32,
+                    ActivityKind::PointToPoint,
+                ));
+                channels
+                    .entry((rank, dst))
+                    .or_default()
+                    .push_back(MsgInFlight::Eager {
+                        arrival: buffer_free + self.config.link_latency(rank, dst),
+                        bytes,
+                    });
+                states[rank]
+                    .handles
+                    .insert(handle, Outstanding::SendDone(buffer_free));
+                states[rank].time = issue;
+                states[rank].pc += 1;
+                stats.messages += 1;
+                stats.bytes += bytes;
+                Ok(true)
+            }
+            Op::Irecv { src, handle } => {
+                let begin = states[rank].time;
+                let posted = begin + o;
+                builder.push(Event::begin_activity(
+                    begin,
+                    rank as u32,
+                    ActivityKind::PointToPoint,
+                ));
+                builder.push(Event::end_activity(
+                    posted,
+                    rank as u32,
+                    ActivityKind::PointToPoint,
+                ));
+                states[rank]
+                    .handles
+                    .insert(handle, Outstanding::RecvPending { src, posted });
+                states[rank].time = posted;
+                states[rank].pc += 1;
+                Ok(true)
+            }
+            Op::Wait { handle } => {
+                let outstanding = *states[rank]
+                    .handles
+                    .get(&handle)
+                    .expect("validated: handle outstanding");
+                match outstanding {
+                    Outstanding::SendDone(free) => {
+                        let begin = states[rank].time;
+                        let end = begin.max(free);
+                        if end > begin {
+                            builder.push(Event::begin_activity(
+                                begin,
+                                rank as u32,
+                                ActivityKind::PointToPoint,
+                            ));
+                            builder.push(Event::end_activity(
+                                end,
+                                rank as u32,
+                                ActivityKind::PointToPoint,
+                            ));
+                        }
+                        states[rank].handles.remove(&handle);
+                        states[rank].time = end;
+                        states[rank].pc += 1;
+                        Ok(true)
+                    }
+                    Outstanding::RecvPending { src, posted } => {
+                        let begin = *states[rank].wait_started.get_or_insert(states[rank].time);
+                        let Some(queue) = channels.get_mut(&(src, rank)) else {
+                            return Ok(false);
+                        };
+                        let Some(&head) = queue.front() else {
+                            return Ok(false);
+                        };
+                        match head {
+                            MsgInFlight::Eager { arrival, bytes } => {
+                                queue.pop_front();
+                                let end = begin.max(arrival);
+                                builder.push(Event::begin_activity(
+                                    begin,
+                                    rank as u32,
+                                    ActivityKind::PointToPoint,
+                                ));
+                                builder.push(Event::message_recv(
+                                    end,
+                                    rank as u32,
+                                    src as u32,
+                                    bytes,
+                                ));
+                                builder.push(Event::end_activity(
+                                    end,
+                                    rank as u32,
+                                    ActivityKind::PointToPoint,
+                                ));
+                                states[rank].handles.remove(&handle);
+                                states[rank].wait_started = None;
+                                states[rank].time = end;
+                                states[rank].pc += 1;
+                                Ok(true)
+                            }
+                            MsgInFlight::Rendezvous {
+                                sender_ready,
+                                bytes,
+                            } => {
+                                queue.pop_front();
+                                // The receive was posted at irecv time, so
+                                // the rendezvous can start as soon as both
+                                // sides are ready.
+                                let sync = posted.max(sender_ready);
+                                let sender_done =
+                                    sync + o + self.config.link_transfer_time(src, rank, bytes);
+                                let recv_done = sender_done + self.config.link_latency(src, rank);
+                                builder.push(Event::begin_activity(
+                                    sender_ready,
+                                    src as u32,
+                                    ActivityKind::PointToPoint,
+                                ));
+                                builder.push(Event::message_send(
+                                    sender_ready,
+                                    src as u32,
+                                    rank as u32,
+                                    bytes,
+                                ));
+                                builder.push(Event::end_activity(
+                                    sender_done,
+                                    src as u32,
+                                    ActivityKind::PointToPoint,
+                                ));
+                                states[src].time = sender_done;
+                                states[src].send_registered = false;
+                                states[src].pc += 1;
+                                let end = begin.max(recv_done);
+                                builder.push(Event::begin_activity(
+                                    begin,
+                                    rank as u32,
+                                    ActivityKind::PointToPoint,
+                                ));
+                                builder.push(Event::message_recv(
+                                    end,
+                                    rank as u32,
+                                    src as u32,
+                                    bytes,
+                                ));
+                                builder.push(Event::end_activity(
+                                    end,
+                                    rank as u32,
+                                    ActivityKind::PointToPoint,
+                                ));
+                                states[rank].handles.remove(&handle);
+                                states[rank].wait_started = None;
+                                states[rank].time = end;
+                                states[rank].pc += 1;
+                                stats.messages += 1;
+                                stats.bytes += bytes;
+                                Ok(true)
+                            }
+                        }
+                    }
+                }
+            }
+            Op::Collective { kind, bytes } => {
+                let instance = states[rank].collective_counter;
+                if collectives.len() <= instance {
+                    collectives.push(CollectiveInstance {
+                        kind,
+                        max_bytes: 0,
+                        arrivals: vec![None; program.ranks()],
+                        arrived: 0,
+                    });
+                }
+                let inst = &mut collectives[instance];
+                if inst.kind != kind {
+                    return Err(SimError::CollectiveMismatch {
+                        instance,
+                        detail: format!("rank {rank} calls {kind} but instance is {}", inst.kind),
+                    });
+                }
+                if states[rank].collective_arrived.is_none() {
+                    states[rank].collective_arrived = Some(states[rank].time);
+                    inst.arrivals[rank] = Some(states[rank].time);
+                    inst.arrived += 1;
+                    inst.max_bytes = inst.max_bytes.max(bytes);
+                }
+                if inst.arrived < program.ranks() {
+                    return Ok(false);
+                }
+                // Everyone has arrived: release all participants.
+                let ready = inst
+                    .arrivals
+                    .iter()
+                    .map(|a| a.expect("all arrived"))
+                    .fold(f64::NEG_INFINITY, f64::max);
+                let cost = collective_cost(kind, program.ranks(), inst.max_bytes, &self.config);
+                let completion = ready + cost;
+                let activity = if kind == CollectiveKind::Barrier {
+                    ActivityKind::Synchronization
+                } else {
+                    ActivityKind::Collective
+                };
+                for (r, state) in states.iter_mut().enumerate() {
+                    let arrival = collectives[instance].arrivals[r].expect("all arrived");
+                    builder.push(Event::begin_activity(arrival, r as u32, activity));
+                    builder.push(Event::end_activity(completion, r as u32, activity));
+                    state.time = completion;
+                    state.collective_arrived = None;
+                    state.collective_counter += 1;
+                    state.pc += 1;
+                }
+                stats.collectives += 1;
+                Ok(true)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ProgramBuilder;
+    use limba_model::ProcessorId;
+
+    fn machine(n: usize) -> MachineConfig {
+        MachineConfig::new(n)
+            .with_overhead(1e-6)
+            .with_latency(10e-6)
+            .with_bandwidth(1e8)
+            .with_eager_threshold(8192)
+    }
+
+    #[test]
+    fn compute_only_program_times_add_up() {
+        let mut pb = ProgramBuilder::new(2);
+        let r = pb.add_region("r");
+        pb.rank(0).enter(r).compute(1.0).compute(0.5).leave(r);
+        pb.rank(1).enter(r).compute(2.0).leave(r);
+        let out = Simulator::new(machine(2))
+            .run(&pb.build().unwrap())
+            .unwrap();
+        assert!((out.stats.rank_end_times[0] - 1.5).abs() < 1e-12);
+        assert!((out.stats.rank_end_times[1] - 2.0).abs() < 1e-12);
+        assert!((out.stats.makespan - 2.0).abs() < 1e-12);
+        let m = out.reduce().unwrap().measurements;
+        assert!((m.time(r, ActivityKind::Computation, ProcessorId::new(0)) - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn slow_node_takes_proportionally_longer() {
+        let mut pb = ProgramBuilder::new(2);
+        let r = pb.add_region("r");
+        pb.spmd(|_, mut ops| {
+            ops.enter(r).compute(1.0).leave(r);
+        });
+        let cfg = machine(2).with_cpu_speed(1, 0.5);
+        let out = Simulator::new(cfg).run(&pb.build().unwrap()).unwrap();
+        assert!((out.stats.rank_end_times[0] - 1.0).abs() < 1e-12);
+        assert!((out.stats.rank_end_times[1] - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn eager_send_recv_timing() {
+        let cfg = machine(2);
+        let mut pb = ProgramBuilder::new(2);
+        let r = pb.add_region("r");
+        pb.rank(0).enter(r).send(1, 1000).leave(r);
+        pb.rank(1).enter(r).recv(0).leave(r);
+        let out = Simulator::new(cfg.clone())
+            .run(&pb.build().unwrap())
+            .unwrap();
+        // Sender: o + 1000/B = 1e-6 + 1e-5 = 1.1e-5.
+        assert!((out.stats.rank_end_times[0] - 1.1e-5).abs() < 1e-12);
+        // Receiver posted at 0; arrival = 1.1e-5 + 1e-5 latency = 2.1e-5.
+        assert!((out.stats.rank_end_times[1] - 2.1e-5).abs() < 1e-12);
+        assert_eq!(out.stats.messages, 1);
+        assert_eq!(out.stats.bytes, 1000);
+    }
+
+    #[test]
+    fn late_receiver_pays_only_overhead() {
+        let cfg = machine(2);
+        let mut pb = ProgramBuilder::new(2);
+        let r = pb.add_region("r");
+        pb.rank(0).enter(r).send(1, 1000).leave(r);
+        pb.rank(1).enter(r).compute(1.0).recv(0).leave(r);
+        let out = Simulator::new(cfg).run(&pb.build().unwrap()).unwrap();
+        // Message long arrived; receive costs just the overhead.
+        assert!((out.stats.rank_end_times[1] - (1.0 + 1e-6)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn rendezvous_blocks_sender_until_receiver_posts() {
+        let cfg = machine(2); // eager threshold 8192
+        let mut pb = ProgramBuilder::new(2);
+        let r = pb.add_region("r");
+        pb.rank(0).enter(r).send(1, 1_000_000).leave(r);
+        pb.rank(1).enter(r).compute(2.0).recv(0).leave(r);
+        let out = Simulator::new(cfg).run(&pb.build().unwrap()).unwrap();
+        // Sync at 2.0; sender done at 2.0 + o + 0.01; receiver + latency.
+        let sender_done = 2.0 + 1e-6 + 0.01;
+        assert!((out.stats.rank_end_times[0] - sender_done).abs() < 1e-9);
+        assert!((out.stats.rank_end_times[1] - (sender_done + 1e-5)).abs() < 1e-9);
+        // Sender's point-to-point time includes the 2 s wait.
+        let m = out.reduce().unwrap().measurements;
+        let t = m.time(r, ActivityKind::PointToPoint, ProcessorId::new(0));
+        assert!(t > 2.0, "sender p2p time {t} should include the wait");
+    }
+
+    #[test]
+    fn message_order_is_fifo_per_channel() {
+        let cfg = machine(2);
+        let mut pb = ProgramBuilder::new(2);
+        let r = pb.add_region("r");
+        pb.rank(0).enter(r).send(1, 100).send(1, 200).leave(r);
+        pb.rank(1).enter(r).recv(0).recv(0).leave(r);
+        let out = Simulator::new(cfg).run(&pb.build().unwrap()).unwrap();
+        let reduced = out.reduce().unwrap();
+        // Both messages received: counts show 2 messages, 300 bytes.
+        use limba_model::CountKind;
+        assert_eq!(
+            reduced
+                .counts
+                .count(r, CountKind::MessagesReceived, ProcessorId::new(1)),
+            2.0
+        );
+        assert_eq!(
+            reduced
+                .counts
+                .count(r, CountKind::BytesReceived, ProcessorId::new(1)),
+            300.0
+        );
+    }
+
+    #[test]
+    fn barrier_makes_everyone_wait_for_the_slowest() {
+        let cfg = machine(4);
+        let mut pb = ProgramBuilder::new(4);
+        let r = pb.add_region("r");
+        pb.spmd(|rank, mut ops| {
+            ops.enter(r).compute(1.0 + rank as f64).barrier().leave(r);
+        });
+        let out = Simulator::new(cfg.clone())
+            .run(&pb.build().unwrap())
+            .unwrap();
+        let cost = collective_cost(CollectiveKind::Barrier, 4, 0, &cfg);
+        for t in &out.stats.rank_end_times {
+            assert!((t - (4.0 + cost)).abs() < 1e-9);
+        }
+        // Rank 0 waited ~3 s in the barrier; rank 3 almost nothing.
+        let m = out.reduce().unwrap().measurements;
+        let w0 = m.time(r, ActivityKind::Synchronization, ProcessorId::new(0));
+        let w3 = m.time(r, ActivityKind::Synchronization, ProcessorId::new(3));
+        assert!(w0 > 2.9 && w0 < 3.1, "w0 = {w0}");
+        assert!(w3 < 0.1, "w3 = {w3}");
+        assert_eq!(out.stats.collectives, 1);
+    }
+
+    #[test]
+    fn reduce_attributes_collective_time() {
+        let cfg = machine(4);
+        let mut pb = ProgramBuilder::new(4);
+        let r = pb.add_region("r");
+        pb.spmd(|_, mut ops| {
+            ops.enter(r).reduce(4096).leave(r);
+        });
+        let out = Simulator::new(cfg.clone())
+            .run(&pb.build().unwrap())
+            .unwrap();
+        let m = out.reduce().unwrap().measurements;
+        let cost = collective_cost(CollectiveKind::Reduce, 4, 4096, &cfg);
+        for p in 0..4 {
+            let t = m.time(r, ActivityKind::Collective, ProcessorId::new(p));
+            assert!((t - cost).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn deadlock_is_detected() {
+        let cfg = machine(2);
+        let mut pb = ProgramBuilder::new(2);
+        let r = pb.add_region("r");
+        pb.rank(0).enter(r).recv(1).leave(r);
+        pb.rank(1).enter(r).recv(0).leave(r);
+        let err = Simulator::new(cfg).run(&pb.build().unwrap()).unwrap_err();
+        assert!(matches!(err, SimError::Deadlock { .. }));
+        assert!(err.to_string().contains("rank 0"));
+    }
+
+    #[test]
+    fn rendezvous_deadlock_detected_for_two_big_sends() {
+        let cfg = machine(2);
+        let mut pb = ProgramBuilder::new(2);
+        let r = pb.add_region("r");
+        pb.rank(0).enter(r).send(1, 1 << 20).recv(1).leave(r);
+        pb.rank(1).enter(r).send(0, 1 << 20).recv(0).leave(r);
+        let err = Simulator::new(cfg).run(&pb.build().unwrap()).unwrap_err();
+        assert!(matches!(err, SimError::Deadlock { .. }));
+    }
+
+    #[test]
+    fn eager_cross_sends_do_not_deadlock() {
+        let cfg = machine(2);
+        let mut pb = ProgramBuilder::new(2);
+        let r = pb.add_region("r");
+        pb.rank(0).enter(r).send(1, 100).recv(1).leave(r);
+        pb.rank(1).enter(r).send(0, 100).recv(0).leave(r);
+        Simulator::new(cfg).run(&pb.build().unwrap()).unwrap();
+    }
+
+    #[test]
+    fn program_larger_than_machine_rejected() {
+        let pb = ProgramBuilder::new(8);
+        let program = pb.build().unwrap();
+        assert!(matches!(
+            Simulator::new(machine(4)).run(&program),
+            Err(SimError::RankOutOfRange { .. })
+        ));
+    }
+
+    #[test]
+    fn isend_overlaps_computation() {
+        let cfg = machine(2);
+        // Blocking version: send (big, rendezvous) then compute.
+        let mut pb = ProgramBuilder::new(2);
+        let r = pb.add_region("r");
+        pb.rank(0).enter(r).send(1, 1 << 20).compute(1.0).leave(r);
+        pb.rank(1).enter(r).compute(1.0).recv(0).leave(r);
+        let blocking = Simulator::new(cfg.clone())
+            .run(&pb.build().unwrap())
+            .unwrap();
+
+        // Nonblocking version overlaps the transfer with the compute.
+        let mut pb = ProgramBuilder::new(2);
+        let r = pb.add_region("r");
+        pb.rank(0)
+            .enter(r)
+            .isend(1, 1 << 20, 7)
+            .compute(1.0)
+            .wait(7)
+            .leave(r);
+        pb.rank(1).enter(r).compute(1.0).recv(0).leave(r);
+        let nonblocking = Simulator::new(cfg).run(&pb.build().unwrap()).unwrap();
+
+        assert!(
+            nonblocking.stats.makespan < blocking.stats.makespan,
+            "nonblocking {} not faster than blocking {}",
+            nonblocking.stats.makespan,
+            blocking.stats.makespan
+        );
+    }
+
+    #[test]
+    fn irecv_wait_matches_early_and_late_messages() {
+        let cfg = machine(2);
+        // Message arrives before the wait: wait is (nearly) free.
+        let mut pb = ProgramBuilder::new(2);
+        let r = pb.add_region("r");
+        pb.rank(0).enter(r).send(1, 100).leave(r);
+        pb.rank(1)
+            .enter(r)
+            .irecv(0, 1)
+            .compute(1.0)
+            .wait(1)
+            .leave(r);
+        let out = Simulator::new(cfg.clone())
+            .run(&pb.build().unwrap())
+            .unwrap();
+        assert!((out.stats.rank_end_times[1] - (1.0 + 1e-6)).abs() < 1e-7);
+
+        // Message arrives after the wait: the wait blocks until arrival.
+        let mut pb = ProgramBuilder::new(2);
+        let r = pb.add_region("r");
+        pb.rank(0).enter(r).compute(2.0).send(1, 100).leave(r);
+        pb.rank(1).enter(r).irecv(0, 1).wait(1).leave(r);
+        let out = Simulator::new(cfg).run(&pb.build().unwrap()).unwrap();
+        assert!(out.stats.rank_end_times[1] > 2.0);
+        out.trace.validate().unwrap();
+    }
+
+    #[test]
+    fn irecv_wait_matches_rendezvous_sender() {
+        let cfg = machine(2);
+        let mut pb = ProgramBuilder::new(2);
+        let r = pb.add_region("r");
+        pb.rank(0).enter(r).send(1, 1 << 20).leave(r); // rendezvous size
+        pb.rank(1)
+            .enter(r)
+            .irecv(0, 3)
+            .compute(0.5)
+            .wait(3)
+            .leave(r);
+        let out = Simulator::new(cfg).run(&pb.build().unwrap()).unwrap();
+        out.trace.validate().unwrap();
+        // The rendezvous could start at the irecv post (~0), so the
+        // sender finishes around o + transfer ≈ 0.01 s, well before the
+        // receiver's wait at 0.5.
+        assert!(out.stats.rank_end_times[0] < 0.1);
+        assert_eq!(out.stats.messages, 1);
+    }
+
+    #[test]
+    fn handle_misuse_is_rejected_at_build_time() {
+        let mut pb = ProgramBuilder::new(2);
+        pb.rank(0).isend(1, 10, 1).isend(1, 10, 1).wait(1).wait(1);
+        assert!(matches!(pb.build(), Err(SimError::BadHandle { .. })));
+
+        let mut pb = ProgramBuilder::new(2);
+        pb.rank(0).wait(9);
+        assert!(matches!(pb.build(), Err(SimError::BadHandle { .. })));
+
+        let mut pb = ProgramBuilder::new(2);
+        pb.rank(0).irecv(1, 2);
+        assert!(matches!(pb.build(), Err(SimError::BadHandle { .. })));
+    }
+
+    #[test]
+    fn gather_scatter_allgather_run_and_attribute_collective_time() {
+        let cfg = machine(4);
+        let mut pb = ProgramBuilder::new(4);
+        let r = pb.add_region("r");
+        pb.spmd(|_, mut ops| {
+            ops.enter(r)
+                .gather(1024)
+                .scatter(1024)
+                .allgather(512)
+                .leave(r);
+        });
+        let out = Simulator::new(cfg.clone())
+            .run(&pb.build().unwrap())
+            .unwrap();
+        let m = out.reduce().unwrap().measurements;
+        let expected = collective_cost(CollectiveKind::Gather, 4, 1024, &cfg)
+            + collective_cost(CollectiveKind::Scatter, 4, 1024, &cfg)
+            + collective_cost(CollectiveKind::Allgather, 4, 512, &cfg);
+        for p in 0..4 {
+            let t = m.time(r, ActivityKind::Collective, ProcessorId::new(p));
+            assert!((t - expected).abs() < 1e-12);
+        }
+        assert_eq!(out.stats.collectives, 3);
+    }
+
+    #[test]
+    fn slow_link_delays_only_its_traffic() {
+        // Rank 0 sends the same payload to ranks 1 and 2, but the 0→2
+        // link is ten times slower.
+        let cfg = machine(3).with_link(0, 2, 10e-5, 1e7);
+        let mut pb = ProgramBuilder::new(3);
+        let r = pb.add_region("r");
+        pb.rank(0).enter(r).send(1, 4000).send(2, 4000).leave(r);
+        pb.rank(1).enter(r).recv(0).leave(r);
+        pb.rank(2).enter(r).recv(0).leave(r);
+        let out = Simulator::new(cfg).run(&pb.build().unwrap()).unwrap();
+        let m = out.reduce().unwrap().measurements;
+        let t1 = m.time(r, ActivityKind::PointToPoint, ProcessorId::new(1));
+        let t2 = m.time(r, ActivityKind::PointToPoint, ProcessorId::new(2));
+        assert!(t2 > 3.0 * t1, "slow-link receiver {t2} vs fast {t1}");
+    }
+
+    #[test]
+    fn link_overrides_are_validated() {
+        let cfg = machine(2).with_link(0, 1, -1.0, 1e6);
+        let mut pb = ProgramBuilder::new(2);
+        pb.rank(0).compute(0.1);
+        assert!(matches!(
+            Simulator::new(cfg).run(&pb.build().unwrap()),
+            Err(SimError::InvalidConfig { .. })
+        ));
+    }
+
+    #[test]
+    fn trace_is_well_formed_and_deterministic() {
+        let cfg = machine(4);
+        let mut pb = ProgramBuilder::new(4);
+        let a = pb.add_region("a");
+        let b = pb.add_region("b");
+        pb.spmd(|rank, mut ops| {
+            ops.enter(a)
+                .compute(0.1 * (rank + 1) as f64)
+                .allreduce(512)
+                .leave(a);
+            ops.enter(b);
+            if rank > 0 {
+                ops.send(rank - 1, 2048);
+            }
+            if rank < 3 {
+                ops.recv(rank + 1);
+            }
+            ops.barrier().leave(b);
+        });
+        let program = pb.build().unwrap();
+        let out1 = Simulator::new(cfg.clone()).run(&program).unwrap();
+        let out2 = Simulator::new(cfg).run(&program).unwrap();
+        out1.trace.validate().unwrap();
+        assert_eq!(out1.trace, out2.trace);
+        assert_eq!(out1.stats, out2.stats);
+    }
+}

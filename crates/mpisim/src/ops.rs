@@ -1,0 +1,501 @@
+//! Per-rank op programs and their builders.
+
+use limba_model::RegionId;
+
+use crate::{CollectiveKind, SimError};
+
+/// One operation of a rank's program.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Op {
+    /// Burn CPU for `seconds` of work at nominal speed (a slow node takes
+    /// proportionally longer).
+    Compute {
+        /// Work in seconds at speed 1.0.
+        seconds: f64,
+    },
+    /// Blocking send of `bytes` to `dst` (eager below the machine's
+    /// threshold, rendezvous above).
+    Send {
+        /// Destination rank.
+        dst: usize,
+        /// Payload size.
+        bytes: u64,
+    },
+    /// Blocking receive of the next message from `src`.
+    Recv {
+        /// Source rank.
+        src: usize,
+    },
+    /// Nonblocking send: the message is buffered and transferred in the
+    /// background; [`Op::Wait`] on `handle` completes once the local
+    /// buffer is free. (Buffered semantics: no rendezvous blocking.)
+    Isend {
+        /// Destination rank.
+        dst: usize,
+        /// Payload size.
+        bytes: u64,
+        /// Request handle, unique among this rank's outstanding requests.
+        handle: u32,
+    },
+    /// Nonblocking receive: posts the request; [`Op::Wait`] on `handle`
+    /// blocks until the matching message arrives.
+    Irecv {
+        /// Source rank.
+        src: usize,
+        /// Request handle, unique among this rank's outstanding requests.
+        handle: u32,
+    },
+    /// Completes an outstanding nonblocking request.
+    Wait {
+        /// Handle of the request to complete.
+        handle: u32,
+    },
+    /// A collective over all ranks; every rank's `k`-th collective call
+    /// must have the same kind.
+    Collective {
+        /// Which collective.
+        kind: CollectiveKind,
+        /// Payload size (per pair for alltoall; ignored by barriers).
+        bytes: u64,
+    },
+    /// Enter an instrumented code region.
+    Enter {
+        /// The region.
+        region: RegionId,
+    },
+    /// Leave an instrumented code region.
+    Leave {
+        /// The region.
+        region: RegionId,
+    },
+}
+
+/// A complete program: region names plus one op list per rank.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Program {
+    pub(crate) region_names: Vec<String>,
+    pub(crate) ranks: Vec<Vec<Op>>,
+}
+
+impl Program {
+    /// Number of ranks.
+    pub fn ranks(&self) -> usize {
+        self.ranks.len()
+    }
+
+    /// Region names in id order.
+    pub fn region_names(&self) -> &[String] {
+        &self.region_names
+    }
+
+    /// Op list of `rank`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `rank` is out of range.
+    pub fn ops(&self, rank: usize) -> &[Op] {
+        &self.ranks[rank]
+    }
+
+    /// Total number of ops over all ranks.
+    pub fn total_ops(&self) -> usize {
+        self.ranks.iter().map(|r| r.len()).sum()
+    }
+}
+
+/// Builder for [`Program`]s.
+///
+/// # Example
+///
+/// ```
+/// use limba_mpisim::ProgramBuilder;
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let mut pb = ProgramBuilder::new(2);
+/// let r = pb.add_region("exchange");
+/// pb.rank(0).enter(r).compute(0.5).send(1, 1024).recv(1).leave(r);
+/// pb.rank(1).enter(r).compute(0.6).recv(0).send(0, 1024).leave(r);
+/// let program = pb.build()?;
+/// assert_eq!(program.ranks(), 2);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct ProgramBuilder {
+    region_names: Vec<String>,
+    ranks: Vec<Vec<Op>>,
+}
+
+impl ProgramBuilder {
+    /// Creates a builder for `ranks` ranks.
+    pub fn new(ranks: usize) -> Self {
+        ProgramBuilder {
+            region_names: Vec::new(),
+            ranks: vec![Vec::new(); ranks],
+        }
+    }
+
+    /// Registers a code region, returning its id.
+    pub fn add_region(&mut self, name: impl Into<String>) -> RegionId {
+        let id = RegionId::new(self.region_names.len());
+        self.region_names.push(name.into());
+        id
+    }
+
+    /// Returns the op-appending handle of `rank`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `rank` is out of range.
+    pub fn rank(&mut self, rank: usize) -> RankOps<'_> {
+        assert!(rank < self.ranks.len(), "rank out of range");
+        RankOps {
+            ops: &mut self.ranks[rank],
+        }
+    }
+
+    /// Applies `body` to every rank in turn — the SPMD style most
+    /// message-passing programs are written in.
+    pub fn spmd<F: FnMut(usize, RankOps<'_>)>(&mut self, mut body: F) {
+        for rank in 0..self.ranks.len() {
+            body(
+                rank,
+                RankOps {
+                    ops: &mut self.ranks[rank],
+                },
+            );
+        }
+    }
+
+    /// Validates and finalizes the program.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when an op references an out-of-range rank, a rank
+    /// messages itself, compute work is invalid, or the ranks' collective
+    /// call sequences disagree in length or kind.
+    pub fn build(self) -> Result<Program, SimError> {
+        let n = self.ranks.len();
+        for (rank, ops) in self.ranks.iter().enumerate() {
+            let mut outstanding: Vec<u32> = Vec::new();
+            for op in ops {
+                match *op {
+                    Op::Compute { seconds } => {
+                        if !seconds.is_finite() || seconds < 0.0 {
+                            return Err(SimError::InvalidWork { value: seconds });
+                        }
+                    }
+                    Op::Send { dst, .. } | Op::Isend { dst, .. } => {
+                        if dst >= n {
+                            return Err(SimError::RankOutOfRange {
+                                rank: dst,
+                                ranks: n,
+                            });
+                        }
+                        if dst == rank {
+                            return Err(SimError::SelfMessage { rank });
+                        }
+                    }
+                    Op::Recv { src } | Op::Irecv { src, .. } => {
+                        if src >= n {
+                            return Err(SimError::RankOutOfRange {
+                                rank: src,
+                                ranks: n,
+                            });
+                        }
+                        if src == rank {
+                            return Err(SimError::SelfMessage { rank });
+                        }
+                    }
+                    Op::Collective { .. }
+                    | Op::Enter { .. }
+                    | Op::Leave { .. }
+                    | Op::Wait { .. } => {}
+                }
+                match *op {
+                    Op::Isend { handle, .. } | Op::Irecv { handle, .. } => {
+                        if outstanding.contains(&handle) {
+                            return Err(SimError::BadHandle {
+                                rank,
+                                handle,
+                                detail: "handle already outstanding".into(),
+                            });
+                        }
+                        outstanding.push(handle);
+                    }
+                    Op::Wait { handle } => match outstanding.iter().position(|&h| h == handle) {
+                        Some(i) => {
+                            outstanding.remove(i);
+                        }
+                        None => {
+                            return Err(SimError::BadHandle {
+                                rank,
+                                handle,
+                                detail: "wait on a handle with no outstanding request".into(),
+                            })
+                        }
+                    },
+                    _ => {}
+                }
+            }
+            if let Some(&handle) = outstanding.first() {
+                return Err(SimError::BadHandle {
+                    rank,
+                    handle,
+                    detail: "request never waited on".into(),
+                });
+            }
+        }
+        // Collective sequences must agree across ranks.
+        let sequences: Vec<Vec<CollectiveKind>> = self
+            .ranks
+            .iter()
+            .map(|ops| {
+                ops.iter()
+                    .filter_map(|op| match op {
+                        Op::Collective { kind, .. } => Some(*kind),
+                        _ => None,
+                    })
+                    .collect()
+            })
+            .collect();
+        if let Some(first) = sequences.first() {
+            for (rank, seq) in sequences.iter().enumerate().skip(1) {
+                if seq.len() != first.len() {
+                    return Err(SimError::CollectiveMismatch {
+                        instance: first.len().min(seq.len()),
+                        detail: format!(
+                            "rank 0 makes {} collective calls but rank {rank} makes {}",
+                            first.len(),
+                            seq.len()
+                        ),
+                    });
+                }
+                for (i, (a, b)) in first.iter().zip(seq).enumerate() {
+                    if a != b {
+                        return Err(SimError::CollectiveMismatch {
+                            instance: i,
+                            detail: format!("rank 0 calls {a} but rank {rank} calls {b}"),
+                        });
+                    }
+                }
+            }
+        }
+        Ok(Program {
+            region_names: self.region_names,
+            ranks: self.ranks,
+        })
+    }
+}
+
+/// Fluent op-appending handle for one rank (see [`ProgramBuilder::rank`]).
+#[derive(Debug)]
+pub struct RankOps<'a> {
+    ops: &'a mut Vec<Op>,
+}
+
+impl RankOps<'_> {
+    /// Appends a compute op of `seconds` nominal work.
+    pub fn compute(&mut self, seconds: f64) -> &mut Self {
+        self.ops.push(Op::Compute { seconds });
+        self
+    }
+
+    /// Appends a blocking send.
+    pub fn send(&mut self, dst: usize, bytes: u64) -> &mut Self {
+        self.ops.push(Op::Send { dst, bytes });
+        self
+    }
+
+    /// Appends a blocking receive.
+    pub fn recv(&mut self, src: usize) -> &mut Self {
+        self.ops.push(Op::Recv { src });
+        self
+    }
+
+    /// Appends a nonblocking send under `handle`.
+    pub fn isend(&mut self, dst: usize, bytes: u64, handle: u32) -> &mut Self {
+        self.ops.push(Op::Isend { dst, bytes, handle });
+        self
+    }
+
+    /// Appends a nonblocking receive under `handle`.
+    pub fn irecv(&mut self, src: usize, handle: u32) -> &mut Self {
+        self.ops.push(Op::Irecv { src, handle });
+        self
+    }
+
+    /// Appends a wait completing the request under `handle`.
+    pub fn wait(&mut self, handle: u32) -> &mut Self {
+        self.ops.push(Op::Wait { handle });
+        self
+    }
+
+    /// Appends an `MPI_GATHER`-style collective.
+    pub fn gather(&mut self, bytes: u64) -> &mut Self {
+        self.ops.push(Op::Collective {
+            kind: CollectiveKind::Gather,
+            bytes,
+        });
+        self
+    }
+
+    /// Appends an `MPI_SCATTER`-style collective.
+    pub fn scatter(&mut self, bytes: u64) -> &mut Self {
+        self.ops.push(Op::Collective {
+            kind: CollectiveKind::Scatter,
+            bytes,
+        });
+        self
+    }
+
+    /// Appends an `MPI_ALLGATHER`-style collective.
+    pub fn allgather(&mut self, bytes: u64) -> &mut Self {
+        self.ops.push(Op::Collective {
+            kind: CollectiveKind::Allgather,
+            bytes,
+        });
+        self
+    }
+
+    /// Appends an `MPI_REDUCE`-style collective.
+    pub fn reduce(&mut self, bytes: u64) -> &mut Self {
+        self.ops.push(Op::Collective {
+            kind: CollectiveKind::Reduce,
+            bytes,
+        });
+        self
+    }
+
+    /// Appends an `MPI_ALLREDUCE`-style collective.
+    pub fn allreduce(&mut self, bytes: u64) -> &mut Self {
+        self.ops.push(Op::Collective {
+            kind: CollectiveKind::Allreduce,
+            bytes,
+        });
+        self
+    }
+
+    /// Appends an `MPI_BCAST`-style collective.
+    pub fn broadcast(&mut self, bytes: u64) -> &mut Self {
+        self.ops.push(Op::Collective {
+            kind: CollectiveKind::Broadcast,
+            bytes,
+        });
+        self
+    }
+
+    /// Appends an `MPI_ALLTOALL`-style collective with `bytes` per pair.
+    pub fn alltoall(&mut self, bytes: u64) -> &mut Self {
+        self.ops.push(Op::Collective {
+            kind: CollectiveKind::Alltoall,
+            bytes,
+        });
+        self
+    }
+
+    /// Appends a barrier.
+    pub fn barrier(&mut self) -> &mut Self {
+        self.ops.push(Op::Collective {
+            kind: CollectiveKind::Barrier,
+            bytes: 0,
+        });
+        self
+    }
+
+    /// Appends a region-enter marker.
+    pub fn enter(&mut self, region: RegionId) -> &mut Self {
+        self.ops.push(Op::Enter { region });
+        self
+    }
+
+    /// Appends a region-leave marker.
+    pub fn leave(&mut self, region: RegionId) -> &mut Self {
+        self.ops.push(Op::Leave { region });
+        self
+    }
+
+    /// Appends a raw op.
+    pub fn push(&mut self, op: Op) -> &mut Self {
+        self.ops.push(op);
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_produces_expected_ops() {
+        let mut pb = ProgramBuilder::new(2);
+        let r = pb.add_region("r");
+        pb.rank(0).enter(r).compute(1.0).send(1, 10).leave(r);
+        pb.rank(1).enter(r).recv(0).leave(r);
+        let p = pb.build().unwrap();
+        assert_eq!(p.ranks(), 2);
+        assert_eq!(p.total_ops(), 7);
+        assert_eq!(p.ops(0)[1], Op::Compute { seconds: 1.0 });
+        assert_eq!(p.region_names(), ["r"]);
+    }
+
+    #[test]
+    fn spmd_builds_all_ranks() {
+        let mut pb = ProgramBuilder::new(4);
+        pb.spmd(|rank, mut ops| {
+            ops.compute(rank as f64);
+        });
+        let p = pb.build().unwrap();
+        for rank in 0..4 {
+            assert_eq!(p.ops(rank).len(), 1);
+        }
+    }
+
+    #[test]
+    fn validation_rejects_bad_programs() {
+        let mut pb = ProgramBuilder::new(2);
+        pb.rank(0).send(5, 10);
+        assert!(matches!(pb.build(), Err(SimError::RankOutOfRange { .. })));
+
+        let mut pb = ProgramBuilder::new(2);
+        pb.rank(0).send(0, 10);
+        assert!(matches!(pb.build(), Err(SimError::SelfMessage { rank: 0 })));
+
+        let mut pb = ProgramBuilder::new(2);
+        pb.rank(1).recv(1);
+        assert!(matches!(pb.build(), Err(SimError::SelfMessage { rank: 1 })));
+
+        let mut pb = ProgramBuilder::new(2);
+        pb.rank(0).compute(f64::NAN);
+        assert!(matches!(pb.build(), Err(SimError::InvalidWork { .. })));
+    }
+
+    #[test]
+    fn collective_sequences_must_agree() {
+        let mut pb = ProgramBuilder::new(2);
+        pb.rank(0).barrier();
+        assert!(matches!(
+            pb.build(),
+            Err(SimError::CollectiveMismatch { .. })
+        ));
+
+        let mut pb = ProgramBuilder::new(2);
+        pb.rank(0).barrier();
+        pb.rank(1).reduce(8);
+        assert!(matches!(
+            pb.build(),
+            Err(SimError::CollectiveMismatch { .. })
+        ));
+
+        let mut pb = ProgramBuilder::new(2);
+        pb.rank(0).barrier().reduce(8);
+        pb.rank(1).barrier().reduce(16); // byte mismatch allowed, max used
+        assert!(pb.build().is_ok());
+    }
+
+    #[test]
+    #[should_panic(expected = "rank out of range")]
+    fn rank_handle_out_of_range_panics() {
+        let mut pb = ProgramBuilder::new(1);
+        let _ = pb.rank(3);
+    }
+}

@@ -1,0 +1,161 @@
+//! Descriptive statistics helpers.
+
+use crate::StatsError;
+
+/// Arithmetic mean.
+///
+/// # Errors
+///
+/// Returns [`StatsError::EmptyData`] for an empty slice.
+pub fn mean(data: &[f64]) -> Result<f64, StatsError> {
+    if data.is_empty() {
+        return Err(StatsError::EmptyData);
+    }
+    Ok(data.iter().sum::<f64>() / data.len() as f64)
+}
+
+/// Population standard deviation.
+///
+/// # Errors
+///
+/// Returns [`StatsError::EmptyData`] for an empty slice.
+pub fn std_dev(data: &[f64]) -> Result<f64, StatsError> {
+    let m = mean(data)?;
+    let var = data.iter().map(|&v| (v - m).powi(2)).sum::<f64>() / data.len() as f64;
+    Ok(var.sqrt())
+}
+
+/// Percentile of `data` with linear interpolation between order statistics,
+/// `p` in `[0, 100]`.
+///
+/// # Errors
+///
+/// Returns [`StatsError::EmptyData`] for an empty slice and
+/// [`StatsError::InvalidFraction`] when `p` is outside `[0, 100]`.
+///
+/// # Example
+///
+/// ```
+/// let p50 = limba_stats::describe::percentile(&[1.0, 2.0, 3.0, 4.0], 50.0).unwrap();
+/// assert_eq!(p50, 2.5);
+/// ```
+pub fn percentile(data: &[f64], p: f64) -> Result<f64, StatsError> {
+    if data.is_empty() {
+        return Err(StatsError::EmptyData);
+    }
+    if !(0.0..=100.0).contains(&p) || !p.is_finite() {
+        return Err(StatsError::InvalidFraction { value: p });
+    }
+    let mut sorted = data.to_vec();
+    sorted.sort_by(f64::total_cmp);
+    let rank = p / 100.0 * (sorted.len() - 1) as f64;
+    let lo = rank.floor() as usize;
+    let hi = rank.ceil() as usize;
+    let frac = rank - lo as f64;
+    Ok(sorted[lo] + (sorted[hi] - sorted[lo]) * frac)
+}
+
+/// Five-number summary of a data set.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FiveNumberSummary {
+    /// Minimum.
+    pub min: f64,
+    /// First quartile (25th percentile).
+    pub q1: f64,
+    /// Median.
+    pub median: f64,
+    /// Third quartile (75th percentile).
+    pub q3: f64,
+    /// Maximum.
+    pub max: f64,
+}
+
+/// Computes the [`FiveNumberSummary`] of `data`.
+///
+/// # Errors
+///
+/// Returns [`StatsError::EmptyData`] for an empty slice.
+pub fn five_number_summary(data: &[f64]) -> Result<FiveNumberSummary, StatsError> {
+    Ok(FiveNumberSummary {
+        min: percentile(data, 0.0)?,
+        q1: percentile(data, 25.0)?,
+        median: percentile(data, 50.0)?,
+        q3: percentile(data, 75.0)?,
+        max: percentile(data, 100.0)?,
+    })
+}
+
+/// Index of the maximum element, breaking ties toward the smaller index.
+///
+/// Returns `None` for an empty slice.
+pub fn argmax(data: &[f64]) -> Option<usize> {
+    data.iter()
+        .enumerate()
+        .max_by(|a, b| a.1.total_cmp(b.1).then(b.0.cmp(&a.0)))
+        .map(|(i, _)| i)
+}
+
+/// Index of the minimum element, breaking ties toward the smaller index.
+///
+/// Returns `None` for an empty slice.
+pub fn argmin(data: &[f64]) -> Option<usize> {
+    data.iter()
+        .enumerate()
+        .min_by(|a, b| a.1.total_cmp(b.1).then(a.0.cmp(&b.0)))
+        .map(|(i, _)| i)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_and_std_dev() {
+        assert_eq!(mean(&[1.0, 2.0, 3.0]).unwrap(), 2.0);
+        assert_eq!(std_dev(&[2.0, 2.0]).unwrap(), 0.0);
+        assert!((std_dev(&[0.0, 2.0]).unwrap() - 1.0).abs() < 1e-12);
+        assert!(mean(&[]).is_err());
+    }
+
+    #[test]
+    fn percentile_interpolates() {
+        let d = [10.0, 20.0, 30.0, 40.0, 50.0];
+        assert_eq!(percentile(&d, 0.0).unwrap(), 10.0);
+        assert_eq!(percentile(&d, 100.0).unwrap(), 50.0);
+        assert_eq!(percentile(&d, 50.0).unwrap(), 30.0);
+        assert_eq!(percentile(&d, 25.0).unwrap(), 20.0);
+        assert_eq!(percentile(&d, 10.0).unwrap(), 14.0);
+    }
+
+    #[test]
+    fn percentile_is_order_independent() {
+        let a = percentile(&[3.0, 1.0, 2.0], 50.0).unwrap();
+        assert_eq!(a, 2.0);
+    }
+
+    #[test]
+    fn percentile_validates_p() {
+        assert!(percentile(&[1.0], -1.0).is_err());
+        assert!(percentile(&[1.0], 100.5).is_err());
+        assert!(percentile(&[1.0], f64::NAN).is_err());
+        assert!(percentile(&[], 50.0).is_err());
+    }
+
+    #[test]
+    fn five_numbers() {
+        let s = five_number_summary(&[1.0, 2.0, 3.0, 4.0, 5.0]).unwrap();
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.median, 3.0);
+        assert_eq!(s.max, 5.0);
+        assert_eq!(s.q1, 2.0);
+        assert_eq!(s.q3, 4.0);
+    }
+
+    #[test]
+    fn argmax_argmin_with_ties() {
+        assert_eq!(argmax(&[1.0, 3.0, 3.0]), Some(1));
+        assert_eq!(argmin(&[2.0, 1.0, 1.0]), Some(1));
+        assert_eq!(argmax(&[]), None);
+        assert_eq!(argmin(&[]), None);
+    }
+}

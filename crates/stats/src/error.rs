@@ -1,0 +1,72 @@
+//! Error type for statistical computations.
+
+use std::error::Error;
+use std::fmt;
+
+/// Error raised by statistical computations.
+#[derive(Debug, Clone, PartialEq)]
+pub enum StatsError {
+    /// The input data set was empty.
+    EmptyData,
+    /// The data set sums to zero, so it cannot be standardized to sum one.
+    ZeroSum,
+    /// The data contained a negative or non-finite value.
+    InvalidValue {
+        /// The rejected value.
+        value: f64,
+    },
+    /// A percentile or fraction parameter was outside `[0, 1]` (or `[0, 100]`
+    /// where a percentage is expected).
+    InvalidFraction {
+        /// The rejected parameter.
+        value: f64,
+    },
+    /// Two data sets that must have equal lengths did not.
+    LengthMismatch {
+        /// Length of the first data set.
+        left: usize,
+        /// Length of the second data set.
+        right: usize,
+    },
+}
+
+impl fmt::Display for StatsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StatsError::EmptyData => write!(f, "data set is empty"),
+            StatsError::ZeroSum => write!(f, "data set sums to zero and cannot be standardized"),
+            StatsError::InvalidValue { value } => {
+                write!(f, "data must be finite and non-negative, got {value}")
+            }
+            StatsError::InvalidFraction { value } => {
+                write!(f, "fraction parameter out of range, got {value}")
+            }
+            StatsError::LengthMismatch { left, right } => {
+                write!(f, "data sets have mismatched lengths {left} and {right}")
+            }
+        }
+    }
+}
+
+impl Error for StatsError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_mention_offending_values() {
+        assert!(StatsError::InvalidValue { value: -2.5 }
+            .to_string()
+            .contains("-2.5"));
+        assert!(StatsError::LengthMismatch { left: 3, right: 4 }
+            .to_string()
+            .contains('3'));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<StatsError>();
+    }
+}

@@ -1,0 +1,46 @@
+//! Statistical machinery for load-imbalance analysis.
+//!
+//! This crate implements the metric toolbox of *"Load Imbalance in Parallel
+//! Programs"* (PACT 2003):
+//!
+//! * [`standardize`] — the methodology's first step: scaling a data set so
+//!   its elements sum to one, making dispersions *relative* measures;
+//! * [`dispersion`] — indices of dispersion that quantify how spread out a
+//!   standardized data set is, chief among them the paper's
+//!   [`EuclideanFromMean`](dispersion::EuclideanFromMean) (Euclidean
+//!   distance between each element and the common average);
+//! * [`majorization`] — the majorization partial order of Marshall & Olkin
+//!   that grounds those indices: Lorenz curves, `x ≺ y` tests, and
+//!   T-transforms;
+//! * [`rank`] — criteria for assessing the *severity* of dissimilarities
+//!   (maximum, top-k, percentile, threshold);
+//! * [`describe`] — small descriptive-statistics helpers (mean, percentile,
+//!   five-number summaries).
+//!
+//! # Example
+//!
+//! ```
+//! use limba_stats::dispersion::{DispersionIndex, EuclideanFromMean};
+//!
+//! // Perfectly balanced processors → zero dispersion.
+//! let balanced = [2.0, 2.0, 2.0, 2.0];
+//! assert_eq!(EuclideanFromMean.index(&balanced).unwrap(), 0.0);
+//!
+//! // One processor does all the work → maximal dispersion sqrt(1 - 1/P).
+//! let concentrated = [8.0, 0.0, 0.0, 0.0];
+//! let id = EuclideanFromMean.index(&concentrated).unwrap();
+//! assert!((id - (1.0f64 - 0.25).sqrt()).abs() < 1e-12);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod describe;
+pub mod dispersion;
+pub mod majorization;
+pub mod rank;
+pub mod standardize;
+
+mod error;
+
+pub use error::StatsError;

@@ -1,0 +1,459 @@
+//! Majorization theory (Marshall & Olkin).
+//!
+//! The paper grounds its metrics in "the majorization theory \[8\], which
+//! provides a framework for measuring the spread of data sets … based on
+//! the definition of indices for partially ordering data sets according to
+//! the dissimilarities among their elements."
+//!
+//! For unit-sum vectors `x` and `y` of equal length, `x` is *majorized* by
+//! `y` (written `x ≺ y`, "y is more spread out than x") when every prefix
+//! sum of the descending rearrangement of `x` is bounded by the matching
+//! prefix sum of `y`. Perfect balance `(1/n, …, 1/n)` is the minimum of the
+//! order; total concentration `(1, 0, …, 0)` the maximum. Schur-convex
+//! functions — all indices in [`dispersion`](crate::dispersion) — are
+//! exactly the functions monotone with respect to `≺`, which is why those
+//! indices are sound measures of load imbalance.
+
+use crate::standardize::to_unit_sum;
+use crate::StatsError;
+
+/// Result of comparing two data sets under the majorization partial order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MajorizationOrder {
+    /// The data sets have the same descending rearrangement.
+    Equal,
+    /// The left data set is majorized by the right (`left ≺ right`): the
+    /// right is more spread out.
+    LessSpread,
+    /// The right data set is majorized by the left: the left is more
+    /// spread out.
+    MoreSpread,
+    /// The data sets are incomparable (the order is only partial).
+    Incomparable,
+}
+
+fn descending_standardized(data: &[f64]) -> Result<Vec<f64>, StatsError> {
+    let mut x = to_unit_sum(data)?;
+    x.sort_by(|a, b| b.total_cmp(a));
+    Ok(x)
+}
+
+/// Compares two non-negative data sets under majorization after
+/// standardizing both to sum one.
+///
+/// # Errors
+///
+/// Returns [`StatsError::LengthMismatch`] when lengths differ, plus the
+/// standardization errors of [`to_unit_sum`].
+///
+/// # Example
+///
+/// ```
+/// use limba_stats::majorization::{compare, MajorizationOrder};
+/// let balanced = [1.0, 1.0, 1.0, 1.0];
+/// let skewed = [4.0, 0.0, 0.0, 0.0];
+/// assert_eq!(compare(&balanced, &skewed).unwrap(), MajorizationOrder::LessSpread);
+/// ```
+pub fn compare(left: &[f64], right: &[f64]) -> Result<MajorizationOrder, StatsError> {
+    if left.len() != right.len() {
+        return Err(StatsError::LengthMismatch {
+            left: left.len(),
+            right: right.len(),
+        });
+    }
+    let a = descending_standardized(left)?;
+    let b = descending_standardized(right)?;
+    const EPS: f64 = 1e-12;
+    let mut a_below = true; // prefix sums of a ≤ prefix sums of b
+    let mut b_below = true;
+    let (mut pa, mut pb) = (0.0, 0.0);
+    for (&x, &y) in a.iter().zip(&b) {
+        pa += x;
+        pb += y;
+        if pa > pb + EPS {
+            a_below = false;
+        }
+        if pb > pa + EPS {
+            b_below = false;
+        }
+    }
+    Ok(match (a_below, b_below) {
+        (true, true) => MajorizationOrder::Equal,
+        (true, false) => MajorizationOrder::LessSpread,
+        (false, true) => MajorizationOrder::MoreSpread,
+        (false, false) => MajorizationOrder::Incomparable,
+    })
+}
+
+/// Returns `true` when `left ≺ right` (right at least as spread out),
+/// i.e. [`compare`] yields `Equal` or `LessSpread`.
+///
+/// # Errors
+///
+/// Same conditions as [`compare`].
+pub fn is_majorized_by(left: &[f64], right: &[f64]) -> Result<bool, StatsError> {
+    Ok(matches!(
+        compare(left, right)?,
+        MajorizationOrder::Equal | MajorizationOrder::LessSpread
+    ))
+}
+
+/// Points of the Lorenz curve of `data` after standardization: the `k`-th
+/// point is `(k/n, S_k)` where `S_k` is the sum of the `k` smallest
+/// standardized elements. A curve closer to the diagonal means better
+/// balance; `x ≺ y` iff the Lorenz curve of `x` lies (weakly) above that
+/// of `y`.
+///
+/// The returned vector has `n + 1` points including `(0, 0)` and `(1, 1)`.
+///
+/// # Errors
+///
+/// Standardization errors of [`to_unit_sum`].
+pub fn lorenz_curve(data: &[f64]) -> Result<Vec<(f64, f64)>, StatsError> {
+    let mut x = to_unit_sum(data)?;
+    x.sort_by(f64::total_cmp);
+    let n = x.len() as f64;
+    let mut points = Vec::with_capacity(x.len() + 1);
+    points.push((0.0, 0.0));
+    let mut acc = 0.0;
+    for (k, &v) in x.iter().enumerate() {
+        acc += v;
+        points.push(((k as f64 + 1.0) / n, acc));
+    }
+    Ok(points)
+}
+
+/// Applies a *T-transform* (Robin Hood operation) moving `amount` from the
+/// larger of elements `i`, `j` toward the smaller. T-transforms generate
+/// the majorization order: the result is always majorized by the input.
+///
+/// # Errors
+///
+/// Returns [`StatsError::InvalidValue`] when `amount` is negative,
+/// non-finite, or exceeds half the gap between the two elements (which
+/// would overshoot the balanced point), and [`StatsError::EmptyData`] when
+/// either index is out of range.
+///
+/// # Example
+///
+/// ```
+/// use limba_stats::majorization::{is_majorized_by, t_transform};
+/// let y = [6.0, 2.0];
+/// let x = t_transform(&y, 0, 1, 1.0).unwrap(); // [5, 3]
+/// assert_eq!(x, vec![5.0, 3.0]);
+/// assert!(is_majorized_by(&x, &y).unwrap());
+/// ```
+pub fn t_transform(data: &[f64], i: usize, j: usize, amount: f64) -> Result<Vec<f64>, StatsError> {
+    if i >= data.len() || j >= data.len() {
+        return Err(StatsError::EmptyData);
+    }
+    if !amount.is_finite() || amount < 0.0 {
+        return Err(StatsError::InvalidValue { value: amount });
+    }
+    let gap = (data[i] - data[j]).abs();
+    if amount > gap / 2.0 + 1e-15 {
+        return Err(StatsError::InvalidValue { value: amount });
+    }
+    let mut out = data.to_vec();
+    if out[i] >= out[j] {
+        out[i] -= amount;
+        out[j] += amount;
+    } else {
+        out[j] -= amount;
+        out[i] += amount;
+    }
+    Ok(out)
+}
+
+/// Compares two non-negative data sets under *weak submajorization*
+/// (`x ≺_w y`): every prefix sum of the descending rearrangement of `x`
+/// is bounded by the matching prefix of `y`, *without* requiring equal
+/// totals — so the raw (unstandardized) times are compared directly.
+/// Returns `true` when `left ≺_w right`.
+///
+/// Weak majorization is the right order when comparing absolute load
+/// vectors of different total volume: if run A's sorted loads are
+/// prefix-dominated by run B's, every increasing Schur-convex cost (e.g.
+/// makespan, sum of the k largest loads) is no worse in A.
+///
+/// # Errors
+///
+/// Returns [`StatsError::LengthMismatch`] when lengths differ and
+/// [`StatsError::InvalidValue`] for negative or non-finite elements.
+///
+/// # Example
+///
+/// ```
+/// use limba_stats::majorization::is_weakly_submajorized_by;
+/// // Same spread, smaller volume: weakly submajorized.
+/// assert!(is_weakly_submajorized_by(&[2.0, 1.0], &[4.0, 2.0]).unwrap());
+/// assert!(!is_weakly_submajorized_by(&[4.0, 2.0], &[2.0, 1.0]).unwrap());
+/// ```
+pub fn is_weakly_submajorized_by(left: &[f64], right: &[f64]) -> Result<bool, StatsError> {
+    if left.len() != right.len() {
+        return Err(StatsError::LengthMismatch {
+            left: left.len(),
+            right: right.len(),
+        });
+    }
+    crate::standardize::validate_nonnegative(left)?;
+    crate::standardize::validate_nonnegative(right)?;
+    let mut a = left.to_vec();
+    let mut b = right.to_vec();
+    a.sort_by(|x, y| y.total_cmp(x));
+    b.sort_by(|x, y| y.total_cmp(x));
+    let (mut pa, mut pb) = (0.0, 0.0);
+    for (&x, &y) in a.iter().zip(&b) {
+        pa += x;
+        pb += y;
+        if pa > pb + 1e-12 {
+            return Ok(false);
+        }
+    }
+    Ok(true)
+}
+
+/// Returns `true` when `matrix` (row-major, `n × n`) is doubly
+/// stochastic: non-negative entries with every row and column summing to
+/// one within `tol`. By the Hardy–Littlewood–Pólya theorem, `x ≺ y`
+/// exactly when `x = D·y` for some doubly stochastic `D`.
+pub fn is_doubly_stochastic(matrix: &[f64], n: usize, tol: f64) -> bool {
+    if matrix.len() != n * n || n == 0 {
+        return false;
+    }
+    if matrix.iter().any(|&v| !v.is_finite() || v < -tol) {
+        return false;
+    }
+    for i in 0..n {
+        let row: f64 = matrix[i * n..(i + 1) * n].iter().sum();
+        if (row - 1.0).abs() > tol {
+            return false;
+        }
+        let col: f64 = (0..n).map(|j| matrix[j * n + i]).sum();
+        if (col - 1.0).abs() > tol {
+            return false;
+        }
+    }
+    true
+}
+
+/// Applies a doubly stochastic `n × n` matrix (row-major) to `data`,
+/// producing a vector majorized by the input — the constructive
+/// direction of the Hardy–Littlewood–Pólya theorem.
+///
+/// # Errors
+///
+/// Returns [`StatsError::LengthMismatch`] when shapes disagree and
+/// [`StatsError::InvalidValue`] when `matrix` is not doubly stochastic.
+///
+/// # Example
+///
+/// ```
+/// use limba_stats::majorization::{apply_doubly_stochastic, is_majorized_by};
+/// // Averaging matrix: maximal mixing.
+/// let d = vec![0.5, 0.5, 0.5, 0.5];
+/// let y = [8.0, 2.0];
+/// let x = apply_doubly_stochastic(&d, &y).unwrap();
+/// assert_eq!(x, vec![5.0, 5.0]);
+/// assert!(is_majorized_by(&x, &y).unwrap());
+/// ```
+pub fn apply_doubly_stochastic(matrix: &[f64], data: &[f64]) -> Result<Vec<f64>, StatsError> {
+    let n = data.len();
+    if matrix.len() != n * n {
+        return Err(StatsError::LengthMismatch {
+            left: matrix.len(),
+            right: n * n,
+        });
+    }
+    if !is_doubly_stochastic(matrix, n, 1e-9) {
+        return Err(StatsError::InvalidValue { value: f64::NAN });
+    }
+    Ok((0..n)
+        .map(|i| (0..n).map(|j| matrix[i * n + j] * data[j]).sum())
+        .collect())
+}
+
+/// Checks empirically that `f` is Schur-convex on the given pair: if
+/// `x ≺ y` then `f(x) ≤ f(y)` (within `tol`). Returns `None` when the pair
+/// is incomparable, `Some(bool)` otherwise.
+///
+/// Intended for tests of candidate dispersion indices.
+///
+/// # Errors
+///
+/// Same conditions as [`compare`].
+pub fn respects_majorization<F>(
+    f: F,
+    x: &[f64],
+    y: &[f64],
+    tol: f64,
+) -> Result<Option<bool>, StatsError>
+where
+    F: Fn(&[f64]) -> Result<f64, StatsError>,
+{
+    match compare(x, y)? {
+        MajorizationOrder::Incomparable => Ok(None),
+        MajorizationOrder::Equal => {
+            let (fx, fy) = (f(x)?, f(y)?);
+            Ok(Some((fx - fy).abs() <= tol))
+        }
+        MajorizationOrder::LessSpread => {
+            let (fx, fy) = (f(x)?, f(y)?);
+            Ok(Some(fx <= fy + tol))
+        }
+        MajorizationOrder::MoreSpread => {
+            let (fx, fy) = (f(x)?, f(y)?);
+            Ok(Some(fy <= fx + tol))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dispersion::{DispersionIndex, DispersionKind};
+
+    #[test]
+    fn balanced_is_minimum_concentrated_is_maximum() {
+        let balanced = [1.0; 6];
+        let middle = [3.0, 1.0, 1.0, 0.5, 0.3, 0.2];
+        let concentrated = [6.0, 0.0, 0.0, 0.0, 0.0, 0.0];
+        assert!(is_majorized_by(&balanced, &middle).unwrap());
+        assert!(is_majorized_by(&middle, &concentrated).unwrap());
+        assert!(is_majorized_by(&balanced, &concentrated).unwrap());
+        assert!(!is_majorized_by(&concentrated, &balanced).unwrap());
+    }
+
+    #[test]
+    fn compare_is_permutation_invariant() {
+        let a = [5.0, 1.0, 2.0];
+        let b = [1.0, 2.0, 5.0];
+        assert_eq!(compare(&a, &b).unwrap(), MajorizationOrder::Equal);
+    }
+
+    #[test]
+    fn incomparable_pair_detected() {
+        // Classic incomparable pair (after standardization by sum 10):
+        // x = (6,2,2)/10, y = (5,4,1)/10. Prefix sums: .6 vs .5 (x bigger),
+        // .8 vs .9 (y bigger) → incomparable.
+        let x = [6.0, 2.0, 2.0];
+        let y = [5.0, 4.0, 1.0];
+        assert_eq!(compare(&x, &y).unwrap(), MajorizationOrder::Incomparable);
+    }
+
+    #[test]
+    fn length_mismatch_rejected() {
+        assert!(matches!(
+            compare(&[1.0], &[1.0, 2.0]),
+            Err(StatsError::LengthMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn lorenz_curve_of_balanced_is_diagonal() {
+        let pts = lorenz_curve(&[2.0, 2.0, 2.0, 2.0]).unwrap();
+        for &(x, y) in &pts {
+            assert!((x - y).abs() < 1e-12);
+        }
+        assert_eq!(pts.first(), Some(&(0.0, 0.0)));
+        let (lx, ly) = *pts.last().unwrap();
+        assert!((lx - 1.0).abs() < 1e-12 && (ly - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn lorenz_curve_is_below_diagonal_for_imbalanced() {
+        let pts = lorenz_curve(&[1.0, 1.0, 6.0]).unwrap();
+        // Interior points strictly below the diagonal.
+        for &(x, y) in &pts[1..pts.len() - 1] {
+            assert!(y < x);
+        }
+    }
+
+    #[test]
+    fn t_transform_reduces_spread() {
+        let y = [8.0, 4.0, 0.0];
+        let x = t_transform(&y, 0, 2, 2.0).unwrap();
+        assert_eq!(x, vec![6.0, 4.0, 2.0]);
+        assert_eq!(compare(&x, &y).unwrap(), MajorizationOrder::LessSpread);
+    }
+
+    #[test]
+    fn t_transform_validates() {
+        let y = [8.0, 0.0];
+        assert!(t_transform(&y, 0, 5, 1.0).is_err());
+        assert!(t_transform(&y, 0, 1, -1.0).is_err());
+        assert!(t_transform(&y, 0, 1, 5.0).is_err()); // overshoots balance
+                                                      // Exactly reaching balance is allowed.
+        assert_eq!(t_transform(&y, 0, 1, 4.0).unwrap(), vec![4.0, 4.0]);
+        // Direction is automatic.
+        assert_eq!(t_transform(&[0.0, 8.0], 0, 1, 4.0).unwrap(), vec![4.0, 4.0]);
+    }
+
+    #[test]
+    fn all_dispersion_indices_are_schur_convex_on_t_transform_chains() {
+        let y = [10.0, 5.0, 3.0, 1.0, 1.0, 0.0];
+        let x = t_transform(&y, 0, 5, 3.0).unwrap();
+        let w = t_transform(&x, 0, 3, 1.5).unwrap();
+        for kind in DispersionKind::ALL {
+            let f = |d: &[f64]| kind.index(d);
+            assert_eq!(respects_majorization(f, &x, &y, 1e-12).unwrap(), Some(true));
+            assert_eq!(respects_majorization(f, &w, &x, 1e-12).unwrap(), Some(true));
+            assert_eq!(respects_majorization(f, &w, &y, 1e-12).unwrap(), Some(true));
+        }
+    }
+
+    #[test]
+    fn weak_submajorization_ignores_totals() {
+        // Standard majorization requires equal sums after normalization;
+        // weak handles different volumes directly.
+        assert!(is_weakly_submajorized_by(&[1.0, 1.0], &[3.0, 1.0]).unwrap());
+        assert!(!is_weakly_submajorized_by(&[3.0, 1.0], &[1.0, 1.0]).unwrap());
+        // Equal vectors are weakly comparable both ways.
+        assert!(is_weakly_submajorized_by(&[2.0, 2.0], &[2.0, 2.0]).unwrap());
+        // Regular majorization implies weak for equal totals.
+        assert!(is_weakly_submajorized_by(&[2.0, 2.0], &[4.0, 0.0]).unwrap());
+        assert!(is_weakly_submajorized_by(&[], &[]).is_err()); // empty data rejected
+        assert!(is_weakly_submajorized_by(&[1.0], &[1.0, 2.0]).is_err());
+        assert!(is_weakly_submajorized_by(&[-1.0], &[1.0]).is_err());
+    }
+
+    #[test]
+    fn doubly_stochastic_checks() {
+        let identity = vec![1.0, 0.0, 0.0, 1.0];
+        assert!(is_doubly_stochastic(&identity, 2, 1e-12));
+        let average = vec![0.5, 0.5, 0.5, 0.5];
+        assert!(is_doubly_stochastic(&average, 2, 1e-12));
+        let rows_only = vec![1.0, 0.0, 1.0, 0.0]; // columns broken
+        assert!(!is_doubly_stochastic(&rows_only, 2, 1e-12));
+        assert!(!is_doubly_stochastic(&[1.0], 2, 1e-12)); // wrong shape
+        assert!(!is_doubly_stochastic(&[], 0, 1e-12));
+        assert!(!is_doubly_stochastic(&[2.0, -1.0, -1.0, 2.0], 2, 1e-12));
+    }
+
+    #[test]
+    fn hlp_theorem_constructive_direction() {
+        // Any convex combination of permutation matrices mixes toward
+        // balance: the result is majorized by the input.
+        let d = vec![
+            0.7, 0.2, 0.1, //
+            0.2, 0.6, 0.2, //
+            0.1, 0.2, 0.7,
+        ];
+        assert!(is_doubly_stochastic(&d, 3, 1e-12));
+        let y = [9.0, 3.0, 0.0];
+        let x = apply_doubly_stochastic(&d, &y).unwrap();
+        assert!(is_majorized_by(&x, &y).unwrap());
+        // Totals are preserved.
+        assert!((x.iter().sum::<f64>() - 12.0).abs() < 1e-12);
+        // A non-DS matrix is rejected.
+        assert!(apply_doubly_stochastic(&[1.0, 1.0, 1.0, 1.0], &y[..2]).is_err());
+        assert!(apply_doubly_stochastic(&d, &y[..2]).is_err());
+    }
+
+    #[test]
+    fn respects_majorization_returns_none_for_incomparable() {
+        let f = |d: &[f64]| DispersionKind::Euclidean.index(d);
+        let r = respects_majorization(f, &[6.0, 2.0, 2.0], &[5.0, 4.0, 1.0], 1e-12).unwrap();
+        assert_eq!(r, None);
+    }
+}

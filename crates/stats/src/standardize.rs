@@ -1,0 +1,130 @@
+//! Standardization of wall-clock times.
+//!
+//! The first step of the paper's dissimilarity analysis: "the standardized
+//! times are such that they sum to one, that is, they are obtained by
+//! dividing the wall clock times by the corresponding sum". Standardization
+//! makes every index of dispersion a *relative* measure, independent of the
+//! absolute magnitude of the times.
+
+use crate::StatsError;
+
+/// Validates that every element is finite and non-negative.
+///
+/// # Errors
+///
+/// Returns [`StatsError::EmptyData`] for an empty slice and
+/// [`StatsError::InvalidValue`] for the first offending element.
+pub fn validate_nonnegative(data: &[f64]) -> Result<(), StatsError> {
+    if data.is_empty() {
+        return Err(StatsError::EmptyData);
+    }
+    for &v in data {
+        if !v.is_finite() || v < 0.0 {
+            return Err(StatsError::InvalidValue { value: v });
+        }
+    }
+    Ok(())
+}
+
+/// Returns a copy of `data` scaled so its elements sum to one.
+///
+/// # Errors
+///
+/// Returns an error when `data` is empty, contains negative or non-finite
+/// values, or sums to zero.
+///
+/// # Example
+///
+/// ```
+/// let s = limba_stats::standardize::to_unit_sum(&[1.0, 3.0]).unwrap();
+/// assert_eq!(s, vec![0.25, 0.75]);
+/// ```
+pub fn to_unit_sum(data: &[f64]) -> Result<Vec<f64>, StatsError> {
+    validate_nonnegative(data)?;
+    let sum: f64 = data.iter().sum();
+    if sum <= 0.0 {
+        return Err(StatsError::ZeroSum);
+    }
+    Ok(data.iter().map(|&v| v / sum).collect())
+}
+
+/// Standardizes `data` in place to sum one.
+///
+/// # Errors
+///
+/// Same conditions as [`to_unit_sum`]; on error the slice is unchanged.
+pub fn unit_sum_in_place(data: &mut [f64]) -> Result<(), StatsError> {
+    validate_nonnegative(data)?;
+    let sum: f64 = data.iter().sum();
+    if sum <= 0.0 {
+        return Err(StatsError::ZeroSum);
+    }
+    for v in data.iter_mut() {
+        *v /= sum;
+    }
+    Ok(())
+}
+
+/// The perfectly balanced standardized vector of length `n`: every element
+/// equals `1/n`. This is the reference point the paper's indices measure
+/// distance from.
+///
+/// # Panics
+///
+/// Panics if `n` is zero.
+pub fn balanced_reference(n: usize) -> Vec<f64> {
+    assert!(n > 0, "balanced reference needs at least one element");
+    vec![1.0 / n as f64; n]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn standardized_sums_to_one() {
+        let s = to_unit_sum(&[2.0, 2.0, 4.0]).unwrap();
+        assert!((s.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+        assert_eq!(s, vec![0.25, 0.25, 0.5]);
+    }
+
+    #[test]
+    fn in_place_matches_owned() {
+        let mut d = [1.0, 2.0, 5.0];
+        unit_sum_in_place(&mut d).unwrap();
+        assert_eq!(d.to_vec(), to_unit_sum(&[1.0, 2.0, 5.0]).unwrap());
+    }
+
+    #[test]
+    fn zero_sum_is_rejected() {
+        assert_eq!(to_unit_sum(&[0.0, 0.0]), Err(StatsError::ZeroSum));
+    }
+
+    #[test]
+    fn empty_and_invalid_inputs_are_rejected() {
+        assert_eq!(to_unit_sum(&[]), Err(StatsError::EmptyData));
+        assert!(matches!(
+            to_unit_sum(&[1.0, -1.0]),
+            Err(StatsError::InvalidValue { .. })
+        ));
+        assert!(matches!(
+            to_unit_sum(&[f64::INFINITY]),
+            Err(StatsError::InvalidValue { .. })
+        ));
+        let mut bad = [1.0, f64::NAN];
+        assert!(unit_sum_in_place(&mut bad).is_err());
+        assert_eq!(bad[0], 1.0); // unchanged on error
+    }
+
+    #[test]
+    fn balanced_reference_is_uniform() {
+        let r = balanced_reference(4);
+        assert_eq!(r, vec![0.25; 4]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one element")]
+    fn balanced_reference_zero_panics() {
+        balanced_reference(0);
+    }
+}

@@ -1,0 +1,133 @@
+//! Property-based tests for the statistical core.
+
+use limba_stats::dispersion::{DispersionIndex, DispersionKind, EuclideanFromMean};
+use limba_stats::majorization::{
+    compare, is_majorized_by, lorenz_curve, respects_majorization, t_transform, MajorizationOrder,
+};
+use limba_stats::standardize::to_unit_sum;
+use proptest::prelude::*;
+
+/// Non-negative data sets with at least one strictly positive element.
+fn positive_data(max_len: usize) -> impl Strategy<Value = Vec<f64>> {
+    proptest::collection::vec(0.0f64..1e6, 2..max_len)
+        .prop_filter("needs a positive element", |v| v.iter().sum::<f64>() > 1e-9)
+}
+
+proptest! {
+    #[test]
+    fn standardized_data_sums_to_one(data in positive_data(64)) {
+        let s = to_unit_sum(&data).unwrap();
+        prop_assert!((s.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        for v in s {
+            prop_assert!((0.0..=1.0 + 1e-12).contains(&v));
+        }
+    }
+
+    #[test]
+    fn euclidean_index_is_within_theoretical_bounds(data in positive_data(64)) {
+        let id = EuclideanFromMean.index(&data).unwrap();
+        prop_assert!(id >= -1e-12);
+        prop_assert!(id <= EuclideanFromMean::max_for(data.len()) + 1e-9);
+    }
+
+    #[test]
+    fn all_indices_are_scale_invariant(data in positive_data(32), scale in 1e-3f64..1e3) {
+        let scaled: Vec<f64> = data.iter().map(|v| v * scale).collect();
+        for kind in DispersionKind::ALL {
+            let a = kind.index(&data).unwrap();
+            let b = kind.index(&scaled).unwrap();
+            prop_assert!((a - b).abs() < 1e-6 * (1.0 + a.abs()), "{kind}: {a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn all_indices_are_permutation_invariant(data in positive_data(32), seed in 0u64..1000) {
+        // Deterministic shuffle driven by the seed.
+        let mut permuted = data.clone();
+        let n = permuted.len();
+        let mut state = seed.wrapping_add(0x9E3779B97F4A7C15);
+        for i in (1..n).rev() {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            let j = (state % (i as u64 + 1)) as usize;
+            permuted.swap(i, j);
+        }
+        for kind in DispersionKind::ALL {
+            let a = kind.index(&data).unwrap();
+            let b = kind.index(&permuted).unwrap();
+            prop_assert!((a - b).abs() < 1e-9, "{kind}: {a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn t_transform_never_increases_any_index(
+        data in positive_data(16),
+        i in 0usize..16,
+        j in 0usize..16,
+        frac in 0.0f64..=1.0,
+    ) {
+        let i = i % data.len();
+        let j = j % data.len();
+        prop_assume!(i != j);
+        let gap = (data[i] - data[j]).abs();
+        prop_assume!(gap > 1e-9);
+        let amount = gap / 2.0 * frac;
+        let moved = t_transform(&data, i, j, amount).unwrap();
+        for kind in DispersionKind::ALL {
+            let before = kind.index(&data).unwrap();
+            let after = kind.index(&moved).unwrap();
+            prop_assert!(after <= before + 1e-9, "{kind}: {after} > {before}");
+        }
+    }
+
+    #[test]
+    fn majorization_is_reflexive_and_antisymmetric_up_to_permutation(data in positive_data(16)) {
+        prop_assert_eq!(compare(&data, &data).unwrap(), MajorizationOrder::Equal);
+        let mut sorted = data.clone();
+        sorted.sort_by(f64::total_cmp);
+        prop_assert_eq!(compare(&data, &sorted).unwrap(), MajorizationOrder::Equal);
+    }
+
+    #[test]
+    fn everything_majorizes_balanced_and_is_majorized_by_concentrated(data in positive_data(16)) {
+        let n = data.len();
+        let balanced = vec![1.0; n];
+        let mut concentrated = vec![0.0; n];
+        concentrated[0] = 1.0;
+        prop_assert!(is_majorized_by(&balanced, &data).unwrap());
+        prop_assert!(is_majorized_by(&data, &concentrated).unwrap());
+    }
+
+    #[test]
+    fn lorenz_curve_is_monotone_and_convex(data in positive_data(32)) {
+        let pts = lorenz_curve(&data).unwrap();
+        for w in pts.windows(2) {
+            prop_assert!(w[1].1 >= w[0].1 - 1e-12); // monotone
+            prop_assert!(w[1].1 <= w[1].0 + 1e-9);  // below the diagonal
+        }
+        // Convexity: increments are non-decreasing (sorted ascending).
+        let mut last = -1e-12;
+        for w in pts.windows(2) {
+            let inc = w[1].1 - w[0].1;
+            prop_assert!(inc >= last - 1e-9);
+            last = inc;
+        }
+    }
+
+    #[test]
+    fn dispersion_indices_respect_majorization(
+        (a, b) in (2usize..12).prop_flat_map(|n| {
+            let one = proptest::collection::vec(0.0f64..1e6, n)
+                .prop_filter("needs a positive element", |v| v.iter().sum::<f64>() > 1e-9);
+            (one.clone(), one)
+        }),
+    ) {
+        for kind in DispersionKind::ALL {
+            let f = |d: &[f64]| kind.index(d);
+            if let Some(ok) = respects_majorization(f, &a, &b, 1e-9).unwrap() {
+                prop_assert!(ok, "{kind} violated Schur-convexity");
+            }
+        }
+    }
+}

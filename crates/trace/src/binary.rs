@@ -1,0 +1,278 @@
+//! Compact binary codec for traces.
+//!
+//! Layout (all integers little-endian):
+//!
+//! ```text
+//! magic    8 bytes  "LIMBATRC"
+//! version  u16      1
+//! procs    u32
+//! nregions u32
+//! regions  nregions × (u32 length, utf-8 bytes)
+//! nevents  u64
+//! events   nevents × (f64 time, u32 proc, u8 op, operands)
+//! ```
+//!
+//! Operands by op code: `0` enter / `1` leave → `u32` region; `2` begin /
+//! `3` end → `u8` activity index; `4` send / `5` recv → `u32` peer +
+//! `u64` bytes.
+
+use std::io::{Read, Write};
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+
+use limba_model::ActivityKind;
+
+use crate::{Event, EventPayload, Trace, TraceBuilder, TraceError};
+
+const MAGIC: &[u8; 8] = b"LIMBATRC";
+const VERSION: u16 = 1;
+
+fn malformed(detail: impl Into<String>) -> TraceError {
+    TraceError::Malformed {
+        detail: detail.into(),
+    }
+}
+
+/// Encodes `trace` into a byte buffer.
+pub fn to_bytes(trace: &Trace) -> Bytes {
+    let mut buf = BytesMut::with_capacity(64 + trace.events().len() * 24);
+    buf.put_slice(MAGIC);
+    buf.put_u16_le(VERSION);
+    buf.put_u32_le(trace.processors() as u32);
+    buf.put_u32_le(trace.region_names().len() as u32);
+    for name in trace.region_names() {
+        buf.put_u32_le(name.len() as u32);
+        buf.put_slice(name.as_bytes());
+    }
+    buf.put_u64_le(trace.events().len() as u64);
+    for e in trace.events() {
+        buf.put_f64_le(e.time);
+        buf.put_u32_le(e.proc);
+        match e.payload {
+            EventPayload::EnterRegion { region } => {
+                buf.put_u8(0);
+                buf.put_u32_le(region as u32);
+            }
+            EventPayload::LeaveRegion { region } => {
+                buf.put_u8(1);
+                buf.put_u32_le(region as u32);
+            }
+            EventPayload::BeginActivity { kind } => {
+                buf.put_u8(2);
+                buf.put_u8(kind.index() as u8);
+            }
+            EventPayload::EndActivity { kind } => {
+                buf.put_u8(3);
+                buf.put_u8(kind.index() as u8);
+            }
+            EventPayload::MessageSend { peer, bytes } => {
+                buf.put_u8(4);
+                buf.put_u32_le(peer);
+                buf.put_u64_le(bytes);
+            }
+            EventPayload::MessageRecv { peer, bytes } => {
+                buf.put_u8(5);
+                buf.put_u32_le(peer);
+                buf.put_u64_le(bytes);
+            }
+        }
+    }
+    buf.freeze()
+}
+
+/// Writes the binary encoding of `trace` to `writer`.
+///
+/// # Errors
+///
+/// Propagates I/O failures.
+pub fn write<W: Write>(trace: &Trace, mut writer: W) -> Result<(), TraceError> {
+    writer.write_all(&to_bytes(trace))?;
+    Ok(())
+}
+
+macro_rules! need {
+    ($buf:expr, $n:expr, $what:expr) => {
+        if $buf.remaining() < $n {
+            return Err(malformed(concat!("truncated while reading ", $what)));
+        }
+    };
+}
+
+/// Decodes a trace from a byte slice.
+///
+/// # Errors
+///
+/// Returns [`TraceError::Malformed`] for bad magic, version, truncation,
+/// or invalid activity indices. The decoded trace is not validated.
+pub fn from_bytes(mut buf: &[u8]) -> Result<Trace, TraceError> {
+    need!(buf, 8 + 2 + 4 + 4, "header");
+    let mut magic = [0u8; 8];
+    buf.copy_to_slice(&mut magic);
+    if &magic != MAGIC {
+        return Err(malformed("bad magic"));
+    }
+    let version = buf.get_u16_le();
+    if version != VERSION {
+        return Err(malformed(format!("unsupported version {version}")));
+    }
+    let processors = buf.get_u32_le() as usize;
+    let nregions = buf.get_u32_le() as usize;
+    let mut builder = TraceBuilder::new(processors);
+    for _ in 0..nregions {
+        need!(buf, 4, "region name length");
+        let len = buf.get_u32_le() as usize;
+        need!(buf, len, "region name");
+        let mut name = vec![0u8; len];
+        buf.copy_to_slice(&mut name);
+        let name = String::from_utf8(name)
+            .map_err(|e| malformed(format!("region name not utf-8: {e}")))?;
+        builder.add_region(name);
+    }
+    need!(buf, 8, "event count");
+    let nevents = buf.get_u64_le();
+    for _ in 0..nevents {
+        need!(buf, 8 + 4 + 1, "event header");
+        let time = buf.get_f64_le();
+        let proc = buf.get_u32_le();
+        let op = buf.get_u8();
+        let payload = match op {
+            0 | 1 => {
+                need!(buf, 4, "region operand");
+                let region = buf.get_u32_le() as usize;
+                if op == 0 {
+                    EventPayload::EnterRegion { region }
+                } else {
+                    EventPayload::LeaveRegion { region }
+                }
+            }
+            2 | 3 => {
+                need!(buf, 1, "activity operand");
+                let idx = buf.get_u8() as usize;
+                let kind = ActivityKind::from_index(idx)
+                    .ok_or_else(|| malformed(format!("bad activity index {idx}")))?;
+                if op == 2 {
+                    EventPayload::BeginActivity { kind }
+                } else {
+                    EventPayload::EndActivity { kind }
+                }
+            }
+            4 | 5 => {
+                need!(buf, 12, "message operand");
+                let peer = buf.get_u32_le();
+                let bytes = buf.get_u64_le();
+                if op == 4 {
+                    EventPayload::MessageSend { peer, bytes }
+                } else {
+                    EventPayload::MessageRecv { peer, bytes }
+                }
+            }
+            other => return Err(malformed(format!("unknown op code {other}"))),
+        };
+        builder.push(Event {
+            time,
+            proc,
+            payload,
+        });
+    }
+    if buf.has_remaining() {
+        return Err(malformed(format!("{} trailing bytes", buf.remaining())));
+    }
+    Ok(builder.build())
+}
+
+/// Reads a binary trace from `reader` (consumes to end of stream).
+///
+/// # Errors
+///
+/// Same conditions as [`from_bytes`], plus I/O failures.
+pub fn read<R: Read>(mut reader: R) -> Result<Trace, TraceError> {
+    let mut data = Vec::new();
+    reader.read_to_end(&mut data)?;
+    from_bytes(&data)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Trace {
+        let mut b = TraceBuilder::new(3);
+        let r0 = b.add_region("solver");
+        let r1 = b.add_region("exchange");
+        b.push(Event::enter(0.0, 0, r0));
+        b.push(Event::begin_activity(0.5, 0, ActivityKind::Synchronization));
+        b.push(Event::end_activity(0.75, 0, ActivityKind::Synchronization));
+        b.push(Event::leave(1.0, 0, r0));
+        b.push(Event::enter(0.0, 2, r1));
+        b.push(Event::message_send(0.25, 2, 1, u64::MAX));
+        b.push(Event::message_recv(0.5, 2, 1, 0));
+        b.push(Event::leave(1.0, 2, r1));
+        b.build()
+    }
+
+    #[test]
+    fn round_trip_preserves_everything() {
+        let t = sample();
+        let bytes = to_bytes(&t);
+        let back = from_bytes(&bytes).unwrap();
+        assert_eq!(t, back);
+    }
+
+    #[test]
+    fn read_write_through_io() {
+        let t = sample();
+        let mut buf = Vec::new();
+        write(&t, &mut buf).unwrap();
+        let back = read(buf.as_slice()).unwrap();
+        assert_eq!(t, back);
+    }
+
+    #[test]
+    fn truncation_anywhere_is_detected() {
+        let bytes = to_bytes(&sample());
+        for cut in 0..bytes.len() {
+            assert!(
+                from_bytes(&bytes[..cut]).is_err(),
+                "truncation at {cut} was accepted"
+            );
+        }
+    }
+
+    #[test]
+    fn bad_magic_version_op_are_rejected() {
+        let mut bytes = to_bytes(&sample()).to_vec();
+        bytes[0] = b'X';
+        assert!(from_bytes(&bytes).is_err());
+
+        let mut bytes = to_bytes(&sample()).to_vec();
+        bytes[8] = 99; // version
+        assert!(from_bytes(&bytes).is_err());
+    }
+
+    #[test]
+    fn trailing_bytes_are_rejected() {
+        let mut bytes = to_bytes(&sample()).to_vec();
+        bytes.push(0);
+        assert!(from_bytes(&bytes).is_err());
+    }
+
+    #[test]
+    fn empty_trace_round_trips() {
+        let t = TraceBuilder::new(1).build();
+        assert_eq!(from_bytes(&to_bytes(&t)).unwrap(), t);
+    }
+
+    #[test]
+    fn binary_is_smaller_than_text_for_large_traces() {
+        let mut b = TraceBuilder::new(4);
+        let r = b.add_region("r");
+        for i in 0..1000 {
+            b.push(Event::enter(i as f64, (i % 4) as u32, r));
+            b.push(Event::leave(i as f64 + 0.5, (i % 4) as u32, r));
+        }
+        let t = b.build();
+        let bin = to_bytes(&t).len();
+        let txt = crate::text::to_string(&t).len();
+        assert!(bin < txt, "binary {bin} >= text {txt}");
+    }
+}

@@ -1,0 +1,263 @@
+//! Line-oriented text codec for traces.
+//!
+//! The format is self-describing and diff-friendly:
+//!
+//! ```text
+//! limba-trace v1
+//! processors 2
+//! region 0 solver loop
+//! region 1 halo exchange
+//! event 0 0 enter 0
+//! event 0.5 0 begin point-to-point
+//! event 0.75 0 end point-to-point
+//! event 1 0 leave 0
+//! ```
+
+use std::io::{BufRead, BufReader, Read, Write};
+
+use limba_model::ActivityKind;
+
+use crate::{Event, EventPayload, Trace, TraceBuilder, TraceError};
+
+const HEADER: &str = "limba-trace v1";
+
+/// Writes `trace` in the text format.
+///
+/// # Errors
+///
+/// Propagates I/O failures of `writer`. A `&mut Vec<u8>` works as a writer
+/// for in-memory encoding.
+pub fn write<W: Write>(trace: &Trace, mut writer: W) -> Result<(), TraceError> {
+    writeln!(writer, "{HEADER}")?;
+    writeln!(writer, "processors {}", trace.processors())?;
+    for (i, name) in trace.region_names().iter().enumerate() {
+        writeln!(writer, "region {i} {name}")?;
+    }
+    for e in trace.events() {
+        match e.payload {
+            EventPayload::EnterRegion { region } => {
+                writeln!(writer, "event {} {} enter {region}", e.time, e.proc)?
+            }
+            EventPayload::LeaveRegion { region } => {
+                writeln!(writer, "event {} {} leave {region}", e.time, e.proc)?
+            }
+            EventPayload::BeginActivity { kind } => {
+                writeln!(writer, "event {} {} begin {}", e.time, e.proc, kind.label())?
+            }
+            EventPayload::EndActivity { kind } => {
+                writeln!(writer, "event {} {} end {}", e.time, e.proc, kind.label())?
+            }
+            EventPayload::MessageSend { peer, bytes } => {
+                writeln!(writer, "event {} {} send {peer} {bytes}", e.time, e.proc)?
+            }
+            EventPayload::MessageRecv { peer, bytes } => {
+                writeln!(writer, "event {} {} recv {peer} {bytes}", e.time, e.proc)?
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Encodes `trace` to a text `String`.
+pub fn to_string(trace: &Trace) -> String {
+    let mut buf = Vec::new();
+    write(trace, &mut buf).expect("writing to a Vec cannot fail");
+    String::from_utf8(buf).expect("codec emits utf-8")
+}
+
+fn malformed(detail: impl Into<String>) -> TraceError {
+    TraceError::Malformed {
+        detail: detail.into(),
+    }
+}
+
+/// Reads a trace in the text format.
+///
+/// # Errors
+///
+/// Returns [`TraceError::Malformed`] on syntax errors and propagates I/O
+/// failures. The decoded trace is *not* validated; call
+/// [`Trace::validate`] on untrusted input.
+pub fn read<R: Read>(reader: R) -> Result<Trace, TraceError> {
+    let mut lines = BufReader::new(reader).lines();
+    let header = lines.next().ok_or_else(|| malformed("empty input"))??;
+    if header.trim() != HEADER {
+        return Err(malformed(format!("bad header {header:?}")));
+    }
+    let procs_line = lines
+        .next()
+        .ok_or_else(|| malformed("missing processors line"))??;
+    let processors: usize = procs_line
+        .strip_prefix("processors ")
+        .ok_or_else(|| malformed("expected `processors N`"))?
+        .trim()
+        .parse()
+        .map_err(|e| malformed(format!("bad processor count: {e}")))?;
+
+    let mut builder = TraceBuilder::new(processors);
+    for line in lines {
+        let line = line?;
+        let line = line.trim_end();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("region ") {
+            let (idx, name) = rest
+                .split_once(' ')
+                .ok_or_else(|| malformed(format!("bad region line {line:?}")))?;
+            let idx: usize = idx
+                .parse()
+                .map_err(|e| malformed(format!("bad region index: {e}")))?;
+            if idx != builder.region_count() {
+                return Err(malformed(format!(
+                    "region indices must be dense, got {idx}"
+                )));
+            }
+            builder.add_region(name);
+        } else if let Some(rest) = line.strip_prefix("event ") {
+            builder.push(parse_event(rest)?);
+        } else {
+            return Err(malformed(format!("unrecognized line {line:?}")));
+        }
+    }
+    Ok(builder.build())
+}
+
+fn parse_event(rest: &str) -> Result<Event, TraceError> {
+    let mut parts = rest.split_whitespace();
+    let time: f64 = parts
+        .next()
+        .ok_or_else(|| malformed("event missing time"))?
+        .parse()
+        .map_err(|e| malformed(format!("bad time: {e}")))?;
+    let proc: u32 = parts
+        .next()
+        .ok_or_else(|| malformed("event missing processor"))?
+        .parse()
+        .map_err(|e| malformed(format!("bad processor: {e}")))?;
+    let op = parts.next().ok_or_else(|| malformed("event missing op"))?;
+    let payload = match op {
+        "enter" | "leave" => {
+            let region: usize = parts
+                .next()
+                .ok_or_else(|| malformed("missing region"))?
+                .parse()
+                .map_err(|e| malformed(format!("bad region: {e}")))?;
+            if op == "enter" {
+                EventPayload::EnterRegion { region }
+            } else {
+                EventPayload::LeaveRegion { region }
+            }
+        }
+        "begin" | "end" => {
+            let label = parts.next().ok_or_else(|| malformed("missing activity"))?;
+            let kind = ActivityKind::parse_label(label)
+                .ok_or_else(|| malformed(format!("unknown activity {label:?}")))?;
+            if op == "begin" {
+                EventPayload::BeginActivity { kind }
+            } else {
+                EventPayload::EndActivity { kind }
+            }
+        }
+        "send" | "recv" => {
+            let peer: u32 = parts
+                .next()
+                .ok_or_else(|| malformed("missing peer"))?
+                .parse()
+                .map_err(|e| malformed(format!("bad peer: {e}")))?;
+            let bytes: u64 = parts
+                .next()
+                .ok_or_else(|| malformed("missing bytes"))?
+                .parse()
+                .map_err(|e| malformed(format!("bad bytes: {e}")))?;
+            if op == "send" {
+                EventPayload::MessageSend { peer, bytes }
+            } else {
+                EventPayload::MessageRecv { peer, bytes }
+            }
+        }
+        other => return Err(malformed(format!("unknown event op {other:?}"))),
+    };
+    if parts.next().is_some() {
+        return Err(malformed(format!("trailing tokens after event {rest:?}")));
+    }
+    Ok(Event {
+        time,
+        proc,
+        payload,
+    })
+}
+
+/// Decodes a trace from a string.
+///
+/// # Errors
+///
+/// Same conditions as [`read`].
+pub fn from_str(s: &str) -> Result<Trace, TraceError> {
+    read(s.as_bytes())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use limba_model::RegionId;
+
+    fn sample() -> Trace {
+        let mut b = TraceBuilder::new(2);
+        let r0 = b.add_region("solver loop");
+        let r1 = b.add_region("halo exchange");
+        b.push(Event::enter(0.0, 0, r0));
+        b.push(Event::begin_activity(0.25, 0, ActivityKind::Collective));
+        b.push(Event::end_activity(0.5, 0, ActivityKind::Collective));
+        b.push(Event::leave(1.0, 0, r0));
+        b.push(Event::enter(0.0, 1, r1));
+        b.push(Event::message_send(0.1, 1, 0, 4096));
+        b.push(Event::message_recv(0.2, 1, 0, 2048));
+        b.push(Event::leave(0.75, 1, r1));
+        b.build()
+    }
+
+    #[test]
+    fn round_trip_preserves_everything() {
+        let t = sample();
+        let s = to_string(&t);
+        let back = from_str(&s).unwrap();
+        assert_eq!(t, back);
+    }
+
+    #[test]
+    fn region_names_with_spaces_survive() {
+        let t = sample();
+        let back = from_str(&to_string(&t)).unwrap();
+        assert_eq!(back.region_names()[0], "solver loop");
+    }
+
+    #[test]
+    fn comments_and_blank_lines_are_ignored() {
+        let s = "limba-trace v1\nprocessors 1\nregion 0 r\n\n# comment\nevent 0 0 enter 0\nevent 1 0 leave 0\n";
+        let t = from_str(s).unwrap();
+        assert_eq!(t.events().len(), 2);
+        t.validate().unwrap();
+    }
+
+    #[test]
+    fn bad_inputs_are_rejected() {
+        assert!(from_str("").is_err());
+        assert!(from_str("wrong header\n").is_err());
+        assert!(from_str("limba-trace v1\nnope\n").is_err());
+        assert!(from_str("limba-trace v1\nprocessors 1\nregion 5 r\n").is_err());
+        assert!(from_str("limba-trace v1\nprocessors 1\nevent x 0 enter 0\n").is_err());
+        assert!(from_str("limba-trace v1\nprocessors 1\nevent 0 0 explode 0\n").is_err());
+        assert!(from_str("limba-trace v1\nprocessors 1\nevent 0 0 begin warp\n").is_err());
+        assert!(from_str("limba-trace v1\nprocessors 1\nevent 0 0 enter 0 junk\n").is_err());
+        assert!(from_str("limba-trace v1\nprocessors 1\nmystery line\n").is_err());
+    }
+
+    #[test]
+    fn scientific_notation_times_parse() {
+        let s = "limba-trace v1\nprocessors 1\nregion 0 r\nevent 1e-3 0 enter 0\nevent 2e-3 0 leave 0\n";
+        let t = from_str(s).unwrap();
+        assert!((t.events()[0].time - 0.001).abs() < 1e-12);
+        let _ = RegionId::new(0);
+    }
+}

@@ -1,0 +1,150 @@
+//! CSV export of the analysis tables, for spreadsheets and plotting.
+
+use limba_analysis::Report;
+use limba_model::ActivityKind;
+
+fn escape(field: &str) -> String {
+    if field.contains([',', '"', '\n']) {
+        format!("\"{}\"", field.replace('"', "\"\""))
+    } else {
+        field.to_string()
+    }
+}
+
+/// Table 1 as CSV: `region, overall, <activity columns…>`; absent cells
+/// are empty.
+pub fn profile_csv(report: &Report) -> String {
+    let kinds: Vec<ActivityKind> = report.profile.activity_totals.iter().map(|t| t.0).collect();
+    let mut out = String::from("region,overall");
+    for k in &kinds {
+        out.push(',');
+        out.push_str(k.label());
+    }
+    out.push('\n');
+    for r in &report.profile.regions {
+        out.push_str(&escape(&r.name));
+        out.push_str(&format!(",{}", r.seconds));
+        for b in &r.breakdown {
+            out.push(',');
+            if b.performed {
+                out.push_str(&b.seconds.to_string());
+            }
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Table 2 as CSV: the `ID_ij` matrix with empty cells where an activity
+/// is not performed.
+pub fn dispersions_csv(report: &Report) -> String {
+    let kinds: Vec<ActivityKind> = report.profile.activity_totals.iter().map(|t| t.0).collect();
+    let mut out = String::from("region");
+    for k in &kinds {
+        out.push(',');
+        out.push_str(k.label());
+    }
+    out.push('\n');
+    for r in &report.profile.regions {
+        out.push_str(&escape(&r.name));
+        for col in 0..kinds.len() {
+            out.push(',');
+            if let Some(id) = report.activity_view.id[r.region.index()][col] {
+                out.push_str(&id.to_string());
+            }
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Tables 3 and 4 as one CSV: `view, name, seconds, fraction, id, sid`.
+pub fn summaries_csv(report: &Report) -> String {
+    let mut out = String::from("view,name,seconds,fraction,id,sid\n");
+    for s in &report.activity_view.summaries {
+        out.push_str(&format!(
+            "activity,{},{},{},{},{}\n",
+            s.kind.label(),
+            s.seconds,
+            s.fraction_of_program,
+            s.id,
+            s.sid
+        ));
+    }
+    for s in &report.region_view.summaries {
+        out.push_str(&format!(
+            "region,{},{},{},{},{}\n",
+            escape(&s.name),
+            s.seconds,
+            s.fraction_of_program,
+            s.id,
+            s.sid
+        ));
+    }
+    out
+}
+
+/// The processor view as CSV: `region, processor, id_p, wall_clock`.
+pub fn processor_view_csv(report: &Report) -> String {
+    let mut out = String::from("region,processor,id_p\n");
+    for (i, row) in report.processor_view.id.iter().enumerate() {
+        let name = &report.profile.regions[i].name;
+        for (p, id) in row.iter().enumerate() {
+            if let Some(id) = id {
+                out.push_str(&format!("{},{p},{id}\n", escape(name)));
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use limba_analysis::Analyzer;
+    use limba_model::MeasurementsBuilder;
+
+    fn report() -> Report {
+        let mut b = MeasurementsBuilder::new(2);
+        let r = b.add_region("core, hot"); // comma forces escaping
+        b.record(r, ActivityKind::Computation, 0, 1.0).unwrap();
+        b.record(r, ActivityKind::Computation, 1, 3.0).unwrap();
+        Analyzer::new()
+            .with_cluster_k(0)
+            .analyze(&b.build().unwrap())
+            .unwrap()
+    }
+
+    #[test]
+    fn profile_csv_escapes_and_blanks() {
+        let csv = profile_csv(&report());
+        let mut lines = csv.lines();
+        assert_eq!(
+            lines.next().unwrap(),
+            "region,overall,computation,point-to-point,collective,synchronization"
+        );
+        let row = lines.next().unwrap();
+        assert!(row.starts_with("\"core, hot\",2,2,"));
+        assert!(row.ends_with(",,")); // three unperformed activities blank
+    }
+
+    #[test]
+    fn dispersions_csv_has_values_only_where_performed() {
+        let csv = dispersions_csv(&report());
+        let row = csv.lines().nth(1).unwrap();
+        let fields: Vec<&str> = row.split(',').collect();
+        // "core, hot" splits into 2 quoted pieces + 4 activity columns.
+        assert!(fields[2].parse::<f64>().is_ok());
+        assert_eq!(fields[3], "");
+    }
+
+    #[test]
+    fn summaries_and_processor_view_emit_rows() {
+        let r = report();
+        let s = summaries_csv(&r);
+        assert!(s.contains("activity,computation"));
+        assert!(s.contains("region,\"core, hot\""));
+        let p = processor_view_csv(&r);
+        assert_eq!(p.lines().count(), 3); // header + 2 processors
+    }
+}

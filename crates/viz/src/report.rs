@@ -1,0 +1,283 @@
+//! Full text report rendering.
+
+use limba_analysis::Report;
+use limba_model::ActivityKind;
+
+use crate::pattern;
+use crate::table::{cell, TextTable};
+
+/// Renders the Table-1-style wall-clock breakdown.
+pub fn render_profile(report: &Report) -> String {
+    let kinds: Vec<ActivityKind> = report.profile.activity_totals.iter().map(|t| t.0).collect();
+    let mut header = vec!["region".to_string(), "overall".to_string()];
+    header.extend(kinds.iter().map(|k| k.to_string()));
+    let mut t = TextTable::new(header);
+    for r in &report.profile.regions {
+        let mut row = vec![r.name.clone(), format!("{:.3}", r.seconds)];
+        for b in &r.breakdown {
+            row.push(if b.performed {
+                format!("{:.3}", b.seconds)
+            } else {
+                "-".into()
+            });
+        }
+        t.row(row);
+    }
+    t.render()
+}
+
+/// Renders the `ID_ij` dispersion matrix (Table 2).
+pub fn render_dispersions(report: &Report) -> String {
+    let kinds: Vec<ActivityKind> = report.profile.activity_totals.iter().map(|t| t.0).collect();
+    let mut header = vec!["region".to_string()];
+    header.extend(kinds.iter().map(|k| k.to_string()));
+    let mut t = TextTable::new(header);
+    for r in &report.profile.regions {
+        let mut row = vec![r.name.clone()];
+        for col in 0..kinds.len() {
+            row.push(cell(report.activity_view.id[r.region.index()][col]));
+        }
+        t.row(row);
+    }
+    t.render()
+}
+
+/// Renders the activity-view summary (Table 3).
+pub fn render_activity_summary(report: &Report) -> String {
+    let mut t = TextTable::new(vec!["activity".into(), "ID_A".into(), "SID_A".into()]);
+    for s in &report.activity_view.summaries {
+        t.row(vec![
+            s.kind.to_string(),
+            cell(Some(s.id)),
+            cell(Some(s.sid)),
+        ]);
+    }
+    t.render()
+}
+
+/// Renders the region-view summary (Table 4).
+pub fn render_region_summary(report: &Report) -> String {
+    let mut t = TextTable::new(vec!["region".into(), "ID_C".into(), "SID_C".into()]);
+    for s in &report.region_view.summaries {
+        t.row(vec![s.name.clone(), cell(Some(s.id)), cell(Some(s.sid))]);
+    }
+    t.render()
+}
+
+/// Renders the per-region most-imbalanced-processor table of the
+/// processor view.
+pub fn render_processor_view(report: &Report) -> String {
+    let mut t = TextTable::new(vec![
+        "region".into(),
+        "worst processor".into(),
+        "ID_P".into(),
+        "wall clock".into(),
+    ]);
+    for (i, entry) in report
+        .processor_view
+        .most_imbalanced_per_region
+        .iter()
+        .enumerate()
+    {
+        let name = report.profile.regions[i].name.clone();
+        match entry {
+            Some((p, id, wall)) => {
+                t.row(vec![
+                    name,
+                    p.to_string(),
+                    cell(Some(*id)),
+                    format!("{wall:.3}"),
+                ]);
+            }
+            None => {
+                t.row(vec![name, "-".into(), "-".into(), "-".into()]);
+            }
+        }
+    }
+    t.render()
+}
+
+/// Renders the whole report as plain text: coarse findings, the four
+/// tables, the pattern diagrams, and the processor findings.
+pub fn render(report: &Report) -> String {
+    let mut out = String::new();
+    out.push_str("== coarse grain ==\n");
+    out.push_str(&format!(
+        "program wall clock: {:.3} s\ndominant activity: {} ({:.3} s)\nheaviest region: {} ({:.1}% of program)\n",
+        report.coarse.total_seconds,
+        report.coarse.dominant_activity,
+        report.coarse.dominant_activity_seconds,
+        report.coarse.heaviest_region_name,
+        report.coarse.heaviest_region_fraction * 100.0,
+    ));
+    for e in &report.coarse.extremes {
+        out.push_str(&format!(
+            "{}: worst {} ({:.3} s), best {} ({:.3} s)\n",
+            e.kind, e.worst.1, e.worst.2, e.best.1, e.best.2
+        ));
+    }
+    if let Some(c) = &report.clustering {
+        out.push_str(&format!("\n== clustering (k = {}) ==\n", c.k));
+        for (g, members) in c.groups.iter().enumerate() {
+            let names: Vec<&str> = members
+                .iter()
+                .map(|&r| report.profile.regions[r.index()].name.as_str())
+                .collect();
+            out.push_str(&format!("group {g}: {}\n", names.join(", ")));
+        }
+    }
+    out.push_str("\n== wall clock breakdown ==\n");
+    out.push_str(&render_profile(report));
+    out.push_str("\n== indices of dispersion ID_ij ==\n");
+    out.push_str(&render_dispersions(report));
+    out.push_str("\n== activity view ==\n");
+    out.push_str(&render_activity_summary(report));
+    out.push_str("\n== code region view ==\n");
+    out.push_str(&render_region_summary(report));
+    out.push_str("\n== processor view ==\n");
+    out.push_str(&render_processor_view(report));
+    out.push_str("\n== patterns ==\n");
+    for grid in &report.patterns {
+        out.push_str(&pattern::render(grid));
+        out.push('\n');
+    }
+    if let Some(counts) = &report.counts {
+        if !counts.summaries.is_empty() {
+            out.push_str("== counting parameters ==\n");
+            let mut t = TextTable::new(vec![
+                "quantity".into(),
+                "total".into(),
+                "weighted ID".into(),
+            ]);
+            for s in &counts.summaries {
+                t.row(vec![
+                    s.kind.to_string(),
+                    format!("{:.0}", s.total),
+                    cell(Some(s.id)),
+                ]);
+            }
+            out.push_str(&t.render());
+            if let Some(worst) = counts.most_imbalanced_cell() {
+                out.push_str(&format!(
+                    "most uneven cell: {} in {} (ID {:.5})\n",
+                    worst.kind,
+                    report.profile.regions[worst.region.index()].name,
+                    worst.id
+                ));
+            }
+            out.push('\n');
+        }
+    }
+    out.push_str("== findings ==\n");
+    let f = &report.findings;
+    if let Some((p, n)) = f.processors.most_frequently_imbalanced {
+        out.push_str(&format!("most frequently imbalanced: {p} ({n} regions)\n"));
+    }
+    if let Some((p, t)) = f.processors.longest_imbalanced {
+        out.push_str(&format!("longest imbalanced: {p} ({t:.3} s)\n"));
+    }
+    if let Some((k, v)) = f.most_imbalanced_activity {
+        out.push_str(&format!("most imbalanced activity: {k} (ID_A = {v:.5})\n"));
+    }
+    if let Some((k, v)) = f.most_imbalanced_activity_scaled {
+        out.push_str(&format!(
+            "most imbalanced activity (scaled): {k} (SID_A = {v:.5})\n"
+        ));
+    }
+    for c in &f.tuning_candidates {
+        out.push_str(&format!(
+            "tuning candidate: {} (ID_C = {:.5}, SID_C = {:.5}{})\n",
+            c.name,
+            c.id,
+            c.sid,
+            if c.is_heaviest { ", program core" } else { "" }
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use limba_analysis::Analyzer;
+    use limba_model::MeasurementsBuilder;
+
+    fn report() -> Report {
+        let mut b = MeasurementsBuilder::new(4);
+        let r0 = b.add_region("core");
+        let r1 = b.add_region("halo");
+        for p in 0..4 {
+            b.record(r0, ActivityKind::Computation, p, 2.0 + p as f64)
+                .unwrap();
+            b.record(r0, ActivityKind::Collective, p, 1.0).unwrap();
+            b.record(r1, ActivityKind::PointToPoint, p, 0.25).unwrap();
+        }
+        Analyzer::new().analyze(&b.build().unwrap()).unwrap()
+    }
+
+    #[test]
+    fn full_report_mentions_every_section() {
+        let text = render(&report());
+        for needle in [
+            "== coarse grain ==",
+            "== clustering",
+            "== wall clock breakdown ==",
+            "== processor view ==",
+            "== indices of dispersion ID_ij ==",
+            "== activity view ==",
+            "== code region view ==",
+            "== patterns ==",
+            "== findings ==",
+            "dominant activity: computation",
+            "heaviest region: core",
+            "tuning candidate",
+        ] {
+            assert!(text.contains(needle), "missing {needle:?} in report");
+        }
+        // Counting section only appears when counts are attached.
+        assert!(!text.contains("== counting parameters =="));
+    }
+
+    #[test]
+    fn counting_section_renders_when_counts_present() {
+        use limba_model::{CountKind, CountMatrixBuilder, RegionId};
+        let mut b = MeasurementsBuilder::new(2);
+        let core = b.add_region("core");
+        b.record(core, ActivityKind::Computation, 0, 1.0).unwrap();
+        b.record(core, ActivityKind::Computation, 1, 1.0).unwrap();
+        let m = b.build().unwrap();
+        let mut cb = CountMatrixBuilder::new(2);
+        cb.record(RegionId::new(0), CountKind::MessagesSent, 0, 5.0)
+            .unwrap();
+        let report = Analyzer::new()
+            .with_cluster_k(0)
+            .analyze_with_counts(&m, &cb.build())
+            .unwrap();
+        let text = render(&report);
+        assert!(text.contains("== counting parameters =="));
+        assert!(text.contains("msgs-sent"));
+        assert!(text.contains("most uneven cell: msgs-sent in core"));
+    }
+
+    #[test]
+    fn dispersion_table_uses_dashes_for_absent_cells() {
+        let text = render_dispersions(&report());
+        assert!(text.contains('-'));
+        assert!(text.contains("core"));
+    }
+
+    #[test]
+    fn profile_table_has_overall_column() {
+        let text = render_profile(&report());
+        assert!(text.lines().next().unwrap().contains("overall"));
+        // core overall = mean comp 3.5 + coll 1.0 = 4.5
+        assert!(text.contains("4.500"));
+    }
+
+    #[test]
+    fn summaries_render_numbers() {
+        let r = report();
+        assert!(render_activity_summary(&r).contains("computation"));
+        assert!(render_region_summary(&r).contains("halo"));
+    }
+}

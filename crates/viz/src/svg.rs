@@ -1,0 +1,223 @@
+//! Standalone SVG renderings.
+
+use limba_analysis::patterns::{PatternBin, PatternGrid};
+
+fn bin_color(bin: PatternBin) -> &'static str {
+    match bin {
+        PatternBin::Max => "#b2182b",
+        PatternBin::UpperTail => "#ef8a62",
+        PatternBin::Mid => "#f7f7f7",
+        PatternBin::LowerTail => "#67a9cf",
+        PatternBin::Min => "#2166ac",
+    }
+}
+
+fn escape(text: &str) -> String {
+    text.replace('&', "&amp;")
+        .replace('<', "&lt;")
+        .replace('>', "&gt;")
+}
+
+/// Renders a pattern grid as a standalone SVG document: one row of
+/// colored cells per region, in the style of the paper's Figures 1–2.
+pub fn pattern_svg(grid: &PatternGrid) -> String {
+    const CELL: usize = 18;
+    const LABEL: usize = 140;
+    const ROW_GAP: usize = 6;
+    const TOP: usize = 30;
+    let procs = grid.rows.iter().map(|r| r.bins.len()).max().unwrap_or(0);
+    let width = LABEL + procs * CELL + 10;
+    let height = TOP + grid.rows.len() * (CELL + ROW_GAP) + 10;
+    let mut out = format!(
+        "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"{width}\" height=\"{height}\" \
+         font-family=\"sans-serif\" font-size=\"12\">\n"
+    );
+    out.push_str(&format!(
+        "  <text x=\"{LABEL}\" y=\"18\" font-weight=\"bold\">{} patterns</text>\n",
+        escape(&grid.activity.to_string())
+    ));
+    for (i, row) in grid.rows.iter().enumerate() {
+        let y = TOP + i * (CELL + ROW_GAP);
+        out.push_str(&format!(
+            "  <text x=\"4\" y=\"{}\">{}</text>\n",
+            y + CELL - 4,
+            escape(&row.name)
+        ));
+        for (p, &bin) in row.bins.iter().enumerate() {
+            let x = LABEL + p * CELL;
+            out.push_str(&format!(
+                "  <rect x=\"{x}\" y=\"{y}\" width=\"{CELL}\" height=\"{CELL}\" \
+                 fill=\"{}\" stroke=\"#333\"/>\n",
+                bin_color(bin)
+            ));
+        }
+    }
+    out.push_str("</svg>\n");
+    out
+}
+
+/// Renders the processor-view matrix `ID_P_ip` as a heatmap SVG: one row
+/// per region, one cell per processor, shaded by the index of dispersion
+/// (darker = more deviant activity mix). Cells for processors that never
+/// touch the region are crossed out.
+pub fn processor_heatmap_svg(report: &limba_analysis::Report) -> String {
+    const CELL: usize = 18;
+    const LABEL: usize = 140;
+    const ROW_GAP: usize = 4;
+    const TOP: usize = 30;
+    let pv = &report.processor_view;
+    let max_id = pv
+        .id
+        .iter()
+        .flatten()
+        .flatten()
+        .copied()
+        .fold(0.0f64, f64::max)
+        .max(1e-12);
+    let procs = pv.id.first().map(|r| r.len()).unwrap_or(0);
+    let width = LABEL + procs * CELL + 10;
+    let height = TOP + pv.id.len() * (CELL + ROW_GAP) + 10;
+    let mut out = format!(
+        "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"{width}\" height=\"{height}\" \
+         font-family=\"sans-serif\" font-size=\"12\">\n"
+    );
+    out.push_str(&format!(
+        "  <text x=\"{LABEL}\" y=\"18\" font-weight=\"bold\">processor view ID_P heatmap</text>\n"
+    ));
+    for (i, row) in pv.id.iter().enumerate() {
+        let y = TOP + i * (CELL + ROW_GAP);
+        let name = &report.profile.regions[i].name;
+        out.push_str(&format!(
+            "  <text x=\"4\" y=\"{}\">{}</text>\n",
+            y + CELL - 4,
+            escape(name)
+        ));
+        for (p, id) in row.iter().enumerate() {
+            let x = LABEL + p * CELL;
+            match id {
+                Some(id) => {
+                    // Linear white→red shade.
+                    let t = (id / max_id).clamp(0.0, 1.0);
+                    let g = (255.0 * (1.0 - 0.8 * t)) as u8;
+                    out.push_str(&format!(
+                        "  <rect x=\"{x}\" y=\"{y}\" width=\"{CELL}\" height=\"{CELL}\" \
+                         fill=\"rgb(255,{g},{g})\" stroke=\"#333\"/>\n"
+                    ));
+                }
+                None => {
+                    out.push_str(&format!(
+                        "  <rect x=\"{x}\" y=\"{y}\" width=\"{CELL}\" height=\"{CELL}\" \
+                         fill=\"#ddd\" stroke=\"#333\"/>\n  <line x1=\"{x}\" y1=\"{y}\" \
+                         x2=\"{}\" y2=\"{}\" stroke=\"#999\"/>\n",
+                        x + CELL,
+                        y + CELL
+                    ));
+                }
+            }
+        }
+    }
+    out.push_str("</svg>\n");
+    out
+}
+
+/// Renders a Lorenz curve (points from
+/// `limba_stats::majorization::lorenz_curve`) with the equality
+/// diagonal, as a standalone SVG document.
+pub fn lorenz_svg(points: &[(f64, f64)], title: &str) -> String {
+    const SIZE: f64 = 320.0;
+    const MARGIN: f64 = 30.0;
+    let scale = SIZE - 2.0 * MARGIN;
+    let map = |x: f64, y: f64| (MARGIN + x * scale, SIZE - MARGIN - y * scale);
+    let mut out = format!(
+        "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"{SIZE}\" height=\"{SIZE}\" \
+         font-family=\"sans-serif\" font-size=\"12\">\n"
+    );
+    out.push_str(&format!(
+        "  <text x=\"{MARGIN}\" y=\"18\" font-weight=\"bold\">{}</text>\n",
+        escape(title)
+    ));
+    let (x0, y0) = map(0.0, 0.0);
+    let (x1, y1) = map(1.0, 1.0);
+    out.push_str(&format!(
+        "  <line x1=\"{x0}\" y1=\"{y0}\" x2=\"{x1}\" y2=\"{y1}\" stroke=\"#999\" \
+         stroke-dasharray=\"4 3\"/>\n"
+    ));
+    let path: Vec<String> = points
+        .iter()
+        .enumerate()
+        .map(|(i, &(x, y))| {
+            let (px, py) = map(x, y);
+            format!("{}{px:.1},{py:.1}", if i == 0 { "M" } else { "L" })
+        })
+        .collect();
+    out.push_str(&format!(
+        "  <path d=\"{}\" fill=\"none\" stroke=\"#b2182b\" stroke-width=\"2\"/>\n",
+        path.join(" ")
+    ));
+    out.push_str("</svg>\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use limba_analysis::patterns::pattern_grid;
+    use limba_model::{ActivityKind, MeasurementsBuilder};
+    use limba_stats::majorization::lorenz_curve;
+
+    #[test]
+    fn pattern_svg_is_well_formed_and_colored() {
+        let mut b = MeasurementsBuilder::new(4);
+        let r = b.add_region("solve & <go>");
+        for (p, t) in [(0, 1.0), (1, 2.0), (2, 3.0), (3, 4.0)] {
+            b.record(r, ActivityKind::Computation, p, t).unwrap();
+        }
+        let grid = pattern_grid(&b.build().unwrap(), ActivityKind::Computation);
+        let svg = pattern_svg(&grid);
+        assert!(svg.starts_with("<svg"));
+        assert!(svg.ends_with("</svg>\n"));
+        assert_eq!(svg.matches("<rect").count(), 4);
+        assert!(svg.contains("#b2182b")); // the max cell
+        assert!(svg.contains("#2166ac")); // the min cell
+        assert!(svg.contains("&amp;") && svg.contains("&lt;go&gt;"));
+    }
+
+    #[test]
+    fn lorenz_svg_contains_diagonal_and_path() {
+        let pts = lorenz_curve(&[1.0, 2.0, 5.0]).unwrap();
+        let svg = lorenz_svg(&pts, "loop 6 computation");
+        assert!(svg.contains("<line"));
+        assert!(svg.contains("<path"));
+        assert!(svg.contains("loop 6 computation"));
+        assert_eq!(svg.matches('M').count() >= 1, true);
+    }
+
+    #[test]
+    fn processor_heatmap_shades_and_crosses() {
+        let mut b = MeasurementsBuilder::new(3);
+        let r = b.add_region("r");
+        // Processor 2 idle; 0 and 1 have different mixes.
+        b.record(r, ActivityKind::Computation, 0, 1.0).unwrap();
+        b.record(r, ActivityKind::PointToPoint, 0, 1.0).unwrap();
+        b.record(r, ActivityKind::Computation, 1, 2.0).unwrap();
+        let report = limba_analysis::Analyzer::new()
+            .with_cluster_k(0)
+            .analyze(&b.build().unwrap())
+            .unwrap();
+        let svg = processor_heatmap_svg(&report);
+        assert!(svg.contains("heatmap"));
+        assert_eq!(svg.matches("<rect").count(), 3);
+        assert!(svg.contains("<line")); // the idle processor's cross
+        assert!(svg.contains("fill=\"#ddd\""));
+    }
+
+    #[test]
+    fn empty_grid_svg_renders() {
+        let grid = PatternGrid {
+            activity: ActivityKind::Io,
+            rows: vec![],
+        };
+        let svg = pattern_svg(&grid);
+        assert!(svg.contains("io patterns"));
+    }
+}

@@ -1,0 +1,214 @@
+//! Work-distribution (im)balance injectors.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// How the nominal per-rank work of a workload is distributed.
+///
+/// `weights(ranks, seed)` returns one multiplicative factor per rank with
+/// mean exactly 1, so the *total* work is independent of the injector and
+/// runs stay comparable.
+///
+/// # Example
+///
+/// ```
+/// use limba_workloads::Imbalance;
+/// let w = Imbalance::LinearSkew { spread: 0.5 }.weights(4, 0);
+/// assert!((w.iter().sum::<f64>() / 4.0 - 1.0).abs() < 1e-12);
+/// assert!(w[3] > w[0]);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize, Default)]
+pub enum Imbalance {
+    /// Perfectly even distribution.
+    #[default]
+    None,
+    /// Work grows linearly with the rank index; the last rank gets
+    /// `1 + spread/2` of nominal, the first `1 − spread/2`.
+    LinearSkew {
+        /// Total relative spread between the lightest and heaviest rank,
+        /// clamped to `[0, 2)`.
+        spread: f64,
+    },
+    /// The first `heavy` ranks each get `factor` times the work of the
+    /// remaining ranks (a bad block decomposition).
+    BlockSkew {
+        /// Number of overloaded ranks.
+        heavy: usize,
+        /// Overload factor (> 1).
+        factor: f64,
+    },
+    /// Multiplicative uniform noise in `[1 − amplitude, 1 + amplitude]`,
+    /// renormalized to mean 1 (OS jitter, cache effects).
+    RandomJitter {
+        /// Noise amplitude in `[0, 1)`.
+        amplitude: f64,
+    },
+    /// A single hotspot rank receives `factor` times the work of everyone
+    /// else (e.g. a physics hotspot pinned to one subdomain).
+    Hotspot {
+        /// The overloaded rank.
+        rank: usize,
+        /// Overload factor (> 1).
+        factor: f64,
+    },
+}
+
+impl Imbalance {
+    /// Per-rank multiplicative work factors with mean exactly 1.
+    ///
+    /// `seed` only matters for [`Imbalance::RandomJitter`]; all other
+    /// variants are deterministic.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `ranks` is zero.
+    pub fn weights(&self, ranks: usize, seed: u64) -> Vec<f64> {
+        assert!(ranks > 0, "need at least one rank");
+        let raw: Vec<f64> = match *self {
+            Imbalance::None => vec![1.0; ranks],
+            Imbalance::LinearSkew { spread } => {
+                let spread = spread.clamp(0.0, 1.999);
+                if ranks == 1 {
+                    vec![1.0]
+                } else {
+                    (0..ranks)
+                        .map(|p| 1.0 - spread / 2.0 + spread * p as f64 / (ranks - 1) as f64)
+                        .collect()
+                }
+            }
+            Imbalance::BlockSkew { heavy, factor } => {
+                let heavy = heavy.min(ranks);
+                let factor = factor.max(1.0);
+                (0..ranks)
+                    .map(|p| if p < heavy { factor } else { 1.0 })
+                    .collect()
+            }
+            Imbalance::RandomJitter { amplitude } => {
+                let amplitude = amplitude.clamp(0.0, 0.999);
+                let mut rng = StdRng::seed_from_u64(seed);
+                (0..ranks)
+                    .map(|_| 1.0 + rng.gen_range(-amplitude..=amplitude))
+                    .collect()
+            }
+            Imbalance::Hotspot { rank, factor } => {
+                let factor = factor.max(1.0);
+                (0..ranks)
+                    .map(|p| if p == rank % ranks { factor } else { 1.0 })
+                    .collect()
+            }
+        };
+        let mean = raw.iter().sum::<f64>() / ranks as f64;
+        raw.into_iter().map(|w| w / mean).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assert_mean_one(w: &[f64]) {
+        let mean = w.iter().sum::<f64>() / w.len() as f64;
+        assert!((mean - 1.0).abs() < 1e-12, "mean {mean}");
+    }
+
+    #[test]
+    fn all_variants_have_mean_one_and_positive_weights() {
+        let variants = [
+            Imbalance::None,
+            Imbalance::LinearSkew { spread: 0.8 },
+            Imbalance::BlockSkew {
+                heavy: 3,
+                factor: 2.5,
+            },
+            Imbalance::RandomJitter { amplitude: 0.4 },
+            Imbalance::Hotspot {
+                rank: 5,
+                factor: 4.0,
+            },
+        ];
+        for v in variants {
+            let w = v.weights(16, 42);
+            assert_eq!(w.len(), 16);
+            assert_mean_one(&w);
+            assert!(w.iter().all(|&x| x > 0.0), "{v:?} gave non-positive weight");
+        }
+    }
+
+    #[test]
+    fn none_is_uniform() {
+        assert_eq!(Imbalance::None.weights(4, 0), vec![1.0; 4]);
+    }
+
+    #[test]
+    fn linear_skew_is_monotone() {
+        let w = Imbalance::LinearSkew { spread: 0.5 }.weights(8, 0);
+        for pair in w.windows(2) {
+            assert!(pair[1] > pair[0]);
+        }
+        assert!((w[7] - w[0] - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn linear_skew_single_rank() {
+        assert_eq!(
+            Imbalance::LinearSkew { spread: 1.0 }.weights(1, 0),
+            vec![1.0]
+        );
+    }
+
+    #[test]
+    fn block_skew_overloads_prefix() {
+        let w = Imbalance::BlockSkew {
+            heavy: 2,
+            factor: 3.0,
+        }
+        .weights(4, 0);
+        assert!((w[0] / w[2] - 3.0).abs() < 1e-12);
+        assert_eq!(w[0], w[1]);
+        assert_eq!(w[2], w[3]);
+    }
+
+    #[test]
+    fn block_skew_heavy_capped_at_ranks() {
+        let w = Imbalance::BlockSkew {
+            heavy: 99,
+            factor: 3.0,
+        }
+        .weights(4, 0);
+        assert_eq!(w, vec![1.0; 4]); // everyone heavy → renormalized to 1
+    }
+
+    #[test]
+    fn jitter_is_seed_deterministic() {
+        let a = Imbalance::RandomJitter { amplitude: 0.3 }.weights(8, 7);
+        let b = Imbalance::RandomJitter { amplitude: 0.3 }.weights(8, 7);
+        let c = Imbalance::RandomJitter { amplitude: 0.3 }.weights(8, 8);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn hotspot_targets_one_rank() {
+        let w = Imbalance::Hotspot {
+            rank: 2,
+            factor: 5.0,
+        }
+        .weights(4, 0);
+        assert!(w[2] > w[0]);
+        assert_eq!(w[0], w[1]);
+        // Out-of-range ranks wrap.
+        let w = Imbalance::Hotspot {
+            rank: 6,
+            factor: 5.0,
+        }
+        .weights(4, 0);
+        assert!(w[2] > w[0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one rank")]
+    fn zero_ranks_panics() {
+        Imbalance::None.weights(0, 0);
+    }
+}

@@ -1,0 +1,61 @@
+//! Synthetic message-passing applications for the limba simulator.
+//!
+//! The paper's case study is "a message passing computational fluid
+//! dynamic code" whose measurements cover "7 code regions corresponding to
+//! the main loops of the program" with four activities (computation,
+//! point-to-point, collective, synchronization). [`cfd`] is a proxy
+//! application with exactly that loop/activity structure; the remaining
+//! modules provide the "large variety of scientific programs" the paper's
+//! future work calls for:
+//!
+//! * [`stencil`] — a 2-D Jacobi solver with halo exchanges and periodic
+//!   residual allreduces;
+//! * [`master_worker`] — a task farm with a coordinating rank 0;
+//! * [`pipeline`] — a staged dataflow pipeline with a bottleneck stage;
+//! * [`irregular`] — a particle-style code with skewed per-rank
+//!   populations, alltoall migration, and an optional population *drift*
+//!   for evolution studies;
+//! * [`fft`] — butterfly stages separated by alltoall transposes;
+//! * [`sweep`] — wavefront sweeps whose dependency front idles the chain
+//!   ends (structural imbalance without uneven work);
+//! * [`amr`] — nested regions (`time step → solve → flux/update`) whose
+//!   refinement-driven imbalance hides two levels down, exercising the
+//!   hierarchical drill-down.
+//!
+//! Every workload takes an [`Imbalance`] injector describing how work is
+//! (mis)distributed across ranks, so the analysis methodology has known
+//! ground truth to recover.
+//!
+//! # Example
+//!
+//! ```
+//! use limba_mpisim::{MachineConfig, Simulator};
+//! use limba_workloads::{cfd::CfdConfig, Imbalance};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let program = CfdConfig::new(16)
+//!     .with_iterations(2)
+//!     .with_imbalance(Imbalance::LinearSkew { spread: 0.3 })
+//!     .build_program()?;
+//! let out = Simulator::new(MachineConfig::new(16)).run(&program)?;
+//! assert!(out.stats.makespan > 0.0);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod amr;
+pub mod cfd;
+pub mod fft;
+pub mod irregular;
+pub mod master_worker;
+pub mod pipeline;
+pub mod stencil;
+pub mod sweep;
+
+mod exchange;
+mod imbalance;
+
+pub use imbalance::Imbalance;

@@ -1,0 +1,62 @@
+//! Automated top-down bottleneck localization over nested regions: an
+//! AMR-style code whose refinement concentrates work two levels deep, and
+//! the Paradyn-flavoured drill-down that finds it without being told.
+//!
+//! ```sh
+//! cargo run --example drilldown_search
+//! ```
+
+use limba::analysis::hierarchy::{drilldown, RegionTree};
+use limba::mpisim::{MachineConfig, Simulator};
+use limba::stats::dispersion::DispersionKind;
+use limba::trace::region_parents;
+use limba::workloads::{amr::AmrConfig, Imbalance};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // time step → { solve → { flux, update }, io }; the refined patches
+    // all live on rank 5, so only the flux kernel is imbalanced.
+    let config = AmrConfig::new(16)
+        .with_steps(3)
+        .with_refinement(Imbalance::Hotspot {
+            rank: 5,
+            factor: 6.0,
+        });
+    let out = Simulator::new(MachineConfig::new(16)).run(&config.build_program()?)?;
+
+    // Recover the region tree from the trace's observed nesting.
+    let parents = region_parents(&out.trace)?;
+    let tree = RegionTree::from_parents(parents)?;
+    let reduced = out.reduce()?;
+
+    println!("region tree (from the trace):");
+    fn print_node(
+        tree: &RegionTree,
+        m: &limba::model::Measurements,
+        r: limba::model::RegionId,
+        depth: usize,
+    ) {
+        println!("{}{}", "  ".repeat(depth), m.region_info(r).name());
+        for c in tree.children(r) {
+            print_node(tree, m, c, depth + 1);
+        }
+    }
+    for root in tree.roots() {
+        print_node(&tree, &reduced.measurements, root, 1);
+    }
+
+    let dd = drilldown(&reduced.measurements, &tree, DispersionKind::Euclidean, 0.5)?;
+    println!("\ndrill-down path:");
+    for (depth, step) in dd.path.iter().enumerate() {
+        println!(
+            "{}↳ {} (inclusive SID_C {:.5}, {:.0}% of program)",
+            "  ".repeat(depth),
+            step.name,
+            step.sid,
+            step.fraction_of_program * 100.0
+        );
+    }
+    let culprit = dd.culprit().expect("an imbalanced region exists");
+    println!("\nlocalized culprit: {}", culprit.name);
+    assert_eq!(culprit.name, "flux");
+    Ok(())
+}

@@ -1,0 +1,64 @@
+//! Watching imbalance *grow*: a particle code whose population drifts
+//! into one subdomain, analyzed window by window with the evolution
+//! extension of the methodology.
+//!
+//! ```sh
+//! cargo run --example evolution_study
+//! ```
+
+use limba::analysis::evolution::{imbalance_evolution, Trend};
+use limba::model::ActivityKind;
+use limba::mpisim::{MachineConfig, Simulator};
+use limba::stats::dispersion::DispersionKind;
+use limba::trace::reduce_windows;
+use limba::workloads::{irregular::IrregularConfig, Imbalance};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // Particles progressively cluster into rank 5's subdomain.
+    let config = IrregularConfig::new(16).with_steps(10).with_drift(
+        Imbalance::Hotspot {
+            rank: 5,
+            factor: 8.0,
+        },
+        0.12,
+    );
+    let program = config.build_program()?;
+    let out = Simulator::new(MachineConfig::new(16)).run(&program)?;
+
+    // Slice the run into windows and track each activity's weighted
+    // dispersion over time.
+    let windows = reduce_windows(&out.trace, 10)?;
+    let matrices: Vec<_> = windows.into_iter().map(|w| w.measurements).collect();
+    let evolution = imbalance_evolution(&matrices, DispersionKind::Euclidean, 0.02)?;
+
+    println!("window-by-window weighted dispersion (ID_A per window):\n");
+    for series in &evolution.series {
+        let values: Vec<String> = series
+            .values
+            .iter()
+            .map(|v| match v {
+                Some(v) => format!("{v:.3}"),
+                None => "  -  ".to_string(),
+            })
+            .collect();
+        println!(
+            "{:<16} [{}]  slope {:+.4}/window → {:?}",
+            series.activity.to_string(),
+            values.join(" "),
+            series.slope,
+            series.trend
+        );
+    }
+
+    let growing = evolution.growing();
+    println!("\nactivities with growing imbalance: {growing:?}");
+    assert!(
+        growing.contains(&ActivityKind::Computation),
+        "the drifting population should show up as growing computation imbalance"
+    );
+    if let Some(comp) = evolution.series_of(ActivityKind::Computation) {
+        assert_eq!(comp.trend, Trend::Growing);
+    }
+    println!("→ rebalancing mid-run (dynamic load balancing) would pay off here.");
+    Ok(())
+}

@@ -1,0 +1,45 @@
+//! Quickstart: analyze the paper's case study in a few lines.
+//!
+//! ```sh
+//! cargo run --example quickstart
+//! ```
+
+use limba::analysis::Analyzer;
+use limba::calibrate::paper::paper_measurements;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // The 7-loop × 4-activity × 16-processor measurements of the PACT
+    // 2003 case study, reconstructed from the published tables.
+    let measurements = paper_measurements()?;
+
+    // Run the whole methodology: coarse-grain profile, clustering, the
+    // three dissimilarity views, pattern diagrams, findings.
+    let report = Analyzer::new().analyze(&measurements)?;
+
+    // The headline answers.
+    println!(
+        "heaviest region:    {} ({:.1}% of wall clock)",
+        report.coarse.heaviest_region_name,
+        report.coarse.heaviest_region_fraction * 100.0
+    );
+    println!("dominant activity:  {}", report.coarse.dominant_activity);
+    if let Some((kind, id)) = report.findings.most_imbalanced_activity {
+        println!("most imbalanced activity: {kind} (ID_A = {id:.5})");
+    }
+    if let Some(candidate) = report.findings.tuning_candidates.first() {
+        println!(
+            "tuning candidate:   {} (SID_C = {:.5}{})",
+            candidate.name,
+            candidate.sid,
+            if candidate.is_heaviest {
+                ", the program core"
+            } else {
+                ""
+            }
+        );
+    }
+
+    // Or print everything the tool knows.
+    println!("\n{}", limba::viz::report::render(&report));
+    Ok(())
+}

@@ -1,0 +1,68 @@
+//! The post-mortem tool workflow: instrument (simulate) a stencil run,
+//! write a tracefile to disk, read it back, validate it, reduce it to
+//! measurements — including the counting parameters — and analyze.
+//!
+//! ```sh
+//! cargo run --example trace_workflow
+//! ```
+
+use limba::analysis::Analyzer;
+use limba::model::CountKind;
+use limba::mpisim::{MachineConfig, Simulator};
+use limba::trace;
+use limba::workloads::{stencil::StencilConfig, Imbalance};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 1. Run an instrumented 4×4 stencil with a hotspot subdomain.
+    let config = StencilConfig::new(4, 4)
+        .with_iterations(8)
+        .with_imbalance(Imbalance::Hotspot {
+            rank: 5,
+            factor: 3.0,
+        });
+    let program = config.build_program()?;
+    let output = Simulator::new(MachineConfig::new(16)).run(&program)?;
+
+    // 2. Write the tracefile (binary) and read it back.
+    let path = std::env::temp_dir().join("limba-stencil.trace");
+    trace::binary::write(&output.trace, std::fs::File::create(&path)?)?;
+    println!(
+        "tracefile: {} ({} events, {} bytes)",
+        path.display(),
+        output.trace.events().len(),
+        std::fs::metadata(&path)?.len()
+    );
+    let loaded = trace::binary::read(std::fs::File::open(&path)?)?;
+    loaded.validate()?;
+
+    // 3. Reduce to the t_ijp matrix plus message counts.
+    let reduced = trace::reduce(&loaded)?;
+    let m = &reduced.measurements;
+    println!(
+        "measurements: {} regions × {} activities × {} processors",
+        m.regions(),
+        m.activities().len(),
+        m.processors()
+    );
+    let total_bytes: f64 = m
+        .region_ids()
+        .map(|r| reduced.counts.region_total(r, CountKind::BytesSent))
+        .sum();
+    println!("total bytes sent: {total_bytes}");
+
+    // 4. Analyze. The hotspot should surface as the most imbalanced
+    //    processor and inflate the stencil-update region's indices.
+    let report = Analyzer::new().analyze(m)?;
+    if let Some((proc, loops)) = report.findings.processors.most_frequently_imbalanced {
+        println!("most frequently imbalanced processor: {proc} (on {loops} regions)");
+    }
+    for candidate in &report.findings.tuning_candidates {
+        println!(
+            "tuning candidate: {} (ID_C = {:.5}, SID_C = {:.5})",
+            candidate.name, candidate.id, candidate.sid
+        );
+    }
+
+    std::fs::remove_file(&path).ok();
+    Ok(())
+}

@@ -1,0 +1,190 @@
+//! Property-based tests of the methodology's mathematical invariants on
+//! random measurement matrices.
+
+use limba::analysis::patterns::{classify_row, PatternBin};
+use limba::analysis::views::{activity_view, processor_view, region_view};
+use limba::model::{ActivityKind, Measurements, MeasurementsBuilder, STANDARD_ACTIVITIES};
+use limba::stats::dispersion::DispersionKind;
+use proptest::prelude::*;
+
+/// Random measurements: `regions × 4 × procs` with nonneg times and at
+/// least one strictly positive cell.
+fn measurements_strategy() -> impl Strategy<Value = Measurements> {
+    (2usize..6, 2usize..9).prop_flat_map(|(regions, procs)| {
+        proptest::collection::vec(0.0f64..100.0, regions * 4 * procs)
+            .prop_filter("some time", |v| v.iter().sum::<f64>() > 1.0)
+            .prop_map(move |data| {
+                let mut b = MeasurementsBuilder::new(procs);
+                let mut it = data.into_iter();
+                for r in 0..regions {
+                    let id = b.add_region(format!("r{r}"));
+                    for kind in STANDARD_ACTIVITIES {
+                        for p in 0..procs {
+                            b.record(id, kind, p, it.next().expect("sized")).unwrap();
+                        }
+                    }
+                }
+                b.build().unwrap()
+            })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn activity_summary_is_convex_combination_of_cells(m in measurements_strategy()) {
+        let av = activity_view(&m, DispersionKind::Euclidean).unwrap();
+        for s in &av.summaries {
+            let col = m.activities().column(s.kind).unwrap();
+            let cells: Vec<f64> = (0..m.regions()).filter_map(|i| av.id[i][col]).collect();
+            prop_assume!(!cells.is_empty());
+            let min = cells.iter().copied().fold(f64::INFINITY, f64::min);
+            let max = cells.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+            prop_assert!(s.id >= min - 1e-9 && s.id <= max + 1e-9,
+                "{}: ID_A {} outside [{min}, {max}]", s.kind, s.id);
+            // Scaling can only shrink the index.
+            prop_assert!(s.sid <= s.id + 1e-12);
+            prop_assert!(s.fraction_of_program <= 1.0 + 1e-12);
+        }
+    }
+
+    #[test]
+    fn region_summary_is_convex_combination_of_cells(m in measurements_strategy()) {
+        let av = activity_view(&m, DispersionKind::Euclidean).unwrap();
+        let rv = region_view(&m, &av).unwrap();
+        for s in &rv.summaries {
+            let cells: Vec<f64> = av.id[s.region.index()].iter().flatten().copied().collect();
+            prop_assume!(!cells.is_empty());
+            let min = cells.iter().copied().fold(f64::INFINITY, f64::min);
+            let max = cells.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+            prop_assert!(s.id >= min - 1e-9 && s.id <= max + 1e-9);
+            prop_assert!(s.sid <= s.id + 1e-12);
+        }
+        // Scaled indices sum to at most the max raw index (weights sum 1).
+        let total_fraction: f64 = rv.summaries.iter().map(|s| s.fraction_of_program).sum();
+        prop_assert!((total_fraction - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn dispersion_ids_are_within_euclidean_bounds(m in measurements_strategy()) {
+        let av = activity_view(&m, DispersionKind::Euclidean).unwrap();
+        let bound = (1.0 - 1.0 / m.processors() as f64).sqrt();
+        for row in &av.id {
+            for id in row.iter().flatten() {
+                prop_assert!(*id >= -1e-12 && *id <= bound + 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn processor_view_distances_are_bounded_by_sqrt2(m in measurements_strategy()) {
+        // Standardized mixes live on the unit simplex, whose diameter is
+        // sqrt(2); distances to the mean mix are at most that.
+        let pv = processor_view(&m).unwrap();
+        for row in &pv.id {
+            for d in row.iter().flatten() {
+                prop_assert!(*d >= -1e-12 && *d <= 2f64.sqrt() + 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn most_imbalanced_per_region_is_the_argmax(m in measurements_strategy()) {
+        let pv = processor_view(&m).unwrap();
+        for (row, most) in pv.id.iter().zip(&pv.most_imbalanced_per_region) {
+            if let Some((proc, d, _)) = most {
+                let max = row.iter().flatten().copied().fold(f64::NEG_INFINITY, f64::max);
+                prop_assert!((d - max).abs() < 1e-12);
+                prop_assert_eq!(row[proc.index()], Some(*d));
+            }
+        }
+    }
+
+    #[test]
+    fn pattern_rows_have_extremes_iff_spread(row in proptest::collection::vec(0.0f64..10.0, 2..20)) {
+        let bins = classify_row(&row);
+        let max = row.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        let min = row.iter().copied().fold(f64::INFINITY, f64::min);
+        if max > min {
+            prop_assert!(bins.contains(&PatternBin::Max));
+            prop_assert!(bins.contains(&PatternBin::Min));
+            // Bins are consistent with values.
+            for (v, b) in row.iter().zip(&bins) {
+                match b {
+                    PatternBin::Max => prop_assert_eq!(*v, max),
+                    PatternBin::Min => prop_assert_eq!(*v, min),
+                    PatternBin::UpperTail => prop_assert!(*v >= min + 0.85 * (max - min)),
+                    PatternBin::LowerTail => prop_assert!(*v <= min + 0.15 * (max - min)),
+                    PatternBin::Mid => {
+                        prop_assert!(*v > min + 0.15 * (max - min));
+                        prop_assert!(*v < min + 0.85 * (max - min));
+                    }
+                }
+            }
+        } else {
+            prop_assert!(bins.iter().all(|&b| b == PatternBin::Mid));
+        }
+    }
+
+    #[test]
+    fn analyzer_is_deterministic(m in measurements_strategy()) {
+        let a = limba::analysis::Analyzer::new().analyze(&m).unwrap();
+        let b = limba::analysis::Analyzer::new().analyze(&m).unwrap();
+        prop_assert_eq!(a, b);
+    }
+
+    #[test]
+    fn scaling_measurements_leaves_indices_unchanged(m in measurements_strategy(), scale in 0.5f64..100.0) {
+        // Rebuild the matrix scaled by a constant; every (S)ID must be
+        // invariant because the methodology is relative.
+        let mut b = MeasurementsBuilder::new(m.processors());
+        for r in m.region_ids() {
+            let id = b.add_region(m.region_info(r).name().to_string());
+            for kind in STANDARD_ACTIVITIES {
+                for p in m.processor_ids() {
+                    b.record(id, kind, p.index(), m.time(r, kind, p) * scale).unwrap();
+                }
+            }
+        }
+        let scaled = b.build().unwrap();
+        let av1 = activity_view(&m, DispersionKind::Euclidean).unwrap();
+        let av2 = activity_view(&scaled, DispersionKind::Euclidean).unwrap();
+        for (r1, r2) in av1.id.iter().zip(&av2.id) {
+            for (a, b) in r1.iter().zip(r2) {
+                match (a, b) {
+                    (Some(a), Some(b)) => prop_assert!((a - b).abs() < 1e-9),
+                    (None, None) => {}
+                    _ => prop_assert!(false, "performed-ness changed under scaling"),
+                }
+            }
+        }
+        for (s1, s2) in av1.summaries.iter().zip(&av2.summaries) {
+            prop_assert!((s1.id - s2.id).abs() < 1e-9);
+            prop_assert!((s1.sid - s2.sid).abs() < 1e-9);
+        }
+    }
+}
+
+#[test]
+fn findings_agree_with_views_on_the_paper_data() {
+    // Deterministic cross-check on real data: the findings' claims can be
+    // re-derived from the raw views.
+    let m = limba::calibrate::paper::paper_measurements().unwrap();
+    let report = limba::analysis::Analyzer::new().analyze(&m).unwrap();
+    let f = &report.findings;
+    let best_activity = report
+        .activity_view
+        .summaries
+        .iter()
+        .max_by(|a, b| a.id.total_cmp(&b.id))
+        .unwrap();
+    assert_eq!(f.most_imbalanced_activity.unwrap().0, best_activity.kind);
+    let best_region = report
+        .region_view
+        .summaries
+        .iter()
+        .max_by(|a, b| a.id.total_cmp(&b.id))
+        .unwrap();
+    assert_eq!(f.most_imbalanced_region.unwrap().0, best_region.region);
+}

@@ -1,0 +1,122 @@
+//! Property-based tests of the inverse-synthesis solver.
+
+use limba::calibrate::{max_dispersion, solve_weights, Placement, Shape, SyntheticCase};
+use limba::model::ActivityKind;
+use limba::stats::dispersion::{DispersionIndex, EuclideanFromMean};
+use proptest::prelude::*;
+
+fn shapes() -> impl Strategy<Value = Shape> {
+    prop_oneof![
+        Just(Shape::Ramp),
+        (1usize..15).prop_map(|high| Shape::Bimodal { high }),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn solved_weights_hit_the_target_exactly(
+        shape in shapes(),
+        n in 2usize..64,
+        frac in 0.0f64..0.95,
+    ) {
+        // Clamp the target to what the shape can reach for this n.
+        let shape = match shape {
+            Shape::Bimodal { high } if high >= n => Shape::Bimodal { high: n - 1 },
+            other => other,
+        };
+        let max = max_dispersion(&shape, n).unwrap();
+        let target = frac * max;
+        let w = solve_weights(&shape, n, target).unwrap();
+        prop_assert_eq!(w.len(), n);
+        // Mean exactly one.
+        let mean = w.iter().sum::<f64>() / n as f64;
+        prop_assert!((mean - 1.0).abs() < 1e-9, "mean {}", mean);
+        // Non-negative.
+        prop_assert!(w.iter().all(|&x| x >= 0.0));
+        // Dispersion matches.
+        if target > 0.0 {
+            let got = EuclideanFromMean.index(&w).unwrap();
+            prop_assert!((got - target).abs() < 1e-7, "{} vs {}", got, target);
+        }
+    }
+
+    #[test]
+    fn weights_are_monotone_in_position(
+        n in 2usize..32,
+        frac in 0.01f64..0.9,
+    ) {
+        let max = max_dispersion(&Shape::Ramp, n).unwrap();
+        let w = solve_weights(&Shape::Ramp, n, frac * max).unwrap();
+        for pair in w.windows(2) {
+            prop_assert!(pair[1] >= pair[0] - 1e-12);
+        }
+    }
+
+    #[test]
+    fn targets_above_the_maximum_are_rejected(
+        shape in shapes(),
+        n in 2usize..32,
+        excess in 1.01f64..5.0,
+    ) {
+        let shape = match shape {
+            Shape::Bimodal { high } if high >= n => Shape::Bimodal { high: n - 1 },
+            other => other,
+        };
+        let max = max_dispersion(&shape, n).unwrap();
+        prop_assert!(solve_weights(&shape, n, max * excess + 1e-6).is_err());
+    }
+
+    #[test]
+    fn placements_permute_without_changing_the_dispersion(
+        n in 2usize..24,
+        frac in 0.0f64..0.9,
+        offset in 0usize..24,
+        outlier in 0usize..24,
+    ) {
+        let max = max_dispersion(&Shape::Ramp, n).unwrap();
+        let w = solve_weights(&Shape::Ramp, n, frac * max).unwrap();
+        let base = EuclideanFromMean.index(&w).unwrap();
+        for placement in [
+            Placement::identity(n),
+            Placement::rotated(n, offset % n),
+            Placement::outlier_low(n, outlier % n),
+            Placement::outlier_high(n, outlier % n),
+        ] {
+            let placed = placement.apply(&w);
+            // A permutation: same multiset.
+            let mut a = w.clone();
+            let mut b = placed.clone();
+            a.sort_by(f64::total_cmp);
+            b.sort_by(f64::total_cmp);
+            prop_assert_eq!(a, b);
+            let id = EuclideanFromMean.index(&placed).unwrap();
+            prop_assert!((id - base).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn synthetic_cases_round_trip_through_analysis(
+        totals in proptest::collection::vec(0.1f64..50.0, 1..5),
+        fracs in proptest::collection::vec(0.0f64..0.8, 1..5),
+    ) {
+        let n = 8usize;
+        let max = max_dispersion(&Shape::Ramp, n).unwrap();
+        let mut case = SyntheticCase::new(n);
+        let mut specs = Vec::new();
+        for (i, (&total, &frac)) in totals.iter().zip(&fracs).enumerate() {
+            let region = case.add_region(format!("r{i}"));
+            let target = frac * max;
+            case.set(region, ActivityKind::Computation, total, target).unwrap();
+            specs.push((region, total, target));
+        }
+        let m = case.build().unwrap();
+        for (region, total, target) in specs {
+            prop_assert!((m.region_activity_time(region, ActivityKind::Computation) - total).abs() < 1e-9);
+            let slice = m.processor_slice(region, ActivityKind::Computation).unwrap();
+            let id = EuclideanFromMean.index(slice).unwrap();
+            prop_assert!((id - target).abs() < 1e-7);
+        }
+    }
+}

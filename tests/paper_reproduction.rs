@@ -1,0 +1,251 @@
+//! End-to-end reproduction of the paper's evaluation (Section 4).
+//!
+//! These tests run the analysis methodology on the calibrated
+//! reconstruction of the case study and assert every number the paper
+//! reports: Tables 1–4, the Figure 1 bin counts, the k-means grouping,
+//! and the processor-view findings.
+
+use limba::analysis::Analyzer;
+use limba::calibrate::paper::{
+    self, claims, paper_measurements, paper_measurements_with_tail, LOOPS, TABLE1, TABLE1_OVERALL,
+    TABLE2, TABLE3, TABLE4,
+};
+use limba::model::{ActivityKind, ProcessorId, RegionId, STANDARD_ACTIVITIES};
+
+fn close(a: f64, b: f64, tol: f64) -> bool {
+    (a - b).abs() <= tol
+}
+
+#[test]
+fn table1_profile_reproduces() {
+    let m = paper_measurements().unwrap();
+    let report = Analyzer::new().analyze(&m).unwrap();
+    for (i, row) in report.profile.regions.iter().enumerate() {
+        assert!(close(row.seconds, TABLE1_OVERALL[i], 1e-9));
+        for (j, &kind) in STANDARD_ACTIVITIES.iter().enumerate() {
+            assert!(close(row.activity_seconds(kind), TABLE1[i][j], 1e-9));
+        }
+    }
+    // "the heaviest loop, that is, loop 1, accounts for about 27% of the
+    // overall wall clock time" (27% of the loop total; 19.051/69.93 of
+    // the whole program).
+    assert_eq!(report.coarse.heaviest_region_name, "loop 1");
+    assert!(close(
+        report.coarse.heaviest_region_fraction,
+        19.051 / 64.754,
+        1e-6
+    ));
+    assert_eq!(report.coarse.dominant_activity, ActivityKind::Computation);
+    // Loop 1 also has the longest time in the dominant activity.
+    assert_eq!(report.coarse.heaviest_in_dominant, RegionId::new(0));
+    // "The loop which spends the longest time in point-to-point
+    // communications is loop 3."
+    let p2p = report
+        .coarse
+        .extremes
+        .iter()
+        .find(|e| e.kind == ActivityKind::PointToPoint)
+        .unwrap();
+    assert_eq!(p2p.worst.1, "loop 3");
+}
+
+#[test]
+fn table2_dispersion_matrix_reproduces() {
+    let m = paper_measurements().unwrap();
+    let report = Analyzer::new().analyze(&m).unwrap();
+    for i in 0..LOOPS {
+        for (j, _) in STANDARD_ACTIVITIES.iter().enumerate() {
+            let got = report.activity_view.id[i][j];
+            if TABLE1[i][j] <= 0.0 {
+                assert_eq!(got, None, "loop {} col {j} should be '-'", i + 1);
+            } else {
+                assert!(
+                    close(got.unwrap(), TABLE2[i][j], 1e-7),
+                    "loop {} col {j}: {got:?} vs {}",
+                    i + 1,
+                    TABLE2[i][j]
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn table3_activity_view_reproduces() {
+    // The paper weights ID_A over the measured loops but scales SID by
+    // the *whole-program* total, so ID_A is checked on the loops-only
+    // reconstruction and SID_A on the one with the unmeasured remainder.
+    let loops_only = Analyzer::new()
+        .analyze(&paper_measurements().unwrap())
+        .unwrap();
+    let with_tail = Analyzer::new()
+        .analyze(&paper_measurements_with_tail().unwrap())
+        .unwrap();
+    for &(kind, id_a, sid_a) in &TABLE3 {
+        let s = loops_only
+            .activity_view
+            .summaries
+            .iter()
+            .find(|s| s.kind == kind)
+            .unwrap();
+        assert!(
+            close(s.id, id_a, 5e-4),
+            "{kind}: ID_A {} vs paper {id_a}",
+            s.id
+        );
+        let s = with_tail
+            .activity_view
+            .summaries
+            .iter()
+            .find(|s| s.kind == kind)
+            .unwrap();
+        assert!(
+            close(s.sid, sid_a, 5e-5),
+            "{kind}: SID_A {} vs paper {sid_a}",
+            s.sid
+        );
+    }
+    let report = loops_only;
+    // "the synchronization is the most imbalanced activity" by raw ID_A …
+    assert_eq!(
+        report.findings.most_imbalanced_activity.unwrap().0,
+        ActivityKind::Synchronization
+    );
+    // … but computation leads once scaled by the time share.
+    assert_eq!(
+        report.findings.most_imbalanced_activity_scaled.unwrap().0,
+        ActivityKind::Computation
+    );
+}
+
+#[test]
+fn table4_region_view_reproduces() {
+    let m = paper_measurements_with_tail().unwrap();
+    let report = Analyzer::new().analyze(&m).unwrap();
+    for (i, &(id_c, sid_c)) in TABLE4.iter().enumerate() {
+        let s = report.region_view.summary_of(RegionId::new(i)).unwrap();
+        assert!(
+            close(s.id, id_c, 5e-4),
+            "loop {}: ID_C {} vs paper {id_c}",
+            i + 1,
+            s.id
+        );
+        assert!(
+            close(s.sid, sid_c, 5e-5),
+            "loop {}: SID_C {} vs paper {sid_c}",
+            i + 1,
+            s.sid
+        );
+    }
+    // "loop 6 is the most imbalanced" by raw index, among the loops.
+    let loops_only = paper_measurements().unwrap();
+    let report = Analyzer::new().analyze(&loops_only).unwrap();
+    assert_eq!(
+        report.findings.most_imbalanced_region.unwrap().0,
+        RegionId::new(5)
+    );
+    // Loop 1 has the largest scaled index — the paper's tuning candidate.
+    assert_eq!(
+        report.region_view.most_imbalanced_scaled().unwrap().region,
+        RegionId::new(0)
+    );
+    let top = &report.findings.tuning_candidates[0];
+    assert_eq!(top.name, "loop 1");
+    assert!(top.is_heaviest);
+}
+
+#[test]
+fn clustering_separates_loops_1_and_2() {
+    // "Clustering yields a partition of the loops into two groups. The
+    // heaviest loops of the program, that is, loops 1 and 2, belong to
+    // one group, whereas the remaining loops belong to the second."
+    let m = paper_measurements().unwrap();
+    let report = Analyzer::new().analyze(&m).unwrap();
+    let c = report.clustering.unwrap();
+    assert_eq!(c.k, 2);
+    assert_eq!(c.assignments[0], 0);
+    assert_eq!(c.assignments[1], 0);
+    for i in 2..LOOPS {
+        assert_eq!(
+            c.assignments[i],
+            1,
+            "loop {} should be in the light group",
+            i + 1
+        );
+    }
+}
+
+#[test]
+fn processor_view_findings_reproduce() {
+    let m = paper_measurements().unwrap();
+    let report = Analyzer::new().analyze(&m).unwrap();
+    let f = &report.findings.processors;
+    // "processor 1 is the most frequently imbalanced as it is
+    // characterized by the largest values of the index of dispersion on
+    // two loops, namely, loops 3 and 7."
+    let (proc, count) = f.most_frequently_imbalanced.unwrap();
+    assert_eq!(proc, ProcessorId::new(claims::MOST_FREQUENT_PROC));
+    assert_eq!(count, 2);
+    let regions = &f.regions_per_processor[claims::MOST_FREQUENT_PROC];
+    assert_eq!(
+        regions.iter().map(|r| r.index()).collect::<Vec<_>>(),
+        claims::MOST_FREQUENT_LOOPS.to_vec()
+    );
+    // "Processor 2 is imbalanced for the longest time … on one loop only,
+    // namely, loop 1."
+    let (proc, _) = f.longest_imbalanced.unwrap();
+    assert_eq!(proc, ProcessorId::new(claims::LONGEST_PROC));
+    let regions = &f.regions_per_processor[claims::LONGEST_PROC];
+    assert_eq!(
+        regions.iter().map(|r| r.index()).collect::<Vec<_>>(),
+        vec![claims::LONGEST_LOOP]
+    );
+    // The reconstruction is qualitative here: the paper's ID 0.25754 and
+    // 15.93 s are not uniquely determined by Tables 1–2, so only the
+    // order of magnitude is pinned down.
+    let id = report
+        .processor_view
+        .id_of(RegionId::new(0), ProcessorId::new(claims::LONGEST_PROC))
+        .unwrap();
+    assert!(id > 0.05 && id < 0.45, "ID_P = {id}");
+}
+
+#[test]
+fn figure1_and_figure2_patterns_reproduce() {
+    let m = paper_measurements().unwrap();
+    let report = Analyzer::new().analyze(&m).unwrap();
+    // Figure 1 (computation): all seven loops compute.
+    let fig1 = report.pattern_for(ActivityKind::Computation).unwrap();
+    assert_eq!(fig1.rows.len(), 7);
+    let loop4 = &fig1.rows[3];
+    assert_eq!(loop4.upper_tail_count(), claims::FIG1_LOOP4_UPPER);
+    let loop6 = &fig1.rows[5];
+    assert_eq!(loop6.lower_tail_count(), claims::FIG1_LOOP6_LOWER);
+    // Figure 2 (point-to-point): only loops 3, 4, 5, 6 appear.
+    let fig2 = report.pattern_for(ActivityKind::PointToPoint).unwrap();
+    let names: Vec<&str> = fig2.rows.iter().map(|r| r.name.as_str()).collect();
+    assert_eq!(names, vec!["loop 3", "loop 4", "loop 5", "loop 6"]);
+}
+
+#[test]
+fn program_total_inference_is_self_consistent() {
+    // Re-derive T from every published (ID, SID) pair; the median should
+    // match the constant used by the reconstruction.
+    let mut estimates = Vec::new();
+    for &(kind, id_a, sid_a) in &TABLE3 {
+        let t_j: f64 = (0..LOOPS)
+            .map(|i| TABLE1[i][STANDARD_ACTIVITIES.iter().position(|&k| k == kind).unwrap()])
+            .sum();
+        estimates.push(t_j * id_a / sid_a);
+    }
+    for (i, &(id_c, sid_c)) in TABLE4.iter().enumerate() {
+        estimates.push(TABLE1_OVERALL[i] * id_c / sid_c);
+    }
+    estimates.sort_by(f64::total_cmp);
+    let median = estimates[estimates.len() / 2];
+    assert!(
+        close(median, paper::PROGRAM_TOTAL, 0.25),
+        "median T estimate {median} vs {}",
+        paper::PROGRAM_TOTAL
+    );
+}

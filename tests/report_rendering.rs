@@ -1,0 +1,92 @@
+//! Rendering integration tests: the text report and SVG figures of the
+//! paper's case study contain the published numbers and are well formed.
+
+use limba::analysis::Analyzer;
+use limba::calibrate::paper::paper_measurements;
+use limba::model::ActivityKind;
+
+fn paper_report() -> limba::analysis::Report {
+    Analyzer::new()
+        .analyze(&paper_measurements().unwrap())
+        .unwrap()
+}
+
+#[test]
+fn text_report_contains_published_values() {
+    let report = paper_report();
+    let text = limba::viz::report::render(&report);
+    // Table 1 values (three decimals in the profile table).
+    for needle in ["19.051", "14.220", "10.900", "10.540", "9.041", "0.692", "0.310"] {
+        assert!(text.contains(needle), "missing overall {needle}");
+    }
+    // Table 2 values (five decimals in the dispersion table).
+    for needle in ["0.03674", "0.30571", "0.23200", "0.12870"] {
+        assert!(text.contains(needle), "missing ID {needle}");
+    }
+    // The clustering section names the paper's groups.
+    assert!(text.contains("group 0: loop 1, loop 2"));
+    // Findings.
+    assert!(text.contains("most imbalanced activity: synchronization"));
+    assert!(text.contains("tuning candidate: loop 1"));
+}
+
+#[test]
+fn profile_csv_round_trips_table1() {
+    let report = paper_report();
+    let csv = limba::viz::csv::profile_csv(&report);
+    let mut lines = csv.lines();
+    let header = lines.next().unwrap();
+    assert_eq!(
+        header,
+        "region,overall,computation,point-to-point,collective,synchronization"
+    );
+    let loop1 = lines.next().unwrap();
+    let fields: Vec<&str> = loop1.split(',').collect();
+    assert_eq!(fields[0], "loop 1");
+    assert!((fields[1].parse::<f64>().unwrap() - 19.051).abs() < 1e-9);
+    assert!((fields[2].parse::<f64>().unwrap() - 12.24).abs() < 1e-9);
+    assert_eq!(fields[3], ""); // no point-to-point in loop 1
+}
+
+#[test]
+fn paper_svgs_are_well_formed() {
+    let report = paper_report();
+    let fig1 = report.pattern_for(ActivityKind::Computation).unwrap();
+    let svg = limba::viz::svg::pattern_svg(fig1);
+    assert!(svg.starts_with("<svg"));
+    assert!(svg.ends_with("</svg>\n"));
+    // 7 loops × 16 processors of cells.
+    assert_eq!(svg.matches("<rect").count(), 7 * 16);
+
+    let heat = limba::viz::svg::processor_heatmap_svg(&report);
+    assert!(heat.contains("ID_P heatmap"));
+    assert_eq!(heat.matches("<rect").count(), 7 * 16);
+}
+
+#[test]
+fn ascii_patterns_have_one_glyph_per_processor() {
+    let report = paper_report();
+    let fig2 = report.pattern_for(ActivityKind::PointToPoint).unwrap();
+    let text = limba::viz::pattern::render(fig2);
+    // Rows: "loop 3", "loop 4", "loop 5", "loop 6" with 16 glyphs each.
+    for line in text.lines().skip(2) {
+        let glyphs: String = line.split_whitespace().last().unwrap().to_string();
+        assert_eq!(glyphs.chars().count(), 16, "row {line:?}");
+    }
+}
+
+#[test]
+fn timeline_of_a_simulated_run_marks_all_activities() {
+    use limba::mpisim::{MachineConfig, Simulator};
+    use limba::workloads::cfd::CfdConfig;
+    let program = CfdConfig::new(4).build_program().unwrap();
+    let out = Simulator::new(MachineConfig::new(4)).run(&program).unwrap();
+    let svg = limba::viz::timeline::timeline_svg(&out.trace, 1000).unwrap();
+    // All four legend entries and at least one lane per rank.
+    for label in [">comp<", ">p2p<", ">coll<", ">sync<"] {
+        assert!(svg.contains(label), "missing legend {label}");
+    }
+    for p in 0..4 {
+        assert!(svg.contains(&format!(">p{p}<")));
+    }
+}

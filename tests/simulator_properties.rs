@@ -1,0 +1,198 @@
+//! Property-based tests of the discrete-event simulator on randomly
+//! generated, deadlock-free-by-construction programs.
+
+use limba::model::{ActivityKind, ProcessorId};
+use limba::mpisim::{MachineConfig, Program, ProgramBuilder, Simulator};
+use proptest::prelude::*;
+
+/// One phase of a generated program; every variant is globally
+/// coordinated, so any sequence of phases is deadlock-free.
+#[derive(Debug, Clone)]
+enum Phase {
+    /// Per-rank compute amounts (milliseconds).
+    Compute(Vec<u16>),
+    /// Phased neighbor exchange along the chain with this payload.
+    Exchange(u32),
+    /// A collective of the given discriminant and payload.
+    Collective(u8, u32),
+    /// Nonblocking ring shift: every rank isends right, irecvs left,
+    /// computes a little, then waits both.
+    RingShift(u32),
+}
+
+fn phase_strategy(ranks: usize) -> impl Strategy<Value = Phase> {
+    prop_oneof![
+        proptest::collection::vec(0u16..200, ranks).prop_map(Phase::Compute),
+        (1u32..200_000).prop_map(Phase::Exchange),
+        (0u8..8, 1u32..100_000).prop_map(|(k, b)| Phase::Collective(k, b)),
+        (1u32..200_000).prop_map(Phase::RingShift),
+    ]
+}
+
+fn program_strategy() -> impl Strategy<Value = (Program, usize)> {
+    (2usize..7)
+        .prop_flat_map(|ranks| {
+            (
+                proptest::collection::vec(phase_strategy(ranks), 1..8),
+                Just(ranks),
+            )
+        })
+        .prop_map(|(phases, ranks)| {
+            let mut pb = ProgramBuilder::new(ranks);
+            let region = pb.add_region("phase region");
+            for (pi, phase) in phases.iter().enumerate() {
+                pb.spmd(|rank, mut ops| {
+                    ops.enter(region);
+                    match phase {
+                        Phase::Compute(amounts) => {
+                            ops.compute(amounts[rank] as f64 * 1e-3);
+                        }
+                        Phase::Exchange(bytes) => {
+                            // The two-phase pairing used by the workloads.
+                            for parity in 0..2usize {
+                                if rank % 2 == parity {
+                                    if rank + 1 < ranks {
+                                        ops.send(rank + 1, *bytes as u64).recv(rank + 1);
+                                    }
+                                } else if rank >= 1 {
+                                    ops.recv(rank - 1).send(rank - 1, *bytes as u64);
+                                }
+                            }
+                        }
+                        Phase::Collective(kind, bytes) => {
+                            let b = *bytes as u64;
+                            match kind % 8 {
+                                0 => ops.reduce(b),
+                                1 => ops.allreduce(b),
+                                2 => ops.broadcast(b),
+                                3 => ops.alltoall(b),
+                                4 => ops.barrier(),
+                                5 => ops.gather(b),
+                                6 => ops.scatter(b),
+                                _ => ops.allgather(b),
+                            };
+                        }
+                        Phase::RingShift(bytes) => {
+                            let right = (rank + 1) % ranks;
+                            let left = (rank + ranks - 1) % ranks;
+                            let h = (pi as u32) * 2;
+                            ops.isend(right, *bytes as u64, h)
+                                .irecv(left, h + 1)
+                                .compute(0.001)
+                                .wait(h)
+                                .wait(h + 1);
+                        }
+                    }
+                    ops.leave(region);
+                });
+            }
+            (pb.build().expect("generated programs are valid"), ranks)
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn generated_programs_never_deadlock((program, ranks) in program_strategy()) {
+        let sim = Simulator::new(MachineConfig::new(ranks));
+        let out = sim.run(&program).expect("deadlock-free by construction");
+        prop_assert!(out.stats.makespan.is_finite());
+        prop_assert!(out.stats.makespan >= 0.0);
+    }
+
+    #[test]
+    fn simulation_is_deterministic((program, ranks) in program_strategy()) {
+        let sim = Simulator::new(MachineConfig::new(ranks));
+        let a = sim.run(&program).unwrap();
+        let b = sim.run(&program).unwrap();
+        prop_assert_eq!(a.trace, b.trace);
+        prop_assert_eq!(a.stats, b.stats);
+    }
+
+    #[test]
+    fn traces_validate_and_reduce((program, ranks) in program_strategy()) {
+        let out = Simulator::new(MachineConfig::new(ranks)).run(&program).unwrap();
+        out.trace.validate().expect("simulator traces are well-formed");
+        let reduced = out.reduce().unwrap();
+        // Every rank's attributed time is bounded by the makespan.
+        for p in 0..ranks {
+            let t = reduced.measurements.processor_time(ProcessorId::new(p));
+            prop_assert!(t <= out.stats.makespan + 1e-9);
+        }
+    }
+
+    #[test]
+    fn makespan_is_at_least_the_heaviest_rank((program, ranks) in program_strategy()) {
+        let out = Simulator::new(MachineConfig::new(ranks)).run(&program).unwrap();
+        // Lower bound: the largest pure-compute sum over ranks.
+        let mut heaviest = 0.0f64;
+        for rank in 0..ranks {
+            let compute: f64 = program
+                .ops(rank)
+                .iter()
+                .filter_map(|op| match op {
+                    limba::mpisim::Op::Compute { seconds } => Some(*seconds),
+                    _ => None,
+                })
+                .sum();
+            heaviest = heaviest.max(compute);
+        }
+        prop_assert!(out.stats.makespan >= heaviest - 1e-9);
+    }
+
+    #[test]
+    fn slowing_one_cpu_never_reduces_makespan((program, ranks) in program_strategy(), slow in 0usize..7) {
+        let slow = slow % ranks;
+        let base = Simulator::new(MachineConfig::new(ranks)).run(&program).unwrap();
+        let degraded = Simulator::new(MachineConfig::new(ranks).with_cpu_speed(slow, 0.5))
+            .run(&program)
+            .unwrap();
+        prop_assert!(degraded.stats.makespan >= base.stats.makespan - 1e-9);
+    }
+
+    #[test]
+    fn sent_and_received_counts_agree((program, ranks) in program_strategy()) {
+        let out = Simulator::new(MachineConfig::new(ranks)).run(&program).unwrap();
+        let reduced = out.reduce().unwrap();
+        use limba::model::CountKind;
+        let total = |kind: CountKind| -> f64 {
+            reduced
+                .counts
+                .cells()
+                .filter(|(_, k, _)| *k == kind)
+                .map(|(_, _, s)| s.iter().sum::<f64>())
+                .sum()
+        };
+        prop_assert_eq!(total(CountKind::MessagesSent), total(CountKind::MessagesReceived));
+        prop_assert_eq!(total(CountKind::BytesSent), total(CountKind::BytesReceived));
+    }
+
+    #[test]
+    fn compute_time_matches_program_spec((program, ranks) in program_strategy()) {
+        // With homogeneous CPUs, each rank's attributed computation time
+        // equals its program's compute sum exactly (waits go to other
+        // activities).
+        let out = Simulator::new(MachineConfig::new(ranks)).run(&program).unwrap();
+        let m = out.reduce().unwrap().measurements;
+        for rank in 0..ranks {
+            let spec: f64 = program
+                .ops(rank)
+                .iter()
+                .filter_map(|op| match op {
+                    limba::mpisim::Op::Compute { seconds } => Some(*seconds),
+                    _ => None,
+                })
+                .sum();
+            let measured: f64 = m
+                .region_ids()
+                .map(|r| m.time(r, ActivityKind::Computation, ProcessorId::new(rank)))
+                .sum();
+            prop_assert!(
+                (measured - spec).abs() < 1e-9,
+                "rank {}: measured {} vs spec {}",
+                rank, measured, spec
+            );
+        }
+    }
+}

@@ -1,0 +1,139 @@
+//! Property-based tests of the tracefile layer: codecs round-trip
+//! arbitrary well-formed traces, and reduction conserves time exactly.
+
+use limba::model::ActivityKind;
+use limba::trace::{binary, reduce, text, Event, Trace, TraceBuilder};
+use proptest::prelude::*;
+
+/// Strategy: a well-formed random trace. Each processor performs a
+/// random number of region visits, each with an optional activity
+/// interval and message events.
+fn trace_strategy() -> impl Strategy<Value = Trace> {
+    let procs = 1usize..5;
+    let regions = 1usize..4;
+    let visits = proptest::collection::vec(
+        (
+            0usize..4,                       // region index (mod regions)
+            0.0f64..10.0,                    // start offset
+            0.01f64..5.0,                    // duration
+            proptest::option::of(0usize..4), // activity kind index
+            proptest::bool::ANY,             // emit a message?
+        ),
+        0..12,
+    );
+    (procs, regions, proptest::collection::vec(visits, 1..5)).prop_map(
+        |(procs, regions, per_proc)| {
+            let mut b = TraceBuilder::new(procs);
+            for r in 0..regions {
+                b.add_region(format!("region {r}"));
+            }
+            for (p, visits) in per_proc.iter().enumerate().take(procs) {
+                let mut clock = 0.0f64;
+                for &(r, offset, duration, activity, msg) in visits {
+                    let region = limba::model::RegionId::new(r % regions);
+                    let start = clock + offset;
+                    let end = start + duration;
+                    b.push(Event::enter(start, p as u32, region));
+                    if let Some(a) = activity {
+                        let kind = ActivityKind::from_index(a).expect("kind in range");
+                        let a0 = start + duration * 0.25;
+                        let a1 = start + duration * 0.75;
+                        b.push(Event::begin_activity(a0, p as u32, kind));
+                        b.push(Event::end_activity(a1, p as u32, kind));
+                    }
+                    if msg && procs > 1 {
+                        let peer = ((p + 1) % procs) as u32;
+                        b.push(Event::message_send(
+                            start + duration * 0.5,
+                            p as u32,
+                            peer,
+                            64,
+                        ));
+                    }
+                    b.push(Event::leave(end, p as u32, region));
+                    clock = end;
+                }
+            }
+            b.build()
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn generated_traces_are_well_formed(trace in trace_strategy()) {
+        trace.validate().unwrap();
+    }
+
+    #[test]
+    fn binary_codec_round_trips(trace in trace_strategy()) {
+        let bytes = binary::to_bytes(&trace);
+        let back = binary::from_bytes(&bytes).unwrap();
+        prop_assert_eq!(trace, back);
+    }
+
+    #[test]
+    fn text_codec_round_trips(trace in trace_strategy()) {
+        let s = text::to_string(&trace);
+        let back = text::from_str(&s).unwrap();
+        // Times survive to full precision via Rust's shortest-round-trip
+        // float formatting.
+        prop_assert_eq!(trace, back);
+    }
+
+    #[test]
+    fn reduction_conserves_total_region_time(trace in trace_strategy()) {
+        // For non-nested visits, the sum over activities of a processor's
+        // time in a region equals the sum of its visit durations.
+        let reduced = reduce(&trace).unwrap();
+        let m = &reduced.measurements;
+        for p in 0..trace.processors() as u32 {
+            let mut per_region = vec![0.0f64; m.regions()];
+            let mut stack: Vec<(usize, f64)> = Vec::new();
+            for e in trace.events_by_processor(p) {
+                match e.payload {
+                    limba::trace::EventPayload::EnterRegion { region } => {
+                        stack.push((region, e.time));
+                    }
+                    limba::trace::EventPayload::LeaveRegion { region } => {
+                        let (r, t0) = stack.pop().expect("balanced");
+                        assert_eq!(r, region);
+                        per_region[region] += e.time - t0;
+                    }
+                    _ => {}
+                }
+            }
+            for (r, &expected) in per_region.iter().enumerate() {
+                let attributed: f64 = m
+                    .activities()
+                    .iter()
+                    .map(|k| m.time(limba::model::RegionId::new(r), k, limba::model::ProcessorId::new(p as usize)))
+                    .sum();
+                prop_assert!(
+                    (attributed - expected).abs() < 1e-9,
+                    "proc {} region {}: {} vs {}",
+                    p, r, attributed, expected
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn reduction_counts_messages_exactly(trace in trace_strategy()) {
+        let reduced = reduce(&trace).unwrap();
+        let sent_events = trace
+            .events()
+            .iter()
+            .filter(|e| matches!(e.payload, limba::trace::EventPayload::MessageSend { .. }))
+            .count();
+        let counted: f64 = reduced
+            .counts
+            .cells()
+            .filter(|(_, kind, _)| *kind == limba::model::CountKind::MessagesSent)
+            .map(|(_, _, s)| s.iter().sum::<f64>())
+            .sum();
+        prop_assert_eq!(sent_events as f64, counted);
+    }
+}
