@@ -1,0 +1,63 @@
+//! Batch-analysis benchmarks: a 16-trace corpus analyzed with 1 vs 4 vs
+//! all-CPU worker threads, plus the memoization-cache fast path.
+//!
+//! The acceptance bar for the parallel execution layer is a >2× speedup
+//! at 4 jobs over 1 job on the 16-trace batch; run with
+//! `cargo bench -p limba-bench --bench batch_analysis` and compare the
+//! `batch_16/jobs=1` and `batch_16/jobs=4` rates. Note the speedup needs
+//! real cores: on a single-CPU machine the jobs>1 rows only measure the
+//! (small) thread-pool overhead.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use limba_analysis::{Analyzer, BatchAnalyzer, ReportCache};
+use limba_bench::random_measurements;
+use limba_model::Measurements;
+
+/// A 16-trace corpus, sized so one analysis is substantial enough for
+/// thread fan-out to pay (clustering dominates).
+fn corpus() -> Vec<Measurements> {
+    (0..16)
+        .map(|i| random_measurements(48, 64, 0x5EED + i))
+        .collect()
+}
+
+fn bench_batch(c: &mut Criterion) {
+    let traces = corpus();
+    let mut group = c.benchmark_group("batch_16");
+    group.throughput(Throughput::Elements(traces.len() as u64));
+    for jobs in [1usize, 2, 4, 0] {
+        group.bench_with_input(BenchmarkId::new("jobs", jobs), &jobs, |b, &jobs| {
+            let batch = BatchAnalyzer::new(Analyzer::new()).with_jobs(jobs);
+            b.iter(|| batch.analyze_batch(std::hint::black_box(&traces)));
+        });
+    }
+    group.finish();
+}
+
+fn bench_cache(c: &mut Criterion) {
+    let traces = corpus();
+    let cache = ReportCache::new();
+    let batch = BatchAnalyzer::new(Analyzer::new())
+        .with_jobs(4)
+        .with_cache(cache);
+    // Warm the cache once; the measured iterations are all hits.
+    batch.analyze_batch(&traces);
+    c.bench_function("batch_16_warm_cache", |b| {
+        b.iter(|| batch.analyze_batch(std::hint::black_box(&traces)));
+    });
+}
+
+fn bench_intra_report(c: &mut Criterion) {
+    let single = random_measurements(96, 128, 0xA11C);
+    let mut group = c.benchmark_group("intra_report");
+    for jobs in [1usize, 4] {
+        group.bench_with_input(BenchmarkId::new("jobs", jobs), &jobs, |b, &jobs| {
+            let analyzer = Analyzer::new().with_jobs(jobs);
+            b.iter(|| analyzer.analyze(std::hint::black_box(&single)).unwrap());
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_batch, bench_cache, bench_intra_report);
+criterion_main!(benches);

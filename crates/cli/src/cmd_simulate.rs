@@ -3,7 +3,7 @@
 use std::fs::File;
 use std::io::BufWriter;
 
-use limba_mpisim::{MachineConfig, Program, Simulator};
+use limba_mpisim::{MachineConfig, Program, SimError, Simulator};
 use limba_trace::Trace;
 use limba_workloads::{
     amr::AmrConfig, cfd::CfdConfig, fft::FftConfig, irregular::IrregularConfig,
@@ -29,7 +29,7 @@ fn build_program(
         "stencil" => {
             // Squarest grid for the rank count.
             let px = (1..=ranks)
-                .filter(|d| ranks % d == 0)
+                .filter(|d| ranks.is_multiple_of(*d))
                 .min_by_key(|&d| (d as i64 - (ranks as f64).sqrt() as i64).abs())
                 .unwrap_or(1);
             StencilConfig::new(px, ranks / px)
@@ -89,6 +89,66 @@ fn write_trace(trace: &Trace, path: &str, format: &str) -> Result<(), String> {
     }
 }
 
+/// Renders a replication sweep: `replications` independent runs of the
+/// workload with SplitMix64-derived seeds, on up to `jobs` worker
+/// threads. The output is byte-identical for every `jobs` value.
+#[allow(clippy::too_many_arguments)]
+fn render_sweep(
+    workload: &str,
+    ranks: usize,
+    iterations: Option<usize>,
+    imbalance: Imbalance,
+    root_seed: u64,
+    replications: usize,
+    jobs: usize,
+) -> Result<String, String> {
+    use std::fmt::Write as _;
+    let sim = Simulator::new(MachineConfig::new(ranks));
+    let results = sim.run_replications(replications, root_seed, jobs, |_, seed| {
+        build_program(workload, ranks, iterations, imbalance, seed)
+            .map_err(|detail| SimError::BuildFailed { detail })
+    });
+    let mut out = String::new();
+    writeln!(
+        out,
+        "{workload} on {ranks} ranks, {replications} replications (root seed {root_seed})"
+    )
+    .unwrap();
+    writeln!(
+        out,
+        "{:>4} {:>20} {:>12} {:>10} {:>12}",
+        "rep", "seed", "makespan", "messages", "bytes"
+    )
+    .unwrap();
+    let mut makespans = Vec::with_capacity(replications);
+    for (index, result) in results.iter().enumerate() {
+        let rep = result
+            .as_ref()
+            .map_err(|e| format!("replication {index}: {e}"))?;
+        writeln!(
+            out,
+            "{:>4} {:>20} {:>11.4}s {:>10} {:>12}",
+            rep.index,
+            rep.seed,
+            rep.output.stats.makespan,
+            rep.output.stats.messages,
+            rep.output.stats.bytes
+        )
+        .unwrap();
+        makespans.push(rep.output.stats.makespan);
+    }
+    // Sequential reduction in replication order: deterministic floats.
+    let mean = makespans.iter().sum::<f64>() / makespans.len().max(1) as f64;
+    let min = makespans.iter().copied().fold(f64::INFINITY, f64::min);
+    let max = makespans.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    writeln!(
+        out,
+        "makespan mean {mean:.4} s, min {min:.4} s, max {max:.4} s"
+    )
+    .unwrap();
+    Ok(out)
+}
+
 /// Runs `limba simulate <workload> [options]`.
 pub fn run(argv: &[String]) -> Result<(), String> {
     let parsed: Parsed = parse(argv)?;
@@ -107,8 +167,27 @@ pub fn run(argv: &[String]) -> Result<(), String> {
         None => Imbalance::None,
     };
     let seed: u64 = parsed.get_or("seed", 0)?;
+    let replications: usize = parsed.get_or("replications", 1)?;
+    let jobs: usize = parsed.get_or("jobs", 1)?;
     let out = parsed.get("out").unwrap_or("trace.limba").to_string();
     let format = parsed.get("format").unwrap_or("binary").to_string();
+
+    if replications > 1 {
+        // Replication sweep: summary statistics only, no tracefile.
+        print!(
+            "{}",
+            render_sweep(
+                &workload,
+                ranks,
+                iterations,
+                imbalance,
+                seed,
+                replications,
+                jobs
+            )?
+        );
+        return Ok(());
+    }
 
     let program = build_program(&workload, ranks, iterations, imbalance, seed)?;
     let output = simulate(&program, ranks)?;
@@ -160,6 +239,39 @@ mod tests {
             assert!(p.total_ops() > 0, "{w} is empty");
         }
         assert!(build_program("nope", 8, None, Imbalance::None, 0).is_err());
+    }
+
+    #[test]
+    fn sweep_output_is_byte_identical_across_job_counts() {
+        let reference = render_sweep(
+            "cfd",
+            4,
+            Some(1),
+            Imbalance::RandomJitter { amplitude: 0.2 },
+            42,
+            6,
+            1,
+        )
+        .unwrap();
+        assert!(reference.contains("6 replications"));
+        for jobs in [2, 4, 8] {
+            let sweep = render_sweep(
+                "cfd",
+                4,
+                Some(1),
+                Imbalance::RandomJitter { amplitude: 0.2 },
+                42,
+                6,
+                jobs,
+            )
+            .unwrap();
+            assert_eq!(sweep, reference, "jobs={jobs}");
+        }
+    }
+
+    #[test]
+    fn sweep_rejects_unknown_workload() {
+        assert!(render_sweep("nope", 4, None, Imbalance::None, 0, 2, 2).is_err());
     }
 
     #[test]

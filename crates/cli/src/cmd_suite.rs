@@ -2,8 +2,17 @@
 //! under every imbalance injector, analyze each run, and print a summary
 //! table. (In the spirit of the Tracefile Testbed the paper's authors
 //! co-built: a corpus of runs to compare methodologies on.)
+//!
+//! With `--jobs N` the sweep fans out over a thread pool: simulations
+//! run through [`limba_par::par_map`] and the analyses through
+//! [`BatchAnalyzer`], both of which slot results by input index — so the
+//! rendered table is byte-identical for every job count (locked by the
+//! workspace test-suite).
 
-use limba_analysis::Analyzer;
+use std::fmt::Write as _;
+
+use limba_analysis::{Analyzer, BatchAnalyzer};
+use limba_model::Measurements;
 use limba_mpisim::{MachineConfig, Program, Simulator};
 use limba_workloads::{
     cfd::CfdConfig, fft::FftConfig, irregular::IrregularConfig, master_worker::MasterWorkerConfig,
@@ -69,14 +78,8 @@ fn programs(ranks: usize, imbalance: Imbalance) -> Vec<(&'static str, Program)> 
     ]
 }
 
-/// Runs `limba suite [--ranks N]`.
-pub fn run(argv: &[String]) -> Result<(), String> {
-    let parsed: Parsed = parse(argv)?;
-    let ranks: usize = parsed.get_or("ranks", 8)?;
-    if ranks < 4 || ranks % 2 != 0 {
-        return Err("suite needs an even rank count of at least 4".into());
-    }
-    let injectors: Vec<(&str, Imbalance)> = vec![
+fn injectors() -> Vec<(&'static str, Imbalance)> {
+    vec![
         ("none", Imbalance::None),
         ("linear:0.4", Imbalance::LinearSkew { spread: 0.4 }),
         (
@@ -94,36 +97,89 @@ pub fn run(argv: &[String]) -> Result<(), String> {
             },
         ),
         ("jitter:0.25", Imbalance::RandomJitter { amplitude: 0.25 }),
-    ];
+    ]
+}
+
+/// Renders the full suite table for `ranks` ranks using up to `jobs`
+/// worker threads. The output is byte-identical for every `jobs` value.
+pub fn render(ranks: usize, jobs: usize) -> Result<String, String> {
+    if ranks < 4 || !ranks.is_multiple_of(2) {
+        return Err("suite needs an even rank count of at least 4".into());
+    }
+    // Flatten the injector × workload grid into an indexed case list so
+    // parallel stages can slot their results deterministically.
+    let cases: Vec<(&str, &str, Program)> = injectors()
+        .into_iter()
+        .flat_map(|(iname, imbalance)| {
+            programs(ranks, imbalance)
+                .into_iter()
+                .map(move |(wname, program)| (iname, wname, program))
+        })
+        .collect();
+
+    // Stage 1: simulate + reduce every case in parallel.
     let sim = Simulator::new(MachineConfig::new(ranks));
-    println!(
-        "{:<14} {:<14} {:>10} {:>10} {:>22}",
-        "workload", "imbalance", "makespan", "max SID_C", "top candidate"
-    );
-    println!("{}", "-".repeat(74));
-    for (iname, imbalance) in &injectors {
-        for (wname, program) in programs(ranks, *imbalance) {
+    let simulated: Vec<Result<(f64, Measurements), String>> =
+        limba_par::par_map(jobs, &cases, |_, (iname, wname, program)| {
             let out = sim
-                .run(&program)
+                .run(program)
                 .map_err(|e| format!("{wname}/{iname}: {e}"))?;
             let reduced = out.reduce().map_err(|e| e.to_string())?;
-            let report = Analyzer::new()
-                .with_cluster_k(0)
-                .analyze(&reduced.measurements)
-                .map_err(|e| e.to_string())?;
-            let (sid, top) = report
-                .findings
-                .tuning_candidates
-                .first()
-                .map(|c| (c.sid, c.name.clone()))
-                .unwrap_or((0.0, "-".into()));
-            println!(
-                "{wname:<14} {iname:<14} {:>9.3}s {sid:>10.5} {top:>22}",
-                out.stats.makespan
-            );
-        }
-        println!();
+            Ok((out.stats.makespan, reduced.measurements))
+        });
+    // Deterministic error selection: the first failing case in input
+    // order wins, regardless of completion order.
+    let mut makespans = Vec::with_capacity(cases.len());
+    let mut traces = Vec::with_capacity(cases.len());
+    for result in simulated {
+        let (makespan, measurements) = result?;
+        makespans.push(makespan);
+        traces.push(measurements);
     }
+
+    // Stage 2: analyze the whole corpus as one batch.
+    let batch = BatchAnalyzer::new(Analyzer::new().with_cluster_k(0)).with_jobs(jobs);
+    let reports = batch.analyze_batch(&traces);
+
+    let mut table = String::new();
+    writeln!(
+        table,
+        "{:<14} {:<14} {:>10} {:>10} {:>22}",
+        "workload", "imbalance", "makespan", "max SID_C", "top candidate"
+    )
+    .unwrap();
+    writeln!(table, "{}", "-".repeat(74)).unwrap();
+    let mut previous_injector = None;
+    for (((iname, wname, _), makespan), report) in cases.iter().zip(&makespans).zip(&reports) {
+        if previous_injector.is_some_and(|p| p != iname) {
+            writeln!(table).unwrap();
+        }
+        previous_injector = Some(iname);
+        let report = report
+            .as_ref()
+            .map_err(|e| format!("{wname}/{iname}: {e}"))?;
+        let (sid, top) = report
+            .findings
+            .tuning_candidates
+            .first()
+            .map(|c| (c.sid, c.name.clone()))
+            .unwrap_or((0.0, "-".into()));
+        writeln!(
+            table,
+            "{wname:<14} {iname:<14} {makespan:>9.3}s {sid:>10.5} {top:>22}"
+        )
+        .unwrap();
+    }
+    writeln!(table).unwrap();
+    Ok(table)
+}
+
+/// Runs `limba suite [--ranks N] [--jobs N]`.
+pub fn run(argv: &[String]) -> Result<(), String> {
+    let parsed: Parsed = parse(argv)?;
+    let ranks: usize = parsed.get_or("ranks", 8)?;
+    let jobs: usize = parsed.get_or("jobs", 1)?;
+    print!("{}", render(ranks, jobs)?);
     Ok(())
 }
 
@@ -140,5 +196,14 @@ mod tests {
     fn odd_or_tiny_rank_counts_rejected() {
         assert!(run(&["--ranks".to_string(), "3".to_string()]).is_err());
         assert!(run(&["--ranks".to_string(), "2".to_string()]).is_err());
+    }
+
+    #[test]
+    fn suite_table_is_byte_identical_across_job_counts() {
+        let reference = render(4, 1).unwrap();
+        assert!(reference.contains("workload"));
+        for jobs in [2, 4, 8] {
+            assert_eq!(render(4, jobs).unwrap(), reference, "jobs={jobs}");
+        }
     }
 }

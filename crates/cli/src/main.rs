@@ -23,7 +23,7 @@ USAGE:
   limba analyze <tracefile> [OPTIONS]   analyze a tracefile, print the report
   limba compare <before> <after>        verify a tuning change between two traces
   limba paper [OPTIONS]                 regenerate the paper's case study
-  limba suite [--ranks N]               sweep all workloads × injectors, print a summary
+  limba suite [--ranks N] [--jobs N]    sweep all workloads × injectors, print a summary
   limba timeline <tracefile> [OPTIONS]  render a tracefile as an SVG timeline
   limba demo                            simulate the CFD proxy and analyze it
 
@@ -36,6 +36,10 @@ OPTIONS (simulate):
   --imbalance SPEC       none | linear:SPREAD | block:HEAVY,FACTOR |
                          jitter:AMPLITUDE | hotspot:RANK,FACTOR
   --seed N               RNG seed for stochastic injectors (default 0)
+  --replications N       run N independent replications with SplitMix64-derived
+                         seeds and print summary statistics (default 1)
+  --jobs N               worker threads for --replications; results are
+                         byte-identical for every N, 0 = all CPUs (default 1)
   --out PATH             tracefile path (default trace.limba)
   --format FMT           binary | text (default binary)
 

@@ -172,7 +172,7 @@ mod tests {
         let w = within_cluster_sum_of_squares(&pts, &asg).unwrap();
         assert!(w < 0.1, "wcss = {w}");
         // Everything in one cluster is much worse.
-        let one = within_cluster_sum_of_squares(&pts, &vec![0; 6]).unwrap();
+        let one = within_cluster_sum_of_squares(&pts, &[0; 6]).unwrap();
         assert!(one > 50.0);
     }
 
@@ -188,7 +188,7 @@ mod tests {
     #[test]
     fn silhouette_single_cluster_is_zero() {
         let (pts, _) = blobs();
-        assert_eq!(silhouette(&pts, &vec![0; 6]).unwrap(), 0.0);
+        assert_eq!(silhouette(&pts, &[0; 6]).unwrap(), 0.0);
     }
 
     #[test]
@@ -197,7 +197,7 @@ mod tests {
         let good = calinski_harabasz(&pts, &asg).unwrap();
         let bad = calinski_harabasz(&pts, &[0, 1, 0, 1, 0, 1]).unwrap();
         assert!(good > bad);
-        assert_eq!(calinski_harabasz(&pts, &vec![0; 6]).unwrap(), 0.0);
+        assert_eq!(calinski_harabasz(&pts, &[0; 6]).unwrap(), 0.0);
     }
 
     #[test]

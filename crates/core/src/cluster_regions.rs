@@ -4,8 +4,6 @@
 //! represented in a K-dimensional space. Clustering partitions this space
 //! into groups of code regions with homogeneous characteristics."
 
-use serde::{Deserialize, Serialize};
-
 use limba_cluster::{KMeans, KMeansConfig, Standardizer};
 use limba_model::{Measurements, RegionId};
 
@@ -17,7 +15,7 @@ use crate::AnalysisError;
 /// z-scoring gives every activity equal voice. The paper's reported
 /// partition of its case study (loops {1, 2} vs. the rest) is the k-means
 /// optimum under z-scored features, which is therefore the default.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize, Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
 pub enum FeatureScaling {
     /// Cluster the raw `t_ij` vectors.
     Raw,
@@ -27,7 +25,7 @@ pub enum FeatureScaling {
 }
 
 /// Result of clustering the code regions.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct RegionClustering {
     /// Number of clusters.
     pub k: usize,

@@ -8,14 +8,12 @@
 //! region, might correspond to an inefficient portion of the program or
 //! to its core."
 
-use serde::{Deserialize, Serialize};
-
 use limba_model::{ActivityKind, Measurements, ProgramProfile, RegionId};
 
 use crate::AnalysisError;
 
 /// Worst and best region for one activity.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ActivityExtremes {
     /// The activity.
     pub kind: ActivityKind,
@@ -28,7 +26,7 @@ pub struct ActivityExtremes {
 }
 
 /// Result of the coarse-grain analysis.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct CoarseAnalysis {
     /// `T`: program wall-clock time.
     pub total_seconds: f64,

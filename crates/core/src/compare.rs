@@ -9,15 +9,13 @@
 //! — per region, per activity, and overall — and whether the imbalance
 //! indices moved the right way.
 
-use serde::{Deserialize, Serialize};
-
 use limba_model::{ActivityKind, Measurements, RegionId};
 use limba_stats::dispersion::{DispersionIndex, DispersionKind};
 
 use crate::AnalysisError;
 
 /// Verdict on one region's change between two runs.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Verdict {
     /// Both the wall-clock time and the dispersion improved (or one
     /// improved with the other unchanged).
@@ -31,7 +29,7 @@ pub enum Verdict {
 }
 
 /// Comparison of one region across two runs.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct RegionDelta {
     /// The region (index in the *before* run; shapes must match).
     pub region: RegionId,
@@ -52,7 +50,7 @@ pub struct RegionDelta {
 }
 
 /// Comparison of two runs of the same program.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct RunComparison {
     /// Whole-program speedup `T_before / T_after`.
     pub total_speedup: f64,

@@ -8,15 +8,13 @@
 //! across processors is communication-volume imbalance even before it
 //! shows up as time.
 
-use serde::{Deserialize, Serialize};
-
 use limba_model::{CountKind, CountMatrix, RegionId};
 use limba_stats::dispersion::{DispersionIndex, DispersionKind};
 
 use crate::AnalysisError;
 
 /// Dispersion of one recorded `(region, count kind)` cell.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct CountCell {
     /// The region.
     pub region: RegionId,
@@ -29,7 +27,7 @@ pub struct CountCell {
 }
 
 /// Per-kind summary across regions.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct CountSummary {
     /// The counted quantity.
     pub kind: CountKind,
@@ -42,7 +40,7 @@ pub struct CountSummary {
 }
 
 /// The complete counting-parameter view.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct CountView {
     /// One entry per recorded cell with a positive total.
     pub cells: Vec<CountCell>,

@@ -6,14 +6,12 @@
 //! if a cheap criterion selects (nearly) the same candidates as an
 //! expensive one, the tool can default to the cheap one.
 
-use serde::{Deserialize, Serialize};
-
 use limba_stats::rank::RankingCriterion;
 
 use crate::AnalysisError;
 
 /// Agreement between two criteria on one score set.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Agreement {
     /// Jaccard similarity of the two selections (`|A ∩ B| / |A ∪ B|`);
     /// `1.0` when both select exactly the same items, and by convention
@@ -52,7 +50,7 @@ pub fn criterion_agreement(
 }
 
 /// Pairwise agreement of a set of criteria on one score set.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct CriteriaStudy {
     /// The labels of the compared criteria, in matrix order.
     pub labels: Vec<String>,

@@ -9,15 +9,13 @@
 //! `limba_trace::reduce_windows`-style slicing; this module fits the
 //! trend.
 
-use serde::{Deserialize, Serialize};
-
 use limba_model::{ActivityKind, Measurements};
 use limba_stats::dispersion::{DispersionIndex, DispersionKind};
 
 use crate::AnalysisError;
 
 /// Direction of an imbalance trend over time.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Trend {
     /// The index grows by more than the tolerance over the run.
     Growing,
@@ -28,7 +26,7 @@ pub enum Trend {
 }
 
 /// Evolution of one activity's program-wide dispersion across windows.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ImbalanceSeries {
     /// The activity tracked.
     pub activity: ActivityKind,
@@ -42,7 +40,7 @@ pub struct ImbalanceSeries {
 }
 
 /// Evolution report over all activities.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Evolution {
     /// One series per activity with any time in any window.
     pub series: Vec<ImbalanceSeries>,

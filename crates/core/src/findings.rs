@@ -4,8 +4,6 @@
 //! programs, that is, detect the presence of inefficiencies, localize
 //! them and assess their severity."
 
-use serde::{Deserialize, Serialize};
-
 use limba_model::{ActivityKind, Measurements, ProcessorId, RegionId};
 use limba_stats::rank::RankingCriterion;
 
@@ -13,7 +11,7 @@ use crate::views::{ActivityView, ProcessorView, RegionView};
 use crate::AnalysisError;
 
 /// Processor-level findings.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ProcessorFindings {
     /// The processor that is the most imbalanced on the largest number of
     /// regions, with that count.
@@ -26,7 +24,7 @@ pub struct ProcessorFindings {
 }
 
 /// A region recommended for tuning, with the evidence.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct TuningCandidate {
     /// The region.
     pub region: RegionId,
@@ -44,7 +42,7 @@ pub struct TuningCandidate {
 }
 
 /// All findings of one analysis.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Findings {
     /// Processor-level findings.
     pub processors: ProcessorFindings,

@@ -14,8 +14,6 @@
 //!   dispersion, and stops when further refinement no longer localizes
 //!   the imbalance.
 
-use serde::{Deserialize, Serialize};
-
 use limba_model::{Measurements, RegionId};
 use limba_stats::dispersion::DispersionKind;
 
@@ -23,7 +21,7 @@ use crate::views::{activity_view, region_view};
 use crate::AnalysisError;
 
 /// The static nesting of code regions.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct RegionTree {
     parents: Vec<Option<usize>>,
     children: Vec<Vec<usize>>,
@@ -164,7 +162,7 @@ fn trace_model_error(_e: limba_model::ModelError) -> AnalysisError {
 }
 
 /// One step of the drill-down search.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct DrillStep {
     /// The region examined at this depth.
     pub region: RegionId,
@@ -179,7 +177,7 @@ pub struct DrillStep {
 }
 
 /// Result of the automated drill-down.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Drilldown {
     /// The path from the top-level culprit down to the most specific
     /// region that still concentrates the imbalance.

@@ -44,6 +44,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod batch;
 pub mod cluster_regions;
 pub mod coarse;
 pub mod compare;
@@ -53,10 +54,12 @@ pub mod evolution;
 pub mod findings;
 pub mod hierarchy;
 pub mod patterns;
+pub mod snapshot;
 pub mod views;
 
 mod error;
 mod pipeline;
 
+pub use batch::{BatchAnalyzer, ReportCache};
 pub use error::AnalysisError;
 pub use pipeline::{Analyzer, Report};

@@ -5,12 +5,10 @@
 //! the lower and upper 15% intervals of the range of the wall clock
 //! times, respectively."
 
-use serde::{Deserialize, Serialize};
-
 use limba_model::{ActivityKind, Measurements, RegionId};
 
 /// Classification of one processor's time within a (region, activity) row.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum PatternBin {
     /// Equal to the row maximum.
     Max,
@@ -71,7 +69,7 @@ pub fn classify_row(row: &[f64]) -> Vec<PatternBin> {
 
 /// One row of a pattern diagram: a region's per-processor bins for one
 /// activity.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct PatternRow {
     /// The region this row describes.
     pub region: RegionId,
@@ -104,7 +102,7 @@ impl PatternRow {
 /// A pattern diagram for one activity: one row per region performing it
 /// (the paper's "the diagrams plot only the loops performing the
 /// activity").
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct PatternGrid {
     /// The activity the diagram shows.
     pub activity: ActivityKind,

@@ -1,7 +1,5 @@
 //! The end-to-end analysis pipeline.
 
-use serde::{Deserialize, Serialize};
-
 use limba_model::{ActivityKind, CountMatrix, Measurements, ProgramProfile};
 use limba_stats::dispersion::DispersionKind;
 use limba_stats::rank::RankingCriterion;
@@ -17,7 +15,7 @@ use crate::views::{
 use crate::AnalysisError;
 
 /// The complete result of one analysis run.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Report {
     /// Table-1-style profile (regions × activities breakdown).
     pub profile: ProgramProfile,
@@ -67,6 +65,7 @@ pub struct Analyzer {
     cluster_k: usize,
     scaling: FeatureScaling,
     seed: u64,
+    jobs: usize,
 }
 
 impl Analyzer {
@@ -78,6 +77,7 @@ impl Analyzer {
             cluster_k: 2,
             scaling: FeatureScaling::default(),
             seed: 0,
+            jobs: 1,
         }
     }
 
@@ -111,34 +111,88 @@ impl Analyzer {
         self
     }
 
+    /// Sets the number of worker threads used *inside* one analysis run:
+    /// the independent report components (views, clustering, pattern
+    /// grids) are computed concurrently. `1` (the default) runs strictly
+    /// sequentially; `0` uses one job per available CPU.
+    ///
+    /// The produced [`Report`] is bit-identical for every job count —
+    /// components are pure functions of the measurements, each lands in
+    /// a fixed slot, and no reduction order depends on scheduling. The
+    /// workspace test-suite locks this guarantee.
+    pub fn with_jobs(mut self, jobs: usize) -> Self {
+        self.jobs = jobs;
+        self
+    }
+
     /// The configured index of dispersion.
     pub fn dispersion(&self) -> DispersionKind {
         self.dispersion
     }
 
+    /// The configured intra-report job count (see [`with_jobs`](Self::with_jobs)).
+    pub fn jobs(&self) -> usize {
+        self.jobs
+    }
+
+    /// A stable fingerprint of everything that influences analysis
+    /// *results*: dispersion, criterion, cluster count, scaling, and
+    /// seed. The job count is deliberately excluded — thread count never
+    /// changes the report, so cached results remain valid across
+    /// `--jobs` settings.
+    pub fn config_fingerprint(&self) -> u64 {
+        crate::snapshot::fnv1a(
+            format!(
+                "{:?}|{:?}|{}|{:?}|{}",
+                self.dispersion, self.criterion, self.cluster_k, self.scaling, self.seed
+            )
+            .as_bytes(),
+        )
+    }
+
     /// Runs the full methodology on `measurements`.
+    ///
+    /// With [`with_jobs`](Self::with_jobs) above one, the independent
+    /// report components are computed concurrently; the result is
+    /// bit-identical to the sequential run because every component is a
+    /// pure function of the measurements, results land in fixed slots,
+    /// and errors are selected in the fixed sequential order rather than
+    /// completion order.
     ///
     /// # Errors
     ///
     /// Returns [`AnalysisError::EmptyProgram`] for all-zero measurements
     /// and propagates statistical or clustering failures.
     pub fn analyze(&self, measurements: &Measurements) -> Result<Report, AnalysisError> {
-        let profile = ProgramProfile::from_measurements(measurements);
-        let coarse = coarse_analysis(measurements, &profile)?;
-        let clustering = if self.cluster_k >= 1 && self.cluster_k <= measurements.regions() {
-            Some(cluster_regions(
-                measurements,
-                self.cluster_k,
-                self.seed,
-                self.scaling,
-            )?)
-        } else {
-            None
-        };
-        let av = activity_view(measurements, self.dispersion)?;
-        let rv = region_view(measurements, &av)?;
-        let pv = processor_view(measurements)?;
-        let patterns: Vec<PatternGrid> = measurements
+        let parallel = limba_par::effective_jobs(self.jobs) > 1;
+        let ((profile, coarse), clustering, views, pv) = limba_par::join4(
+            parallel,
+            || {
+                let profile = ProgramProfile::from_measurements(measurements);
+                let coarse = coarse_analysis(measurements, &profile);
+                (profile, coarse)
+            },
+            || {
+                if self.cluster_k >= 1 && self.cluster_k <= measurements.regions() {
+                    cluster_regions(measurements, self.cluster_k, self.seed, self.scaling).map(Some)
+                } else {
+                    Ok(None)
+                }
+            },
+            || {
+                let av = activity_view(measurements, self.dispersion)?;
+                let rv = region_view(measurements, &av)?;
+                Ok::<_, AnalysisError>((av, rv))
+            },
+            || processor_view(measurements),
+        );
+        // Deterministic error selection: the same component wins no
+        // matter which thread failed first.
+        let coarse = coarse?;
+        let clustering = clustering?;
+        let (av, rv) = views?;
+        let pv = pv?;
+        let performed: Vec<ActivityKind> = measurements
             .activities()
             .iter()
             .filter(|&kind| {
@@ -146,8 +200,12 @@ impl Analyzer {
                     .region_ids()
                     .any(|r| measurements.performs(r, kind))
             })
-            .map(|kind| pattern_grid(measurements, kind))
             .collect();
+        let patterns: Vec<PatternGrid> = limba_par::par_map(
+            if parallel { self.jobs } else { 1 },
+            &performed,
+            |_, &kind| pattern_grid(measurements, kind),
+        );
         let findings = derive_findings(measurements, &pv, &av, &rv, self.criterion)?;
         Ok(Report {
             profile,

@@ -4,8 +4,6 @@
 //! performed by the processors across all the code regions with the
 //! objective of identifying the most imbalanced activity."
 
-use serde::{Deserialize, Serialize};
-
 use limba_model::{ActivityKind, Measurements, RegionId};
 use limba_stats::dispersion::{DispersionIndex, DispersionKind};
 
@@ -13,7 +11,7 @@ use crate::AnalysisError;
 
 /// Per-activity summary: the weighted average `ID_A_j` and its scaled
 /// counterpart `SID_A_j`.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ActivitySummary {
     /// The activity.
     pub kind: ActivityKind,
@@ -28,7 +26,7 @@ pub struct ActivitySummary {
 }
 
 /// The complete activity view.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ActivityView {
     /// `ID_ij` per `[region][activity column]`; `None` where the region
     /// does not perform the activity (the "-" cells of Table 2).

@@ -9,8 +9,6 @@
 //! processors", after standardizing each processor's activity vector over
 //! its own sum within the region.
 
-use serde::{Deserialize, Serialize};
-
 use limba_model::{Measurements, ProcessorId, RegionId};
 use limba_stats::dispersion::euclidean_distance;
 use limba_stats::standardize::to_unit_sum;
@@ -18,7 +16,7 @@ use limba_stats::standardize::to_unit_sum;
 use crate::AnalysisError;
 
 /// The complete processor view.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ProcessorView {
     /// `ID_P_ip` per `[region][processor]`; `None` when the processor
     /// spent no time in the region.

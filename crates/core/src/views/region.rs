@@ -4,8 +4,6 @@
 //! various activities performed by the processors within each region
 //! with the objective of identifying the most imbalanced region."
 
-use serde::{Deserialize, Serialize};
-
 use limba_model::{Measurements, RegionId};
 
 use crate::views::ActivityView;
@@ -13,7 +11,7 @@ use crate::AnalysisError;
 
 /// Per-region summary: the weighted average `ID_C_i` and its scaled
 /// counterpart `SID_C_i` (Table 4).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct RegionSummary {
     /// The region.
     pub region: RegionId,
@@ -30,7 +28,7 @@ pub struct RegionSummary {
 }
 
 /// The complete code-region view.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct RegionView {
     /// One summary per region with nonzero time, in region order.
     pub summaries: Vec<RegionSummary>,

@@ -2,8 +2,6 @@
 
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
-
 /// Kind of activity a processor performs inside a code region.
 ///
 /// The paper's case study measures the first four kinds (computation,
@@ -19,7 +17,7 @@ use serde::{Deserialize, Serialize};
 /// assert!(ActivityKind::Computation.is_computation());
 /// assert!(ActivityKind::Collective.is_communication());
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum ActivityKind {
     /// Pure computation (user code between communication calls).
     Computation,
@@ -120,7 +118,7 @@ impl fmt::Display for ActivityKind {
 /// assert_eq!(set.column(ActivityKind::Collective), Some(2));
 /// assert_eq!(set.kind(2), Some(ActivityKind::Collective));
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct ActivitySet {
     kinds: Vec<ActivityKind>,
 }

@@ -10,12 +10,10 @@
 use std::collections::BTreeMap;
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
-
 use crate::{ModelError, ProcessorId, RegionId};
 
 /// Kind of event being counted.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum CountKind {
     /// Messages sent.
     MessagesSent,
@@ -85,7 +83,7 @@ impl fmt::Display for CountKind {
 /// # Ok(())
 /// # }
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize, Default)]
+#[derive(Debug, Clone, PartialEq, Default)]
 pub struct CountMatrix {
     processors: usize,
     cells: BTreeMap<(usize, CountKind), Vec<f64>>,

@@ -2,8 +2,6 @@
 
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
-
 /// Identifier of a code region (loop, routine, statement block).
 ///
 /// Region ids are dense indices handed out by
@@ -18,7 +16,7 @@ use serde::{Deserialize, Serialize};
 /// assert_eq!(r.index(), 3);
 /// assert_eq!(r.to_string(), "region#3");
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct RegionId(usize);
 
 impl RegionId {
@@ -54,7 +52,7 @@ impl From<usize> for RegionId {
 /// let p = ProcessorId::new(0);
 /// assert_eq!(p.to_string(), "proc#0");
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct ProcessorId(usize);
 
 impl ProcessorId {

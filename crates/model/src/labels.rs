@@ -2,13 +2,11 @@
 
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
-
 /// What kind of source construct a code region corresponds to.
 ///
 /// The paper analyzes "loops, routines, code statements"; the kind is
 /// informational and does not affect any metric.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize, Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
 pub enum RegionKind {
     /// A loop nest (the paper's case study uses the 7 main loops).
     #[default]
@@ -34,7 +32,7 @@ impl fmt::Display for RegionKind {
 }
 
 /// Position of a region in the program source.
-#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct SourceLocation {
     /// Source file path as recorded by the instrumenter.
     pub file: String,
@@ -70,7 +68,7 @@ impl fmt::Display for SourceLocation {
 /// assert_eq!(info.name(), "flux update");
 /// assert_eq!(info.kind(), RegionKind::Loop);
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct RegionInfo {
     name: String,
     kind: RegionKind,

@@ -1,11 +1,9 @@
 //! Profiles: Table-1-style wall-clock breakdowns derived from measurements.
 
-use serde::{Deserialize, Serialize};
-
 use crate::{ActivityKind, Measurements, RegionId};
 
 /// Time of one activity within a region, with its share of the region.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ActivityBreakdown {
     /// The activity.
     pub kind: ActivityKind,
@@ -19,7 +17,7 @@ pub struct ActivityBreakdown {
 }
 
 /// Wall-clock breakdown of one code region — one row of the paper's Table 1.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct RegionProfile {
     /// The region this row describes.
     pub region: RegionId,
@@ -62,7 +60,7 @@ impl RegionProfile {
 /// # Ok(())
 /// # }
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ProgramProfile {
     /// `T`: program wall-clock time in seconds.
     pub total_seconds: f64,

@@ -52,6 +52,12 @@ pub enum SimError {
         /// Human-readable state of every stuck rank.
         detail: String,
     },
+    /// A replication's program builder failed (see
+    /// [`Simulator::run_replications`](crate::Simulator::run_replications)).
+    BuildFailed {
+        /// What went wrong.
+        detail: String,
+    },
     /// The produced trace failed validation or reduction.
     Trace(TraceError),
 }
@@ -84,6 +90,9 @@ impl fmt::Display for SimError {
                 )
             }
             SimError::Deadlock { detail } => write!(f, "deadlock: {detail}"),
+            SimError::BuildFailed { detail } => {
+                write!(f, "replication program build failed: {detail}")
+            }
             SimError::Trace(e) => write!(f, "trace handling failed: {e}"),
         }
     }

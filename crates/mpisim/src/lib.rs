@@ -53,9 +53,11 @@ mod config;
 mod engine;
 mod error;
 mod ops;
+mod replicate;
 
 pub use collectives::{collective_cost, CollectiveAlgorithm, CollectiveKind};
 pub use config::MachineConfig;
 pub use engine::{SimOutput, SimStats, Simulator};
 pub use error::SimError;
 pub use ops::{Op, Program, ProgramBuilder, RankOps};
+pub use replicate::Replication;

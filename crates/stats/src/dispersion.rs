@@ -19,8 +19,6 @@
 
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
-
 use crate::standardize::to_unit_sum;
 use crate::StatsError;
 
@@ -241,7 +239,7 @@ impl DispersionIndex for Atkinson {
 /// let id = DispersionKind::Euclidean.index(&[1.0, 0.0]).unwrap();
 /// assert!((id - (0.5f64).sqrt()).abs() < 1e-12);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize, Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
 pub enum DispersionKind {
     /// [`EuclideanFromMean`] — the paper's choice.
     #[default]

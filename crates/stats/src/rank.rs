@@ -5,8 +5,6 @@
 //! are the maximum of the indices of dispersion, the percentiles of their
 //! distribution, or some predefined thresholds."
 
-use serde::{Deserialize, Serialize};
-
 use crate::describe::percentile;
 use crate::StatsError;
 
@@ -25,7 +23,7 @@ use crate::StatsError;
 ///     vec![1, 3]
 /// );
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize, Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub enum RankingCriterion {
     /// Select only the item with the maximum index of dispersion.
     #[default]

@@ -103,7 +103,7 @@ mod tests {
         };
         assert!(e.to_string().contains("processor 3"));
         assert!(e.source().is_none());
-        let io = TraceError::from(std::io::Error::new(std::io::ErrorKind::Other, "x"));
+        let io = TraceError::from(std::io::Error::other("x"));
         assert!(io.source().is_some());
         fn assert_send_sync<T: Send + Sync>() {}
         assert_send_sync::<TraceError>();

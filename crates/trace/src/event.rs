@@ -1,13 +1,11 @@
 //! The trace event model.
 
-use serde::{Deserialize, Serialize};
-
 use limba_model::{ActivityKind, RegionId};
 
 use crate::TraceError;
 
 /// What happened at one instant on one processor.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub enum EventPayload {
     /// The processor entered a code region.
     EnterRegion {
@@ -47,7 +45,7 @@ pub enum EventPayload {
 }
 
 /// One timestamped event of one processor.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Event {
     /// Wall-clock time in seconds since program start.
     pub time: f64,
@@ -123,7 +121,7 @@ impl Event {
 /// Events may be appended in any order; [`Trace::events_by_processor`]
 /// provides the per-processor, time-ordered view reduction needs, and
 /// [`Trace::validate`] checks structural well-formedness.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Trace {
     processors: usize,
     region_names: Vec<String>,
@@ -172,10 +170,10 @@ impl Trace {
                 return Err(TraceError::UnknownProcessor { proc: e.proc });
             }
             match e.payload {
-                EventPayload::EnterRegion { region } | EventPayload::LeaveRegion { region } => {
-                    if region >= self.region_names.len() {
-                        return Err(TraceError::UnknownRegion { region });
-                    }
+                EventPayload::EnterRegion { region } | EventPayload::LeaveRegion { region }
+                    if region >= self.region_names.len() =>
+                {
+                    return Err(TraceError::UnknownRegion { region });
                 }
                 _ => {}
             }

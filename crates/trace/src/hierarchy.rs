@@ -32,12 +32,14 @@ pub fn region_parents(trace: &Trace) -> Result<Vec<Option<usize>>, TraceError> {
                     match parents[region] {
                         None => parents[region] = Some(parent),
                         Some(seen) if seen == parent => {}
-                        Some(seen) => return Err(TraceError::Malformed {
-                            detail: format!(
+                        Some(seen) => {
+                            return Err(TraceError::Malformed {
+                                detail: format!(
                                 "region {region} observed under parents {seen:?} and {parent:?}; \
                                      the region structure is not a tree"
                             ),
-                        }),
+                            })
+                        }
                     }
                     stack.push(region);
                 }

@@ -178,7 +178,6 @@ pub fn reduce(trace: &Trace) -> Result<ReducedTrace, TraceError> {
                     ..
                 } => cb
                     .record(RegionId::new(region), kind, proc as usize, amount)
-                    .map_err(Into::into)
                     .and(Ok(())),
             };
             if let Err(e) = result {
@@ -246,11 +245,11 @@ pub fn reduce_windows(trace: &Trace, windows: usize) -> Result<Vec<ReducedTrace>
                 } => {
                     let (first, last) = (clamp_window(start), clamp_window(end));
                     let mut res = Ok(());
-                    for w in first..=last {
+                    for (w, builder) in builders.iter_mut().enumerate().take(last + 1).skip(first) {
                         let lo = start.max(w as f64 * width);
                         let hi = end.min((w + 1) as f64 * width);
                         if hi > lo {
-                            res = res.and(builders[w].0.record(
+                            res = res.and(builder.0.record(
                                 RegionId::new(region),
                                 kind,
                                 proc as usize,

@@ -189,7 +189,7 @@ mod tests {
         assert!(svg.contains("<line"));
         assert!(svg.contains("<path"));
         assert!(svg.contains("loop 6 computation"));
-        assert_eq!(svg.matches('M').count() >= 1, true);
+        assert!(svg.matches('M').count() >= 1);
     }
 
     #[test]

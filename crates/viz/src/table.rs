@@ -57,8 +57,8 @@ impl TextTable {
         fn cell(row: &[String], c: usize) -> &str {
             row.get(c).map(|s| s.as_str()).unwrap_or("")
         }
-        for c in 0..columns {
-            widths[c] = self
+        for (c, width) in widths.iter_mut().enumerate() {
+            *width = self
                 .rows
                 .iter()
                 .map(|r| cell(r, c).chars().count())
@@ -68,18 +68,18 @@ impl TextTable {
         }
         let mut out = String::new();
         let render_row = |out: &mut String, row: &[String], pad_left: bool| {
-            for c in 0..columns {
+            for (c, &width) in widths.iter().enumerate() {
                 if c > 0 {
                     out.push_str("  ");
                 }
                 let text = cell(row, c);
-                let pad = widths[c].saturating_sub(text.chars().count());
+                let pad = width.saturating_sub(text.chars().count());
                 if pad_left {
-                    out.extend(std::iter::repeat(' ').take(pad));
+                    out.extend(std::iter::repeat_n(' ', pad));
                     out.push_str(text);
                 } else {
                     out.push_str(text);
-                    out.extend(std::iter::repeat(' ').take(pad));
+                    out.extend(std::iter::repeat_n(' ', pad));
                 }
             }
             while out.ends_with(' ') {
@@ -89,7 +89,7 @@ impl TextTable {
         };
         render_row(&mut out, &self.header, false);
         let total: usize = widths.iter().sum::<usize>() + 2 * columns.saturating_sub(1);
-        out.extend(std::iter::repeat('-').take(total));
+        out.extend(std::iter::repeat_n('-', total));
         out.push('\n');
         for row in &self.rows {
             render_row(&mut out, row, true);

@@ -2,7 +2,6 @@
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use serde::{Deserialize, Serialize};
 
 /// How the nominal per-rank work of a workload is distributed.
 ///
@@ -18,7 +17,7 @@ use serde::{Deserialize, Serialize};
 /// assert!((w.iter().sum::<f64>() / 4.0 - 1.0).abs() < 1e-12);
 /// assert!(w[3] > w[0]);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize, Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub enum Imbalance {
     /// Perfectly even distribution.
     #[default]

@@ -1,0 +1,268 @@
+//! In-tree stand-in for the subset of the [`criterion`] benchmark
+//! harness API used by the limba workspace: [`Criterion`],
+//! [`BenchmarkGroup`], [`Bencher::iter`], [`BenchmarkId`],
+//! [`Throughput`], and the [`criterion_group!`] / [`criterion_main!`]
+//! macros.
+//!
+//! The build environment has no network access to crates.io, so this
+//! crate keeps the workspace self-contained. Instead of criterion's
+//! statistical analysis it runs a fixed warm-up, then times batches
+//! until a wall-clock budget is spent, and reports the mean and best
+//! time per iteration (plus derived throughput when configured). That
+//! is deliberately simple but honest enough to compare alternatives at
+//! the order-of-magnitude level, e.g. the `--jobs 1` vs `--jobs 4`
+//! batch-analysis speedup this repository's benches exist to show.
+//!
+//! [`criterion`]: https://docs.rs/criterion
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Wall-clock budget spent measuring each benchmark (after warm-up).
+const MEASURE_BUDGET: Duration = Duration::from_millis(600);
+/// Warm-up iterations before measurement starts.
+const WARMUP_ITERS: u64 = 3;
+
+/// Entry point of a benchmark binary; passed to every target function.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Runs one named benchmark.
+    pub fn bench_function<F>(&mut self, name: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(name, None, f);
+        self
+    }
+
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _parent: self,
+            name: name.to_string(),
+            throughput: None,
+        }
+    }
+}
+
+/// A group of related benchmarks sharing a name prefix and throughput
+/// setting.
+pub struct BenchmarkGroup<'a> {
+    _parent: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the throughput used to derive rates for subsequent
+    /// benchmarks in this group.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Accepted for upstream compatibility; the shim's sample count is
+    /// governed by a wall-clock budget instead.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Runs one benchmark in the group.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        run_one(&format!("{}/{id}", self.name), self.throughput, f);
+        self
+    }
+
+    /// Runs one benchmark in the group with an input value.
+    pub fn bench_with_input<I, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let id = id.into();
+        run_one(&format!("{}/{id}", self.name), self.throughput, |b| {
+            f(b, input)
+        });
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+/// Identifier of one benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// A `function/parameter` identifier.
+    pub fn new(function: impl fmt::Display, parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            label: format!("{function}/{parameter}"),
+        }
+    }
+
+    /// An identifier that is just a parameter value.
+    pub fn from_parameter(parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            label: parameter.to_string(),
+        }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.label)
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(label: &str) -> Self {
+        BenchmarkId {
+            label: label.to_string(),
+        }
+    }
+}
+
+/// Units processed per iteration, used to report rates.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Times closures; handed to every benchmark body.
+#[derive(Debug, Default)]
+pub struct Bencher {
+    total: Duration,
+    best: Duration,
+    iters: u64,
+}
+
+impl Bencher {
+    /// Times `routine`, keeping its return value alive via
+    /// [`black_box`].
+    pub fn iter<O, F>(&mut self, mut routine: F)
+    where
+        F: FnMut() -> O,
+    {
+        for _ in 0..WARMUP_ITERS {
+            black_box(routine());
+        }
+        let mut total = Duration::ZERO;
+        let mut best = Duration::MAX;
+        let mut iters = 0u64;
+        while total < MEASURE_BUDGET {
+            let start = Instant::now();
+            black_box(routine());
+            let elapsed = start.elapsed();
+            total += elapsed;
+            best = best.min(elapsed);
+            iters += 1;
+        }
+        self.total = total;
+        self.best = best;
+        self.iters = iters;
+    }
+}
+
+fn run_one<F>(name: &str, throughput: Option<Throughput>, mut f: F)
+where
+    F: FnMut(&mut Bencher),
+{
+    let mut bencher = Bencher::default();
+    f(&mut bencher);
+    if bencher.iters == 0 {
+        println!("{name:<60} (no measurement: Bencher::iter never called)");
+        return;
+    }
+    let mean = bencher.total / bencher.iters as u32;
+    let rate = throughput.map(|t| match t {
+        Throughput::Elements(n) => format!(
+            " {:>12.0} elem/s",
+            n as f64 / mean.as_secs_f64().max(f64::MIN_POSITIVE)
+        ),
+        Throughput::Bytes(n) => format!(
+            " {:>12.0} B/s",
+            n as f64 / mean.as_secs_f64().max(f64::MIN_POSITIVE)
+        ),
+    });
+    println!(
+        "{name:<60} mean {:>12?}  best {:>12?}  ({} iters){}",
+        mean,
+        bencher.best,
+        bencher.iters,
+        rate.unwrap_or_default()
+    );
+}
+
+/// Collects benchmark target functions into a runnable group function.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+    ($group:ident; $($target:path),+ $(,)?) => {
+        $crate::criterion_group!($group, $($target),+);
+    };
+    (name = $group:ident; config = $cfg:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let _ = $cfg;
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Emits `main` for a benchmark binary.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_measures_something() {
+        let mut b = Bencher::default();
+        b.iter(|| std::hint::black_box(1 + 1));
+        assert!(b.iters > 0);
+        assert!(b.total > Duration::ZERO);
+    }
+
+    #[test]
+    fn ids_render_like_upstream() {
+        assert_eq!(BenchmarkId::new("f", 3).to_string(), "f/3");
+        assert_eq!(BenchmarkId::from_parameter("x").to_string(), "x");
+    }
+}

@@ -1,0 +1,214 @@
+//! The [`Strategy`] trait and the combinators/adapters the workspace
+//! uses.
+
+use std::ops::{Range, RangeInclusive};
+
+use rand::{Rng, SampleRange};
+
+use crate::test_runner::{Rejection, TestRng};
+
+/// A recipe for generating values of one type.
+///
+/// Unlike upstream proptest there is no value tree and no shrinking: a
+/// strategy simply draws a value from a deterministic generator, or
+/// rejects the attempt (from a failed filter).
+pub trait Strategy {
+    /// The type of generated values.
+    type Value;
+
+    /// Draws one value.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Rejection`] when a filter refused the drawn value; the
+    /// runner then retries with the next case seed.
+    fn generate(&self, rng: &mut TestRng) -> Result<Self::Value, Rejection>;
+
+    /// Transforms generated values with `f`.
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Generates an intermediate value and feeds it to `f` to obtain the
+    /// strategy that produces the final value.
+    fn prop_flat_map<S, F>(self, f: F) -> FlatMap<Self, F>
+    where
+        Self: Sized,
+        S: Strategy,
+        F: Fn(Self::Value) -> S,
+    {
+        FlatMap { inner: self, f }
+    }
+
+    /// Rejects generated values for which `f` returns false.
+    fn prop_filter<R, F>(self, reason: R, f: F) -> Filter<Self, F>
+    where
+        Self: Sized,
+        R: Into<String>,
+        F: Fn(&Self::Value) -> bool,
+    {
+        Filter {
+            inner: self,
+            reason: reason.into(),
+            f,
+        }
+    }
+}
+
+/// Boxes a strategy for use in heterogeneous collections such as
+/// [`Union`].
+pub fn boxed<S>(strategy: S) -> Box<dyn Strategy<Value = S::Value>>
+where
+    S: Strategy + 'static,
+{
+    Box::new(strategy)
+}
+
+/// A strategy that always yields a clone of one value.
+#[derive(Debug, Clone)]
+pub struct Just<T>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn generate(&self, _rng: &mut TestRng) -> Result<T, Rejection> {
+        Ok(self.0.clone())
+    }
+}
+
+/// See [`Strategy::prop_map`].
+#[derive(Debug, Clone)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, O, F> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> O,
+{
+    type Value = O;
+
+    fn generate(&self, rng: &mut TestRng) -> Result<O, Rejection> {
+        self.inner.generate(rng).map(&self.f)
+    }
+}
+
+/// See [`Strategy::prop_flat_map`].
+#[derive(Debug, Clone)]
+pub struct FlatMap<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, S2, F> Strategy for FlatMap<S, F>
+where
+    S: Strategy,
+    S2: Strategy,
+    F: Fn(S::Value) -> S2,
+{
+    type Value = S2::Value;
+
+    fn generate(&self, rng: &mut TestRng) -> Result<S2::Value, Rejection> {
+        (self.f)(self.inner.generate(rng)?).generate(rng)
+    }
+}
+
+/// See [`Strategy::prop_filter`].
+#[derive(Debug, Clone)]
+pub struct Filter<S, F> {
+    inner: S,
+    reason: String,
+    f: F,
+}
+
+impl<S, F> Strategy for Filter<S, F>
+where
+    S: Strategy,
+    F: Fn(&S::Value) -> bool,
+{
+    type Value = S::Value;
+
+    fn generate(&self, rng: &mut TestRng) -> Result<S::Value, Rejection> {
+        let value = self.inner.generate(rng)?;
+        if (self.f)(&value) {
+            Ok(value)
+        } else {
+            Err(Rejection(self.reason.clone()))
+        }
+    }
+}
+
+/// Uniform choice among boxed strategies; built by [`prop_oneof!`].
+///
+/// [`prop_oneof!`]: crate::prop_oneof
+pub struct Union<V> {
+    arms: Vec<Box<dyn Strategy<Value = V>>>,
+}
+
+impl<V> Union<V> {
+    /// Creates a union over `arms`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `arms` is empty.
+    pub fn new(arms: Vec<Box<dyn Strategy<Value = V>>>) -> Self {
+        assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
+        Union { arms }
+    }
+}
+
+impl<V> Strategy for Union<V> {
+    type Value = V;
+
+    fn generate(&self, rng: &mut TestRng) -> Result<V, Rejection> {
+        let arm = rng.gen_range(0..self.arms.len());
+        self.arms[arm].generate(rng)
+    }
+}
+
+impl<T> Strategy for Range<T>
+where
+    Range<T>: SampleRange<T> + Clone,
+{
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> Result<T, Rejection> {
+        Ok(rng.gen_range(self.clone()))
+    }
+}
+
+impl<T> Strategy for RangeInclusive<T>
+where
+    RangeInclusive<T>: SampleRange<T> + Clone,
+{
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> Result<T, Rejection> {
+        Ok(rng.gen_range(self.clone()))
+    }
+}
+
+macro_rules! tuple_strategy {
+    ($($S:ident . $idx:tt),+) => {
+        impl<$($S: Strategy),+> Strategy for ($($S,)+) {
+            type Value = ($($S::Value,)+);
+
+            fn generate(&self, rng: &mut TestRng) -> Result<Self::Value, Rejection> {
+                Ok(($(self.$idx.generate(rng)?,)+))
+            }
+        }
+    };
+}
+
+tuple_strategy!(A.0);
+tuple_strategy!(A.0, B.1);
+tuple_strategy!(A.0, B.1, C.2);
+tuple_strategy!(A.0, B.1, C.2, D.3);
+tuple_strategy!(A.0, B.1, C.2, D.3, E.4);
+tuple_strategy!(A.0, B.1, C.2, D.3, E.4, F.5);

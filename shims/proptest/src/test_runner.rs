@@ -1,0 +1,144 @@
+//! The deterministic case runner behind the [`proptest!`] macro.
+//!
+//! [`proptest!`]: crate::proptest
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// The generator handed to strategies. SplitMix64 under the hood; every
+/// case seed is derived from the test name and the case index, so runs
+/// are bit-reproducible with no persistence files.
+pub type TestRng = StdRng;
+
+/// A discarded generation attempt (failed filter or assumption).
+#[derive(Debug, Clone)]
+pub struct Rejection(pub String);
+
+/// Outcome of one executed case.
+#[derive(Debug, Clone)]
+pub enum TestCaseError {
+    /// The case does not apply (`prop_assume!` / `prop_filter`); the
+    /// runner draws a replacement case.
+    Reject(String),
+    /// The property is violated; the runner panics with this message.
+    Fail(String),
+}
+
+impl From<Rejection> for TestCaseError {
+    fn from(rejection: Rejection) -> Self {
+        TestCaseError::Reject(rejection.0)
+    }
+}
+
+/// Runner configuration, mirroring `proptest::test_runner::ProptestConfig`.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of accepted cases each property must pass.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A configuration that runs `cases` accepted cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        // Upstream defaults to 256; 64 keeps the no-shrinking shim fast
+        // while still exercising a spread of shapes.
+        ProptestConfig { cases: 64 }
+    }
+}
+
+/// FNV-1a, used to give every test its own deterministic seed stream.
+fn fnv1a(data: &[u8]) -> u64 {
+    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    for &byte in data {
+        hash ^= byte as u64;
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+/// Executes `property` until `config.cases` cases are accepted.
+///
+/// # Panics
+///
+/// Panics when a case fails (with the case seed, so the failure can be
+/// replayed exactly) or when too many consecutive attempts are rejected.
+pub fn run<F>(config: &ProptestConfig, name: &str, mut property: F)
+where
+    F: FnMut(&mut TestRng) -> Result<(), TestCaseError>,
+{
+    let base = fnv1a(name.as_bytes());
+    let max_attempts = (config.cases as u64).saturating_mul(20).max(1024);
+    let mut accepted = 0u32;
+    let mut attempt = 0u64;
+    let mut last_reject = String::new();
+    while accepted < config.cases {
+        if attempt >= max_attempts {
+            panic!(
+                "property '{name}': gave up after {attempt} attempts with only \
+                 {accepted}/{} accepted cases (last rejection: {last_reject})",
+                config.cases
+            );
+        }
+        let seed = base.wrapping_add(attempt.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        attempt += 1;
+        let mut rng = TestRng::seed_from_u64(seed);
+        match property(&mut rng) {
+            Ok(()) => accepted += 1,
+            Err(TestCaseError::Reject(reason)) => last_reject = reason,
+            Err(TestCaseError::Fail(message)) => {
+                panic!("property '{name}' failed (case seed {seed:#018x}): {message}")
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accepts_the_configured_number_of_cases() {
+        let mut count = 0;
+        run(&ProptestConfig::with_cases(10), "counting", |_| {
+            count += 1;
+            Ok(())
+        });
+        assert_eq!(count, 10);
+    }
+
+    #[test]
+    fn rejections_are_retried() {
+        let mut attempts = 0;
+        run(&ProptestConfig::with_cases(5), "rejecting", |_| {
+            attempts += 1;
+            if attempts % 2 == 0 {
+                Err(TestCaseError::Reject("every other".into()))
+            } else {
+                Ok(())
+            }
+        });
+        assert!(attempts >= 9);
+    }
+
+    #[test]
+    #[should_panic(expected = "failed")]
+    fn failures_panic() {
+        run(&ProptestConfig::with_cases(5), "failing", |_| {
+            Err(TestCaseError::Fail("nope".into()))
+        });
+    }
+
+    #[test]
+    #[should_panic(expected = "gave up")]
+    fn permanent_rejection_gives_up() {
+        run(&ProptestConfig::with_cases(5), "starving", |_| {
+            Err(TestCaseError::Reject("always".into()))
+        });
+    }
+}

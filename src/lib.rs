@@ -20,6 +20,8 @@
 //!   hierarchical drill-down over nested regions;
 //! * [`calibrate`] — inverse synthesis of measurement matrices from
 //!   published marginals and dispersion targets;
+//! * [`par`] — deterministic parallel execution primitives backing the
+//!   batch analyzer, replication sweeps, and intra-report fan-out;
 //! * [`viz`] — text tables, pattern diagrams, and SVG output.
 //!
 //! # Quickstart
@@ -45,6 +47,7 @@ pub use limba_calibrate as calibrate;
 pub use limba_cluster as cluster;
 pub use limba_model as model;
 pub use limba_mpisim as mpisim;
+pub use limba_par as par;
 pub use limba_stats as stats;
 pub use limba_trace as trace;
 pub use limba_viz as viz;

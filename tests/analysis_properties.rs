@@ -3,7 +3,7 @@
 
 use limba::analysis::patterns::{classify_row, PatternBin};
 use limba::analysis::views::{activity_view, processor_view, region_view};
-use limba::model::{ActivityKind, Measurements, MeasurementsBuilder, STANDARD_ACTIVITIES};
+use limba::model::{Measurements, MeasurementsBuilder, STANDARD_ACTIVITIES};
 use limba::stats::dispersion::DispersionKind;
 use proptest::prelude::*;
 

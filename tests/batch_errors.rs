@@ -1,0 +1,65 @@
+//! Error isolation in batch analysis: one degenerate trace must yield an
+//! `Err` in its own slot and leave every other trace's report intact.
+
+use limba::analysis::{AnalysisError, Analyzer, BatchAnalyzer};
+use limba::model::{ActivityKind, Measurements, MeasurementsBuilder};
+
+fn good(scale: f64) -> Measurements {
+    let mut b = MeasurementsBuilder::new(4);
+    let core = b.add_region("core");
+    let halo = b.add_region("halo");
+    for p in 0..4 {
+        b.record(core, ActivityKind::Computation, p, scale * (2.0 + p as f64))
+            .unwrap();
+        b.record(halo, ActivityKind::PointToPoint, p, scale * 0.25)
+            .unwrap();
+    }
+    b.build().unwrap()
+}
+
+/// A structurally valid matrix with no recorded time at all — the
+/// analyzer rejects it as an empty program.
+fn corrupt() -> Measurements {
+    let mut b = MeasurementsBuilder::new(4);
+    b.add_region("silent");
+    b.build().unwrap()
+}
+
+#[test]
+fn one_corrupt_trace_fails_alone() {
+    let items = vec![good(1.0), corrupt(), good(2.0), good(3.0)];
+    for jobs in [1, 2, 4] {
+        let reports = BatchAnalyzer::new(Analyzer::new())
+            .with_jobs(jobs)
+            .analyze_batch(&items);
+        assert_eq!(reports.len(), 4);
+        assert!(matches!(reports[1], Err(AnalysisError::EmptyProgram)));
+        for (i, r) in reports.iter().enumerate() {
+            if i != 1 {
+                let report = r.as_ref().unwrap();
+                assert_eq!(report.coarse.heaviest_region_name, "core");
+            }
+        }
+    }
+}
+
+#[test]
+fn all_corrupt_traces_fail_individually() {
+    let items = vec![corrupt(), corrupt(), corrupt()];
+    let reports = BatchAnalyzer::new(Analyzer::new())
+        .with_jobs(2)
+        .analyze_batch(&items);
+    assert!(reports
+        .iter()
+        .all(|r| matches!(r, Err(AnalysisError::EmptyProgram))));
+}
+
+#[test]
+fn good_reports_match_solo_analysis_despite_neighbor_failure() {
+    let items = vec![corrupt(), good(1.0)];
+    let reports = BatchAnalyzer::new(Analyzer::new())
+        .with_jobs(2)
+        .analyze_batch(&items);
+    let solo = Analyzer::new().analyze(&good(1.0)).unwrap();
+    assert_eq!(reports[1].as_ref().unwrap(), &solo);
+}

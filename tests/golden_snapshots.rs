@@ -1,0 +1,83 @@
+//! Golden snapshots of the paper reproduction: the fully rendered report
+//! of the calibrated case study — Tables 1–4, the Figure 1/2 pattern
+//! diagrams, and the findings — locked byte-for-byte against files under
+//! `tests/golden/`.
+//!
+//! These snapshots are the backstop behind the determinism guarantees:
+//! any change to analysis numerics, report structure, or text rendering
+//! shows up as a byte diff here. To intentionally update them, run
+//! `UPDATE_GOLDEN=1 cargo test --test golden_snapshots` and review the
+//! diff like any other code change.
+
+use std::path::PathBuf;
+
+use limba::analysis::snapshot::{canonical, CANONICAL_VERSION};
+use limba::analysis::Analyzer;
+use limba::calibrate::paper::{paper_measurements, paper_measurements_with_tail};
+
+fn golden_path(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/golden")
+        .join(name)
+}
+
+fn check_golden(name: &str, actual: &str) {
+    let path = golden_path(name);
+    if std::env::var_os("UPDATE_GOLDEN").is_some() {
+        std::fs::write(&path, actual).unwrap();
+        return;
+    }
+    let expected = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "cannot read golden file {}: {e}; generate it with UPDATE_GOLDEN=1",
+            path.display()
+        )
+    });
+    assert_eq!(
+        actual, expected,
+        "{name} drifted from its golden snapshot; if the change is intentional, \
+         regenerate with UPDATE_GOLDEN=1 and review the diff"
+    );
+}
+
+#[test]
+fn paper_report_matches_golden() {
+    let report = Analyzer::new()
+        .analyze(&paper_measurements().unwrap())
+        .unwrap();
+    check_golden("paper_report.txt", &limba::viz::report::render(&report));
+}
+
+#[test]
+fn paper_report_with_tail_matches_golden() {
+    let report = Analyzer::new()
+        .analyze(&paper_measurements_with_tail().unwrap())
+        .unwrap();
+    check_golden(
+        "paper_report_with_tail.txt",
+        &limba::viz::report::render(&report),
+    );
+}
+
+#[test]
+fn paper_canonical_form_matches_golden() {
+    // The byte-level canonical serialization the determinism tests
+    // compare — locked so the format itself cannot drift silently.
+    let report = Analyzer::new()
+        .analyze(&paper_measurements().unwrap())
+        .unwrap();
+    assert_eq!(CANONICAL_VERSION, 1);
+    check_golden("paper_report_canonical.txt", &canonical(&report));
+}
+
+#[test]
+fn golden_snapshots_are_jobs_invariant() {
+    // The snapshot files double as the fixed point of the --jobs sweep:
+    // parallel analysis must reproduce the identical golden bytes.
+    let m = paper_measurements().unwrap();
+    for jobs in [2, 8] {
+        let report = Analyzer::new().with_jobs(jobs).analyze(&m).unwrap();
+        check_golden("paper_report.txt", &limba::viz::report::render(&report));
+        check_golden("paper_report_canonical.txt", &canonical(&report));
+    }
+}

@@ -38,7 +38,7 @@ proptest! {
 
     #[test]
     fn merging_k_copies_equals_scaling_by_k(m in measurements_strategy(), k in 1usize..5) {
-        let copies: Vec<&Measurements> = std::iter::repeat(&m).take(k).collect();
+        let copies: Vec<&Measurements> = std::iter::repeat_n(&m, k).collect();
         let merged = Measurements::merged(&copies).unwrap();
         let scaled = m.scaled(k as f64).unwrap();
         prop_assert!(merged.same_shape(&scaled));

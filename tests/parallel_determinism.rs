@@ -1,0 +1,104 @@
+//! Determinism lock of the parallel analysis layer: the same input
+//! analyzed with any job count must serialize to the same bytes.
+//!
+//! These properties are what makes `--jobs` safe to expose at all — a
+//! thread count is a performance knob, never a result knob.
+
+use limba::analysis::snapshot::canonical;
+use limba::analysis::{Analyzer, BatchAnalyzer};
+use limba::model::{Measurements, MeasurementsBuilder, STANDARD_ACTIVITIES};
+use proptest::prelude::*;
+
+/// Random measurements: `regions × 4 × procs` with nonneg times and at
+/// least one strictly positive cell.
+fn measurements_strategy() -> impl Strategy<Value = Measurements> {
+    (2usize..6, 2usize..9).prop_flat_map(|(regions, procs)| {
+        proptest::collection::vec(0.0f64..100.0, regions * 4 * procs)
+            .prop_filter("some time", |v| v.iter().sum::<f64>() > 1.0)
+            .prop_map(move |data| {
+                let mut b = MeasurementsBuilder::new(procs);
+                let mut it = data.into_iter();
+                for r in 0..regions {
+                    let id = b.add_region(format!("r{r}"));
+                    for kind in STANDARD_ACTIVITIES {
+                        for p in 0..procs {
+                            b.record(id, kind, p, it.next().expect("sized")).unwrap();
+                        }
+                    }
+                }
+                b.build().unwrap()
+            })
+    })
+}
+
+/// Canonical bytes of every batch slot: report bytes for `Ok`, the error
+/// rendering for `Err` — so error slots are determinism-checked too.
+fn batch_bytes(batch: &BatchAnalyzer, items: &[Measurements]) -> Vec<String> {
+    batch
+        .analyze_batch(items)
+        .iter()
+        .map(|r| match r {
+            Ok(report) => canonical(report),
+            Err(e) => format!("error: {e}"),
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn batch_reports_are_byte_identical_across_job_counts(
+        items in proptest::collection::vec(measurements_strategy(), 1..5)
+    ) {
+        let reference = batch_bytes(
+            &BatchAnalyzer::new(Analyzer::new()).with_jobs(1),
+            &items,
+        );
+        let cpus = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+        for jobs in [4, cpus] {
+            let parallel = batch_bytes(
+                &BatchAnalyzer::new(Analyzer::new()).with_jobs(jobs),
+                &items,
+            );
+            prop_assert_eq!(&parallel, &reference, "jobs={}", jobs);
+        }
+    }
+
+    #[test]
+    fn parallel_analyze_equals_sequential(m in measurements_strategy()) {
+        let sequential = Analyzer::new().analyze(&m).unwrap();
+        for jobs in [2, 4, 0] {
+            let parallel = Analyzer::new().with_jobs(jobs).analyze(&m).unwrap();
+            prop_assert_eq!(&parallel, &sequential, "jobs={}", jobs);
+            prop_assert_eq!(canonical(&parallel), canonical(&sequential));
+        }
+    }
+}
+
+#[test]
+fn paper_case_study_is_jobs_invariant() {
+    let m = limba::calibrate::paper::paper_measurements().unwrap();
+    let reference = canonical(&Analyzer::new().analyze(&m).unwrap());
+    for jobs in [2, 8] {
+        let report = Analyzer::new().with_jobs(jobs).analyze(&m).unwrap();
+        assert_eq!(canonical(&report), reference, "jobs={jobs}");
+    }
+}
+
+#[test]
+fn shared_cache_does_not_change_batch_results() {
+    use limba::analysis::ReportCache;
+    let m = limba::calibrate::paper::paper_measurements().unwrap();
+    let items = vec![m.clone(), m.clone(), m];
+    let plain = batch_bytes(&BatchAnalyzer::new(Analyzer::new()).with_jobs(4), &items);
+    let cache = ReportCache::new();
+    let cached_batch = BatchAnalyzer::new(Analyzer::new())
+        .with_jobs(4)
+        .with_cache(cache.clone());
+    // Twice: the second pass is all cache hits.
+    assert_eq!(batch_bytes(&cached_batch, &items), plain);
+    assert_eq!(batch_bytes(&cached_batch, &items), plain);
+    // Three identical inputs memoize as one entry.
+    assert_eq!(cache.len(), 1);
+}

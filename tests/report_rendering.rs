@@ -16,7 +16,9 @@ fn text_report_contains_published_values() {
     let report = paper_report();
     let text = limba::viz::report::render(&report);
     // Table 1 values (three decimals in the profile table).
-    for needle in ["19.051", "14.220", "10.900", "10.540", "9.041", "0.692", "0.310"] {
+    for needle in [
+        "19.051", "14.220", "10.900", "10.540", "9.041", "0.692", "0.310",
+    ] {
         assert!(text.contains(needle), "missing overall {needle}");
     }
     // Table 2 values (five decimals in the dispersion table).
