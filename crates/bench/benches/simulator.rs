@@ -80,5 +80,31 @@ fn bench_rank_scaling(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_workloads, bench_rank_scaling);
+/// Event-driven wakeup-list scheduler vs the reference polling scheduler
+/// on the CFD proxy at growing rank counts. Both cores share the op
+/// semantics and produce bit-identical traces, so the delta isolates the
+/// scheduling cost: polling rescans all ranks every round, the event
+/// engine only touches runnable ones.
+fn bench_engine_comparison(c: &mut Criterion) {
+    let mut group = c.benchmark_group("simulator_engine");
+    for &ranks in &[16usize, 64, 256] {
+        let program = CfdConfig::new(ranks).build_program().unwrap();
+        let sim = Simulator::new(MachineConfig::new(ranks));
+        group.throughput(Throughput::Elements(program.total_ops() as u64));
+        group.bench_with_input(BenchmarkId::new("event", ranks), &program, |b, p| {
+            b.iter(|| sim.run(std::hint::black_box(p)).unwrap());
+        });
+        group.bench_with_input(BenchmarkId::new("polling", ranks), &program, |b, p| {
+            b.iter(|| sim.run_polling(std::hint::black_box(p)).unwrap());
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_workloads,
+    bench_rank_scaling,
+    bench_engine_comparison
+);
 criterion_main!(benches);

@@ -1,0 +1,204 @@
+//! Bench runner for the simulator core: times the event-driven engine
+//! against the reference polling engine on the CFD proxy (16/64/256
+//! ranks) and the synthetic workload suite, verifies the two produce
+//! identical traces, and writes the results as `BENCH_simulator.json`.
+//!
+//! Usage: `bench_simulator [--quick] [--out PATH]`
+//!
+//! `--quick` drops the repetition count so CI's perf-smoke job finishes
+//! in seconds; the committed baseline is produced by a full run. See
+//! `crates/bench/README.md` for the output format.
+
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use limba_mpisim::{MachineConfig, Program, Simulator};
+use limba_workloads::{
+    cfd::CfdConfig, fft::FftConfig, irregular::IrregularConfig, master_worker::MasterWorkerConfig,
+    pipeline::PipelineConfig, stencil::StencilConfig, sweep::SweepConfig, Imbalance,
+};
+
+struct Case {
+    name: String,
+    ranks: usize,
+    program: Program,
+}
+
+struct Timed {
+    name: String,
+    ranks: usize,
+    total_ops: usize,
+    event_ns: u128,
+    polling_ns: u128,
+    identical: bool,
+}
+
+fn cases() -> Vec<Case> {
+    let jitter = Imbalance::RandomJitter { amplitude: 0.2 };
+    let mut cases = Vec::new();
+    // The headline trajectory: CFD proxy at growing rank counts.
+    for ranks in [16usize, 64, 256] {
+        cases.push(Case {
+            name: format!("cfd_{ranks}r"),
+            ranks,
+            program: CfdConfig::new(ranks)
+                .with_imbalance(jitter)
+                .with_seed(2003)
+                .build_program()
+                .expect("cfd builds"),
+        });
+    }
+    // One representative of each synthetic communication pattern at 64
+    // ranks, so a scheduling regression in any pattern shows up.
+    let at64: Vec<(&str, Program)> = vec![
+        (
+            "stencil_8x8",
+            StencilConfig::new(8, 8)
+                .with_imbalance(jitter)
+                .build_program()
+                .expect("stencil builds"),
+        ),
+        (
+            "master_worker_64r",
+            MasterWorkerConfig::new(64)
+                .with_tasks(256)
+                .with_imbalance(jitter)
+                .build_program()
+                .expect("master-worker builds"),
+        ),
+        (
+            "pipeline_64s",
+            PipelineConfig::new(64)
+                .with_items(32)
+                .with_imbalance(jitter)
+                .build_program()
+                .expect("pipeline builds"),
+        ),
+        (
+            "irregular_64r",
+            IrregularConfig::new(64)
+                .with_steps(8)
+                .with_imbalance(jitter)
+                .build_program()
+                .expect("irregular builds"),
+        ),
+        (
+            "fft_64r",
+            FftConfig::new(64)
+                .with_imbalance(jitter)
+                .build_program()
+                .expect("fft builds"),
+        ),
+        (
+            "sweep_64r",
+            SweepConfig::new(64)
+                .with_imbalance(jitter)
+                .build_program()
+                .expect("sweep builds"),
+        ),
+    ];
+    for (name, program) in at64 {
+        cases.push(Case {
+            name: name.to_string(),
+            ranks: 64,
+            program,
+        });
+    }
+    cases
+}
+
+fn run_case(case: &Case, reps: usize) -> Timed {
+    let sim = Simulator::new(MachineConfig::new(case.ranks));
+    // Warmup both paths (page in code, size allocator pools), then
+    // interleave the engines rep by rep so clock drift and background
+    // load hit both equally. Keep the minimum: a scheduling hiccup can
+    // only inflate a run, never deflate it.
+    let event_out = sim.run(&case.program).expect("event run");
+    let polling_out = sim.run_polling(&case.program).expect("polling run");
+    let identical = event_out.trace == polling_out.trace && event_out.stats == polling_out.stats;
+    let (mut event_ns, mut polling_ns) = (u128::MAX, u128::MAX);
+    for _ in 0..reps {
+        let start = Instant::now();
+        sim.run(&case.program).expect("event run");
+        event_ns = event_ns.min(start.elapsed().as_nanos());
+        let start = Instant::now();
+        sim.run_polling(&case.program).expect("polling run");
+        polling_ns = polling_ns.min(start.elapsed().as_nanos());
+    }
+    Timed {
+        name: case.name.clone(),
+        ranks: case.ranks,
+        total_ops: case.program.total_ops(),
+        event_ns,
+        polling_ns,
+        identical,
+    }
+}
+
+fn render_json(mode: &str, results: &[Timed]) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str("  \"schema\": \"limba-bench-simulator/1\",\n");
+    writeln!(out, "  \"mode\": \"{mode}\",").unwrap();
+    out.push_str("  \"cases\": [\n");
+    for (i, r) in results.iter().enumerate() {
+        let speedup = r.polling_ns as f64 / r.event_ns.max(1) as f64;
+        write!(
+            out,
+            "    {{\"name\": \"{}\", \"ranks\": {}, \"total_ops\": {}, \
+             \"event_ns\": {}, \"polling_ns\": {}, \"speedup\": {:.3}, \
+             \"identical\": {}}}",
+            r.name, r.ranks, r.total_ops, r.event_ns, r.polling_ns, speedup, r.identical
+        )
+        .unwrap();
+        out.push_str(if i + 1 < results.len() { ",\n" } else { "\n" });
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+fn main() {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let quick = argv.iter().any(|a| a == "--quick");
+    let out_path = argv
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| argv.get(i + 1))
+        .cloned()
+        .unwrap_or_else(|| "BENCH_simulator.json".to_string());
+    let reps = if quick { 2 } else { 9 };
+    let mode = if quick { "quick" } else { "full" };
+
+    let mut results = Vec::new();
+    for case in cases() {
+        let timed = run_case(&case, reps);
+        println!(
+            "{:<20} {:>4} ranks {:>8} ops  event {:>9.3} ms  polling {:>9.3} ms  x{:.2}  {}",
+            timed.name,
+            timed.ranks,
+            timed.total_ops,
+            timed.event_ns as f64 / 1e6,
+            timed.polling_ns as f64 / 1e6,
+            timed.polling_ns as f64 / timed.event_ns.max(1) as f64,
+            if timed.identical {
+                "identical"
+            } else {
+                "MISMATCH"
+            },
+        );
+        results.push(timed);
+    }
+
+    let mismatches: Vec<&str> = results
+        .iter()
+        .filter(|r| !r.identical)
+        .map(|r| r.name.as_str())
+        .collect();
+    let json = render_json(mode, &results);
+    std::fs::write(&out_path, json).expect("write bench output");
+    println!("baseline written to {out_path} ({mode} mode, min over {reps} reps)");
+    if !mismatches.is_empty() {
+        eprintln!("engine outputs diverged on: {}", mismatches.join(", "));
+        std::process::exit(1);
+    }
+}

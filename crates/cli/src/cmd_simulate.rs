@@ -73,10 +73,42 @@ fn build_program(
     program.map_err(|e| e.to_string())
 }
 
+/// Which execution core advances the simulated ranks.
+#[derive(Clone, Copy, PartialEq, Debug)]
+enum Engine {
+    /// Event-driven wakeup-list scheduler (default).
+    Event,
+    /// Reference polling scheduler, kept for cross-checking.
+    Polling,
+}
+
+impl Engine {
+    fn parse(spec: &str) -> Result<Engine, String> {
+        match spec {
+            "event" => Ok(Engine::Event),
+            "polling" => Ok(Engine::Polling),
+            other => Err(format!(
+                "unknown engine {other:?} (expected \"event\" or \"polling\")"
+            )),
+        }
+    }
+}
+
 fn simulate(program: &Program, ranks: usize) -> Result<limba_mpisim::SimOutput, String> {
-    Simulator::new(MachineConfig::new(ranks))
-        .run(program)
-        .map_err(|e| e.to_string())
+    simulate_with(program, ranks, Engine::Event)
+}
+
+fn simulate_with(
+    program: &Program,
+    ranks: usize,
+    engine: Engine,
+) -> Result<limba_mpisim::SimOutput, String> {
+    let sim = Simulator::new(MachineConfig::new(ranks));
+    match engine {
+        Engine::Event => sim.run(program),
+        Engine::Polling => sim.run_polling(program),
+    }
+    .map_err(|e| e.to_string())
 }
 
 fn write_trace(trace: &Trace, path: &str, format: &str) -> Result<(), String> {
@@ -171,6 +203,7 @@ pub fn run(argv: &[String]) -> Result<(), String> {
     let jobs: usize = parsed.get_or("jobs", 1)?;
     let out = parsed.get("out").unwrap_or("trace.limba").to_string();
     let format = parsed.get("format").unwrap_or("binary").to_string();
+    let engine = Engine::parse(parsed.get("engine").unwrap_or("event"))?;
 
     if replications > 1 {
         // Replication sweep: summary statistics only, no tracefile.
@@ -190,7 +223,7 @@ pub fn run(argv: &[String]) -> Result<(), String> {
     }
 
     let program = build_program(&workload, ranks, iterations, imbalance, seed)?;
-    let output = simulate(&program, ranks)?;
+    let output = simulate_with(&program, ranks, engine)?;
     write_trace(&output.trace, &out, &format)?;
     println!(
         "simulated {workload} on {ranks} ranks: makespan {:.4} s, {} messages, {} bytes",
@@ -272,6 +305,18 @@ mod tests {
     #[test]
     fn sweep_rejects_unknown_workload() {
         assert!(render_sweep("nope", 4, None, Imbalance::None, 0, 2, 2).is_err());
+    }
+
+    #[test]
+    fn engine_flag_parses_and_engines_agree() {
+        assert_eq!(Engine::parse("event").unwrap(), Engine::Event);
+        assert_eq!(Engine::parse("polling").unwrap(), Engine::Polling);
+        assert!(Engine::parse("turbo").is_err());
+
+        let p = build_program("cfd", 6, Some(1), Imbalance::LinearSkew { spread: 0.3 }, 7).unwrap();
+        let event = simulate_with(&p, 6, Engine::Event).unwrap();
+        let polling = simulate_with(&p, 6, Engine::Polling).unwrap();
+        assert_eq!(event.trace, polling.trace);
     }
 
     #[test]

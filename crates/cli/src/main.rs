@@ -42,6 +42,8 @@ OPTIONS (simulate):
                          byte-identical for every N, 0 = all CPUs (default 1)
   --out PATH             tracefile path (default trace.limba)
   --format FMT           binary | text (default binary)
+  --engine ENGINE        event | polling — execution core; both produce
+                         bit-identical traces (default event)
 
 OPTIONS (analyze):
   --dispersion KIND      euclidean | variance | cv | mad | max-excess |

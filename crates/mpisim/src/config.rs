@@ -151,6 +151,13 @@ impl MachineConfig {
         self
     }
 
+    /// Whether any per-link overrides are present. The simulator's hot
+    /// path skips the override lookup entirely on uniform machines and
+    /// caches a dense link table otherwise.
+    pub fn has_link_overrides(&self) -> bool {
+        !self.link_overrides.is_empty()
+    }
+
     /// Latency of the directed link `src → dst`.
     pub fn link_latency(&self, src: usize, dst: usize) -> f64 {
         self.link_overrides

@@ -1,12 +1,61 @@
-//! The discrete-event execution engine.
+//! The simulator execution core.
+//!
+//! Per-op semantics live in one shared executor ([`Exec`]); two
+//! schedulers drive it:
+//!
+//! * **event-driven** (the default, [`Simulator::run`]) — an explicit
+//!   ready-queue of runnable ranks plus wakeup bookkeeping indexed by
+//!   what a rank is blocked on (a `(src, dst)` channel, the open
+//!   collective instance, or a rendezvous match), so completing an op
+//!   re-enqueues only the specific ranks it can unblock;
+//! * **polling** ([`Simulator::run_polling`]) — the original
+//!   O(rounds × n) engine this one replaced, preserved verbatim in the
+//!   [`crate::polling`] module (HashMap-keyed channels and all) as the
+//!   reference implementation for the equivalence harness and the perf
+//!   baseline the bench runner measures against.
+//!
+//! Both engines execute the exact same op sequence in the exact same
+//! order, so their traces, statistics, and diagnostics are bit-identical
+//! (see DESIGN.md, "Simulator scheduling", for the argument; the
+//! equivalence harness under `tests/` locks it empirically).
 
-use std::collections::{HashMap, VecDeque};
+use std::collections::VecDeque;
 
 use limba_model::ActivityKind;
 use limba_trace::{Event, ReducedTrace, Trace, TraceBuilder};
 
 use crate::collectives::collective_cost;
 use crate::{CollectiveKind, MachineConfig, Op, Program, SimError};
+
+/// Maximum number of stuck ranks listed individually in a deadlock
+/// report; the rest are summarized as a count so pathological deadlocks
+/// on large machines don't allocate unboundedly.
+const DEADLOCK_REPORT_CAP: usize = 8;
+
+/// Formats the capped deadlock report from `(rank, pc)` pairs of stuck
+/// ranks, in rank order. Shared by both schedulers so their diagnostics
+/// are identical by construction.
+pub(crate) fn format_deadlock_detail(
+    program: &Program,
+    stuck: impl Iterator<Item = (usize, usize)>,
+) -> String {
+    let stuck: Vec<(usize, usize)> = stuck.collect();
+    let mut detail = stuck
+        .iter()
+        .take(DEADLOCK_REPORT_CAP)
+        .map(|&(r, pc)| format!("rank {r} stuck at op {:?} (pc {pc})", program.ops(r)[pc]))
+        .collect::<Vec<_>>()
+        .join("; ");
+    if stuck.len() > DEADLOCK_REPORT_CAP {
+        use std::fmt::Write as _;
+        let _ = write!(
+            detail,
+            "; ... and {} more stuck ranks",
+            stuck.len() - DEADLOCK_REPORT_CAP
+        );
+    }
+    detail
+}
 
 /// Summary statistics of one simulated run.
 #[derive(Debug, Clone, PartialEq)]
@@ -36,11 +85,29 @@ impl SimOutput {
     /// Reduces the trace to measurement matrices (see
     /// [`limba_trace::reduce`]).
     ///
+    /// Simulator-produced traces are well-formed by construction, so
+    /// this takes the fast path that skips structural re-validation
+    /// ([`limba_trace::reduce_well_formed`]). For traces loaded from
+    /// external files, use the checked [`limba_trace::reduce`] — or
+    /// [`SimOutput::reduce_checked`] when the output was deserialized
+    /// rather than produced by [`Simulator::run`].
+    ///
     /// # Errors
     ///
-    /// Propagates trace validation/reduction errors; a trace produced by
-    /// the simulator is always well-formed, so failures indicate a bug.
+    /// Propagates reduction errors; a trace produced by the simulator
+    /// always reduces, so failures indicate a bug.
     pub fn reduce(&self) -> Result<ReducedTrace, SimError> {
+        Ok(limba_trace::reduce_well_formed(&self.trace)?)
+    }
+
+    /// Like [`SimOutput::reduce`], but re-validates the trace first.
+    /// Use when the trace did not come straight out of the simulator
+    /// (e.g. it round-tripped through an untrusted file).
+    ///
+    /// # Errors
+    ///
+    /// Propagates trace validation and reduction errors.
+    pub fn reduce_checked(&self) -> Result<ReducedTrace, SimError> {
         Ok(limba_trace::reduce(&self.trace)?)
     }
 }
@@ -79,16 +146,740 @@ struct RankState {
     collective_arrived: Option<f64>,
     /// Number of collective calls completed so far.
     collective_counter: usize,
-    /// Outstanding nonblocking requests by handle.
-    handles: HashMap<u32, Outstanding>,
+    /// Outstanding nonblocking requests by handle. A flat vector: ranks
+    /// keep a handful of requests in flight, so linear scans beat
+    /// hashing on the hot path.
+    handles: Vec<(u32, Outstanding)>,
 }
 
+/// What a blocked rank is waiting on — the wakeup index of the
+/// event-driven scheduler. A rank blocks on at most one thing at a
+/// time, so a per-rank slot doubles as the per-resource waiter list:
+/// only `dst` can ever wait on channel `(src, dst)`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum BlockedOn {
+    /// Runnable or finished: not waiting on anything.
+    Nothing,
+    /// Waiting for a message on this dense channel index.
+    Channel(usize),
+    /// A registered rendezvous send waiting for the receiver to match.
+    Match,
+    /// Waiting inside the open collective instance.
+    Collective,
+}
+
+/// Outcome of attempting one op of one rank.
+enum StepOutcome {
+    /// The op completed; the rank may run its next op.
+    Ran,
+    /// The rank cannot progress until the given resource fires.
+    Blocked(BlockedOn),
+    /// The rank's program is finished.
+    Done,
+}
+
+/// The one reusable collective instance. Collective call `k` completes
+/// atomically for every rank before any rank can reach call `k + 1`, so
+/// at most one instance is ever open; this slot recycles its arrival
+/// buffer across instances (a free list of size one) instead of growing
+/// a per-instance vector for the life of the run.
 #[derive(Debug)]
-struct CollectiveInstance {
+struct CollectiveSlot {
+    active: bool,
+    index: usize,
     kind: CollectiveKind,
     max_bytes: u64,
     arrivals: Vec<Option<f64>>,
     arrived: usize,
+}
+
+/// A fixed-universe set of rank indices backed by `u64` words, drained
+/// in ascending order with `trailing_zeros` scans. Insert and remove
+/// are O(1) and idempotent; advancing past a run of absent ranks costs
+/// one word read per 64 ranks, where the polling engine pays a full
+/// re-attempt per blocked rank.
+#[derive(Debug)]
+struct RankSet {
+    words: Vec<u64>,
+    len: usize,
+}
+
+impl RankSet {
+    fn new(n: usize) -> Self {
+        RankSet {
+            words: vec![0; n.div_ceil(64)],
+            len: 0,
+        }
+    }
+
+    fn insert(&mut self, i: usize) {
+        let (w, bit) = (i / 64, 1u64 << (i % 64));
+        if self.words[w] & bit == 0 {
+            self.words[w] |= bit;
+            self.len += 1;
+        }
+    }
+
+    fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Removes and returns the smallest member at or after `from`.
+    fn pop_at_or_after(&mut self, from: usize) -> Option<usize> {
+        if self.len == 0 {
+            return None;
+        }
+        let mut w = from / 64;
+        let mut word = match self.words.get(w) {
+            Some(&word) => word & (!0u64 << (from % 64)),
+            None => return None,
+        };
+        loop {
+            if word != 0 {
+                let bit = word.trailing_zeros() as usize;
+                self.words[w] &= !(1u64 << bit);
+                self.len -= 1;
+                return Some(w * 64 + bit);
+            }
+            w += 1;
+            word = match self.words.get(w) {
+                Some(&word) => word,
+                None => return None,
+            };
+        }
+    }
+}
+
+/// The executor: rank states, flattened hot-path structures, and the
+/// per-op semantics the event-driven scheduler drives.
+struct Exec<'a> {
+    config: &'a MachineConfig,
+    program: &'a Program,
+    n: usize,
+    states: Vec<RankState>,
+    /// In-flight messages, dense-indexed `src * n + dst` through a
+    /// two-level scheme: `channel_index[ch]` holds `slot + 1` into the
+    /// compact `channel_pool` (0 = channel never used). The index is a
+    /// zero-filled `Vec<u32>` — a calloc'd 4·n² bytes the allocator
+    /// hands back without touching pages — so a 256-rank run does not
+    /// pay to construct 65 536 deques for the few hundred channels its
+    /// communication pattern actually uses.
+    channel_index: Vec<u32>,
+    channel_pool: Vec<VecDeque<MsgInFlight>>,
+    coll: CollectiveSlot,
+    builder: TraceBuilder,
+    stats: SimStats,
+    /// Wakeup index: what each rank is blocked on.
+    blocked: Vec<BlockedOn>,
+    /// Ready ranks of the running round, drained in ascending order.
+    current: RankSet,
+    /// Ranks woken for the next round (woken by a rank at or after
+    /// their own index); swapped into `current` at round turnover.
+    next_round: RankSet,
+    /// Dense per-link `(latency, bandwidth)`, `src * n + dst`; only
+    /// materialized when the machine has per-link overrides.
+    links: Option<Vec<(f64, f64)>>,
+}
+
+impl<'a> Exec<'a> {
+    fn new(config: &'a MachineConfig, program: &'a Program) -> Result<Self, SimError> {
+        config.validate()?;
+        let p = config.processors();
+        if program.ranks() > p {
+            return Err(SimError::RankOutOfRange {
+                rank: program.ranks() - 1,
+                ranks: p,
+            });
+        }
+        let n = program.ranks();
+
+        let mut builder = TraceBuilder::new(n);
+        builder.reserve_events(program.event_capacity_hint());
+        for name in program.region_names() {
+            builder.add_region(name.clone());
+        }
+
+        let links = if config.has_link_overrides() {
+            let mut table = Vec::with_capacity(n * n);
+            for src in 0..n {
+                for dst in 0..n {
+                    table.push((
+                        config.link_latency(src, dst),
+                        config.link_bandwidth(src, dst),
+                    ));
+                }
+            }
+            Some(table)
+        } else {
+            None
+        };
+
+        Ok(Exec {
+            config,
+            program,
+            n,
+            states: vec![RankState::default(); n],
+            channel_index: vec![0; n * n],
+            channel_pool: Vec::new(),
+            coll: CollectiveSlot {
+                active: false,
+                index: 0,
+                kind: CollectiveKind::Barrier,
+                max_bytes: 0,
+                arrivals: vec![None; n],
+                arrived: 0,
+            },
+            builder,
+            stats: SimStats {
+                rank_end_times: vec![0.0; n],
+                makespan: 0.0,
+                messages: 0,
+                bytes: 0,
+                collectives: 0,
+            },
+            blocked: vec![BlockedOn::Nothing; n],
+            current: RankSet::new(n),
+            next_round: RankSet::new(n),
+            links,
+        })
+    }
+
+    fn link_latency(&self, src: usize, dst: usize) -> f64 {
+        match &self.links {
+            Some(table) => table[src * self.n + dst].0,
+            None => self.config.latency(),
+        }
+    }
+
+    fn link_transfer_time(&self, src: usize, dst: usize, bytes: u64) -> f64 {
+        let bandwidth = match &self.links {
+            Some(table) => table[src * self.n + dst].1,
+            None => self.config.bandwidth(),
+        };
+        bytes as f64 / bandwidth
+    }
+
+    /// Marks `w` runnable and enqueues it. A rank woken by `running`
+    /// lands in the current round when its index is still ahead of the
+    /// scan (`w > running` — the polling scan would have reached it
+    /// later this round) and in the next round otherwise.
+    fn wake(&mut self, w: usize, running: usize) {
+        self.blocked[w] = BlockedOn::Nothing;
+        if w > running {
+            self.current.insert(w);
+        } else {
+            // Ranks run in ascending order, so every later waker of `w`
+            // this round is also ≥ w: once parked for the next round, a
+            // rank stays there — exactly when the polling scan would
+            // reach it again.
+            self.next_round.insert(w);
+        }
+    }
+
+    /// Head of the deque for dense channel key `ch`, if any.
+    fn channel_front(&self, ch: usize) -> Option<MsgInFlight> {
+        match self.channel_index[ch] {
+            0 => None,
+            idx => self.channel_pool[idx as usize - 1].front().copied(),
+        }
+    }
+
+    /// The deque for dense channel key `ch`, allocating its pool slot on
+    /// first use.
+    fn channel_mut(&mut self, ch: usize) -> &mut VecDeque<MsgInFlight> {
+        let slot = match self.channel_index[ch] {
+            0 => {
+                self.channel_pool.push(VecDeque::new());
+                self.channel_index[ch] = self.channel_pool.len() as u32;
+                self.channel_pool.len() - 1
+            }
+            idx => idx as usize - 1,
+        };
+        &mut self.channel_pool[slot]
+    }
+
+    /// Appends a message to channel `src → dst` and wakes the receiver
+    /// if it is blocked on exactly that channel.
+    fn push_msg(&mut self, src: usize, dst: usize, msg: MsgInFlight, running: usize) {
+        let ch = src * self.n + dst;
+        self.channel_mut(ch).push_back(msg);
+        if self.blocked[dst] == BlockedOn::Channel(ch) {
+            self.wake(dst, running);
+        }
+    }
+
+    fn handle_get(&self, rank: usize, handle: u32) -> Outstanding {
+        self.states[rank]
+            .handles
+            .iter()
+            .find(|(h, _)| *h == handle)
+            .map(|(_, o)| *o)
+            .expect("validated: handle outstanding")
+    }
+
+    fn handle_remove(&mut self, rank: usize, handle: u32) {
+        let handles = &mut self.states[rank].handles;
+        let i = handles
+            .iter()
+            .position(|(h, _)| *h == handle)
+            .expect("validated: handle outstanding");
+        handles.swap_remove(i);
+    }
+
+    /// Capped report of every rank that cannot finish: the first
+    /// [`DEADLOCK_REPORT_CAP`] stuck ranks in full, the rest as a count.
+    fn deadlock_detail(&self) -> String {
+        format_deadlock_detail(
+            self.program,
+            (0..self.n)
+                .filter(|&r| self.states[r].pc < self.program.ops(r).len())
+                .map(|r| (r, self.states[r].pc)),
+        )
+    }
+
+    /// Attempts the current op of `rank`. Idempotent while blocked:
+    /// registration side effects (posting a receive, queueing a
+    /// rendezvous, arriving at a collective) happen on the first
+    /// attempt only.
+    fn try_op(&mut self, rank: usize) -> Result<StepOutcome, SimError> {
+        let ops = self.program.ops(rank);
+        if self.states[rank].pc >= ops.len() {
+            return Ok(StepOutcome::Done);
+        }
+        let op = ops[self.states[rank].pc];
+        let o = self.config.overhead();
+        let n = self.n;
+        match op {
+            Op::Compute { seconds } => {
+                self.states[rank].time += seconds / self.config.cpu_speed(rank);
+                self.states[rank].pc += 1;
+                Ok(StepOutcome::Ran)
+            }
+            Op::Enter { region } => {
+                self.builder
+                    .push(Event::enter(self.states[rank].time, rank as u32, region));
+                self.states[rank].pc += 1;
+                Ok(StepOutcome::Ran)
+            }
+            Op::Leave { region } => {
+                self.builder
+                    .push(Event::leave(self.states[rank].time, rank as u32, region));
+                self.states[rank].pc += 1;
+                Ok(StepOutcome::Ran)
+            }
+            Op::Send { dst, bytes } => {
+                if bytes <= self.config.eager_threshold() {
+                    let begin = self.states[rank].time;
+                    let end = begin + o + self.link_transfer_time(rank, dst, bytes);
+                    self.builder.push(Event::begin_activity(
+                        begin,
+                        rank as u32,
+                        ActivityKind::PointToPoint,
+                    ));
+                    self.builder
+                        .push(Event::message_send(begin, rank as u32, dst as u32, bytes));
+                    self.builder.push(Event::end_activity(
+                        end,
+                        rank as u32,
+                        ActivityKind::PointToPoint,
+                    ));
+                    let arrival = end + self.link_latency(rank, dst);
+                    self.push_msg(rank, dst, MsgInFlight::Eager { arrival, bytes }, rank);
+                    self.states[rank].time = end;
+                    self.states[rank].pc += 1;
+                    self.stats.messages += 1;
+                    self.stats.bytes += bytes;
+                    Ok(StepOutcome::Ran)
+                } else {
+                    if !self.states[rank].send_registered {
+                        let msg = MsgInFlight::Rendezvous {
+                            sender_ready: self.states[rank].time,
+                            bytes,
+                        };
+                        self.states[rank].send_registered = true;
+                        self.push_msg(rank, dst, msg, rank);
+                    }
+                    // Blocked until the receiver performs the match.
+                    Ok(StepOutcome::Blocked(BlockedOn::Match))
+                }
+            }
+            Op::Recv { src } => {
+                let now = self.states[rank].time;
+                let posted = *self.states[rank].recv_posted.get_or_insert(now);
+                let ch = src * n + rank;
+                let Some(head) = self.channel_front(ch) else {
+                    return Ok(StepOutcome::Blocked(BlockedOn::Channel(ch)));
+                };
+                match head {
+                    MsgInFlight::Eager { arrival, bytes } => {
+                        self.channel_mut(ch).pop_front();
+                        let end = (posted + o).max(arrival);
+                        self.builder.push(Event::begin_activity(
+                            posted,
+                            rank as u32,
+                            ActivityKind::PointToPoint,
+                        ));
+                        self.builder
+                            .push(Event::message_recv(end, rank as u32, src as u32, bytes));
+                        self.builder.push(Event::end_activity(
+                            end,
+                            rank as u32,
+                            ActivityKind::PointToPoint,
+                        ));
+                        self.states[rank].time = end;
+                        self.states[rank].recv_posted = None;
+                        self.states[rank].pc += 1;
+                        Ok(StepOutcome::Ran)
+                    }
+                    MsgInFlight::Rendezvous {
+                        sender_ready,
+                        bytes,
+                    } => {
+                        self.channel_mut(ch).pop_front();
+                        let sync = posted.max(sender_ready);
+                        let sender_done = sync + o + self.link_transfer_time(src, rank, bytes);
+                        let recv_done = sender_done + self.link_latency(src, rank);
+                        // Complete the blocked sender's side.
+                        self.builder.push(Event::begin_activity(
+                            sender_ready,
+                            src as u32,
+                            ActivityKind::PointToPoint,
+                        ));
+                        self.builder.push(Event::message_send(
+                            sender_ready,
+                            src as u32,
+                            rank as u32,
+                            bytes,
+                        ));
+                        self.builder.push(Event::end_activity(
+                            sender_done,
+                            src as u32,
+                            ActivityKind::PointToPoint,
+                        ));
+                        self.states[src].time = sender_done;
+                        self.states[src].send_registered = false;
+                        self.states[src].pc += 1;
+                        self.wake(src, rank);
+                        // Complete the receive.
+                        self.builder.push(Event::begin_activity(
+                            posted,
+                            rank as u32,
+                            ActivityKind::PointToPoint,
+                        ));
+                        self.builder.push(Event::message_recv(
+                            recv_done,
+                            rank as u32,
+                            src as u32,
+                            bytes,
+                        ));
+                        self.builder.push(Event::end_activity(
+                            recv_done,
+                            rank as u32,
+                            ActivityKind::PointToPoint,
+                        ));
+                        self.states[rank].time = recv_done;
+                        self.states[rank].recv_posted = None;
+                        self.states[rank].pc += 1;
+                        self.stats.messages += 1;
+                        self.stats.bytes += bytes;
+                        Ok(StepOutcome::Ran)
+                    }
+                }
+            }
+            Op::Isend { dst, bytes, handle } => {
+                // Buffered nonblocking send: the NIC takes over; the
+                // local buffer frees after the injection completes.
+                let begin = self.states[rank].time;
+                let issue = begin + o;
+                let buffer_free = issue + self.link_transfer_time(rank, dst, bytes);
+                self.builder.push(Event::begin_activity(
+                    begin,
+                    rank as u32,
+                    ActivityKind::PointToPoint,
+                ));
+                self.builder
+                    .push(Event::message_send(begin, rank as u32, dst as u32, bytes));
+                self.builder.push(Event::end_activity(
+                    issue,
+                    rank as u32,
+                    ActivityKind::PointToPoint,
+                ));
+                let arrival = buffer_free + self.link_latency(rank, dst);
+                self.push_msg(rank, dst, MsgInFlight::Eager { arrival, bytes }, rank);
+                self.states[rank]
+                    .handles
+                    .push((handle, Outstanding::SendDone(buffer_free)));
+                self.states[rank].time = issue;
+                self.states[rank].pc += 1;
+                self.stats.messages += 1;
+                self.stats.bytes += bytes;
+                Ok(StepOutcome::Ran)
+            }
+            Op::Irecv { src, handle } => {
+                let begin = self.states[rank].time;
+                let posted = begin + o;
+                self.builder.push(Event::begin_activity(
+                    begin,
+                    rank as u32,
+                    ActivityKind::PointToPoint,
+                ));
+                self.builder.push(Event::end_activity(
+                    posted,
+                    rank as u32,
+                    ActivityKind::PointToPoint,
+                ));
+                self.states[rank]
+                    .handles
+                    .push((handle, Outstanding::RecvPending { src, posted }));
+                self.states[rank].time = posted;
+                self.states[rank].pc += 1;
+                Ok(StepOutcome::Ran)
+            }
+            Op::Wait { handle } => {
+                let outstanding = self.handle_get(rank, handle);
+                match outstanding {
+                    Outstanding::SendDone(free) => {
+                        let begin = self.states[rank].time;
+                        let end = begin.max(free);
+                        if end > begin {
+                            self.builder.push(Event::begin_activity(
+                                begin,
+                                rank as u32,
+                                ActivityKind::PointToPoint,
+                            ));
+                            self.builder.push(Event::end_activity(
+                                end,
+                                rank as u32,
+                                ActivityKind::PointToPoint,
+                            ));
+                        }
+                        self.handle_remove(rank, handle);
+                        self.states[rank].time = end;
+                        self.states[rank].pc += 1;
+                        Ok(StepOutcome::Ran)
+                    }
+                    Outstanding::RecvPending { src, posted } => {
+                        let now = self.states[rank].time;
+                        let begin = *self.states[rank].wait_started.get_or_insert(now);
+                        let ch = src * n + rank;
+                        let Some(head) = self.channel_front(ch) else {
+                            return Ok(StepOutcome::Blocked(BlockedOn::Channel(ch)));
+                        };
+                        match head {
+                            MsgInFlight::Eager { arrival, bytes } => {
+                                self.channel_mut(ch).pop_front();
+                                let end = begin.max(arrival);
+                                self.builder.push(Event::begin_activity(
+                                    begin,
+                                    rank as u32,
+                                    ActivityKind::PointToPoint,
+                                ));
+                                self.builder.push(Event::message_recv(
+                                    end,
+                                    rank as u32,
+                                    src as u32,
+                                    bytes,
+                                ));
+                                self.builder.push(Event::end_activity(
+                                    end,
+                                    rank as u32,
+                                    ActivityKind::PointToPoint,
+                                ));
+                                self.handle_remove(rank, handle);
+                                self.states[rank].wait_started = None;
+                                self.states[rank].time = end;
+                                self.states[rank].pc += 1;
+                                Ok(StepOutcome::Ran)
+                            }
+                            MsgInFlight::Rendezvous {
+                                sender_ready,
+                                bytes,
+                            } => {
+                                self.channel_mut(ch).pop_front();
+                                // The receive was posted at irecv time, so
+                                // the rendezvous can start as soon as both
+                                // sides are ready.
+                                let sync = posted.max(sender_ready);
+                                let sender_done =
+                                    sync + o + self.link_transfer_time(src, rank, bytes);
+                                let recv_done = sender_done + self.link_latency(src, rank);
+                                self.builder.push(Event::begin_activity(
+                                    sender_ready,
+                                    src as u32,
+                                    ActivityKind::PointToPoint,
+                                ));
+                                self.builder.push(Event::message_send(
+                                    sender_ready,
+                                    src as u32,
+                                    rank as u32,
+                                    bytes,
+                                ));
+                                self.builder.push(Event::end_activity(
+                                    sender_done,
+                                    src as u32,
+                                    ActivityKind::PointToPoint,
+                                ));
+                                self.states[src].time = sender_done;
+                                self.states[src].send_registered = false;
+                                self.states[src].pc += 1;
+                                self.wake(src, rank);
+                                let end = begin.max(recv_done);
+                                self.builder.push(Event::begin_activity(
+                                    begin,
+                                    rank as u32,
+                                    ActivityKind::PointToPoint,
+                                ));
+                                self.builder.push(Event::message_recv(
+                                    end,
+                                    rank as u32,
+                                    src as u32,
+                                    bytes,
+                                ));
+                                self.builder.push(Event::end_activity(
+                                    end,
+                                    rank as u32,
+                                    ActivityKind::PointToPoint,
+                                ));
+                                self.handle_remove(rank, handle);
+                                self.states[rank].wait_started = None;
+                                self.states[rank].time = end;
+                                self.states[rank].pc += 1;
+                                self.stats.messages += 1;
+                                self.stats.bytes += bytes;
+                                Ok(StepOutcome::Ran)
+                            }
+                        }
+                    }
+                }
+            }
+            Op::Collective { kind, bytes } => {
+                let instance = self.states[rank].collective_counter;
+                if !self.coll.active {
+                    self.coll.active = true;
+                    self.coll.index = instance;
+                    self.coll.kind = kind;
+                    self.coll.max_bytes = 0;
+                    debug_assert_eq!(self.coll.arrived, 0);
+                }
+                debug_assert_eq!(self.coll.index, instance, "one open instance at a time");
+                if self.coll.kind != kind {
+                    return Err(SimError::CollectiveMismatch {
+                        instance,
+                        detail: format!(
+                            "rank {rank} calls {kind} but instance is {}",
+                            self.coll.kind
+                        ),
+                    });
+                }
+                if self.states[rank].collective_arrived.is_none() {
+                    self.states[rank].collective_arrived = Some(self.states[rank].time);
+                    self.coll.arrivals[rank] = Some(self.states[rank].time);
+                    self.coll.arrived += 1;
+                    self.coll.max_bytes = self.coll.max_bytes.max(bytes);
+                }
+                if self.coll.arrived < self.program.ranks() {
+                    return Ok(StepOutcome::Blocked(BlockedOn::Collective));
+                }
+                // Everyone has arrived: release all participants.
+                let ready = self
+                    .coll
+                    .arrivals
+                    .iter()
+                    .map(|a| a.expect("all arrived"))
+                    .fold(f64::NEG_INFINITY, f64::max);
+                let cost =
+                    collective_cost(kind, self.program.ranks(), self.coll.max_bytes, self.config);
+                let completion = ready + cost;
+                let activity = if kind == CollectiveKind::Barrier {
+                    ActivityKind::Synchronization
+                } else {
+                    ActivityKind::Collective
+                };
+                for r in 0..n {
+                    let arrival = self.coll.arrivals[r].expect("all arrived");
+                    self.builder
+                        .push(Event::begin_activity(arrival, r as u32, activity));
+                    self.builder
+                        .push(Event::end_activity(completion, r as u32, activity));
+                    let state = &mut self.states[r];
+                    state.time = completion;
+                    state.collective_arrived = None;
+                    state.collective_counter += 1;
+                    state.pc += 1;
+                }
+                self.stats.collectives += 1;
+                // Recycle the slot for the next instance.
+                self.coll.active = false;
+                self.coll.arrived = 0;
+                for a in &mut self.coll.arrivals {
+                    *a = None;
+                }
+                for w in 0..n {
+                    if w != rank {
+                        self.wake(w, rank);
+                    }
+                }
+                Ok(StepOutcome::Ran)
+            }
+        }
+    }
+
+    /// The event-driven scheduler: rounds over an explicit ready-queue.
+    /// A round pops ranks in ascending order and runs each until it
+    /// blocks or finishes; completions enqueue exactly the ranks they
+    /// unblocked (same round when still ahead of the scan, next round
+    /// otherwise). Deadlock is the state where work remains but both
+    /// queues are empty — nothing can ever wake again.
+    fn run_event(&mut self) -> Result<(), SimError> {
+        let mut remaining = 0usize;
+        for rank in 0..self.n {
+            if self.states[rank].pc < self.program.ops(rank).len() {
+                remaining += 1;
+                self.current.insert(rank);
+            }
+        }
+        while remaining > 0 {
+            if self.current.is_empty() {
+                if self.next_round.is_empty() {
+                    return Err(SimError::Deadlock {
+                        detail: self.deadlock_detail(),
+                    });
+                }
+                std::mem::swap(&mut self.current, &mut self.next_round);
+            }
+            // Ascending scan; ranks woken mid-round with an index still
+            // ahead of the cursor are picked up by the same scan.
+            let mut cursor = 0usize;
+            while let Some(rank) = self.current.pop_at_or_after(cursor) {
+                cursor = rank;
+                loop {
+                    match self.try_op(rank)? {
+                        StepOutcome::Ran => {}
+                        StepOutcome::Blocked(on) => {
+                            self.blocked[rank] = on;
+                            break;
+                        }
+                        StepOutcome::Done => {
+                            remaining -= 1;
+                            break;
+                        }
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn finish(mut self) -> SimOutput {
+        for (rank, s) in self.states.iter().enumerate() {
+            self.stats.rank_end_times[rank] = s.time;
+            self.stats.makespan = self.stats.makespan.max(s.time);
+        }
+        SimOutput {
+            trace: self.builder.build(),
+            stats: self.stats,
+        }
+    }
 }
 
 /// The simulator: runs a [`Program`] on a [`MachineConfig`].
@@ -108,7 +899,8 @@ impl Simulator {
         &self.config
     }
 
-    /// Runs `program` to completion, producing the trace and statistics.
+    /// Runs `program` to completion with the event-driven scheduler,
+    /// producing the trace and statistics.
     ///
     /// # Errors
     ///
@@ -116,466 +908,24 @@ impl Simulator {
     /// references more ranks than the machine has, or the ranks deadlock
     /// (e.g. a receive whose matching send never happens).
     pub fn run(&self, program: &Program) -> Result<SimOutput, SimError> {
-        self.config.validate()?;
-        let p = self.config.processors();
-        if program.ranks() > p {
-            return Err(SimError::RankOutOfRange {
-                rank: program.ranks() - 1,
-                ranks: p,
-            });
-        }
-        let n = program.ranks();
-
-        let mut builder = TraceBuilder::new(n);
-        for name in program.region_names() {
-            builder.add_region(name.clone());
-        }
-
-        let mut states = vec![RankState::default(); n];
-        let mut channels: HashMap<(usize, usize), VecDeque<MsgInFlight>> = HashMap::new();
-        let mut collectives: Vec<CollectiveInstance> = Vec::new();
-        let mut stats = SimStats {
-            rank_end_times: vec![0.0; n],
-            makespan: 0.0,
-            messages: 0,
-            bytes: 0,
-            collectives: 0,
-        };
-
-        loop {
-            let mut progress = false;
-            for rank in 0..n {
-                while self.step(
-                    rank,
-                    program,
-                    &mut states,
-                    &mut channels,
-                    &mut collectives,
-                    &mut builder,
-                    &mut stats,
-                )? {
-                    progress = true;
-                }
-            }
-            if states
-                .iter()
-                .enumerate()
-                .all(|(r, s)| s.pc >= program.ops(r).len())
-            {
-                break;
-            }
-            if !progress {
-                let detail = states
-                    .iter()
-                    .enumerate()
-                    .filter(|(r, s)| s.pc < program.ops(*r).len())
-                    .map(|(r, s)| {
-                        format!(
-                            "rank {r} stuck at op {:?} (pc {})",
-                            program.ops(r)[s.pc],
-                            s.pc
-                        )
-                    })
-                    .collect::<Vec<_>>()
-                    .join("; ");
-                return Err(SimError::Deadlock { detail });
-            }
-        }
-
-        for (rank, s) in states.iter().enumerate() {
-            stats.rank_end_times[rank] = s.time;
-            stats.makespan = stats.makespan.max(s.time);
-        }
-        Ok(SimOutput {
-            trace: builder.build(),
-            stats,
-        })
+        let mut exec = Exec::new(&self.config, program)?;
+        exec.run_event()?;
+        Ok(exec.finish())
     }
 
-    /// Executes at most one op of `rank`. Returns `true` when progress was
-    /// made (the op completed), `false` when the rank is blocked or done.
-    #[allow(clippy::too_many_arguments)]
-    fn step(
-        &self,
-        rank: usize,
-        program: &Program,
-        states: &mut [RankState],
-        channels: &mut HashMap<(usize, usize), VecDeque<MsgInFlight>>,
-        collectives: &mut Vec<CollectiveInstance>,
-        builder: &mut TraceBuilder,
-        stats: &mut SimStats,
-    ) -> Result<bool, SimError> {
-        let ops = program.ops(rank);
-        if states[rank].pc >= ops.len() {
-            return Ok(false);
-        }
-        let op = ops[states[rank].pc];
-        let o = self.config.overhead();
-        match op {
-            Op::Compute { seconds } => {
-                states[rank].time += seconds / self.config.cpu_speed(rank);
-                states[rank].pc += 1;
-                Ok(true)
-            }
-            Op::Enter { region } => {
-                builder.push(Event::enter(states[rank].time, rank as u32, region));
-                states[rank].pc += 1;
-                Ok(true)
-            }
-            Op::Leave { region } => {
-                builder.push(Event::leave(states[rank].time, rank as u32, region));
-                states[rank].pc += 1;
-                Ok(true)
-            }
-            Op::Send { dst, bytes } => {
-                if bytes <= self.config.eager_threshold() {
-                    let begin = states[rank].time;
-                    let end = begin + o + self.config.link_transfer_time(rank, dst, bytes);
-                    builder.push(Event::begin_activity(
-                        begin,
-                        rank as u32,
-                        ActivityKind::PointToPoint,
-                    ));
-                    builder.push(Event::message_send(begin, rank as u32, dst as u32, bytes));
-                    builder.push(Event::end_activity(
-                        end,
-                        rank as u32,
-                        ActivityKind::PointToPoint,
-                    ));
-                    channels
-                        .entry((rank, dst))
-                        .or_default()
-                        .push_back(MsgInFlight::Eager {
-                            arrival: end + self.config.link_latency(rank, dst),
-                            bytes,
-                        });
-                    states[rank].time = end;
-                    states[rank].pc += 1;
-                    stats.messages += 1;
-                    stats.bytes += bytes;
-                    Ok(true)
-                } else {
-                    if !states[rank].send_registered {
-                        channels.entry((rank, dst)).or_default().push_back(
-                            MsgInFlight::Rendezvous {
-                                sender_ready: states[rank].time,
-                                bytes,
-                            },
-                        );
-                        states[rank].send_registered = true;
-                    }
-                    // Blocked until the receiver performs the match.
-                    Ok(false)
-                }
-            }
-            Op::Recv { src } => {
-                let posted = *states[rank].recv_posted.get_or_insert(states[rank].time);
-                let Some(queue) = channels.get_mut(&(src, rank)) else {
-                    return Ok(false);
-                };
-                let Some(&head) = queue.front() else {
-                    return Ok(false);
-                };
-                match head {
-                    MsgInFlight::Eager { arrival, bytes } => {
-                        queue.pop_front();
-                        let end = (posted + o).max(arrival);
-                        builder.push(Event::begin_activity(
-                            posted,
-                            rank as u32,
-                            ActivityKind::PointToPoint,
-                        ));
-                        builder.push(Event::message_recv(end, rank as u32, src as u32, bytes));
-                        builder.push(Event::end_activity(
-                            end,
-                            rank as u32,
-                            ActivityKind::PointToPoint,
-                        ));
-                        states[rank].time = end;
-                        states[rank].recv_posted = None;
-                        states[rank].pc += 1;
-                        Ok(true)
-                    }
-                    MsgInFlight::Rendezvous {
-                        sender_ready,
-                        bytes,
-                    } => {
-                        queue.pop_front();
-                        let sync = posted.max(sender_ready);
-                        let sender_done =
-                            sync + o + self.config.link_transfer_time(src, rank, bytes);
-                        let recv_done = sender_done + self.config.link_latency(src, rank);
-                        // Complete the blocked sender's side.
-                        builder.push(Event::begin_activity(
-                            sender_ready,
-                            src as u32,
-                            ActivityKind::PointToPoint,
-                        ));
-                        builder.push(Event::message_send(
-                            sender_ready,
-                            src as u32,
-                            rank as u32,
-                            bytes,
-                        ));
-                        builder.push(Event::end_activity(
-                            sender_done,
-                            src as u32,
-                            ActivityKind::PointToPoint,
-                        ));
-                        states[src].time = sender_done;
-                        states[src].send_registered = false;
-                        states[src].pc += 1;
-                        // Complete the receive.
-                        builder.push(Event::begin_activity(
-                            posted,
-                            rank as u32,
-                            ActivityKind::PointToPoint,
-                        ));
-                        builder.push(Event::message_recv(
-                            recv_done,
-                            rank as u32,
-                            src as u32,
-                            bytes,
-                        ));
-                        builder.push(Event::end_activity(
-                            recv_done,
-                            rank as u32,
-                            ActivityKind::PointToPoint,
-                        ));
-                        states[rank].time = recv_done;
-                        states[rank].recv_posted = None;
-                        states[rank].pc += 1;
-                        stats.messages += 1;
-                        stats.bytes += bytes;
-                        Ok(true)
-                    }
-                }
-            }
-            Op::Isend { dst, bytes, handle } => {
-                // Buffered nonblocking send: the NIC takes over; the
-                // local buffer frees after the injection completes.
-                let begin = states[rank].time;
-                let issue = begin + o;
-                let buffer_free = issue + self.config.link_transfer_time(rank, dst, bytes);
-                builder.push(Event::begin_activity(
-                    begin,
-                    rank as u32,
-                    ActivityKind::PointToPoint,
-                ));
-                builder.push(Event::message_send(begin, rank as u32, dst as u32, bytes));
-                builder.push(Event::end_activity(
-                    issue,
-                    rank as u32,
-                    ActivityKind::PointToPoint,
-                ));
-                channels
-                    .entry((rank, dst))
-                    .or_default()
-                    .push_back(MsgInFlight::Eager {
-                        arrival: buffer_free + self.config.link_latency(rank, dst),
-                        bytes,
-                    });
-                states[rank]
-                    .handles
-                    .insert(handle, Outstanding::SendDone(buffer_free));
-                states[rank].time = issue;
-                states[rank].pc += 1;
-                stats.messages += 1;
-                stats.bytes += bytes;
-                Ok(true)
-            }
-            Op::Irecv { src, handle } => {
-                let begin = states[rank].time;
-                let posted = begin + o;
-                builder.push(Event::begin_activity(
-                    begin,
-                    rank as u32,
-                    ActivityKind::PointToPoint,
-                ));
-                builder.push(Event::end_activity(
-                    posted,
-                    rank as u32,
-                    ActivityKind::PointToPoint,
-                ));
-                states[rank]
-                    .handles
-                    .insert(handle, Outstanding::RecvPending { src, posted });
-                states[rank].time = posted;
-                states[rank].pc += 1;
-                Ok(true)
-            }
-            Op::Wait { handle } => {
-                let outstanding = *states[rank]
-                    .handles
-                    .get(&handle)
-                    .expect("validated: handle outstanding");
-                match outstanding {
-                    Outstanding::SendDone(free) => {
-                        let begin = states[rank].time;
-                        let end = begin.max(free);
-                        if end > begin {
-                            builder.push(Event::begin_activity(
-                                begin,
-                                rank as u32,
-                                ActivityKind::PointToPoint,
-                            ));
-                            builder.push(Event::end_activity(
-                                end,
-                                rank as u32,
-                                ActivityKind::PointToPoint,
-                            ));
-                        }
-                        states[rank].handles.remove(&handle);
-                        states[rank].time = end;
-                        states[rank].pc += 1;
-                        Ok(true)
-                    }
-                    Outstanding::RecvPending { src, posted } => {
-                        let begin = *states[rank].wait_started.get_or_insert(states[rank].time);
-                        let Some(queue) = channels.get_mut(&(src, rank)) else {
-                            return Ok(false);
-                        };
-                        let Some(&head) = queue.front() else {
-                            return Ok(false);
-                        };
-                        match head {
-                            MsgInFlight::Eager { arrival, bytes } => {
-                                queue.pop_front();
-                                let end = begin.max(arrival);
-                                builder.push(Event::begin_activity(
-                                    begin,
-                                    rank as u32,
-                                    ActivityKind::PointToPoint,
-                                ));
-                                builder.push(Event::message_recv(
-                                    end,
-                                    rank as u32,
-                                    src as u32,
-                                    bytes,
-                                ));
-                                builder.push(Event::end_activity(
-                                    end,
-                                    rank as u32,
-                                    ActivityKind::PointToPoint,
-                                ));
-                                states[rank].handles.remove(&handle);
-                                states[rank].wait_started = None;
-                                states[rank].time = end;
-                                states[rank].pc += 1;
-                                Ok(true)
-                            }
-                            MsgInFlight::Rendezvous {
-                                sender_ready,
-                                bytes,
-                            } => {
-                                queue.pop_front();
-                                // The receive was posted at irecv time, so
-                                // the rendezvous can start as soon as both
-                                // sides are ready.
-                                let sync = posted.max(sender_ready);
-                                let sender_done =
-                                    sync + o + self.config.link_transfer_time(src, rank, bytes);
-                                let recv_done = sender_done + self.config.link_latency(src, rank);
-                                builder.push(Event::begin_activity(
-                                    sender_ready,
-                                    src as u32,
-                                    ActivityKind::PointToPoint,
-                                ));
-                                builder.push(Event::message_send(
-                                    sender_ready,
-                                    src as u32,
-                                    rank as u32,
-                                    bytes,
-                                ));
-                                builder.push(Event::end_activity(
-                                    sender_done,
-                                    src as u32,
-                                    ActivityKind::PointToPoint,
-                                ));
-                                states[src].time = sender_done;
-                                states[src].send_registered = false;
-                                states[src].pc += 1;
-                                let end = begin.max(recv_done);
-                                builder.push(Event::begin_activity(
-                                    begin,
-                                    rank as u32,
-                                    ActivityKind::PointToPoint,
-                                ));
-                                builder.push(Event::message_recv(
-                                    end,
-                                    rank as u32,
-                                    src as u32,
-                                    bytes,
-                                ));
-                                builder.push(Event::end_activity(
-                                    end,
-                                    rank as u32,
-                                    ActivityKind::PointToPoint,
-                                ));
-                                states[rank].handles.remove(&handle);
-                                states[rank].wait_started = None;
-                                states[rank].time = end;
-                                states[rank].pc += 1;
-                                stats.messages += 1;
-                                stats.bytes += bytes;
-                                Ok(true)
-                            }
-                        }
-                    }
-                }
-            }
-            Op::Collective { kind, bytes } => {
-                let instance = states[rank].collective_counter;
-                if collectives.len() <= instance {
-                    collectives.push(CollectiveInstance {
-                        kind,
-                        max_bytes: 0,
-                        arrivals: vec![None; program.ranks()],
-                        arrived: 0,
-                    });
-                }
-                let inst = &mut collectives[instance];
-                if inst.kind != kind {
-                    return Err(SimError::CollectiveMismatch {
-                        instance,
-                        detail: format!("rank {rank} calls {kind} but instance is {}", inst.kind),
-                    });
-                }
-                if states[rank].collective_arrived.is_none() {
-                    states[rank].collective_arrived = Some(states[rank].time);
-                    inst.arrivals[rank] = Some(states[rank].time);
-                    inst.arrived += 1;
-                    inst.max_bytes = inst.max_bytes.max(bytes);
-                }
-                if inst.arrived < program.ranks() {
-                    return Ok(false);
-                }
-                // Everyone has arrived: release all participants.
-                let ready = inst
-                    .arrivals
-                    .iter()
-                    .map(|a| a.expect("all arrived"))
-                    .fold(f64::NEG_INFINITY, f64::max);
-                let cost = collective_cost(kind, program.ranks(), inst.max_bytes, &self.config);
-                let completion = ready + cost;
-                let activity = if kind == CollectiveKind::Barrier {
-                    ActivityKind::Synchronization
-                } else {
-                    ActivityKind::Collective
-                };
-                for (r, state) in states.iter_mut().enumerate() {
-                    let arrival = collectives[instance].arrivals[r].expect("all arrived");
-                    builder.push(Event::begin_activity(arrival, r as u32, activity));
-                    builder.push(Event::end_activity(completion, r as u32, activity));
-                    state.time = completion;
-                    state.collective_arrived = None;
-                    state.collective_counter += 1;
-                    state.pc += 1;
-                }
-                stats.collectives += 1;
-                Ok(true)
-            }
-        }
+    /// Runs `program` with the polling reference engine — the original
+    /// O(rounds × n) scan over `HashMap`-keyed channels that this
+    /// engine replaced, preserved verbatim in [`crate::polling`]. Its
+    /// output is bit-identical to [`Simulator::run`] in trace,
+    /// statistics, and diagnostics; the equivalence harness holds the
+    /// two implementations against each other, and the simulator
+    /// benchmarks measure the event-driven engine against this one.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Simulator::run`].
+    pub fn run_polling(&self, program: &Program) -> Result<SimOutput, SimError> {
+        crate::polling::run(&self.config, program)
     }
 }
 
@@ -748,6 +1098,23 @@ mod tests {
         let err = Simulator::new(cfg).run(&pb.build().unwrap()).unwrap_err();
         assert!(matches!(err, SimError::Deadlock { .. }));
         assert!(err.to_string().contains("rank 0"));
+    }
+
+    #[test]
+    fn deadlock_report_is_capped_on_large_machines() {
+        // 12 stuck ranks: the report lists the first 8 and counts the rest.
+        let n = 12;
+        let cfg = machine(n);
+        let mut pb = ProgramBuilder::new(n);
+        let r = pb.add_region("r");
+        pb.spmd(|rank, mut ops| {
+            ops.enter(r).recv((rank + 1) % n).leave(r);
+        });
+        let err = Simulator::new(cfg).run(&pb.build().unwrap()).unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("rank 7 stuck"), "msg: {msg}");
+        assert!(!msg.contains("rank 8 stuck"), "msg: {msg}");
+        assert!(msg.contains("and 4 more stuck ranks"), "msg: {msg}");
     }
 
     #[test]
@@ -957,5 +1324,57 @@ mod tests {
         out1.trace.validate().unwrap();
         assert_eq!(out1.trace, out2.trace);
         assert_eq!(out1.stats, out2.stats);
+    }
+
+    #[test]
+    fn event_and_polling_engines_are_bit_identical() {
+        // A program exercising every blocking construct: eager and
+        // rendezvous sends, nonblocking ring shifts, and collectives.
+        let cfg = machine(5);
+        let mut pb = ProgramBuilder::new(5);
+        let r = pb.add_region("r");
+        pb.spmd(|rank, mut ops| {
+            ops.enter(r).compute(0.01 * (rank + 1) as f64);
+            for parity in 0..2usize {
+                if rank % 2 == parity {
+                    if rank + 1 < 5 {
+                        ops.send(rank + 1, 100_000).recv(rank + 1);
+                    }
+                } else if rank >= 1 {
+                    ops.recv(rank - 1).send(rank - 1, 100_000);
+                }
+            }
+            let right = (rank + 1) % 5;
+            let left = (rank + 4) % 5;
+            ops.isend(right, 64, 1)
+                .irecv(left, 2)
+                .compute(0.002)
+                .wait(1)
+                .wait(2)
+                .allreduce(2048)
+                .barrier()
+                .leave(r);
+        });
+        let program = pb.build().unwrap();
+        let sim = Simulator::new(cfg);
+        let event = sim.run(&program).unwrap();
+        let polling = sim.run_polling(&program).unwrap();
+        assert_eq!(event.trace, polling.trace);
+        assert_eq!(event.stats, polling.stats);
+    }
+
+    #[test]
+    fn engines_agree_on_deadlock_diagnostics() {
+        let cfg = machine(3);
+        let mut pb = ProgramBuilder::new(3);
+        let r = pb.add_region("r");
+        pb.spmd(|rank, mut ops| {
+            ops.enter(r).recv((rank + 1) % 3).leave(r);
+        });
+        let program = pb.build().unwrap();
+        let sim = Simulator::new(cfg);
+        let event = sim.run(&program).unwrap_err().to_string();
+        let polling = sim.run_polling(&program).unwrap_err().to_string();
+        assert_eq!(event, polling);
     }
 }

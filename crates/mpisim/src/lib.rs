@@ -53,6 +53,7 @@ mod config;
 mod engine;
 mod error;
 mod ops;
+pub(crate) mod polling;
 mod replicate;
 
 pub use collectives::{collective_cost, CollectiveAlgorithm, CollectiveKind};

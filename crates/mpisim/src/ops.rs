@@ -101,6 +101,30 @@ impl Program {
     pub fn total_ops(&self) -> usize {
         self.ranks.iter().map(|r| r.len()).sum()
     }
+
+    /// Upper bound on the number of trace events one run of this
+    /// program records, computed from op counts alone. The simulator
+    /// pre-reserves the trace's event buffer with this, so recording
+    /// never reallocates mid-run. The bound is tight up to waits that
+    /// complete without blocking (they record nothing).
+    pub fn event_capacity_hint(&self) -> usize {
+        self.ranks
+            .iter()
+            .flat_map(|ops| ops.iter())
+            .map(|op| match op {
+                Op::Compute { .. } => 0,
+                Op::Enter { .. } | Op::Leave { .. } => 1,
+                // Irecv posts begin/end; a collective records a
+                // begin/end pair on each rank's own op.
+                Op::Irecv { .. } | Op::Collective { .. } => 2,
+                // Every message contributes at most begin + transfer +
+                // end on each side, budgeted on the op of that side
+                // (a rendezvous receive records the sender's three
+                // events too, but the matching Send recorded none).
+                Op::Send { .. } | Op::Recv { .. } | Op::Isend { .. } | Op::Wait { .. } => 3,
+            })
+            .sum()
+    }
 }
 
 /// Builder for [`Program`]s.

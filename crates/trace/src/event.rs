@@ -157,6 +157,33 @@ impl Trace {
         evs
     }
 
+    /// All processors' time-sorted event lists in a single pass over the
+    /// stream: element `p` equals [`Trace::events_by_processor`]`(p)`.
+    /// Events naming an out-of-range processor are dropped (validation
+    /// reports them separately). This is what reduction iterates over;
+    /// the one-pass bucketing avoids the O(P · E) filter of calling
+    /// `events_by_processor` once per processor.
+    pub fn events_partitioned(&self) -> Vec<Vec<Event>> {
+        let mut sizes = vec![0usize; self.processors];
+        for e in &self.events {
+            if let Some(s) = sizes.get_mut(e.proc as usize) {
+                *s += 1;
+            }
+        }
+        let mut parts: Vec<Vec<Event>> = sizes.into_iter().map(Vec::with_capacity).collect();
+        for e in &self.events {
+            if let Some(bucket) = parts.get_mut(e.proc as usize) {
+                bucket.push(*e);
+            }
+        }
+        for bucket in &mut parts {
+            // Stable, like events_by_processor: simultaneous events keep
+            // recording order, which reduction's attribution relies on.
+            bucket.sort_by(|a, b| a.time.total_cmp(&b.time));
+        }
+        parts
+    }
+
     /// Checks structural well-formedness: processor and region indices in
     /// range, per-processor monotone clocks, balanced region nesting, and
     /// matched activity begin/end pairs.
@@ -178,11 +205,11 @@ impl Trace {
                 _ => {}
             }
         }
-        for proc in 0..self.processors as u32 {
+        for (proc, events) in (0u32..).zip(self.events_partitioned()) {
             let mut region_stack: Vec<usize> = Vec::new();
             let mut activity: Option<ActivityKind> = None;
             let mut last_time = f64::NEG_INFINITY;
-            for e in self.events_by_processor(proc) {
+            for e in events {
                 if e.time < last_time {
                     return Err(TraceError::NonMonotoneTime {
                         proc,
@@ -299,6 +326,13 @@ impl TraceBuilder {
     /// Appends an event.
     pub fn push(&mut self, event: Event) {
         self.events.push(event);
+    }
+
+    /// Reserves room for at least `additional` more events, so callers
+    /// that know their event count up front (the simulator derives it
+    /// from op counts) avoid reallocations while recording.
+    pub fn reserve_events(&mut self, additional: usize) {
+        self.events.reserve(additional);
     }
 
     /// Number of regions registered so far.
@@ -472,6 +506,33 @@ mod tests {
         b.push(Event::message_send(0.5, 0, 1, 1024));
         b.push(Event::leave(1.0, 0, a));
         b.push(Event::message_recv(0.7, 1, 0, 1024));
+        b.build().validate().unwrap();
+    }
+
+    #[test]
+    fn events_partitioned_matches_per_processor_view() {
+        let t = well_formed();
+        let parts = t.events_partitioned();
+        assert_eq!(parts.len(), t.processors());
+        for (p, part) in parts.iter().enumerate() {
+            assert_eq!(part, &t.events_by_processor(p as u32));
+        }
+
+        // Out-of-range processors are dropped, not panicked on.
+        let mut b = TraceBuilder::new(1);
+        let m = b.add_region("m");
+        b.push(Event::enter(0.0, 7, m));
+        assert!(b.build().events_partitioned()[0].is_empty());
+    }
+
+    #[test]
+    fn reserve_events_does_not_change_contents() {
+        let mut b = TraceBuilder::new(1);
+        let m = b.add_region("m");
+        b.reserve_events(128);
+        b.push(Event::enter(0.0, 0, m));
+        b.push(Event::leave(1.0, 0, m));
+        assert_eq!(b.len(), 2);
         b.build().validate().unwrap();
     }
 

@@ -55,7 +55,7 @@ mod reduce;
 
 pub use event::{Event, EventPayload, Trace, TraceBuilder};
 pub use hierarchy::region_parents;
-pub use reduce::{reduce, reduce_windows, ReducedTrace};
+pub use reduce::{reduce, reduce_well_formed, reduce_windows, ReducedTrace};
 
 mod error;
 pub use error::TraceError;

@@ -5,7 +5,7 @@ use limba_model::{
     MeasurementsBuilder, RegionId, STANDARD_ACTIVITIES,
 };
 
-use crate::{EventPayload, Trace, TraceError};
+use crate::{Event, EventPayload, Trace, TraceError};
 
 /// Result of reducing a trace: the timing matrix `t_ijp` and the message
 /// counting parameters.
@@ -37,11 +37,11 @@ enum Attribution {
 /// Walks one processor's (validated, time-sorted) events and emits
 /// attributions. Time between explicit activity intervals counts as
 /// computation; nested regions attribute to the innermost region.
-fn walk_processor<F: FnMut(Attribution)>(trace: &Trace, proc: u32, mut sink: F) {
+fn walk_processor<F: FnMut(Attribution)>(events: &[Event], mut sink: F) {
     let mut stack: Vec<usize> = Vec::new();
     let mut current: Option<(ActivityKind, f64)> = None;
     let mut mark = 0.0f64;
-    for e in trace.events_by_processor(proc) {
+    for e in events {
         match e.payload {
             EventPayload::EnterRegion { region } => {
                 if let Some(&top) = stack.last() {
@@ -153,14 +153,34 @@ fn trace_activities(trace: &Trace) -> ActivitySet {
 /// errors should the trace encode invalid values.
 pub fn reduce(trace: &Trace) -> Result<ReducedTrace, TraceError> {
     trace.validate()?;
+    reduce_unchecked(trace)
+}
+
+/// Reduces a trace that is well-formed *by construction* — e.g. one the
+/// simulator just produced — skipping the structural validation pass
+/// that [`reduce`] performs. Identical results on valid input, roughly
+/// half the walk cost.
+///
+/// Feeding a malformed trace (unbalanced nesting, dangling activities)
+/// is a logic error and may panic; route externally loaded traces
+/// through [`reduce`] instead.
+///
+/// # Errors
+///
+/// Returns model errors should the trace encode invalid values.
+pub fn reduce_well_formed(trace: &Trace) -> Result<ReducedTrace, TraceError> {
+    reduce_unchecked(trace)
+}
+
+fn reduce_unchecked(trace: &Trace) -> Result<ReducedTrace, TraceError> {
     let mut mb = MeasurementsBuilder::with_activities(trace.processors(), trace_activities(trace));
     for name in trace.region_names() {
         mb.add_region(name.clone());
     }
     let mut cb = CountMatrixBuilder::new(trace.processors());
     let mut failure: Option<TraceError> = None;
-    for proc in 0..trace.processors() as u32 {
-        walk_processor(trace, proc, |attribution| {
+    for (proc, events) in (0u32..).zip(trace.events_partitioned()) {
+        walk_processor(&events, |attribution| {
             if failure.is_some() {
                 return;
             }
@@ -231,8 +251,8 @@ pub fn reduce_windows(trace: &Trace, windows: usize) -> Result<Vec<ReducedTrace>
         .collect();
     let clamp_window = |t: f64| -> usize { ((t / width) as usize).min(windows - 1) };
     let mut failure: Option<TraceError> = None;
-    for proc in 0..trace.processors() as u32 {
-        walk_processor(trace, proc, |attribution| {
+    for (proc, events) in (0u32..).zip(trace.events_partitioned()) {
+        walk_processor(&events, |attribution| {
             if failure.is_some() {
                 return;
             }
@@ -381,6 +401,28 @@ mod tests {
         let m = &red.measurements;
         assert!(m.activities().contains(ActivityKind::Io));
         assert!((m.time(r, ActivityKind::Io, ProcessorId::new(0)) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn well_formed_fast_path_matches_checked_reduction() {
+        let mut b = TraceBuilder::new(2);
+        let r = b.add_region("r");
+        for p in 0..2u32 {
+            b.push(Event::enter(0.0, p, r));
+            b.push(Event::begin_activity(1.0, p, ActivityKind::PointToPoint));
+            b.push(Event::end_activity(
+                1.5 + p as f64,
+                p,
+                ActivityKind::PointToPoint,
+            ));
+            b.push(Event::message_send(1.2, p, 1 - p, 64));
+            b.push(Event::leave(3.0 + p as f64, p, r));
+        }
+        let trace = b.build();
+        let checked = reduce(&trace).unwrap();
+        let fast = reduce_well_formed(&trace).unwrap();
+        assert_eq!(checked.measurements, fast.measurements);
+        assert_eq!(checked.counts, fast.counts);
     }
 
     #[test]
