@@ -12,7 +12,7 @@
 use std::fmt::Write as _;
 use std::time::Instant;
 
-use limba_mpisim::{MachineConfig, Program, Simulator};
+use limba_mpisim::{FaultPlan, MachineConfig, Program, Simulator};
 use limba_workloads::{
     cfd::CfdConfig, fft::FftConfig, irregular::IrregularConfig, master_worker::MasterWorkerConfig,
     pipeline::PipelineConfig, stencil::StencilConfig, sweep::SweepConfig, Imbalance,
@@ -22,6 +22,7 @@ struct Case {
     name: String,
     ranks: usize,
     program: Program,
+    faults: Option<FaultPlan>,
 }
 
 struct Timed {
@@ -46,6 +47,31 @@ fn cases() -> Vec<Case> {
                 .with_seed(2003)
                 .build_program()
                 .expect("cfd builds"),
+            faults: None,
+        });
+    }
+    // The same 16-rank CFD proxy under the canned `chaos` fault plan
+    // (straggler + degraded link + lossy network + crashed rank), so the
+    // engine-identity check also exercises every fault-injection path.
+    {
+        let ranks = 16usize;
+        let program = CfdConfig::new(ranks)
+            .with_imbalance(jitter)
+            .with_seed(2003)
+            .build_program()
+            .expect("cfd builds");
+        let horizon = Simulator::new(MachineConfig::new(ranks))
+            .run(&program)
+            .expect("clean horizon run")
+            .stats
+            .makespan;
+        let faults =
+            limba_workloads::faults::preset("chaos", ranks, horizon).expect("chaos preset exists");
+        cases.push(Case {
+            name: "cfd_16r_chaos".to_string(),
+            ranks,
+            program,
+            faults: Some(faults),
         });
     }
     // One representative of each synthetic communication pattern at 64
@@ -102,6 +128,7 @@ fn cases() -> Vec<Case> {
             name: name.to_string(),
             ranks: 64,
             program,
+            faults: None,
         });
     }
     cases
@@ -109,20 +136,32 @@ fn cases() -> Vec<Case> {
 
 fn run_case(case: &Case, reps: usize) -> Timed {
     let sim = Simulator::new(MachineConfig::new(case.ranks));
+    let run_event = || match &case.faults {
+        Some(plan) => sim.run_with_faults(&case.program, plan).expect("event run"),
+        None => sim.run(&case.program).expect("event run"),
+    };
+    let run_polling = || match &case.faults {
+        Some(plan) => sim
+            .run_polling_with_faults(&case.program, plan)
+            .expect("polling run"),
+        None => sim.run_polling(&case.program).expect("polling run"),
+    };
     // Warmup both paths (page in code, size allocator pools), then
     // interleave the engines rep by rep so clock drift and background
     // load hit both equally. Keep the minimum: a scheduling hiccup can
     // only inflate a run, never deflate it.
-    let event_out = sim.run(&case.program).expect("event run");
-    let polling_out = sim.run_polling(&case.program).expect("polling run");
-    let identical = event_out.trace == polling_out.trace && event_out.stats == polling_out.stats;
+    let event_out = run_event();
+    let polling_out = run_polling();
+    let identical = event_out.trace == polling_out.trace
+        && event_out.stats == polling_out.stats
+        && event_out.faults == polling_out.faults;
     let (mut event_ns, mut polling_ns) = (u128::MAX, u128::MAX);
     for _ in 0..reps {
         let start = Instant::now();
-        sim.run(&case.program).expect("event run");
+        run_event();
         event_ns = event_ns.min(start.elapsed().as_nanos());
         let start = Instant::now();
-        sim.run_polling(&case.program).expect("polling run");
+        run_polling();
         polling_ns = polling_ns.min(start.elapsed().as_nanos());
     }
     Timed {

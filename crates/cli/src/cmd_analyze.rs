@@ -71,7 +71,11 @@ pub fn run(argv: &[String]) -> Result<(), String> {
     let windows: usize = parsed.get_or("windows", 0)?;
 
     let trace = load_trace(path, format)?;
-    let reduced = limba_trace::reduce(&trace).map_err(|e| e.to_string())?;
+    // Salvaging reduction: truncated ranks (crashed / interrupted runs)
+    // are closed out at their last event and flagged in a coverage
+    // section instead of failing the whole analysis.
+    let limba_trace::SalvagedTrace { reduced, coverage } =
+        limba_trace::reduce_checked(&trace).map_err(|e| e.to_string())?;
     // Counting parameters (message/byte distributions) render as part of
     // the report when the trace recorded any.
     let report = Analyzer::new()
@@ -80,7 +84,10 @@ pub fn run(argv: &[String]) -> Result<(), String> {
         .with_cluster_k(clusters)
         .analyze_with_counts(&reduced.measurements, &reduced.counts)
         .map_err(|e| e.to_string())?;
-    print!("{}", limba_viz::report::render(&report));
+    print!(
+        "{}",
+        limba_viz::report::render_with_coverage(&report, &coverage)
+    );
 
     if let Some(dir) = parsed.get("csv") {
         let dir = std::path::Path::new(dir);

@@ -3,7 +3,7 @@
 use std::fs::File;
 use std::io::BufWriter;
 
-use limba_mpisim::{MachineConfig, Program, SimError, Simulator};
+use limba_mpisim::{FaultPlan, MachineConfig, Program, SimError, Simulator};
 use limba_trace::Trace;
 use limba_workloads::{
     amr::AmrConfig, cfd::CfdConfig, fft::FftConfig, irregular::IrregularConfig,
@@ -95,20 +95,69 @@ impl Engine {
 }
 
 fn simulate(program: &Program, ranks: usize) -> Result<limba_mpisim::SimOutput, String> {
-    simulate_with(program, ranks, Engine::Event)
+    simulate_with(program, ranks, Engine::Event, None)
 }
 
 fn simulate_with(
     program: &Program,
     ranks: usize,
     engine: Engine,
+    faults: Option<&FaultPlan>,
 ) -> Result<limba_mpisim::SimOutput, String> {
     let sim = Simulator::new(MachineConfig::new(ranks));
-    match engine {
-        Engine::Event => sim.run(program),
-        Engine::Polling => sim.run_polling(program),
+    match (engine, faults) {
+        (Engine::Event, None) => sim.run(program),
+        (Engine::Event, Some(plan)) => sim.run_with_faults(program, plan),
+        (Engine::Polling, None) => sim.run_polling(program),
+        (Engine::Polling, Some(plan)) => sim.run_polling_with_faults(program, plan),
     }
     .map_err(|e| e.to_string())
+}
+
+/// Resolves `--faults`: either a TOML plan file or `preset:<name>` from
+/// [`limba_workloads::faults`]. Presets are scaled to the makespan of a
+/// fault-free run of the same program (both runs are deterministic, so
+/// the recipe reproduces exactly).
+fn load_fault_plan(
+    spec: &str,
+    program: &Program,
+    ranks: usize,
+    engine: Engine,
+) -> Result<FaultPlan, String> {
+    let plan = if let Some(name) = spec.strip_prefix("preset:") {
+        let horizon = simulate_with(program, ranks, engine, None)?.stats.makespan;
+        limba_workloads::faults::preset(name, ranks, horizon).ok_or_else(|| {
+            format!(
+                "unknown fault preset {name:?} (available: {})",
+                limba_workloads::faults::PRESETS.join(", ")
+            )
+        })?
+    } else {
+        let text = std::fs::read_to_string(spec).map_err(|e| format!("cannot read {spec}: {e}"))?;
+        FaultPlan::parse_toml(&text).map_err(|e| e.to_string())?
+    };
+    plan.validate(ranks).map_err(|e| e.to_string())?;
+    Ok(plan)
+}
+
+/// One-line summary of what a fault plan did to a run.
+fn describe_faults(report: &limba_mpisim::FaultReport) -> String {
+    if report.is_clean() {
+        return "faults: none took effect (timing perturbations only)".into();
+    }
+    let crashes: Vec<String> = report
+        .crashes
+        .iter()
+        .map(|&(r, t)| format!("{r}@{t:.4}s"))
+        .collect();
+    format!(
+        "faults: {} crashed [{}], {} interrupted, {} dropped attempts, {} retried messages",
+        report.crashes.len(),
+        crashes.join(", "),
+        report.interrupted.len(),
+        report.dropped_attempts,
+        report.retried_messages
+    )
 }
 
 fn write_trace(trace: &Trace, path: &str, format: &str) -> Result<(), String> {
@@ -133,13 +182,18 @@ fn render_sweep(
     root_seed: u64,
     replications: usize,
     jobs: usize,
+    faults: Option<&FaultPlan>,
 ) -> Result<String, String> {
     use std::fmt::Write as _;
     let sim = Simulator::new(MachineConfig::new(ranks));
-    let results = sim.run_replications(replications, root_seed, jobs, |_, seed| {
+    let build = |_: usize, seed: u64| {
         build_program(workload, ranks, iterations, imbalance, seed)
             .map_err(|detail| SimError::BuildFailed { detail })
-    });
+    };
+    let results = match faults {
+        None => sim.run_replications(replications, root_seed, jobs, build),
+        Some(plan) => sim.run_replications_with_faults(replications, root_seed, jobs, plan, build),
+    };
     let mut out = String::new();
     writeln!(
         out,
@@ -205,6 +259,12 @@ pub fn run(argv: &[String]) -> Result<(), String> {
     let format = parsed.get("format").unwrap_or("binary").to_string();
     let engine = Engine::parse(parsed.get("engine").unwrap_or("event"))?;
 
+    let program = build_program(&workload, ranks, iterations, imbalance, seed)?;
+    let faults = match parsed.get("faults") {
+        Some(spec) => Some(load_fault_plan(spec, &program, ranks, engine)?),
+        None => None,
+    };
+
     if replications > 1 {
         // Replication sweep: summary statistics only, no tracefile.
         print!(
@@ -216,19 +276,22 @@ pub fn run(argv: &[String]) -> Result<(), String> {
                 imbalance,
                 seed,
                 replications,
-                jobs
+                jobs,
+                faults.as_ref()
             )?
         );
         return Ok(());
     }
 
-    let program = build_program(&workload, ranks, iterations, imbalance, seed)?;
-    let output = simulate_with(&program, ranks, engine)?;
+    let output = simulate_with(&program, ranks, engine, faults.as_ref())?;
     write_trace(&output.trace, &out, &format)?;
     println!(
         "simulated {workload} on {ranks} ranks: makespan {:.4} s, {} messages, {} bytes",
         output.stats.makespan, output.stats.messages, output.stats.bytes
     );
+    if faults.is_some() {
+        println!("{}", describe_faults(&output.faults));
+    }
     println!(
         "trace written to {out} ({format}, {} events)",
         output.trace.events().len()
@@ -284,6 +347,7 @@ mod tests {
             42,
             6,
             1,
+            None,
         )
         .unwrap();
         assert!(reference.contains("6 replications"));
@@ -296,6 +360,7 @@ mod tests {
                 42,
                 6,
                 jobs,
+                None,
             )
             .unwrap();
             assert_eq!(sweep, reference, "jobs={jobs}");
@@ -303,8 +368,20 @@ mod tests {
     }
 
     #[test]
+    fn faulted_sweep_is_byte_identical_across_job_counts() {
+        let plan = FaultPlan::new(3).with_message_loss(0.2, 3, 1e-4, 2.0);
+        let reference =
+            render_sweep("cfd", 4, Some(1), Imbalance::None, 9, 4, 1, Some(&plan)).unwrap();
+        for jobs in [2, 8] {
+            let sweep =
+                render_sweep("cfd", 4, Some(1), Imbalance::None, 9, 4, jobs, Some(&plan)).unwrap();
+            assert_eq!(sweep, reference, "jobs={jobs}");
+        }
+    }
+
+    #[test]
     fn sweep_rejects_unknown_workload() {
-        assert!(render_sweep("nope", 4, None, Imbalance::None, 0, 2, 2).is_err());
+        assert!(render_sweep("nope", 4, None, Imbalance::None, 0, 2, 2, None).is_err());
     }
 
     #[test]
@@ -314,9 +391,44 @@ mod tests {
         assert!(Engine::parse("turbo").is_err());
 
         let p = build_program("cfd", 6, Some(1), Imbalance::LinearSkew { spread: 0.3 }, 7).unwrap();
-        let event = simulate_with(&p, 6, Engine::Event).unwrap();
-        let polling = simulate_with(&p, 6, Engine::Polling).unwrap();
+        let event = simulate_with(&p, 6, Engine::Event, None).unwrap();
+        let polling = simulate_with(&p, 6, Engine::Polling, None).unwrap();
         assert_eq!(event.trace, polling.trace);
+    }
+
+    #[test]
+    fn fault_plans_load_from_toml_and_presets() {
+        let p = build_program("cfd", 4, Some(1), Imbalance::None, 0).unwrap();
+
+        // TOML file path.
+        let path = std::env::temp_dir().join("limba-cli-faults.toml");
+        std::fs::write(&path, "seed = 5\n[[crash]]\nrank = 3\ntime = 0.001\n").unwrap();
+        let plan = load_fault_plan(path.to_str().unwrap(), &p, 4, Engine::Event).unwrap();
+        assert_eq!(plan.crashes.len(), 1);
+        std::fs::remove_file(&path).ok();
+
+        // Preset scaled to the clean run's makespan.
+        let plan = load_fault_plan("preset:straggler", &p, 4, Engine::Event).unwrap();
+        assert_eq!(plan.slowdowns.len(), 1);
+        assert!(load_fault_plan("preset:hurricane", &p, 4, Engine::Event)
+            .unwrap_err()
+            .contains("unknown fault preset"));
+
+        // A plan referencing ranks outside the machine is rejected here.
+        let path = std::env::temp_dir().join("limba-cli-bad-faults.toml");
+        std::fs::write(&path, "[[crash]]\nrank = 9\ntime = 1.0\n").unwrap();
+        assert!(load_fault_plan(path.to_str().unwrap(), &p, 4, Engine::Event).is_err());
+        std::fs::remove_file(&path).ok();
+
+        // Both engines honor the same plan identically.
+        let plan = load_fault_plan("preset:chaos", &p, 4, Engine::Event).unwrap();
+        let event = simulate_with(&p, 4, Engine::Event, Some(&plan)).unwrap();
+        let polling = simulate_with(&p, 4, Engine::Polling, Some(&plan)).unwrap();
+        assert_eq!(event.trace, polling.trace);
+        assert_eq!(event.stats, polling.stats);
+        assert_eq!(event.faults, polling.faults);
+        assert!(!event.faults.is_clean());
+        assert!(describe_faults(&event.faults).contains("crashed"));
     }
 
     #[test]

@@ -23,6 +23,16 @@
 //! The [`Analyzer`] ties the steps into one configurable pipeline
 //! producing a [`Report`].
 //!
+//! The pipeline is agnostic to how its measurement matrix was
+//! produced. Complete traces reduce strictly; truncated ones — a
+//! crashed or interrupted rank under the simulator's fault-injection
+//! layer — are salvaged upstream by `limba_trace::reduce_checked`,
+//! which closes each cut stream at its last event and reports per-rank
+//! coverage. The renderer surfaces that coverage next to the report
+//! (`limba_viz::report::render_with_coverage`), so a flagged rank's
+//! measurements read as lower bounds rather than silently passing for
+//! complete data.
+//!
 //! # Example
 //!
 //! ```

@@ -22,9 +22,10 @@
 use std::collections::VecDeque;
 
 use limba_model::ActivityKind;
-use limba_trace::{Event, ReducedTrace, Trace, TraceBuilder};
+use limba_trace::{Event, ReducedTrace, SalvagedTrace, Trace, TraceBuilder};
 
 use crate::collectives::collective_cost;
+use crate::faults::{FaultPlan, FaultReport, FaultState};
 use crate::{CollectiveKind, MachineConfig, Op, Program, SimError};
 
 /// Maximum number of stuck ranks listed individually in a deadlock
@@ -79,6 +80,8 @@ pub struct SimOutput {
     pub trace: Trace,
     /// Summary statistics.
     pub stats: SimStats,
+    /// What the fault plan did to this run; empty for unfaulted runs.
+    pub faults: FaultReport,
 }
 
 impl SimOutput {
@@ -100,15 +103,24 @@ impl SimOutput {
         Ok(limba_trace::reduce_well_formed(&self.trace)?)
     }
 
-    /// Like [`SimOutput::reduce`], but re-validates the trace first.
-    /// Use when the trace did not come straight out of the simulator
-    /// (e.g. it round-tripped through an untrusted file).
+    /// Like [`SimOutput::reduce`], but re-validates the trace first and
+    /// *salvages* truncated per-rank streams instead of erroring. Use
+    /// when the trace did not come straight out of an unfaulted
+    /// [`Simulator::run`] — it round-tripped through an untrusted file,
+    /// or the run was fault-injected and some ranks crashed mid-region.
+    ///
+    /// The result carries per-rank coverage
+    /// ([`limba_trace::RankCoverage`]) flagging every rank whose stream
+    /// ended with regions still open, so downstream views can mark
+    /// incomplete data instead of silently under-reporting it.
     ///
     /// # Errors
     ///
-    /// Propagates trace validation and reduction errors.
-    pub fn reduce_checked(&self) -> Result<ReducedTrace, SimError> {
-        Ok(limba_trace::reduce(&self.trace)?)
+    /// Returns a structured [`limba_trace::TraceError`] naming the
+    /// offending event index and rank when the trace is corrupt (not
+    /// merely truncated), and propagates reduction errors.
+    pub fn reduce_checked(&self) -> Result<SalvagedTrace, SimError> {
+        Ok(limba_trace::reduce_checked(&self.trace)?)
     }
 }
 
@@ -176,6 +188,9 @@ enum StepOutcome {
     Blocked(BlockedOn),
     /// The rank's program is finished.
     Done,
+    /// The fault plan crashed the rank at this op boundary; it executes
+    /// nothing further and its trace is truncated here.
+    Crashed,
 }
 
 /// The one reusable collective instance. Collective call `k` completes
@@ -279,10 +294,17 @@ struct Exec<'a> {
     /// Dense per-link `(latency, bandwidth)`, `src * n + dst`; only
     /// materialized when the machine has per-link overrides.
     links: Option<Vec<(f64, f64)>>,
+    /// Active fault injection, `None` for unfaulted runs (and for empty
+    /// plans, so the no-fault arithmetic stays bit-exact).
+    faults: Option<FaultState>,
 }
 
 impl<'a> Exec<'a> {
-    fn new(config: &'a MachineConfig, program: &'a Program) -> Result<Self, SimError> {
+    fn new(
+        config: &'a MachineConfig,
+        program: &'a Program,
+        plan: Option<&FaultPlan>,
+    ) -> Result<Self, SimError> {
         config.validate()?;
         let p = config.processors();
         if program.ranks() > p {
@@ -292,6 +314,13 @@ impl<'a> Exec<'a> {
             });
         }
         let n = program.ranks();
+        let faults = match plan {
+            Some(plan) if !plan.is_empty() => {
+                plan.validate(n)?;
+                Some(FaultState::new(plan, n))
+            }
+            _ => None,
+        };
 
         let mut builder = TraceBuilder::new(n);
         builder.reserve_events(program.event_capacity_hint());
@@ -341,6 +370,7 @@ impl<'a> Exec<'a> {
             current: RankSet::new(n),
             next_round: RankSet::new(n),
             links,
+            faults,
         })
     }
 
@@ -357,6 +387,19 @@ impl<'a> Exec<'a> {
             None => self.config.bandwidth(),
         };
         bytes as f64 / bandwidth
+    }
+
+    /// Transfer time, wire latency, and loss/retry delay of the message
+    /// whose transfer starts on `src → dst` at `at`. Fault-adjusted
+    /// when a plan is active (consuming one loss-sequence number), the
+    /// plain link costs otherwise.
+    fn message_costs(&mut self, src: usize, dst: usize, at: f64, bytes: u64) -> (f64, f64, f64) {
+        let transfer = self.link_transfer_time(src, dst, bytes);
+        let latency = self.link_latency(src, dst);
+        match &mut self.faults {
+            None => (transfer, latency, 0.0),
+            Some(fs) => fs.message_costs(src, dst, at, transfer, latency),
+        }
     }
 
     /// Marks `w` runnable and enqueues it. A rank woken by `running`
@@ -446,12 +489,27 @@ impl<'a> Exec<'a> {
         if self.states[rank].pc >= ops.len() {
             return Ok(StepOutcome::Done);
         }
+        // Crash check at the op boundary: a rank whose local clock has
+        // reached its planned crash time executes nothing further. The
+        // clock of a blocked rank is frozen, so the decision is stable
+        // across re-attempts and identical in both engines.
+        if let Some(fs) = &mut self.faults {
+            let now = self.states[rank].time;
+            if fs.should_crash(rank, now) {
+                fs.record_crash(rank, now);
+                return Ok(StepOutcome::Crashed);
+            }
+        }
         let op = ops[self.states[rank].pc];
         let o = self.config.overhead();
         let n = self.n;
         match op {
             Op::Compute { seconds } => {
-                self.states[rank].time += seconds / self.config.cpu_speed(rank);
+                let duration = seconds / self.config.cpu_speed(rank);
+                self.states[rank].time = match &self.faults {
+                    None => self.states[rank].time + duration,
+                    Some(fs) => fs.compute_end(rank, self.states[rank].time, duration),
+                };
                 self.states[rank].pc += 1;
                 Ok(StepOutcome::Ran)
             }
@@ -470,7 +528,9 @@ impl<'a> Exec<'a> {
             Op::Send { dst, bytes } => {
                 if bytes <= self.config.eager_threshold() {
                     let begin = self.states[rank].time;
-                    let end = begin + o + self.link_transfer_time(rank, dst, bytes);
+                    let (transfer, latency, loss_delay) =
+                        self.message_costs(rank, dst, begin, bytes);
+                    let end = begin + o + transfer;
                     self.builder.push(Event::begin_activity(
                         begin,
                         rank as u32,
@@ -483,7 +543,9 @@ impl<'a> Exec<'a> {
                         rank as u32,
                         ActivityKind::PointToPoint,
                     ));
-                    let arrival = end + self.link_latency(rank, dst);
+                    // Lost transmissions retry in the transport after the
+                    // local injection, delaying only the arrival.
+                    let arrival = end + latency + loss_delay;
                     self.push_msg(rank, dst, MsgInFlight::Eager { arrival, bytes }, rank);
                     self.states[rank].time = end;
                     self.states[rank].pc += 1;
@@ -537,8 +599,13 @@ impl<'a> Exec<'a> {
                     } => {
                         self.channel_mut(ch).pop_front();
                         let sync = posted.max(sender_ready);
-                        let sender_done = sync + o + self.link_transfer_time(src, rank, bytes);
-                        let recv_done = sender_done + self.link_latency(src, rank);
+                        // A rendezvous sender is blocked until the
+                        // transfer is acknowledged, so retry timeouts
+                        // delay its completion too.
+                        let (transfer, latency, loss_delay) =
+                            self.message_costs(src, rank, sync, bytes);
+                        let sender_done = sync + o + transfer + loss_delay;
+                        let recv_done = sender_done + latency;
                         // Complete the blocked sender's side.
                         self.builder.push(Event::begin_activity(
                             sender_ready,
@@ -590,8 +657,9 @@ impl<'a> Exec<'a> {
                 // Buffered nonblocking send: the NIC takes over; the
                 // local buffer frees after the injection completes.
                 let begin = self.states[rank].time;
+                let (transfer, latency, loss_delay) = self.message_costs(rank, dst, begin, bytes);
                 let issue = begin + o;
-                let buffer_free = issue + self.link_transfer_time(rank, dst, bytes);
+                let buffer_free = issue + transfer;
                 self.builder.push(Event::begin_activity(
                     begin,
                     rank as u32,
@@ -604,7 +672,7 @@ impl<'a> Exec<'a> {
                     rank as u32,
                     ActivityKind::PointToPoint,
                 ));
-                let arrival = buffer_free + self.link_latency(rank, dst);
+                let arrival = buffer_free + latency + loss_delay;
                 self.push_msg(rank, dst, MsgInFlight::Eager { arrival, bytes }, rank);
                 self.states[rank]
                     .handles
@@ -700,9 +768,10 @@ impl<'a> Exec<'a> {
                                 // the rendezvous can start as soon as both
                                 // sides are ready.
                                 let sync = posted.max(sender_ready);
-                                let sender_done =
-                                    sync + o + self.link_transfer_time(src, rank, bytes);
-                                let recv_done = sender_done + self.link_latency(src, rank);
+                                let (transfer, latency, loss_delay) =
+                                    self.message_costs(src, rank, sync, bytes);
+                                let sender_done = sync + o + transfer + loss_delay;
+                                let recv_done = sender_done + latency;
                                 self.builder.push(Event::begin_activity(
                                     sender_ready,
                                     src as u32,
@@ -829,7 +898,10 @@ impl<'a> Exec<'a> {
     /// blocks or finishes; completions enqueue exactly the ranks they
     /// unblocked (same round when still ahead of the scan, next round
     /// otherwise). Deadlock is the state where work remains but both
-    /// queues are empty — nothing can ever wake again.
+    /// queues are empty — nothing can ever wake again — unless a fault
+    /// plan crashed a rank, in which case the quiescent state is an
+    /// *interrupted* run: the survivors were waiting on the dead rank,
+    /// and their truncated traces are returned for salvage instead.
     fn run_event(&mut self) -> Result<(), SimError> {
         let mut remaining = 0usize;
         for rank in 0..self.n {
@@ -841,6 +913,9 @@ impl<'a> Exec<'a> {
         while remaining > 0 {
             if self.current.is_empty() {
                 if self.next_round.is_empty() {
+                    if self.faults.as_ref().is_some_and(|f| f.any_crashed()) {
+                        return Ok(());
+                    }
                     return Err(SimError::Deadlock {
                         detail: self.deadlock_detail(),
                     });
@@ -852,6 +927,9 @@ impl<'a> Exec<'a> {
             let mut cursor = 0usize;
             while let Some(rank) = self.current.pop_at_or_after(cursor) {
                 cursor = rank;
+                if self.faults.as_ref().is_some_and(|f| f.has_crashed(rank)) {
+                    continue;
+                }
                 loop {
                     match self.try_op(rank)? {
                         StepOutcome::Ran => {}
@@ -860,6 +938,10 @@ impl<'a> Exec<'a> {
                             break;
                         }
                         StepOutcome::Done => {
+                            remaining -= 1;
+                            break;
+                        }
+                        StepOutcome::Crashed => {
                             remaining -= 1;
                             break;
                         }
@@ -875,9 +957,16 @@ impl<'a> Exec<'a> {
             self.stats.rank_end_times[rank] = s.time;
             self.stats.makespan = self.stats.makespan.max(s.time);
         }
+        let faults = match &self.faults {
+            Some(fs) => {
+                fs.report((0..self.n).filter(|&r| self.states[r].pc < self.program.ops(r).len()))
+            }
+            None => FaultReport::default(),
+        };
         SimOutput {
             trace: self.builder.build(),
             stats: self.stats,
+            faults,
         }
     }
 }
@@ -908,7 +997,32 @@ impl Simulator {
     /// references more ranks than the machine has, or the ranks deadlock
     /// (e.g. a receive whose matching send never happens).
     pub fn run(&self, program: &Program) -> Result<SimOutput, SimError> {
-        let mut exec = Exec::new(&self.config, program)?;
+        let mut exec = Exec::new(&self.config, program, None)?;
+        exec.run_event()?;
+        Ok(exec.finish())
+    }
+
+    /// Runs `program` under a deterministic fault plan (see
+    /// [`FaultPlan`]): slowdown windows, link degradation, message loss
+    /// with retries, and rank crashes. Crashed and interrupted ranks
+    /// end the run with truncated traces and are listed in
+    /// [`SimOutput::faults`]; reduce such outputs with
+    /// [`SimOutput::reduce_checked`], which salvages partial streams.
+    ///
+    /// An empty plan is bit-identical to [`Simulator::run`].
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Simulator::run`], plus
+    /// [`SimError::InvalidFaultPlan`] for plans that fail
+    /// [`FaultPlan::validate`]. A quiescent state with at least one
+    /// crashed rank is an interrupted run, not a deadlock error.
+    pub fn run_with_faults(
+        &self,
+        program: &Program,
+        plan: &FaultPlan,
+    ) -> Result<SimOutput, SimError> {
+        let mut exec = Exec::new(&self.config, program, Some(plan))?;
         exec.run_event()?;
         Ok(exec.finish())
     }
@@ -925,7 +1039,23 @@ impl Simulator {
     ///
     /// Same conditions as [`Simulator::run`].
     pub fn run_polling(&self, program: &Program) -> Result<SimOutput, SimError> {
-        crate::polling::run(&self.config, program)
+        crate::polling::run(&self.config, program, None)
+    }
+
+    /// Runs `program` under a fault plan with the polling reference
+    /// engine. Bit-identical to [`Simulator::run_with_faults`] in
+    /// trace, statistics, diagnostics, and fault report — fault
+    /// injection is a first-class axis of the differential harness.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Simulator::run_with_faults`].
+    pub fn run_polling_with_faults(
+        &self,
+        program: &Program,
+        plan: &FaultPlan,
+    ) -> Result<SimOutput, SimError> {
+        crate::polling::run(&self.config, program, Some(plan))
     }
 }
 

@@ -47,6 +47,13 @@ pub enum SimError {
         /// Description of the disagreement.
         detail: String,
     },
+    /// A fault plan was malformed or referenced ranks outside the
+    /// machine (see [`FaultPlan::validate`](crate::FaultPlan::validate)
+    /// and [`FaultPlan::parse_toml`](crate::FaultPlan::parse_toml)).
+    InvalidFaultPlan {
+        /// What was wrong.
+        detail: String,
+    },
     /// No rank could make progress but the program is not finished.
     Deadlock {
         /// Human-readable state of every stuck rank.
@@ -88,6 +95,9 @@ impl fmt::Display for SimError {
                     f,
                     "collective call #{instance} mismatched across ranks: {detail}"
                 )
+            }
+            SimError::InvalidFaultPlan { detail } => {
+                write!(f, "invalid fault plan: {detail}")
             }
             SimError::Deadlock { detail } => write!(f, "deadlock: {detail}"),
             SimError::BuildFailed { detail } => {

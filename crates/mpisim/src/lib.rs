@@ -52,6 +52,7 @@ mod collectives;
 mod config;
 mod engine;
 mod error;
+pub mod faults;
 mod ops;
 pub(crate) mod polling;
 mod replicate;
@@ -60,5 +61,6 @@ pub use collectives::{collective_cost, CollectiveAlgorithm, CollectiveKind};
 pub use config::MachineConfig;
 pub use engine::{SimOutput, SimStats, Simulator};
 pub use error::SimError;
+pub use faults::{Crash, FaultPlan, FaultReport, LinkFault, MessageLoss, SlowdownWindow};
 pub use ops::{Op, Program, ProgramBuilder, RankOps};
 pub use replicate::Replication;

@@ -7,9 +7,13 @@
 //! unreserved trace buffer, and an O(rounds × n) scan that re-attempts
 //! every rank each round — kept byte-for-byte where possible so the
 //! bench runner's event-vs-polling comparison measures the rewrite, not
-//! a strawman. The only functional change is the deadlock report, which
+//! a strawman. The functional changes are the deadlock report, which
 //! routes through the same capped formatter as the event engine so the
-//! two produce identical diagnostics.
+//! two produce identical diagnostics, and fault injection (see
+//! [`crate::faults`]), which hooks the same op boundaries and cost
+//! computations as the event engine so both honor a [`FaultPlan`]
+//! bit-identically — faults are a first-class differential-testing
+//! axis, not an event-engine-only feature.
 
 use std::collections::{HashMap, VecDeque};
 
@@ -18,6 +22,7 @@ use limba_trace::{Event, TraceBuilder};
 
 use crate::collectives::collective_cost;
 use crate::engine::{format_deadlock_detail, SimOutput, SimStats};
+use crate::faults::{FaultPlan, FaultReport, FaultState};
 use crate::{CollectiveKind, MachineConfig, Op, Program, SimError};
 
 /// In-flight message on one `(src, dst)` channel.
@@ -66,18 +71,34 @@ struct CollectiveInstance {
     arrived: usize,
 }
 
-/// Runs `program` on `config` with the original polling engine.
-pub(crate) fn run(config: &MachineConfig, program: &Program) -> Result<SimOutput, SimError> {
-    Polling { config }.run(program)
+/// Runs `program` on `config` with the original polling engine,
+/// optionally under a fault plan.
+pub(crate) fn run(
+    config: &MachineConfig,
+    program: &Program,
+    plan: Option<&FaultPlan>,
+) -> Result<SimOutput, SimError> {
+    Polling {
+        config,
+        faults: None,
+    }
+    .run(program, plan)
 }
 
 struct Polling<'a> {
     config: &'a MachineConfig,
+    faults: Option<FaultState>,
 }
 
 impl Polling<'_> {
-    /// The original scheduling loop, verbatim.
-    pub fn run(&self, program: &Program) -> Result<SimOutput, SimError> {
+    /// The original scheduling loop, verbatim apart from the fault
+    /// hooks (crash checks, quiescence-with-crash handling, and the
+    /// fault report on the output).
+    pub fn run(
+        &mut self,
+        program: &Program,
+        plan: Option<&FaultPlan>,
+    ) -> Result<SimOutput, SimError> {
         self.config.validate()?;
         let p = self.config.processors();
         if program.ranks() > p {
@@ -87,6 +108,13 @@ impl Polling<'_> {
             });
         }
         let n = program.ranks();
+        self.faults = match plan {
+            Some(plan) if !plan.is_empty() => {
+                plan.validate(n)?;
+                Some(FaultState::new(plan, n))
+            }
+            _ => None,
+        };
 
         let mut builder = TraceBuilder::new(n);
         for name in program.region_names() {
@@ -127,6 +155,12 @@ impl Polling<'_> {
                 break;
             }
             if !progress {
+                // Quiescence with a crashed rank is an interrupted run
+                // (survivors were waiting on the dead rank), not a
+                // deadlock — mirror the event engine exactly.
+                if self.faults.as_ref().is_some_and(|f| f.any_crashed()) {
+                    break;
+                }
                 let detail = format_deadlock_detail(
                     program,
                     states
@@ -143,17 +177,36 @@ impl Polling<'_> {
             stats.rank_end_times[rank] = s.time;
             stats.makespan = stats.makespan.max(s.time);
         }
+        let faults = match &self.faults {
+            Some(fs) => fs.report((0..n).filter(|&r| states[r].pc < program.ops(r).len())),
+            None => FaultReport::default(),
+        };
         Ok(SimOutput {
             trace: builder.build(),
             stats,
+            faults,
         })
     }
 
+    /// Message transfer/latency/loss-delay for `src → dst` bytes with
+    /// the transfer starting at `at` — the same hook the event engine
+    /// uses, so fault decisions consume sequence numbers in the same
+    /// channel-FIFO order on both engines.
+    fn message_costs(&mut self, src: usize, dst: usize, at: f64, bytes: u64) -> (f64, f64, f64) {
+        let transfer = self.config.link_transfer_time(src, dst, bytes);
+        let latency = self.config.link_latency(src, dst);
+        match &mut self.faults {
+            None => (transfer, latency, 0.0),
+            Some(fs) => fs.message_costs(src, dst, at, transfer, latency),
+        }
+    }
+
     /// Executes at most one op of `rank`. Returns `true` when progress was
-    /// made (the op completed), `false` when the rank is blocked or done.
+    /// made (the op completed), `false` when the rank is blocked, done, or
+    /// crashed.
     #[allow(clippy::too_many_arguments)]
     fn step(
-        &self,
+        &mut self,
         rank: usize,
         program: &Program,
         states: &mut [RankState],
@@ -166,11 +219,28 @@ impl Polling<'_> {
         if states[rank].pc >= ops.len() {
             return Ok(false);
         }
+        // Crash check at the op boundary — same placement as the event
+        // engine's `try_op`. A blocked rank's clock is frozen, so the
+        // decision is stable across the polling re-attempts.
+        if let Some(fs) = &mut self.faults {
+            if fs.has_crashed(rank) {
+                return Ok(false);
+            }
+            let now = states[rank].time;
+            if fs.should_crash(rank, now) {
+                fs.record_crash(rank, now);
+                return Ok(false);
+            }
+        }
         let op = ops[states[rank].pc];
         let o = self.config.overhead();
         match op {
             Op::Compute { seconds } => {
-                states[rank].time += seconds / self.config.cpu_speed(rank);
+                let duration = seconds / self.config.cpu_speed(rank);
+                states[rank].time = match &self.faults {
+                    None => states[rank].time + duration,
+                    Some(fs) => fs.compute_end(rank, states[rank].time, duration),
+                };
                 states[rank].pc += 1;
                 Ok(true)
             }
@@ -187,7 +257,9 @@ impl Polling<'_> {
             Op::Send { dst, bytes } => {
                 if bytes <= self.config.eager_threshold() {
                     let begin = states[rank].time;
-                    let end = begin + o + self.config.link_transfer_time(rank, dst, bytes);
+                    let (transfer, latency, loss_delay) =
+                        self.message_costs(rank, dst, begin, bytes);
+                    let end = begin + o + transfer;
                     builder.push(Event::begin_activity(
                         begin,
                         rank as u32,
@@ -203,7 +275,7 @@ impl Polling<'_> {
                         .entry((rank, dst))
                         .or_default()
                         .push_back(MsgInFlight::Eager {
-                            arrival: end + self.config.link_latency(rank, dst),
+                            arrival: end + latency + loss_delay,
                             bytes,
                         });
                     states[rank].time = end;
@@ -259,9 +331,10 @@ impl Polling<'_> {
                     } => {
                         queue.pop_front();
                         let sync = posted.max(sender_ready);
-                        let sender_done =
-                            sync + o + self.config.link_transfer_time(src, rank, bytes);
-                        let recv_done = sender_done + self.config.link_latency(src, rank);
+                        let (transfer, latency, loss_delay) =
+                            self.message_costs(src, rank, sync, bytes);
+                        let sender_done = sync + o + transfer + loss_delay;
+                        let recv_done = sender_done + latency;
                         // Complete the blocked sender's side.
                         builder.push(Event::begin_activity(
                             sender_ready,
@@ -312,8 +385,9 @@ impl Polling<'_> {
                 // Buffered nonblocking send: the NIC takes over; the
                 // local buffer frees after the injection completes.
                 let begin = states[rank].time;
+                let (transfer, latency, loss_delay) = self.message_costs(rank, dst, begin, bytes);
                 let issue = begin + o;
-                let buffer_free = issue + self.config.link_transfer_time(rank, dst, bytes);
+                let buffer_free = issue + transfer;
                 builder.push(Event::begin_activity(
                     begin,
                     rank as u32,
@@ -329,7 +403,7 @@ impl Polling<'_> {
                     .entry((rank, dst))
                     .or_default()
                     .push_back(MsgInFlight::Eager {
-                        arrival: buffer_free + self.config.link_latency(rank, dst),
+                        arrival: buffer_free + latency + loss_delay,
                         bytes,
                     });
                 states[rank]
@@ -430,9 +504,10 @@ impl Polling<'_> {
                                 // the rendezvous can start as soon as both
                                 // sides are ready.
                                 let sync = posted.max(sender_ready);
-                                let sender_done =
-                                    sync + o + self.config.link_transfer_time(src, rank, bytes);
-                                let recv_done = sender_done + self.config.link_latency(src, rank);
+                                let (transfer, latency, loss_delay) =
+                                    self.message_costs(src, rank, sync, bytes);
+                                let sender_done = sync + o + transfer + loss_delay;
+                                let recv_done = sender_done + latency;
                                 builder.push(Event::begin_activity(
                                     sender_ready,
                                     src as u32,

@@ -20,6 +20,7 @@
 
 use crate::engine::{SimOutput, Simulator};
 use crate::error::SimError;
+use crate::faults::FaultPlan;
 use crate::ops::Program;
 
 /// One completed replication of a sweep.
@@ -63,6 +64,46 @@ impl Simulator {
             let seed = limba_par::derive_seed(root_seed, index as u64);
             let program = build(index, seed)?;
             let output = self.run(&program)?;
+            Ok(Replication {
+                index,
+                seed,
+                output,
+            })
+        })
+    }
+
+    /// Like [`Simulator::run_replications`], with every replication
+    /// perturbed by `plan`. Replication `i` runs under
+    /// `plan.with_seed(derive_seed(plan.seed, i))` — the deterministic
+    /// faults (slowdowns, link windows, crashes) are identical across
+    /// the sweep while the message-loss pattern varies independently
+    /// per replication, and the whole sweep reproduces from the plan's
+    /// single root seed at any thread count.
+    ///
+    /// # Errors
+    ///
+    /// Same isolation as [`Simulator::run_replications`]; an invalid
+    /// plan fails every replication with
+    /// [`SimError::InvalidFaultPlan`].
+    pub fn run_replications_with_faults<F>(
+        &self,
+        replications: usize,
+        root_seed: u64,
+        jobs: usize,
+        plan: &FaultPlan,
+        build: F,
+    ) -> Vec<Result<Replication, SimError>>
+    where
+        F: Fn(usize, u64) -> Result<Program, SimError> + Sync,
+    {
+        let indices: Vec<usize> = (0..replications).collect();
+        limba_par::par_map(jobs, &indices, |_, &index| {
+            let seed = limba_par::derive_seed(root_seed, index as u64);
+            let program = build(index, seed)?;
+            let rep_plan = plan
+                .clone()
+                .with_seed(limba_par::derive_seed(plan.seed, index as u64));
+            let output = self.run_with_faults(&program, &rep_plan)?;
             Ok(Replication {
                 index,
                 seed,
@@ -141,6 +182,48 @@ mod tests {
                 assert!(matches!(r, Err(SimError::BuildFailed { .. })));
             } else {
                 assert!(r.is_ok(), "replication {i} failed");
+            }
+        }
+    }
+
+    #[test]
+    fn faulted_sweep_is_identical_across_thread_counts() {
+        // A ring exchange so message-loss faults actually fire.
+        fn ring_program(ranks: usize, seed: u64) -> Result<Program, SimError> {
+            let mut pb = ProgramBuilder::new(ranks);
+            let step = pb.add_region("step");
+            for rank in 0..ranks {
+                let work = 0.5 + ((seed >> (rank % 8)) & 0xFF) as f64 / 512.0;
+                pb.rank(rank)
+                    .enter(step)
+                    .isend((rank + 1) % ranks, 256, 1)
+                    .irecv((rank + ranks - 1) % ranks, 2)
+                    .compute(work)
+                    .wait(1)
+                    .wait(2)
+                    .barrier()
+                    .leave(step);
+            }
+            pb.build()
+        }
+        let sim = Simulator::new(MachineConfig::new(4));
+        let plan = crate::FaultPlan::new(13)
+            .with_slowdown(1, 0.0, 0.4, 3.0)
+            .with_message_loss(0.4, 3, 1e-3, 2.0);
+        let reference =
+            sim.run_replications_with_faults(8, 42, 1, &plan, |_, seed| ring_program(4, seed));
+        let reports: Vec<_> = reference
+            .iter()
+            .map(|r| r.as_ref().unwrap().output.faults.clone())
+            .collect();
+        // Loss fired somewhere in the sweep and varies by replication seed.
+        assert!(reports.iter().any(|f| f.retried_messages > 0));
+        for jobs in [2, 8] {
+            let sweep = sim
+                .run_replications_with_faults(8, 42, jobs, &plan, |_, seed| ring_program(4, seed));
+            assert_eq!(makespans(&sweep), makespans(&reference), "jobs={jobs}");
+            for (r, want) in sweep.iter().zip(&reports) {
+                assert_eq!(&r.as_ref().unwrap().output.faults, want, "jobs={jobs}");
             }
         }
     }

@@ -39,6 +39,19 @@ pub enum TraceError {
         /// Description of the decoding failure.
         detail: String,
     },
+    /// One event made the stream structurally unsalvageable — unlike
+    /// truncation damage (open regions or activities at end of stream),
+    /// which [`reduce_checked`](crate::reduce_checked) repairs. Names
+    /// the offending event by its recording-order index and processor.
+    MalformedEvent {
+        /// Processor whose stream is corrupt.
+        proc: u32,
+        /// Index of the offending event in recording order
+        /// ([`Trace::events`](crate::Trace::events)).
+        index: usize,
+        /// Description of the structural violation.
+        detail: String,
+    },
     /// An underlying I/O failure.
     Io(std::io::Error),
     /// Reduction produced an invalid measurement matrix.
@@ -62,6 +75,11 @@ impl fmt::Display for TraceError {
             TraceError::UnknownRegion { region } => write!(f, "unknown region index {region}"),
             TraceError::UnknownProcessor { proc } => write!(f, "unknown processor index {proc}"),
             TraceError::Malformed { detail } => write!(f, "malformed trace: {detail}"),
+            TraceError::MalformedEvent {
+                proc,
+                index,
+                detail,
+            } => write!(f, "malformed event #{index} on processor {proc}: {detail}"),
             TraceError::Io(e) => write!(f, "trace i/o failed: {e}"),
             TraceError::Model(e) => write!(f, "trace reduction produced invalid data: {e}"),
         }

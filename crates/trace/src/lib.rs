@@ -52,10 +52,12 @@ pub mod text;
 mod event;
 mod hierarchy;
 mod reduce;
+mod salvage;
 
 pub use event::{Event, EventPayload, Trace, TraceBuilder};
 pub use hierarchy::region_parents;
 pub use reduce::{reduce, reduce_well_formed, reduce_windows, ReducedTrace};
+pub use salvage::{reduce_checked, RankCoverage, SalvagedTrace};
 
 mod error;
 pub use error::TraceError;

@@ -19,7 +19,7 @@ pub struct ReducedTrace {
 
 /// One attributed event from the per-processor walk: either a time
 /// interval spent in an activity of a region, or a message count.
-enum Attribution {
+pub(crate) enum Attribution {
     Interval {
         region: usize,
         kind: ActivityKind,
@@ -124,7 +124,7 @@ fn walk_processor<F: FnMut(Attribution)>(events: &[Event], mut sink: F) {
 
 /// The activity set of a trace: the paper's standard four plus whatever
 /// else the trace actually used, in canonical order.
-fn trace_activities(trace: &Trace) -> ActivitySet {
+pub(crate) fn trace_activities(trace: &Trace) -> ActivitySet {
     let mut kinds: Vec<ActivityKind> = STANDARD_ACTIVITIES.to_vec();
     for e in trace.events() {
         if let EventPayload::BeginActivity { kind } = e.payload {

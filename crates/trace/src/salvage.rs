@@ -1,0 +1,509 @@
+//! Graceful reduction of partial traces.
+//!
+//! A crashed or interrupted rank (see `limba-mpisim`'s fault injection)
+//! leaves a *truncated* event stream: a well-formed prefix whose regions
+//! and activities may still be open when the recording stops. The strict
+//! [`reduce`](crate::reduce) path rejects such traces outright;
+//! [`reduce_checked`] instead distinguishes truncation damage — which it
+//! repairs by closing whatever is open at the rank's last recorded
+//! timestamp — from genuine corruption, which it reports as a structured
+//! [`TraceError::MalformedEvent`] naming the offending event's
+//! recording-order index and processor.
+//!
+//! The result is a [`SalvagedTrace`]: the ordinary [`ReducedTrace`] plus
+//! per-rank [`RankCoverage`] records, so downstream imbalance views can
+//! flag the ranks whose measurements are incomplete instead of silently
+//! comparing full columns against truncated ones.
+
+use limba_model::{ActivityKind, CountMatrixBuilder, MeasurementsBuilder, RegionId};
+
+use crate::reduce::{trace_activities, Attribution, ReducedTrace};
+use crate::{Event, EventPayload, Trace, TraceError};
+
+/// How much of one processor's stream survived into the reduction.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RankCoverage {
+    /// The processor this record describes.
+    pub proc: u32,
+    /// Number of events the processor recorded.
+    pub events: usize,
+    /// `true` when the stream ended cleanly (no open regions or
+    /// activities) — the rank's measurements are trustworthy.
+    pub complete: bool,
+    /// Regions still open when the stream ended (truncation depth).
+    pub open_regions: usize,
+    /// `true` when an activity was still open at the end of the stream.
+    pub open_activity: bool,
+    /// Timestamp of the processor's last event (`0.0` when it recorded
+    /// none) — for a truncated rank, how far its data reaches.
+    pub last_time: f64,
+}
+
+/// A reduction annotated with per-rank coverage: the output of
+/// [`reduce_checked`].
+#[derive(Debug, Clone)]
+pub struct SalvagedTrace {
+    /// The measurement and count matrices, with truncated ranks closed
+    /// out at their last recorded timestamp.
+    pub reduced: ReducedTrace,
+    /// One coverage record per processor, ascending.
+    pub coverage: Vec<RankCoverage>,
+}
+
+impl SalvagedTrace {
+    /// `true` when every rank's stream ended cleanly — the reduction is
+    /// identical to what strict [`reduce`](crate::reduce) produces.
+    pub fn is_complete(&self) -> bool {
+        self.coverage.iter().all(|c| c.complete)
+    }
+
+    /// Ranks whose streams were truncated, ascending.
+    pub fn incomplete_ranks(&self) -> Vec<u32> {
+        self.coverage
+            .iter()
+            .filter(|c| !c.complete)
+            .map(|c| c.proc)
+            .collect()
+    }
+}
+
+/// Reduces a possibly-truncated trace, salvaging what validates as a
+/// well-formed prefix and annotating every rank with its coverage.
+///
+/// Truncation damage — regions or activities still open when a rank's
+/// stream ends — is repaired by attributing the open spans up to the
+/// rank's last recorded timestamp and flagging the rank as incomplete.
+/// Attribution otherwise follows [`reduce`](crate::reduce) exactly, and
+/// on a fully well-formed trace the reduction is identical to the strict
+/// path with every rank marked complete.
+///
+/// # Errors
+///
+/// Returns [`TraceError::MalformedEvent`] — naming the offending event's
+/// recording-order index and processor — for damage no truncation can
+/// explain: out-of-range processor or region indices, region leaves that
+/// do not match the innermost open region, activity begins outside any
+/// region or inside another activity, and activity ends that never
+/// began. Model errors surface as [`TraceError::Model`].
+pub fn reduce_checked(trace: &Trace) -> Result<SalvagedTrace, TraceError> {
+    // Partition per processor, carrying recording-order indices so
+    // errors can name the offending event. Mirrors
+    // `Trace::events_partitioned` (stable time sort) but reports
+    // out-of-range processors instead of dropping them.
+    let mut parts: Vec<Vec<(usize, Event)>> = vec![Vec::new(); trace.processors()];
+    for (index, e) in trace.events().iter().enumerate() {
+        match parts.get_mut(e.proc as usize) {
+            Some(bucket) => bucket.push((index, *e)),
+            None => {
+                return Err(TraceError::MalformedEvent {
+                    proc: e.proc,
+                    index,
+                    detail: format!(
+                        "references processor {}, trace has {}",
+                        e.proc,
+                        trace.processors()
+                    ),
+                })
+            }
+        }
+    }
+    for bucket in &mut parts {
+        bucket.sort_by(|a, b| a.1.time.total_cmp(&b.1.time));
+    }
+
+    let mut mb = MeasurementsBuilder::with_activities(trace.processors(), trace_activities(trace));
+    for name in trace.region_names() {
+        mb.add_region(name.clone());
+    }
+    let mut cb = CountMatrixBuilder::new(trace.processors());
+    let mut coverage = Vec::with_capacity(trace.processors());
+    for (proc, events) in (0u32..).zip(&parts) {
+        let mut failure: Option<TraceError> = None;
+        let cov = walk_salvage(proc, events, trace.region_names().len(), |attribution| {
+            if failure.is_some() {
+                return;
+            }
+            let result = match attribution {
+                Attribution::Interval {
+                    region,
+                    kind,
+                    start,
+                    end,
+                } => mb.record(RegionId::new(region), kind, proc as usize, end - start),
+                Attribution::Count {
+                    region,
+                    kind,
+                    amount,
+                    ..
+                } => cb
+                    .record(RegionId::new(region), kind, proc as usize, amount)
+                    .and(Ok(())),
+            };
+            if let Err(e) = result {
+                failure = Some(e.into());
+            }
+        })?;
+        if let Some(e) = failure {
+            return Err(e);
+        }
+        coverage.push(cov);
+    }
+    Ok(SalvagedTrace {
+        reduced: ReducedTrace {
+            measurements: mb.build()?,
+            counts: cb.build(),
+        },
+        coverage,
+    })
+}
+
+/// The lenient counterpart of `reduce`'s per-processor walk: identical
+/// attribution on well-formed streams, structured errors where the
+/// strict walk would have been shielded by validation, and synthesized
+/// closings (at the last recorded timestamp) where the stream is merely
+/// truncated.
+fn walk_salvage<F: FnMut(Attribution)>(
+    proc: u32,
+    events: &[(usize, Event)],
+    regions: usize,
+    mut sink: F,
+) -> Result<RankCoverage, TraceError> {
+    let malformed = |index: usize, detail: String| TraceError::MalformedEvent {
+        proc,
+        index,
+        detail,
+    };
+    let check_region = |index: usize, verb: &str, region: usize| {
+        if region >= regions {
+            Err(malformed(
+                index,
+                format!("{verb} unknown region {region}, trace declares {regions}"),
+            ))
+        } else {
+            Ok(())
+        }
+    };
+    let mut stack: Vec<usize> = Vec::new();
+    // Open activity: kind, start time, and the innermost region at its
+    // begin — the fallback attribution target when the region closes
+    // before the activity does.
+    let mut current: Option<(ActivityKind, f64, usize)> = None;
+    let mut mark = 0.0f64;
+    let mut last_time = 0.0f64;
+    for &(index, e) in events {
+        last_time = e.time;
+        match e.payload {
+            EventPayload::EnterRegion { region } => {
+                check_region(index, "enters", region)?;
+                if let Some(&top) = stack.last() {
+                    sink(Attribution::Interval {
+                        region: top,
+                        kind: ActivityKind::Computation,
+                        start: mark,
+                        end: e.time,
+                    });
+                }
+                stack.push(region);
+                mark = e.time;
+            }
+            EventPayload::LeaveRegion { region } => {
+                check_region(index, "leaves", region)?;
+                match stack.last() {
+                    Some(&top) if top == region => {}
+                    Some(&top) => {
+                        return Err(malformed(
+                            index,
+                            format!("leaves region {region} while region {top} is innermost"),
+                        ))
+                    }
+                    None => {
+                        return Err(malformed(
+                            index,
+                            format!("leaves region {region} that was never entered"),
+                        ))
+                    }
+                }
+                sink(Attribution::Interval {
+                    region,
+                    kind: ActivityKind::Computation,
+                    start: mark,
+                    end: e.time,
+                });
+                stack.pop();
+                mark = e.time;
+            }
+            EventPayload::BeginActivity { kind } => {
+                if let Some((open, _, _)) = current {
+                    return Err(malformed(
+                        index,
+                        format!("begins {kind} while {open} is still open"),
+                    ));
+                }
+                let Some(&top) = stack.last() else {
+                    return Err(malformed(
+                        index,
+                        format!("begins {kind} outside any region"),
+                    ));
+                };
+                sink(Attribution::Interval {
+                    region: top,
+                    kind: ActivityKind::Computation,
+                    start: mark,
+                    end: e.time,
+                });
+                current = Some((kind, e.time, top));
+            }
+            EventPayload::EndActivity { kind } => {
+                let Some((open, start, begun_in)) = current.take() else {
+                    return Err(malformed(index, format!("ends {kind} that never began")));
+                };
+                // Strict reduction attributes the interval to the
+                // innermost region at end time; keep that, falling back
+                // to the begin-time region when the stream left no
+                // region open (valid but previously panicked reduce).
+                let region = stack.last().copied().unwrap_or(begun_in);
+                sink(Attribution::Interval {
+                    region,
+                    kind: open,
+                    start,
+                    end: e.time,
+                });
+                mark = e.time;
+            }
+            EventPayload::MessageSend { bytes, .. } => {
+                if let Some(&top) = stack.last() {
+                    sink(Attribution::Count {
+                        region: top,
+                        kind: limba_model::CountKind::MessagesSent,
+                        amount: 1.0,
+                        at: e.time,
+                    });
+                    sink(Attribution::Count {
+                        region: top,
+                        kind: limba_model::CountKind::BytesSent,
+                        amount: bytes as f64,
+                        at: e.time,
+                    });
+                }
+            }
+            EventPayload::MessageRecv { bytes, .. } => {
+                if let Some(&top) = stack.last() {
+                    sink(Attribution::Count {
+                        region: top,
+                        kind: limba_model::CountKind::MessagesReceived,
+                        amount: 1.0,
+                        at: e.time,
+                    });
+                    sink(Attribution::Count {
+                        region: top,
+                        kind: limba_model::CountKind::BytesReceived,
+                        amount: bytes as f64,
+                        at: e.time,
+                    });
+                }
+            }
+        }
+    }
+    let open_activity = current.is_some();
+    let open_regions = stack.len();
+    // Truncation salvage: close whatever the stream left open at the
+    // last recorded timestamp, as if the missing end/leave events had
+    // fired there. Partial spans are attributed, not discarded.
+    if let Some((kind, start, begun_in)) = current.take() {
+        let region = stack.last().copied().unwrap_or(begun_in);
+        sink(Attribution::Interval {
+            region,
+            kind,
+            start,
+            end: last_time,
+        });
+        mark = last_time;
+    }
+    while let Some(region) = stack.pop() {
+        sink(Attribution::Interval {
+            region,
+            kind: ActivityKind::Computation,
+            start: mark,
+            end: last_time,
+        });
+        mark = last_time;
+    }
+    Ok(RankCoverage {
+        proc,
+        events: events.len(),
+        complete: open_regions == 0 && !open_activity,
+        open_regions,
+        open_activity,
+        last_time,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{reduce, TraceBuilder};
+    use limba_model::{CountKind, ProcessorId};
+
+    #[test]
+    fn complete_trace_matches_strict_reduction() {
+        let mut b = TraceBuilder::new(2);
+        let r = b.add_region("r");
+        for p in 0..2u32 {
+            b.push(Event::enter(0.0, p, r));
+            b.push(Event::begin_activity(1.0, p, ActivityKind::PointToPoint));
+            b.push(Event::message_send(1.2, p, 1 - p, 64));
+            b.push(Event::end_activity(
+                1.5 + p as f64,
+                p,
+                ActivityKind::PointToPoint,
+            ));
+            b.push(Event::leave(3.0, p, r));
+        }
+        let trace = b.build();
+        let strict = reduce(&trace).unwrap();
+        let salvaged = reduce_checked(&trace).unwrap();
+        assert!(salvaged.is_complete());
+        assert!(salvaged.incomplete_ranks().is_empty());
+        assert_eq!(salvaged.reduced.measurements, strict.measurements);
+        assert_eq!(salvaged.reduced.counts, strict.counts);
+        assert_eq!(salvaged.coverage[1].events, 5);
+    }
+
+    #[test]
+    fn truncated_rank_is_salvaged_and_flagged() {
+        let mut b = TraceBuilder::new(2);
+        let r = b.add_region("r");
+        // Rank 0 completes; rank 1's stream stops mid-region with an
+        // activity open (a crash between begin and end).
+        b.push(Event::enter(0.0, 0, r));
+        b.push(Event::leave(4.0, 0, r));
+        b.push(Event::enter(0.0, 1, r));
+        b.push(Event::begin_activity(2.0, 1, ActivityKind::Collective));
+        b.push(Event::message_send(2.5, 1, 0, 128));
+        let trace = b.build();
+        assert!(reduce(&trace).is_err()); // strict path rejects
+        let salvaged = reduce_checked(&trace).unwrap();
+        assert!(!salvaged.is_complete());
+        assert_eq!(salvaged.incomplete_ranks(), vec![1]);
+        let cov = salvaged.coverage[1];
+        assert_eq!(cov.open_regions, 1);
+        assert!(cov.open_activity);
+        assert_eq!(cov.last_time, 2.5);
+        let m = &salvaged.reduced.measurements;
+        // Rank 1's partial spans survive: 2.0 s of computation before
+        // the activity, then the open collective up to the last event.
+        assert!((m.time(r, ActivityKind::Computation, ProcessorId::new(1)) - 2.0).abs() < 1e-12);
+        assert!((m.time(r, ActivityKind::Collective, ProcessorId::new(1)) - 0.5).abs() < 1e-12);
+        // The message count inside the open region is kept too.
+        assert_eq!(
+            salvaged
+                .reduced
+                .counts
+                .count(r, CountKind::MessagesSent, ProcessorId::new(1)),
+            1.0
+        );
+    }
+
+    #[test]
+    fn empty_trace_is_complete() {
+        // No events at all: every rank is trivially complete.
+        let mut b = TraceBuilder::new(3);
+        b.add_region("r");
+        let salvaged = reduce_checked(&b.build()).unwrap();
+        assert!(salvaged.is_complete());
+        assert_eq!(salvaged.coverage.len(), 3);
+        for cov in &salvaged.coverage {
+            assert_eq!(cov.events, 0);
+            assert_eq!(cov.last_time, 0.0);
+        }
+        // A trace declaring no regions cannot form a measurement matrix;
+        // that surfaces as a model error (same as strict reduce), never
+        // a panic.
+        assert!(matches!(
+            reduce_checked(&TraceBuilder::new(2).build()),
+            Err(TraceError::Model(_))
+        ));
+    }
+
+    #[test]
+    fn single_rank_truncation_reports_depth() {
+        let mut b = TraceBuilder::new(1);
+        let outer = b.add_region("outer");
+        let inner = b.add_region("inner");
+        b.push(Event::enter(0.0, 0, outer));
+        b.push(Event::enter(1.0, 0, inner));
+        let salvaged = reduce_checked(&b.build()).unwrap();
+        let cov = salvaged.coverage[0];
+        assert_eq!(cov.open_regions, 2);
+        assert!(!cov.open_activity);
+        assert!(!cov.complete);
+        assert_eq!(salvaged.incomplete_ranks(), vec![0]);
+    }
+
+    #[test]
+    fn corrupt_events_name_index_and_rank() {
+        // Leave without enter on rank 1, at stream index 2.
+        let mut b = TraceBuilder::new(2);
+        let r = b.add_region("r");
+        b.push(Event::enter(0.0, 0, r));
+        b.push(Event::leave(1.0, 0, r));
+        b.push(Event::leave(1.0, 1, r));
+        let err = reduce_checked(&b.build()).unwrap_err();
+        match err {
+            TraceError::MalformedEvent { proc, index, .. } => {
+                assert_eq!(proc, 1);
+                assert_eq!(index, 2);
+            }
+            other => panic!("wrong error: {other}"),
+        }
+
+        // Out-of-range processor reports its recording index.
+        let mut b = TraceBuilder::new(1);
+        let r = b.add_region("r");
+        b.push(Event::enter(0.0, 0, r));
+        b.push(Event::enter(0.5, 9, r));
+        let err = reduce_checked(&b.build()).unwrap_err().to_string();
+        assert!(err.contains("event #1"), "{err}");
+        assert!(err.contains("processor 9"), "{err}");
+
+        // End without begin.
+        let mut b = TraceBuilder::new(1);
+        let r = b.add_region("r");
+        b.push(Event::enter(0.0, 0, r));
+        b.push(Event::end_activity(1.0, 0, ActivityKind::Collective));
+        let err = reduce_checked(&b.build()).unwrap_err().to_string();
+        assert!(err.contains("never began"), "{err}");
+
+        // Begin outside any region.
+        let mut b = TraceBuilder::new(1);
+        b.add_region("r");
+        b.push(Event::begin_activity(0.0, 0, ActivityKind::Io));
+        assert!(matches!(
+            reduce_checked(&b.build()),
+            Err(TraceError::MalformedEvent {
+                proc: 0,
+                index: 0,
+                ..
+            })
+        ));
+    }
+
+    #[test]
+    fn activity_outliving_its_region_reduces_without_panic() {
+        // Passes validate() (leave does not check activities) but the
+        // strict walk used to panic on the end event's empty stack; the
+        // salvage walk attributes the span to the begin-time region.
+        let mut b = TraceBuilder::new(1);
+        let r = b.add_region("r");
+        b.push(Event::enter(0.0, 0, r));
+        b.push(Event::begin_activity(1.0, 0, ActivityKind::PointToPoint));
+        b.push(Event::leave(2.0, 0, r));
+        b.push(Event::end_activity(3.0, 0, ActivityKind::PointToPoint));
+        let trace = b.build();
+        trace.validate().unwrap();
+        let salvaged = reduce_checked(&trace).unwrap();
+        assert!(salvaged.is_complete());
+        let m = &salvaged.reduced.measurements;
+        assert!((m.time(r, ActivityKind::PointToPoint, ProcessorId::new(0)) - 2.0).abs() < 1e-12);
+    }
+}

@@ -2,6 +2,7 @@
 
 use limba_analysis::Report;
 use limba_model::ActivityKind;
+use limba_trace::RankCoverage;
 
 use crate::pattern;
 use crate::table::{cell, TextTable};
@@ -196,6 +197,53 @@ pub fn render(report: &Report) -> String {
     out
 }
 
+/// Renders the per-rank data-coverage section for a salvaged trace (see
+/// [`limba_trace::reduce_checked`]): which ranks' streams were truncated
+/// and how far their data reaches.
+pub fn render_coverage(coverage: &[RankCoverage]) -> String {
+    let mut out = String::from("== data coverage ==\n");
+    let incomplete: Vec<&RankCoverage> = coverage.iter().filter(|c| !c.complete).collect();
+    if incomplete.is_empty() {
+        out.push_str(&format!("all {} ranks complete\n", coverage.len()));
+        return out;
+    }
+    out.push_str(&format!(
+        "{} of {} ranks have truncated data; their measurements are lower bounds\n",
+        incomplete.len(),
+        coverage.len()
+    ));
+    let mut t = TextTable::new(vec![
+        "rank".into(),
+        "events".into(),
+        "data up to".into(),
+        "open regions".into(),
+        "open activity".into(),
+    ]);
+    for c in incomplete {
+        t.row(vec![
+            c.proc.to_string(),
+            c.events.to_string(),
+            format!("{:.3} s", c.last_time),
+            c.open_regions.to_string(),
+            if c.open_activity { "yes" } else { "no" }.into(),
+        ]);
+    }
+    out.push_str(&t.render());
+    out
+}
+
+/// Renders the full report, appending the data-coverage section when
+/// any rank's stream was truncated — complete traces render exactly as
+/// [`render`].
+pub fn render_with_coverage(report: &Report, coverage: &[RankCoverage]) -> String {
+    let mut out = render(report);
+    if coverage.iter().any(|c| !c.complete) {
+        out.push('\n');
+        out.push_str(&render_coverage(coverage));
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -257,6 +305,37 @@ mod tests {
         assert!(text.contains("== counting parameters =="));
         assert!(text.contains("msgs-sent"));
         assert!(text.contains("most uneven cell: msgs-sent in core"));
+    }
+
+    #[test]
+    fn coverage_section_flags_truncated_ranks() {
+        let full = RankCoverage {
+            proc: 0,
+            events: 10,
+            complete: true,
+            open_regions: 0,
+            open_activity: false,
+            last_time: 4.0,
+        };
+        let cut = RankCoverage {
+            proc: 1,
+            events: 3,
+            complete: false,
+            open_regions: 2,
+            open_activity: true,
+            last_time: 1.5,
+        };
+        let text = render_coverage(&[full, cut]);
+        assert!(text.contains("== data coverage =="));
+        assert!(text.contains("1 of 2 ranks"));
+        assert!(text.contains("1.500 s"));
+        // Clean coverage renders a one-liner.
+        assert!(render_coverage(&[full]).contains("all 1 ranks complete"));
+
+        // render_with_coverage only appends the section when needed.
+        let r = report();
+        assert!(!render_with_coverage(&r, &[full]).contains("== data coverage =="));
+        assert!(render_with_coverage(&r, &[full, cut]).contains("== data coverage =="));
     }
 
     #[test]

@@ -48,6 +48,7 @@
 
 pub mod amr;
 pub mod cfd;
+pub mod faults;
 pub mod fft;
 pub mod irregular;
 pub mod master_worker;

@@ -71,6 +71,51 @@ fn paper_canonical_form_matches_golden() {
 }
 
 #[test]
+fn faulted_cfd_report_matches_golden() {
+    // One committed chaos scenario, locked byte-for-byte: the CFD proxy
+    // with the middle rank slowed 2× through the first quarter of the
+    // run and the last rank crashing near the end, truncating its
+    // trace (and interrupting everyone at the next collective). The
+    // snapshot covers the whole degraded path — fault injection,
+    // trace salvage, coverage annotation — and doubles as an
+    // engine-identity check for a committed fault plan.
+    use limba::mpisim::{FaultPlan, MachineConfig, Simulator};
+    use limba::workloads::cfd::CfdConfig;
+
+    let ranks = 16;
+    let program = CfdConfig::new(ranks)
+        .with_iterations(3)
+        .build_program()
+        .unwrap();
+    let sim = Simulator::new(MachineConfig::new(ranks));
+    let horizon = sim.run(&program).unwrap().stats.makespan;
+    let plan = FaultPlan::new(2003)
+        .with_slowdown(ranks / 2, 0.0, horizon * 0.25, 2.0)
+        .with_crash(ranks - 1, horizon * 0.85);
+
+    let out = sim.run_with_faults(&program, &plan).unwrap();
+    let polling = sim.run_polling_with_faults(&program, &plan).unwrap();
+    assert_eq!(
+        out.trace, polling.trace,
+        "engines diverge on the golden plan"
+    );
+    assert_eq!(out.stats, polling.stats);
+    assert_eq!(out.faults, polling.faults);
+    assert_eq!(out.faults.crashes.len(), 1);
+
+    let salvaged = out.reduce_checked().unwrap();
+    assert!(salvaged.incomplete_ranks().contains(&((ranks - 1) as u32)));
+    let report = Analyzer::new()
+        .analyze_with_counts(&salvaged.reduced.measurements, &salvaged.reduced.counts)
+        .unwrap();
+    check_golden("faulted_cfd_canonical.txt", &canonical(&report));
+    check_golden(
+        "faulted_cfd_report.txt",
+        &limba::viz::report::render_with_coverage(&report, &salvaged.coverage),
+    );
+}
+
+#[test]
 fn golden_snapshots_are_jobs_invariant() {
     // The snapshot files double as the fixed point of the --jobs sweep:
     // parallel analysis must reproduce the identical golden bytes.

@@ -2,7 +2,7 @@
 //! generated, deadlock-free-by-construction programs.
 
 use limba::model::{ActivityKind, ProcessorId};
-use limba::mpisim::{MachineConfig, Program, ProgramBuilder, Simulator};
+use limba::mpisim::{FaultPlan, MachineConfig, Program, ProgramBuilder, Simulator};
 use proptest::prelude::*;
 
 /// One phase of a generated program; every variant is globally
@@ -88,6 +88,67 @@ fn program_strategy() -> impl Strategy<Value = (Program, usize)> {
             }
             (pb.build().expect("generated programs are valid"), ranks)
         })
+}
+
+/// An arbitrary — but always valid — [`FaultPlan`] for a machine of
+/// `ranks` ranks: at most one slowdown window and one crash per rank
+/// (keeping windows disjoint and crashes unique by construction), a few
+/// degraded links, and an optional lossy-network clause.
+fn fault_plan_strategy(ranks: usize) -> impl Strategy<Value = FaultPlan> {
+    let slowdowns = proptest::collection::vec(
+        proptest::option::of((0u16..800, 1u16..800, 15u8..50)),
+        ranks,
+    );
+    let links = proptest::collection::vec(
+        (0..ranks, 1..ranks, 0u16..500, 1u16..500, 1u8..10, 1u8..10),
+        0..3,
+    );
+    let loss = proptest::option::of((0u8..60, 0u8..4, 1u16..50, 10u8..30));
+    let crashes = proptest::collection::vec(proptest::option::of(1u16..1500), ranks);
+    (1u64..1_000_000, slowdowns, links, loss, crashes).prop_map(
+        move |(seed, slowdowns, links, loss, crashes)| {
+            let mut plan = FaultPlan::new(seed);
+            for (rank, s) in slowdowns.into_iter().enumerate() {
+                if let Some((start, len, factor)) = s {
+                    plan = plan.with_slowdown(
+                        rank,
+                        start as f64 * 1e-3,
+                        (start + len) as f64 * 1e-3,
+                        factor as f64 * 0.1,
+                    );
+                }
+            }
+            for (src, dst_offset, start, len, lat, bw) in links {
+                plan = plan.with_link_fault(
+                    src,
+                    (src + dst_offset) % ranks,
+                    start as f64 * 1e-3,
+                    (start + len) as f64 * 1e-3,
+                    lat as f64,
+                    bw as f64 * 0.5,
+                );
+            }
+            if let Some((rate, retries, timeout, backoff)) = loss {
+                plan = plan.with_message_loss(
+                    rate as f64 * 0.01,
+                    retries as u32,
+                    timeout as f64 * 1e-4,
+                    backoff as f64 * 0.1,
+                );
+            }
+            for (rank, c) in crashes.into_iter().enumerate() {
+                if let Some(time) = c {
+                    plan = plan.with_crash(rank, time as f64 * 1e-3);
+                }
+            }
+            plan
+        },
+    )
+}
+
+fn faulted_program_strategy() -> impl Strategy<Value = (Program, usize, FaultPlan)> {
+    program_strategy()
+        .prop_flat_map(|(program, ranks)| (Just(program), Just(ranks), fault_plan_strategy(ranks)))
 }
 
 proptest! {
@@ -194,5 +255,88 @@ proptest! {
                 rank, measured, spec
             );
         }
+    }
+
+    // -----------------------------------------------------------------
+    // Chaos differential: random programs × random fault plans.
+
+    #[test]
+    fn chaos_differential_engines_agree((program, ranks, plan) in faulted_program_strategy()) {
+        plan.validate(ranks).expect("generated plans are valid");
+        let sim = Simulator::new(MachineConfig::new(ranks));
+        match (
+            sim.run_with_faults(&program, &plan),
+            sim.run_polling_with_faults(&program, &plan),
+        ) {
+            (Ok(event), Ok(polling)) => {
+                // Bit-identical traces (compared as serialized bytes),
+                // statistics, and fault diagnostics.
+                prop_assert_eq!(
+                    limba::trace::binary::to_bytes(&event.trace),
+                    limba::trace::binary::to_bytes(&polling.trace)
+                );
+                prop_assert_eq!(&event.stats, &polling.stats);
+                prop_assert_eq!(&event.faults, &polling.faults);
+            }
+            (Err(event), Err(polling)) => {
+                prop_assert_eq!(event.to_string(), polling.to_string());
+            }
+            (event, polling) => {
+                return Err(proptest::test_runner::TestCaseError::Fail(format!(
+                    "engines disagree on outcome: event {event:?} vs polling {polling:?}"
+                )));
+            }
+        }
+    }
+
+    #[test]
+    fn faulted_runs_are_deterministic((program, ranks, plan) in faulted_program_strategy()) {
+        let sim = Simulator::new(MachineConfig::new(ranks));
+        let a = sim.run_with_faults(&program, &plan).unwrap();
+        let b = sim.run_with_faults(&program, &plan).unwrap();
+        prop_assert_eq!(&a.trace, &b.trace);
+        prop_assert_eq!(&a.stats, &b.stats);
+        prop_assert_eq!(&a.faults, &b.faults);
+    }
+
+    #[test]
+    fn faulted_traces_always_salvage((program, ranks, plan) in faulted_program_strategy()) {
+        // Whatever the fault plan truncates, the analysis layer accepts
+        // the trace: `reduce_checked` salvages it, and every rank it
+        // flags as incomplete is one the fault report can explain.
+        let out = Simulator::new(MachineConfig::new(ranks))
+            .run_with_faults(&program, &plan)
+            .unwrap();
+        let salvaged = limba::trace::reduce_checked(&out.trace)
+            .expect("simulator traces always salvage");
+        prop_assert_eq!(salvaged.coverage.len(), ranks);
+        let explained: Vec<usize> = out.faults.incomplete_ranks();
+        for proc in salvaged.incomplete_ranks() {
+            prop_assert!(
+                explained.contains(&(proc as usize)),
+                "rank {} truncated without a crash or interruption (faults: {:?})",
+                proc, out.faults
+            );
+        }
+        // Salvaged per-rank time never exceeds the makespan.
+        for p in 0..ranks {
+            let t = salvaged.reduced.measurements.processor_time(ProcessorId::new(p));
+            prop_assert!(t <= out.stats.makespan + 1e-9);
+        }
+    }
+
+    #[test]
+    fn clean_plan_matches_unfaulted_run((program, ranks) in program_strategy(), seed in 1u64..1000) {
+        // A fault plan that injects nothing must be byte-identical to no
+        // plan at all, on both engines.
+        let sim = Simulator::new(MachineConfig::new(ranks));
+        let empty = FaultPlan::new(seed);
+        let base = sim.run(&program).unwrap();
+        let faulted = sim.run_with_faults(&program, &empty).unwrap();
+        prop_assert_eq!(&base.trace, &faulted.trace);
+        prop_assert_eq!(&base.stats, &faulted.stats);
+        prop_assert!(faulted.faults.is_clean());
+        let polling = sim.run_polling_with_faults(&program, &empty).unwrap();
+        prop_assert_eq!(&base.trace, &polling.trace);
     }
 }

@@ -136,4 +136,89 @@ proptest! {
             .sum();
         prop_assert_eq!(sent_events as f64, counted);
     }
+
+    // -----------------------------------------------------------------
+    // Truncated-trace robustness: `reduce_checked` must survive any
+    // prefix of a well-formed trace (a crashed or interrupted recording
+    // stops mid-stream) and any corrupt event, without panicking.
+
+    #[test]
+    fn reduce_checked_salvages_arbitrary_truncation(
+        (trace, cut) in trace_strategy().prop_flat_map(|t| {
+            let n = t.events().len();
+            (Just(t), 0usize..n + 1)
+        })
+    ) {
+        let truncated = rebuild(&trace, cut, None);
+        // A prefix of a well-formed recording is always salvageable:
+        // ranks cut mid-structure come back flagged, never as an error.
+        let salvaged = limba::trace::reduce_checked(&truncated)
+            .expect("truncation damage is salvageable");
+        prop_assert_eq!(salvaged.coverage.len(), truncated.processors());
+        if cut == trace.events().len() {
+            prop_assert!(salvaged.is_complete());
+        }
+        for c in &salvaged.coverage {
+            prop_assert!(c.complete || c.open_regions > 0 || c.open_activity);
+        }
+        // Salvage closes streams at their last event; it never invents
+        // time past the recording.
+        let horizon = truncated
+            .events()
+            .iter()
+            .fold(0.0f64, |acc, e| acc.max(e.time));
+        for p in 0..truncated.processors() {
+            let t = salvaged
+                .reduced
+                .measurements
+                .processor_time(limba::model::ProcessorId::new(p));
+            prop_assert!(t <= horizon + 1e-9);
+        }
+    }
+
+    #[test]
+    fn reduce_checked_names_the_corrupt_event(
+        (trace, cut, evil) in trace_strategy().prop_flat_map(|t| {
+            let n = t.events().len();
+            (Just(t), 0usize..n + 1, 0usize..n.max(1))
+        })
+    ) {
+        prop_assume!(!trace.events().is_empty());
+        // Corrupt one event (send it to a processor that does not
+        // exist), truncate anywhere after it, and the reduction must
+        // come back as a structured error naming that exact event.
+        let evil = evil.min(cut.max(1) - 1).min(trace.events().len() - 1);
+        prop_assume!(evil < cut);
+        let truncated = rebuild(&trace, cut, Some(evil));
+        match limba::trace::reduce_checked(&truncated) {
+            Err(limba::trace::TraceError::MalformedEvent { proc, index, detail }) => {
+                prop_assert_eq!(index, evil);
+                prop_assert!(proc >= truncated.processors() as u32);
+                prop_assert!(!detail.is_empty());
+            }
+            other => {
+                return Err(proptest::test_runner::TestCaseError::Fail(format!(
+                    "expected MalformedEvent for event #{evil}, got {other:?}"
+                )));
+            }
+        }
+    }
+}
+
+/// Rebuilds `trace` keeping only its first `cut` events; when `corrupt`
+/// names an index, that event is retargeted at an out-of-range
+/// processor.
+fn rebuild(trace: &Trace, cut: usize, corrupt: Option<usize>) -> Trace {
+    let mut b = TraceBuilder::new(trace.processors());
+    for name in trace.region_names() {
+        b.add_region(name.clone());
+    }
+    for (i, event) in trace.events().iter().take(cut).enumerate() {
+        let mut event = *event;
+        if corrupt == Some(i) {
+            event.proc = trace.processors() as u32 + 7;
+        }
+        b.push(event);
+    }
+    b.build()
 }
