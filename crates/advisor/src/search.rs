@@ -1,0 +1,396 @@
+//! The search driver: beam search over intervention combos.
+//!
+//! Candidates are *combos* — signature-sorted sets of catalog
+//! interventions with pairwise-distinct slots. The driver predicts
+//! every explored combo analytically (never simulating on the search
+//! path), keeps the `beam_width` best per depth, extends them with
+//! compatible interventions up to `max_depth`, and stops when the
+//! prediction `budget` is exhausted. The top `top_k` combos by
+//! predicted makespan are then handed to the verification stage, and
+//! the advice is ranked by *measured* makespan.
+//!
+//! Determinism: combos are evaluated through [`limba_par::par_map`]
+//! (input-order result slots), every ranking tie-breaks on the combo's
+//! canonical signature, and a memo set prevents re-evaluating a combo
+//! reached through two beam paths — so the advice is byte-identical at
+//! every `jobs` setting.
+
+use std::collections::BTreeSet;
+
+use limba_analysis::{Analyzer, BatchAnalyzer, ReportCache};
+use limba_mpisim::{FaultPlan, Simulator};
+use limba_par::par_map;
+
+use crate::catalog::{propose, Intervention};
+use crate::predict::{BaselineModel, Prediction};
+use crate::verify::{verify, Verification};
+use crate::{AdviseError, Scenario};
+
+/// One ranked recommendation: an intervention combo, its analytic
+/// prediction, and (after verification) its measured outcome.
+#[derive(Debug, Clone)]
+pub struct Candidate {
+    /// The interventions, in canonical (signature-sorted) apply order.
+    pub interventions: Vec<Intervention>,
+    /// Human-readable labels, one per intervention.
+    pub labels: Vec<String>,
+    /// Canonical identity of the combo.
+    pub signature: String,
+    /// The analytic prediction.
+    pub prediction: Prediction,
+    /// Predicted gain over the baseline in seconds.
+    pub predicted_gain: f64,
+    /// The verification outcome (`Some` for every advised candidate).
+    pub verification: Option<Verification>,
+}
+
+/// The advisor's result: the baseline and the verified top candidates.
+#[derive(Debug, Clone)]
+pub struct Advice {
+    /// Baseline makespan both engines agreed on (seconds).
+    pub baseline_makespan: f64,
+    /// Size of the proposed intervention catalog.
+    pub catalog_size: usize,
+    /// Number of combos the search predicted (≤ budget).
+    pub evaluated: usize,
+    /// The prediction budget the search ran under.
+    pub budget: usize,
+    /// Verified candidates, ranked by measured makespan (best first).
+    pub candidates: Vec<Candidate>,
+}
+
+/// The closed-loop tuning advisor (see the crate docs).
+#[derive(Debug, Clone)]
+pub struct Advisor {
+    budget: usize,
+    top_k: usize,
+    beam_width: usize,
+    max_depth: usize,
+    jobs: usize,
+    faults: Option<FaultPlan>,
+    analyzer: Analyzer,
+}
+
+impl Default for Advisor {
+    fn default() -> Self {
+        Advisor::new()
+    }
+}
+
+impl Advisor {
+    /// An advisor with the default search knobs: budget 64, top-k 3,
+    /// beam width 8, depth 2, sequential evaluation.
+    pub fn new() -> Self {
+        Advisor {
+            budget: 64,
+            top_k: 3,
+            beam_width: 8,
+            max_depth: 2,
+            jobs: 1,
+            faults: None,
+            analyzer: Analyzer::new(),
+        }
+    }
+
+    /// Sets the prediction budget: the maximum number of combos the
+    /// search evaluates analytically. The budget caps *predictions*,
+    /// not simulations — verification always runs exactly
+    /// `2 × min(top_k, evaluated)` simulations.
+    pub fn with_budget(mut self, budget: usize) -> Self {
+        self.budget = budget.max(1);
+        self
+    }
+
+    /// Sets how many top candidates are simulate-verified and reported.
+    pub fn with_top_k(mut self, top_k: usize) -> Self {
+        self.top_k = top_k.max(1);
+        self
+    }
+
+    /// Sets the beam width (combos kept per search depth).
+    pub fn with_beam_width(mut self, width: usize) -> Self {
+        self.beam_width = width.max(1);
+        self
+    }
+
+    /// Sets the maximum number of interventions per combo.
+    pub fn with_max_depth(mut self, depth: usize) -> Self {
+        self.max_depth = depth.max(1);
+        self
+    }
+
+    /// Sets the worker count for parallel candidate evaluation and
+    /// verification (0 = all cores). Results are identical at every
+    /// setting.
+    pub fn with_jobs(mut self, jobs: usize) -> Self {
+        self.jobs = jobs;
+        self
+    }
+
+    /// Runs the baseline and every verification under `plan` — advising
+    /// on the machine as it degrades, not as designed.
+    pub fn with_faults(mut self, plan: FaultPlan) -> Self {
+        self.faults = Some(plan);
+        self
+    }
+
+    /// Overrides the analyzer used for post-verification reports.
+    pub fn with_analyzer(mut self, analyzer: Analyzer) -> Self {
+        self.analyzer = analyzer;
+        self
+    }
+
+    /// Proposes, predicts, searches, and verifies: the closed loop.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AdviseError::Sim`] when the baseline or a verification
+    /// run fails, and [`AdviseError::Internal`] when the two engines
+    /// disagree on any simulated run.
+    pub fn advise(&self, scenario: &Scenario) -> Result<Advice, AdviseError> {
+        scenario.config.validate()?;
+        if let Some(plan) = &self.faults {
+            plan.validate(scenario.config.processors())?;
+        }
+
+        // Baseline on both engines: the one simulation predictions use.
+        let sim = Simulator::new(scenario.config.clone());
+        let (event, polling) = match &self.faults {
+            Some(plan) => (
+                sim.run_with_faults(&scenario.program, plan)?,
+                sim.run_polling_with_faults(&scenario.program, plan)?,
+            ),
+            None => (
+                sim.run(&scenario.program)?,
+                sim.run_polling(&scenario.program)?,
+            ),
+        };
+        if event.trace != polling.trace || event.stats != polling.stats {
+            return Err(AdviseError::Internal {
+                detail: "event and polling engines disagree on the baseline run".into(),
+            });
+        }
+        let baseline_makespan = event.stats.makespan;
+        let model = BaselineModel::new(scenario, baseline_makespan);
+        let catalog = propose(scenario);
+
+        // Beam search under the prediction budget.
+        let mut evaluated = 0usize;
+        let mut seen: BTreeSet<String> = BTreeSet::new();
+        let mut scored: Vec<(String, Vec<Intervention>, Prediction)> = Vec::new();
+        let mut frontier: Vec<Vec<Intervention>> =
+            catalog.iter().map(|i| vec![i.clone()]).collect();
+        for _depth in 0..self.max_depth {
+            let mut batch: Vec<(String, Vec<Intervention>)> = Vec::new();
+            for combo in frontier.drain(..) {
+                if evaluated + batch.len() >= self.budget {
+                    break;
+                }
+                let signature = combo_signature(&combo);
+                if seen.insert(signature.clone()) {
+                    batch.push((signature, combo));
+                }
+            }
+            if batch.is_empty() {
+                break;
+            }
+            let predictions = par_map(self.jobs, &batch, |_, (_, combo)| {
+                apply_combo(scenario, combo)
+                    .ok()
+                    .map(|cand| model.predict(&cand))
+            });
+            evaluated += batch.len();
+            for ((signature, combo), prediction) in batch.into_iter().zip(predictions) {
+                if let Some(prediction) = prediction {
+                    scored.push((signature, combo, prediction));
+                }
+            }
+            if evaluated >= self.budget {
+                break;
+            }
+            // Extend the beam with every slot-compatible intervention.
+            let mut beam: Vec<&(String, Vec<Intervention>, Prediction)> = scored.iter().collect();
+            beam.sort_by(|a, b| a.2.makespan.total_cmp(&b.2.makespan).then(a.0.cmp(&b.0)));
+            beam.truncate(self.beam_width);
+            frontier = beam
+                .iter()
+                .flat_map(|(_, combo, _)| {
+                    catalog
+                        .iter()
+                        .filter(|i| combo.iter().all(|c| c.slot() != i.slot()))
+                        .map(|i| {
+                            let mut extended = combo.clone();
+                            extended.push(i.clone());
+                            extended.sort_by_key(|i| i.signature());
+                            extended
+                        })
+                        .collect::<Vec<_>>()
+                })
+                .collect();
+        }
+
+        // Rank every evaluated combo and verify the top k.
+        scored.sort_by(|a, b| a.2.makespan.total_cmp(&b.2.makespan).then(a.0.cmp(&b.0)));
+        scored.truncate(self.top_k);
+        let batch_analyzer = BatchAnalyzer::new(self.analyzer.clone())
+            .with_jobs(self.jobs)
+            .with_cache(ReportCache::new());
+        let verifications: Vec<Result<Verification, AdviseError>> =
+            par_map(self.jobs, &scored, |_, (_, combo, prediction)| {
+                let cand = apply_combo(scenario, combo)?;
+                verify(
+                    &cand,
+                    self.faults.as_ref(),
+                    baseline_makespan,
+                    prediction,
+                    &batch_analyzer,
+                )
+            });
+
+        let region_names = scenario.program.region_names();
+        let mut candidates = Vec::with_capacity(scored.len());
+        for ((signature, interventions, prediction), verification) in
+            scored.into_iter().zip(verifications)
+        {
+            let verification = verification?;
+            candidates.push(Candidate {
+                labels: interventions
+                    .iter()
+                    .map(|i| i.label(region_names))
+                    .collect(),
+                signature,
+                predicted_gain: prediction.gain(baseline_makespan),
+                prediction,
+                interventions,
+                verification: Some(verification),
+            });
+        }
+        candidates.sort_by(|a, b| {
+            let am = a
+                .verification
+                .as_ref()
+                .map_or(f64::INFINITY, |v| v.event_makespan);
+            let bm = b
+                .verification
+                .as_ref()
+                .map_or(f64::INFINITY, |v| v.event_makespan);
+            am.total_cmp(&bm).then(a.signature.cmp(&b.signature))
+        });
+
+        Ok(Advice {
+            baseline_makespan,
+            catalog_size: catalog.len(),
+            evaluated,
+            budget: self.budget,
+            candidates,
+        })
+    }
+}
+
+/// Canonical identity of a combo: its sorted intervention signatures.
+fn combo_signature(combo: &[Intervention]) -> String {
+    let mut sigs: Vec<String> = combo.iter().map(Intervention::signature).collect();
+    sigs.sort();
+    sigs.join(" + ")
+}
+
+/// Applies a combo in its canonical order.
+fn apply_combo(scenario: &Scenario, combo: &[Intervention]) -> Result<Scenario, AdviseError> {
+    let mut current = scenario.clone();
+    for intervention in combo {
+        current = intervention.apply(&current)?;
+    }
+    Ok(current)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use limba_mpisim::{MachineConfig, ProgramBuilder};
+
+    fn skewed_scenario() -> Scenario {
+        let mut pb = ProgramBuilder::new(4);
+        let heavy = pb.add_region("heavy");
+        let light = pb.add_region("light");
+        pb.spmd(|rank, mut ops| {
+            ops.enter(heavy)
+                .compute(1.0 + rank as f64)
+                .barrier()
+                .leave(heavy)
+                .enter(light)
+                .compute(0.2)
+                .allreduce(2048)
+                .leave(light);
+        });
+        Scenario::new(pb.build().unwrap(), MachineConfig::new(4)).unwrap()
+    }
+
+    #[test]
+    fn advice_finds_a_verified_improvement() {
+        let scenario = skewed_scenario();
+        let advisor = Advisor::new()
+            .with_top_k(3)
+            .with_analyzer(Analyzer::new().with_cluster_k(2));
+        let advice = advisor.advise(&scenario).unwrap();
+        assert!(advice.evaluated > 0);
+        assert!(advice.evaluated <= advice.budget);
+        assert!(!advice.candidates.is_empty());
+        let best = &advice.candidates[0];
+        let v = best.verification.as_ref().unwrap();
+        assert!(
+            v.measured_gain > 0.0,
+            "best candidate should beat the baseline: {best:?}"
+        );
+        assert!(v.within_bounds, "{best:?}");
+        assert_eq!(v.event_makespan, v.polling_makespan);
+        // The top recommendation targets the heavy region.
+        assert!(
+            best.labels.iter().any(|l| l.contains("heavy")),
+            "{:?}",
+            best.labels
+        );
+    }
+
+    #[test]
+    fn advice_is_jobs_invariant() {
+        let scenario = skewed_scenario();
+        let base = Advisor::new().with_analyzer(Analyzer::new().with_cluster_k(2));
+        let reference = base.clone().with_jobs(1).advise(&scenario).unwrap();
+        for jobs in [2, 8] {
+            let advice = base.clone().with_jobs(jobs).advise(&scenario).unwrap();
+            assert_eq!(advice.evaluated, reference.evaluated);
+            assert_eq!(
+                format!("{:#?}", advice.candidates),
+                format!("{:#?}", reference.candidates),
+                "advice drifted at jobs={jobs}"
+            );
+        }
+    }
+
+    #[test]
+    fn budget_caps_the_search() {
+        let scenario = skewed_scenario();
+        let advice = Advisor::new()
+            .with_budget(2)
+            .with_top_k(1)
+            .with_analyzer(Analyzer::new().with_cluster_k(2))
+            .advise(&scenario)
+            .unwrap();
+        assert!(advice.evaluated <= 2);
+        assert_eq!(advice.candidates.len(), 1);
+    }
+
+    #[test]
+    fn faulted_advise_still_verifies_deterministically() {
+        let scenario = skewed_scenario();
+        let plan = FaultPlan::new(7).with_slowdown(1, 0.0, 0.5, 2.0);
+        let advice = Advisor::new()
+            .with_faults(plan)
+            .with_top_k(1)
+            .with_analyzer(Analyzer::new().with_cluster_k(2))
+            .advise(&scenario)
+            .unwrap();
+        let v = advice.candidates[0].verification.as_ref().unwrap();
+        assert_eq!(v.event_makespan, v.polling_makespan);
+    }
+}

@@ -1,0 +1,143 @@
+//! The verification stage: re-simulate top candidates on both engines.
+//!
+//! Prediction is a model; verification is the ground truth. Each
+//! surviving candidate is re-run on the event-driven *and* the polling
+//! engine (with the advise run's fault plan, when one is set), the two
+//! outputs are required to be identical, and the measured makespan is
+//! compared against the prediction: `mispredicted` flags estimates off
+//! by more than [`MISPREDICT_TOLERANCE`] of the measured value, and
+//! `within_bounds` checks the majorization bracket (guaranteed for
+//! fault-free runs). The verified trace is then reduced and analyzed —
+//! through the shared batch memo cache — so the advice can also report
+//! where the imbalance *moved*: the post-intervention heaviest region.
+
+use limba_analysis::BatchAnalyzer;
+use limba_mpisim::{FaultPlan, Simulator};
+
+use crate::{AdviseError, Prediction, Scenario};
+
+/// Relative error (vs the measured makespan) above which a prediction
+/// counts as a misprediction.
+pub const MISPREDICT_TOLERANCE: f64 = 0.05;
+
+/// The measured outcome of one candidate's verification runs.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Verification {
+    /// Makespan measured on the event-driven engine (seconds).
+    pub event_makespan: f64,
+    /// Makespan measured on the polling engine (seconds).
+    pub polling_makespan: f64,
+    /// Measured gain over the baseline (positive = faster).
+    pub measured_gain: f64,
+    /// Whether the measured makespan lies inside the predicted
+    /// majorization bracket `[lower_bound, upper_bound]`.
+    pub within_bounds: bool,
+    /// Whether the point estimate missed the measurement by more than
+    /// [`MISPREDICT_TOLERANCE`] of the measured makespan.
+    pub mispredicted: bool,
+    /// The heaviest region *after* the intervention, from re-analyzing
+    /// the verified trace (`None` when that analysis is degenerate,
+    /// e.g. too few ranks to cluster).
+    pub heaviest_region: Option<String>,
+}
+
+/// Re-simulates `candidate` on both engines and scores it against its
+/// prediction. `batch` supplies the analyzer (and its shared memo
+/// cache) for the post-intervention report.
+///
+/// # Errors
+///
+/// Returns [`AdviseError::Sim`] when a run fails outright and
+/// [`AdviseError::Internal`] when the two engines disagree — a
+/// simulator bug, never a property of the candidate.
+pub fn verify(
+    candidate: &Scenario,
+    faults: Option<&FaultPlan>,
+    baseline_makespan: f64,
+    prediction: &Prediction,
+    batch: &BatchAnalyzer,
+) -> Result<Verification, AdviseError> {
+    let sim = Simulator::new(candidate.config.clone());
+    let (event, polling) = match faults {
+        Some(plan) => (
+            sim.run_with_faults(&candidate.program, plan)?,
+            sim.run_polling_with_faults(&candidate.program, plan)?,
+        ),
+        None => (
+            sim.run(&candidate.program)?,
+            sim.run_polling(&candidate.program)?,
+        ),
+    };
+    if event.trace != polling.trace || event.stats != polling.stats {
+        return Err(AdviseError::Internal {
+            detail: "event and polling engines disagree on a verification run".into(),
+        });
+    }
+    let measured = event.stats.makespan;
+    let eps = 1e-9 * measured.abs().max(1.0);
+    let within_bounds =
+        measured >= prediction.lower_bound - eps && measured <= prediction.upper_bound + eps;
+    let mispredicted = (prediction.makespan - measured).abs()
+        > MISPREDICT_TOLERANCE * measured.max(f64::MIN_POSITIVE);
+
+    // Where did the imbalance move? Reduce and re-analyze the verified
+    // trace; a failure here degrades the answer, not the verification.
+    let heaviest_region = event
+        .reduce_checked()
+        .ok()
+        .and_then(|salvaged| {
+            batch
+                .analyze_batch(std::slice::from_ref(&salvaged.reduced.measurements))
+                .pop()?
+                .ok()
+        })
+        .and_then(|report| {
+            report
+                .findings
+                .tuning_candidates
+                .iter()
+                .find(|c| c.is_heaviest)
+                .map(|c| c.name.clone())
+        });
+
+    Ok(Verification {
+        event_makespan: measured,
+        polling_makespan: polling.stats.makespan,
+        measured_gain: baseline_makespan - measured,
+        within_bounds,
+        mispredicted,
+        heaviest_region,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use limba_analysis::Analyzer;
+    use limba_mpisim::{MachineConfig, ProgramBuilder};
+
+    #[test]
+    fn verification_agrees_with_a_direct_run() {
+        let mut pb = ProgramBuilder::new(4);
+        let r = pb.add_region("solve");
+        pb.spmd(|rank, mut ops| {
+            ops.enter(r)
+                .compute(0.2 + 0.1 * rank as f64)
+                .barrier()
+                .leave(r);
+        });
+        let scenario = Scenario::new(pb.build().unwrap(), MachineConfig::new(4)).unwrap();
+        let sim = Simulator::new(scenario.config.clone());
+        let baseline = sim.run(&scenario.program).unwrap().stats.makespan;
+        let model = crate::BaselineModel::new(&scenario, baseline);
+        let prediction = model.predict(&scenario);
+        let batch = BatchAnalyzer::new(Analyzer::new().with_cluster_k(2));
+        let v = verify(&scenario, None, baseline, &prediction, &batch).unwrap();
+        assert_eq!(v.event_makespan, baseline);
+        assert_eq!(v.polling_makespan, baseline);
+        assert_eq!(v.measured_gain, 0.0);
+        assert!(v.within_bounds);
+        assert!(!v.mispredicted);
+        assert_eq!(v.heaviest_region.as_deref(), Some("solve"));
+    }
+}

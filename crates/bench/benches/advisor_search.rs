@@ -1,0 +1,67 @@
+//! Benchmarks of the tuning advisor: catalog proposal, analytic
+//! prediction, and the full propose → search → verify loop.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use limba_advisor::{propose, Advisor, BaselineModel, Scenario};
+use limba_mpisim::{MachineConfig, Simulator};
+use limba_workloads::{cfd::CfdConfig, Imbalance};
+
+fn scenario(ranks: usize) -> Scenario {
+    let program = CfdConfig::new(ranks)
+        .with_iterations(2)
+        .with_imbalance(Imbalance::LinearSkew { spread: 0.4 })
+        .with_seed(2003)
+        .build_program()
+        .unwrap();
+    Scenario::new(program, MachineConfig::new(ranks)).unwrap()
+}
+
+fn bench_propose_and_predict(c: &mut Criterion) {
+    let mut group = c.benchmark_group("advisor_search");
+    for ranks in [16usize, 64] {
+        let s = scenario(ranks);
+        group.bench_with_input(BenchmarkId::new("propose", ranks), &s, |b, s| {
+            b.iter(|| propose(s));
+        });
+        let baseline = Simulator::new(s.config.clone())
+            .run(&s.program)
+            .unwrap()
+            .stats
+            .makespan;
+        let model = BaselineModel::new(&s, baseline);
+        let candidates: Vec<Scenario> = propose(&s).iter().map(|i| i.apply(&s).unwrap()).collect();
+        group.bench_with_input(
+            BenchmarkId::new("predict_catalog", ranks),
+            &candidates,
+            |b, candidates| {
+                b.iter(|| {
+                    candidates
+                        .iter()
+                        .map(|c| model.predict(c).makespan)
+                        .sum::<f64>()
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_full_advise(c: &mut Criterion) {
+    let mut group = c.benchmark_group("advisor_search");
+    group.sample_size(10);
+    let s = scenario(16);
+    group.bench_function("advise_cfd_16r", |b| {
+        b.iter(|| {
+            Advisor::new()
+                .with_top_k(3)
+                .advise(&s)
+                .unwrap()
+                .candidates
+                .len()
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_propose_and_predict, bench_full_advise);
+criterion_main!(benches);

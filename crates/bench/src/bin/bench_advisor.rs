@@ -1,0 +1,190 @@
+//! Bench runner for the tuning advisor: times catalog proposal,
+//! analytic prediction, and the full propose → search → verify loop on
+//! the CFD proxy at growing rank counts, verifies the advice is
+//! byte-identical across worker-thread counts, and writes the results
+//! as `BENCH_advisor.json`.
+//!
+//! Usage: `bench_advisor [--quick] [--out PATH]`
+//!
+//! `--quick` drops the repetition count so CI's perf-smoke job finishes
+//! in seconds; the committed baseline is produced by a full run. See
+//! `crates/bench/README.md` for the output format.
+
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use limba_advisor::{propose, Advisor, BaselineModel, Scenario};
+use limba_mpisim::{MachineConfig, Simulator};
+use limba_workloads::{cfd::CfdConfig, Imbalance};
+
+struct Timed {
+    name: String,
+    ranks: usize,
+    catalog: usize,
+    evaluated: usize,
+    propose_ns: u128,
+    predict_ns: u128,
+    advise_ns: u128,
+    jobs_invariant: bool,
+    verified_gain: f64,
+}
+
+fn scenario(ranks: usize) -> Scenario {
+    let program = CfdConfig::new(ranks)
+        .with_iterations(2)
+        .with_imbalance(Imbalance::LinearSkew { spread: 0.4 })
+        .with_seed(2003)
+        .build_program()
+        .expect("cfd builds");
+    Scenario::new(program, MachineConfig::new(ranks)).expect("scenario is valid")
+}
+
+fn run_case(ranks: usize, reps: usize) -> Timed {
+    let s = scenario(ranks);
+    let baseline = Simulator::new(s.config.clone())
+        .run(&s.program)
+        .expect("baseline run")
+        .stats
+        .makespan;
+    let model = BaselineModel::new(&s, baseline);
+    let catalog = propose(&s);
+    let candidates: Vec<Scenario> = catalog.iter().map(|i| i.apply(&s).unwrap()).collect();
+
+    // Keep the minimum: a scheduling hiccup can only inflate a run.
+    let mut propose_ns = u128::MAX;
+    let mut predict_ns = u128::MAX;
+    let mut advise_ns = u128::MAX;
+    let advisor = Advisor::new().with_top_k(3);
+    let reference = advisor.advise(&s).expect("advise runs");
+    for _ in 0..reps {
+        let start = Instant::now();
+        let proposed = propose(&s);
+        propose_ns = propose_ns.min(start.elapsed().as_nanos());
+        assert_eq!(proposed.len(), catalog.len());
+
+        let start = Instant::now();
+        let sum: f64 = candidates.iter().map(|c| model.predict(c).makespan).sum();
+        predict_ns = predict_ns.min(start.elapsed().as_nanos());
+        assert!(sum.is_finite());
+
+        let start = Instant::now();
+        advisor.advise(&s).expect("advise runs");
+        advise_ns = advise_ns.min(start.elapsed().as_nanos());
+    }
+
+    // The determinism axis: more worker threads, identical advice.
+    let parallel = Advisor::new()
+        .with_top_k(3)
+        .with_jobs(4)
+        .advise(&s)
+        .expect("parallel advise runs");
+    let jobs_invariant = format!("{reference:?}") == format!("{parallel:?}");
+
+    let verified_gain = reference
+        .candidates
+        .first()
+        .and_then(|c| c.verification.as_ref())
+        .map(|v| v.measured_gain)
+        .unwrap_or(0.0);
+    Timed {
+        name: format!("cfd_{ranks}r"),
+        ranks,
+        catalog: catalog.len(),
+        evaluated: reference.evaluated,
+        propose_ns,
+        predict_ns,
+        advise_ns,
+        jobs_invariant,
+        verified_gain,
+    }
+}
+
+fn render_json(mode: &str, results: &[Timed]) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str("  \"schema\": \"limba-bench-advisor/1\",\n");
+    writeln!(out, "  \"mode\": \"{mode}\",").unwrap();
+    out.push_str("  \"cases\": [\n");
+    for (i, r) in results.iter().enumerate() {
+        write!(
+            out,
+            "    {{\"name\": \"{}\", \"ranks\": {}, \"catalog\": {}, \"evaluated\": {}, \
+             \"propose_ns\": {}, \"predict_ns\": {}, \"advise_ns\": {}, \
+             \"jobs_invariant\": {}, \"verified_gain_s\": {:.6}}}",
+            r.name,
+            r.ranks,
+            r.catalog,
+            r.evaluated,
+            r.propose_ns,
+            r.predict_ns,
+            r.advise_ns,
+            r.jobs_invariant,
+            r.verified_gain
+        )
+        .unwrap();
+        out.push_str(if i + 1 < results.len() { ",\n" } else { "\n" });
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+fn main() {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let quick = argv.iter().any(|a| a == "--quick");
+    let out_path = argv
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| argv.get(i + 1))
+        .cloned()
+        .unwrap_or_else(|| "BENCH_advisor.json".to_string());
+    let reps = if quick { 2 } else { 9 };
+    let mode = if quick { "quick" } else { "full" };
+
+    let mut results = Vec::new();
+    for ranks in [16usize, 64, 128] {
+        let timed = run_case(ranks, reps);
+        println!(
+            "{:<12} {:>4} ranks  catalog {:>2}  evaluated {:>3}  propose {:>8.3} ms  \
+             predict {:>8.3} ms  advise {:>9.3} ms  gain {:+.4} s  {}",
+            timed.name,
+            timed.ranks,
+            timed.catalog,
+            timed.evaluated,
+            timed.propose_ns as f64 / 1e6,
+            timed.predict_ns as f64 / 1e6,
+            timed.advise_ns as f64 / 1e6,
+            timed.verified_gain,
+            if timed.jobs_invariant {
+                "jobs-invariant"
+            } else {
+                "JOBS-DIVERGENT"
+            },
+        );
+        results.push(timed);
+    }
+
+    let divergent: Vec<&str> = results
+        .iter()
+        .filter(|r| !r.jobs_invariant)
+        .map(|r| r.name.as_str())
+        .collect();
+    let unprofitable: Vec<&str> = results
+        .iter()
+        .filter(|r| r.verified_gain <= 0.0)
+        .map(|r| r.name.as_str())
+        .collect();
+    let json = render_json(mode, &results);
+    std::fs::write(&out_path, json).expect("write bench output");
+    println!("baseline written to {out_path} ({mode} mode, min over {reps} reps)");
+    if !divergent.is_empty() {
+        eprintln!("advice diverged across --jobs on: {}", divergent.join(", "));
+        std::process::exit(1);
+    }
+    if !unprofitable.is_empty() {
+        eprintln!(
+            "no verified improvement found on: {}",
+            unprofitable.join(", ")
+        );
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,233 @@
+//! `limba advise`.
+//!
+//! The closed-loop end of the tool: analyze a scenario, propose typed
+//! interventions, predict their gains analytically, and verify the top
+//! candidates by re-simulation on both engines. The output is the
+//! baseline analysis report with a ranked "recommended interventions"
+//! section appended — or, with `--json`, a machine-readable digest.
+
+use limba_advisor::{Advice, Advisor, Scenario};
+use limba_analysis::Analyzer;
+use limba_mpisim::Simulator;
+use limba_workloads::Imbalance;
+
+use crate::args::{parse, parse_imbalance, Parsed};
+use crate::cmd_analyze::load_trace_auto;
+use crate::cmd_simulate::{build_program, load_fault_plan, render_fault_presets, Engine};
+
+/// Runs `limba advise <tracefile | --workload NAME> [options]`.
+pub fn run(argv: &[String]) -> Result<(), String> {
+    // `--json` is a bare switch; every other flag takes a value.
+    let mut argv = argv.to_vec();
+    let json = match argv.iter().position(|a| a == "--json") {
+        Some(i) => {
+            argv.remove(i);
+            true
+        }
+        None => false,
+    };
+    let parsed: Parsed = parse(&argv)?;
+    if parsed.get("faults") == Some("list") {
+        print!("{}", render_fault_presets());
+        return Ok(());
+    }
+    let budget: usize = parsed.get_or("budget", 64)?;
+    let top: usize = parsed.get_or("top", 3)?;
+    let beam: usize = parsed.get_or("beam", 8)?;
+    let depth: usize = parsed.get_or("depth", 2)?;
+    let jobs: usize = parsed.get_or("jobs", 1)?;
+    let clusters: usize = parsed.get_or("clusters", 2)?;
+    let engine = Engine::parse(parsed.get("engine").unwrap_or("event"))?;
+
+    let scenario = match (parsed.get("workload"), parsed.positional.first()) {
+        (Some(_), Some(_)) => return Err("advise takes a tracefile or --workload, not both".into()),
+        (None, None) => return Err("advise needs a tracefile path or --workload".into()),
+        (Some(workload), None) => {
+            let ranks: usize = parsed.get_or("ranks", 16)?;
+            let iterations: Option<usize> = match parsed.get("iterations") {
+                Some(v) => Some(v.parse().map_err(|_| "invalid --iterations")?),
+                None => None,
+            };
+            // Unlike `simulate`, the advisor demo defaults to the
+            // paper-style linear skew: a perfectly balanced workload
+            // has nothing to advise about.
+            let imbalance = match parsed.get("imbalance") {
+                Some(spec) => parse_imbalance(spec)?,
+                None => Imbalance::LinearSkew { spread: 0.4 },
+            };
+            let seed: u64 = parsed.get_or("seed", 0)?;
+            let program = build_program(workload, ranks, iterations, imbalance, seed)?;
+            Scenario::new(program, limba_mpisim::MachineConfig::new(ranks))
+                .map_err(|e| e.to_string())?
+        }
+        (None, Some(path)) => {
+            // Close the loop on a recorded trace: rebuild a proxy
+            // scenario from its measured computation marginals.
+            let trace = load_trace_auto(path)?;
+            let salvaged = limba_trace::reduce_checked(&trace).map_err(|e| e.to_string())?;
+            Scenario::from_measurements(&salvaged.reduced.measurements)
+                .map_err(|e| e.to_string())?
+        }
+    };
+
+    let faults = match parsed.get("faults") {
+        Some(spec) => Some(load_fault_plan(
+            spec,
+            &scenario.program,
+            scenario.program.ranks(),
+            engine,
+        )?),
+        None => None,
+    };
+
+    let mut advisor = Advisor::new()
+        .with_budget(budget)
+        .with_top_k(top)
+        .with_beam_width(beam)
+        .with_max_depth(depth)
+        .with_jobs(jobs)
+        .with_analyzer(Analyzer::new().with_cluster_k(clusters));
+    if let Some(plan) = faults {
+        advisor = advisor.with_faults(plan);
+    }
+    let advice = advisor.advise(&scenario).map_err(|e| e.to_string())?;
+
+    if json {
+        println!("{}", advice_json(&advice));
+        return Ok(());
+    }
+
+    // The baseline analysis report the recommendations refer to. Both
+    // engines produce bit-identical traces, so the report — like the
+    // advice — does not depend on the engine choice.
+    let sim = Simulator::new(scenario.config.clone());
+    let output = match engine {
+        Engine::Event => sim.run(&scenario.program),
+        Engine::Polling => sim.run_polling(&scenario.program),
+    }
+    .map_err(|e| e.to_string())?;
+    let salvaged = output.reduce_checked().map_err(|e| e.to_string())?;
+    let report = Analyzer::new()
+        .with_cluster_k(clusters)
+        .analyze(&salvaged.reduced.measurements)
+        .map_err(|e| e.to_string())?;
+    print!("{}", limba_viz::report::render(&report));
+    println!();
+    print!("{}", limba_viz::advice::render_advice(&advice));
+    Ok(())
+}
+
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Full-precision JSON rendering of an [`Advice`] — floats use Rust's
+/// shortest round-trip `Display`, so the bytes are deterministic.
+fn advice_json(advice: &Advice) -> String {
+    let mut out = String::from("{");
+    out.push_str(&format!(
+        "\"baseline_makespan\":{},\"catalog_size\":{},\"evaluated\":{},\"budget\":{},\"candidates\":[",
+        advice.baseline_makespan, advice.catalog_size, advice.evaluated, advice.budget
+    ));
+    for (i, c) in advice.candidates.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let labels: Vec<String> = c.labels.iter().map(|l| json_string(l)).collect();
+        out.push_str(&format!(
+            "{{\"rank\":{},\"labels\":[{}],\"signature\":{},\"predicted\":{{\"makespan\":{},\"lower_bound\":{},\"upper_bound\":{},\"gain\":{},\"submajorized\":{}}}",
+            i + 1,
+            labels.join(","),
+            json_string(&c.signature),
+            c.prediction.makespan,
+            c.prediction.lower_bound,
+            c.prediction.upper_bound,
+            c.predicted_gain,
+            c.prediction.submajorized
+        ));
+        match &c.verification {
+            Some(v) => {
+                let region = match &v.heaviest_region {
+                    Some(r) => json_string(r),
+                    None => "null".into(),
+                };
+                out.push_str(&format!(
+                    ",\"measured\":{{\"event_makespan\":{},\"polling_makespan\":{},\"gain\":{},\"within_bounds\":{},\"mispredicted\":{},\"heaviest_region\":{}}}}}",
+                    v.event_makespan,
+                    v.polling_makespan,
+                    v.measured_gain,
+                    v.within_bounds,
+                    v.mispredicted,
+                    region
+                ));
+            }
+            None => out.push_str(",\"measured\":null}"),
+        }
+    }
+    out.push_str("]}");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use limba_mpisim::{MachineConfig, ProgramBuilder};
+
+    fn small_advice() -> Advice {
+        let mut pb = ProgramBuilder::new(4);
+        let r = pb.add_region("solve");
+        pb.spmd(|rank, mut ops| {
+            ops.enter(r)
+                .compute(0.3 + 0.3 * rank as f64)
+                .barrier()
+                .leave(r);
+        });
+        let scenario = Scenario::new(pb.build().unwrap(), MachineConfig::new(4)).unwrap();
+        Advisor::new()
+            .with_top_k(1)
+            .with_analyzer(Analyzer::new().with_cluster_k(2))
+            .advise(&scenario)
+            .unwrap()
+    }
+
+    #[test]
+    fn json_digest_is_well_formed_and_complete() {
+        let advice = small_advice();
+        let json = advice_json(&advice);
+        assert!(json.starts_with('{') && json.ends_with('}'));
+        assert_eq!(
+            json.matches("\"rank\":").count(),
+            advice.candidates.len(),
+            "{json}"
+        );
+        assert!(json.contains("\"baseline_makespan\":"));
+        assert!(json.contains("\"within_bounds\":true"), "{json}");
+        // Balanced braces and brackets (no string content interferes:
+        // labels are plain prose).
+        let depth = json.chars().fold(0i64, |d, c| match c {
+            '{' | '[' => d + 1,
+            '}' | ']' => d - 1,
+            _ => d,
+        });
+        assert_eq!(depth, 0, "{json}");
+    }
+
+    #[test]
+    fn json_strings_escape_control_characters() {
+        assert_eq!(json_string("a\"b\\c\nd"), "\"a\\\"b\\\\c\\nd\"");
+        assert_eq!(json_string("\u{1}"), "\"\\u0001\"");
+    }
+}

@@ -76,6 +76,21 @@ pub fn run(argv: &[String]) -> Result<(), String> {
     // section instead of failing the whole analysis.
     let limba_trace::SalvagedTrace { reduced, coverage } =
         limba_trace::reduce_checked(&trace).map_err(|e| e.to_string())?;
+    // Salvage is for partially damaged runs (crashes, interruptions):
+    // truncated ranks keep their lower-bound data and get flagged in
+    // the coverage section. But when the salvage recovered no measured
+    // time at all, a report would be all zeros dressed up as data —
+    // fail with the trace diagnosis instead.
+    if coverage.iter().any(|c| !c.complete) && reduced.measurements.total_time() <= 0.0 {
+        let truncated = coverage.iter().filter(|c| !c.complete).count();
+        return Err(limba_trace::TraceError::Malformed {
+            detail: format!(
+                "unsalvageable trace: {truncated} of {} ranks truncated and no measured time survives",
+                coverage.len()
+            ),
+        }
+        .to_string());
+    }
     // Counting parameters (message/byte distributions) render as part of
     // the report when the trace recorded any.
     let report = Analyzer::new()

@@ -13,7 +13,7 @@ use limba_workloads::{
 
 use crate::args::{parse, parse_imbalance, Parsed};
 
-fn build_program(
+pub(crate) fn build_program(
     workload: &str,
     ranks: usize,
     iterations: Option<usize>,
@@ -75,7 +75,7 @@ fn build_program(
 
 /// Which execution core advances the simulated ranks.
 #[derive(Clone, Copy, PartialEq, Debug)]
-enum Engine {
+pub(crate) enum Engine {
     /// Event-driven wakeup-list scheduler (default).
     Event,
     /// Reference polling scheduler, kept for cross-checking.
@@ -83,7 +83,7 @@ enum Engine {
 }
 
 impl Engine {
-    fn parse(spec: &str) -> Result<Engine, String> {
+    pub(crate) fn parse(spec: &str) -> Result<Engine, String> {
         match spec {
             "event" => Ok(Engine::Event),
             "polling" => Ok(Engine::Polling),
@@ -118,7 +118,7 @@ fn simulate_with(
 /// [`limba_workloads::faults`]. Presets are scaled to the makespan of a
 /// fault-free run of the same program (both runs are deterministic, so
 /// the recipe reproduces exactly).
-fn load_fault_plan(
+pub(crate) fn load_fault_plan(
     spec: &str,
     program: &Program,
     ranks: usize,
@@ -138,6 +138,21 @@ fn load_fault_plan(
     };
     plan.validate(ranks).map_err(|e| e.to_string())?;
     Ok(plan)
+}
+
+/// The `--faults list` listing: every preset with its one-line summary.
+pub(crate) fn render_fault_presets() -> String {
+    let mut out = String::from("available fault presets (use --faults preset:<name>):\n");
+    let width = limba_workloads::faults::PRESET_SUMMARIES
+        .iter()
+        .map(|&(name, _)| name.len())
+        .max()
+        .unwrap_or(0);
+    for &(name, summary) in limba_workloads::faults::PRESET_SUMMARIES {
+        out.push_str(&format!("  {name:<width$}  {summary}\n"));
+    }
+    out.push_str("or pass a TOML fault-plan file path (see DESIGN.md)\n");
+    out
 }
 
 /// One-line summary of what a fault plan did to a run.
@@ -238,6 +253,12 @@ fn render_sweep(
 /// Runs `limba simulate <workload> [options]`.
 pub fn run(argv: &[String]) -> Result<(), String> {
     let parsed: Parsed = parse(argv)?;
+    // `--faults list` is a query, not a run: answer it even without a
+    // workload on the command line.
+    if parsed.get("faults") == Some("list") {
+        print!("{}", render_fault_presets());
+        return Ok(());
+    }
     let workload = parsed
         .positional
         .first()
@@ -429,6 +450,15 @@ mod tests {
         assert_eq!(event.faults, polling.faults);
         assert!(!event.faults.is_clean());
         assert!(describe_faults(&event.faults).contains("crashed"));
+    }
+
+    #[test]
+    fn fault_preset_listing_names_every_preset() {
+        let listing = render_fault_presets();
+        for &name in limba_workloads::faults::PRESETS {
+            assert!(listing.contains(name), "missing {name}");
+        }
+        assert!(listing.contains("preset:<name>"));
     }
 
     #[test]

@@ -8,6 +8,7 @@
 use std::process::ExitCode;
 
 mod args;
+mod cmd_advise;
 mod cmd_analyze;
 mod cmd_compare;
 mod cmd_paper;
@@ -21,6 +22,8 @@ limba — load-imbalance analysis of parallel programs
 USAGE:
   limba simulate <workload> [OPTIONS]   run a workload, write a tracefile
   limba analyze <tracefile> [OPTIONS]   analyze a tracefile, print the report
+  limba advise <tracefile> [OPTIONS]    recommend, predict, and simulate-verify fixes
+  limba advise --workload W [OPTIONS]   same, on a synthetic workload scenario
   limba compare <before> <after>        verify a tuning change between two traces
   limba paper [OPTIONS]                 regenerate the paper's case study
   limba suite [--ranks N] [--jobs N]    sweep all workloads × injectors, print a summary
@@ -56,6 +59,20 @@ OPTIONS (analyze):
                          each activity's imbalance evolves (default off)
   --format FMT           tracefile format: auto | binary | text (default auto)
 
+OPTIONS (advise):
+  --workload W           advise on a synthetic workload instead of a tracefile
+                         (same names as simulate; --ranks/--iterations/--seed
+                         apply; --imbalance defaults to linear:0.4 here)
+  --budget N             max intervention combos to predict (default 64)
+  --top K                candidates to simulate-verify and report (default 3)
+  --beam N               beam width of the combo search (default 8)
+  --depth N              max interventions per combo (default 2)
+  --jobs N               worker threads; output is byte-identical for every N
+  --faults SPEC          verify under a fault plan (TOML file, preset:<name>,
+                         or list to print the presets)
+  --engine ENGINE        event | polling — advice is identical under both
+  --json                 machine-readable digest instead of the text report
+
 OPTIONS (timeline):
   --out PATH             output SVG path (default timeline.svg)
   --width PX             image width in pixels (default 1200)
@@ -73,6 +90,7 @@ fn main() -> ExitCode {
     let result = match command.as_str() {
         "simulate" => cmd_simulate::run(rest),
         "analyze" => cmd_analyze::run(rest),
+        "advise" => cmd_advise::run(rest),
         "compare" => cmd_compare::run(rest),
         "paper" => cmd_paper::run(rest),
         "suite" => cmd_suite::run(rest),

@@ -228,6 +228,112 @@ fn sweep_workload_simulates() {
 }
 
 #[test]
+fn faults_list_prints_presets_instead_of_erroring() {
+    let out = limba(&["simulate", "--faults", "list"]);
+    assert!(out.status.success());
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    for name in [
+        "straggler",
+        "degraded-link",
+        "flaky-network",
+        "crash",
+        "chaos",
+    ] {
+        assert!(stdout.contains(name), "missing {name}");
+    }
+}
+
+#[test]
+fn analyze_rejects_an_unsalvageable_trace_with_nonzero_exit() {
+    // Structurally malformed: leave without enter.
+    let bad = temp_path("malformed.trace");
+    std::fs::write(
+        &bad,
+        "limba-trace v1\nprocessors 1\nregion 0 r\nevent 1 0 leave 0\n",
+    )
+    .unwrap();
+    let out = limba(&["analyze", bad.to_str().unwrap()]);
+    assert!(!out.status.success());
+    assert!(out.stdout.is_empty(), "partial report on stdout");
+    let stderr = String::from_utf8(out.stderr).unwrap();
+    assert!(stderr.contains("malformed"), "{stderr}");
+    std::fs::remove_file(&bad).ok();
+
+    // Salvage recovered nothing: a single truncated rank with no
+    // measured time. No partial report, no exit 0.
+    let empty = temp_path("unsalvageable.trace");
+    std::fs::write(
+        &empty,
+        "limba-trace v1\nprocessors 1\nregion 0 r\nevent 0 0 enter 0\n",
+    )
+    .unwrap();
+    let out = limba(&["analyze", empty.to_str().unwrap()]);
+    assert!(!out.status.success());
+    assert!(out.stdout.is_empty(), "partial report on stdout");
+    let stderr = String::from_utf8(out.stderr).unwrap();
+    assert!(stderr.contains("unsalvageable"), "{stderr}");
+    std::fs::remove_file(&empty).ok();
+}
+
+#[test]
+fn advise_recommends_a_verified_improvement_on_cfd() {
+    let out = limba(&["advise", "--workload", "cfd", "--top", "3"]);
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    // The full analysis report, then the appended advice section.
+    assert!(stdout.contains("== findings =="));
+    assert!(stdout.contains("== recommended interventions =="));
+    assert!(stdout.contains("#1  "));
+    assert!(stdout.contains("measured  +"), "no verified improvement");
+    assert!(stdout.contains("predicted +"));
+}
+
+#[test]
+fn advise_is_byte_identical_across_jobs_and_engines() {
+    let reference = limba(&["advise", "--workload", "cfd", "--ranks", "8", "--top", "2"]);
+    assert!(reference.status.success());
+    for extra in [["--jobs", "4"], ["--jobs", "8"], ["--engine", "polling"]] {
+        let mut args = vec!["advise", "--workload", "cfd", "--ranks", "8", "--top", "2"];
+        args.extend(extra);
+        let out = limba(&args);
+        assert!(out.status.success());
+        assert_eq!(out.stdout, reference.stdout, "{extra:?}");
+    }
+}
+
+#[test]
+fn advise_analyzes_a_recorded_trace_and_emits_json() {
+    let trace = temp_path("advise.trace");
+    assert!(limba(&[
+        "simulate",
+        "cfd",
+        "--ranks",
+        "8",
+        "--imbalance",
+        "linear:0.4",
+        "--out",
+        trace.to_str().unwrap(),
+    ])
+    .status
+    .success());
+    let out = limba(&["advise", trace.to_str().unwrap(), "--top", "2", "--json"]);
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(stdout.starts_with('{'));
+    assert!(stdout.contains("\"baseline_makespan\":"));
+    assert!(stdout.contains("\"within_bounds\":true"));
+    std::fs::remove_file(&trace).ok();
+}
+
+#[test]
 fn bad_flags_are_reported() {
     let out = limba(&["simulate", "cfd", "--ranks"]);
     assert!(!out.status.success());

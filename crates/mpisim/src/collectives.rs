@@ -62,6 +62,32 @@ pub enum CollectiveAlgorithm {
     Ring,
 }
 
+impl CollectiveAlgorithm {
+    /// Every algorithm the cost model knows, in a fixed order — the
+    /// candidate set the advisor's collective-swap intervention
+    /// enumerates.
+    pub const ALL: [CollectiveAlgorithm; 5] = [
+        CollectiveAlgorithm::BinomialTree,
+        CollectiveAlgorithm::RecursiveDoubling,
+        CollectiveAlgorithm::Pairwise,
+        CollectiveAlgorithm::BinomialScaled,
+        CollectiveAlgorithm::Ring,
+    ];
+}
+
+impl fmt::Display for CollectiveAlgorithm {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            CollectiveAlgorithm::BinomialTree => "binomial-tree",
+            CollectiveAlgorithm::RecursiveDoubling => "recursive-doubling",
+            CollectiveAlgorithm::Pairwise => "pairwise",
+            CollectiveAlgorithm::BinomialScaled => "binomial-scaled",
+            CollectiveAlgorithm::Ring => "ring",
+        };
+        f.write_str(s)
+    }
+}
+
 impl CollectiveKind {
     /// The algorithm the simulator uses for this collective.
     pub fn algorithm(self) -> CollectiveAlgorithm {
@@ -85,8 +111,12 @@ fn log2_ceil(p: usize) -> usize {
 /// Time a collective of `kind` over `procs` ranks with `bytes` payload
 /// takes once all ranks have arrived, under `config`'s network parameters.
 ///
-/// Per round the cost is `overhead + latency + bytes / bandwidth` (no
-/// payload term for barriers). A single-rank collective is free.
+/// The algorithm is the machine's choice for the kind
+/// ([`MachineConfig::collective_algorithm`]), which defaults to
+/// [`CollectiveKind::algorithm`]. Per round the cost is
+/// `overhead + latency + bytes / bandwidth` (no payload term for
+/// barriers, whichever algorithm costs them). A single-rank collective
+/// is free.
 pub fn collective_cost(
     kind: CollectiveKind,
     procs: usize,
@@ -97,17 +127,14 @@ pub fn collective_cost(
         return 0.0;
     }
     let per_msg = config.overhead() + config.latency();
-    let payload = config.transfer_time(bytes);
-    match kind.algorithm() {
+    let payload = if kind == CollectiveKind::Barrier {
+        0.0
+    } else {
+        config.transfer_time(bytes)
+    };
+    match config.collective_algorithm(kind) {
         CollectiveAlgorithm::BinomialTree => log2_ceil(procs) as f64 * (per_msg + payload),
-        CollectiveAlgorithm::RecursiveDoubling => {
-            let payload = if kind == CollectiveKind::Barrier {
-                0.0
-            } else {
-                payload
-            };
-            log2_ceil(procs) as f64 * (per_msg + payload)
-        }
+        CollectiveAlgorithm::RecursiveDoubling => log2_ceil(procs) as f64 * (per_msg + payload),
         CollectiveAlgorithm::Pairwise => (procs - 1) as f64 * (per_msg + payload),
         CollectiveAlgorithm::BinomialScaled => {
             log2_ceil(procs) as f64 * per_msg + (procs - 1) as f64 * payload
@@ -199,6 +226,29 @@ mod tests {
         let c = collective_cost(CollectiveKind::Allgather, 8, 2048, &cfg());
         let expected = 7.0 * (10e-6 + 2048.0 / 1e8);
         assert!((c - expected).abs() < 1e-12);
+    }
+
+    #[test]
+    fn config_override_switches_the_cost_model() {
+        // Allreduce costed as a ring: P−1 rounds instead of log2 P.
+        let ring =
+            cfg().with_collective_algorithm(CollectiveKind::Allreduce, CollectiveAlgorithm::Ring);
+        let c = collective_cost(CollectiveKind::Allreduce, 16, 1024, &ring);
+        let expected = 15.0 * (10e-6 + 1024.0 / 1e8);
+        assert!((c - expected).abs() < 1e-12);
+        // Other kinds on the same machine keep their defaults.
+        assert_eq!(
+            collective_cost(CollectiveKind::Reduce, 16, 1024, &ring),
+            collective_cost(CollectiveKind::Reduce, 16, 1024, &cfg())
+        );
+        // Barriers stay payload-free under every algorithm.
+        for algo in CollectiveAlgorithm::ALL {
+            let b = cfg().with_collective_algorithm(CollectiveKind::Barrier, algo);
+            assert_eq!(
+                collective_cost(CollectiveKind::Barrier, 8, 1 << 20, &b),
+                collective_cost(CollectiveKind::Barrier, 8, 0, &b)
+            );
+        }
     }
 
     #[test]

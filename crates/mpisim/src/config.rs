@@ -2,7 +2,7 @@
 
 use std::collections::HashMap;
 
-use crate::SimError;
+use crate::{CollectiveAlgorithm, CollectiveKind, SimError};
 
 /// Parameters of the simulated message-passing machine.
 ///
@@ -33,6 +33,9 @@ pub struct MachineConfig {
     eager_threshold: u64,
     /// Per-directed-link `(src, dst)` overrides of `(latency, bandwidth)`.
     link_overrides: HashMap<(usize, usize), (f64, f64)>,
+    /// Per-collective algorithm overrides; absent kinds use
+    /// [`CollectiveKind::algorithm`].
+    collective_overrides: HashMap<CollectiveKind, CollectiveAlgorithm>,
 }
 
 impl MachineConfig {
@@ -48,6 +51,7 @@ impl MachineConfig {
             bandwidth: 40e6,
             eager_threshold: 8 * 1024,
             link_overrides: HashMap::new(),
+            collective_overrides: HashMap::new(),
         }
     }
 
@@ -172,6 +176,29 @@ impl MachineConfig {
             .get(&(src, dst))
             .map(|&(_, b)| b)
             .unwrap_or(self.bandwidth)
+    }
+
+    /// Overrides the algorithm one collective kind is costed with.
+    /// Collectives without an override keep their default
+    /// ([`CollectiveKind::algorithm`]); both engines cost collectives
+    /// through the same [`collective_cost`](crate::collective_cost), so
+    /// an override changes both identically.
+    pub fn with_collective_algorithm(
+        mut self,
+        kind: CollectiveKind,
+        algorithm: CollectiveAlgorithm,
+    ) -> Self {
+        self.collective_overrides.insert(kind, algorithm);
+        self
+    }
+
+    /// The algorithm `kind` is costed with on this machine: the
+    /// override when one was set, the kind's default otherwise.
+    pub fn collective_algorithm(&self, kind: CollectiveKind) -> CollectiveAlgorithm {
+        self.collective_overrides
+            .get(&kind)
+            .copied()
+            .unwrap_or_else(|| kind.algorithm())
     }
 
     /// Transfer time for `bytes` over the default link, `bytes / B`.
@@ -318,5 +345,21 @@ mod tests {
     #[should_panic(expected = "endpoint out of range")]
     fn link_endpoint_out_of_range_panics() {
         let _ = MachineConfig::new(2).with_link(0, 5, 1e-5, 1e6);
+    }
+
+    #[test]
+    fn collective_algorithm_overrides_apply_per_kind() {
+        let cfg = MachineConfig::new(8)
+            .with_collective_algorithm(CollectiveKind::Allreduce, CollectiveAlgorithm::Ring);
+        assert_eq!(
+            cfg.collective_algorithm(CollectiveKind::Allreduce),
+            CollectiveAlgorithm::Ring
+        );
+        // Kinds without an override keep their defaults.
+        assert_eq!(
+            cfg.collective_algorithm(CollectiveKind::Reduce),
+            CollectiveAlgorithm::BinomialTree
+        );
+        cfg.validate().unwrap();
     }
 }

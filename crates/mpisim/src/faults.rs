@@ -342,6 +342,50 @@ impl FaultPlan {
     pub fn parse_toml(text: &str) -> Result<FaultPlan, SimError> {
         parse_toml(text)
     }
+
+    /// Serializes the plan to the same TOML subset
+    /// [`parse_toml`](FaultPlan::parse_toml) accepts. The encoding
+    /// round-trips exactly: `parse_toml(&plan.to_toml())` reconstructs
+    /// an equal plan (floats are printed with Rust's shortest
+    /// round-trip formatting).
+    pub fn to_toml(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(out, "seed = {}", self.seed);
+        for s in &self.slowdowns {
+            let _ = writeln!(
+                out,
+                "\n[[slowdown]]\nrank = {}\nstart = {}\nend = {}\nfactor = {}",
+                s.rank, s.start, s.end, s.factor
+            );
+        }
+        for l in &self.links {
+            let _ = writeln!(
+                out,
+                "\n[[link]]\nsrc = {}\ndst = {}\nstart = {}\nend = {}\n\
+                 latency_factor = {}\nbandwidth_factor = {}",
+                l.src, l.dst, l.start, l.end, l.latency_factor, l.bandwidth_factor
+            );
+        }
+        for l in &self.losses {
+            let _ = writeln!(out, "\n[[loss]]");
+            if let Some(src) = l.src {
+                let _ = writeln!(out, "src = {src}");
+            }
+            if let Some(dst) = l.dst {
+                let _ = writeln!(out, "dst = {dst}");
+            }
+            let _ = writeln!(
+                out,
+                "rate = {}\nmax_retries = {}\ntimeout = {}\nbackoff = {}",
+                l.rate, l.max_retries, l.timeout, l.backoff
+            );
+        }
+        for c in &self.crashes {
+            let _ = writeln!(out, "\n[[crash]]\nrank = {}\ntime = {}", c.rank, c.time);
+        }
+        out
+    }
 }
 
 /// Which table a parsed `key = value` line belongs to.
@@ -879,6 +923,54 @@ mod tests {
         assert_eq!(plan.losses[1].backoff, 2.0); // default
         assert_eq!(plan.crashes, vec![Crash { rank: 3, time: 2.5 }]);
         plan.validate(4).unwrap();
+    }
+
+    #[test]
+    fn toml_serializer_round_trips_exactly() {
+        // parse → serialize → parse: the reconstructed plan is equal,
+        // including awkward floats and the optional loss endpoints.
+        let text = r#"
+            seed = 42
+            [[slowdown]]
+            rank = 2
+            start = 0.1   # 0.1 is not exactly representable
+            end = 1.7500000000000002
+            factor = 3.5
+            [[link]]
+            src = 0
+            dst = 3
+            start = 0.0
+            end = 9.0
+            latency_factor = 10.0
+            bandwidth_factor = 4.0
+            [[loss]]
+            rate = 0.05
+            max_retries = 4
+            timeout = 0.001
+            [[loss]]
+            src = 1
+            dst = 2
+            rate = 0.3333333333333333
+            max_retries = 2
+            timeout = 0.01
+            backoff = 1.5
+            [[crash]]
+            rank = 3
+            time = 2.5
+        "#;
+        let plan = FaultPlan::parse_toml(text).unwrap();
+        let reparsed = FaultPlan::parse_toml(&plan.to_toml()).unwrap();
+        assert_eq!(plan, reparsed, "to_toml drifted:\n{}", plan.to_toml());
+        // And again from the builder side, plus the empty plan.
+        let built = FaultPlan::new(7)
+            .with_slowdown(0, 0.25, 0.75, 2.0)
+            .with_link_loss(Some(0), None, 0.125, 3, 1e-3, 2.0)
+            .with_crash(1, 1.5);
+        assert_eq!(FaultPlan::parse_toml(&built.to_toml()).unwrap(), built);
+        assert_eq!(
+            FaultPlan::parse_toml(&FaultPlan::default().to_toml()).unwrap(),
+            FaultPlan::default()
+        );
     }
 
     #[test]

@@ -102,6 +102,130 @@ impl Program {
         self.ranks.iter().map(|r| r.len()).sum()
     }
 
+    /// Nominal compute seconds per rank (speed 1.0), summed over the
+    /// whole program — the load vector the advisor's majorization
+    /// bounds are built from.
+    pub fn compute_seconds(&self) -> Vec<f64> {
+        self.ranks
+            .iter()
+            .map(|ops| {
+                ops.iter()
+                    .map(|op| match op {
+                        Op::Compute { seconds } => *seconds,
+                        _ => 0.0,
+                    })
+                    .sum()
+            })
+            .collect()
+    }
+
+    /// Nominal compute seconds per rank attributed to `region`
+    /// (innermost enclosing region wins, matching how the trace reducer
+    /// attributes busy time). Compute outside any region, or inside a
+    /// nested sub-region, is not counted.
+    pub fn region_compute_seconds(&self, region: RegionId) -> Vec<f64> {
+        self.ranks
+            .iter()
+            .map(|ops| {
+                let mut stack: Vec<RegionId> = Vec::new();
+                let mut total = 0.0;
+                for op in ops {
+                    match op {
+                        Op::Enter { region } => stack.push(*region),
+                        Op::Leave { .. } => {
+                            stack.pop();
+                        }
+                        Op::Compute { seconds } if stack.last() == Some(&region) => {
+                            total += seconds;
+                        }
+                        _ => {}
+                    }
+                }
+                total
+            })
+            .collect()
+    }
+
+    /// The program's collective call sequence as `(kind, bytes)` pairs,
+    /// one per instance, with `bytes` the maximum payload any rank
+    /// contributes — the value the engines cost the instance with.
+    /// Empty for programs without collectives.
+    pub fn collective_calls(&self) -> Vec<(CollectiveKind, u64)> {
+        let Some(first) = self.ranks.first() else {
+            return Vec::new();
+        };
+        let mut calls: Vec<(CollectiveKind, u64)> = first
+            .iter()
+            .filter_map(|op| match op {
+                Op::Collective { kind, bytes } => Some((*kind, *bytes)),
+                _ => None,
+            })
+            .collect();
+        for ops in &self.ranks[1..] {
+            for (i, bytes) in ops
+                .iter()
+                .filter_map(|op| match op {
+                    Op::Collective { bytes, .. } => Some(*bytes),
+                    _ => None,
+                })
+                .enumerate()
+            {
+                calls[i].1 = calls[i].1.max(bytes);
+            }
+        }
+        calls
+    }
+
+    /// Returns a copy of the program with every compute op attributed
+    /// to `region` (innermost attribution, as in
+    /// [`region_compute_seconds`](Program::region_compute_seconds))
+    /// scaled by its rank's entry in `factors` — the advisor's
+    /// work-splitting transform. Communication, collectives, and
+    /// compute in other regions are untouched, so the program's
+    /// synchronization structure is preserved by construction.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::InvalidWork`] when a factor is negative or
+    /// non-finite.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `factors.len()` differs from the rank count.
+    pub fn with_region_compute_scaled(
+        &self,
+        region: RegionId,
+        factors: &[f64],
+    ) -> Result<Program, SimError> {
+        assert_eq!(
+            factors.len(),
+            self.ranks.len(),
+            "one factor per rank required"
+        );
+        for &f in factors {
+            if !f.is_finite() || f < 0.0 {
+                return Err(SimError::InvalidWork { value: f });
+            }
+        }
+        let mut out = self.clone();
+        for (ops, &factor) in out.ranks.iter_mut().zip(factors) {
+            let mut stack: Vec<RegionId> = Vec::new();
+            for op in ops.iter_mut() {
+                match op {
+                    Op::Enter { region } => stack.push(*region),
+                    Op::Leave { .. } => {
+                        stack.pop();
+                    }
+                    Op::Compute { seconds } if stack.last() == Some(&region) => {
+                        *seconds *= factor;
+                    }
+                    _ => {}
+                }
+            }
+        }
+        Ok(out)
+    }
+
     /// Upper bound on the number of trace events one run of this
     /// program records, computed from op counts alone. The simulator
     /// pre-reserves the trace's event buffer with this, so recording
@@ -521,5 +645,65 @@ mod tests {
     fn rank_handle_out_of_range_panics() {
         let mut pb = ProgramBuilder::new(1);
         let _ = pb.rank(3);
+    }
+
+    fn two_region_program() -> Program {
+        let mut pb = ProgramBuilder::new(2);
+        let outer = pb.add_region("outer");
+        let inner = pb.add_region("inner");
+        pb.rank(0)
+            .enter(outer)
+            .compute(1.0)
+            .enter(inner)
+            .compute(0.25)
+            .leave(inner)
+            .compute(2.0)
+            .leave(outer)
+            .compute(10.0); // outside any region
+        pb.rank(1).enter(outer).compute(4.0).leave(outer).barrier();
+        pb.rank(0).barrier();
+        pb.build().unwrap()
+    }
+
+    #[test]
+    fn compute_accessors_attribute_to_innermost_region() {
+        let p = two_region_program();
+        assert_eq!(p.compute_seconds(), vec![13.25, 4.0]);
+        assert_eq!(p.region_compute_seconds(RegionId::new(0)), vec![3.0, 4.0]);
+        assert_eq!(p.region_compute_seconds(RegionId::new(1)), vec![0.25, 0.0]);
+    }
+
+    #[test]
+    fn collective_calls_take_the_max_payload() {
+        let mut pb = ProgramBuilder::new(2);
+        pb.rank(0).reduce(8).barrier();
+        pb.rank(1).reduce(64).barrier();
+        let p = pb.build().unwrap();
+        assert_eq!(
+            p.collective_calls(),
+            vec![(CollectiveKind::Reduce, 64), (CollectiveKind::Barrier, 0)]
+        );
+    }
+
+    #[test]
+    fn region_compute_scaling_is_region_local() {
+        let p = two_region_program();
+        let scaled = p
+            .with_region_compute_scaled(RegionId::new(0), &[0.5, 1.5])
+            .unwrap();
+        assert_eq!(
+            scaled.region_compute_seconds(RegionId::new(0)),
+            vec![1.5, 6.0]
+        );
+        // Nested and out-of-region compute are untouched.
+        assert_eq!(
+            scaled.region_compute_seconds(RegionId::new(1)),
+            vec![0.25, 0.0]
+        );
+        assert_eq!(scaled.compute_seconds(), vec![0.25 + 1.5 + 10.0, 6.0]);
+        assert!(matches!(
+            p.with_region_compute_scaled(RegionId::new(0), &[1.0, f64::NAN]),
+            Err(SimError::InvalidWork { .. })
+        ));
     }
 }

@@ -4,6 +4,8 @@
 //! * [`pattern`] — ASCII pattern diagrams (Figures 1 and 2);
 //! * [`report`] — a full text report from an
 //!   [`Report`](limba_analysis::Report);
+//! * [`advice`] — the ranked "recommended interventions" section from
+//!   an advisor run;
 //! * [`svg`] — standalone SVG renderings of pattern grids and Lorenz
 //!   curves.
 //!
@@ -21,6 +23,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod advice;
 pub mod csv;
 pub mod pattern;
 pub mod report;

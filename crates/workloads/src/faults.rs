@@ -19,6 +19,28 @@ pub const PRESETS: &[&str] = &[
     "chaos",
 ];
 
+/// One-line summary per preset, in [`PRESETS`] order — what the CLI
+/// prints for `--faults list`.
+pub const PRESET_SUMMARIES: &[(&str, &str)] = &[
+    (
+        "straggler",
+        "the middle rank computes at 1/3 speed all run long",
+    ),
+    (
+        "degraded-link",
+        "the 0 -> 1 link suffers 8x latency and 1/4 bandwidth through the middle half",
+    ),
+    (
+        "flaky-network",
+        "every channel loses 5% of transmission attempts (up to 4 retries)",
+    ),
+    (
+        "crash",
+        "the last rank fail-stops halfway through, interrupting its peers",
+    ),
+    ("chaos", "all of the above at once"),
+];
+
 /// Builds the named fault-plan preset for a machine of `ranks` ranks
 /// and a run expected to span roughly `[0, horizon]` seconds. Returns
 /// `None` for unknown names (see [`PRESETS`]).
@@ -79,6 +101,15 @@ mod tests {
             }
         }
         assert!(preset("hurricane", 4, 1.0).is_none());
+    }
+
+    #[test]
+    fn summaries_cover_every_preset_in_order() {
+        let summarized: Vec<&str> = PRESET_SUMMARIES.iter().map(|&(name, _)| name).collect();
+        assert_eq!(summarized, PRESETS);
+        for &(_, summary) in PRESET_SUMMARIES {
+            assert!(!summary.is_empty());
+        }
     }
 
     #[test]

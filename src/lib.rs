@@ -20,6 +20,9 @@
 //!   hierarchical drill-down over nested regions;
 //! * [`calibrate`] — inverse synthesis of measurement matrices from
 //!   published marginals and dispersion targets;
+//! * [`advisor`] — the closed-loop tuning advisor: a catalog of typed
+//!   interventions, analytic gain prediction with majorization bounds,
+//!   budgeted beam search, and simulate-verified recommendations;
 //! * [`par`] — deterministic parallel execution primitives backing the
 //!   batch analyzer, replication sweeps, and intra-report fan-out;
 //! * [`viz`] — text tables, pattern diagrams, and SVG output.
@@ -42,6 +45,7 @@
 
 #![forbid(unsafe_code)]
 
+pub use limba_advisor as advisor;
 pub use limba_analysis as analysis;
 pub use limba_calibrate as calibrate;
 pub use limba_cluster as cluster;

@@ -116,6 +116,51 @@ fn faulted_cfd_report_matches_golden() {
 }
 
 #[test]
+fn paper_advice_matches_golden() {
+    // Advise on the calibrated paper case: the proxy scenario rebuilt
+    // from the published measurement marginals. The paper identifies
+    // loop 1 as the heaviest region, so the top recommendation must
+    // target it — and the rendered advice is locked byte-for-byte.
+    use limba::advisor::{Advisor, Scenario};
+
+    let scenario = Scenario::from_measurements(&paper_measurements().unwrap()).unwrap();
+    let advice = Advisor::new().with_top_k(3).advise(&scenario).unwrap();
+
+    let top = advice.candidates.first().expect("no recommendation");
+    assert!(
+        top.labels.iter().any(|l| l.contains("loop 1")),
+        "top recommendation does not target the paper's heaviest region: {:?}",
+        top.labels
+    );
+    let verified = top.verification.as_ref().expect("top candidate unverified");
+    assert!(verified.measured_gain > 0.0, "no simulated improvement");
+    assert!(verified.within_bounds);
+
+    check_golden(
+        "paper_advice.txt",
+        &limba::viz::advice::render_advice(&advice),
+    );
+}
+
+#[test]
+fn paper_advice_is_jobs_invariant() {
+    use limba::advisor::{Advisor, Scenario};
+
+    let scenario = Scenario::from_measurements(&paper_measurements().unwrap()).unwrap();
+    for jobs in [2, 8] {
+        let advice = Advisor::new()
+            .with_top_k(3)
+            .with_jobs(jobs)
+            .advise(&scenario)
+            .unwrap();
+        check_golden(
+            "paper_advice.txt",
+            &limba::viz::advice::render_advice(&advice),
+        );
+    }
+}
+
+#[test]
 fn golden_snapshots_are_jobs_invariant() {
     // The snapshot files double as the fixed point of the --jobs sweep:
     // parallel analysis must reproduce the identical golden bytes.
