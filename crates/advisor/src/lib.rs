@@ -61,7 +61,7 @@ pub mod verify;
 pub use catalog::{propose, Intervention, RemapVariant};
 pub use predict::{BaselineModel, Prediction};
 pub use search::{Advice, Advisor, Candidate};
-pub use verify::Verification;
+pub use verify::{Verification, VerifyCache};
 
 /// Errors the advisor reports.
 #[derive(Debug)]
@@ -77,6 +77,15 @@ pub enum AdviseError {
         /// What went wrong.
         detail: String,
     },
+    /// A cancellation token tripped mid-advise (see
+    /// [`Advisor::with_cancel`]). No advice is returned, but any
+    /// verifications already completed were offered to the attached
+    /// [`VerifyCache`](crate::verify::VerifyCache), so a resumed advise
+    /// run skips them.
+    Interrupted {
+        /// Which phase the cancellation landed in.
+        detail: String,
+    },
 }
 
 impl fmt::Display for AdviseError {
@@ -86,6 +95,7 @@ impl fmt::Display for AdviseError {
             AdviseError::Analysis(e) => write!(f, "analysis failed: {e}"),
             AdviseError::Trace(e) => write!(f, "trace reduction failed: {e}"),
             AdviseError::Internal { detail } => write!(f, "internal error: {detail}"),
+            AdviseError::Interrupted { detail } => write!(f, "advise interrupted: {detail}"),
         }
     }
 }

@@ -16,14 +16,15 @@
 //! every `jobs` setting.
 
 use std::collections::BTreeSet;
+use std::sync::Arc;
 
 use limba_analysis::{Analyzer, BatchAnalyzer, ReportCache};
 use limba_mpisim::{FaultPlan, Simulator};
-use limba_par::par_map;
+use limba_par::{par_map, par_map_cancellable, CancelToken};
 
 use crate::catalog::{propose, Intervention};
 use crate::predict::{BaselineModel, Prediction};
-use crate::verify::{verify, Verification};
+use crate::verify::{verify, Verification, VerifyCache};
 use crate::{AdviseError, Scenario};
 
 /// One ranked recommendation: an intervention combo, its analytic
@@ -60,7 +61,7 @@ pub struct Advice {
 }
 
 /// The closed-loop tuning advisor (see the crate docs).
-#[derive(Debug, Clone)]
+#[derive(Clone)]
 pub struct Advisor {
     budget: usize,
     top_k: usize,
@@ -69,6 +70,24 @@ pub struct Advisor {
     jobs: usize,
     faults: Option<FaultPlan>,
     analyzer: Analyzer,
+    cancel: Option<CancelToken>,
+    verify_cache: Option<Arc<dyn VerifyCache>>,
+}
+
+impl std::fmt::Debug for Advisor {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Advisor")
+            .field("budget", &self.budget)
+            .field("top_k", &self.top_k)
+            .field("beam_width", &self.beam_width)
+            .field("max_depth", &self.max_depth)
+            .field("jobs", &self.jobs)
+            .field("faults", &self.faults)
+            .field("analyzer", &self.analyzer)
+            .field("cancel", &self.cancel)
+            .field("verify_cache", &self.verify_cache.as_ref().map(|_| ".."))
+            .finish()
+    }
 }
 
 impl Default for Advisor {
@@ -89,6 +108,8 @@ impl Advisor {
             jobs: 1,
             faults: None,
             analyzer: Analyzer::new(),
+            cancel: None,
+            verify_cache: None,
         }
     }
 
@@ -140,6 +161,36 @@ impl Advisor {
         self
     }
 
+    /// Attaches a cooperative cancellation token. When the token trips,
+    /// [`advise`](Self::advise) stops at the next phase boundary (or the
+    /// next unstarted verification) and returns
+    /// [`AdviseError::Interrupted`]. Verifications finished before the
+    /// trip were already offered to the attached
+    /// [`VerifyCache`], so nothing completed is lost.
+    pub fn with_cancel(mut self, cancel: CancelToken) -> Self {
+        self.cancel = Some(cancel);
+        self
+    }
+
+    /// Attaches a [`VerifyCache`]: candidate verifications found in the
+    /// cache are reused instead of re-simulated, and fresh ones are
+    /// stored back. With a persistent implementation this makes advise
+    /// runs resumable (see the `VerifyCache` docs for the correctness
+    /// discipline).
+    pub fn with_verify_cache(mut self, cache: Arc<dyn VerifyCache>) -> Self {
+        self.verify_cache = Some(cache);
+        self
+    }
+
+    fn check_cancelled(&self, phase: &str) -> Result<(), AdviseError> {
+        match &self.cancel {
+            Some(token) if token.is_cancelled() => Err(AdviseError::Interrupted {
+                detail: format!("cancelled during {phase}"),
+            }),
+            _ => Ok(()),
+        }
+    }
+
     /// Proposes, predicts, searches, and verifies: the closed loop.
     ///
     /// # Errors
@@ -152,6 +203,7 @@ impl Advisor {
         if let Some(plan) = &self.faults {
             plan.validate(scenario.config.processors())?;
         }
+        self.check_cancelled("baseline simulation")?;
 
         // Baseline on both engines: the one simulation predictions use.
         let sim = Simulator::new(scenario.config.clone());
@@ -181,6 +233,7 @@ impl Advisor {
         let mut frontier: Vec<Vec<Intervention>> =
             catalog.iter().map(|i| vec![i.clone()]).collect();
         for _depth in 0..self.max_depth {
+            self.check_cancelled("beam search")?;
             let mut batch: Vec<(String, Vec<Intervention>)> = Vec::new();
             for combo in frontier.drain(..) {
                 if evaluated + batch.len() >= self.budget {
@@ -230,22 +283,54 @@ impl Advisor {
         }
 
         // Rank every evaluated combo and verify the top k.
+        self.check_cancelled("candidate ranking")?;
         scored.sort_by(|a, b| a.2.makespan.total_cmp(&b.2.makespan).then(a.0.cmp(&b.0)));
         scored.truncate(self.top_k);
         let batch_analyzer = BatchAnalyzer::new(self.analyzer.clone())
             .with_jobs(self.jobs)
             .with_cache(ReportCache::new());
-        let verifications: Vec<Result<Verification, AdviseError>> =
-            par_map(self.jobs, &scored, |_, (_, combo, prediction)| {
-                let cand = apply_combo(scenario, combo)?;
-                verify(
-                    &cand,
-                    self.faults.as_ref(),
-                    baseline_makespan,
-                    prediction,
-                    &batch_analyzer,
-                )
-            });
+        let verify_one = |signature: &str,
+                          combo: &[Intervention],
+                          prediction: &Prediction|
+         -> Result<Verification, AdviseError> {
+            if let Some(cache) = &self.verify_cache {
+                if let Some(hit) = cache.get(signature) {
+                    return Ok(hit);
+                }
+            }
+            let cand = apply_combo(scenario, combo)?;
+            let verification = verify(
+                &cand,
+                self.faults.as_ref(),
+                baseline_makespan,
+                prediction,
+                &batch_analyzer,
+            )?;
+            if let Some(cache) = &self.verify_cache {
+                cache.put(signature, &verification);
+            }
+            Ok(verification)
+        };
+        let verifications: Vec<Result<Verification, AdviseError>> = match &self.cancel {
+            None => par_map(self.jobs, &scored, |_, (signature, combo, prediction)| {
+                verify_one(signature, combo, prediction)
+            }),
+            Some(token) => par_map_cancellable(
+                self.jobs,
+                &scored,
+                token,
+                |_, (signature, combo, prediction)| verify_one(signature, combo, prediction),
+            )
+            .into_iter()
+            .map(|slot| {
+                slot.unwrap_or_else(|| {
+                    Err(AdviseError::Interrupted {
+                        detail: "cancelled during verification".into(),
+                    })
+                })
+            })
+            .collect(),
+        };
 
         let region_names = scenario.program.region_names();
         let mut candidates = Vec::with_capacity(scored.len());
@@ -378,6 +463,83 @@ mod tests {
             .unwrap();
         assert!(advice.evaluated <= 2);
         assert_eq!(advice.candidates.len(), 1);
+    }
+
+    #[test]
+    fn cancelled_advise_returns_interrupted() {
+        let scenario = skewed_scenario();
+        let token = CancelToken::new();
+        token.cancel();
+        let result = Advisor::new().with_cancel(token).advise(&scenario);
+        assert!(matches!(result, Err(AdviseError::Interrupted { .. })));
+
+        // An untripped token leaves the advice identical.
+        let plain = Advisor::new()
+            .with_analyzer(Analyzer::new().with_cluster_k(2))
+            .advise(&scenario)
+            .unwrap();
+        let tokened = Advisor::new()
+            .with_analyzer(Analyzer::new().with_cluster_k(2))
+            .with_cancel(CancelToken::new())
+            .advise(&scenario)
+            .unwrap();
+        assert_eq!(
+            format!("{:#?}", plain.candidates),
+            format!("{:#?}", tokened.candidates)
+        );
+    }
+
+    #[derive(Default)]
+    struct CountingCache {
+        entries: std::sync::Mutex<std::collections::HashMap<String, Verification>>,
+        hits: std::sync::atomic::AtomicUsize,
+        puts: std::sync::atomic::AtomicUsize,
+    }
+
+    impl VerifyCache for CountingCache {
+        fn get(&self, signature: &str) -> Option<Verification> {
+            let hit = self.entries.lock().unwrap().get(signature).cloned();
+            if hit.is_some() {
+                self.hits.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+            }
+            hit
+        }
+
+        fn put(&self, signature: &str, verification: &Verification) {
+            self.puts.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+            self.entries
+                .lock()
+                .unwrap()
+                .insert(signature.to_string(), verification.clone());
+        }
+    }
+
+    #[test]
+    fn verify_cache_replays_completed_verifications() {
+        let scenario = skewed_scenario();
+        let cache = Arc::new(CountingCache::default());
+        let advisor = Advisor::new()
+            .with_analyzer(Analyzer::new().with_cluster_k(2))
+            .with_verify_cache(cache.clone());
+        let first = advisor.advise(&scenario).unwrap();
+        let first_puts = cache.puts.load(std::sync::atomic::Ordering::Relaxed);
+        assert_eq!(first_puts, first.candidates.len());
+
+        // Second run: every verification is a cache hit, zero new puts,
+        // and the advice is identical.
+        let second = advisor.advise(&scenario).unwrap();
+        assert_eq!(
+            cache.puts.load(std::sync::atomic::Ordering::Relaxed),
+            first_puts
+        );
+        assert_eq!(
+            cache.hits.load(std::sync::atomic::Ordering::Relaxed),
+            second.candidates.len()
+        );
+        assert_eq!(
+            format!("{:#?}", first.candidates),
+            format!("{:#?}", second.candidates)
+        );
     }
 
     #[test]

@@ -41,6 +41,28 @@ pub struct Verification {
     pub heaviest_region: Option<String>,
 }
 
+/// A pluggable store of completed [`Verification`]s, keyed by the
+/// candidate's canonical combo signature.
+///
+/// The advisor consults the cache before re-simulating a candidate and
+/// offers every freshly computed verification back, which is what makes
+/// an interrupted `advise` run resumable: a checkpoint-backed
+/// implementation (see `limba-guard`) persists each verification as it
+/// completes, and the resumed run replays them instead of simulating.
+///
+/// Correctness requirement for implementors: `get` must only return a
+/// value previously `put` under the same signature *for the same
+/// scenario, faults, and analyzer configuration* — verifications are
+/// deterministic, so under that discipline a cache hit is bit-identical
+/// to a recomputation.
+pub trait VerifyCache: Send + Sync {
+    /// Looks up a completed verification by combo signature.
+    fn get(&self, signature: &str) -> Option<Verification>;
+    /// Records a completed verification. Errors must be swallowed or
+    /// surfaced out-of-band; a failed `put` only costs a future hit.
+    fn put(&self, signature: &str, verification: &Verification);
+}
+
 /// Re-simulates `candidate` on both engines and scores it against its
 /// prediction. `batch` supplies the analyzer (and its shared memo
 /// cache) for the post-intervention report.

@@ -1,26 +1,38 @@
 //! Minimal `--flag value` argument parsing shared by the subcommands.
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 
 use limba_workloads::Imbalance;
 
-/// Parsed positional arguments and `--flag value` options.
+/// Parsed positional arguments, `--flag value` options, and bare
+/// `--flag` switches.
 #[derive(Debug, Clone, Default)]
 pub struct Parsed {
     pub positional: Vec<String>,
     pub options: BTreeMap<String, String>,
+    pub switches: BTreeSet<String>,
 }
 
 /// Splits `args` into positionals and `--flag value` pairs.
 pub fn parse(args: &[String]) -> Result<Parsed, String> {
+    parse_with_switches(args, &[])
+}
+
+/// Like [`parse`], but any flag named in `switches` is a bare switch
+/// that takes no value (e.g. `--resume`, `--json`).
+pub fn parse_with_switches(args: &[String], switches: &[&str]) -> Result<Parsed, String> {
     let mut parsed = Parsed::default();
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         if let Some(flag) = arg.strip_prefix("--") {
-            let value = it
-                .next()
-                .ok_or_else(|| format!("flag --{flag} expects a value"))?;
-            parsed.options.insert(flag.to_string(), value.clone());
+            if switches.contains(&flag) {
+                parsed.switches.insert(flag.to_string());
+            } else {
+                let value = it
+                    .next()
+                    .ok_or_else(|| format!("flag --{flag} expects a value"))?;
+                parsed.options.insert(flag.to_string(), value.clone());
+            }
         } else {
             parsed.positional.push(arg.clone());
         }
@@ -42,6 +54,11 @@ impl Parsed {
     /// The option's raw value, if present.
     pub fn get(&self, flag: &str) -> Option<&str> {
         self.options.get(flag).map(|s| s.as_str())
+    }
+
+    /// Whether a bare switch was given.
+    pub fn has(&self, flag: &str) -> bool {
+        self.switches.contains(flag)
     }
 }
 
@@ -100,6 +117,24 @@ mod tests {
         assert!(parse(&strs(&["--ranks"])).is_err());
         let p = parse(&strs(&["--ranks", "x"])).unwrap();
         assert!(p.get_or::<usize>("ranks", 1).is_err());
+    }
+
+    #[test]
+    fn switches_take_no_value() {
+        let p = parse_with_switches(
+            &strs(&["--resume", "--ranks", "8", "--json"]),
+            &["resume", "json"],
+        )
+        .unwrap();
+        assert!(p.has("resume"));
+        assert!(p.has("json"));
+        assert!(!p.has("verbose"));
+        assert_eq!(p.get("ranks"), Some("8"));
+        // A trailing switch needs no value.
+        assert!(parse_with_switches(&strs(&["--resume"]), &["resume"]).is_ok());
+        // Without registration the same flag would consume the next arg.
+        let p = parse(&strs(&["--resume", "x"])).unwrap();
+        assert_eq!(p.get("resume"), Some("x"));
     }
 
     #[test]

@@ -6,31 +6,29 @@
 //! baseline analysis report with a ranked "recommended interventions"
 //! section appended — or, with `--json`, a machine-readable digest.
 
-use limba_advisor::{Advice, Advisor, Scenario};
+use std::sync::Arc;
+
+use limba_advisor::{Advice, AdviseError, Advisor, Scenario};
 use limba_analysis::Analyzer;
+use limba_guard::{CheckpointVerifyCache, RunManifest, StopReason};
 use limba_mpisim::Simulator;
+use limba_par::CancelToken;
 use limba_workloads::Imbalance;
 
-use crate::args::{parse, parse_imbalance, Parsed};
+use crate::args::{parse_imbalance, parse_with_switches, Parsed};
 use crate::cmd_analyze::load_trace_auto;
 use crate::cmd_simulate::{build_program, load_fault_plan, render_fault_presets, Engine};
+use crate::supervise::Supervision;
 
 /// Runs `limba advise <tracefile | --workload NAME> [options]`.
-pub fn run(argv: &[String]) -> Result<(), String> {
-    // `--json` is a bare switch; every other flag takes a value.
-    let mut argv = argv.to_vec();
-    let json = match argv.iter().position(|a| a == "--json") {
-        Some(i) => {
-            argv.remove(i);
-            true
-        }
-        None => false,
-    };
-    let parsed: Parsed = parse(&argv)?;
+pub fn run(argv: &[String]) -> Result<crate::CmdOutcome, String> {
+    let parsed: Parsed = parse_with_switches(argv, crate::supervise::SWITCHES)?;
+    let json = parsed.has("json");
     if parsed.get("faults") == Some("list") {
         print!("{}", render_fault_presets());
-        return Ok(());
+        return Ok(crate::CmdOutcome::Complete);
     }
+    let supervision = Supervision::from_args(&parsed)?;
     let budget: usize = parsed.get_or("budget", 64)?;
     let top: usize = parsed.get_or("top", 3)?;
     let beam: usize = parsed.get_or("beam", 8)?;
@@ -39,7 +37,10 @@ pub fn run(argv: &[String]) -> Result<(), String> {
     let clusters: usize = parsed.get_or("clusters", 2)?;
     let engine = Engine::parse(parsed.get("engine").unwrap_or("event"))?;
 
-    let scenario = match (parsed.get("workload"), parsed.positional.first()) {
+    // `source` identifies the scenario for the verification-cache
+    // fingerprint: the full workload spec, or the tracefile's content
+    // hash (so an overwritten trace never replays a stale cache).
+    let (scenario, source) = match (parsed.get("workload"), parsed.positional.first()) {
         (Some(_), Some(_)) => return Err("advise takes a tracefile or --workload, not both".into()),
         (None, None) => return Err("advise needs a tracefile path or --workload".into()),
         (Some(workload), None) => {
@@ -57,16 +58,23 @@ pub fn run(argv: &[String]) -> Result<(), String> {
             };
             let seed: u64 = parsed.get_or("seed", 0)?;
             let program = build_program(workload, ranks, iterations, imbalance, seed)?;
-            Scenario::new(program, limba_mpisim::MachineConfig::new(ranks))
-                .map_err(|e| e.to_string())?
+            let source = format!(
+                "workload={workload}|ranks={ranks}|iterations={iterations:?}|imbalance={imbalance:?}|seed={seed}"
+            );
+            let scenario = Scenario::new(program, limba_mpisim::MachineConfig::new(ranks))
+                .map_err(|e| e.to_string())?;
+            (scenario, source)
         }
         (None, Some(path)) => {
             // Close the loop on a recorded trace: rebuild a proxy
             // scenario from its measured computation marginals.
+            let bytes = std::fs::read(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+            let source = format!("trace-content=0x{:016x}", limba_guard::fnv1a(&bytes));
             let trace = load_trace_auto(path)?;
             let salvaged = limba_trace::reduce_checked(&trace).map_err(|e| e.to_string())?;
-            Scenario::from_measurements(&salvaged.reduced.measurements)
-                .map_err(|e| e.to_string())?
+            let scenario = Scenario::from_measurements(&salvaged.reduced.measurements)
+                .map_err(|e| e.to_string())?;
+            (scenario, source)
         }
     };
 
@@ -80,6 +88,14 @@ pub fn run(argv: &[String]) -> Result<(), String> {
         None => None,
     };
 
+    // The fingerprint covers everything that affects which verifications
+    // run and what they measure; `jobs` and `engine` are excluded (the
+    // advice is byte-identical under both).
+    let fingerprint = limba_guard::config_fingerprint(&format!(
+        "advise|{source}|budget={budget}|top={top}|beam={beam}|depth={depth}|clusters={clusters}|faults={:?}",
+        parsed.get("faults")
+    ));
+
     let mut advisor = Advisor::new()
         .with_budget(budget)
         .with_top_k(top)
@@ -90,11 +106,92 @@ pub fn run(argv: &[String]) -> Result<(), String> {
     if let Some(plan) = faults {
         advisor = advisor.with_faults(plan);
     }
-    let advice = advisor.advise(&scenario).map_err(|e| e.to_string())?;
+
+    // Supervision: a deadline watchdog trips the advisor's cancel token,
+    // and `--checkpoint` persists each finished verification so a resumed
+    // run replays it instead of re-simulating.
+    let cancel = CancelToken::new();
+    if supervision.deadline.is_some() || supervision.max_units.is_some() {
+        advisor = advisor.with_cancel(cancel.clone());
+    }
+    if let Some(deadline) = supervision.deadline {
+        let token = cancel.clone();
+        std::thread::spawn(move || {
+            std::thread::sleep(deadline);
+            token.cancel();
+        });
+    }
+    let cache = match &supervision.checkpoint {
+        Some(path) => {
+            let mut cache = CheckpointVerifyCache::open(path, fingerprint, supervision.resume)
+                .map_err(|e| e.to_string())?;
+            if let Some(cap) = supervision.max_units {
+                cache = cache.with_interrupt_after(cap, cancel.clone());
+            }
+            let cache = Arc::new(cache);
+            advisor = advisor.with_verify_cache(cache.clone());
+            Some(cache)
+        }
+        None => {
+            if supervision.max_units.is_some() {
+                return Err("advise honors --max-units only with --checkpoint".into());
+            }
+            None
+        }
+    };
+
+    let advice = match advisor.advise(&scenario) {
+        Ok(advice) => advice,
+        Err(AdviseError::Interrupted { detail }) => {
+            let stopped = if supervision.deadline.is_some() && supervision.max_units.is_none() {
+                StopReason::DeadlineExpired
+            } else if supervision.max_units.is_some() {
+                StopReason::UnitCapReached
+            } else {
+                StopReason::Cancelled
+            };
+            let (completed, cached) = cache
+                .as_ref()
+                .map(|c| (c.puts(), c.hits()))
+                .unwrap_or((0, 0));
+            eprintln!(
+                "advise interrupted ({detail}): {completed} verification(s) finished this run, {cached} replayed from the checkpoint{}",
+                if supervision.checkpoint.is_some() {
+                    " — rerun with --resume to continue"
+                } else {
+                    ""
+                }
+            );
+            supervision.write_manifest(&advise_manifest(
+                fingerprint,
+                top,
+                completed,
+                cached,
+                Some(stopped),
+            ))?;
+            if let Some(cache) = &cache {
+                if let Some(e) = cache.take_save_error() {
+                    return Err(format!("checkpoint save failed: {e}"));
+                }
+            }
+            return Ok(crate::CmdOutcome::Partial);
+        }
+        Err(e) => return Err(e.to_string()),
+    };
+    if let Some(cache) = &cache {
+        if let Some(e) = cache.take_save_error() {
+            return Err(format!("checkpoint save failed: {e}"));
+        }
+    }
+    let (completed, cached) = cache
+        .as_ref()
+        .map(|c| (c.puts(), c.hits()))
+        .unwrap_or((0, 0));
+    supervision.write_manifest(&advise_manifest(fingerprint, top, completed, cached, None))?;
 
     if json {
         println!("{}", advice_json(&advice));
-        return Ok(());
+        return Ok(crate::CmdOutcome::Complete);
     }
 
     // The baseline analysis report the recommendations refer to. Both
@@ -114,7 +211,38 @@ pub fn run(argv: &[String]) -> Result<(), String> {
     print!("{}", limba_viz::report::render(&report));
     println!();
     print!("{}", limba_viz::advice::render_advice(&advice));
-    Ok(())
+    Ok(crate::CmdOutcome::Complete)
+}
+
+/// The run manifest for an advise invocation: units are simulate-verify
+/// jobs, `completed` the verifications run fresh this invocation and
+/// `cached` the ones replayed from the checkpoint.
+fn advise_manifest(
+    fingerprint: u64,
+    top: usize,
+    completed: usize,
+    cached: usize,
+    stopped: Option<StopReason>,
+) -> RunManifest {
+    RunManifest {
+        kind: limba_guard::VERIFY_KIND.to_string(),
+        fingerprint,
+        total: if stopped.is_some() {
+            top.max(completed + cached)
+        } else {
+            completed + cached
+        },
+        completed,
+        cached,
+        failures: Vec::new(),
+        skipped: if stopped.is_some() {
+            top.saturating_sub(completed + cached)
+        } else {
+            0
+        },
+        retries: 0,
+        stopped,
+    }
 }
 
 fn json_string(s: &str) -> String {

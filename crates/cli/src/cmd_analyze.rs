@@ -57,7 +57,7 @@ fn load_trace(path: &str, format: &str) -> Result<Trace, String> {
 }
 
 /// Runs `limba analyze <tracefile> [options]`.
-pub fn run(argv: &[String]) -> Result<(), String> {
+pub fn run(argv: &[String]) -> Result<crate::CmdOutcome, String> {
     let parsed: Parsed = parse(argv)?;
     let path = parsed
         .positional
@@ -164,7 +164,7 @@ pub fn run(argv: &[String]) -> Result<(), String> {
             );
         }
     }
-    Ok(())
+    Ok(crate::CmdOutcome::Complete)
 }
 
 #[cfg(test)]

@@ -10,7 +10,7 @@ use limba_model::ActivityKind;
 use crate::args::{parse, Parsed};
 
 /// Runs `limba paper [--svg DIR]`.
-pub fn run(argv: &[String]) -> Result<(), String> {
+pub fn run(argv: &[String]) -> Result<crate::CmdOutcome, String> {
     let parsed: Parsed = parse(argv)?;
     let loops_only = paper_measurements().map_err(|e| e.to_string())?;
     let with_tail = paper_measurements_with_tail().map_err(|e| e.to_string())?;
@@ -94,7 +94,7 @@ pub fn run(argv: &[String]) -> Result<(), String> {
         fs::write(dir.join("processor_view.svg"), heatmap).map_err(|e| e.to_string())?;
         println!("\nSVG figures written to {}", dir.display());
     }
-    Ok(())
+    Ok(crate::CmdOutcome::Complete)
 }
 
 #[cfg(test)]

@@ -3,7 +3,7 @@
 use std::fs::File;
 use std::io::BufWriter;
 
-use limba_mpisim::{FaultPlan, MachineConfig, Program, SimError, Simulator};
+use limba_mpisim::{FaultPlan, MachineConfig, Program, Simulator};
 use limba_trace::Trace;
 use limba_workloads::{
     amr::AmrConfig, cfd::CfdConfig, fft::FftConfig, irregular::IrregularConfig,
@@ -11,7 +11,8 @@ use limba_workloads::{
     sweep::SweepConfig, Imbalance,
 };
 
-use crate::args::{parse, parse_imbalance, Parsed};
+use crate::args::{parse_imbalance, parse_with_switches, Parsed};
+use crate::supervise::Supervision;
 
 pub(crate) fn build_program(
     workload: &str,
@@ -185,34 +186,139 @@ fn write_trace(trace: &Trace, path: &str, format: &str) -> Result<(), String> {
     }
 }
 
-/// Renders a replication sweep: `replications` independent runs of the
-/// workload with SplitMix64-derived seeds, on up to `jobs` worker
-/// threads. The output is byte-identical for every `jobs` value.
-#[allow(clippy::too_many_arguments)]
+/// Everything that defines a replication sweep's output. The
+/// fingerprint of this spec guards checkpoint compatibility: two specs
+/// with equal fingerprints produce identical replication rows.
+pub(crate) struct SweepSpec<'a> {
+    pub workload: &'a str,
+    pub ranks: usize,
+    pub iterations: Option<usize>,
+    pub imbalance: Imbalance,
+    pub root_seed: u64,
+    pub replications: usize,
+    pub jobs: usize,
+    pub faults: Option<&'a FaultPlan>,
+}
+
+impl SweepSpec<'_> {
+    /// Canonical fingerprint input: every field that affects a row's
+    /// bytes (`jobs` deliberately excluded — output is jobs-invariant).
+    fn fingerprint(&self) -> u64 {
+        limba_guard::config_fingerprint(&format!(
+            "sweep|workload={}|ranks={}|iterations={:?}|imbalance={:?}|root_seed={}|replications={}|faults={:?}",
+            self.workload,
+            self.ranks,
+            self.iterations,
+            self.imbalance,
+            self.root_seed,
+            self.replications,
+            self.faults,
+        ))
+    }
+}
+
+/// One rendered row of a sweep: exactly the values the table prints,
+/// checkpointable so a resumed sweep replays rather than re-simulates.
+struct SweepRow {
+    index: u64,
+    seed: u64,
+    makespan: f64,
+    messages: u64,
+    bytes: u64,
+}
+
+struct SweepCodec;
+
+impl limba_guard::PayloadCodec<SweepRow> for SweepCodec {
+    fn encode(&self, row: &SweepRow) -> Vec<u8> {
+        let mut w = limba_guard::codec::ByteWriter::new();
+        w.put_u64(row.index);
+        w.put_u64(row.seed);
+        w.put_f64(row.makespan);
+        w.put_u64(row.messages);
+        w.put_u64(row.bytes);
+        w.into_bytes()
+    }
+
+    fn decode(&self, bytes: &[u8]) -> Result<SweepRow, limba_guard::GuardError> {
+        let mut r = limba_guard::codec::ByteReader::new(bytes);
+        let row = SweepRow {
+            index: r.get_u64("replication index")?,
+            seed: r.get_u64("replication seed")?,
+            makespan: r.get_f64("makespan")?,
+            messages: r.get_u64("message count")?,
+            bytes: r.get_u64("byte count")?,
+        };
+        r.expect_end("sweep row")?;
+        Ok(row)
+    }
+}
+
+/// Renders a replication sweep under supervision: `replications`
+/// independent runs with SplitMix64-derived seeds on up to `jobs`
+/// worker threads, optionally bounded by a deadline / unit cap and
+/// checkpointed for resume. The table is byte-identical for every
+/// `jobs` value, and an interrupted-then-resumed sweep renders
+/// byte-identically to an uninterrupted one.
+///
+/// A failing replication occupies its own error row instead of
+/// aborting the sweep; the summary then covers the completed rows.
 fn render_sweep(
-    workload: &str,
-    ranks: usize,
-    iterations: Option<usize>,
-    imbalance: Imbalance,
-    root_seed: u64,
-    replications: usize,
-    jobs: usize,
-    faults: Option<&FaultPlan>,
-) -> Result<String, String> {
+    spec: &SweepSpec,
+    supervision: &Supervision,
+) -> Result<(String, limba_guard::RunManifest), String> {
     use std::fmt::Write as _;
-    let sim = Simulator::new(MachineConfig::new(ranks));
-    let build = |_: usize, seed: u64| {
-        build_program(workload, ranks, iterations, imbalance, seed)
-            .map_err(|detail| SimError::BuildFailed { detail })
-    };
-    let results = match faults {
-        None => sim.run_replications(replications, root_seed, jobs, build),
-        Some(plan) => sim.run_replications_with_faults(replications, root_seed, jobs, plan, build),
-    };
+    let sim = Simulator::new(MachineConfig::new(spec.ranks));
+    let items: Vec<usize> = (0..spec.replications).collect();
+    let run = supervision
+        .supervisor(spec.jobs)
+        .run(
+            "sweep",
+            spec.fingerprint(),
+            &items,
+            &SweepCodec,
+            |index, _| {
+                // Mirrors `Simulator::run_replications[_with_faults]`:
+                // the same seed derivation, the same per-replication
+                // fault-plan reseeding.
+                let seed = limba_par::derive_seed(spec.root_seed, index as u64);
+                let program = build_program(
+                    spec.workload,
+                    spec.ranks,
+                    spec.iterations,
+                    spec.imbalance,
+                    seed,
+                )
+                .map_err(limba_guard::JobError::Fatal)?;
+                let output = match spec.faults {
+                    None => sim.run(&program),
+                    Some(plan) => {
+                        let rep_plan = plan
+                            .clone()
+                            .with_seed(limba_par::derive_seed(plan.seed, index as u64));
+                        sim.run_with_faults(&program, &rep_plan)
+                    }
+                }
+                .map_err(|e| limba_guard::JobError::Fatal(e.to_string()))?;
+                Ok(SweepRow {
+                    index: index as u64,
+                    seed,
+                    makespan: output.stats.makespan,
+                    messages: output.stats.messages,
+                    bytes: output.stats.bytes,
+                })
+            },
+        )
+        .map_err(|e| e.to_string())?;
+    if let Some(e) = &run.checkpoint_error {
+        return Err(format!("checkpoint save failed: {e}"));
+    }
+
     let mut out = String::new();
     writeln!(
         out,
-        "{workload} on {ranks} ranks, {replications} replications (root seed {root_seed})"
+        "{} on {} ranks, {} replications (root seed {})",
+        spec.workload, spec.ranks, spec.replications, spec.root_seed
     )
     .unwrap();
     writeln!(
@@ -221,43 +327,85 @@ fn render_sweep(
         "rep", "seed", "makespan", "messages", "bytes"
     )
     .unwrap();
-    let mut makespans = Vec::with_capacity(replications);
-    for (index, result) in results.iter().enumerate() {
-        let rep = result
-            .as_ref()
-            .map_err(|e| format!("replication {index}: {e}"))?;
-        writeln!(
-            out,
-            "{:>4} {:>20} {:>11.4}s {:>10} {:>12}",
-            rep.index,
-            rep.seed,
-            rep.output.stats.makespan,
-            rep.output.stats.messages,
-            rep.output.stats.bytes
-        )
-        .unwrap();
-        makespans.push(rep.output.stats.makespan);
+    let mut makespans = Vec::with_capacity(spec.replications);
+    for (index, slot) in run.results.iter().enumerate() {
+        // The seed is a pure function of the root, so even failed or
+        // never-started replications print theirs.
+        let seed = limba_par::derive_seed(spec.root_seed, index as u64);
+        match slot {
+            Some(Ok(row)) => {
+                writeln!(
+                    out,
+                    "{:>4} {:>20} {:>11.4}s {:>10} {:>12}",
+                    row.index, row.seed, row.makespan, row.messages, row.bytes
+                )
+                .unwrap();
+                makespans.push(row.makespan);
+            }
+            Some(Err(failure)) => {
+                writeln!(
+                    out,
+                    "{index:>4} {seed:>20} error: {}",
+                    failure.kind.message()
+                )
+                .unwrap();
+            }
+            None => {
+                writeln!(out, "{index:>4} {seed:>20} not run (interrupted)").unwrap();
+            }
+        }
     }
     // Sequential reduction in replication order: deterministic floats.
-    let mean = makespans.iter().sum::<f64>() / makespans.len().max(1) as f64;
-    let min = makespans.iter().copied().fold(f64::INFINITY, f64::min);
-    let max = makespans.iter().copied().fold(f64::NEG_INFINITY, f64::max);
-    writeln!(
-        out,
-        "makespan mean {mean:.4} s, min {min:.4} s, max {max:.4} s"
-    )
-    .unwrap();
-    Ok(out)
+    if makespans.is_empty() {
+        writeln!(out, "no replications completed").unwrap();
+    } else {
+        let mean = makespans.iter().sum::<f64>() / makespans.len() as f64;
+        let min = makespans.iter().copied().fold(f64::INFINITY, f64::min);
+        let max = makespans.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        if run.manifest.is_complete() {
+            writeln!(
+                out,
+                "makespan mean {mean:.4} s, min {min:.4} s, max {max:.4} s"
+            )
+            .unwrap();
+        } else {
+            writeln!(
+                out,
+                "makespan mean {mean:.4} s, min {min:.4} s, max {max:.4} s \
+                 ({} of {} replications)",
+                makespans.len(),
+                spec.replications
+            )
+            .unwrap();
+        }
+    }
+    if !run.manifest.is_complete() {
+        writeln!(
+            out,
+            "partial sweep: {} completed, {} cached, {} failed, {} not run{}",
+            run.manifest.completed,
+            run.manifest.cached,
+            run.manifest.failures.len(),
+            run.manifest.skipped,
+            if supervision.checkpoint.is_some() && run.manifest.skipped > 0 {
+                " — rerun with --resume to continue"
+            } else {
+                ""
+            }
+        )
+        .unwrap();
+    }
+    Ok((out, run.manifest))
 }
 
 /// Runs `limba simulate <workload> [options]`.
-pub fn run(argv: &[String]) -> Result<(), String> {
-    let parsed: Parsed = parse(argv)?;
+pub fn run(argv: &[String]) -> Result<crate::CmdOutcome, String> {
+    let parsed: Parsed = parse_with_switches(argv, crate::supervise::SWITCHES)?;
     // `--faults list` is a query, not a run: answer it even without a
     // workload on the command line.
     if parsed.get("faults") == Some("list") {
         print!("{}", render_fault_presets());
-        return Ok(());
+        return Ok(crate::CmdOutcome::Complete);
     }
     let workload = parsed
         .positional
@@ -279,6 +427,7 @@ pub fn run(argv: &[String]) -> Result<(), String> {
     let out = parsed.get("out").unwrap_or("trace.limba").to_string();
     let format = parsed.get("format").unwrap_or("binary").to_string();
     let engine = Engine::parse(parsed.get("engine").unwrap_or("event"))?;
+    let supervision = Supervision::from_args(&parsed)?;
 
     let program = build_program(&workload, ranks, iterations, imbalance, seed)?;
     let faults = match parsed.get("faults") {
@@ -288,20 +437,20 @@ pub fn run(argv: &[String]) -> Result<(), String> {
 
     if replications > 1 {
         // Replication sweep: summary statistics only, no tracefile.
-        print!(
-            "{}",
-            render_sweep(
-                &workload,
-                ranks,
-                iterations,
-                imbalance,
-                seed,
-                replications,
-                jobs,
-                faults.as_ref()
-            )?
-        );
-        return Ok(());
+        let spec = SweepSpec {
+            workload: &workload,
+            ranks,
+            iterations,
+            imbalance,
+            root_seed: seed,
+            replications,
+            jobs,
+            faults: faults.as_ref(),
+        };
+        let (table, manifest) = render_sweep(&spec, &supervision)?;
+        print!("{table}");
+        supervision.write_manifest(&manifest)?;
+        return Ok(Supervision::outcome_of(&manifest));
     }
 
     let output = simulate_with(&program, ranks, engine, faults.as_ref())?;
@@ -317,11 +466,11 @@ pub fn run(argv: &[String]) -> Result<(), String> {
         "trace written to {out} ({format}, {} events)",
         output.trace.events().len()
     );
-    Ok(())
+    Ok(crate::CmdOutcome::Complete)
 }
 
 /// Runs `limba demo`: CFD proxy with injected skew, analyzed in memory.
-pub fn demo() -> Result<(), String> {
+pub fn demo() -> Result<crate::CmdOutcome, String> {
     let program = CfdConfig::new(16)
         .with_iterations(2)
         .with_imbalance(Imbalance::LinearSkew { spread: 0.4 })
@@ -333,7 +482,7 @@ pub fn demo() -> Result<(), String> {
         .analyze(&reduced.measurements)
         .map_err(|e| e.to_string())?;
     print!("{}", limba_viz::report::render(&report));
-    Ok(())
+    Ok(crate::CmdOutcome::Complete)
 }
 
 #[cfg(test)]
@@ -358,32 +507,26 @@ mod tests {
         assert!(build_program("nope", 8, None, Imbalance::None, 0).is_err());
     }
 
+    fn jitter_spec(jobs: usize) -> SweepSpec<'static> {
+        SweepSpec {
+            workload: "cfd",
+            ranks: 4,
+            iterations: Some(1),
+            imbalance: Imbalance::RandomJitter { amplitude: 0.2 },
+            root_seed: 42,
+            replications: 6,
+            jobs,
+            faults: None,
+        }
+    }
+
     #[test]
     fn sweep_output_is_byte_identical_across_job_counts() {
-        let reference = render_sweep(
-            "cfd",
-            4,
-            Some(1),
-            Imbalance::RandomJitter { amplitude: 0.2 },
-            42,
-            6,
-            1,
-            None,
-        )
-        .unwrap();
+        let (reference, manifest) = render_sweep(&jitter_spec(1), &Supervision::none()).unwrap();
         assert!(reference.contains("6 replications"));
+        assert!(manifest.is_complete());
         for jobs in [2, 4, 8] {
-            let sweep = render_sweep(
-                "cfd",
-                4,
-                Some(1),
-                Imbalance::RandomJitter { amplitude: 0.2 },
-                42,
-                6,
-                jobs,
-                None,
-            )
-            .unwrap();
+            let (sweep, _) = render_sweep(&jitter_spec(jobs), &Supervision::none()).unwrap();
             assert_eq!(sweep, reference, "jobs={jobs}");
         }
     }
@@ -391,18 +534,126 @@ mod tests {
     #[test]
     fn faulted_sweep_is_byte_identical_across_job_counts() {
         let plan = FaultPlan::new(3).with_message_loss(0.2, 3, 1e-4, 2.0);
-        let reference =
-            render_sweep("cfd", 4, Some(1), Imbalance::None, 9, 4, 1, Some(&plan)).unwrap();
+        let spec = |jobs| SweepSpec {
+            workload: "cfd",
+            ranks: 4,
+            iterations: Some(1),
+            imbalance: Imbalance::None,
+            root_seed: 9,
+            replications: 4,
+            jobs,
+            faults: Some(&plan),
+        };
+        let (reference, _) = render_sweep(&spec(1), &Supervision::none()).unwrap();
         for jobs in [2, 8] {
-            let sweep =
-                render_sweep("cfd", 4, Some(1), Imbalance::None, 9, 4, jobs, Some(&plan)).unwrap();
+            let (sweep, _) = render_sweep(&spec(jobs), &Supervision::none()).unwrap();
             assert_eq!(sweep, reference, "jobs={jobs}");
         }
     }
 
     #[test]
-    fn sweep_rejects_unknown_workload() {
-        assert!(render_sweep("nope", 4, None, Imbalance::None, 0, 2, 2, None).is_err());
+    fn sweep_matches_the_replication_api() {
+        // The supervised sweep must reproduce run_replications exactly:
+        // same derived seeds, same outputs.
+        let spec = jitter_spec(1);
+        let sim = Simulator::new(MachineConfig::new(spec.ranks));
+        let reference = sim.run_replications(spec.replications, spec.root_seed, 1, |_, seed| {
+            build_program(
+                spec.workload,
+                spec.ranks,
+                spec.iterations,
+                spec.imbalance,
+                seed,
+            )
+            .map_err(|detail| limba_mpisim::SimError::BuildFailed { detail })
+        });
+        let (table, _) = render_sweep(&spec, &Supervision::none()).unwrap();
+        for rep in reference.iter().map(|r| r.as_ref().unwrap()) {
+            let row = format!(
+                "{:>4} {:>20} {:>11.4}s {:>10} {:>12}",
+                rep.index,
+                rep.seed,
+                rep.output.stats.makespan,
+                rep.output.stats.messages,
+                rep.output.stats.bytes
+            );
+            assert!(table.contains(&row), "missing row: {row}\n{table}");
+        }
+    }
+
+    #[test]
+    fn failing_replication_becomes_an_error_row_not_an_abort() {
+        // An unknown workload fails every replication's build step; the
+        // sweep still renders, one error row per seed.
+        let spec = SweepSpec {
+            workload: "nope",
+            ranks: 4,
+            iterations: None,
+            imbalance: Imbalance::None,
+            root_seed: 0,
+            replications: 3,
+            jobs: 2,
+            faults: None,
+        };
+        let (table, manifest) = render_sweep(&spec, &Supervision::none()).unwrap();
+        assert_eq!(manifest.failures.len(), 3);
+        assert!(!manifest.is_complete());
+        assert_eq!(table.matches("error:").count(), 3, "{table}");
+        assert!(table.contains("no replications completed"), "{table}");
+        assert!(table.contains("3 failed"), "{table}");
+    }
+
+    #[test]
+    fn interrupted_sweep_resumes_to_byte_identical_output() {
+        let (reference, _) = render_sweep(&jitter_spec(1), &Supervision::none()).unwrap();
+        for jobs in [1usize, 4] {
+            let path = std::env::temp_dir().join(format!("limba-cli-sweep-resume-{jobs}.ckpt"));
+            std::fs::remove_file(&path).ok();
+            // Interrupt after 2 of 6 replications.
+            let interrupted = Supervision {
+                max_units: Some(2),
+                checkpoint: Some(path.clone()),
+                ..Supervision::none()
+            };
+            let (partial, manifest) = render_sweep(&jitter_spec(1), &interrupted).unwrap();
+            assert!(!manifest.is_complete(), "jobs={jobs}");
+            assert_eq!(manifest.completed, 2, "jobs={jobs}");
+            assert!(partial.contains("not run (interrupted)"), "{partial}");
+            assert!(partial.contains("--resume"), "{partial}");
+            // Resume to completion at this jobs count.
+            let resumed = Supervision {
+                checkpoint: Some(path.clone()),
+                resume: true,
+                ..Supervision::none()
+            };
+            let (full, manifest) = render_sweep(&jitter_spec(jobs), &resumed).unwrap();
+            assert!(manifest.is_complete(), "jobs={jobs}");
+            assert_eq!(manifest.cached, 2, "jobs={jobs}");
+            assert_eq!(full, reference, "jobs={jobs}");
+            std::fs::remove_file(&path).ok();
+        }
+    }
+
+    #[test]
+    fn sweep_rejects_unknown_workload_checkpoint_mismatch() {
+        // A checkpoint written under one spec is refused by another.
+        let path = std::env::temp_dir().join("limba-cli-sweep-fpr.ckpt");
+        std::fs::remove_file(&path).ok();
+        let sup = Supervision {
+            checkpoint: Some(path.clone()),
+            ..Supervision::none()
+        };
+        render_sweep(&jitter_spec(1), &sup).unwrap();
+        let resume = Supervision {
+            checkpoint: Some(path.clone()),
+            resume: true,
+            ..Supervision::none()
+        };
+        let mut other = jitter_spec(1);
+        other.root_seed = 43;
+        let err = render_sweep(&other, &resume).unwrap_err();
+        assert!(err.contains("fingerprint mismatch"), "{err}");
+        std::fs::remove_file(&path).ok();
     }
 
     #[test]

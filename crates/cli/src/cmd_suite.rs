@@ -11,15 +11,15 @@
 
 use std::fmt::Write as _;
 
-use limba_analysis::{Analyzer, BatchAnalyzer};
-use limba_model::Measurements;
+use limba_analysis::Analyzer;
 use limba_mpisim::{MachineConfig, Program, Simulator};
 use limba_workloads::{
     cfd::CfdConfig, fft::FftConfig, irregular::IrregularConfig, master_worker::MasterWorkerConfig,
     pipeline::PipelineConfig, stencil::StencilConfig, sweep::SweepConfig, Imbalance,
 };
 
-use crate::args::{parse, Parsed};
+use crate::args::{parse_with_switches, Parsed};
+use crate::supervise::Supervision;
 
 fn programs(ranks: usize, imbalance: Imbalance) -> Vec<(&'static str, Program)> {
     vec![
@@ -100,9 +100,47 @@ fn injectors() -> Vec<(&'static str, Imbalance)> {
     ]
 }
 
+/// One rendered suite case: exactly the values its table row prints.
+struct SuiteRow {
+    makespan: f64,
+    sid: f64,
+    top: String,
+}
+
+struct SuiteCodec;
+
+impl limba_guard::PayloadCodec<SuiteRow> for SuiteCodec {
+    fn encode(&self, row: &SuiteRow) -> Vec<u8> {
+        let mut w = limba_guard::codec::ByteWriter::new();
+        w.put_f64(row.makespan);
+        w.put_f64(row.sid);
+        w.put_str(&row.top);
+        w.into_bytes()
+    }
+
+    fn decode(&self, bytes: &[u8]) -> Result<SuiteRow, limba_guard::GuardError> {
+        let mut r = limba_guard::codec::ByteReader::new(bytes);
+        let row = SuiteRow {
+            makespan: r.get_f64("makespan")?,
+            sid: r.get_f64("max SID")?,
+            top: r.get_str("top candidate")?,
+        };
+        r.expect_end("suite row")?;
+        Ok(row)
+    }
+}
+
 /// Renders the full suite table for `ranks` ranks using up to `jobs`
-/// worker threads. The output is byte-identical for every `jobs` value.
-pub fn render(ranks: usize, jobs: usize) -> Result<String, String> {
+/// worker threads, under the given supervision (deadline, unit cap,
+/// checkpoint/resume). The table is byte-identical for every `jobs`
+/// value, and an interrupted-then-resumed suite renders byte-identically
+/// to an uninterrupted one. A failing case occupies its own error row
+/// instead of aborting the sweep.
+pub(crate) fn render(
+    ranks: usize,
+    jobs: usize,
+    supervision: &Supervision,
+) -> Result<(String, limba_guard::RunManifest), String> {
     if ranks < 4 || !ranks.is_multiple_of(2) {
         return Err("suite needs an even rank count of at least 4".into());
     }
@@ -117,29 +155,45 @@ pub fn render(ranks: usize, jobs: usize) -> Result<String, String> {
         })
         .collect();
 
-    // Stage 1: simulate + reduce every case in parallel.
+    // One unit per case: simulate, reduce, analyze. The checkpoint
+    // fingerprint covers everything that affects a row (`jobs` does
+    // not — the output is jobs-invariant).
+    let fingerprint =
+        limba_guard::config_fingerprint(&format!("suite|ranks={ranks}|cases={}", cases.len()));
     let sim = Simulator::new(MachineConfig::new(ranks));
-    let simulated: Vec<Result<(f64, Measurements), String>> =
-        limba_par::par_map(jobs, &cases, |_, (iname, wname, program)| {
-            let out = sim
-                .run(program)
-                .map_err(|e| format!("{wname}/{iname}: {e}"))?;
-            let reduced = out.reduce().map_err(|e| e.to_string())?;
-            Ok((out.stats.makespan, reduced.measurements))
-        });
-    // Deterministic error selection: the first failing case in input
-    // order wins, regardless of completion order.
-    let mut makespans = Vec::with_capacity(cases.len());
-    let mut traces = Vec::with_capacity(cases.len());
-    for result in simulated {
-        let (makespan, measurements) = result?;
-        makespans.push(makespan);
-        traces.push(measurements);
+    let run = supervision
+        .supervisor(jobs)
+        .run(
+            "suite",
+            fingerprint,
+            &cases,
+            &SuiteCodec,
+            |_, (iname, wname, program)| {
+                let fatal =
+                    |e: String| limba_guard::JobError::Fatal(format!("{wname}/{iname}: {e}"));
+                let out = sim.run(program).map_err(|e| fatal(e.to_string()))?;
+                let reduced = out.reduce().map_err(|e| fatal(e.to_string()))?;
+                let report = Analyzer::new()
+                    .with_cluster_k(0)
+                    .analyze(&reduced.measurements)
+                    .map_err(|e| fatal(e.to_string()))?;
+                let (sid, top) = report
+                    .findings
+                    .tuning_candidates
+                    .first()
+                    .map(|c| (c.sid, c.name.clone()))
+                    .unwrap_or((0.0, "-".into()));
+                Ok(SuiteRow {
+                    makespan: out.stats.makespan,
+                    sid,
+                    top,
+                })
+            },
+        )
+        .map_err(|e| e.to_string())?;
+    if let Some(e) = &run.checkpoint_error {
+        return Err(format!("checkpoint save failed: {e}"));
     }
-
-    // Stage 2: analyze the whole corpus as one batch.
-    let batch = BatchAnalyzer::new(Analyzer::new().with_cluster_k(0)).with_jobs(jobs);
-    let reports = batch.analyze_batch(&traces);
 
     let mut table = String::new();
     writeln!(
@@ -150,37 +204,57 @@ pub fn render(ranks: usize, jobs: usize) -> Result<String, String> {
     .unwrap();
     writeln!(table, "{}", "-".repeat(74)).unwrap();
     let mut previous_injector = None;
-    for (((iname, wname, _), makespan), report) in cases.iter().zip(&makespans).zip(&reports) {
+    for ((iname, wname, _), slot) in cases.iter().zip(&run.results) {
         if previous_injector.is_some_and(|p| p != iname) {
             writeln!(table).unwrap();
         }
         previous_injector = Some(iname);
-        let report = report
-            .as_ref()
-            .map_err(|e| format!("{wname}/{iname}: {e}"))?;
-        let (sid, top) = report
-            .findings
-            .tuning_candidates
-            .first()
-            .map(|c| (c.sid, c.name.clone()))
-            .unwrap_or((0.0, "-".into()));
+        match slot {
+            Some(Ok(row)) => writeln!(
+                table,
+                "{wname:<14} {iname:<14} {:>9.3}s {:>10.5} {:>22}",
+                row.makespan, row.sid, row.top
+            )
+            .unwrap(),
+            Some(Err(failure)) => writeln!(
+                table,
+                "{wname:<14} {iname:<14} error: {}",
+                failure.kind.message()
+            )
+            .unwrap(),
+            None => writeln!(table, "{wname:<14} {iname:<14} not run (interrupted)").unwrap(),
+        }
+    }
+    writeln!(table).unwrap();
+    if !run.manifest.is_complete() {
         writeln!(
             table,
-            "{wname:<14} {iname:<14} {makespan:>9.3}s {sid:>10.5} {top:>22}"
+            "partial suite: {} completed, {} cached, {} failed, {} not run{}",
+            run.manifest.completed,
+            run.manifest.cached,
+            run.manifest.failures.len(),
+            run.manifest.skipped,
+            if supervision.checkpoint.is_some() && run.manifest.skipped > 0 {
+                " — rerun with --resume to continue"
+            } else {
+                ""
+            }
         )
         .unwrap();
     }
-    writeln!(table).unwrap();
-    Ok(table)
+    Ok((table, run.manifest))
 }
 
-/// Runs `limba suite [--ranks N] [--jobs N]`.
-pub fn run(argv: &[String]) -> Result<(), String> {
-    let parsed: Parsed = parse(argv)?;
+/// Runs `limba suite [--ranks N] [--jobs N] [supervision flags]`.
+pub fn run(argv: &[String]) -> Result<crate::CmdOutcome, String> {
+    let parsed: Parsed = parse_with_switches(argv, crate::supervise::SWITCHES)?;
     let ranks: usize = parsed.get_or("ranks", 8)?;
     let jobs: usize = parsed.get_or("jobs", 1)?;
-    print!("{}", render(ranks, jobs)?);
-    Ok(())
+    let supervision = Supervision::from_args(&parsed)?;
+    let (table, manifest) = render(ranks, jobs, &supervision)?;
+    print!("{table}");
+    supervision.write_manifest(&manifest)?;
+    Ok(Supervision::outcome_of(&manifest))
 }
 
 #[cfg(test)]
@@ -200,10 +274,38 @@ mod tests {
 
     #[test]
     fn suite_table_is_byte_identical_across_job_counts() {
-        let reference = render(4, 1).unwrap();
+        let (reference, manifest) = render(4, 1, &Supervision::none()).unwrap();
         assert!(reference.contains("workload"));
+        assert!(manifest.is_complete());
         for jobs in [2, 4, 8] {
-            assert_eq!(render(4, jobs).unwrap(), reference, "jobs={jobs}");
+            let (table, _) = render(4, jobs, &Supervision::none()).unwrap();
+            assert_eq!(table, reference, "jobs={jobs}");
         }
+    }
+
+    #[test]
+    fn interrupted_suite_resumes_to_byte_identical_output() {
+        let (reference, _) = render(4, 1, &Supervision::none()).unwrap();
+        let path = std::env::temp_dir().join("limba-cli-suite-resume.ckpt");
+        std::fs::remove_file(&path).ok();
+        let interrupted = Supervision {
+            max_units: Some(9),
+            checkpoint: Some(path.clone()),
+            ..Supervision::none()
+        };
+        let (partial, manifest) = render(4, 1, &interrupted).unwrap();
+        assert!(!manifest.is_complete());
+        assert_eq!(manifest.completed, 9);
+        assert!(partial.contains("not run (interrupted)"));
+        let resumed = Supervision {
+            checkpoint: Some(path.clone()),
+            resume: true,
+            ..Supervision::none()
+        };
+        let (full, manifest) = render(4, 4, &resumed).unwrap();
+        assert!(manifest.is_complete());
+        assert_eq!(manifest.cached, 9);
+        assert_eq!(full, reference);
+        std::fs::remove_file(&path).ok();
     }
 }

@@ -5,7 +5,7 @@ use std::fs;
 use crate::args::parse;
 
 /// Runs `limba timeline <tracefile> [--out PATH] [--width PX]`.
-pub fn run(argv: &[String]) -> Result<(), String> {
+pub fn run(argv: &[String]) -> Result<crate::CmdOutcome, String> {
     let parsed = parse(argv)?;
     let path = parsed
         .positional
@@ -24,7 +24,7 @@ pub fn run(argv: &[String]) -> Result<(), String> {
     let svg = limba_viz::timeline::timeline_svg(&trace, width).map_err(|e| e.to_string())?;
     fs::write(out, svg).map_err(|e| e.to_string())?;
     println!("timeline written to {out}");
-    Ok(())
+    Ok(crate::CmdOutcome::Complete)
 }
 
 #[cfg(test)]

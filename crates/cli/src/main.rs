@@ -15,6 +15,22 @@ mod cmd_paper;
 mod cmd_simulate;
 mod cmd_suite;
 mod cmd_timeline;
+mod supervise;
+
+/// How a subcommand finished.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum CmdOutcome {
+    /// Everything the command was asked to produce was produced.
+    Complete,
+    /// The command produced *some* results but was interrupted (deadline,
+    /// unit cap, cancellation) or had failing units. The process exits
+    /// with [`PARTIAL_EXIT_CODE`] so scripts can distinguish "resume me"
+    /// from success and from hard errors.
+    Partial,
+}
+
+/// Exit code for runs that finished with partial results.
+pub(crate) const PARTIAL_EXIT_CODE: u8 = 3;
 
 const USAGE: &str = "\
 limba — load-imbalance analysis of parallel programs
@@ -79,6 +95,24 @@ OPTIONS (timeline):
 
 OPTIONS (paper):
   --svg DIR              also write figure SVGs into DIR
+
+SUPERVISION (simulate --replications N, suite, advise):
+  --deadline SECS        stop starting new units once SECS seconds have
+                         elapsed; completed units are kept
+  --max-units N          start at most N new units this invocation (a
+                         deterministic interruption point at --jobs 1)
+  --checkpoint PATH      persist each completed unit to PATH (checksummed,
+                         atomic write-rename) as the run progresses
+  --resume               load PATH first and run only the missing units; the
+                         resumed output is byte-identical to an uninterrupted
+                         run at any --jobs
+  --max-retries N        retry transiently failing units up to N times with
+                         exponential backoff (default 0; panics never retry)
+  --manifest PATH        write a machine-readable JSON run manifest to PATH
+
+EXIT CODES:
+  0  complete   1  error   3  partial results (interrupted or failing units;
+                              rerun with --resume to continue)
 ";
 
 fn main() -> ExitCode {
@@ -98,12 +132,13 @@ fn main() -> ExitCode {
         "demo" => cmd_simulate::demo(),
         "help" | "--help" | "-h" => {
             print!("{USAGE}");
-            Ok(())
+            Ok(CmdOutcome::Complete)
         }
         other => Err(format!("unknown command {other:?}; see `limba help`")),
     };
     match result {
-        Ok(()) => ExitCode::SUCCESS,
+        Ok(CmdOutcome::Complete) => ExitCode::SUCCESS,
+        Ok(CmdOutcome::Partial) => ExitCode::from(PARTIAL_EXIT_CODE),
         Err(message) => {
             eprintln!("error: {message}");
             ExitCode::FAILURE

@@ -342,3 +342,267 @@ fn bad_flags_are_reported() {
     let out = limba(&["analyze", "/nonexistent.trace"]);
     assert!(!out.status.success());
 }
+
+/// The shared sweep arguments for the kill-resume E2E locks.
+fn sweep_args<'a>(extra: &[&'a str]) -> Vec<&'a str> {
+    let mut args = vec![
+        "simulate",
+        "cfd",
+        "--ranks",
+        "4",
+        "--iterations",
+        "1",
+        "--imbalance",
+        "jitter:0.2",
+        "--replications",
+        "8",
+    ];
+    args.extend_from_slice(extra);
+    args
+}
+
+#[test]
+fn interrupted_sweep_exits_partial_and_resumes_byte_identically() {
+    let reference = limba(&sweep_args(&[]));
+    assert!(reference.status.success());
+    let reference = String::from_utf8(reference.stdout).unwrap();
+
+    for jobs in ["1", "4"] {
+        let ckpt = temp_path(&format!("e2e-sweep-{jobs}.ckpt"));
+        std::fs::remove_file(&ckpt).ok();
+        let interrupted = limba(&sweep_args(&[
+            "--max-units",
+            "3",
+            "--checkpoint",
+            ckpt.to_str().unwrap(),
+        ]));
+        assert_eq!(
+            interrupted.status.code(),
+            Some(3),
+            "partial runs exit with the partial code: {}",
+            String::from_utf8_lossy(&interrupted.stderr)
+        );
+        let stdout = String::from_utf8(interrupted.stdout).unwrap();
+        assert!(stdout.contains("not run (interrupted)"), "{stdout}");
+        assert!(stdout.contains("rerun with --resume"), "{stdout}");
+
+        let resumed = limba(&sweep_args(&[
+            "--jobs",
+            jobs,
+            "--checkpoint",
+            ckpt.to_str().unwrap(),
+            "--resume",
+        ]));
+        assert!(
+            resumed.status.success(),
+            "{}",
+            String::from_utf8_lossy(&resumed.stderr)
+        );
+        assert_eq!(
+            String::from_utf8(resumed.stdout).unwrap(),
+            reference,
+            "jobs={jobs}"
+        );
+        std::fs::remove_file(&ckpt).ok();
+    }
+}
+
+#[test]
+fn sweep_manifest_records_the_interruption() {
+    let ckpt = temp_path("e2e-manifest.ckpt");
+    let manifest = temp_path("e2e-manifest.json");
+    std::fs::remove_file(&ckpt).ok();
+    let out = limba(&sweep_args(&[
+        "--max-units",
+        "2",
+        "--checkpoint",
+        ckpt.to_str().unwrap(),
+        "--manifest",
+        manifest.to_str().unwrap(),
+    ]));
+    assert_eq!(out.status.code(), Some(3));
+    let json = std::fs::read_to_string(&manifest).unwrap();
+    assert!(json.contains("\"completed\": 2"), "{json}");
+    assert!(json.contains("\"skipped\": 6"), "{json}");
+    assert!(json.contains("\"stopped\": \"unit-cap-reached\""), "{json}");
+    std::fs::remove_file(&ckpt).ok();
+    std::fs::remove_file(&manifest).ok();
+}
+
+#[test]
+fn corrupted_checkpoint_is_a_named_error_not_a_panic() {
+    let ckpt = temp_path("e2e-corrupt.ckpt");
+    std::fs::remove_file(&ckpt).ok();
+    assert_eq!(
+        limba(&sweep_args(&[
+            "--max-units",
+            "2",
+            "--checkpoint",
+            ckpt.to_str().unwrap(),
+        ]))
+        .status
+        .code(),
+        Some(3)
+    );
+    let mut bytes = std::fs::read(&ckpt).unwrap();
+    let mid = bytes.len() / 2;
+    bytes[mid] ^= 0x10;
+    std::fs::write(&ckpt, &bytes).unwrap();
+    let out = limba(&sweep_args(&[
+        "--checkpoint",
+        ckpt.to_str().unwrap(),
+        "--resume",
+    ]));
+    assert_eq!(out.status.code(), Some(1));
+    let stderr = String::from_utf8(out.stderr).unwrap();
+    assert!(
+        stderr.contains("checksum") || stderr.contains("corrupt"),
+        "{stderr}"
+    );
+    std::fs::remove_file(&ckpt).ok();
+}
+
+#[test]
+fn interrupted_suite_exits_partial_and_resumes_byte_identically() {
+    let reference = limba(&["suite", "--ranks", "4"]);
+    assert!(reference.status.success());
+    let reference = String::from_utf8(reference.stdout).unwrap();
+
+    let ckpt = temp_path("e2e-suite.ckpt");
+    std::fs::remove_file(&ckpt).ok();
+    let interrupted = limba(&[
+        "suite",
+        "--ranks",
+        "4",
+        "--max-units",
+        "10",
+        "--checkpoint",
+        ckpt.to_str().unwrap(),
+    ]);
+    assert_eq!(interrupted.status.code(), Some(3));
+    let resumed = limba(&[
+        "suite",
+        "--ranks",
+        "4",
+        "--jobs",
+        "4",
+        "--checkpoint",
+        ckpt.to_str().unwrap(),
+        "--resume",
+    ]);
+    assert!(
+        resumed.status.success(),
+        "{}",
+        String::from_utf8_lossy(&resumed.stderr)
+    );
+    assert_eq!(String::from_utf8(resumed.stdout).unwrap(), reference);
+    std::fs::remove_file(&ckpt).ok();
+}
+
+#[test]
+fn interrupted_advise_exits_partial_and_resumes_byte_identically() {
+    let base = [
+        "advise",
+        "--workload",
+        "cfd",
+        "--ranks",
+        "4",
+        "--iterations",
+        "1",
+        "--top",
+        "2",
+    ];
+    let reference = limba(&base);
+    assert!(reference.status.success());
+    let reference = String::from_utf8(reference.stdout).unwrap();
+
+    for jobs in ["1", "4"] {
+        let ckpt = temp_path(&format!("e2e-advise-{jobs}.ckpt"));
+        std::fs::remove_file(&ckpt).ok();
+        let mut args = base.to_vec();
+        args.extend_from_slice(&["--max-units", "1", "--checkpoint", ckpt.to_str().unwrap()]);
+        let interrupted = limba(&args);
+        assert_eq!(
+            interrupted.status.code(),
+            Some(3),
+            "{}",
+            String::from_utf8_lossy(&interrupted.stderr)
+        );
+        let stderr = String::from_utf8(interrupted.stderr).unwrap();
+        assert!(stderr.contains("advise interrupted"), "{stderr}");
+        assert!(stderr.contains("rerun with --resume"), "{stderr}");
+
+        let mut args = base.to_vec();
+        args.extend_from_slice(&[
+            "--jobs",
+            jobs,
+            "--checkpoint",
+            ckpt.to_str().unwrap(),
+            "--resume",
+        ]);
+        let resumed = limba(&args);
+        assert!(
+            resumed.status.success(),
+            "{}",
+            String::from_utf8_lossy(&resumed.stderr)
+        );
+        assert_eq!(
+            String::from_utf8(resumed.stdout).unwrap(),
+            reference,
+            "jobs={jobs}"
+        );
+        std::fs::remove_file(&ckpt).ok();
+    }
+}
+
+#[test]
+fn advise_refuses_a_checkpoint_from_a_different_configuration() {
+    let ckpt = temp_path("e2e-advise-foreign.ckpt");
+    std::fs::remove_file(&ckpt).ok();
+    assert_eq!(
+        limba(&[
+            "advise",
+            "--workload",
+            "cfd",
+            "--ranks",
+            "4",
+            "--iterations",
+            "1",
+            "--top",
+            "2",
+            "--max-units",
+            "1",
+            "--checkpoint",
+            ckpt.to_str().unwrap(),
+        ])
+        .status
+        .code(),
+        Some(3)
+    );
+    // Same checkpoint, different scenario: the fingerprint must refuse.
+    let out = limba(&[
+        "advise",
+        "--workload",
+        "stencil",
+        "--ranks",
+        "4",
+        "--top",
+        "2",
+        "--checkpoint",
+        ckpt.to_str().unwrap(),
+        "--resume",
+    ]);
+    assert_eq!(out.status.code(), Some(1));
+    assert!(String::from_utf8(out.stderr)
+        .unwrap()
+        .contains("fingerprint"));
+    std::fs::remove_file(&ckpt).ok();
+}
+
+#[test]
+fn deadline_zero_stops_before_any_unit() {
+    let out = limba(&sweep_args(&["--deadline", "0"]));
+    assert_eq!(out.status.code(), Some(3));
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(stdout.contains("no replications completed"), "{stdout}");
+}

@@ -121,6 +121,7 @@ pub struct BatchAnalyzer {
     analyzer: Analyzer,
     jobs: usize,
     cache: Option<ReportCache>,
+    cancel: Option<limba_par::CancelToken>,
 }
 
 impl BatchAnalyzer {
@@ -132,6 +133,7 @@ impl BatchAnalyzer {
             analyzer,
             jobs: 1,
             cache: None,
+            cancel: None,
         }
     }
 
@@ -150,6 +152,17 @@ impl BatchAnalyzer {
         self
     }
 
+    /// Attaches a cooperative cancellation token. When the token trips,
+    /// items not yet started come back as
+    /// [`AnalysisError::Interrupted`]; items already analyzed keep their
+    /// normal results, which stay bit-identical to an uncancelled run —
+    /// cancellation changes *which* items ran, never *what* an item
+    /// produced.
+    pub fn with_cancel(mut self, cancel: limba_par::CancelToken) -> Self {
+        self.cancel = Some(cancel);
+        self
+    }
+
     /// The configured per-item analyzer.
     pub fn analyzer(&self) -> &Analyzer {
         &self.analyzer
@@ -165,7 +178,7 @@ impl BatchAnalyzer {
     /// other items still produce reports.
     pub fn analyze_batch(&self, items: &[Measurements]) -> Vec<Result<Report, AnalysisError>> {
         let fingerprint = self.analyzer.config_fingerprint();
-        limba_par::par_map(self.jobs, items, |_, measurements| {
+        let analyze_one = |measurements: &Measurements| {
             let key = self
                 .cache
                 .as_ref()
@@ -180,7 +193,16 @@ impl BatchAnalyzer {
                 cache.insert(key, Arc::new(report.clone()));
             }
             Ok(report)
-        })
+        };
+        match &self.cancel {
+            None => limba_par::par_map(self.jobs, items, |_, m| analyze_one(m)),
+            Some(cancel) => {
+                limba_par::par_map_cancellable(self.jobs, items, cancel, |_, m| analyze_one(m))
+                    .into_iter()
+                    .map(|slot| slot.unwrap_or(Err(AnalysisError::Interrupted)))
+                    .collect()
+            }
+        }
     }
 }
 
@@ -263,6 +285,33 @@ mod tests {
             .with_cache(cache.clone())
             .analyze_batch(&items);
         assert_eq!(cache.len(), 2);
+    }
+
+    #[test]
+    fn cancelled_batch_marks_unstarted_items_interrupted() {
+        let items = vec![sample(1.0), sample(2.0), sample(3.0), sample(4.0)];
+        let token = limba_par::CancelToken::new();
+        token.cancel();
+        let reports = BatchAnalyzer::new(Analyzer::new())
+            .with_jobs(1)
+            .with_cancel(token)
+            .analyze_batch(&items);
+        assert_eq!(reports.len(), items.len());
+        assert!(reports
+            .iter()
+            .all(|r| matches!(r, Err(AnalysisError::Interrupted))));
+
+        // An untripped token changes nothing.
+        let reports = BatchAnalyzer::new(Analyzer::new())
+            .with_jobs(2)
+            .with_cancel(limba_par::CancelToken::new())
+            .analyze_batch(&items);
+        let plain = BatchAnalyzer::new(Analyzer::new())
+            .with_jobs(2)
+            .analyze_batch(&items);
+        for (a, b) in reports.iter().zip(&plain) {
+            assert_eq!(a.as_ref().unwrap(), b.as_ref().unwrap());
+        }
     }
 
     #[test]

@@ -15,6 +15,11 @@ pub enum AnalysisError {
     Stats(StatsError),
     /// Region clustering failed.
     Cluster(ClusterError),
+    /// A cancellation token tripped before this item was analyzed (see
+    /// [`BatchAnalyzer::with_cancel`](crate::batch::BatchAnalyzer::with_cancel)).
+    /// The item itself is fine; re-analyzing it without the token
+    /// produces the normal report.
+    Interrupted,
 }
 
 impl fmt::Display for AnalysisError {
@@ -25,6 +30,9 @@ impl fmt::Display for AnalysisError {
             }
             AnalysisError::Stats(e) => write!(f, "statistical computation failed: {e}"),
             AnalysisError::Cluster(e) => write!(f, "region clustering failed: {e}"),
+            AnalysisError::Interrupted => {
+                write!(f, "analysis cancelled before this item started")
+            }
         }
     }
 }
@@ -34,7 +42,7 @@ impl Error for AnalysisError {
         match self {
             AnalysisError::Stats(e) => Some(e),
             AnalysisError::Cluster(e) => Some(e),
-            AnalysisError::EmptyProgram => None,
+            AnalysisError::EmptyProgram | AnalysisError::Interrupted => None,
         }
     }
 }

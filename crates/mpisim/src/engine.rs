@@ -58,6 +58,77 @@ pub(crate) fn format_deadlock_detail(
     detail
 }
 
+/// Cooperative interruption budget for a single simulation run,
+/// checked inside both engines' scheduling loops.
+///
+/// All three limits are optional; the default budget is unlimited. A
+/// tripped budget aborts the run with [`SimError::Interrupted`] and
+/// discards all partial state — a budgeted run either completes
+/// bit-identically to an unbudgeted one or produces no output at all,
+/// which is what lets a supervisor re-run interrupted work later with
+/// byte-identical results.
+///
+/// Op-count budgets are deterministic: both engines execute exactly the
+/// same program ops, so `max_ops` either interrupts on every engine and
+/// thread count or on none. Deadlines and cancellation are wall-clock
+/// signals and inherently racy; they decide only *whether* a run
+/// finishes, never what a finished run contains.
+#[derive(Debug, Clone, Default)]
+pub struct RunBudget {
+    /// Abort after this many executed program ops.
+    pub max_ops: Option<u64>,
+    /// Abort once this wall-clock instant passes.
+    pub deadline: Option<std::time::Instant>,
+    /// Abort when this token is cancelled.
+    pub cancel: Option<limba_par::CancelToken>,
+}
+
+/// How many executed ops pass between wall-clock/cancellation polls
+/// (the op counter itself is checked on every op). The first op always
+/// polls, so even tiny programs notice a pre-tripped token.
+const BUDGET_POLL_INTERVAL: u64 = 16;
+
+impl RunBudget {
+    /// An unlimited budget: never interrupts.
+    pub fn unlimited() -> Self {
+        RunBudget::default()
+    }
+
+    /// Whether no limit is set at all.
+    pub fn is_unlimited(&self) -> bool {
+        self.max_ops.is_none() && self.deadline.is_none() && self.cancel.is_none()
+    }
+
+    /// Polls the budget after the `ops_done`-th executed op; returns the
+    /// interruption error when a limit has fired.
+    pub(crate) fn check(&self, ops_done: u64) -> Option<SimError> {
+        if let Some(max) = self.max_ops {
+            if ops_done > max {
+                return Some(SimError::Interrupted {
+                    detail: format!("op budget of {max} exhausted after {ops_done} ops"),
+                });
+            }
+        }
+        if ops_done % BUDGET_POLL_INTERVAL == 1 {
+            if let Some(deadline) = self.deadline {
+                if std::time::Instant::now() >= deadline {
+                    return Some(SimError::Interrupted {
+                        detail: format!("wall-clock deadline exceeded after {ops_done} ops"),
+                    });
+                }
+            }
+            if let Some(cancel) = &self.cancel {
+                if cancel.is_cancelled() {
+                    return Some(SimError::Interrupted {
+                        detail: format!("cancelled after {ops_done} ops"),
+                    });
+                }
+            }
+        }
+        None
+    }
+}
+
 /// Summary statistics of one simulated run.
 #[derive(Debug, Clone, PartialEq)]
 pub struct SimStats {
@@ -297,6 +368,11 @@ struct Exec<'a> {
     /// Active fault injection, `None` for unfaulted runs (and for empty
     /// plans, so the no-fault arithmetic stays bit-exact).
     faults: Option<FaultState>,
+    /// Interruption budget, `None` for unbudgeted runs (no per-op
+    /// bookkeeping on the default path).
+    budget: Option<&'a RunBudget>,
+    /// Program ops executed so far; drives the budget checks.
+    ops_done: u64,
 }
 
 impl<'a> Exec<'a> {
@@ -371,6 +447,8 @@ impl<'a> Exec<'a> {
             next_round: RankSet::new(n),
             links,
             faults,
+            budget: None,
+            ops_done: 0,
         })
     }
 
@@ -932,7 +1010,14 @@ impl<'a> Exec<'a> {
                 }
                 loop {
                     match self.try_op(rank)? {
-                        StepOutcome::Ran => {}
+                        StepOutcome::Ran => {
+                            if let Some(budget) = self.budget {
+                                self.ops_done += 1;
+                                if let Some(interrupted) = budget.check(self.ops_done) {
+                                    return Err(interrupted);
+                                }
+                            }
+                        }
                         StepOutcome::Blocked(on) => {
                             self.blocked[rank] = on;
                             break;
@@ -1027,6 +1112,35 @@ impl Simulator {
         Ok(exec.finish())
     }
 
+    /// Runs `program` under an interruption budget (and optionally a
+    /// fault plan) with the event-driven scheduler. The budget is
+    /// polled inside the scheduling loop: when an op-count or
+    /// wall-clock limit fires, or the cancellation token trips, the run
+    /// aborts with [`SimError::Interrupted`] and produces nothing.
+    ///
+    /// A run that completes under a budget is bit-identical to the same
+    /// run without one — the budget decides *whether* the run finishes,
+    /// never what a finished run contains. An unlimited budget takes
+    /// the exact unbudgeted code path (no per-op bookkeeping).
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Simulator::run_with_faults`], plus
+    /// [`SimError::Interrupted`] when the budget fires.
+    pub fn run_budgeted(
+        &self,
+        program: &Program,
+        plan: Option<&FaultPlan>,
+        budget: &RunBudget,
+    ) -> Result<SimOutput, SimError> {
+        let mut exec = Exec::new(&self.config, program, plan)?;
+        if !budget.is_unlimited() {
+            exec.budget = Some(budget);
+        }
+        exec.run_event()?;
+        Ok(exec.finish())
+    }
+
     /// Runs `program` with the polling reference engine — the original
     /// O(rounds × n) scan over `HashMap`-keyed channels that this
     /// engine replaced, preserved verbatim in [`crate::polling`]. Its
@@ -1039,7 +1153,7 @@ impl Simulator {
     ///
     /// Same conditions as [`Simulator::run`].
     pub fn run_polling(&self, program: &Program) -> Result<SimOutput, SimError> {
-        crate::polling::run(&self.config, program, None)
+        crate::polling::run(&self.config, program, None, None)
     }
 
     /// Runs `program` under a fault plan with the polling reference
@@ -1055,7 +1169,30 @@ impl Simulator {
         program: &Program,
         plan: &FaultPlan,
     ) -> Result<SimOutput, SimError> {
-        crate::polling::run(&self.config, program, Some(plan))
+        crate::polling::run(&self.config, program, Some(plan), None)
+    }
+
+    /// The polling-engine counterpart of [`Simulator::run_budgeted`]:
+    /// same budget semantics, same guarantee that a completed budgeted
+    /// run is bit-identical to an unbudgeted one. Op-count budgets fire
+    /// on exactly the same programs on both engines (both execute the
+    /// same ops), which the equivalence suite locks.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Simulator::run_budgeted`].
+    pub fn run_polling_budgeted(
+        &self,
+        program: &Program,
+        plan: Option<&FaultPlan>,
+        budget: &RunBudget,
+    ) -> Result<SimOutput, SimError> {
+        let budget = if budget.is_unlimited() {
+            None
+        } else {
+            Some(budget)
+        };
+        crate::polling::run(&self.config, program, plan, budget)
     }
 }
 
@@ -1071,6 +1208,131 @@ mod tests {
             .with_latency(10e-6)
             .with_bandwidth(1e8)
             .with_eager_threshold(8192)
+    }
+
+    /// A small exchange-heavy program both budget tests share.
+    fn budget_test_program(ranks: usize) -> Program {
+        let mut pb = ProgramBuilder::new(ranks);
+        let r = pb.add_region("step");
+        pb.spmd(|rank, mut ops| {
+            ops.enter(r)
+                .compute(0.1 + 0.05 * rank as f64)
+                .send((rank + 1) % ranks, 1024)
+                .recv((rank + ranks - 1) % ranks)
+                .barrier()
+                .leave(r);
+        });
+        pb.build().unwrap()
+    }
+
+    #[test]
+    fn generous_op_budget_is_bit_identical_to_unbudgeted() {
+        let program = budget_test_program(4);
+        let sim = Simulator::new(machine(4));
+        let plain = sim.run(&program).unwrap();
+        let budget = RunBudget {
+            max_ops: Some(1_000_000),
+            ..RunBudget::default()
+        };
+        let budgeted = sim.run_budgeted(&program, None, &budget).unwrap();
+        assert_eq!(plain.trace, budgeted.trace);
+        assert_eq!(plain.stats, budgeted.stats);
+        let polled = sim.run_polling_budgeted(&program, None, &budget).unwrap();
+        assert_eq!(plain.trace, polled.trace);
+        assert_eq!(plain.stats, polled.stats);
+    }
+
+    #[test]
+    fn op_budget_interrupts_both_engines_at_the_same_threshold() {
+        let program = budget_test_program(4);
+        let sim = Simulator::new(machine(4));
+        // The smallest op budget that lets the run finish — found by
+        // scanning upward — must be the same on both engines, and every
+        // smaller budget must interrupt both with a named error. That is
+        // what makes an op budget a deterministic, engine-independent
+        // interruption point.
+        let threshold = |budgeted: &dyn Fn(&RunBudget) -> Result<SimOutput, SimError>| -> u64 {
+            let ceiling = program.total_ops() as u64 * 4;
+            for max_ops in 0..=ceiling {
+                let budget = RunBudget {
+                    max_ops: Some(max_ops),
+                    ..RunBudget::default()
+                };
+                match budgeted(&budget) {
+                    Ok(_) => return max_ops,
+                    Err(SimError::Interrupted { detail }) => {
+                        assert!(detail.contains("op budget"), "{detail}")
+                    }
+                    Err(other) => panic!("unexpected error at max_ops={max_ops}: {other}"),
+                }
+            }
+            panic!("no budget up to {ceiling} completed");
+        };
+        let event_threshold = threshold(&|b| sim.run_budgeted(&program, None, b));
+        let polling_threshold = threshold(&|b| sim.run_polling_budgeted(&program, None, b));
+        assert_eq!(event_threshold, polling_threshold);
+        assert!(event_threshold > 0);
+        // At the threshold both engines still agree bit-for-bit.
+        let budget = RunBudget {
+            max_ops: Some(event_threshold),
+            ..RunBudget::default()
+        };
+        let event = sim.run_budgeted(&program, None, &budget).unwrap();
+        let polling = sim.run_polling_budgeted(&program, None, &budget).unwrap();
+        assert_eq!(event.trace, polling.trace);
+        assert_eq!(event.stats, polling.stats);
+    }
+
+    #[test]
+    fn cancelled_token_and_expired_deadline_interrupt_the_run() {
+        let program = budget_test_program(4);
+        let sim = Simulator::new(machine(4));
+        let token = limba_par::CancelToken::new();
+        token.cancel();
+        let budget = RunBudget {
+            cancel: Some(token),
+            ..RunBudget::default()
+        };
+        assert!(matches!(
+            sim.run_budgeted(&program, None, &budget),
+            Err(SimError::Interrupted { .. })
+        ));
+        let budget = RunBudget {
+            deadline: Some(std::time::Instant::now() - std::time::Duration::from_millis(1)),
+            ..RunBudget::default()
+        };
+        assert!(matches!(
+            sim.run_polling_budgeted(&program, None, &budget),
+            Err(SimError::Interrupted { .. })
+        ));
+        // An untripped token and a far-away deadline change nothing.
+        let budget = RunBudget {
+            deadline: Some(std::time::Instant::now() + std::time::Duration::from_secs(3600)),
+            cancel: Some(limba_par::CancelToken::new()),
+            ..RunBudget::default()
+        };
+        let plain = sim.run(&program).unwrap();
+        let budgeted = sim.run_budgeted(&program, None, &budget).unwrap();
+        assert_eq!(plain.trace, budgeted.trace);
+    }
+
+    #[test]
+    fn budgeted_run_honors_fault_plans_identically() {
+        let program = budget_test_program(4);
+        let sim = Simulator::new(machine(4));
+        let plan = FaultPlan::new(11).with_slowdown(1, 0.0, 0.2, 2.0);
+        let plain = sim.run_with_faults(&program, &plan).unwrap();
+        let budget = RunBudget {
+            max_ops: Some(1_000_000),
+            ..RunBudget::default()
+        };
+        let budgeted = sim.run_budgeted(&program, Some(&plan), &budget).unwrap();
+        assert_eq!(plain.trace, budgeted.trace);
+        assert_eq!(plain.faults, budgeted.faults);
+        let polled = sim
+            .run_polling_budgeted(&program, Some(&plan), &budget)
+            .unwrap();
+        assert_eq!(plain.trace, polled.trace);
     }
 
     #[test]

@@ -67,6 +67,15 @@ pub enum SimError {
     },
     /// The produced trace failed validation or reduction.
     Trace(TraceError),
+    /// A run budget cut the simulation short (op-count or wall-clock
+    /// deadline exceeded, or its cancellation token tripped — see
+    /// [`RunBudget`](crate::RunBudget)). The run produced no output;
+    /// re-running the same program without the budget reproduces the
+    /// uninterrupted result exactly.
+    Interrupted {
+        /// Which limit fired and where.
+        detail: String,
+    },
 }
 
 impl fmt::Display for SimError {
@@ -104,6 +113,7 @@ impl fmt::Display for SimError {
                 write!(f, "replication program build failed: {detail}")
             }
             SimError::Trace(e) => write!(f, "trace handling failed: {e}"),
+            SimError::Interrupted { detail } => write!(f, "run interrupted: {detail}"),
         }
     }
 }

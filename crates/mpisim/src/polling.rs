@@ -21,7 +21,7 @@ use limba_model::ActivityKind;
 use limba_trace::{Event, TraceBuilder};
 
 use crate::collectives::collective_cost;
-use crate::engine::{format_deadlock_detail, SimOutput, SimStats};
+use crate::engine::{format_deadlock_detail, RunBudget, SimOutput, SimStats};
 use crate::faults::{FaultPlan, FaultReport, FaultState};
 use crate::{CollectiveKind, MachineConfig, Op, Program, SimError};
 
@@ -72,15 +72,18 @@ struct CollectiveInstance {
 }
 
 /// Runs `program` on `config` with the original polling engine,
-/// optionally under a fault plan.
+/// optionally under a fault plan and/or an interruption budget.
 pub(crate) fn run(
     config: &MachineConfig,
     program: &Program,
     plan: Option<&FaultPlan>,
+    budget: Option<&RunBudget>,
 ) -> Result<SimOutput, SimError> {
     Polling {
         config,
         faults: None,
+        budget,
+        ops_done: 0,
     }
     .run(program, plan)
 }
@@ -88,6 +91,11 @@ pub(crate) fn run(
 struct Polling<'a> {
     config: &'a MachineConfig,
     faults: Option<FaultState>,
+    /// Interruption budget, `None` for unbudgeted runs — polled on the
+    /// same executed-op cadence as the event engine, so op-count
+    /// budgets fire on exactly the same programs on both engines.
+    budget: Option<&'a RunBudget>,
+    ops_done: u64,
 }
 
 impl Polling<'_> {
@@ -145,6 +153,12 @@ impl Polling<'_> {
                     &mut stats,
                 )? {
                     progress = true;
+                    if let Some(budget) = self.budget {
+                        self.ops_done += 1;
+                        if let Some(interrupted) = budget.check(self.ops_done) {
+                            return Err(interrupted);
+                        }
+                    }
                 }
             }
             if states

@@ -1,0 +1,62 @@
+//! Cooperative cancellation.
+//!
+//! A [`CancelToken`] is a shared flag that long-running work polls at
+//! safe points — between parallel work items, between simulator ops,
+//! between search depths. Cancellation is *cooperative*: tripping the
+//! token never interrupts a computation mid-step, it only stops new
+//! steps from starting, so everything a cancelled run has already
+//! produced is exactly what an uncancelled run would have produced for
+//! the same units of work. That is the property the checkpoint/resume
+//! layer builds on.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+/// A shared cancellation flag. Cloning yields another handle on the
+/// *same* flag; cancelling any clone cancels them all.
+#[derive(Debug, Clone, Default)]
+pub struct CancelToken {
+    cancelled: Arc<AtomicBool>,
+}
+
+impl CancelToken {
+    /// A fresh, untripped token.
+    pub fn new() -> Self {
+        CancelToken::default()
+    }
+
+    /// Trips the token. Idempotent; there is no way to un-cancel.
+    pub fn cancel(&self) {
+        self.cancelled.store(true, Ordering::Release);
+    }
+
+    /// Whether the token has been tripped.
+    pub fn is_cancelled(&self) -> bool {
+        self.cancelled.load(Ordering::Acquire)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn token_trips_once_and_for_all_clones() {
+        let token = CancelToken::new();
+        let clone = token.clone();
+        assert!(!token.is_cancelled());
+        assert!(!clone.is_cancelled());
+        clone.cancel();
+        assert!(token.is_cancelled());
+        token.cancel(); // idempotent
+        assert!(token.is_cancelled());
+    }
+
+    #[test]
+    fn fresh_tokens_are_independent() {
+        let a = CancelToken::new();
+        let b = CancelToken::new();
+        a.cancel();
+        assert!(!b.is_cancelled());
+    }
+}

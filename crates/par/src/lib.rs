@@ -28,6 +28,10 @@
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 
+pub mod cancel;
+
+pub use cancel::CancelToken;
+
 /// Resolves a requested job count: `0` means "one job per available CPU",
 /// anything else is taken literally.
 pub fn effective_jobs(requested: usize) -> usize {
@@ -101,6 +105,66 @@ where
                 .expect("slot lock")
                 .expect("every slot filled")
         })
+        .collect()
+}
+
+/// A [`par_map`] that stops claiming new items once `cancel` trips.
+///
+/// Items already being processed when the token trips still complete
+/// and land in their slots; items never started come back as `None`.
+/// The *completed* slots are exactly what [`par_map`] would have
+/// produced for those indices — cancellation changes *which* items ran,
+/// never *what* an item produced — so a supervisor can checkpoint the
+/// `Some` slots and re-run only the `None`s later with byte-identical
+/// results.
+///
+/// With an untripped token this is equivalent to [`par_map`] (every
+/// slot is `Some`).
+pub fn par_map_cancellable<T, R, F>(
+    jobs: usize,
+    items: &[T],
+    cancel: &CancelToken,
+    f: F,
+) -> Vec<Option<R>>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    let jobs = effective_jobs(jobs).min(items.len().max(1));
+    if jobs <= 1 {
+        return items
+            .iter()
+            .enumerate()
+            .map(|(i, t)| {
+                if cancel.is_cancelled() {
+                    None
+                } else {
+                    Some(f(i, t))
+                }
+            })
+            .collect();
+    }
+    let slots: Vec<Mutex<Option<R>>> = items.iter().map(|_| Mutex::new(None)).collect();
+    let next = AtomicUsize::new(0);
+    std::thread::scope(|scope| {
+        for _ in 0..jobs {
+            scope.spawn(|| loop {
+                if cancel.is_cancelled() {
+                    break;
+                }
+                let index = next.fetch_add(1, Ordering::Relaxed);
+                if index >= items.len() {
+                    break;
+                }
+                let result = f(index, &items[index]);
+                *slots[index].lock().expect("slot lock") = Some(result);
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|slot| slot.into_inner().expect("slot lock"))
         .collect()
 }
 
@@ -214,6 +278,49 @@ mod tests {
                 x * x
             });
             assert_eq!(got, reference, "jobs={jobs}");
+        }
+    }
+
+    #[test]
+    fn cancellable_par_map_without_cancellation_matches_par_map() {
+        let items: Vec<usize> = (0..97).collect();
+        let token = CancelToken::new();
+        for jobs in [1, 3, 8] {
+            let got = par_map_cancellable(jobs, &items, &token, |_, &x| x + 1);
+            let want: Vec<Option<usize>> = items.iter().map(|&x| Some(x + 1)).collect();
+            assert_eq!(got, want, "jobs={jobs}");
+        }
+    }
+
+    #[test]
+    fn cancelled_before_start_produces_only_none() {
+        let items: Vec<usize> = (0..32).collect();
+        let token = CancelToken::new();
+        token.cancel();
+        for jobs in [1, 4] {
+            let got = par_map_cancellable(jobs, &items, &token, |_, &x| x);
+            assert!(got.iter().all(Option::is_none), "jobs={jobs}");
+        }
+    }
+
+    #[test]
+    fn mid_run_cancellation_keeps_completed_slots_correct() {
+        let items: Vec<usize> = (0..64).collect();
+        let token = CancelToken::new();
+        let trip_at = 10usize;
+        let got = par_map_cancellable(1, &items, &token, |i, &x| {
+            if i + 1 == trip_at {
+                token.cancel();
+            }
+            x * 2
+        });
+        // Sequential path: exactly the first `trip_at` items ran.
+        for (i, slot) in got.iter().enumerate() {
+            if i < trip_at {
+                assert_eq!(*slot, Some(i * 2));
+            } else {
+                assert_eq!(*slot, None);
+            }
         }
     }
 

@@ -4,17 +4,30 @@
 //!
 //! ```text
 //! magic    8 bytes  "LIMBATRC"
-//! version  u16      1
+//! version  u16      2
 //! procs    u32
 //! nregions u32
 //! regions  nregions × (u32 length, utf-8 bytes)
 //! nevents  u64
 //! events   nevents × (f64 time, u32 proc, u8 op, operands)
+//! checksum u64      FNV-1a of every preceding byte (version 2 only)
 //! ```
 //!
 //! Operands by op code: `0` enter / `1` leave → `u32` region; `2` begin /
 //! `3` end → `u8` activity index; `4` send / `5` recv → `u32` peer +
 //! `u64` bytes.
+//!
+//! Version 2 appends an FNV-1a content checksum so silent corruption
+//! (bit rot, torn copies) surfaces as
+//! [`TraceError::ChecksumMismatch`] instead of a confusing structural
+//! error — or worse, a plausible-but-wrong trace. Version 1 files,
+//! which carry no checksum, remain readable.
+//!
+//! The decoder is hardened against hostile input: every count field
+//! (region count, name length, event count) is bounded against the
+//! bytes actually remaining before anything is allocated, so a
+//! corrupted header claiming four billion events is rejected in O(1)
+//! with a named error rather than attempted.
 
 use std::io::{Read, Write};
 
@@ -25,12 +38,30 @@ use limba_model::ActivityKind;
 use crate::{Event, EventPayload, Trace, TraceBuilder, TraceError};
 
 const MAGIC: &[u8; 8] = b"LIMBATRC";
-const VERSION: u16 = 1;
+const VERSION: u16 = 2;
+/// Oldest version [`from_bytes`] still decodes.
+const MIN_VERSION: u16 = 1;
+/// Smallest possible encoding of one region table entry (empty name).
+const MIN_REGION_BYTES: usize = 4;
+/// Smallest possible encoding of one event (begin/end activity).
+const MIN_EVENT_BYTES: usize = 8 + 4 + 1 + 1;
 
 fn malformed(detail: impl Into<String>) -> TraceError {
     TraceError::Malformed {
         detail: detail.into(),
     }
+}
+
+/// FNV-1a over arbitrary bytes — same function as
+/// `limba_core::snapshot::fnv1a`, duplicated here because this crate
+/// sits below `limba-core` in the dependency graph.
+fn fnv1a(data: &[u8]) -> u64 {
+    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    for &byte in data {
+        hash ^= u64::from(byte);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
 }
 
 /// Encodes `trace` into a byte buffer.
@@ -77,6 +108,8 @@ pub fn to_bytes(trace: &Trace) -> Bytes {
             }
         }
     }
+    let checksum = fnv1a(buf.as_ref());
+    buf.put_u64_le(checksum);
     buf.freeze()
 }
 
@@ -100,11 +133,19 @@ macro_rules! need {
 
 /// Decodes a trace from a byte slice.
 ///
+/// Reads the current version (2, with trailing content checksum) and
+/// legacy version-1 files (no checksum).
+///
 /// # Errors
 ///
 /// Returns [`TraceError::Malformed`] for bad magic, version, truncation,
-/// or invalid activity indices. The decoded trace is not validated.
-pub fn from_bytes(mut buf: &[u8]) -> Result<Trace, TraceError> {
+/// count fields exceeding the remaining input, or invalid activity
+/// indices, and [`TraceError::ChecksumMismatch`] when a version-2
+/// payload does not hash to its recorded checksum. The decoded trace is
+/// not validated.
+pub fn from_bytes(buf: &[u8]) -> Result<Trace, TraceError> {
+    let full = buf;
+    let mut buf = buf;
     need!(buf, 8 + 2 + 4 + 4, "header");
     let mut magic = [0u8; 8];
     buf.copy_to_slice(&mut magic);
@@ -112,11 +153,37 @@ pub fn from_bytes(mut buf: &[u8]) -> Result<Trace, TraceError> {
         return Err(malformed("bad magic"));
     }
     let version = buf.get_u16_le();
-    if version != VERSION {
-        return Err(malformed(format!("unsupported version {version}")));
+    if !(MIN_VERSION..=VERSION).contains(&version) {
+        return Err(malformed(format!(
+            "unsupported version {version} (this build reads {MIN_VERSION}..={VERSION})"
+        )));
     }
+    let body_len = if version >= 2 {
+        // Verify the whole payload before trusting any of its structure.
+        need!(buf, 8, "content checksum");
+        let body_len = full.len() - 8;
+        let expected =
+            u64::from_le_bytes(full[body_len..].try_into().expect("8-byte checksum slice"));
+        let actual = fnv1a(&full[..body_len]);
+        if expected != actual {
+            return Err(TraceError::ChecksumMismatch { expected, actual });
+        }
+        body_len
+    } else {
+        full.len()
+    };
+    let mut buf = full
+        .get(10..body_len)
+        .ok_or_else(|| malformed("truncated while reading header"))?;
+    need!(buf, 4 + 4, "header counts");
     let processors = buf.get_u32_le() as usize;
     let nregions = buf.get_u32_le() as usize;
+    if nregions.saturating_mul(MIN_REGION_BYTES) > buf.remaining() {
+        return Err(malformed(format!(
+            "region count {nregions} exceeds what {} remaining bytes can hold",
+            buf.remaining()
+        )));
+    }
     let mut builder = TraceBuilder::new(processors);
     for _ in 0..nregions {
         need!(buf, 4, "region name length");
@@ -130,6 +197,12 @@ pub fn from_bytes(mut buf: &[u8]) -> Result<Trace, TraceError> {
     }
     need!(buf, 8, "event count");
     let nevents = buf.get_u64_le();
+    if nevents.saturating_mul(MIN_EVENT_BYTES as u64) > buf.remaining() as u64 {
+        return Err(malformed(format!(
+            "event count {nevents} exceeds what {} remaining bytes can hold",
+            buf.remaining()
+        )));
+    }
     for _ in 0..nevents {
         need!(buf, 8 + 4 + 1, "event header");
         let time = buf.get_f64_le();
@@ -254,6 +327,90 @@ mod tests {
         let mut bytes = to_bytes(&sample()).to_vec();
         bytes.push(0);
         assert!(from_bytes(&bytes).is_err());
+    }
+
+    /// Rewrites current-version bytes as a version-1 file: version field
+    /// patched to 1, trailing checksum stripped.
+    fn as_v1(bytes: &[u8]) -> Vec<u8> {
+        let mut v1 = bytes[..bytes.len() - 8].to_vec();
+        v1[8..10].copy_from_slice(&1u16.to_le_bytes());
+        v1
+    }
+
+    #[test]
+    fn version_1_files_without_checksum_still_decode() {
+        let t = sample();
+        let v1 = as_v1(&to_bytes(&t));
+        assert_eq!(from_bytes(&v1).unwrap(), t);
+    }
+
+    #[test]
+    fn corrupted_payload_is_a_checksum_mismatch() {
+        let bytes = to_bytes(&sample()).to_vec();
+        // Flip one bit in every payload byte (skip magic and version,
+        // which fail earlier with their own errors): each flip must be
+        // caught, and as a checksum error, not a lucky structural one.
+        for i in 10..bytes.len() {
+            let mut corrupt = bytes.clone();
+            corrupt[i] ^= 0x40;
+            match from_bytes(&corrupt) {
+                Err(TraceError::ChecksumMismatch { expected, actual }) => {
+                    assert_ne!(expected, actual, "byte {i}")
+                }
+                other => panic!("flip at byte {i}: {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn version_1_bit_flips_are_detected_or_decode_structurally() {
+        // Without a checksum the best v1 can do is structural rejection;
+        // this locks in that no flip panics or over-allocates.
+        let v1 = as_v1(&to_bytes(&sample()));
+        for i in 0..v1.len() {
+            let mut corrupt = v1.clone();
+            corrupt[i] ^= 0x01;
+            let _ = from_bytes(&corrupt);
+        }
+    }
+
+    #[test]
+    fn hostile_count_fields_are_rejected_without_allocation() {
+        // Region count claiming u32::MAX entries in a near-empty file.
+        let mut bytes = to_bytes(&TraceBuilder::new(1).build()).to_vec();
+        bytes[14..18].copy_from_slice(&u32::MAX.to_le_bytes());
+        let v1 = as_v1(&bytes);
+        match from_bytes(&v1) {
+            Err(TraceError::Malformed { detail }) => {
+                assert!(detail.contains("region count"), "{detail}")
+            }
+            other => panic!("{other:?}"),
+        }
+
+        // Event count claiming u64::MAX events.
+        let mut bytes = to_bytes(&TraceBuilder::new(1).build()).to_vec();
+        let nevents_at = bytes.len() - 8 - 8; // before checksum
+        bytes[nevents_at..nevents_at + 8].copy_from_slice(&u64::MAX.to_le_bytes());
+        let v1 = as_v1(&bytes);
+        match from_bytes(&v1) {
+            Err(TraceError::Malformed { detail }) => {
+                assert!(detail.contains("event count"), "{detail}")
+            }
+            other => panic!("{other:?}"),
+        }
+
+        // A region name length larger than the rest of the file.
+        let mut b = TraceBuilder::new(1);
+        b.add_region("x");
+        let mut bytes = to_bytes(&b.build()).to_vec();
+        bytes[18..22].copy_from_slice(&u32::MAX.to_le_bytes());
+        let v1 = as_v1(&bytes);
+        match from_bytes(&v1) {
+            Err(TraceError::Malformed { detail }) => {
+                assert!(detail.contains("region name"), "{detail}")
+            }
+            other => panic!("{other:?}"),
+        }
     }
 
     #[test]

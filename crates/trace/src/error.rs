@@ -39,6 +39,16 @@ pub enum TraceError {
         /// Description of the decoding failure.
         detail: String,
     },
+    /// A binary trace's content checksum did not match its payload —
+    /// the file was corrupted after it was written (bit rot, a torn
+    /// copy, or tampering), as opposed to [`Malformed`](Self::Malformed)
+    /// structure the writer could never have produced.
+    ChecksumMismatch {
+        /// Checksum recorded in the file.
+        expected: u64,
+        /// Checksum recomputed over the payload actually read.
+        actual: u64,
+    },
     /// One event made the stream structurally unsalvageable — unlike
     /// truncation damage (open regions or activities at end of stream),
     /// which [`reduce_checked`](crate::reduce_checked) repairs. Names
@@ -75,6 +85,11 @@ impl fmt::Display for TraceError {
             TraceError::UnknownRegion { region } => write!(f, "unknown region index {region}"),
             TraceError::UnknownProcessor { proc } => write!(f, "unknown processor index {proc}"),
             TraceError::Malformed { detail } => write!(f, "malformed trace: {detail}"),
+            TraceError::ChecksumMismatch { expected, actual } => write!(
+                f,
+                "trace checksum mismatch: file records {expected:#018x}, \
+                 payload hashes to {actual:#018x}"
+            ),
             TraceError::MalformedEvent {
                 proc,
                 index,

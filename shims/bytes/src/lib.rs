@@ -154,6 +154,12 @@ impl BufMut for BytesMut {
     }
 }
 
+impl AsRef<[u8]> for BytesMut {
+    fn as_ref(&self) -> &[u8] {
+        &self.data
+    }
+}
+
 /// An immutable owned byte container.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct Bytes {

@@ -25,6 +25,9 @@
 //!   budgeted beam search, and simulate-verified recommendations;
 //! * [`par`] — deterministic parallel execution primitives backing the
 //!   batch analyzer, replication sweeps, and intra-report fan-out;
+//! * [`guard`] — the supervised execution runtime: deadlines,
+//!   cooperative cancellation, panic isolation with bounded retry, and
+//!   checksummed checkpoint/resume for long-running sweeps;
 //! * [`viz`] — text tables, pattern diagrams, and SVG output.
 //!
 //! # Quickstart
@@ -49,6 +52,7 @@ pub use limba_advisor as advisor;
 pub use limba_analysis as analysis;
 pub use limba_calibrate as calibrate;
 pub use limba_cluster as cluster;
+pub use limba_guard as guard;
 pub use limba_model as model;
 pub use limba_mpisim as mpisim;
 pub use limba_par as par;
