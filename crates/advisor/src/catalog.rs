@@ -12,15 +12,20 @@
 //! * **CPU upgrade** — raise every rank of the slowest CPU class to the
 //!   fastest class's speed;
 //! * **collective swap** — re-cost one collective kind with a different
-//!   algorithm ([`limba_mpisim::MachineConfig::with_collective_algorithm`]).
+//!   algorithm ([`limba_mpisim::MachineConfig::with_collective_algorithm`]);
+//! * **dynamic balancing** — enable an in-run migration policy
+//!   ([`limba_mpisim::BalancePlan`]): work stealing, diffusion, or
+//!   anticipatory rebalancing, applied by the simulator mid-run.
 //!
 //! Remapping and upgrading are only proposed on heterogeneous machines
 //! (on a uniform machine both are no-ops or trivial "buy faster CPUs"
 //! advice); collective swaps are only proposed when the swap is an
-//! analytic improvement under the machine's own cost model.
+//! analytic improvement under the machine's own cost model; balancing
+//! is only proposed when the per-rank effective totals are imbalanced
+//! and the scenario has no policy active yet.
 
 use limba_model::RegionId;
-use limba_mpisim::{collective_cost, CollectiveAlgorithm, CollectiveKind};
+use limba_mpisim::{collective_cost, BalancePlan, CollectiveAlgorithm, CollectiveKind};
 
 use crate::{AdviseError, Scenario};
 
@@ -79,6 +84,14 @@ pub enum Intervention {
         /// The algorithm to cost it with.
         algorithm: CollectiveAlgorithm,
     },
+    /// Turn on in-run dynamic load balancing: the simulator migrates
+    /// work between ranks mid-run under `plan` — a runtime mitigation
+    /// rather than a code or hardware change, priced against the static
+    /// interventions on equal footing.
+    EnableBalancing {
+        /// The balancing policy and its parameters.
+        plan: BalancePlan,
+    },
 }
 
 impl Intervention {
@@ -97,6 +110,7 @@ impl Intervention {
                 Ok(Scenario {
                     program,
                     config: scenario.config.clone(),
+                    balance: scenario.balance.clone(),
                 })
             }
             Intervention::RemapRanks { assignment, .. } => {
@@ -107,6 +121,7 @@ impl Intervention {
                 Ok(Scenario {
                     program: scenario.program.clone(),
                     config,
+                    balance: scenario.balance.clone(),
                 })
             }
             Intervention::UpgradeSlowestCpu { speed } => {
@@ -121,6 +136,7 @@ impl Intervention {
                 Ok(Scenario {
                     program: scenario.program.clone(),
                     config,
+                    balance: scenario.balance.clone(),
                 })
             }
             Intervention::SwapCollective { kind, algorithm } => Ok(Scenario {
@@ -129,7 +145,16 @@ impl Intervention {
                     .config
                     .clone()
                     .with_collective_algorithm(*kind, *algorithm),
+                balance: scenario.balance.clone(),
             }),
+            Intervention::EnableBalancing { plan } => {
+                plan.validate()?;
+                Ok(Scenario {
+                    program: scenario.program.clone(),
+                    config: scenario.config.clone(),
+                    balance: Some(plan.clone()),
+                })
+            }
         }
     }
 
@@ -153,6 +178,9 @@ impl Intervention {
             Intervention::SwapCollective { kind, algorithm } => {
                 format!("cost {kind} collectives with the {algorithm} algorithm")
             }
+            Intervention::EnableBalancing { plan } => {
+                format!("enable dynamic load balancing ({})", plan.summary())
+            }
         }
     }
 
@@ -175,6 +203,7 @@ impl Intervention {
             Intervention::SwapCollective { kind, algorithm } => {
                 format!("swap:{kind}:{algorithm}")
             }
+            Intervention::EnableBalancing { plan } => format!("balance:{}", plan.signature()),
         }
     }
 
@@ -187,6 +216,7 @@ impl Intervention {
             Intervention::RemapRanks { .. } => "remap".to_string(),
             Intervention::UpgradeSlowestCpu { .. } => "upgrade".to_string(),
             Intervention::SwapCollective { kind, .. } => format!("swap:{kind}"),
+            Intervention::EnableBalancing { .. } => "balance".to_string(),
         }
     }
 }
@@ -230,6 +260,10 @@ fn matched_assignment(loads: &[f64], speeds: &[f64]) -> Vec<usize> {
 /// balanced and not worth splitting.
 const SPLIT_THRESHOLD: f64 = 1e-3;
 
+/// Seed of the proposed balancing plans — fixed so the catalog (and
+/// therefore every signature, cache key, and golden) is deterministic.
+const BALANCE_SEED: u64 = 2003;
+
 /// How many of the heaviest imbalanced regions get split proposals.
 const SPLIT_REGIONS: usize = 3;
 
@@ -238,7 +272,8 @@ const SPLIT_REGIONS: usize = 3;
 /// The list is ordered: splits of the heaviest imbalanced regions
 /// first (full then half step for the single heaviest), then remaps
 /// and the CPU upgrade (heterogeneous machines only), then analytic
-/// collective-swap improvements.
+/// collective-swap improvements, then the dynamic-balancing policies
+/// (imbalanced scenarios only).
 pub fn propose(scenario: &Scenario) -> Vec<Intervention> {
     let mut catalog = Vec::new();
     let speeds = scenario.speeds();
@@ -340,6 +375,26 @@ pub fn propose(scenario: &Scenario) -> Vec<Intervention> {
         }
         if let Some((algorithm, _)) = best {
             catalog.push(Intervention::SwapCollective { kind, algorithm });
+        }
+    }
+
+    // Dynamic balancing: a runtime mitigation rather than a code or
+    // hardware change, proposed whenever the per-rank effective totals
+    // are imbalanced and no policy is active yet. One candidate per
+    // policy family; the plan parameters match the workload presets.
+    if scenario.balance.is_none() {
+        let totals = scenario.program.compute_seconds();
+        let eff: Vec<f64> = totals.iter().zip(&speeds).map(|(&w, &s)| w / s).collect();
+        let eff_max = eff.iter().copied().fold(0.0f64, f64::max);
+        let eff_mean = eff.iter().sum::<f64>() / eff.len().max(1) as f64;
+        if eff_max > eff_mean * (1.0 + SPLIT_THRESHOLD) {
+            for plan in [
+                BalancePlan::stealing(BALANCE_SEED, 1.15),
+                BalancePlan::diffusion(BALANCE_SEED, 0.5),
+                BalancePlan::anticipatory(BALANCE_SEED, 8, 0.25),
+            ] {
+                catalog.push(Intervention::EnableBalancing { plan });
+            }
         }
     }
 
@@ -456,6 +511,42 @@ mod tests {
             sim.run(&cand.program)
                 .unwrap_or_else(|e| panic!("{} failed: {e}", intervention.signature()));
         }
+    }
+
+    #[test]
+    fn balancing_proposed_only_for_imbalanced_unbalanced_scenarios() {
+        // Skewed rank totals: one candidate per policy family.
+        let scenario = skewed_scenario(None);
+        let balance: Vec<Intervention> = propose(&scenario)
+            .into_iter()
+            .filter(|i| matches!(i, Intervention::EnableBalancing { .. }))
+            .collect();
+        assert_eq!(balance.len(), 3);
+        assert!(balance.iter().all(|i| i.slot() == "balance"));
+        assert!(balance
+            .iter()
+            .any(|i| i.signature() == "balance:stealing:1.15:0.5"));
+
+        // A scenario already running a policy gets no second one.
+        let active = Intervention::EnableBalancing {
+            plan: BalancePlan::stealing(2003, 1.15),
+        }
+        .apply(&scenario)
+        .unwrap();
+        assert!(active.balance.is_some());
+        assert!(!propose(&active)
+            .iter()
+            .any(|i| matches!(i, Intervention::EnableBalancing { .. })));
+
+        // A perfectly level workload has nothing to balance.
+        let mut pb = ProgramBuilder::new(4);
+        pb.spmd(|_, mut ops| {
+            ops.compute(1.0).barrier();
+        });
+        let level = Scenario::new(pb.build().unwrap(), MachineConfig::new(4)).unwrap();
+        assert!(!propose(&level)
+            .iter()
+            .any(|i| matches!(i, Intervention::EnableBalancing { .. })));
     }
 
     #[test]

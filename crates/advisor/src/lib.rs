@@ -8,8 +8,10 @@
 //!    interventions from a [`Scenario`] (a program plus the machine it
 //!    runs on): splitting the heaviest region's work across underloaded
 //!    ranks, remapping ranks to CPUs (greedy LPT and a speed-aware
-//!    variant), upgrading the slowest CPU class, and swapping a
-//!    collective's cost algorithm;
+//!    variant), upgrading the slowest CPU class, swapping a
+//!    collective's cost algorithm, and enabling an in-run dynamic
+//!    balancing policy ([`limba_mpisim::BalancePlan`]) — pricing
+//!    runtime mitigation against static refactors;
 //! 2. **predict** — each candidate's gain is estimated analytically
 //!    from the program's `t_ijp` marginals, bracketed by sound
 //!    majorization-style lower/upper bounds ([`predict`]) — no
@@ -130,6 +132,12 @@ pub struct Scenario {
     pub program: Program,
     /// The machine configuration.
     pub config: MachineConfig,
+    /// An in-run dynamic balancing plan, when one is active. `None` is
+    /// the static baseline; the catalog's
+    /// [`Intervention::EnableBalancing`](crate::catalog::Intervention)
+    /// turns it on, and every simulation of the scenario (baseline and
+    /// verification) honors it.
+    pub balance: Option<limba_mpisim::BalancePlan>,
 }
 
 impl Scenario {
@@ -150,7 +158,18 @@ impl Scenario {
                 ),
             }));
         }
-        Ok(Scenario { program, config })
+        Ok(Scenario {
+            program,
+            config,
+            balance: None,
+        })
+    }
+
+    /// Attaches an in-run dynamic balancing plan — every simulation of
+    /// the scenario runs under it.
+    pub fn with_balance(mut self, plan: limba_mpisim::BalancePlan) -> Self {
+        self.balance = Some(plan);
+        self
     }
 
     /// Reconstructs a simulatable proxy scenario from a measurement

@@ -27,6 +27,16 @@
 //!   `Σ_j max_p(effective load of region j)` plus the baseline's
 //!   measured communication slack and the analytic collective-cost
 //!   delta, clamped into the bounds.
+//!
+//! Candidates with an in-run balancing plan are predicted from the
+//! plan's analytic steady-state loads
+//! ([`limba_mpisim::BalancePlan::predicted_loads`]): the point estimate
+//! uses the smoothed cells plus a migration-overhead tax, the upper
+//! bound keeps the *unbalanced* cells (sound — the simulator's
+//! profitability guard never worsens a run), and the lower bound
+//! weakens to the `1 − max_fraction` share of the heaviest rank that
+//! can never migrate away (migrated chunks overlap the target's own
+//! compute on its auxiliary stream).
 
 use limba_model::RegionId;
 use limba_mpisim::collective_cost;
@@ -56,6 +66,12 @@ impl Prediction {
     }
 }
 
+/// Per-migration overhead, as a fraction of the migrated nominal
+/// seconds, charged to a balanced candidate's point estimate — the
+/// transfer latency and remote execution the smoothing model abstracts
+/// away. Heuristic: calibrated to keep estimates conservative.
+const MIGRATION_OVERHEAD: f64 = 0.05;
+
 /// Per-scenario load decomposition the model predicts from.
 #[derive(Debug, Clone)]
 struct Loads {
@@ -65,6 +81,9 @@ struct Loads {
     outside_eff: Vec<f64>,
     /// Per-instance collective costs under the scenario's machine.
     coll_costs: Vec<f64>,
+    /// Nominal seconds the scenario's balancing plan is predicted to
+    /// migrate (0 without a plan, or when the loads are already level).
+    moved: f64,
 }
 
 impl Loads {
@@ -96,6 +115,33 @@ impl Loads {
             region_eff,
             outside_eff,
             coll_costs,
+            moved: 0.0,
+        }
+    }
+
+    /// Folds the scenario's balancing plan into the decomposition:
+    /// every rank's cells are scaled toward the plan's analytic
+    /// steady-state loads ([`limba_mpisim::BalancePlan::predicted_loads`]),
+    /// and the migrated nominal seconds are recorded for the overhead
+    /// term. Callers that need the *unbalanced* cells (the upper bound
+    /// does — see [`BaselineModel::predict`]) must read them first.
+    fn apply_balance(&mut self, plan: &limba_mpisim::BalancePlan, scenario: &Scenario) {
+        let totals = scenario.program.compute_seconds();
+        let smoothed = plan.predicted_loads(&totals, &scenario.config);
+        self.moved = totals
+            .iter()
+            .zip(&smoothed)
+            .map(|(&w, &s)| (w - s).max(0.0))
+            .sum();
+        for (p, (&w, &s)) in totals.iter().zip(&smoothed).enumerate() {
+            if w <= 0.0 {
+                continue;
+            }
+            let scale = s / w;
+            for row in &mut self.region_eff {
+                row[p] *= scale;
+            }
+            self.outside_eff[p] *= scale;
         }
     }
 
@@ -133,7 +179,12 @@ impl BaselineModel {
     /// Builds the model from the baseline scenario and its simulated
     /// makespan (the one simulation the prediction path relies on).
     pub fn new(scenario: &Scenario, baseline_makespan: f64) -> BaselineModel {
-        let baseline = Loads::decompose(scenario);
+        let mut baseline = Loads::decompose(scenario);
+        if let Some(plan) = &scenario.balance {
+            // The measured baseline makespan includes the balancing, so
+            // the slack must be calibrated against the smoothed loads.
+            baseline.apply_balance(plan, scenario);
+        }
         let coll_total: f64 = baseline.coll_costs.iter().sum();
         let comm_slack = (baseline_makespan - baseline.phase_sum() - coll_total).max(0.0);
         BaselineModel {
@@ -150,15 +201,14 @@ impl BaselineModel {
 
     /// Predicts a candidate's makespan and bounds analytically.
     pub fn predict(&self, candidate: &Scenario) -> Prediction {
-        let cand = Loads::decompose(candidate);
+        let mut cand = Loads::decompose(candidate);
         let coll_total: f64 = cand.coll_costs.iter().sum();
 
-        // Lower bound: serial execution of each rank's own compute plus
-        // every collective instance.
-        let cand_totals = cand.rank_totals();
-        let lower = cand_totals.iter().copied().fold(0.0f64, f64::max) + coll_total;
-
-        // Upper bound: baseline plus the positive per-cell deltas.
+        // Upper bound: baseline plus the positive per-cell deltas —
+        // computed from the *unbalanced* cells even for a balanced
+        // candidate, because the simulator's profitability guard only
+        // ever accepts migrations that do not worsen the run, so the
+        // unbalanced upper bound still holds.
         let mut positive_delta = 0.0f64;
         for (j, row) in cand.region_eff.iter().enumerate() {
             let base_row = self.baseline.region_eff.get(j);
@@ -177,11 +227,29 @@ impl BaselineModel {
         }
         let upper = self.baseline_makespan + positive_delta;
 
+        // Lower bound. Without balancing: serial execution of each
+        // rank's own compute plus every collective instance. With
+        // balancing, migrated chunks execute on the target's auxiliary
+        // stream (overlapping its own compute), so the only retained
+        // serial floor is the `1 − max_fraction` share of each op the
+        // policy can never migrate away.
+        let serial_floor = cand.rank_totals().iter().copied().fold(0.0f64, f64::max);
+        let lower = match &candidate.balance {
+            Some(plan) => serial_floor * (1.0 - plan.max_fraction()) + coll_total,
+            None => serial_floor + coll_total,
+        };
+        if let Some(plan) = &candidate.balance {
+            cand.apply_balance(plan, candidate);
+        }
+        let cand_totals = cand.rank_totals();
+
         // Point estimate: phase sum + the candidate's collective costs
-        // + the baseline's calibrated slack, clamped into the bounds.
-        // For the identity candidate this reproduces the baseline
-        // makespan exactly (the slack is defined as the residual).
-        let estimate = cand.phase_sum() + coll_total + self.comm_slack;
+        // + the baseline's calibrated slack (+ the migration-overhead
+        // tax for balanced candidates), clamped into the bounds. For
+        // the identity candidate this reproduces the baseline makespan
+        // exactly (the slack is defined as the residual).
+        let estimate =
+            cand.phase_sum() + coll_total + self.comm_slack + MIGRATION_OVERHEAD * cand.moved;
         let makespan = estimate.max(lower).min(upper.max(lower));
 
         let submajorized =

@@ -206,17 +206,23 @@ impl Advisor {
         self.check_cancelled("baseline simulation")?;
 
         // Baseline on both engines: the one simulation predictions use.
+        // The scenario's own balance plan (if any) is part of the
+        // baseline — the advisor measures interventions against it.
         let sim = Simulator::new(scenario.config.clone());
-        let (event, polling) = match &self.faults {
-            Some(plan) => (
-                sim.run_with_faults(&scenario.program, plan)?,
-                sim.run_polling_with_faults(&scenario.program, plan)?,
-            ),
-            None => (
-                sim.run(&scenario.program)?,
-                sim.run_polling(&scenario.program)?,
-            ),
-        };
+        let (event, polling) = (
+            sim.run_configured(
+                &scenario.program,
+                self.faults.as_ref(),
+                scenario.balance.as_ref(),
+                None,
+            )?,
+            sim.run_polling_configured(
+                &scenario.program,
+                self.faults.as_ref(),
+                scenario.balance.as_ref(),
+                None,
+            )?,
+        );
         if event.trace != polling.trace || event.stats != polling.stats {
             return Err(AdviseError::Internal {
                 detail: "event and polling engines disagree on the baseline run".into(),
@@ -263,7 +269,7 @@ impl Advisor {
             }
             // Extend the beam with every slot-compatible intervention.
             let mut beam: Vec<&(String, Vec<Intervention>, Prediction)> = scored.iter().collect();
-            beam.sort_by(|a, b| a.2.makespan.total_cmp(&b.2.makespan).then(a.0.cmp(&b.0)));
+            beam.sort_by(|a, b| rank_predicted(a, b));
             beam.truncate(self.beam_width);
             frontier = beam
                 .iter()
@@ -282,10 +288,34 @@ impl Advisor {
                 .collect();
         }
 
-        // Rank every evaluated combo and verify the top k.
+        // Rank every evaluated combo and verify the top k. Dynamic
+        // balancing gets one reserved verification slot: when no combo
+        // in the top k carries a balancing intervention but a scored
+        // one does, the best such combo is verified as an extra
+        // candidate — runtime mitigation is always priced against the
+        // static refactors it competes with.
         self.check_cancelled("candidate ranking")?;
-        scored.sort_by(|a, b| a.2.makespan.total_cmp(&b.2.makespan).then(a.0.cmp(&b.0)));
+        scored.sort_by(rank_predicted);
+        let has_balance = |combo: &[Intervention]| {
+            combo
+                .iter()
+                .any(|i| matches!(i, Intervention::EnableBalancing { .. }))
+        };
+        let reserved = if scored
+            .iter()
+            .take(self.top_k)
+            .any(|(_, combo, _)| has_balance(combo))
+        {
+            None
+        } else {
+            scored
+                .iter()
+                .skip(self.top_k)
+                .find(|(_, combo, _)| has_balance(combo))
+                .cloned()
+        };
         scored.truncate(self.top_k);
+        scored.extend(reserved);
         let batch_analyzer = BatchAnalyzer::new(self.analyzer.clone())
             .with_jobs(self.jobs)
             .with_cache(ReportCache::new());
@@ -359,7 +389,9 @@ impl Advisor {
                 .verification
                 .as_ref()
                 .map_or(f64::INFINITY, |v| v.event_makespan);
-            am.total_cmp(&bm).then(a.signature.cmp(&b.signature))
+            am.total_cmp(&bm)
+                .then(a.interventions.len().cmp(&b.interventions.len()))
+                .then(a.signature.cmp(&b.signature))
         });
 
         Ok(Advice {
@@ -370,6 +402,19 @@ impl Advisor {
             candidates,
         })
     }
+}
+
+/// Prediction-ranking order: predicted makespan, then combo size
+/// (simpler combos win exact ties — a combo whose extra intervention
+/// predicts no change must not outrank its base), then signature.
+fn rank_predicted(
+    a: &(String, Vec<Intervention>, Prediction),
+    b: &(String, Vec<Intervention>, Prediction),
+) -> std::cmp::Ordering {
+    a.2.makespan
+        .total_cmp(&b.2.makespan)
+        .then(a.1.len().cmp(&b.1.len()))
+        .then(a.0.cmp(&b.0))
 }
 
 /// Canonical identity of a combo: its sorted intervention signatures.
@@ -434,6 +479,37 @@ mod tests {
             "{:?}",
             best.labels
         );
+    }
+
+    #[test]
+    fn advice_surfaces_a_verified_balancing_candidate() {
+        // The reserved slot (or the ranking itself) must always price
+        // dynamic balancing on an imbalanced scenario, and the verified
+        // run must honor the plan: migrations never worsen the run.
+        let scenario = skewed_scenario();
+        let advice = Advisor::new()
+            .with_analyzer(Analyzer::new().with_cluster_k(2))
+            .advise(&scenario)
+            .unwrap();
+        let balanced: Vec<&Candidate> = advice
+            .candidates
+            .iter()
+            .filter(|c| c.signature.contains("balance:"))
+            .collect();
+        assert!(
+            !balanced.is_empty(),
+            "no dynamic-balancing candidate surfaced: {:?}",
+            advice
+                .candidates
+                .iter()
+                .map(|c| &c.signature)
+                .collect::<Vec<_>>()
+        );
+        for c in balanced {
+            let v = c.verification.as_ref().unwrap();
+            assert!(v.measured_gain >= 0.0, "balancing worsened the run: {c:?}");
+            assert_eq!(v.event_makespan, v.polling_makespan);
+        }
     }
 
     #[test]

@@ -2,7 +2,8 @@
 //!
 //! Prediction is a model; verification is the ground truth. Each
 //! surviving candidate is re-run on the event-driven *and* the polling
-//! engine (with the advise run's fault plan, when one is set), the two
+//! engine (with the advise run's fault plan, when one is set, and the
+//! candidate's own balancing plan, when it carries one), the two
 //! outputs are required to be identical, and the measured makespan is
 //! compared against the prediction: `mispredicted` flags estimates off
 //! by more than [`MISPREDICT_TOLERANCE`] of the measured value, and
@@ -80,16 +81,10 @@ pub fn verify(
     batch: &BatchAnalyzer,
 ) -> Result<Verification, AdviseError> {
     let sim = Simulator::new(candidate.config.clone());
-    let (event, polling) = match faults {
-        Some(plan) => (
-            sim.run_with_faults(&candidate.program, plan)?,
-            sim.run_polling_with_faults(&candidate.program, plan)?,
-        ),
-        None => (
-            sim.run(&candidate.program)?,
-            sim.run_polling(&candidate.program)?,
-        ),
-    };
+    let (event, polling) = (
+        sim.run_configured(&candidate.program, faults, candidate.balance.as_ref(), None)?,
+        sim.run_polling_configured(&candidate.program, faults, candidate.balance.as_ref(), None)?,
+    );
     if event.trace != polling.trace || event.stats != polling.stats {
         return Err(AdviseError::Internal {
             detail: "event and polling engines disagree on a verification run".into(),

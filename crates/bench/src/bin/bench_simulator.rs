@@ -12,7 +12,7 @@
 use std::fmt::Write as _;
 use std::time::Instant;
 
-use limba_mpisim::{FaultPlan, MachineConfig, Program, Simulator};
+use limba_mpisim::{BalancePlan, FaultPlan, MachineConfig, Program, Simulator};
 use limba_workloads::{
     cfd::CfdConfig, fft::FftConfig, irregular::IrregularConfig, master_worker::MasterWorkerConfig,
     pipeline::PipelineConfig, stencil::StencilConfig, sweep::SweepConfig, Imbalance,
@@ -23,6 +23,7 @@ struct Case {
     ranks: usize,
     program: Program,
     faults: Option<FaultPlan>,
+    balance: Option<BalancePlan>,
 }
 
 struct Timed {
@@ -48,6 +49,7 @@ fn cases() -> Vec<Case> {
                 .build_program()
                 .expect("cfd builds"),
             faults: None,
+            balance: None,
         });
     }
     // The same 16-rank CFD proxy under the canned `chaos` fault plan
@@ -72,6 +74,25 @@ fn cases() -> Vec<Case> {
             ranks,
             program,
             faults: Some(faults),
+            balance: None,
+        });
+    }
+    // The 64-rank CFD proxy under the stealing balance preset: times the
+    // balance hook on the hot path (shared load view updates + policy
+    // decisions at every compute boundary) and extends the
+    // engine-identity check to the migration ledger.
+    {
+        let ranks = 64usize;
+        cases.push(Case {
+            name: "cfd_64r_stealing".to_string(),
+            ranks,
+            program: CfdConfig::new(ranks)
+                .with_imbalance(Imbalance::LinearSkew { spread: 0.5 })
+                .with_seed(2003)
+                .build_program()
+                .expect("cfd builds"),
+            faults: None,
+            balance: Some(limba_workloads::balance::preset("stealing").expect("stealing preset")),
         });
     }
     // One representative of each synthetic communication pattern at 64
@@ -129,6 +150,7 @@ fn cases() -> Vec<Case> {
             ranks: 64,
             program,
             faults: None,
+            balance: None,
         });
     }
     cases
@@ -136,15 +158,23 @@ fn cases() -> Vec<Case> {
 
 fn run_case(case: &Case, reps: usize) -> Timed {
     let sim = Simulator::new(MachineConfig::new(case.ranks));
-    let run_event = || match &case.faults {
-        Some(plan) => sim.run_with_faults(&case.program, plan).expect("event run"),
-        None => sim.run(&case.program).expect("event run"),
+    let run_event = || {
+        sim.run_configured(
+            &case.program,
+            case.faults.as_ref(),
+            case.balance.as_ref(),
+            None,
+        )
+        .expect("event run")
     };
-    let run_polling = || match &case.faults {
-        Some(plan) => sim
-            .run_polling_with_faults(&case.program, plan)
-            .expect("polling run"),
-        None => sim.run_polling(&case.program).expect("polling run"),
+    let run_polling = || {
+        sim.run_polling_configured(
+            &case.program,
+            case.faults.as_ref(),
+            case.balance.as_ref(),
+            None,
+        )
+        .expect("polling run")
     };
     // Warmup both paths (page in code, size allocator pools), then
     // interleave the engines rep by rep so clock drift and background
@@ -154,7 +184,8 @@ fn run_case(case: &Case, reps: usize) -> Timed {
     let polling_out = run_polling();
     let identical = event_out.trace == polling_out.trace
         && event_out.stats == polling_out.stats
-        && event_out.faults == polling_out.faults;
+        && event_out.faults == polling_out.faults
+        && event_out.balance == polling_out.balance;
     let (mut event_ns, mut polling_ns) = (u128::MAX, u128::MAX);
     for _ in 0..reps {
         let start = Instant::now();

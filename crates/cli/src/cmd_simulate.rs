@@ -3,7 +3,7 @@
 use std::fs::File;
 use std::io::BufWriter;
 
-use limba_mpisim::{FaultPlan, MachineConfig, Program, Simulator};
+use limba_mpisim::{BalancePlan, FaultPlan, MachineConfig, Program, Simulator};
 use limba_trace::Trace;
 use limba_workloads::{
     amr::AmrConfig, cfd::CfdConfig, fft::FftConfig, irregular::IrregularConfig,
@@ -96,7 +96,7 @@ impl Engine {
 }
 
 fn simulate(program: &Program, ranks: usize) -> Result<limba_mpisim::SimOutput, String> {
-    simulate_with(program, ranks, Engine::Event, None)
+    simulate_with(program, ranks, Engine::Event, None, None)
 }
 
 fn simulate_with(
@@ -104,13 +104,12 @@ fn simulate_with(
     ranks: usize,
     engine: Engine,
     faults: Option<&FaultPlan>,
+    balance: Option<&BalancePlan>,
 ) -> Result<limba_mpisim::SimOutput, String> {
     let sim = Simulator::new(MachineConfig::new(ranks));
-    match (engine, faults) {
-        (Engine::Event, None) => sim.run(program),
-        (Engine::Event, Some(plan)) => sim.run_with_faults(program, plan),
-        (Engine::Polling, None) => sim.run_polling(program),
-        (Engine::Polling, Some(plan)) => sim.run_polling_with_faults(program, plan),
+    match engine {
+        Engine::Event => sim.run_configured(program, faults, balance, None),
+        Engine::Polling => sim.run_polling_configured(program, faults, balance, None),
     }
     .map_err(|e| e.to_string())
 }
@@ -126,7 +125,9 @@ pub(crate) fn load_fault_plan(
     engine: Engine,
 ) -> Result<FaultPlan, String> {
     let plan = if let Some(name) = spec.strip_prefix("preset:") {
-        let horizon = simulate_with(program, ranks, engine, None)?.stats.makespan;
+        let horizon = simulate_with(program, ranks, engine, None, None)?
+            .stats
+            .makespan;
         limba_workloads::faults::preset(name, ranks, horizon).ok_or_else(|| {
             format!(
                 "unknown fault preset {name:?} (available: {})",
@@ -139,6 +140,52 @@ pub(crate) fn load_fault_plan(
     };
     plan.validate(ranks).map_err(|e| e.to_string())?;
     Ok(plan)
+}
+
+/// Resolves `--balance`: either a TOML plan file or `preset:<name>`
+/// from [`limba_workloads::balance`]. Unlike the fault presets, balance
+/// presets need no horizon — every policy triggers on relative load.
+pub(crate) fn load_balance_plan(spec: &str) -> Result<BalancePlan, String> {
+    let plan = if let Some(name) = spec.strip_prefix("preset:") {
+        limba_workloads::balance::preset(name).ok_or_else(|| {
+            format!(
+                "unknown balance preset {name:?} (available: {})",
+                limba_workloads::balance::PRESETS.join(", ")
+            )
+        })?
+    } else {
+        let text = std::fs::read_to_string(spec).map_err(|e| format!("cannot read {spec}: {e}"))?;
+        BalancePlan::parse_toml(&text).map_err(|e| e.to_string())?
+    };
+    plan.validate().map_err(|e| e.to_string())?;
+    Ok(plan)
+}
+
+/// The `--balance list` listing: every preset with its one-line summary.
+pub(crate) fn render_balance_presets() -> String {
+    let mut out = String::from("available balance presets (use --balance preset:<name>):\n");
+    let width = limba_workloads::balance::PRESET_SUMMARIES
+        .iter()
+        .map(|&(name, _)| name.len())
+        .max()
+        .unwrap_or(0);
+    for &(name, summary) in limba_workloads::balance::PRESET_SUMMARIES {
+        out.push_str(&format!("  {name:<width$}  {summary}\n"));
+    }
+    out.push_str("or pass a TOML balance-plan file path (see DESIGN.md)\n");
+    out
+}
+
+/// One-line summary of what a balance plan did to a run.
+fn describe_balance(report: &limba_mpisim::BalanceReport) -> String {
+    let policy = report.policy.as_deref().unwrap_or("none");
+    if report.migrations == 0 {
+        return format!("rebalancing: {policy} policy active, no migrations triggered");
+    }
+    format!(
+        "rebalancing: {policy} moved {:.4} nominal s in {} migrations ({} declined)",
+        report.moved_seconds, report.migrations, report.declined
+    )
 }
 
 /// The `--faults list` listing: every preset with its one-line summary.
@@ -198,13 +245,17 @@ pub(crate) struct SweepSpec<'a> {
     pub replications: usize,
     pub jobs: usize,
     pub faults: Option<&'a FaultPlan>,
+    pub balance: Option<&'a BalancePlan>,
 }
 
 impl SweepSpec<'_> {
     /// Canonical fingerprint input: every field that affects a row's
     /// bytes (`jobs` deliberately excluded — output is jobs-invariant).
+    /// The balance component is appended only when a plan is present,
+    /// so checkpoints of unbalanced sweeps written before balancing
+    /// existed keep their fingerprints.
     fn fingerprint(&self) -> u64 {
-        limba_guard::config_fingerprint(&format!(
+        let mut input = format!(
             "sweep|workload={}|ranks={}|iterations={:?}|imbalance={:?}|root_seed={}|replications={}|faults={:?}",
             self.workload,
             self.ranks,
@@ -213,7 +264,11 @@ impl SweepSpec<'_> {
             self.root_seed,
             self.replications,
             self.faults,
-        ))
+        );
+        if let Some(plan) = self.balance {
+            input.push_str(&format!("|balance={plan:?}"));
+        }
+        limba_guard::config_fingerprint(&input)
     }
 }
 
@@ -225,9 +280,17 @@ struct SweepRow {
     makespan: f64,
     messages: u64,
     bytes: u64,
+    migrations: u64,
+    moved: f64,
 }
 
-struct SweepCodec;
+/// The sweep checkpoint codec. Balanced sweeps append the migration
+/// columns to each payload; unbalanced sweeps keep the original layout,
+/// so their existing checkpoints stay readable. The two can never mix:
+/// the sweep fingerprint includes the balance plan.
+struct SweepCodec {
+    balanced: bool,
+}
 
 impl limba_guard::PayloadCodec<SweepRow> for SweepCodec {
     fn encode(&self, row: &SweepRow) -> Vec<u8> {
@@ -237,18 +300,28 @@ impl limba_guard::PayloadCodec<SweepRow> for SweepCodec {
         w.put_f64(row.makespan);
         w.put_u64(row.messages);
         w.put_u64(row.bytes);
+        if self.balanced {
+            w.put_u64(row.migrations);
+            w.put_f64(row.moved);
+        }
         w.into_bytes()
     }
 
     fn decode(&self, bytes: &[u8]) -> Result<SweepRow, limba_guard::GuardError> {
         let mut r = limba_guard::codec::ByteReader::new(bytes);
-        let row = SweepRow {
+        let mut row = SweepRow {
             index: r.get_u64("replication index")?,
             seed: r.get_u64("replication seed")?,
             makespan: r.get_f64("makespan")?,
             messages: r.get_u64("message count")?,
             bytes: r.get_u64("byte count")?,
+            migrations: 0,
+            moved: 0.0,
         };
+        if self.balanced {
+            row.migrations = r.get_u64("migration count")?;
+            row.moved = r.get_f64("moved seconds")?;
+        }
         r.expect_end("sweep row")?;
         Ok(row)
     }
@@ -276,7 +349,9 @@ fn render_sweep(
             "sweep",
             spec.fingerprint(),
             &items,
-            &SweepCodec,
+            &SweepCodec {
+                balanced: spec.balance.is_some(),
+            },
             |index, _| {
                 // Mirrors `Simulator::run_replications[_with_faults]`:
                 // the same seed derivation, the same per-replication
@@ -290,22 +365,25 @@ fn render_sweep(
                     seed,
                 )
                 .map_err(limba_guard::JobError::Fatal)?;
-                let output = match spec.faults {
-                    None => sim.run(&program),
-                    Some(plan) => {
-                        let rep_plan = plan
-                            .clone()
-                            .with_seed(limba_par::derive_seed(plan.seed, index as u64));
-                        sim.run_with_faults(&program, &rep_plan)
-                    }
-                }
-                .map_err(|e| limba_guard::JobError::Fatal(e.to_string()))?;
+                let rep_faults = spec.faults.map(|plan| {
+                    plan.clone()
+                        .with_seed(limba_par::derive_seed(plan.seed, index as u64))
+                });
+                let rep_balance = spec.balance.map(|plan| {
+                    plan.clone()
+                        .with_seed(limba_par::derive_seed(plan.seed(), index as u64))
+                });
+                let output = sim
+                    .run_configured(&program, rep_faults.as_ref(), rep_balance.as_ref(), None)
+                    .map_err(|e| limba_guard::JobError::Fatal(e.to_string()))?;
                 Ok(SweepRow {
                     index: index as u64,
                     seed,
                     makespan: output.stats.makespan,
                     messages: output.stats.messages,
                     bytes: output.stats.bytes,
+                    migrations: output.balance.migrations as u64,
+                    moved: output.balance.moved_seconds,
                 })
             },
         )
@@ -321,26 +399,41 @@ fn render_sweep(
         spec.workload, spec.ranks, spec.replications, spec.root_seed
     )
     .unwrap();
-    writeln!(
+    if let Some(plan) = spec.balance {
+        writeln!(out, "balance policy: {}", plan.summary()).unwrap();
+    }
+    write!(
         out,
         "{:>4} {:>20} {:>12} {:>10} {:>12}",
         "rep", "seed", "makespan", "messages", "bytes"
     )
     .unwrap();
+    if spec.balance.is_some() {
+        write!(out, " {:>10} {:>10}", "migrations", "moved s").unwrap();
+    }
+    out.push('\n');
     let mut makespans = Vec::with_capacity(spec.replications);
+    let mut total_migrations = 0u64;
+    let mut total_moved = 0.0f64;
     for (index, slot) in run.results.iter().enumerate() {
         // The seed is a pure function of the root, so even failed or
         // never-started replications print theirs.
         let seed = limba_par::derive_seed(spec.root_seed, index as u64);
         match slot {
             Some(Ok(row)) => {
-                writeln!(
+                write!(
                     out,
                     "{:>4} {:>20} {:>11.4}s {:>10} {:>12}",
                     row.index, row.seed, row.makespan, row.messages, row.bytes
                 )
                 .unwrap();
+                if spec.balance.is_some() {
+                    write!(out, " {:>10} {:>9.4}s", row.migrations, row.moved).unwrap();
+                }
+                out.push('\n');
                 makespans.push(row.makespan);
+                total_migrations += row.migrations;
+                total_moved += row.moved;
             }
             Some(Err(failure)) => {
                 writeln!(
@@ -378,6 +471,14 @@ fn render_sweep(
             )
             .unwrap();
         }
+        if spec.balance.is_some() {
+            writeln!(
+                out,
+                "rebalancing: {total_migrations} migrations moved {total_moved:.4} nominal s \
+                 across completed replications"
+            )
+            .unwrap();
+        }
     }
     if !run.manifest.is_complete() {
         writeln!(
@@ -407,6 +508,11 @@ pub fn run(argv: &[String]) -> Result<crate::CmdOutcome, String> {
         print!("{}", render_fault_presets());
         return Ok(crate::CmdOutcome::Complete);
     }
+    // Same for `--balance list`.
+    if parsed.get("balance") == Some("list") {
+        print!("{}", render_balance_presets());
+        return Ok(crate::CmdOutcome::Complete);
+    }
     let workload = parsed
         .positional
         .first()
@@ -434,6 +540,10 @@ pub fn run(argv: &[String]) -> Result<crate::CmdOutcome, String> {
         Some(spec) => Some(load_fault_plan(spec, &program, ranks, engine)?),
         None => None,
     };
+    let balance = match parsed.get("balance") {
+        Some(spec) => Some(load_balance_plan(spec)?),
+        None => None,
+    };
 
     if replications > 1 {
         // Replication sweep: summary statistics only, no tracefile.
@@ -446,6 +556,7 @@ pub fn run(argv: &[String]) -> Result<crate::CmdOutcome, String> {
             replications,
             jobs,
             faults: faults.as_ref(),
+            balance: balance.as_ref(),
         };
         let (table, manifest) = render_sweep(&spec, &supervision)?;
         print!("{table}");
@@ -453,7 +564,7 @@ pub fn run(argv: &[String]) -> Result<crate::CmdOutcome, String> {
         return Ok(Supervision::outcome_of(&manifest));
     }
 
-    let output = simulate_with(&program, ranks, engine, faults.as_ref())?;
+    let output = simulate_with(&program, ranks, engine, faults.as_ref(), balance.as_ref())?;
     write_trace(&output.trace, &out, &format)?;
     println!(
         "simulated {workload} on {ranks} ranks: makespan {:.4} s, {} messages, {} bytes",
@@ -461,6 +572,12 @@ pub fn run(argv: &[String]) -> Result<crate::CmdOutcome, String> {
     );
     if faults.is_some() {
         println!("{}", describe_faults(&output.faults));
+    }
+    if balance.is_some() {
+        println!("{}", describe_balance(&output.balance));
+        // The full per-rank migration ledger, rendered by the same viz
+        // section the balanced report snapshots lock.
+        print!("{}", limba_viz::report::render_balance(&output.balance));
     }
     println!(
         "trace written to {out} ({format}, {} events)",
@@ -517,6 +634,7 @@ mod tests {
             replications: 6,
             jobs,
             faults: None,
+            balance: None,
         }
     }
 
@@ -543,6 +661,7 @@ mod tests {
             replications: 4,
             jobs,
             faults: Some(&plan),
+            balance: None,
         };
         let (reference, _) = render_sweep(&spec(1), &Supervision::none()).unwrap();
         for jobs in [2, 8] {
@@ -594,6 +713,7 @@ mod tests {
             replications: 3,
             jobs: 2,
             faults: None,
+            balance: None,
         };
         let (table, manifest) = render_sweep(&spec, &Supervision::none()).unwrap();
         assert_eq!(manifest.failures.len(), 3);
@@ -663,8 +783,8 @@ mod tests {
         assert!(Engine::parse("turbo").is_err());
 
         let p = build_program("cfd", 6, Some(1), Imbalance::LinearSkew { spread: 0.3 }, 7).unwrap();
-        let event = simulate_with(&p, 6, Engine::Event, None).unwrap();
-        let polling = simulate_with(&p, 6, Engine::Polling, None).unwrap();
+        let event = simulate_with(&p, 6, Engine::Event, None, None).unwrap();
+        let polling = simulate_with(&p, 6, Engine::Polling, None, None).unwrap();
         assert_eq!(event.trace, polling.trace);
     }
 
@@ -694,13 +814,86 @@ mod tests {
 
         // Both engines honor the same plan identically.
         let plan = load_fault_plan("preset:chaos", &p, 4, Engine::Event).unwrap();
-        let event = simulate_with(&p, 4, Engine::Event, Some(&plan)).unwrap();
-        let polling = simulate_with(&p, 4, Engine::Polling, Some(&plan)).unwrap();
+        let event = simulate_with(&p, 4, Engine::Event, Some(&plan), None).unwrap();
+        let polling = simulate_with(&p, 4, Engine::Polling, Some(&plan), None).unwrap();
         assert_eq!(event.trace, polling.trace);
         assert_eq!(event.stats, polling.stats);
         assert_eq!(event.faults, polling.faults);
         assert!(!event.faults.is_clean());
         assert!(describe_faults(&event.faults).contains("crashed"));
+    }
+
+    #[test]
+    fn balance_plans_load_from_toml_and_presets() {
+        // TOML file path.
+        let path = std::env::temp_dir().join("limba-cli-balance.toml");
+        std::fs::write(&path, "policy = \"stealing\"\nseed = 5\nthreshold = 1.2\n").unwrap();
+        let plan = load_balance_plan(path.to_str().unwrap()).unwrap();
+        assert_eq!(plan.policy_name(), "stealing");
+        assert_eq!(plan.seed(), 5);
+        std::fs::remove_file(&path).ok();
+
+        // Presets.
+        let plan = load_balance_plan("preset:diffusion").unwrap();
+        assert_eq!(plan.policy_name(), "diffusion");
+        assert!(load_balance_plan("preset:hurricane")
+            .unwrap_err()
+            .contains("unknown balance preset"));
+
+        // Out-of-range parameters are rejected at load time.
+        let path = std::env::temp_dir().join("limba-cli-bad-balance.toml");
+        std::fs::write(&path, "policy = \"stealing\"\nthreshold = 0.2\n").unwrap();
+        assert!(load_balance_plan(path.to_str().unwrap()).is_err());
+        std::fs::remove_file(&path).ok();
+
+        // Both engines honor the same plan identically, and balancing
+        // improves an imbalanced run.
+        let p = build_program("cfd", 6, Some(2), Imbalance::LinearSkew { spread: 0.4 }, 7).unwrap();
+        let base = simulate_with(&p, 6, Engine::Event, None, None).unwrap();
+        let plan = load_balance_plan("preset:stealing").unwrap();
+        let event = simulate_with(&p, 6, Engine::Event, None, Some(&plan)).unwrap();
+        let polling = simulate_with(&p, 6, Engine::Polling, None, Some(&plan)).unwrap();
+        assert_eq!(event.trace, polling.trace);
+        assert_eq!(event.stats, polling.stats);
+        assert_eq!(event.balance, polling.balance);
+        assert!(event.balance.migrations > 0);
+        assert!(event.stats.makespan < base.stats.makespan);
+        assert!(describe_balance(&event.balance).contains("migrations"));
+    }
+
+    #[test]
+    fn balance_preset_listing_names_every_preset() {
+        let listing = render_balance_presets();
+        for &name in limba_workloads::balance::PRESETS {
+            assert!(listing.contains(name), "missing {name}");
+        }
+        assert!(listing.contains("preset:<name>"));
+    }
+
+    #[test]
+    fn balanced_sweep_is_byte_identical_across_job_counts() {
+        let plan = limba_workloads::balance::preset("stealing").unwrap();
+        let spec = |jobs| SweepSpec {
+            workload: "cfd",
+            ranks: 4,
+            iterations: Some(1),
+            imbalance: Imbalance::RandomJitter { amplitude: 0.3 },
+            root_seed: 11,
+            replications: 4,
+            jobs,
+            faults: None,
+            balance: Some(&plan),
+        };
+        let (reference, _) = render_sweep(&spec(1), &Supervision::none()).unwrap();
+        for jobs in [2, 8] {
+            let (sweep, _) = render_sweep(&spec(jobs), &Supervision::none()).unwrap();
+            assert_eq!(sweep, reference, "jobs={jobs}");
+        }
+        // Balancing is part of the fingerprint: a balanced sweep's
+        // checkpoint is not interchangeable with an unbalanced one.
+        let mut unbalanced = spec(1);
+        unbalanced.balance = None;
+        assert_ne!(spec(1).fingerprint(), unbalanced.fingerprint());
     }
 
     #[test]

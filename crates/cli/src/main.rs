@@ -59,6 +59,10 @@ OPTIONS (simulate):
                          seeds and print summary statistics (default 1)
   --jobs N               worker threads for --replications; results are
                          byte-identical for every N, 0 = all CPUs (default 1)
+  --faults SPEC          inject a deterministic fault plan (TOML file,
+                         preset:<name>, or list to print the presets)
+  --balance SPEC         rebalance load dynamically mid-run (TOML file,
+                         preset:<name>, or list to print the policies)
   --out PATH             tracefile path (default trace.limba)
   --format FMT           binary | text (default binary)
   --engine ENGINE        event | polling — execution core; both produce

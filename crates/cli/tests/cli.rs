@@ -334,6 +334,98 @@ fn advise_analyzes_a_recorded_trace_and_emits_json() {
 }
 
 #[test]
+fn balance_list_prints_presets_instead_of_erroring() {
+    let out = limba(&["simulate", "--balance", "list"]);
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(stdout.contains("available balance presets"));
+    for name in ["stealing", "diffusion", "anticipatory"] {
+        assert!(stdout.contains(name), "missing preset {name}: {stdout}");
+    }
+}
+
+#[test]
+fn simulate_with_balance_reports_migrations_and_is_engine_invariant() {
+    let args = |engine: &'static str| {
+        vec![
+            "simulate",
+            "cfd",
+            "--ranks",
+            "8",
+            "--iterations",
+            "3",
+            "--imbalance",
+            "linear:0.5",
+            "--balance",
+            "preset:stealing",
+            "--engine",
+            engine,
+        ]
+    };
+    let event = limba(&args("event"));
+    assert!(
+        event.status.success(),
+        "{}",
+        String::from_utf8_lossy(&event.stderr)
+    );
+    let stdout = String::from_utf8(event.stdout.clone()).unwrap();
+    assert!(
+        stdout.contains("rebalancing: stealing moved"),
+        "no migration summary: {stdout}"
+    );
+    assert!(stdout.contains("== rebalancing actions =="), "{stdout}");
+    let polling = limba(&args("polling"));
+    assert!(polling.status.success());
+    assert_eq!(
+        event.stdout, polling.stdout,
+        "engines diverge under --balance"
+    );
+}
+
+#[test]
+fn unknown_balance_preset_is_a_named_error() {
+    let out = limba(&["simulate", "cfd", "--balance", "preset:psychic"]);
+    assert!(!out.status.success());
+    let stderr = String::from_utf8(out.stderr).unwrap();
+    assert!(stderr.contains("unknown balance preset"), "{stderr}");
+    assert!(stderr.contains("stealing"), "no preset listing: {stderr}");
+}
+
+#[test]
+fn advise_surfaces_a_dynamic_balancing_recommendation() {
+    // On an imbalanced CFD workload the catalog proposes the balance
+    // policies alongside the static refactors, and at least one
+    // surfaced candidate enables dynamic balancing — with a verified
+    // (simulated on both engines) gain.
+    let out = limba(&[
+        "advise",
+        "--workload",
+        "cfd",
+        "--ranks",
+        "8",
+        "--imbalance",
+        "linear:0.6",
+        "--top",
+        "3",
+    ]);
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(
+        stdout.contains("enable dynamic load balancing"),
+        "no balancing recommendation surfaced:\n{stdout}"
+    );
+    assert!(stdout.contains("measured  +"), "no verified gain: {stdout}");
+}
+
+#[test]
 fn bad_flags_are_reported() {
     let out = limba(&["simulate", "cfd", "--ranks"]);
     assert!(!out.status.success());
@@ -357,6 +449,14 @@ fn sweep_args<'a>(extra: &[&'a str]) -> Vec<&'a str> {
         "--replications",
         "8",
     ];
+    args.extend_from_slice(extra);
+    args
+}
+
+/// [`sweep_args`] plus a stealing balance policy — the balanced
+/// variants of the kill-resume locks.
+fn balanced_sweep_args<'a>(extra: &[&'a str]) -> Vec<&'a str> {
+    let mut args = sweep_args(&["--balance", "preset:stealing"]);
     args.extend_from_slice(extra);
     args
 }
@@ -405,6 +505,94 @@ fn interrupted_sweep_exits_partial_and_resumes_byte_identically() {
         );
         std::fs::remove_file(&ckpt).ok();
     }
+}
+
+#[test]
+fn interrupted_balanced_sweep_resumes_byte_identically() {
+    // The guard composes with dynamic balancing: a replication sweep
+    // under `--balance preset:stealing` killed mid-run resumes from its
+    // checkpoint to the exact bytes of an uninterrupted run — the
+    // per-replication balance seeds derive from the replication index,
+    // not from how many processes it took to finish the sweep.
+    let reference = limba(&balanced_sweep_args(&[]));
+    assert!(
+        reference.status.success(),
+        "{}",
+        String::from_utf8_lossy(&reference.stderr)
+    );
+    let reference = String::from_utf8(reference.stdout).unwrap();
+    assert!(
+        reference.contains("rebalancing"),
+        "balanced sweep reports no rebalancing: {reference}"
+    );
+
+    let ckpt = temp_path("e2e-balanced-sweep.ckpt");
+    std::fs::remove_file(&ckpt).ok();
+    let interrupted = limba(&balanced_sweep_args(&[
+        "--max-units",
+        "3",
+        "--checkpoint",
+        ckpt.to_str().unwrap(),
+    ]));
+    assert_eq!(
+        interrupted.status.code(),
+        Some(3),
+        "partial balanced runs exit with the partial code: {}",
+        String::from_utf8_lossy(&interrupted.stderr)
+    );
+    let stdout = String::from_utf8(interrupted.stdout).unwrap();
+    assert!(stdout.contains("rerun with --resume"), "{stdout}");
+
+    for jobs in ["1", "4"] {
+        let resumed = limba(&balanced_sweep_args(&[
+            "--jobs",
+            jobs,
+            "--checkpoint",
+            ckpt.to_str().unwrap(),
+            "--resume",
+        ]));
+        assert!(
+            resumed.status.success(),
+            "{}",
+            String::from_utf8_lossy(&resumed.stderr)
+        );
+        assert_eq!(
+            String::from_utf8(resumed.stdout).unwrap(),
+            reference,
+            "jobs={jobs}"
+        );
+    }
+    std::fs::remove_file(&ckpt).ok();
+}
+
+#[test]
+fn unbalanced_checkpoint_refuses_a_balanced_resume() {
+    // The sweep fingerprint includes the balance plan: resuming a
+    // checkpoint written without `--balance` under a policy (or vice
+    // versa) is a configuration mismatch, not a silent mixed sweep.
+    let ckpt = temp_path("e2e-balance-mismatch.ckpt");
+    std::fs::remove_file(&ckpt).ok();
+    let interrupted = limba(&sweep_args(&[
+        "--max-units",
+        "3",
+        "--checkpoint",
+        ckpt.to_str().unwrap(),
+    ]));
+    assert_eq!(interrupted.status.code(), Some(3));
+
+    let mut args = sweep_args(&["--balance", "preset:stealing", "--resume", "--checkpoint"]);
+    args.push(ckpt.to_str().unwrap());
+    let mismatched = limba(&args);
+    assert!(
+        !mismatched.status.success(),
+        "balanced resume of an unbalanced checkpoint must fail"
+    );
+    let stderr = String::from_utf8(mismatched.stderr).unwrap();
+    assert!(
+        stderr.contains("checkpoint") || stderr.contains("fingerprint"),
+        "unnamed error: {stderr}"
+    );
+    std::fs::remove_file(&ckpt).ok();
 }
 
 #[test]

@@ -10,6 +10,7 @@
 //! trend.
 
 use limba_model::{ActivityKind, Measurements};
+use limba_stats::describe::least_squares_slope;
 use limba_stats::dispersion::{DispersionIndex, DispersionKind};
 
 use crate::AnalysisError;
@@ -59,22 +60,6 @@ impl Evolution {
             .filter(|s| s.trend == Trend::Growing)
             .map(|s| s.activity)
             .collect()
-    }
-}
-
-fn least_squares_slope(points: &[(f64, f64)]) -> f64 {
-    if points.len() < 2 {
-        return 0.0;
-    }
-    let n = points.len() as f64;
-    let mean_x = points.iter().map(|p| p.0).sum::<f64>() / n;
-    let mean_y = points.iter().map(|p| p.1).sum::<f64>() / n;
-    let cov: f64 = points.iter().map(|p| (p.0 - mean_x) * (p.1 - mean_y)).sum();
-    let var: f64 = points.iter().map(|p| (p.0 - mean_x).powi(2)).sum();
-    if var == 0.0 {
-        0.0
-    } else {
-        cov / var
     }
 }
 

@@ -162,6 +162,16 @@ impl MachineConfig {
         !self.link_overrides.is_empty()
     }
 
+    /// The directed link pairs carrying an override, sorted — the
+    /// machine's explicit network topology. Sorting makes the order
+    /// deterministic (the overrides live in a `HashMap`), which the
+    /// diffusion balancing policy depends on for its neighbor lists.
+    pub fn link_override_pairs(&self) -> Vec<(usize, usize)> {
+        let mut pairs: Vec<(usize, usize)> = self.link_overrides.keys().copied().collect();
+        pairs.sort_unstable();
+        pairs
+    }
+
     /// Latency of the directed link `src → dst`.
     pub fn link_latency(&self, src: usize, dst: usize) -> f64 {
         self.link_overrides

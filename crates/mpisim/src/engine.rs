@@ -24,6 +24,7 @@ use std::collections::VecDeque;
 use limba_model::ActivityKind;
 use limba_trace::{Event, ReducedTrace, SalvagedTrace, Trace, TraceBuilder};
 
+use crate::balance::{BalancePlan, BalanceReport, BalanceState, HostView};
 use crate::collectives::collective_cost;
 use crate::faults::{FaultPlan, FaultReport, FaultState};
 use crate::{CollectiveKind, MachineConfig, Op, Program, SimError};
@@ -153,6 +154,9 @@ pub struct SimOutput {
     pub stats: SimStats,
     /// What the fault plan did to this run; empty for unfaulted runs.
     pub faults: FaultReport,
+    /// What the balance plan did to this run; inactive (`policy: None`)
+    /// for unbalanced runs.
+    pub balance: BalanceReport,
 }
 
 impl SimOutput {
@@ -368,6 +372,9 @@ struct Exec<'a> {
     /// Active fault injection, `None` for unfaulted runs (and for empty
     /// plans, so the no-fault arithmetic stays bit-exact).
     faults: Option<FaultState>,
+    /// Active dynamic balancing, `None` for unbalanced runs (the
+    /// default compute arithmetic stays bit-exact).
+    balance: Option<BalanceState>,
     /// Interruption budget, `None` for unbudgeted runs (no per-op
     /// bookkeeping on the default path).
     budget: Option<&'a RunBudget>,
@@ -380,6 +387,7 @@ impl<'a> Exec<'a> {
         config: &'a MachineConfig,
         program: &'a Program,
         plan: Option<&FaultPlan>,
+        balance: Option<&BalancePlan>,
     ) -> Result<Self, SimError> {
         config.validate()?;
         let p = config.processors();
@@ -396,6 +404,13 @@ impl<'a> Exec<'a> {
                 Some(FaultState::new(plan, n))
             }
             _ => None,
+        };
+        let balance = match balance {
+            Some(plan) => {
+                plan.validate()?;
+                Some(BalanceState::new(plan, n, config))
+            }
+            None => None,
         };
 
         let mut builder = TraceBuilder::new(n);
@@ -447,6 +462,7 @@ impl<'a> Exec<'a> {
             next_round: RankSet::new(n),
             links,
             faults,
+            balance,
             budget: None,
             ops_done: 0,
         })
@@ -583,10 +599,24 @@ impl<'a> Exec<'a> {
         let n = self.n;
         match op {
             Op::Compute { seconds } => {
-                let duration = seconds / self.config.cpu_speed(rank);
-                self.states[rank].time = match &self.faults {
-                    None => self.states[rank].time + duration,
-                    Some(fs) => fs.compute_end(rank, self.states[rank].time, duration),
+                self.states[rank].time = match &mut self.balance {
+                    // Balancing owns the compute boundary: it may migrate
+                    // part of the op and integrates the fault-adjusted
+                    // timing itself (identically in both engines).
+                    Some(bs) => {
+                        let host = HostView {
+                            config: self.config,
+                            faults: self.faults.as_ref(),
+                        };
+                        bs.compute(rank, self.states[rank].time, seconds, &host)
+                    }
+                    None => {
+                        let duration = seconds / self.config.cpu_speed(rank);
+                        match &self.faults {
+                            None => self.states[rank].time + duration,
+                            Some(fs) => fs.compute_end(rank, self.states[rank].time, duration),
+                        }
+                    }
                 };
                 self.states[rank].pc += 1;
                 Ok(StepOutcome::Ran)
@@ -1048,10 +1078,15 @@ impl<'a> Exec<'a> {
             }
             None => FaultReport::default(),
         };
+        let balance = match &self.balance {
+            Some(bs) => bs.report(),
+            None => BalanceReport::default(),
+        };
         SimOutput {
             trace: self.builder.build(),
             stats: self.stats,
             faults,
+            balance,
         }
     }
 }
@@ -1082,7 +1117,7 @@ impl Simulator {
     /// references more ranks than the machine has, or the ranks deadlock
     /// (e.g. a receive whose matching send never happens).
     pub fn run(&self, program: &Program) -> Result<SimOutput, SimError> {
-        let mut exec = Exec::new(&self.config, program, None)?;
+        let mut exec = Exec::new(&self.config, program, None, None)?;
         exec.run_event()?;
         Ok(exec.finish())
     }
@@ -1107,7 +1142,56 @@ impl Simulator {
         program: &Program,
         plan: &FaultPlan,
     ) -> Result<SimOutput, SimError> {
-        let mut exec = Exec::new(&self.config, program, Some(plan))?;
+        let mut exec = Exec::new(&self.config, program, Some(plan), None)?;
+        exec.run_event()?;
+        Ok(exec.finish())
+    }
+
+    /// Runs `program` under a dynamic load-balancing plan (see
+    /// [`BalancePlan`]): at every compute-op boundary the attached
+    /// policy may migrate work to less loaded ranks, with deterministic
+    /// migration costs and a profitability guard. The
+    /// [`SimOutput::balance`] report accounts every migration.
+    ///
+    /// A plan whose policy never triggers is bit-identical to
+    /// [`Simulator::run`].
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Simulator::run`], plus
+    /// [`SimError::InvalidBalancePlan`] for plans that fail
+    /// [`BalancePlan::validate`].
+    pub fn run_with_balance(
+        &self,
+        program: &Program,
+        plan: &BalancePlan,
+    ) -> Result<SimOutput, SimError> {
+        let mut exec = Exec::new(&self.config, program, None, Some(plan))?;
+        exec.run_event()?;
+        Ok(exec.finish())
+    }
+
+    /// Runs `program` with any combination of fault plan, balance plan,
+    /// and interruption budget — the fully general entry point the CLI
+    /// drives. `None` everywhere is bit-identical to [`Simulator::run`].
+    ///
+    /// # Errors
+    ///
+    /// The union of the conditions of [`Simulator::run_with_faults`],
+    /// [`Simulator::run_with_balance`], and [`Simulator::run_budgeted`].
+    pub fn run_configured(
+        &self,
+        program: &Program,
+        faults: Option<&FaultPlan>,
+        balance: Option<&BalancePlan>,
+        budget: Option<&RunBudget>,
+    ) -> Result<SimOutput, SimError> {
+        let mut exec = Exec::new(&self.config, program, faults, balance)?;
+        if let Some(budget) = budget {
+            if !budget.is_unlimited() {
+                exec.budget = Some(budget);
+            }
+        }
         exec.run_event()?;
         Ok(exec.finish())
     }
@@ -1133,7 +1217,7 @@ impl Simulator {
         plan: Option<&FaultPlan>,
         budget: &RunBudget,
     ) -> Result<SimOutput, SimError> {
-        let mut exec = Exec::new(&self.config, program, plan)?;
+        let mut exec = Exec::new(&self.config, program, plan, None)?;
         if !budget.is_unlimited() {
             exec.budget = Some(budget);
         }
@@ -1153,7 +1237,7 @@ impl Simulator {
     ///
     /// Same conditions as [`Simulator::run`].
     pub fn run_polling(&self, program: &Program) -> Result<SimOutput, SimError> {
-        crate::polling::run(&self.config, program, None, None)
+        crate::polling::run(&self.config, program, None, None, None)
     }
 
     /// Runs `program` under a fault plan with the polling reference
@@ -1169,7 +1253,39 @@ impl Simulator {
         program: &Program,
         plan: &FaultPlan,
     ) -> Result<SimOutput, SimError> {
-        crate::polling::run(&self.config, program, Some(plan), None)
+        crate::polling::run(&self.config, program, Some(plan), None, None)
+    }
+
+    /// The polling-engine counterpart of [`Simulator::run_with_balance`].
+    /// Bit-identical in trace, statistics, fault report, and balance
+    /// report — dynamic balancing is a first-class axis of the
+    /// differential harness.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Simulator::run_with_balance`].
+    pub fn run_polling_with_balance(
+        &self,
+        program: &Program,
+        plan: &BalancePlan,
+    ) -> Result<SimOutput, SimError> {
+        crate::polling::run(&self.config, program, None, Some(plan), None)
+    }
+
+    /// The polling-engine counterpart of [`Simulator::run_configured`].
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Simulator::run_configured`].
+    pub fn run_polling_configured(
+        &self,
+        program: &Program,
+        faults: Option<&FaultPlan>,
+        balance: Option<&BalancePlan>,
+        budget: Option<&RunBudget>,
+    ) -> Result<SimOutput, SimError> {
+        let budget = budget.filter(|b| !b.is_unlimited());
+        crate::polling::run(&self.config, program, faults, balance, budget)
     }
 
     /// The polling-engine counterpart of [`Simulator::run_budgeted`]:
@@ -1192,7 +1308,7 @@ impl Simulator {
         } else {
             Some(budget)
         };
-        crate::polling::run(&self.config, program, plan, budget)
+        crate::polling::run(&self.config, program, plan, None, budget)
     }
 }
 

@@ -54,6 +54,13 @@ pub enum SimError {
         /// What was wrong.
         detail: String,
     },
+    /// A balance plan carried an out-of-range parameter or malformed
+    /// TOML (see [`BalancePlan::validate`](crate::BalancePlan::validate)
+    /// and [`BalancePlan::parse_toml`](crate::BalancePlan::parse_toml)).
+    InvalidBalancePlan {
+        /// What was wrong.
+        detail: String,
+    },
     /// No rank could make progress but the program is not finished.
     Deadlock {
         /// Human-readable state of every stuck rank.
@@ -107,6 +114,9 @@ impl fmt::Display for SimError {
             }
             SimError::InvalidFaultPlan { detail } => {
                 write!(f, "invalid fault plan: {detail}")
+            }
+            SimError::InvalidBalancePlan { detail } => {
+                write!(f, "invalid balance plan: {detail}")
             }
             SimError::Deadlock { detail } => write!(f, "deadlock: {detail}"),
             SimError::BuildFailed { detail } => {

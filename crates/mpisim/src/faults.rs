@@ -566,8 +566,9 @@ impl FaultReport {
     }
 }
 
-/// SplitMix64 finalizer: the bit mixer behind every loss decision.
-fn mix(mut z: u64) -> u64 {
+/// SplitMix64 finalizer: the bit mixer behind every loss decision (and,
+/// via [`crate::balance`], every balancing tie-break).
+pub(crate) fn mix(mut z: u64) -> u64 {
     z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
     z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
     z ^ (z >> 31)

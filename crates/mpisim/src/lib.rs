@@ -48,6 +48,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod balance;
 mod collectives;
 mod config;
 mod engine;
@@ -57,6 +58,7 @@ mod ops;
 pub(crate) mod polling;
 mod replicate;
 
+pub use balance::{BalancePlan, BalancePolicy, BalanceReport};
 pub use collectives::{collective_cost, CollectiveAlgorithm, CollectiveKind};
 pub use config::MachineConfig;
 pub use engine::{RunBudget, SimOutput, SimStats, Simulator};

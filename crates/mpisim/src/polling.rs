@@ -20,6 +20,7 @@ use std::collections::{HashMap, VecDeque};
 use limba_model::ActivityKind;
 use limba_trace::{Event, TraceBuilder};
 
+use crate::balance::{BalancePlan, BalanceReport, BalanceState, HostView};
 use crate::collectives::collective_cost;
 use crate::engine::{format_deadlock_detail, RunBudget, SimOutput, SimStats};
 use crate::faults::{FaultPlan, FaultReport, FaultState};
@@ -72,25 +73,32 @@ struct CollectiveInstance {
 }
 
 /// Runs `program` on `config` with the original polling engine,
-/// optionally under a fault plan and/or an interruption budget.
+/// optionally under a fault plan, a balance plan, and/or an
+/// interruption budget.
 pub(crate) fn run(
     config: &MachineConfig,
     program: &Program,
     plan: Option<&FaultPlan>,
+    balance: Option<&BalancePlan>,
     budget: Option<&RunBudget>,
 ) -> Result<SimOutput, SimError> {
     Polling {
         config,
         faults: None,
+        balance: None,
         budget,
         ops_done: 0,
     }
-    .run(program, plan)
+    .run(program, plan, balance)
 }
 
 struct Polling<'a> {
     config: &'a MachineConfig,
     faults: Option<FaultState>,
+    /// Active dynamic balancing — the same shared-state hook the event
+    /// engine uses, mutated at the same compute-op boundaries in the
+    /// same global order, so decisions and timings are bit-identical.
+    balance: Option<BalanceState>,
     /// Interruption budget, `None` for unbudgeted runs — polled on the
     /// same executed-op cadence as the event engine, so op-count
     /// budgets fire on exactly the same programs on both engines.
@@ -106,6 +114,7 @@ impl Polling<'_> {
         &mut self,
         program: &Program,
         plan: Option<&FaultPlan>,
+        balance: Option<&BalancePlan>,
     ) -> Result<SimOutput, SimError> {
         self.config.validate()?;
         let p = self.config.processors();
@@ -122,6 +131,13 @@ impl Polling<'_> {
                 Some(FaultState::new(plan, n))
             }
             _ => None,
+        };
+        self.balance = match balance {
+            Some(plan) => {
+                plan.validate()?;
+                Some(BalanceState::new(plan, n, self.config))
+            }
+            None => None,
         };
 
         let mut builder = TraceBuilder::new(n);
@@ -195,10 +211,15 @@ impl Polling<'_> {
             Some(fs) => fs.report((0..n).filter(|&r| states[r].pc < program.ops(r).len())),
             None => FaultReport::default(),
         };
+        let balance_report = match &self.balance {
+            Some(bs) => bs.report(),
+            None => BalanceReport::default(),
+        };
         Ok(SimOutput {
             trace: builder.build(),
             stats,
             faults,
+            balance: balance_report,
         })
     }
 
@@ -250,10 +271,24 @@ impl Polling<'_> {
         let o = self.config.overhead();
         match op {
             Op::Compute { seconds } => {
-                let duration = seconds / self.config.cpu_speed(rank);
-                states[rank].time = match &self.faults {
-                    None => states[rank].time + duration,
-                    Some(fs) => fs.compute_end(rank, states[rank].time, duration),
+                states[rank].time = match &mut self.balance {
+                    // Same balancing hook as the event engine's try_op:
+                    // the shared state integrates migration and fault
+                    // timing identically on both engines.
+                    Some(bs) => {
+                        let host = HostView {
+                            config: self.config,
+                            faults: self.faults.as_ref(),
+                        };
+                        bs.compute(rank, states[rank].time, seconds, &host)
+                    }
+                    None => {
+                        let duration = seconds / self.config.cpu_speed(rank);
+                        match &self.faults {
+                            None => states[rank].time + duration,
+                            Some(fs) => fs.compute_end(rank, states[rank].time, duration),
+                        }
+                    }
                 };
                 states[rank].pc += 1;
                 Ok(true)

@@ -18,6 +18,7 @@
 //! * one failing replication occupies its own `Err` slot and never
 //!   aborts the rest of the sweep.
 
+use crate::balance::BalancePlan;
 use crate::engine::{SimOutput, Simulator};
 use crate::error::SimError;
 use crate::faults::FaultPlan;
@@ -104,6 +105,54 @@ impl Simulator {
                 .clone()
                 .with_seed(limba_par::derive_seed(plan.seed, index as u64));
             let output = self.run_with_faults(&program, &rep_plan)?;
+            Ok(Replication {
+                index,
+                seed,
+                output,
+            })
+        })
+    }
+
+    /// The fully general sweep: every replication optionally perturbed
+    /// by a fault plan *and* rebalanced by a balance plan. Both plans'
+    /// seeds are re-derived per replication exactly as in
+    /// [`Simulator::run_replications_with_faults`], so sweeps reproduce
+    /// from their root seeds at any `--jobs` level, balanced or not.
+    ///
+    /// `(None, None)` is identical to [`Simulator::run_replications`].
+    ///
+    /// # Errors
+    ///
+    /// Same isolation as [`Simulator::run_replications`]; an invalid
+    /// plan fails every replication with
+    /// [`SimError::InvalidFaultPlan`] or
+    /// [`SimError::InvalidBalancePlan`].
+    pub fn run_replications_configured<F>(
+        &self,
+        replications: usize,
+        root_seed: u64,
+        jobs: usize,
+        faults: Option<&FaultPlan>,
+        balance: Option<&BalancePlan>,
+        build: F,
+    ) -> Vec<Result<Replication, SimError>>
+    where
+        F: Fn(usize, u64) -> Result<Program, SimError> + Sync,
+    {
+        let indices: Vec<usize> = (0..replications).collect();
+        limba_par::par_map(jobs, &indices, |_, &index| {
+            let seed = limba_par::derive_seed(root_seed, index as u64);
+            let program = build(index, seed)?;
+            let rep_faults = faults.map(|plan| {
+                plan.clone()
+                    .with_seed(limba_par::derive_seed(plan.seed, index as u64))
+            });
+            let rep_balance = balance.map(|plan| {
+                plan.clone()
+                    .with_seed(limba_par::derive_seed(plan.seed(), index as u64))
+            });
+            let output =
+                self.run_configured(&program, rep_faults.as_ref(), rep_balance.as_ref(), None)?;
             Ok(Replication {
                 index,
                 seed,

@@ -85,6 +85,35 @@ pub fn five_number_summary(data: &[f64]) -> Result<FiveNumberSummary, StatsError
     })
 }
 
+/// Least-squares slope of `y` over `x` for a set of `(x, y)` points — the
+/// trend engine behind the windowed imbalance-evolution detector and the
+/// simulator's anticipatory balancing policy.
+///
+/// Returns `0.0` for fewer than two points or when all `x` coincide, so
+/// degenerate windows read as "no trend" instead of an error.
+///
+/// # Example
+///
+/// ```
+/// let pts = [(0.0, 1.0), (1.0, 3.0), (2.0, 5.0)];
+/// assert_eq!(limba_stats::describe::least_squares_slope(&pts), 2.0);
+/// ```
+pub fn least_squares_slope(points: &[(f64, f64)]) -> f64 {
+    if points.len() < 2 {
+        return 0.0;
+    }
+    let n = points.len() as f64;
+    let mean_x = points.iter().map(|p| p.0).sum::<f64>() / n;
+    let mean_y = points.iter().map(|p| p.1).sum::<f64>() / n;
+    let cov: f64 = points.iter().map(|p| (p.0 - mean_x) * (p.1 - mean_y)).sum();
+    let var: f64 = points.iter().map(|p| (p.0 - mean_x).powi(2)).sum();
+    if var == 0.0 {
+        0.0
+    } else {
+        cov / var
+    }
+}
+
 /// Index of the maximum element, breaking ties toward the smaller index.
 ///
 /// Returns `None` for an empty slice.

@@ -2,10 +2,55 @@
 
 use limba_analysis::Report;
 use limba_model::ActivityKind;
+use limba_mpisim::BalanceReport;
 use limba_trace::RankCoverage;
 
 use crate::pattern;
 use crate::table::{cell, TextTable};
+
+/// Canonical order of every section a rendered report can contain.
+/// Optional sections (clustering, counting parameters, rebalancing
+/// actions, data coverage) are simply absent when they don't apply;
+/// present sections always appear in this order. [`assemble`] enforces
+/// it, so a new section cannot silently shuffle existing report bytes —
+/// extend this list (and the rendering lock test) to add one.
+pub const SECTION_ORDER: &[&str] = &[
+    "coarse grain",
+    "clustering",
+    "wall clock breakdown",
+    "indices of dispersion ID_ij",
+    "activity view",
+    "code region view",
+    "processor view",
+    "patterns",
+    "counting parameters",
+    "findings",
+    "rebalancing actions",
+    "data coverage",
+];
+
+/// Concatenates `(section id, verbatim text)` pairs, checking that the
+/// ids form a subsequence of [`SECTION_ORDER`]. Each section's text
+/// carries its own separators, so assembly is pure concatenation and
+/// existing reports keep their exact bytes.
+///
+/// # Panics
+///
+/// Panics on an unknown section id or an out-of-order pair — both are
+/// programming errors in this crate, locked by the rendering tests.
+fn assemble(sections: &[(&str, String)]) -> String {
+    let mut next = 0;
+    let mut out = String::new();
+    for (id, text) in sections {
+        let at = SECTION_ORDER[next..]
+            .iter()
+            .position(|s| s == id)
+            .unwrap_or_else(|| panic!("section {id:?} unknown or out of order"));
+        next += at + 1;
+        out.push_str(text);
+    }
+    out
+}
 
 /// Renders the Table-1-style wall-clock breakdown.
 pub fn render_profile(report: &Report) -> String {
@@ -99,8 +144,17 @@ pub fn render_processor_view(report: &Report) -> String {
 }
 
 /// Renders the whole report as plain text: coarse findings, the four
-/// tables, the pattern diagrams, and the processor findings.
+/// tables, the pattern diagrams, and the processor findings. Sections
+/// appear in [`SECTION_ORDER`].
 pub fn render(report: &Report) -> String {
+    assemble(&report_sections(report))
+}
+
+/// Builds the report's `(section id, text)` pairs; every `render*`
+/// entry point shares this list and [`assemble`], so the section order
+/// is enforced in exactly one place.
+fn report_sections(report: &Report) -> Vec<(&'static str, String)> {
+    let mut sections = Vec::new();
     let mut out = String::new();
     out.push_str("== coarse grain ==\n");
     out.push_str(&format!(
@@ -117,8 +171,9 @@ pub fn render(report: &Report) -> String {
             e.kind, e.worst.1, e.worst.2, e.best.1, e.best.2
         ));
     }
+    sections.push(("coarse grain", out));
     if let Some(c) = &report.clustering {
-        out.push_str(&format!("\n== clustering (k = {}) ==\n", c.k));
+        let mut out = format!("\n== clustering (k = {}) ==\n", c.k);
         for (g, members) in c.groups.iter().enumerate() {
             let names: Vec<&str> = members
                 .iter()
@@ -126,25 +181,43 @@ pub fn render(report: &Report) -> String {
                 .collect();
             out.push_str(&format!("group {g}: {}\n", names.join(", ")));
         }
+        sections.push(("clustering", out));
     }
-    out.push_str("\n== wall clock breakdown ==\n");
-    out.push_str(&render_profile(report));
-    out.push_str("\n== indices of dispersion ID_ij ==\n");
-    out.push_str(&render_dispersions(report));
-    out.push_str("\n== activity view ==\n");
-    out.push_str(&render_activity_summary(report));
-    out.push_str("\n== code region view ==\n");
-    out.push_str(&render_region_summary(report));
-    out.push_str("\n== processor view ==\n");
-    out.push_str(&render_processor_view(report));
-    out.push_str("\n== patterns ==\n");
+    sections.push((
+        "wall clock breakdown",
+        format!("\n== wall clock breakdown ==\n{}", render_profile(report)),
+    ));
+    sections.push((
+        "indices of dispersion ID_ij",
+        format!(
+            "\n== indices of dispersion ID_ij ==\n{}",
+            render_dispersions(report)
+        ),
+    ));
+    sections.push((
+        "activity view",
+        format!("\n== activity view ==\n{}", render_activity_summary(report)),
+    ));
+    sections.push((
+        "code region view",
+        format!(
+            "\n== code region view ==\n{}",
+            render_region_summary(report)
+        ),
+    ));
+    sections.push((
+        "processor view",
+        format!("\n== processor view ==\n{}", render_processor_view(report)),
+    ));
+    let mut out = String::from("\n== patterns ==\n");
     for grid in &report.patterns {
         out.push_str(&pattern::render(grid));
         out.push('\n');
     }
+    sections.push(("patterns", out));
     if let Some(counts) = &report.counts {
         if !counts.summaries.is_empty() {
-            out.push_str("== counting parameters ==\n");
+            let mut out = String::from("== counting parameters ==\n");
             let mut t = TextTable::new(vec![
                 "quantity".into(),
                 "total".into(),
@@ -167,9 +240,10 @@ pub fn render(report: &Report) -> String {
                 ));
             }
             out.push('\n');
+            sections.push(("counting parameters", out));
         }
     }
-    out.push_str("== findings ==\n");
+    let mut out = String::from("== findings ==\n");
     let f = &report.findings;
     if let Some((p, n)) = f.processors.most_frequently_imbalanced {
         out.push_str(&format!("most frequently imbalanced: {p} ({n} regions)\n"));
@@ -194,7 +268,8 @@ pub fn render(report: &Report) -> String {
             if c.is_heaviest { ", program core" } else { "" }
         ));
     }
-    out
+    sections.push(("findings", out));
+    sections
 }
 
 /// Renders the per-rank data-coverage section for a salvaged trace (see
@@ -236,12 +311,72 @@ pub fn render_coverage(coverage: &[RankCoverage]) -> String {
 /// any rank's stream was truncated — complete traces render exactly as
 /// [`render`].
 pub fn render_with_coverage(report: &Report, coverage: &[RankCoverage]) -> String {
-    let mut out = render(report);
+    let mut sections = report_sections(report);
     if coverage.iter().any(|c| !c.complete) {
-        out.push('\n');
-        out.push_str(&render_coverage(coverage));
+        sections.push(("data coverage", format!("\n{}", render_coverage(coverage))));
     }
+    assemble(&sections)
+}
+
+/// Renders the rebalancing-actions section for a balanced run (see
+/// [`limba_mpisim::BalancePlan`]): the active policy, the migration
+/// totals, and the per-rank nominal-seconds ledger (work executed
+/// locally, donated away, taken on for others).
+pub fn render_balance(balance: &BalanceReport) -> String {
+    let mut out = String::from("== rebalancing actions ==\n");
+    let Some(policy) = &balance.policy else {
+        out.push_str("no balancing policy active\n");
+        return out;
+    };
+    if balance.migrations == 0 {
+        out.push_str(&format!(
+            "policy {policy}: no migrations triggered ({} declined by the profitability guard)\n",
+            balance.declined
+        ));
+        return out;
+    }
+    out.push_str(&format!(
+        "policy {policy}: {} migrations moved {:.3} nominal s ({} declined)\n",
+        balance.migrations, balance.moved_seconds, balance.declined
+    ));
+    let mut t = TextTable::new(vec![
+        "rank".into(),
+        "local s".into(),
+        "donated s".into(),
+        "received s".into(),
+    ]);
+    for rank in 0..balance.local_seconds.len() {
+        t.row(vec![
+            rank.to_string(),
+            format!("{:.3}", balance.local_seconds[rank]),
+            format!("{:.3}", balance.donated_seconds[rank]),
+            format!("{:.3}", balance.received_seconds[rank]),
+        ]);
+    }
+    out.push_str(&t.render());
     out
+}
+
+/// Renders the full report of a balanced run: [`render`] plus the
+/// rebalancing-actions section when a policy was active, plus the
+/// data-coverage section when any rank's stream was truncated. Runs
+/// without a balance plan render exactly as [`render_with_coverage`].
+pub fn render_with_balance(
+    report: &Report,
+    balance: &BalanceReport,
+    coverage: &[RankCoverage],
+) -> String {
+    let mut sections = report_sections(report);
+    if !balance.is_inactive() {
+        sections.push((
+            "rebalancing actions",
+            format!("\n{}", render_balance(balance)),
+        ));
+    }
+    if coverage.iter().any(|c| !c.complete) {
+        sections.push(("data coverage", format!("\n{}", render_coverage(coverage))));
+    }
+    assemble(&sections)
 }
 
 #[cfg(test)]
@@ -336,6 +471,77 @@ mod tests {
         let r = report();
         assert!(!render_with_coverage(&r, &[full]).contains("== data coverage =="));
         assert!(render_with_coverage(&r, &[full, cut]).contains("== data coverage =="));
+    }
+
+    #[test]
+    fn section_order_is_explicit_and_enforced() {
+        // Every header that appears in the rendered report must occur in
+        // SECTION_ORDER order — this locks the layout so a new section
+        // (e.g. rebalancing actions) cannot shuffle existing goldens.
+        let r = report();
+        for text in [render(&r), render_with_balance(&r, &stealing_report(), &[])] {
+            let headers: Vec<&str> = text
+                .lines()
+                .filter(|l| l.starts_with("== ") && l.ends_with(" =="))
+                .map(|l| l.trim_start_matches("== ").trim_end_matches(" =="))
+                .map(|h| h.split(" (").next().unwrap())
+                .collect();
+            let mut next = 0usize;
+            for h in &headers {
+                let at = SECTION_ORDER[next..]
+                    .iter()
+                    .position(|id| id == h)
+                    .unwrap_or_else(|| panic!("section {h:?} out of order in {headers:?}"));
+                next += at + 1;
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of order")]
+    fn assemble_rejects_out_of_order_sections() {
+        assemble(&[("findings", String::new()), ("coarse grain", String::new())]);
+    }
+
+    fn stealing_report() -> BalanceReport {
+        BalanceReport {
+            policy: Some("stealing".into()),
+            migrations: 3,
+            declined: 1,
+            moved_seconds: 0.75,
+            local_seconds: vec![2.0, 1.25],
+            donated_seconds: vec![0.0, 0.75],
+            received_seconds: vec![0.75, 0.0],
+        }
+    }
+
+    #[test]
+    fn balance_section_renders_policy_and_ledger() {
+        let text = render_balance(&stealing_report());
+        assert!(text.contains("== rebalancing actions =="));
+        assert!(text.contains("policy stealing: 3 migrations moved 0.750 nominal s (1 declined)"));
+        assert!(text.contains("received s"));
+        assert!(text.contains("0.750"));
+
+        let idle = BalanceReport {
+            policy: Some("diffusion".into()),
+            ..BalanceReport::default()
+        };
+        assert!(render_balance(&idle).contains("no migrations triggered"));
+    }
+
+    #[test]
+    fn balanced_render_appends_section_only_when_active() {
+        let r = report();
+        let inactive = render_with_balance(&r, &BalanceReport::default(), &[]);
+        assert_eq!(
+            inactive,
+            render(&r),
+            "inactive balance must not alter the report"
+        );
+        let active = render_with_balance(&r, &stealing_report(), &[]);
+        assert!(active.starts_with(&render(&r)));
+        assert!(active.contains("== rebalancing actions =="));
     }
 
     #[test]

@@ -47,6 +47,7 @@
 #![warn(missing_docs)]
 
 pub mod amr;
+pub mod balance;
 pub mod cfd;
 pub mod faults;
 pub mod fft;

@@ -116,6 +116,75 @@ fn faulted_cfd_report_matches_golden() {
 }
 
 #[test]
+fn balanced_reports_match_golden() {
+    // Balanced-run reports, locked byte-for-byte for every committed
+    // policy preset on three workloads: the calibrated paper proxy, the
+    // linearly skewed CFD proxy, and the jittered irregular-mesh proxy.
+    // Each snapshot exercises the full path — policy execution on both
+    // engines (asserted identical), trace salvage, analysis, and the
+    // "rebalancing actions" report section with its migration ledger.
+    use limba::advisor::Scenario;
+    use limba::mpisim::{MachineConfig, Program, Simulator};
+    use limba::workloads::balance::{preset, PRESETS};
+    use limba::workloads::cfd::CfdConfig;
+    use limba::workloads::irregular::IrregularConfig;
+    use limba::workloads::Imbalance;
+
+    let paper = Scenario::from_measurements(&paper_measurements().unwrap()).unwrap();
+    let cases: [(&str, Program, MachineConfig); 3] = [
+        ("paper", paper.program, paper.config),
+        (
+            "cfd",
+            CfdConfig::new(8)
+                .with_iterations(3)
+                .with_imbalance(Imbalance::LinearSkew { spread: 0.5 })
+                .build_program()
+                .unwrap(),
+            MachineConfig::new(8),
+        ),
+        (
+            "irregular",
+            IrregularConfig::new(8)
+                .with_imbalance(Imbalance::RandomJitter { amplitude: 0.4 })
+                .with_seed(7)
+                .build_program()
+                .unwrap(),
+            MachineConfig::new(8),
+        ),
+    ];
+
+    for (name, program, config) in &cases {
+        let sim = Simulator::new(config.clone());
+        let base = sim.run(program).unwrap().stats.makespan;
+        for &policy in PRESETS {
+            let plan = preset(policy).unwrap();
+            let out = sim.run_with_balance(program, &plan).unwrap();
+            let polling = sim
+                .run_polling_configured(program, None, Some(&plan), None)
+                .unwrap();
+            assert_eq!(
+                out.trace, polling.trace,
+                "engines diverge on {name}/{policy}"
+            );
+            assert_eq!(out.balance, polling.balance);
+            assert!(
+                out.stats.makespan <= base + 1e-9,
+                "{policy} worsened {name}"
+            );
+
+            let salvaged = out.reduce_checked().unwrap();
+            let report = Analyzer::new()
+                .analyze_with_counts(&salvaged.reduced.measurements, &salvaged.reduced.counts)
+                .unwrap();
+            check_golden(
+                &format!("balanced_{name}_{policy}.txt"),
+                &limba::viz::report::render_with_balance(&report, &out.balance, &salvaged.coverage),
+            );
+        }
+    }
+}
+
+#[test]
 fn paper_advice_matches_golden() {
     // Advise on the calibrated paper case: the proxy scenario rebuilt
     // from the published measurement marginals. The paper identifies

@@ -2,7 +2,7 @@
 //! generated, deadlock-free-by-construction programs.
 
 use limba::model::{ActivityKind, ProcessorId};
-use limba::mpisim::{FaultPlan, MachineConfig, Program, ProgramBuilder, Simulator};
+use limba::mpisim::{BalancePlan, FaultPlan, MachineConfig, Program, ProgramBuilder, Simulator};
 use proptest::prelude::*;
 
 /// One phase of a generated program; every variant is globally
@@ -149,6 +149,26 @@ fn fault_plan_strategy(ranks: usize) -> impl Strategy<Value = FaultPlan> {
 fn faulted_program_strategy() -> impl Strategy<Value = (Program, usize, FaultPlan)> {
     program_strategy()
         .prop_flat_map(|(program, ranks)| (Just(program), Just(ranks), fault_plan_strategy(ranks)))
+}
+
+/// An arbitrary balance plan spanning all three policy families.
+fn balance_plan_strategy() -> impl Strategy<Value = BalancePlan> {
+    (1u64..1_000_000, 0u8..3, 1u16..100).prop_map(|(seed, kind, p)| match kind {
+        0 => BalancePlan::stealing(seed, 1.0 + p as f64 * 0.01),
+        1 => BalancePlan::diffusion(seed, p as f64 * 0.01),
+        _ => BalancePlan::anticipatory(seed, 2 + (p as usize % 8), p as f64 * 0.005),
+    })
+}
+
+fn chaos_balanced_strategy() -> impl Strategy<Value = (Program, usize, FaultPlan, BalancePlan)> {
+    faulted_program_strategy().prop_flat_map(|(program, ranks, faults)| {
+        (
+            Just(program),
+            Just(ranks),
+            Just(faults),
+            balance_plan_strategy(),
+        )
+    })
 }
 
 proptest! {
@@ -338,5 +358,76 @@ proptest! {
         prop_assert!(faulted.faults.is_clean());
         let polling = sim.run_polling_with_faults(&program, &empty).unwrap();
         prop_assert_eq!(&base.trace, &polling.trace);
+    }
+
+    #[test]
+    fn balanced_chaos_differential_engines_agree(
+        (program, ranks, faults, balance) in chaos_balanced_strategy(),
+    ) {
+        // Faults and dynamic balancing compose: with both active, the
+        // event and polling engines still agree byte-for-byte — on the
+        // trace, statistics, fault diagnostics, AND the migration
+        // ledger.
+        faults.validate(ranks).expect("generated fault plans are valid");
+        balance.validate().expect("generated balance plans are valid");
+        let sim = Simulator::new(MachineConfig::new(ranks));
+        match (
+            sim.run_configured(&program, Some(&faults), Some(&balance), None),
+            sim.run_polling_configured(&program, Some(&faults), Some(&balance), None),
+        ) {
+            (Ok(event), Ok(polling)) => {
+                prop_assert_eq!(
+                    limba::trace::binary::to_bytes(&event.trace),
+                    limba::trace::binary::to_bytes(&polling.trace)
+                );
+                prop_assert_eq!(&event.stats, &polling.stats);
+                prop_assert_eq!(&event.faults, &polling.faults);
+                prop_assert_eq!(&event.balance, &polling.balance);
+            }
+            (Err(event), Err(polling)) => {
+                prop_assert_eq!(event.to_string(), polling.to_string());
+            }
+            (event, polling) => {
+                return Err(proptest::test_runner::TestCaseError::Fail(format!(
+                    "engines disagree on outcome: event {event:?} vs polling {polling:?}"
+                )));
+            }
+        }
+    }
+
+    #[test]
+    fn crashed_ranks_stolen_work_stays_accounted(
+        (program, ranks, faults, balance) in chaos_balanced_strategy(),
+    ) {
+        // A crash truncates execution; it must never corrupt the
+        // migration ledger. Conservation still holds exactly (donated ==
+        // moved == received), and no rank's accounted work exceeds its
+        // program spec — stolen work of a crashed rank is not
+        // resurrected elsewhere.
+        let sim = Simulator::new(MachineConfig::new(ranks));
+        let Ok(out) = sim.run_configured(&program, Some(&faults), Some(&balance), None) else {
+            return Ok(()); // total-crash outcomes are covered above
+        };
+        let report = &out.balance;
+        let donated: f64 = report.donated_seconds.iter().sum();
+        let received: f64 = report.received_seconds.iter().sum();
+        let tol = 1e-9 * donated.abs().max(1.0);
+        prop_assert!((donated - report.moved_seconds).abs() <= tol);
+        prop_assert!((received - report.moved_seconds).abs() <= tol);
+        for rank in 0..ranks {
+            let spec: f64 = program
+                .ops(rank)
+                .iter()
+                .filter_map(|op| match op {
+                    limba::mpisim::Op::Compute { seconds } => Some(*seconds),
+                    _ => None,
+                })
+                .sum();
+            prop_assert!(
+                report.local_seconds[rank] + report.donated_seconds[rank] <= spec + 1e-9,
+                "rank {} accounted for more work than its spec under faults",
+                rank
+            );
+        }
     }
 }
