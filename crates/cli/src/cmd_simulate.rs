@@ -79,6 +79,9 @@ pub(crate) fn build_program(
 pub(crate) enum Engine {
     /// Event-driven wakeup-list scheduler (default).
     Event,
+    /// Rank-sharded parallel event scheduler; byte-identical output to
+    /// [`Engine::Event`], `--jobs` controls the worker count.
+    EventPar,
     /// Reference polling scheduler, kept for cross-checking.
     Polling,
 }
@@ -87,16 +90,17 @@ impl Engine {
     pub(crate) fn parse(spec: &str) -> Result<Engine, String> {
         match spec {
             "event" => Ok(Engine::Event),
+            "event-par" => Ok(Engine::EventPar),
             "polling" => Ok(Engine::Polling),
             other => Err(format!(
-                "unknown engine {other:?} (expected \"event\" or \"polling\")"
+                "unknown engine {other:?} (expected \"event\", \"event-par\", or \"polling\")"
             )),
         }
     }
 }
 
 fn simulate(program: &Program, ranks: usize) -> Result<limba_mpisim::SimOutput, String> {
-    simulate_with(program, ranks, Engine::Event, None, None)
+    simulate_with(program, ranks, Engine::Event, None, None, 1)
 }
 
 fn simulate_with(
@@ -105,10 +109,12 @@ fn simulate_with(
     engine: Engine,
     faults: Option<&FaultPlan>,
     balance: Option<&BalancePlan>,
+    jobs: usize,
 ) -> Result<limba_mpisim::SimOutput, String> {
     let sim = Simulator::new(MachineConfig::new(ranks));
     match engine {
         Engine::Event => sim.run_configured(program, faults, balance, None),
+        Engine::EventPar => sim.run_parallel_configured(program, faults, balance, None, jobs),
         Engine::Polling => sim.run_polling_configured(program, faults, balance, None),
     }
     .map_err(|e| e.to_string())
@@ -125,7 +131,7 @@ pub(crate) fn load_fault_plan(
     engine: Engine,
 ) -> Result<FaultPlan, String> {
     let plan = if let Some(name) = spec.strip_prefix("preset:") {
-        let horizon = simulate_with(program, ranks, engine, None, None)?
+        let horizon = simulate_with(program, ranks, engine, None, None, 1)?
             .stats
             .makespan;
         limba_workloads::faults::preset(name, ranks, horizon).ok_or_else(|| {
@@ -564,7 +570,14 @@ pub fn run(argv: &[String]) -> Result<crate::CmdOutcome, String> {
         return Ok(Supervision::outcome_of(&manifest));
     }
 
-    let output = simulate_with(&program, ranks, engine, faults.as_ref(), balance.as_ref())?;
+    let output = simulate_with(
+        &program,
+        ranks,
+        engine,
+        faults.as_ref(),
+        balance.as_ref(),
+        jobs,
+    )?;
     write_trace(&output.trace, &out, &format)?;
     println!(
         "simulated {workload} on {ranks} ranks: makespan {:.4} s, {} messages, {} bytes",
@@ -779,13 +792,19 @@ mod tests {
     #[test]
     fn engine_flag_parses_and_engines_agree() {
         assert_eq!(Engine::parse("event").unwrap(), Engine::Event);
+        assert_eq!(Engine::parse("event-par").unwrap(), Engine::EventPar);
         assert_eq!(Engine::parse("polling").unwrap(), Engine::Polling);
         assert!(Engine::parse("turbo").is_err());
 
         let p = build_program("cfd", 6, Some(1), Imbalance::LinearSkew { spread: 0.3 }, 7).unwrap();
-        let event = simulate_with(&p, 6, Engine::Event, None, None).unwrap();
-        let polling = simulate_with(&p, 6, Engine::Polling, None, None).unwrap();
+        let event = simulate_with(&p, 6, Engine::Event, None, None, 1).unwrap();
+        let polling = simulate_with(&p, 6, Engine::Polling, None, None, 1).unwrap();
         assert_eq!(event.trace, polling.trace);
+        for jobs in [1, 2, 4] {
+            let par = simulate_with(&p, 6, Engine::EventPar, None, None, jobs).unwrap();
+            assert_eq!(par.trace, event.trace, "jobs={jobs}");
+            assert_eq!(par.stats, event.stats, "jobs={jobs}");
+        }
     }
 
     #[test]
@@ -812,13 +831,16 @@ mod tests {
         assert!(load_fault_plan(path.to_str().unwrap(), &p, 4, Engine::Event).is_err());
         std::fs::remove_file(&path).ok();
 
-        // Both engines honor the same plan identically.
+        // All three engines honor the same plan identically.
         let plan = load_fault_plan("preset:chaos", &p, 4, Engine::Event).unwrap();
-        let event = simulate_with(&p, 4, Engine::Event, Some(&plan), None).unwrap();
-        let polling = simulate_with(&p, 4, Engine::Polling, Some(&plan), None).unwrap();
+        let event = simulate_with(&p, 4, Engine::Event, Some(&plan), None, 1).unwrap();
+        let polling = simulate_with(&p, 4, Engine::Polling, Some(&plan), None, 1).unwrap();
+        let par = simulate_with(&p, 4, Engine::EventPar, Some(&plan), None, 4).unwrap();
         assert_eq!(event.trace, polling.trace);
         assert_eq!(event.stats, polling.stats);
         assert_eq!(event.faults, polling.faults);
+        assert_eq!(par.trace, event.trace);
+        assert_eq!(par.faults, event.faults);
         assert!(!event.faults.is_clean());
         assert!(describe_faults(&event.faults).contains("crashed"));
     }
@@ -849,13 +871,16 @@ mod tests {
         // Both engines honor the same plan identically, and balancing
         // improves an imbalanced run.
         let p = build_program("cfd", 6, Some(2), Imbalance::LinearSkew { spread: 0.4 }, 7).unwrap();
-        let base = simulate_with(&p, 6, Engine::Event, None, None).unwrap();
+        let base = simulate_with(&p, 6, Engine::Event, None, None, 1).unwrap();
         let plan = load_balance_plan("preset:stealing").unwrap();
-        let event = simulate_with(&p, 6, Engine::Event, None, Some(&plan)).unwrap();
-        let polling = simulate_with(&p, 6, Engine::Polling, None, Some(&plan)).unwrap();
+        let event = simulate_with(&p, 6, Engine::Event, None, Some(&plan), 1).unwrap();
+        let polling = simulate_with(&p, 6, Engine::Polling, None, Some(&plan), 1).unwrap();
+        let par = simulate_with(&p, 6, Engine::EventPar, None, Some(&plan), 4).unwrap();
         assert_eq!(event.trace, polling.trace);
         assert_eq!(event.stats, polling.stats);
         assert_eq!(event.balance, polling.balance);
+        assert_eq!(par.trace, event.trace);
+        assert_eq!(par.balance, event.balance);
         assert!(event.balance.migrations > 0);
         assert!(event.stats.makespan < base.stats.makespan);
         assert!(describe_balance(&event.balance).contains("migrations"));

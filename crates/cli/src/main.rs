@@ -57,16 +57,18 @@ OPTIONS (simulate):
   --seed N               RNG seed for stochastic injectors (default 0)
   --replications N       run N independent replications with SplitMix64-derived
                          seeds and print summary statistics (default 1)
-  --jobs N               worker threads for --replications; results are
-                         byte-identical for every N, 0 = all CPUs (default 1)
+  --jobs N               worker threads for --replications and for
+                         --engine event-par; results are byte-identical
+                         for every N, 0 = all CPUs (default 1)
   --faults SPEC          inject a deterministic fault plan (TOML file,
                          preset:<name>, or list to print the presets)
   --balance SPEC         rebalance load dynamically mid-run (TOML file,
                          preset:<name>, or list to print the policies)
   --out PATH             tracefile path (default trace.limba)
   --format FMT           binary | text (default binary)
-  --engine ENGINE        event | polling — execution core; both produce
-                         bit-identical traces (default event)
+  --engine ENGINE        event | event-par | polling — execution core; all
+                         produce bit-identical traces (default event;
+                         event-par shards rank execution over --jobs threads)
 
 OPTIONS (analyze):
   --dispersion KIND      euclidean | variance | cv | mad | max-excess |
@@ -90,7 +92,8 @@ OPTIONS (advise):
   --jobs N               worker threads; output is byte-identical for every N
   --faults SPEC          verify under a fault plan (TOML file, preset:<name>,
                          or list to print the presets)
-  --engine ENGINE        event | polling — advice is identical under both
+  --engine ENGINE        event | event-par | polling — advice is identical
+                         under all three (event-par uses --jobs)
   --json                 machine-readable digest instead of the text report
 
 OPTIONS (timeline):

@@ -19,11 +19,13 @@
 //! (see DESIGN.md, "Simulator scheduling", for the argument; the
 //! equivalence harness under `tests/` locks it empirically).
 
+use std::cell::Cell;
 use std::collections::VecDeque;
 
 use limba_model::ActivityKind;
 use limba_trace::{Event, ReducedTrace, SalvagedTrace, Trace, TraceBuilder};
 
+use crate::arena::{ChannelIndex, HandleArena, SparseMap};
 use crate::balance::{BalancePlan, BalanceReport, BalanceState, HostView};
 use crate::collectives::collective_cost;
 use crate::faults::{FaultPlan, FaultReport, FaultState};
@@ -218,10 +220,26 @@ enum Outstanding {
     RecvPending { src: usize, posted: f64 },
 }
 
-#[derive(Debug, Clone, Default)]
-struct RankState {
+/// Per-rank execution state, one flat entry per rank in a single
+/// allocation. `pc` and `time` are what the scheduler reads and writes
+/// on every op; the wakeup index ([`BlockedOn`]) and the blocking-
+/// boundary bookkeeping ride in the same entry because every consumer
+/// of those fields — checking whether a message's receiver is blocked,
+/// resuming it, registering a rendezvous — is about to touch
+/// `pc`/`time` on the same cache line anyway. Outstanding nonblocking
+/// requests are pooled separately in a free-listed [`HandleArena`].
+/// Total footprint is O(ranks + outstanding requests).
+#[derive(Debug, Clone, Copy)]
+struct RankHot {
     pc: usize,
     time: f64,
+    /// The rank's planned fail-stop time, copied out of the fault plan
+    /// at construction (`INFINITY` when none is scheduled), so the
+    /// per-op crash boundary is one clock compare against a field on
+    /// the line the scheduler already holds.
+    crash_at: f64,
+    /// What this rank is waiting on; `NOTHING` while runnable or done.
+    blocked: BlockedOn,
     /// Set when a Recv was reached but could not complete (posted time).
     recv_posted: Option<f64>,
     /// Set when a Wait on a pending receive was reached but could not
@@ -229,30 +247,58 @@ struct RankState {
     wait_started: Option<f64>,
     /// True when the current Send op is already queued as a rendezvous.
     send_registered: bool,
-    /// Set when waiting inside a collective (arrival time).
-    collective_arrived: Option<f64>,
-    /// Number of collective calls completed so far.
-    collective_counter: usize,
-    /// Outstanding nonblocking requests by handle. A flat vector: ranks
-    /// keep a handful of requests in flight, so linear scans beat
-    /// hashing on the hot path.
-    handles: Vec<(u32, Outstanding)>,
+}
+
+impl Default for RankHot {
+    fn default() -> Self {
+        RankHot {
+            pc: 0,
+            time: 0.0,
+            crash_at: f64::INFINITY,
+            blocked: BlockedOn::NOTHING,
+            recv_posted: None,
+            wait_started: None,
+            send_registered: false,
+        }
+    }
+}
+
+#[derive(Debug)]
+struct RankArena {
+    hot: Vec<RankHot>,
 }
 
 /// What a blocked rank is waiting on — the wakeup index of the
-/// event-driven scheduler. A rank blocks on at most one thing at a
-/// time, so a per-rank slot doubles as the per-resource waiter list:
-/// only `dst` can ever wait on channel `(src, dst)`.
+/// event-driven scheduler, packed into four bytes. A rank blocks on at
+/// most one thing at a time, so a per-rank slot doubles as the
+/// per-resource waiter list; and only `dst` can ever wait on channel
+/// `(src, dst)`, so the sender index alone identifies the channel. The
+/// sentinels live above [`crate::MAX_PROCESSORS`], which caps real rank
+/// indices far below them. Four bytes keep the slot inside
+/// [`RankHot`]'s tail padding, so tracking it costs no memory at all.
 #[derive(Debug, Clone, Copy, PartialEq)]
-enum BlockedOn {
+struct BlockedOn(u32);
+
+impl Default for BlockedOn {
+    fn default() -> Self {
+        BlockedOn::NOTHING
+    }
+}
+
+impl BlockedOn {
     /// Runnable or finished: not waiting on anything.
-    Nothing,
-    /// Waiting for a message on this dense channel index.
-    Channel(usize),
+    const NOTHING: BlockedOn = BlockedOn(u32::MAX);
     /// A registered rendezvous send waiting for the receiver to match.
-    Match,
+    const MATCH: BlockedOn = BlockedOn(u32::MAX - 1);
     /// Waiting inside the open collective instance.
-    Collective,
+    const COLLECTIVE: BlockedOn = BlockedOn(u32::MAX - 2);
+    /// Recorded as fail-stopped: never woken, never scheduled again.
+    const CRASHED: BlockedOn = BlockedOn(u32::MAX - 3);
+
+    /// Waiting for a message from `src`.
+    fn channel(src: usize) -> BlockedOn {
+        BlockedOn(src as u32)
+    }
 }
 
 /// Outcome of attempting one op of one rank.
@@ -276,63 +322,181 @@ enum StepOutcome {
 #[derive(Debug)]
 struct CollectiveSlot {
     active: bool,
-    index: usize,
     kind: CollectiveKind,
     max_bytes: u64,
+    /// Arrival time of each rank in the open instance; `arrivals[r]`
+    /// doubles as the per-rank "already arrived" flag, so re-attempts
+    /// stay idempotent without separate per-rank state.
     arrivals: Vec<Option<f64>>,
     arrived: usize,
+    /// Running max of the arrival times — the instance's release time
+    /// is ready when the last rank arrives, with no fold over
+    /// `arrivals`. Arrival times are non-negative finite floats, so the
+    /// running max is order-independent and bit-equal to the fold.
+    ready: f64,
+    /// Instances completed so far. Collectives complete atomically for
+    /// every rank, so one global counter stands in for the per-rank
+    /// counters (every rank has completed exactly this many), and
+    /// doubles as the instance index in mismatch errors.
+    completed: usize,
 }
 
-/// A fixed-universe set of rank indices backed by `u64` words, drained
-/// in ascending order with `trailing_zeros` scans. Insert and remove
-/// are O(1) and idempotent; advancing past a run of absent ranks costs
-/// one word read per 64 ranks, where the polling engine pays a full
-/// re-attempt per blocked rank.
+/// The scheduler's two rank rounds — the one being drained and the one
+/// being filled — as a pair of fixed-universe bitsets over `u64` words
+/// in a *single* allocation. Insert and remove are O(1) and
+/// idempotent; draining in ascending order costs one `trailing_zeros`
+/// scan per word, so advancing past a run of absent ranks reads one
+/// word per 64 ranks where the polling engine pays a full re-attempt
+/// per blocked rank. Round turnover flips a word offset instead of
+/// swapping two sets.
 #[derive(Debug)]
-struct RankSet {
+struct Rounds {
+    /// `2 * per_round` bit-words: the current round's words start at
+    /// `cur`, the next round's at `per_round - cur`.
     words: Vec<u64>,
-    len: usize,
+    /// Words per round.
+    per_round: usize,
+    /// Word offset of the current round — `0` or `per_round`, flipped
+    /// at each turnover.
+    cur: usize,
+    len_current: usize,
+    len_next: usize,
 }
 
-impl RankSet {
-    fn new(n: usize) -> Self {
-        RankSet {
-            words: vec![0; n.div_ceil(64)],
-            len: 0,
+impl Rounds {
+    /// Builds the round pair for `n` ranks around a (possibly reused)
+    /// word buffer, zeroing exactly the words a fresh pair would hold.
+    fn with_words(mut words: Vec<u64>, n: usize) -> Self {
+        let per_round = n.div_ceil(64);
+        words.clear();
+        words.resize(2 * per_round, 0);
+        Rounds {
+            words,
+            per_round,
+            cur: 0,
+            len_current: 0,
+            len_next: 0,
         }
     }
 
-    fn insert(&mut self, i: usize) {
-        let (w, bit) = (i / 64, 1u64 << (i % 64));
-        if self.words[w] & bit == 0 {
-            self.words[w] |= bit;
-            self.len += 1;
+    /// Releases the word buffer for the next run to reuse.
+    fn into_words(self) -> Vec<u64> {
+        self.words
+    }
+
+    #[inline]
+    fn next_base(&self) -> usize {
+        self.per_round - self.cur
+    }
+
+    #[inline]
+    fn insert_at(words: &mut [u64], base: usize, i: usize) -> bool {
+        let (w, bit) = (base + i / 64, 1u64 << (i % 64));
+        let new = words[w] & bit == 0;
+        words[w] |= bit;
+        new
+    }
+
+    fn insert_current(&mut self, i: usize) {
+        if Self::insert_at(&mut self.words, self.cur, i) {
+            self.len_current += 1;
         }
     }
 
-    fn is_empty(&self) -> bool {
-        self.len == 0
+    fn insert_next(&mut self, i: usize) {
+        let base = self.next_base();
+        if Self::insert_at(&mut self.words, base, i) {
+            self.len_next += 1;
+        }
     }
 
-    /// Removes and returns the smallest member at or after `from`.
-    fn pop_at_or_after(&mut self, from: usize) -> Option<usize> {
-        if self.len == 0 {
+    /// Inserts every index in `[lo, hi)` into one round with whole-word
+    /// masks — the bulk release path for collective completions, where
+    /// all other ranks unblock at once and bit-at-a-time insertion
+    /// would rescan the set n times. `into_next` picks the round.
+    fn insert_range(&mut self, into_next: bool, lo: usize, hi: usize) {
+        if lo >= hi {
+            return;
+        }
+        let base = if into_next {
+            self.next_base()
+        } else {
+            self.cur
+        };
+        let len = if into_next {
+            &mut self.len_next
+        } else {
+            &mut self.len_current
+        };
+        let (first, last) = (lo / 64, (hi - 1) / 64);
+        for w in first..=last {
+            let mask_lo = if w == first { !0u64 << (lo % 64) } else { !0 };
+            let mask_hi = match hi - w * 64 {
+                up if up >= 64 => !0,
+                up => (1u64 << up) - 1,
+            };
+            let mask = mask_lo & mask_hi;
+            let word = self.words[base + w];
+            *len += (mask & !word).count_ones() as usize;
+            self.words[base + w] = word | mask;
+        }
+    }
+
+    fn current_is_empty(&self) -> bool {
+        self.len_current == 0
+    }
+
+    fn next_is_empty(&self) -> bool {
+        self.len_next == 0
+    }
+
+    /// Makes the (filled) next round current. Only called when the
+    /// current round has drained, so the flip just moves the length.
+    fn turnover(&mut self) {
+        debug_assert_eq!(self.len_current, 0);
+        self.cur = self.per_round - self.cur;
+        self.len_current = self.len_next;
+        self.len_next = 0;
+    }
+
+    /// The current round's members in ascending order, without removing
+    /// them. The parallel scheduler snapshots each round's runnable set
+    /// this way before fanning speculation out over worker threads.
+    fn current_members(&self) -> Vec<usize> {
+        let mut out = Vec::with_capacity(self.len_current);
+        let words = &self.words[self.cur..self.cur + self.per_round];
+        for (w, &word) in words.iter().enumerate() {
+            let mut bits = word;
+            while bits != 0 {
+                let bit = bits.trailing_zeros() as usize;
+                out.push(w * 64 + bit);
+                bits &= bits - 1;
+            }
+        }
+        out
+    }
+
+    /// Removes and returns the current round's smallest member at or
+    /// after `from`.
+    fn pop_current_at_or_after(&mut self, from: usize) -> Option<usize> {
+        if self.len_current == 0 {
             return None;
         }
+        let words = &mut self.words[self.cur..self.cur + self.per_round];
         let mut w = from / 64;
-        let mut word = match self.words.get(w) {
+        let mut word = match words.get(w) {
             Some(&word) => word & (!0u64 << (from % 64)),
             None => return None,
         };
         loop {
             if word != 0 {
                 let bit = word.trailing_zeros() as usize;
-                self.words[w] &= !(1u64 << bit);
-                self.len -= 1;
+                words[w] &= !(1u64 << bit);
+                self.len_current -= 1;
                 return Some(w * 64 + bit);
             }
             w += 1;
-            word = match self.words.get(w) {
+            word = match words.get(w) {
                 Some(&word) => word,
                 None => return None,
             };
@@ -340,38 +504,136 @@ impl RankSet {
     }
 }
 
-/// The executor: rank states, flattened hot-path structures, and the
-/// per-op semantics the event-driven scheduler drives.
+/// A speculated run of purely-local ops, produced by a worker thread in
+/// the parallel scheduler and replayed by the merge loop.
+struct LocalPrefix {
+    rank: usize,
+    /// Snapshot the speculation started from. The merge loop applies
+    /// the prefix only when the live state still matches — a validation
+    /// that makes the fast path self-checking rather than trusted.
+    pc0: usize,
+    time0: f64,
+    /// Program counter and clock after the prefix.
+    pc: usize,
+    time: f64,
+    /// Trace events of the prefix, in program order.
+    events: Vec<Event>,
+}
+
+/// Speculatively executes the longest prefix of purely-local ops of
+/// `rank` starting from `(pc0, time0)`, against immutable state only.
+///
+/// *Local* means the op reads nothing another rank can influence and
+/// writes nothing another rank can observe: `Enter`/`Leave` always
+/// (they read the rank's own clock and emit its own events), `Compute`
+/// when no balance plan is attached (balancing may migrate work across
+/// ranks at compute boundaries, which is inherently cross-rank).
+/// Message ops, collectives, and nonblocking completions all touch
+/// shared channels or the collective slot, so speculation stops there
+/// and leaves them to the sequential merge loop.
+///
+/// Fault plans stay exact: `compute_end` is a pure function of the
+/// plan, and speculation stops *before* any op boundary where the crash
+/// check would fire, so recording the crash (a mutation) happens in the
+/// merge loop exactly where the sequential engine records it.
+///
+/// Returns `None` when the first op is already non-local.
+fn speculate_local(
+    program: &Program,
+    config: &MachineConfig,
+    faults: Option<&FaultState>,
+    balance_active: bool,
+    rank: usize,
+    pc0: usize,
+    time0: f64,
+) -> Option<LocalPrefix> {
+    let ops = program.ops(rank);
+    let mut pc = pc0;
+    let mut time = time0;
+    let mut events = Vec::new();
+    while pc < ops.len() {
+        if let Some(fs) = faults {
+            if fs.should_crash(rank, time) {
+                break;
+            }
+        }
+        match ops[pc] {
+            Op::Enter { region } => {
+                events.push(Event::enter(time, rank as u32, region));
+            }
+            Op::Leave { region } => {
+                events.push(Event::leave(time, rank as u32, region));
+            }
+            Op::Compute { seconds } if !balance_active => {
+                let duration = seconds / config.cpu_speed(rank);
+                time = match faults {
+                    None => time + duration,
+                    Some(fs) => fs.compute_end(rank, time, duration),
+                };
+            }
+            _ => break,
+        }
+        pc += 1;
+    }
+    if pc == pc0 {
+        return None;
+    }
+    Some(LocalPrefix {
+        rank,
+        pc0,
+        time0,
+        pc,
+        time,
+        events,
+    })
+}
+
+/// The executor: rank arenas, flattened hot-path structures, and the
+/// per-op semantics the event-driven scheduler drives. Every structure
+/// here is sized by what the run actually touches — ranks, live
+/// channels, outstanding requests — never by `ranks²`, which is what
+/// lets a 64k-rank nearest-neighbour program fit in a few megabytes.
 struct Exec<'a> {
     config: &'a MachineConfig,
     program: &'a Program,
     n: usize,
-    states: Vec<RankState>,
-    /// In-flight messages, dense-indexed `src * n + dst` through a
-    /// two-level scheme: `channel_index[ch]` holds `slot + 1` into the
-    /// compact `channel_pool` (0 = channel never used). The index is a
-    /// zero-filled `Vec<u32>` — a calloc'd 4·n² bytes the allocator
-    /// hands back without touching pages — so a 256-rank run does not
-    /// pay to construct 65 536 deques for the few hundred channels its
-    /// communication pattern actually uses.
-    channel_index: Vec<u32>,
+    /// Per-rank execution state, struct-of-arrays (see [`RankArena`]).
+    arena: RankArena,
+    /// Outstanding nonblocking requests of all ranks, pooled.
+    handles: HandleArena<Outstanding>,
+    /// Routing table: dense channel key `src * n + dst` → slot in
+    /// `channel_pool`. Adaptive: a direct table (bounded at 256 KiB)
+    /// for small machines, an open-addressed sparse map above — only
+    /// channels that carry a message occupy a slot there, replacing
+    /// the dense `Vec<u32>` index whose 4·n² bytes made 100k-rank
+    /// machines unrepresentable. Lookups are pure functions of the
+    /// key, so routing decisions cannot diverge between engines.
+    channels: ChannelIndex,
     channel_pool: Vec<VecDeque<MsgInFlight>>,
     coll: CollectiveSlot,
+    /// Memoized collective costs keyed `(kind, max_bytes)`. The
+    /// participant set is always all ranks and the config is fixed per
+    /// run, so the full key fits in the pair; programs reuse a handful
+    /// of distinct collective shapes across thousands of calls, and a
+    /// linear scan of this short list beats recomputing the cost model.
+    coll_costs: Vec<(CollectiveKind, u64, f64)>,
     builder: TraceBuilder,
     stats: SimStats,
-    /// Wakeup index: what each rank is blocked on.
-    blocked: Vec<BlockedOn>,
-    /// Ready ranks of the running round, drained in ascending order.
-    current: RankSet,
-    /// Ranks woken for the next round (woken by a rank at or after
-    /// their own index); swapped into `current` at round turnover.
-    next_round: RankSet,
-    /// Dense per-link `(latency, bandwidth)`, `src * n + dst`; only
-    /// materialized when the machine has per-link overrides.
-    links: Option<Vec<(f64, f64)>>,
+    /// The round pair: ready ranks of the running round (drained in
+    /// ascending order) and ranks woken for the next one (woken by a
+    /// rank at or after their own index), flipped at round turnover.
+    rounds: Rounds,
+    /// Lazily-filled per-link `(latency, bandwidth)` cache, keyed like
+    /// `channels`; `Some` only when the machine has per-link overrides
+    /// (the dense n² table it replaces was materialized up front).
+    link_cache: Option<SparseMap<(f64, f64)>>,
     /// Active fault injection, `None` for unfaulted runs (and for empty
     /// plans, so the no-fault arithmetic stays bit-exact).
     faults: Option<FaultState>,
+    /// Whether the fault plan schedules any crash at all; hoists the
+    /// per-op and per-wakeup crash checks off the hot path of runs
+    /// whose plans only slow or drop (the common chaos configuration).
+    crash_possible: bool,
     /// Active dynamic balancing, `None` for unbalanced runs (the
     /// default compute arithmetic stays bit-exact).
     balance: Option<BalanceState>,
@@ -380,6 +642,30 @@ struct Exec<'a> {
     budget: Option<&'a RunBudget>,
     /// Program ops executed so far; drives the budget checks.
     ops_done: u64,
+}
+
+/// Arena buffers a finished run hands back for the next run on the
+/// same thread to reuse. Reuse changes only where the buffers' memory
+/// comes from, never what they hold: every field is restored to its
+/// freshly-constructed state (empty, or default-filled to the new rank
+/// count) before a run starts, so a scratch-backed run is bit-identical
+/// to a cold one — the engine-triple differential harness exercises
+/// exactly this, since it runs all three engines back to back on one
+/// thread. What this buys is the setup half of short runs: per-rank
+/// state, round words, routing tables, and handle lists arrive
+/// pre-sized, so a truncated 16-rank fault run pays no allocator round
+/// trips at all. Retained footprint is O(ranks + live channels +
+/// outstanding ops) of the largest run seen on the thread.
+struct Scratch {
+    hot: Vec<RankHot>,
+    round_words: Vec<u64>,
+    channels: ChannelIndex,
+    handles: HandleArena<Outstanding>,
+    arrivals: Vec<Option<f64>>,
+}
+
+thread_local! {
+    static SCRATCH: Cell<Option<Box<Scratch>>> = const { Cell::new(None) };
 }
 
 impl<'a> Exec<'a> {
@@ -413,23 +699,57 @@ impl<'a> Exec<'a> {
             None => None,
         };
 
+        let crash_possible = faults.as_ref().is_some_and(|f| f.crash_planned());
+
+        let (mut hot, round_words, channels, handles, arrivals) = match SCRATCH.with(|c| c.take()) {
+            Some(s) => {
+                let Scratch {
+                    hot,
+                    round_words,
+                    mut channels,
+                    mut handles,
+                    mut arrivals,
+                } = *s;
+                channels.reset(n);
+                handles.clear();
+                arrivals.clear();
+                (hot, round_words, channels, handles, arrivals)
+            }
+            None => (
+                Vec::new(),
+                Vec::new(),
+                ChannelIndex::new(n),
+                HandleArena::new(),
+                Vec::new(),
+            ),
+        };
+        hot.clear();
+        hot.resize(n, RankHot::default());
+        let mut arena = RankArena { hot };
+        if crash_possible {
+            let fs = faults.as_ref().expect("crash_possible implies faults");
+            for (rank, hot) in arena.hot.iter_mut().enumerate() {
+                hot.crash_at = fs.crash_time(rank);
+            }
+        }
+        let rounds = Rounds::with_words(round_words, n);
+
         let mut builder = TraceBuilder::new(n);
-        builder.reserve_events(program.event_capacity_hint());
+        // A planned crash truncates the run at a point the hint cannot
+        // know, so the full-run reservation would be mostly dead weight
+        // and even a small floor is a net loss on heavily truncated
+        // runs; let the buffer grow on demand exactly like the polling
+        // reference does (capacity never reaches the output, only
+        // layout does).
+        if !crash_possible {
+            builder.reserve_events(program.event_capacity_hint());
+        }
         for name in program.region_names() {
             builder.add_region(name.clone());
         }
 
-        let links = if config.has_link_overrides() {
-            let mut table = Vec::with_capacity(n * n);
-            for src in 0..n {
-                for dst in 0..n {
-                    table.push((
-                        config.link_latency(src, dst),
-                        config.link_bandwidth(src, dst),
-                    ));
-                }
-            }
-            Some(table)
+        let link_cache = if config.has_link_overrides() {
+            Some(SparseMap::new())
         } else {
             None
         };
@@ -438,17 +758,22 @@ impl<'a> Exec<'a> {
             config,
             program,
             n,
-            states: vec![RankState::default(); n],
-            channel_index: vec![0; n * n],
+            arena,
+            handles,
+            channels,
             channel_pool: Vec::new(),
             coll: CollectiveSlot {
                 active: false,
-                index: 0,
                 kind: CollectiveKind::Barrier,
                 max_bytes: 0,
-                arrivals: vec![None; n],
+                // Sized lazily at the first instance: purely p2p
+                // programs never pay the per-rank slot.
+                arrivals,
                 arrived: 0,
+                ready: f64::NEG_INFINITY,
+                completed: 0,
             },
+            coll_costs: Vec::new(),
             builder,
             stats: SimStats {
                 rank_end_times: vec![0.0; n],
@@ -457,30 +782,35 @@ impl<'a> Exec<'a> {
                 bytes: 0,
                 collectives: 0,
             },
-            blocked: vec![BlockedOn::Nothing; n],
-            current: RankSet::new(n),
-            next_round: RankSet::new(n),
-            links,
+            rounds,
+            link_cache,
             faults,
+            crash_possible,
             balance,
             budget: None,
             ops_done: 0,
         })
     }
 
-    fn link_latency(&self, src: usize, dst: usize) -> f64 {
-        match &self.links {
-            Some(table) => table[src * self.n + dst].0,
-            None => self.config.latency(),
-        }
-    }
-
-    fn link_transfer_time(&self, src: usize, dst: usize, bytes: u64) -> f64 {
-        let bandwidth = match &self.links {
-            Some(table) => table[src * self.n + dst].1,
-            None => self.config.bandwidth(),
+    /// Wire latency and bandwidth of the `src → dst` link. Configs
+    /// without per-link overrides read the two machine-wide constants;
+    /// configs with overrides fill a sparse per-link cache on first use
+    /// (the values are pure functions of the config, so caching cannot
+    /// change them).
+    fn link_costs(&mut self, src: usize, dst: usize) -> (f64, f64) {
+        let Some(cache) = &mut self.link_cache else {
+            return (self.config.latency(), self.config.bandwidth());
         };
-        bytes as f64 / bandwidth
+        let key = (src * self.n + dst) as u64;
+        if let Some(costs) = cache.get(key) {
+            return costs;
+        }
+        let costs = (
+            self.config.link_latency(src, dst),
+            self.config.link_bandwidth(src, dst),
+        );
+        cache.insert(key, costs);
+        costs
     }
 
     /// Transfer time, wire latency, and loss/retry delay of the message
@@ -488,12 +818,26 @@ impl<'a> Exec<'a> {
     /// when a plan is active (consuming one loss-sequence number), the
     /// plain link costs otherwise.
     fn message_costs(&mut self, src: usize, dst: usize, at: f64, bytes: u64) -> (f64, f64, f64) {
-        let transfer = self.link_transfer_time(src, dst, bytes);
-        let latency = self.link_latency(src, dst);
+        let (latency, bandwidth) = self.link_costs(src, dst);
+        let transfer = bytes as f64 / bandwidth;
         match &mut self.faults {
             None => (transfer, latency, 0.0),
             Some(fs) => fs.message_costs(src, dst, at, transfer, latency),
         }
+    }
+
+    /// The cost of a `kind` collective over `max_bytes`, memoized in
+    /// [`Exec::coll_costs`]. The participant count and machine are
+    /// fixed for the run, so `(kind, max_bytes)` is the complete key.
+    fn collective_cost_cached(&mut self, kind: CollectiveKind, max_bytes: u64) -> f64 {
+        for &(k, b, cost) in &self.coll_costs {
+            if k == kind && b == max_bytes {
+                return cost;
+            }
+        }
+        let cost = collective_cost(kind, self.program.ranks(), max_bytes, self.config);
+        self.coll_costs.push((kind, max_bytes, cost));
+        cost
     }
 
     /// Marks `w` runnable and enqueues it. A rank woken by `running`
@@ -501,36 +845,41 @@ impl<'a> Exec<'a> {
     /// scan (`w > running` — the polling scan would have reached it
     /// later this round) and in the next round otherwise.
     fn wake(&mut self, w: usize, running: usize) {
-        self.blocked[w] = BlockedOn::Nothing;
+        debug_assert_ne!(
+            self.arena.hot[w].blocked,
+            BlockedOn::CRASHED,
+            "crashed ranks match no wake source"
+        );
+        self.arena.hot[w].blocked = BlockedOn::NOTHING;
         if w > running {
-            self.current.insert(w);
+            self.rounds.insert_current(w);
         } else {
             // Ranks run in ascending order, so every later waker of `w`
             // this round is also ≥ w: once parked for the next round, a
             // rank stays there — exactly when the polling scan would
             // reach it again.
-            self.next_round.insert(w);
+            self.rounds.insert_next(w);
         }
     }
 
     /// Head of the deque for dense channel key `ch`, if any.
     fn channel_front(&self, ch: usize) -> Option<MsgInFlight> {
-        match self.channel_index[ch] {
-            0 => None,
-            idx => self.channel_pool[idx as usize - 1].front().copied(),
-        }
+        self.channels
+            .get(ch)
+            .and_then(|slot| self.channel_pool[slot as usize].front().copied())
     }
 
     /// The deque for dense channel key `ch`, allocating its pool slot on
     /// first use.
     fn channel_mut(&mut self, ch: usize) -> &mut VecDeque<MsgInFlight> {
-        let slot = match self.channel_index[ch] {
-            0 => {
+        let slot = match self.channels.get(ch) {
+            Some(slot) => slot as usize,
+            None => {
+                let slot = self.channel_pool.len();
                 self.channel_pool.push(VecDeque::new());
-                self.channel_index[ch] = self.channel_pool.len() as u32;
-                self.channel_pool.len() - 1
+                self.channels.insert(ch, slot as u32);
+                slot
             }
-            idx => idx as usize - 1,
         };
         &mut self.channel_pool[slot]
     }
@@ -540,27 +889,20 @@ impl<'a> Exec<'a> {
     fn push_msg(&mut self, src: usize, dst: usize, msg: MsgInFlight, running: usize) {
         let ch = src * self.n + dst;
         self.channel_mut(ch).push_back(msg);
-        if self.blocked[dst] == BlockedOn::Channel(ch) {
+        if self.arena.hot[dst].blocked == BlockedOn::channel(src) {
             self.wake(dst, running);
         }
     }
 
     fn handle_get(&self, rank: usize, handle: u32) -> Outstanding {
-        self.states[rank]
-            .handles
-            .iter()
-            .find(|(h, _)| *h == handle)
-            .map(|(_, o)| *o)
+        self.handles
+            .get(rank, handle)
             .expect("validated: handle outstanding")
     }
 
     fn handle_remove(&mut self, rank: usize, handle: u32) {
-        let handles = &mut self.states[rank].handles;
-        let i = handles
-            .iter()
-            .position(|(h, _)| *h == handle)
-            .expect("validated: handle outstanding");
-        handles.swap_remove(i);
+        let removed = self.handles.remove(rank, handle);
+        debug_assert!(removed, "validated: handle outstanding");
     }
 
     /// Capped report of every rank that cannot finish: the first
@@ -569,9 +911,72 @@ impl<'a> Exec<'a> {
         format_deadlock_detail(
             self.program,
             (0..self.n)
-                .filter(|&r| self.states[r].pc < self.program.ops(r).len())
-                .map(|r| (r, self.states[r].pc)),
+                .filter(|&r| self.arena.hot[r].pc < self.program.ops(r).len())
+                .map(|r| (r, self.arena.hot[r].pc)),
         )
+    }
+
+    /// Executes `rank`'s maximal prefix of purely-local ops — compute,
+    /// region enter/leave — with the program counter and local clock in
+    /// locals, writing the pair back once at the end. These ops touch
+    /// no shared state (the same classification [`speculate_local`]
+    /// uses for the parallel engine), so batching them cannot reorder
+    /// anything another rank observes; the arithmetic per op is
+    /// identical to [`Exec::try_op`]'s, keeping the output bit-exact.
+    /// Declines to run under balancing (which owns the compute
+    /// boundary) or a budget (which counts interruptions per op), and
+    /// stops short of a planned crash so `try_op` records it.
+    fn advance_local(&mut self, rank: usize) {
+        if self.balance.is_some() || self.budget.is_some() {
+            return;
+        }
+        let ops = self.program.ops(rank);
+        let RankHot {
+            mut pc,
+            mut time,
+            crash_at,
+            ..
+        } = self.arena.hot[rank];
+        let start = pc;
+        // Loop invariants, hoisted so the per-op kernel is one divide
+        // and one add off a register clock: the rank's speed is fixed
+        // for the run, and the fault handle never changes mid-streak.
+        // `crash_at` is `INFINITY` when no crash is planned, so the
+        // per-op boundary check is one always-false clock compare in
+        // the common case.
+        let speed = self.config.cpu_speed(rank);
+        let faults = self.faults.as_ref();
+        while let Some(&op) = ops.get(pc) {
+            if time >= crash_at {
+                break;
+            }
+            match op {
+                Op::Compute { seconds } => {
+                    let duration = seconds / speed;
+                    time = match faults {
+                        None => time + duration,
+                        Some(fs) => fs.compute_end(rank, time, duration),
+                    };
+                }
+                Op::Enter { region } => {
+                    self.builder.push(Event::enter(time, rank as u32, region));
+                }
+                Op::Leave { region } => {
+                    self.builder.push(Event::leave(time, rank as u32, region));
+                }
+                _ => break,
+            }
+            pc += 1;
+        }
+        if pc != start {
+            // Field writes, not a whole-struct store: a resumed rank
+            // may still carry blocking-boundary bookkeeping (a posted
+            // receive, a registered rendezvous) that must survive the
+            // streak.
+            let hot = &mut self.arena.hot[rank];
+            hot.pc = pc;
+            hot.time = time;
+        }
     }
 
     /// Attempts the current op of `rank`. Idempotent while blocked:
@@ -580,26 +985,36 @@ impl<'a> Exec<'a> {
     /// attempt only.
     fn try_op(&mut self, rank: usize) -> Result<StepOutcome, SimError> {
         let ops = self.program.ops(rank);
-        if self.states[rank].pc >= ops.len() {
+        if self.arena.hot[rank].pc >= ops.len() {
             return Ok(StepOutcome::Done);
         }
         // Crash check at the op boundary: a rank whose local clock has
         // reached its planned crash time executes nothing further. The
         // clock of a blocked rank is frozen, so the decision is stable
-        // across re-attempts and identical in both engines.
-        if let Some(fs) = &mut self.faults {
-            let now = self.states[rank].time;
-            if fs.should_crash(rank, now) {
-                fs.record_crash(rank, now);
+        // across re-attempts and identical in both engines. Plans that
+        // schedule no crash skip the lookup entirely (`crash_possible`
+        // is fixed at construction, so the guard cannot diverge).
+        if self.crash_possible {
+            let now = self.arena.hot[rank].time;
+            if now >= self.arena.hot[rank].crash_at {
+                if let Some(fs) = &mut self.faults {
+                    fs.record_crash(rank, now);
+                }
+                // Park the wakeup slot on the terminal sentinel: the
+                // scheduler drops the rank from any later round with
+                // one compare, and no wake path ever clears it (a
+                // crashed rank matches no channel and arrives at no
+                // collective).
+                self.arena.hot[rank].blocked = BlockedOn::CRASHED;
                 return Ok(StepOutcome::Crashed);
             }
         }
-        let op = ops[self.states[rank].pc];
+        let op = ops[self.arena.hot[rank].pc];
         let o = self.config.overhead();
         let n = self.n;
         match op {
             Op::Compute { seconds } => {
-                self.states[rank].time = match &mut self.balance {
+                self.arena.hot[rank].time = match &mut self.balance {
                     // Balancing owns the compute boundary: it may migrate
                     // part of the op and integrates the fault-adjusted
                     // timing itself (identically in both engines).
@@ -608,34 +1023,34 @@ impl<'a> Exec<'a> {
                             config: self.config,
                             faults: self.faults.as_ref(),
                         };
-                        bs.compute(rank, self.states[rank].time, seconds, &host)
+                        bs.compute(rank, self.arena.hot[rank].time, seconds, &host)
                     }
                     None => {
                         let duration = seconds / self.config.cpu_speed(rank);
                         match &self.faults {
-                            None => self.states[rank].time + duration,
-                            Some(fs) => fs.compute_end(rank, self.states[rank].time, duration),
+                            None => self.arena.hot[rank].time + duration,
+                            Some(fs) => fs.compute_end(rank, self.arena.hot[rank].time, duration),
                         }
                     }
                 };
-                self.states[rank].pc += 1;
+                self.arena.hot[rank].pc += 1;
                 Ok(StepOutcome::Ran)
             }
             Op::Enter { region } => {
                 self.builder
-                    .push(Event::enter(self.states[rank].time, rank as u32, region));
-                self.states[rank].pc += 1;
+                    .push(Event::enter(self.arena.hot[rank].time, rank as u32, region));
+                self.arena.hot[rank].pc += 1;
                 Ok(StepOutcome::Ran)
             }
             Op::Leave { region } => {
                 self.builder
-                    .push(Event::leave(self.states[rank].time, rank as u32, region));
-                self.states[rank].pc += 1;
+                    .push(Event::leave(self.arena.hot[rank].time, rank as u32, region));
+                self.arena.hot[rank].pc += 1;
                 Ok(StepOutcome::Ran)
             }
             Op::Send { dst, bytes } => {
                 if bytes <= self.config.eager_threshold() {
-                    let begin = self.states[rank].time;
+                    let begin = self.arena.hot[rank].time;
                     let (transfer, latency, loss_delay) =
                         self.message_costs(rank, dst, begin, bytes);
                     let end = begin + o + transfer;
@@ -655,30 +1070,30 @@ impl<'a> Exec<'a> {
                     // local injection, delaying only the arrival.
                     let arrival = end + latency + loss_delay;
                     self.push_msg(rank, dst, MsgInFlight::Eager { arrival, bytes }, rank);
-                    self.states[rank].time = end;
-                    self.states[rank].pc += 1;
+                    self.arena.hot[rank].time = end;
+                    self.arena.hot[rank].pc += 1;
                     self.stats.messages += 1;
                     self.stats.bytes += bytes;
                     Ok(StepOutcome::Ran)
                 } else {
-                    if !self.states[rank].send_registered {
+                    if !self.arena.hot[rank].send_registered {
                         let msg = MsgInFlight::Rendezvous {
-                            sender_ready: self.states[rank].time,
+                            sender_ready: self.arena.hot[rank].time,
                             bytes,
                         };
-                        self.states[rank].send_registered = true;
+                        self.arena.hot[rank].send_registered = true;
                         self.push_msg(rank, dst, msg, rank);
                     }
                     // Blocked until the receiver performs the match.
-                    Ok(StepOutcome::Blocked(BlockedOn::Match))
+                    Ok(StepOutcome::Blocked(BlockedOn::MATCH))
                 }
             }
             Op::Recv { src } => {
-                let now = self.states[rank].time;
-                let posted = *self.states[rank].recv_posted.get_or_insert(now);
+                let now = self.arena.hot[rank].time;
+                let posted = *self.arena.hot[rank].recv_posted.get_or_insert(now);
                 let ch = src * n + rank;
                 let Some(head) = self.channel_front(ch) else {
-                    return Ok(StepOutcome::Blocked(BlockedOn::Channel(ch)));
+                    return Ok(StepOutcome::Blocked(BlockedOn::channel(src)));
                 };
                 match head {
                     MsgInFlight::Eager { arrival, bytes } => {
@@ -696,9 +1111,9 @@ impl<'a> Exec<'a> {
                             rank as u32,
                             ActivityKind::PointToPoint,
                         ));
-                        self.states[rank].time = end;
-                        self.states[rank].recv_posted = None;
-                        self.states[rank].pc += 1;
+                        self.arena.hot[rank].time = end;
+                        self.arena.hot[rank].recv_posted = None;
+                        self.arena.hot[rank].pc += 1;
                         Ok(StepOutcome::Ran)
                     }
                     MsgInFlight::Rendezvous {
@@ -731,9 +1146,9 @@ impl<'a> Exec<'a> {
                             src as u32,
                             ActivityKind::PointToPoint,
                         ));
-                        self.states[src].time = sender_done;
-                        self.states[src].send_registered = false;
-                        self.states[src].pc += 1;
+                        self.arena.hot[src].time = sender_done;
+                        self.arena.hot[src].send_registered = false;
+                        self.arena.hot[src].pc += 1;
                         self.wake(src, rank);
                         // Complete the receive.
                         self.builder.push(Event::begin_activity(
@@ -752,9 +1167,9 @@ impl<'a> Exec<'a> {
                             rank as u32,
                             ActivityKind::PointToPoint,
                         ));
-                        self.states[rank].time = recv_done;
-                        self.states[rank].recv_posted = None;
-                        self.states[rank].pc += 1;
+                        self.arena.hot[rank].time = recv_done;
+                        self.arena.hot[rank].recv_posted = None;
+                        self.arena.hot[rank].pc += 1;
                         self.stats.messages += 1;
                         self.stats.bytes += bytes;
                         Ok(StepOutcome::Ran)
@@ -764,7 +1179,7 @@ impl<'a> Exec<'a> {
             Op::Isend { dst, bytes, handle } => {
                 // Buffered nonblocking send: the NIC takes over; the
                 // local buffer frees after the injection completes.
-                let begin = self.states[rank].time;
+                let begin = self.arena.hot[rank].time;
                 let (transfer, latency, loss_delay) = self.message_costs(rank, dst, begin, bytes);
                 let issue = begin + o;
                 let buffer_free = issue + transfer;
@@ -782,17 +1197,16 @@ impl<'a> Exec<'a> {
                 ));
                 let arrival = buffer_free + latency + loss_delay;
                 self.push_msg(rank, dst, MsgInFlight::Eager { arrival, bytes }, rank);
-                self.states[rank]
-                    .handles
-                    .push((handle, Outstanding::SendDone(buffer_free)));
-                self.states[rank].time = issue;
-                self.states[rank].pc += 1;
+                self.handles
+                    .insert(rank, handle, Outstanding::SendDone(buffer_free));
+                self.arena.hot[rank].time = issue;
+                self.arena.hot[rank].pc += 1;
                 self.stats.messages += 1;
                 self.stats.bytes += bytes;
                 Ok(StepOutcome::Ran)
             }
             Op::Irecv { src, handle } => {
-                let begin = self.states[rank].time;
+                let begin = self.arena.hot[rank].time;
                 let posted = begin + o;
                 self.builder.push(Event::begin_activity(
                     begin,
@@ -804,18 +1218,17 @@ impl<'a> Exec<'a> {
                     rank as u32,
                     ActivityKind::PointToPoint,
                 ));
-                self.states[rank]
-                    .handles
-                    .push((handle, Outstanding::RecvPending { src, posted }));
-                self.states[rank].time = posted;
-                self.states[rank].pc += 1;
+                self.handles
+                    .insert(rank, handle, Outstanding::RecvPending { src, posted });
+                self.arena.hot[rank].time = posted;
+                self.arena.hot[rank].pc += 1;
                 Ok(StepOutcome::Ran)
             }
             Op::Wait { handle } => {
                 let outstanding = self.handle_get(rank, handle);
                 match outstanding {
                     Outstanding::SendDone(free) => {
-                        let begin = self.states[rank].time;
+                        let begin = self.arena.hot[rank].time;
                         let end = begin.max(free);
                         if end > begin {
                             self.builder.push(Event::begin_activity(
@@ -830,16 +1243,16 @@ impl<'a> Exec<'a> {
                             ));
                         }
                         self.handle_remove(rank, handle);
-                        self.states[rank].time = end;
-                        self.states[rank].pc += 1;
+                        self.arena.hot[rank].time = end;
+                        self.arena.hot[rank].pc += 1;
                         Ok(StepOutcome::Ran)
                     }
                     Outstanding::RecvPending { src, posted } => {
-                        let now = self.states[rank].time;
-                        let begin = *self.states[rank].wait_started.get_or_insert(now);
+                        let now = self.arena.hot[rank].time;
+                        let begin = *self.arena.hot[rank].wait_started.get_or_insert(now);
                         let ch = src * n + rank;
                         let Some(head) = self.channel_front(ch) else {
-                            return Ok(StepOutcome::Blocked(BlockedOn::Channel(ch)));
+                            return Ok(StepOutcome::Blocked(BlockedOn::channel(src)));
                         };
                         match head {
                             MsgInFlight::Eager { arrival, bytes } => {
@@ -862,9 +1275,9 @@ impl<'a> Exec<'a> {
                                     ActivityKind::PointToPoint,
                                 ));
                                 self.handle_remove(rank, handle);
-                                self.states[rank].wait_started = None;
-                                self.states[rank].time = end;
-                                self.states[rank].pc += 1;
+                                self.arena.hot[rank].wait_started = None;
+                                self.arena.hot[rank].time = end;
+                                self.arena.hot[rank].pc += 1;
                                 Ok(StepOutcome::Ran)
                             }
                             MsgInFlight::Rendezvous {
@@ -896,9 +1309,9 @@ impl<'a> Exec<'a> {
                                     src as u32,
                                     ActivityKind::PointToPoint,
                                 ));
-                                self.states[src].time = sender_done;
-                                self.states[src].send_registered = false;
-                                self.states[src].pc += 1;
+                                self.arena.hot[src].time = sender_done;
+                                self.arena.hot[src].send_registered = false;
+                                self.arena.hot[src].pc += 1;
                                 self.wake(src, rank);
                                 let end = begin.max(recv_done);
                                 self.builder.push(Event::begin_activity(
@@ -918,9 +1331,9 @@ impl<'a> Exec<'a> {
                                     ActivityKind::PointToPoint,
                                 ));
                                 self.handle_remove(rank, handle);
-                                self.states[rank].wait_started = None;
-                                self.states[rank].time = end;
-                                self.states[rank].pc += 1;
+                                self.arena.hot[rank].wait_started = None;
+                                self.arena.hot[rank].time = end;
+                                self.arena.hot[rank].pc += 1;
                                 self.stats.messages += 1;
                                 self.stats.bytes += bytes;
                                 Ok(StepOutcome::Ran)
@@ -930,42 +1343,38 @@ impl<'a> Exec<'a> {
                 }
             }
             Op::Collective { kind, bytes } => {
-                let instance = self.states[rank].collective_counter;
                 if !self.coll.active {
                     self.coll.active = true;
-                    self.coll.index = instance;
                     self.coll.kind = kind;
                     self.coll.max_bytes = 0;
+                    self.coll.ready = f64::NEG_INFINITY;
                     debug_assert_eq!(self.coll.arrived, 0);
+                    if self.coll.arrivals.len() < n {
+                        self.coll.arrivals.resize(n, None);
+                    }
                 }
-                debug_assert_eq!(self.coll.index, instance, "one open instance at a time");
                 if self.coll.kind != kind {
                     return Err(SimError::CollectiveMismatch {
-                        instance,
+                        instance: self.coll.completed,
                         detail: format!(
                             "rank {rank} calls {kind} but instance is {}",
                             self.coll.kind
                         ),
                     });
                 }
-                if self.states[rank].collective_arrived.is_none() {
-                    self.states[rank].collective_arrived = Some(self.states[rank].time);
-                    self.coll.arrivals[rank] = Some(self.states[rank].time);
+                if self.coll.arrivals[rank].is_none() {
+                    let now = self.arena.hot[rank].time;
+                    self.coll.arrivals[rank] = Some(now);
+                    self.coll.ready = self.coll.ready.max(now);
                     self.coll.arrived += 1;
                     self.coll.max_bytes = self.coll.max_bytes.max(bytes);
                 }
                 if self.coll.arrived < self.program.ranks() {
-                    return Ok(StepOutcome::Blocked(BlockedOn::Collective));
+                    return Ok(StepOutcome::Blocked(BlockedOn::COLLECTIVE));
                 }
                 // Everyone has arrived: release all participants.
-                let ready = self
-                    .coll
-                    .arrivals
-                    .iter()
-                    .map(|a| a.expect("all arrived"))
-                    .fold(f64::NEG_INFINITY, f64::max);
-                let cost =
-                    collective_cost(kind, self.program.ranks(), self.coll.max_bytes, self.config);
+                let ready = self.coll.ready;
+                let cost = self.collective_cost_cached(kind, self.coll.max_bytes);
                 let completion = ready + cost;
                 let activity = if kind == CollectiveKind::Barrier {
                     ActivityKind::Synchronization
@@ -973,32 +1382,59 @@ impl<'a> Exec<'a> {
                     ActivityKind::Collective
                 };
                 for r in 0..n {
-                    let arrival = self.coll.arrivals[r].expect("all arrived");
+                    let arrival = self.coll.arrivals[r].take().expect("all arrived");
                     self.builder
                         .push(Event::begin_activity(arrival, r as u32, activity));
                     self.builder
                         .push(Event::end_activity(completion, r as u32, activity));
-                    let state = &mut self.states[r];
-                    state.time = completion;
-                    state.collective_arrived = None;
-                    state.collective_counter += 1;
-                    state.pc += 1;
+                    let hot = &mut self.arena.hot[r];
+                    hot.time = completion;
+                    hot.pc += 1;
+                    hot.blocked = BlockedOn::NOTHING;
                 }
                 self.stats.collectives += 1;
-                // Recycle the slot for the next instance.
+                // Recycle the slot for the next instance (the arrival
+                // buffer was drained by the `take`s above).
                 self.coll.active = false;
                 self.coll.arrived = 0;
-                for a in &mut self.coll.arrivals {
-                    *a = None;
-                }
-                for w in 0..n {
-                    if w != rank {
-                        self.wake(w, rank);
-                    }
-                }
+                self.coll.completed += 1;
+                // Completion provably finds every other rank blocked on
+                // exactly this collective (`arrived == n`, and a rank
+                // blocked elsewhere could not have arrived), so release
+                // them wholesale instead of n-1 `wake` calls — the
+                // wakeup slots were already cleared inside the per-rank
+                // loop above. The range split reproduces wake's round
+                // placement bit for bit: indices still ahead of the
+                // scan join the current round, the rest park for the
+                // next one.
+                self.rounds.insert_range(false, rank + 1, n);
+                self.rounds.insert_range(true, 0, rank);
                 Ok(StepOutcome::Ran)
             }
         }
+    }
+
+    /// Seeds the first round with every rank that has ops to run,
+    /// returning the count. When every rank participates — the common
+    /// case — the set fills with whole-word masks instead of n single
+    /// bit inserts.
+    fn seed_runnable(&mut self) -> usize {
+        let mut remaining = 0usize;
+        for rank in 0..self.n {
+            if self.arena.hot[rank].pc < self.program.ops(rank).len() {
+                remaining += 1;
+            }
+        }
+        if remaining == self.n {
+            self.rounds.insert_range(false, 0, self.n);
+        } else {
+            for rank in 0..self.n {
+                if self.arena.hot[rank].pc < self.program.ops(rank).len() {
+                    self.rounds.insert_current(rank);
+                }
+            }
+        }
+        remaining
     }
 
     /// The event-driven scheduler: rounds over an explicit ready-queue.
@@ -1011,16 +1447,10 @@ impl<'a> Exec<'a> {
     /// *interrupted* run: the survivors were waiting on the dead rank,
     /// and their truncated traces are returned for salvage instead.
     fn run_event(&mut self) -> Result<(), SimError> {
-        let mut remaining = 0usize;
-        for rank in 0..self.n {
-            if self.states[rank].pc < self.program.ops(rank).len() {
-                remaining += 1;
-                self.current.insert(rank);
-            }
-        }
+        let mut remaining = self.seed_runnable();
         while remaining > 0 {
-            if self.current.is_empty() {
-                if self.next_round.is_empty() {
+            if self.rounds.current_is_empty() {
+                if self.rounds.next_is_empty() {
                     if self.faults.as_ref().is_some_and(|f| f.any_crashed()) {
                         return Ok(());
                     }
@@ -1028,17 +1458,20 @@ impl<'a> Exec<'a> {
                         detail: self.deadlock_detail(),
                     });
                 }
-                std::mem::swap(&mut self.current, &mut self.next_round);
+                self.rounds.turnover();
             }
             // Ascending scan; ranks woken mid-round with an index still
             // ahead of the cursor are picked up by the same scan.
             let mut cursor = 0usize;
-            while let Some(rank) = self.current.pop_at_or_after(cursor) {
+            while let Some(rank) = self.rounds.pop_current_at_or_after(cursor) {
                 cursor = rank;
-                if self.faults.as_ref().is_some_and(|f| f.has_crashed(rank)) {
+                if self.arena.hot[rank].blocked == BlockedOn::CRASHED {
                     continue;
                 }
                 loop {
+                    // Drain the purely-local prefix in registers, then
+                    // run the op that actually interacts (or finishes).
+                    self.advance_local(rank);
                     match self.try_op(rank)? {
                         StepOutcome::Ran => {
                             if let Some(budget) = self.budget {
@@ -1049,7 +1482,125 @@ impl<'a> Exec<'a> {
                             }
                         }
                         StepOutcome::Blocked(on) => {
-                            self.blocked[rank] = on;
+                            self.arena.hot[rank].blocked = on;
+                            break;
+                        }
+                        StepOutcome::Done => {
+                            remaining -= 1;
+                            break;
+                        }
+                        StepOutcome::Crashed => {
+                            remaining -= 1;
+                            break;
+                        }
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// The rank-sharded parallel scheduler: the same round structure as
+    /// [`Exec::run_event`], with a speculation pass fanned out over
+    /// `jobs` worker threads at each round turnover.
+    ///
+    /// Each round, worker threads compute every runnable rank's *local
+    /// prefix* — its longest run of ops that touch no shared state (see
+    /// [`speculate_local`]) — from a snapshot of its `(pc, time)`. The
+    /// merge loop then drains the round in the exact sequential order;
+    /// when it pops a rank whose live state still matches the snapshot
+    /// it splices the precomputed events in with one `memcpy`-shaped
+    /// append and jumps the rank to the prefix end, then continues with
+    /// the ordinary one-op-at-a-time loop for the non-local tail. No
+    /// barrier separates merge from speculation results — prefixes are
+    /// consumed by a single ascending pointer as pops arrive.
+    ///
+    /// Determinism argument: ranks sitting in `current` cannot have
+    /// their `(pc, time)` mutated by earlier streaks of the same round
+    /// (rendezvous and collective completions only advance *blocked*
+    /// ranks), local ops emit only the rank's own events at times that
+    /// are pure functions of the snapshot, and the splice point is
+    /// validated against the live state before use. The output is
+    /// therefore byte-identical to the sequential engine — which the
+    /// engine-triple differential harness locks empirically.
+    ///
+    /// Budgeted runs fall back to the sequential scheduler: op-count
+    /// budgets are defined in executed-op order, and the speculation
+    /// pass would batch those increments.
+    fn run_event_parallel(&mut self, jobs: usize) -> Result<(), SimError> {
+        let jobs = limba_par::effective_jobs(jobs);
+        if jobs <= 1 || self.budget.is_some() {
+            return self.run_event();
+        }
+        let mut remaining = self.seed_runnable();
+        while remaining > 0 {
+            if self.rounds.current_is_empty() {
+                if self.rounds.next_is_empty() {
+                    if self.faults.as_ref().is_some_and(|f| f.any_crashed()) {
+                        return Ok(());
+                    }
+                    return Err(SimError::Deadlock {
+                        detail: self.deadlock_detail(),
+                    });
+                }
+                self.rounds.turnover();
+            }
+            // Speculation pass over a snapshot of the round's runnable
+            // set. Ranks woken mid-round are not in the snapshot; the
+            // merge loop simply runs them without a prefix.
+            let runnable = self.rounds.current_members();
+            let mut prefixes: Vec<LocalPrefix> = Vec::new();
+            if runnable.len() > 1 {
+                let snapshots: Vec<(usize, usize, f64)> = runnable
+                    .iter()
+                    .map(|&r| (r, self.arena.hot[r].pc, self.arena.hot[r].time))
+                    .collect();
+                let program = self.program;
+                let config = self.config;
+                let faults = self.faults.as_ref();
+                let balance_active = self.balance.is_some();
+                let shards = limba_par::shard_ranges(snapshots.len(), jobs);
+                let sharded = limba_par::par_map(jobs, &shards, |_i, range| {
+                    snapshots[range.clone()]
+                        .iter()
+                        .filter_map(|&(r, pc, t)| {
+                            speculate_local(program, config, faults, balance_active, r, pc, t)
+                        })
+                        .collect::<Vec<_>>()
+                });
+                prefixes = sharded.into_iter().flatten().collect();
+            }
+            // Merge loop: identical to the sequential round drain, plus
+            // prefix splicing. `prefixes` is in ascending rank order and
+            // pops ascend, so one forward pointer pairs them up.
+            let mut pfx = 0usize;
+            let mut cursor = 0usize;
+            while let Some(rank) = self.rounds.pop_current_at_or_after(cursor) {
+                cursor = rank;
+                if self.arena.hot[rank].blocked == BlockedOn::CRASHED {
+                    continue;
+                }
+                while pfx < prefixes.len() && prefixes[pfx].rank < rank {
+                    pfx += 1;
+                }
+                if pfx < prefixes.len() && prefixes[pfx].rank == rank {
+                    let p = &prefixes[pfx];
+                    pfx += 1;
+                    if p.pc0 == self.arena.hot[rank].pc && p.time0 == self.arena.hot[rank].time {
+                        self.builder.extend_events(&p.events);
+                        self.arena.hot[rank].pc = p.pc;
+                        self.arena.hot[rank].time = p.time;
+                    }
+                }
+                loop {
+                    // Same fast local drain as the sequential engine:
+                    // it covers the tail past a spliced prefix (or a
+                    // rank speculation skipped) without per-op calls.
+                    self.advance_local(rank);
+                    match self.try_op(rank)? {
+                        StepOutcome::Ran => {}
+                        StepOutcome::Blocked(on) => {
+                            self.arena.hot[rank].blocked = on;
                             break;
                         }
                         StepOutcome::Done => {
@@ -1068,13 +1619,13 @@ impl<'a> Exec<'a> {
     }
 
     fn finish(mut self) -> SimOutput {
-        for (rank, s) in self.states.iter().enumerate() {
-            self.stats.rank_end_times[rank] = s.time;
-            self.stats.makespan = self.stats.makespan.max(s.time);
+        for (rank, &RankHot { time: t, .. }) in self.arena.hot.iter().enumerate() {
+            self.stats.rank_end_times[rank] = t;
+            self.stats.makespan = self.stats.makespan.max(t);
         }
         let faults = match &self.faults {
             Some(fs) => {
-                fs.report((0..self.n).filter(|&r| self.states[r].pc < self.program.ops(r).len()))
+                fs.report((0..self.n).filter(|&r| self.arena.hot[r].pc < self.program.ops(r).len()))
             }
             None => FaultReport::default(),
         };
@@ -1082,6 +1633,19 @@ impl<'a> Exec<'a> {
             Some(bs) => bs.report(),
             None => BalanceReport::default(),
         };
+        // Hand the arena buffers back to the thread's scratch stash so
+        // the next run on this thread skips their setup allocations.
+        // Everything above that reads them (stats, fault report) has
+        // already run; the output is fully assembled from other state.
+        let scratch = Scratch {
+            hot: std::mem::take(&mut self.arena.hot),
+            round_words: std::mem::replace(&mut self.rounds, Rounds::with_words(Vec::new(), 0))
+                .into_words(),
+            channels: std::mem::replace(&mut self.channels, ChannelIndex::new(0)),
+            handles: std::mem::replace(&mut self.handles, HandleArena::new()),
+            arrivals: std::mem::take(&mut self.coll.arrivals),
+        };
+        SCRATCH.with(|c| c.set(Some(Box::new(scratch))));
         SimOutput {
             trace: self.builder.build(),
             stats: self.stats,
@@ -1222,6 +1786,57 @@ impl Simulator {
             exec.budget = Some(budget);
         }
         exec.run_event()?;
+        Ok(exec.finish())
+    }
+
+    /// Runs `program` with the deterministic parallel event engine:
+    /// the sequential event scheduler's round structure with per-round
+    /// speculation of purely-local op runs fanned out over `jobs`
+    /// worker threads (0 = all CPUs; see `limba-par`).
+    ///
+    /// The output is **byte-identical** to [`Simulator::run`] for every
+    /// program, machine, and thread count — parallelism here is a
+    /// latency optimization, never a semantics knob. The engine-triple
+    /// differential harness (polling × event × event-par) locks this.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Simulator::run`].
+    pub fn run_event_parallel(
+        &self,
+        program: &Program,
+        jobs: usize,
+    ) -> Result<SimOutput, SimError> {
+        let mut exec = Exec::new(&self.config, program, None, None)?;
+        exec.run_event_parallel(jobs)?;
+        Ok(exec.finish())
+    }
+
+    /// The parallel-engine counterpart of [`Simulator::run_configured`]:
+    /// any combination of fault plan, balance plan, and budget, executed
+    /// with [`Simulator::run_event_parallel`]'s scheduler. Byte-identical
+    /// to the sequential engine under every combination. Budgeted runs
+    /// fall back to the sequential scheduler (op budgets are defined in
+    /// executed-op order), preserving exact budget semantics.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Simulator::run_configured`].
+    pub fn run_parallel_configured(
+        &self,
+        program: &Program,
+        faults: Option<&FaultPlan>,
+        balance: Option<&BalancePlan>,
+        budget: Option<&RunBudget>,
+        jobs: usize,
+    ) -> Result<SimOutput, SimError> {
+        let mut exec = Exec::new(&self.config, program, faults, balance)?;
+        if let Some(budget) = budget {
+            if !budget.is_unlimited() {
+                exec.budget = Some(budget);
+            }
+        }
+        exec.run_event_parallel(jobs)?;
         Ok(exec.finish())
     }
 

@@ -604,8 +604,11 @@ pub(crate) struct FaultState {
     crash_at: Vec<f64>,
     /// Actual crash time per rank, recorded at the halting op boundary.
     crashed: Vec<Option<f64>>,
-    /// Next message sequence number per dense channel `src * n + dst`.
-    seq: Vec<u64>,
+    /// Next message sequence number per live channel, keyed
+    /// `src * n + dst`. Sparse: a channel occupies a slot only once it
+    /// carries a message, so this is O(live channels) where the dense
+    /// table it replaced was a calloc'd 8·n² bytes.
+    seq: crate::arena::SparseMap<u64>,
     n: usize,
     /// Running totals for the [`FaultReport`].
     pub dropped_attempts: u64,
@@ -632,7 +635,7 @@ impl FaultState {
             losses: plan.losses.clone(),
             crash_at,
             crashed: vec![None; n],
-            seq: vec![0; n * n],
+            seq: crate::arena::SparseMap::new(),
             n,
             dropped_attempts: 0,
             retried_messages: 0,
@@ -642,6 +645,13 @@ impl FaultState {
     /// Should `rank` halt before executing an op at local time `now`?
     pub(crate) fn should_crash(&self, rank: usize, now: f64) -> bool {
         now >= self.crash_at[rank]
+    }
+
+    /// The planned crash time of `rank`, `INFINITY` when none — the
+    /// engines' streak loops hoist this so the per-op crash check is a
+    /// single clock compare.
+    pub(crate) fn crash_time(&self, rank: usize) -> f64 {
+        self.crash_at[rank]
     }
 
     /// Records the halting time of a crashed rank (idempotent).
@@ -658,6 +668,14 @@ impl FaultState {
     /// quiescence means "interrupted run" instead of deadlock.
     pub(crate) fn any_crashed(&self) -> bool {
         self.crashed.iter().any(|c| c.is_some())
+    }
+
+    /// `true` when the plan schedules at least one crash. Constant for
+    /// the life of the run; the engines hoist their per-op and per-pop
+    /// crash checks behind it so crash-free fault plans (slowdowns,
+    /// link faults, losses) pay nothing for them on the hot path.
+    pub(crate) fn crash_planned(&self) -> bool {
+        self.crash_at.iter().any(|t| t.is_finite())
     }
 
     /// End time of a compute burst of `duration` seconds starting at
@@ -717,9 +735,9 @@ impl FaultState {
                 transfer *= l.bandwidth_factor;
             }
         }
-        let ch = src * self.n + dst;
-        let seq = self.seq[ch];
-        self.seq[ch] += 1;
+        let counter = self.seq.get_or_default((src * self.n + dst) as u64);
+        let seq = *counter;
+        *counter += 1;
         let mut delay = 0.0;
         if let Some(loss) = self
             .losses

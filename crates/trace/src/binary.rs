@@ -45,6 +45,14 @@ const MIN_VERSION: u16 = 1;
 const MIN_REGION_BYTES: usize = 4;
 /// Smallest possible encoding of one event (begin/end activity).
 const MIN_EVENT_BYTES: usize = 8 + 4 + 1 + 1;
+/// Largest processor count a decoded header may declare (4Mi — 40×
+/// headroom over the 100k-rank simulation target). The count is a bare
+/// scalar with no per-entry bytes behind it, so the
+/// remaining-bytes bound that caps the region and event counts cannot
+/// touch it — yet downstream consumers size per-processor tables from
+/// it ([`Trace::events_partitioned`], salvage), which a hostile 4-byte
+/// header could otherwise turn into a multi-GB allocation.
+pub(crate) const MAX_PROCESSORS: usize = 1 << 22;
 
 fn malformed(detail: impl Into<String>) -> TraceError {
     TraceError::Malformed {
@@ -177,6 +185,11 @@ pub fn from_bytes(buf: &[u8]) -> Result<Trace, TraceError> {
         .ok_or_else(|| malformed("truncated while reading header"))?;
     need!(buf, 4 + 4, "header counts");
     let processors = buf.get_u32_le() as usize;
+    if processors > MAX_PROCESSORS {
+        return Err(malformed(format!(
+            "processor count {processors} exceeds the supported maximum {MAX_PROCESSORS}"
+        )));
+    }
     let nregions = buf.get_u32_le() as usize;
     if nregions.saturating_mul(MIN_REGION_BYTES) > buf.remaining() {
         return Err(malformed(format!(
@@ -203,6 +216,9 @@ pub fn from_bytes(buf: &[u8]) -> Result<Trace, TraceError> {
             buf.remaining()
         )));
     }
+    // Bounded above by remaining bytes, so this reserve is safe — and it
+    // turns the event loop's growth into one up-front allocation.
+    builder.reserve_events(nevents as usize);
     for _ in 0..nevents {
         need!(buf, 8 + 4 + 1, "event header");
         let time = buf.get_f64_le();
@@ -376,6 +392,25 @@ mod tests {
 
     #[test]
     fn hostile_count_fields_are_rejected_without_allocation() {
+        // Processor count claiming u32::MAX: unlike regions and events,
+        // no per-entry bytes exist to bound it against, so only the
+        // explicit cap stands between the header and the multi-GB
+        // per-processor tables downstream consumers allocate from it.
+        let mut bytes = to_bytes(&TraceBuilder::new(1).build()).to_vec();
+        bytes[10..14].copy_from_slice(&u32::MAX.to_le_bytes());
+        let v1 = as_v1(&bytes);
+        match from_bytes(&v1) {
+            Err(TraceError::Malformed { detail }) => {
+                assert!(detail.contains("processor count"), "{detail}")
+            }
+            other => panic!("{other:?}"),
+        }
+
+        // The cap boundary itself: exactly MAX_PROCESSORS decodes.
+        let mut bytes = to_bytes(&TraceBuilder::new(1).build()).to_vec();
+        bytes[10..14].copy_from_slice(&(MAX_PROCESSORS as u32).to_le_bytes());
+        assert!(from_bytes(&as_v1(&bytes)).is_ok());
+
         // Region count claiming u32::MAX entries in a near-empty file.
         let mut bytes = to_bytes(&TraceBuilder::new(1).build()).to_vec();
         bytes[14..18].copy_from_slice(&u32::MAX.to_le_bytes());

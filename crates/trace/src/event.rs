@@ -335,6 +335,13 @@ impl TraceBuilder {
         self.events.reserve(additional);
     }
 
+    /// Appends a batch of events in order — equivalent to pushing each
+    /// one, as a single bulk copy. The simulator's parallel engine uses
+    /// this to splice precomputed event runs into the trace.
+    pub fn extend_events(&mut self, events: &[Event]) {
+        self.events.extend_from_slice(events);
+    }
+
     /// Number of regions registered so far.
     pub fn region_count(&self) -> usize {
         self.region_names.len()

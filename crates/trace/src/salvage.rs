@@ -86,6 +86,20 @@ impl SalvagedTrace {
 /// region or inside another activity, and activity ends that never
 /// began. Model errors surface as [`TraceError::Model`].
 pub fn reduce_checked(trace: &Trace) -> Result<SalvagedTrace, TraceError> {
+    // Defense in depth behind the decoders' header caps: the
+    // per-processor tables below are sized from `trace.processors()`, a
+    // declared count with no per-entry bytes behind it, so never let an
+    // unbounded value through even if a new ingestion path forgets the
+    // check.
+    if trace.processors() > crate::binary::MAX_PROCESSORS {
+        return Err(TraceError::Malformed {
+            detail: format!(
+                "processor count {} exceeds the supported maximum {}",
+                trace.processors(),
+                crate::binary::MAX_PROCESSORS
+            ),
+        });
+    }
     // Partition per processor, carrying recording-order indices so
     // errors can name the offending event. Mirrors
     // `Trace::events_partitioned` (stable time sort) but reports

@@ -47,7 +47,8 @@ fn check_golden(name: &str, actual: &str) {
     );
 }
 
-/// Runs both engines and asserts bit-identical output before returning
+/// Runs the engine triple — event, polling, and parallel event with 4
+/// worker threads — and asserts bit-identical output before returning
 /// the (event-engine) result.
 fn run_both(ranks: usize, program: &Program, label: &str) -> SimOutput {
     let sim = Simulator::new(MachineConfig::new(ranks));
@@ -55,6 +56,9 @@ fn run_both(ranks: usize, program: &Program, label: &str) -> SimOutput {
     let polling = sim.run_polling(program).unwrap();
     assert_eq!(event.trace, polling.trace, "{label}: traces diverge");
     assert_eq!(event.stats, polling.stats, "{label}: stats diverge");
+    let par = sim.run_event_parallel(program, 4).unwrap();
+    assert_eq!(event.trace, par.trace, "{label}: event-par trace diverges");
+    assert_eq!(event.stats, par.stats, "{label}: event-par stats diverge");
     event
 }
 
@@ -259,8 +263,11 @@ proptest! {
         let sim = Simulator::new(MachineConfig::new(ranks));
         let event = sim.run(&program).unwrap();
         let polling = sim.run_polling(&program).unwrap();
-        prop_assert_eq!(event.trace, polling.trace);
-        prop_assert_eq!(event.stats, polling.stats);
+        prop_assert_eq!(&event.trace, &polling.trace);
+        prop_assert_eq!(&event.stats, &polling.stats);
+        let par = sim.run_event_parallel(&program, 4).unwrap();
+        prop_assert_eq!(&event.trace, &par.trace);
+        prop_assert_eq!(&event.stats, &par.stats);
     }
 
     #[test]
@@ -277,7 +284,10 @@ proptest! {
         let sim = Simulator::new(cfg);
         let event = sim.run(&program).unwrap();
         let polling = sim.run_polling(&program).unwrap();
-        prop_assert_eq!(event.trace, polling.trace);
-        prop_assert_eq!(event.stats, polling.stats);
+        prop_assert_eq!(&event.trace, &polling.trace);
+        prop_assert_eq!(&event.stats, &polling.stats);
+        let par = sim.run_event_parallel(&program, 4).unwrap();
+        prop_assert_eq!(&event.trace, &par.trace);
+        prop_assert_eq!(&event.stats, &par.stats);
     }
 }
