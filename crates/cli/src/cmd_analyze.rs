@@ -1,15 +1,23 @@
 //! `limba analyze`.
 
 use std::fs;
+use std::io::Read as _;
 
 use limba_analysis::Analyzer;
 use limba_stats::dispersion::DispersionKind;
 use limba_stats::rank::RankingCriterion;
-use limba_trace::Trace;
+use limba_trace::stream::StreamScan;
+use limba_trace::{
+    ReducedTrace, SalvageSink, SalvagedTrace, ScanSink, StreamDecoder, Trace, TraceSink, WindowSink,
+};
 
-use crate::args::{parse, Parsed};
+use crate::args::{parse_with_switches, Parsed};
 
-fn parse_dispersion(name: &str) -> Result<DispersionKind, String> {
+/// Chunk size for `--from-stream` file reads: the analysis never holds
+/// more than this much of the tracefile (plus fold state) at once.
+const STREAM_CHUNK: usize = 64 * 1024;
+
+pub(crate) fn parse_dispersion(name: &str) -> Result<DispersionKind, String> {
     DispersionKind::ALL
         .into_iter()
         .find(|k| {
@@ -19,7 +27,7 @@ fn parse_dispersion(name: &str) -> Result<DispersionKind, String> {
         .ok_or_else(|| format!("unknown dispersion index {name:?}"))
 }
 
-fn parse_criterion(spec: &str) -> Result<RankingCriterion, String> {
+pub(crate) fn parse_criterion(spec: &str) -> Result<RankingCriterion, String> {
     let bad = || format!("invalid criterion spec {spec:?}");
     match spec.split_once(':') {
         None if spec == "max" => Ok(RankingCriterion::Maximum),
@@ -56,9 +64,180 @@ fn load_trace(path: &str, format: &str) -> Result<Trace, String> {
     }
 }
 
+/// Fails the analysis when a salvaged trace recovered no measured time.
+///
+/// Salvage is for partially damaged runs (crashes, interruptions):
+/// truncated ranks keep their lower-bound data and get flagged in
+/// the coverage section. But when the salvage recovered no measured
+/// time at all, a report would be all zeros dressed up as data —
+/// fail with the trace diagnosis instead.
+pub(crate) fn guard_salvage(salvaged: &SalvagedTrace) -> Result<(), String> {
+    let SalvagedTrace { reduced, coverage } = salvaged;
+    if coverage.iter().any(|c| !c.complete) && reduced.measurements.total_time() <= 0.0 {
+        let truncated = coverage.iter().filter(|c| !c.complete).count();
+        return Err(limba_trace::TraceError::Malformed {
+            detail: format!(
+                "unsalvageable trace: {truncated} of {} ranks truncated and no measured time survives",
+                coverage.len()
+            ),
+        }
+        .to_string());
+    }
+    Ok(())
+}
+
+/// Builds the analysis report for a reduction. Counting parameters
+/// (message/byte distributions) render as part of the report when the
+/// trace recorded any.
+pub(crate) fn build_report(
+    reduced: &ReducedTrace,
+    dispersion: DispersionKind,
+    criterion: RankingCriterion,
+    clusters: usize,
+) -> Result<limba_analysis::Report, String> {
+    Analyzer::new()
+        .with_dispersion(dispersion)
+        .with_criterion(criterion)
+        .with_cluster_k(clusters)
+        .analyze_with_counts(&reduced.measurements, &reduced.counts)
+        .map_err(|e| e.to_string())
+}
+
+fn write_csv(parsed: &Parsed, report: &limba_analysis::Report) -> Result<(), String> {
+    if let Some(dir) = parsed.get("csv") {
+        let dir = std::path::Path::new(dir);
+        fs::create_dir_all(dir).map_err(|e| e.to_string())?;
+        let files = [
+            ("profile.csv", limba_viz::csv::profile_csv(report)),
+            ("dispersions.csv", limba_viz::csv::dispersions_csv(report)),
+            ("summaries.csv", limba_viz::csv::summaries_csv(report)),
+            (
+                "processor_view.csv",
+                limba_viz::csv::processor_view_csv(report),
+            ),
+        ];
+        for (name, content) in files {
+            fs::write(dir.join(name), content).map_err(|e| e.to_string())?;
+        }
+        println!("\ncsv tables written to {}", dir.display());
+    }
+    Ok(())
+}
+
+/// Prints the imbalance-evolution section from pre-sliced windows.
+pub(crate) fn print_evolution(
+    sliced: Vec<ReducedTrace>,
+    dispersion: DispersionKind,
+    windows: usize,
+) -> Result<(), String> {
+    let matrices: Vec<_> = sliced.into_iter().map(|w| w.measurements).collect();
+    let evolution = limba_analysis::evolution::imbalance_evolution(&matrices, dispersion, 0.02)
+        .map_err(|e| e.to_string())?;
+    println!("\n== imbalance evolution ({windows} windows) ==");
+    for series in &evolution.series {
+        let values: Vec<String> = series
+            .values
+            .iter()
+            .map(|v| v.map(|v| format!("{v:.3}")).unwrap_or_else(|| "-".into()))
+            .collect();
+        println!(
+            "{:<16} [{}] slope {:+.4} → {:?}",
+            series.activity.to_string(),
+            values.join(" "),
+            series.slope,
+            series.trend
+        );
+    }
+    Ok(())
+}
+
+/// Feeds a binary tracefile through a [`TraceSink`] in bounded chunks.
+///
+/// Memory held at once is one `STREAM_CHUNK` read buffer plus whatever
+/// fold state the sink keeps — the tracefile itself is never resident.
+fn feed_stream_file(path: &str, sink: &mut dyn TraceSink) -> Result<(), String> {
+    let mut file = fs::File::open(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let mut decoder = StreamDecoder::new();
+    let mut buf = vec![0u8; STREAM_CHUNK];
+    loop {
+        let n = file
+            .read(&mut buf)
+            .map_err(|e| format!("cannot read {path}: {e}"))?;
+        if n == 0 {
+            break;
+        }
+        decoder.feed(&buf[..n], sink).map_err(|e| e.to_string())?;
+    }
+    decoder.finish(sink).map_err(|e| e.to_string())
+}
+
+/// Pass 1 of the streamed analysis: scan the tracefile for the trace
+/// preamble the folds need up front (makespan for window boundaries,
+/// the activity universe for matrix shape).
+fn scan_stream_file(path: &str) -> Result<StreamScan, String> {
+    let mut scan = ScanSink::new();
+    feed_stream_file(path, &mut scan)?;
+    scan.into_scan()
+        .ok_or_else(|| "stream scan did not complete".to_string())
+}
+
+/// Pass 2 of the streamed analysis: fold the tracefile into a salvaged
+/// reduction without ever materializing the event list.
+fn fold_stream_file(path: &str, scan: &StreamScan) -> Result<SalvagedTrace, String> {
+    let mut salvage = SalvageSink::new(scan.activities.clone());
+    feed_stream_file(path, &mut salvage)?;
+    salvage
+        .into_salvaged()
+        .ok_or_else(|| "stream fold did not complete".to_string())
+}
+
+/// `--from-stream`: bounded-memory passes over the tracefile (scan,
+/// salvage fold, and — when requested — window fold), then the same
+/// report path as the materialized analysis, in the same order, so the
+/// two modes print byte-identical output and fail at the same points.
+fn run_from_stream(
+    parsed: &Parsed,
+    path: &str,
+    dispersion: DispersionKind,
+    criterion: RankingCriterion,
+    clusters: usize,
+    windows: usize,
+) -> Result<crate::CmdOutcome, String> {
+    if parsed.get("drilldown").map(|v| v != "off").unwrap_or(false) {
+        return Err("--drilldown needs the materialized trace; drop --from-stream".into());
+    }
+    match parsed.get("format").unwrap_or("auto") {
+        "auto" | "binary" => {}
+        other => return Err(format!("--from-stream reads binary traces, not {other:?}")),
+    }
+    let scan = scan_stream_file(path)?;
+    let salvaged = fold_stream_file(path, &scan)?;
+    guard_salvage(&salvaged)?;
+    let report = build_report(&salvaged.reduced, dispersion, criterion, clusters)?;
+    print!(
+        "{}",
+        limba_viz::report::render_with_coverage(&report, &salvaged.coverage)
+    );
+    write_csv(parsed, &report)?;
+    if windows > 0 {
+        // Separate pass, placed after the report like the materialized
+        // windows section — a stream that cannot be windowed (e.g. a
+        // crash-truncated run) fails here with the batch path's error,
+        // after the salvageable part of the analysis has printed.
+        let mut windowed = WindowSink::new(windows, scan.makespan, scan.activities.clone())
+            .map_err(|e| e.to_string())?;
+        feed_stream_file(path, &mut windowed)?;
+        let sliced = windowed
+            .into_windows()
+            .ok_or_else(|| "stream fold did not complete".to_string())?;
+        print_evolution(sliced, dispersion, windows)?;
+    }
+    Ok(crate::CmdOutcome::Complete)
+}
+
 /// Runs `limba analyze <tracefile> [options]`.
 pub fn run(argv: &[String]) -> Result<crate::CmdOutcome, String> {
-    let parsed: Parsed = parse(argv)?;
+    let parsed: Parsed = parse_with_switches(argv, &["from-stream"])?;
     let path = parsed
         .positional
         .first()
@@ -70,57 +249,24 @@ pub fn run(argv: &[String]) -> Result<crate::CmdOutcome, String> {
 
     let windows: usize = parsed.get_or("windows", 0)?;
 
+    if parsed.has("from-stream") {
+        return run_from_stream(&parsed, path, dispersion, criterion, clusters, windows);
+    }
+
     let trace = load_trace(path, format)?;
     // Salvaging reduction: truncated ranks (crashed / interrupted runs)
     // are closed out at their last event and flagged in a coverage
     // section instead of failing the whole analysis.
-    let limba_trace::SalvagedTrace { reduced, coverage } =
-        limba_trace::reduce_checked(&trace).map_err(|e| e.to_string())?;
-    // Salvage is for partially damaged runs (crashes, interruptions):
-    // truncated ranks keep their lower-bound data and get flagged in
-    // the coverage section. But when the salvage recovered no measured
-    // time at all, a report would be all zeros dressed up as data —
-    // fail with the trace diagnosis instead.
-    if coverage.iter().any(|c| !c.complete) && reduced.measurements.total_time() <= 0.0 {
-        let truncated = coverage.iter().filter(|c| !c.complete).count();
-        return Err(limba_trace::TraceError::Malformed {
-            detail: format!(
-                "unsalvageable trace: {truncated} of {} ranks truncated and no measured time survives",
-                coverage.len()
-            ),
-        }
-        .to_string());
-    }
-    // Counting parameters (message/byte distributions) render as part of
-    // the report when the trace recorded any.
-    let report = Analyzer::new()
-        .with_dispersion(dispersion)
-        .with_criterion(criterion)
-        .with_cluster_k(clusters)
-        .analyze_with_counts(&reduced.measurements, &reduced.counts)
-        .map_err(|e| e.to_string())?;
+    let salvaged = limba_trace::reduce_checked(&trace).map_err(|e| e.to_string())?;
+    guard_salvage(&salvaged)?;
+    let SalvagedTrace { reduced, coverage } = salvaged;
+    let report = build_report(&reduced, dispersion, criterion, clusters)?;
     print!(
         "{}",
         limba_viz::report::render_with_coverage(&report, &coverage)
     );
 
-    if let Some(dir) = parsed.get("csv") {
-        let dir = std::path::Path::new(dir);
-        fs::create_dir_all(dir).map_err(|e| e.to_string())?;
-        let files = [
-            ("profile.csv", limba_viz::csv::profile_csv(&report)),
-            ("dispersions.csv", limba_viz::csv::dispersions_csv(&report)),
-            ("summaries.csv", limba_viz::csv::summaries_csv(&report)),
-            (
-                "processor_view.csv",
-                limba_viz::csv::processor_view_csv(&report),
-            ),
-        ];
-        for (name, content) in files {
-            fs::write(dir.join(name), content).map_err(|e| e.to_string())?;
-        }
-        println!("\ncsv tables written to {}", dir.display());
-    }
+    write_csv(&parsed, &report)?;
 
     if parsed.get("drilldown").map(|v| v != "off").unwrap_or(false) {
         use limba_analysis::hierarchy::{drilldown, RegionTree};
@@ -145,24 +291,7 @@ pub fn run(argv: &[String]) -> Result<crate::CmdOutcome, String> {
 
     if windows > 0 {
         let sliced = limba_trace::reduce_windows(&trace, windows).map_err(|e| e.to_string())?;
-        let matrices: Vec<_> = sliced.into_iter().map(|w| w.measurements).collect();
-        let evolution = limba_analysis::evolution::imbalance_evolution(&matrices, dispersion, 0.02)
-            .map_err(|e| e.to_string())?;
-        println!("\n== imbalance evolution ({windows} windows) ==");
-        for series in &evolution.series {
-            let values: Vec<String> = series
-                .values
-                .iter()
-                .map(|v| v.map(|v| format!("{v:.3}")).unwrap_or_else(|| "-".into()))
-                .collect();
-            println!(
-                "{:<16} [{}] slope {:+.4} → {:?}",
-                series.activity.to_string(),
-                values.join(" "),
-                series.slope,
-                series.trend
-            );
-        }
+        print_evolution(sliced, dispersion, windows)?;
     }
     Ok(crate::CmdOutcome::Complete)
 }

@@ -14,6 +14,11 @@ use limba_workloads::{
 use crate::args::{parse_imbalance, parse_with_switches, Parsed};
 use crate::supervise::Supervision;
 
+/// Bare switches `simulate` accepts: the supervision switches (kept in
+/// sync with [`crate::supervise::SWITCHES`] by a test below) plus the
+/// streaming-reduction mode.
+const SIM_SWITCHES: &[&str] = &["resume", "json", "stream-reduce"];
+
 pub(crate) fn build_program(
     workload: &str,
     ranks: usize,
@@ -505,9 +510,95 @@ fn render_sweep(
     Ok((out, run.manifest))
 }
 
+/// `--stream-reduce`: pipe the simulation through the streaming
+/// reduction pipeline and print the analysis directly — the trace is
+/// never materialized and no tracefile is written.
+#[allow(clippy::too_many_arguments)]
+fn run_stream_reduce(
+    parsed: &Parsed,
+    workload: &str,
+    program: &Program,
+    ranks: usize,
+    engine: Engine,
+    faults: Option<&FaultPlan>,
+    balance: Option<&BalancePlan>,
+    jobs: usize,
+    replications: usize,
+) -> Result<crate::CmdOutcome, String> {
+    if replications > 1 {
+        return Err("--stream-reduce streams a single run; drop --replications".into());
+    }
+    if parsed.get("out").is_some() || parsed.get("format").is_some() {
+        return Err("--stream-reduce writes no tracefile; drop --out/--format".into());
+    }
+    // The polling engine retires the whole run before recording, so it
+    // has nothing to stream; the event engines emit frames as rounds
+    // retire.
+    let stream_jobs = match engine {
+        Engine::Event => 1,
+        Engine::EventPar => jobs,
+        Engine::Polling => {
+            return Err("--stream-reduce needs --engine event or event-par".into());
+        }
+    };
+    let windows: usize = parsed.get_or("windows", 0)?;
+    let frame_events: usize = parsed.get_or("stream-frame-events", 4096)?;
+    if frame_events == 0 {
+        return Err("--stream-frame-events must be positive".into());
+    }
+    let dispersion =
+        crate::cmd_analyze::parse_dispersion(parsed.get("dispersion").unwrap_or("euclidean"))?;
+    let criterion = crate::cmd_analyze::parse_criterion(parsed.get("criterion").unwrap_or("max"))?;
+    let clusters: usize = parsed.get_or("clusters", 2)?;
+
+    let cfg = limba_stream::StreamConfig {
+        frame_events,
+        jobs: stream_jobs,
+        windows: (windows > 0).then_some(windows),
+        ..limba_stream::StreamConfig::default()
+    };
+    let sim = Simulator::new(MachineConfig::new(ranks));
+    let streamed = limba_stream::stream_reduce(&sim, program, faults, balance, None, &cfg)
+        .map_err(|e| e.to_string())?;
+
+    println!(
+        "simulated {workload} on {ranks} ranks: makespan {:.4} s, {} messages, {} bytes",
+        streamed.output.stats.makespan, streamed.output.stats.messages, streamed.output.stats.bytes
+    );
+    if faults.is_some() {
+        println!("{}", describe_faults(&streamed.output.faults));
+    }
+    if balance.is_some() {
+        println!("{}", describe_balance(&streamed.output.balance));
+        print!(
+            "{}",
+            limba_viz::report::render_balance(&streamed.output.balance)
+        );
+    }
+    println!(
+        "streamed reduce: {} events in frames of {frame_events}, no tracefile written",
+        streamed.scan.events
+    );
+    crate::cmd_analyze::guard_salvage(&streamed.salvaged)?;
+    let report = crate::cmd_analyze::build_report(
+        &streamed.salvaged.reduced,
+        dispersion,
+        criterion,
+        clusters,
+    )?;
+    print!(
+        "{}",
+        limba_viz::report::render_with_coverage(&report, &streamed.salvaged.coverage)
+    );
+    if let Some(sliced) = streamed.windows {
+        crate::cmd_analyze::print_evolution(sliced, dispersion, windows)?;
+    }
+    Ok(crate::CmdOutcome::Complete)
+}
+
 /// Runs `limba simulate <workload> [options]`.
 pub fn run(argv: &[String]) -> Result<crate::CmdOutcome, String> {
-    let parsed: Parsed = parse_with_switches(argv, crate::supervise::SWITCHES)?;
+    let parsed: Parsed = parse_with_switches(argv, SIM_SWITCHES)?;
     // `--faults list` is a query, not a run: answer it even without a
     // workload on the command line.
     if parsed.get("faults") == Some("list") {
@@ -550,6 +641,20 @@ pub fn run(argv: &[String]) -> Result<crate::CmdOutcome, String> {
         Some(spec) => Some(load_balance_plan(spec)?),
         None => None,
     };
+
+    if parsed.has("stream-reduce") {
+        return run_stream_reduce(
+            &parsed,
+            &workload,
+            &program,
+            ranks,
+            engine,
+            faults.as_ref(),
+            balance.as_ref(),
+            jobs,
+            replications,
+        );
+    }
 
     if replications > 1 {
         // Replication sweep: summary statistics only, no tracefile.
@@ -935,6 +1040,61 @@ mod tests {
         // 12 ranks → 3×4 or 4×3; must build and simulate.
         let p = build_program("stencil", 12, Some(2), Imbalance::None, 0).unwrap();
         simulate(&p, 12).unwrap();
+    }
+
+    #[test]
+    fn sim_switches_cover_supervision() {
+        for s in crate::supervise::SWITCHES {
+            assert!(
+                SIM_SWITCHES.contains(s),
+                "supervision switch --{s} missing from SIM_SWITCHES"
+            );
+        }
+    }
+
+    fn args(v: &[&str]) -> Vec<String> {
+        v.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn stream_reduce_rejects_incompatible_flags() {
+        let err = run(&args(&["cfd", "--stream-reduce", "--engine", "polling"])).unwrap_err();
+        assert!(err.contains("event or event-par"), "{err}");
+        let err = run(&args(&["cfd", "--stream-reduce", "--replications", "3"])).unwrap_err();
+        assert!(err.contains("single run"), "{err}");
+        let err = run(&args(&["cfd", "--stream-reduce", "--out", "t.limba"])).unwrap_err();
+        assert!(err.contains("no tracefile"), "{err}");
+        let err = run(&args(&[
+            "cfd",
+            "--stream-reduce",
+            "--stream-frame-events",
+            "0",
+        ]))
+        .unwrap_err();
+        assert!(err.contains("positive"), "{err}");
+    }
+
+    #[test]
+    fn stream_reduce_runs_end_to_end() {
+        // Both engines, with windows, without a tracefile in sight.
+        for engine in ["event", "event-par"] {
+            let outcome = run(&args(&[
+                "cfd",
+                "--ranks",
+                "4",
+                "--stream-reduce",
+                "--engine",
+                engine,
+                "--jobs",
+                "2",
+                "--windows",
+                "3",
+                "--stream-frame-events",
+                "7",
+            ]))
+            .unwrap();
+            assert!(matches!(outcome, crate::CmdOutcome::Complete));
+        }
     }
 
     #[test]

@@ -69,6 +69,11 @@ OPTIONS (simulate):
   --engine ENGINE        event | event-par | polling — execution core; all
                          produce bit-identical traces (default event;
                          event-par shards rank execution over --jobs threads)
+  --stream-reduce        fold the run into the analysis report as it
+                         simulates: bounded memory, no tracefile; accepts
+                         the analyze knobs (--dispersion/--criterion/
+                         --clusters/--windows) and needs an event engine
+  --stream-frame-events N  events per streamed frame (default 4096)
 
 OPTIONS (analyze):
   --dispersion KIND      euclidean | variance | cv | mad | max-excess |
@@ -80,6 +85,10 @@ OPTIONS (analyze):
   --windows N            also slice the run into N windows and report how
                          each activity's imbalance evolves (default off)
   --format FMT           tracefile format: auto | binary | text (default auto)
+  --from-stream          decode the tracefile through the streaming folds in
+                         bounded 64 KiB chunks instead of loading it whole;
+                         same report byte for byte (binary traces only,
+                         incompatible with --drilldown)
 
 OPTIONS (advise):
   --workload W           advise on a synthetic workload instead of a tracefile

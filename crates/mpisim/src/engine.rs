@@ -23,7 +23,7 @@ use std::cell::Cell;
 use std::collections::VecDeque;
 
 use limba_model::ActivityKind;
-use limba_trace::{Event, ReducedTrace, SalvagedTrace, Trace, TraceBuilder};
+use limba_trace::{Event, ReducedTrace, SalvagedTrace, Trace, TraceBuilder, TraceError, TraceSink};
 
 use crate::arena::{ChannelIndex, HandleArena, SparseMap};
 use crate::balance::{BalancePlan, BalanceReport, BalanceState, HostView};
@@ -199,6 +199,22 @@ impl SimOutput {
     pub fn reduce_checked(&self) -> Result<SalvagedTrace, SimError> {
         Ok(limba_trace::reduce_checked(&self.trace)?)
     }
+}
+
+/// Output of a *streaming* simulation run: everything a [`SimOutput`]
+/// carries except the trace itself, which was delivered incrementally
+/// to the run's [`TraceSink`] instead of materialized. What remains is
+/// O(ranks), so a streaming run's resident footprint is bounded by the
+/// machine, not the event count.
+#[derive(Debug, Clone)]
+pub struct StreamOutput {
+    /// Summary statistics.
+    pub stats: SimStats,
+    /// What the fault plan did to this run; empty for unfaulted runs.
+    pub faults: FaultReport,
+    /// What the balance plan did to this run; inactive (`policy: None`)
+    /// for unbalanced runs.
+    pub balance: BalanceReport,
 }
 
 /// In-flight message on one `(src, dst)` channel.
@@ -588,6 +604,107 @@ fn speculate_local(
     })
 }
 
+/// Where the executor's recorded events go: materialized into a
+/// [`TraceBuilder`] (the classic path, verbatim), or streamed to a
+/// [`TraceSink`] in frames of `frame_events` events as rounds retire —
+/// the producer half of the streaming pipeline, holding at most one
+/// frame of events at a time.
+///
+/// Sink errors don't unwind through the hot path: they latch into
+/// `failed`, recording stops, and the scheduler loops surface the
+/// latched error as [`SimError::Trace`] at the next round boundary.
+/// This is how consumer cancellation (a dropped pipeline stage) stops
+/// a running simulation.
+enum Recorder<'a> {
+    Materialize(TraceBuilder),
+    Stream {
+        /// Events of the frame being filled.
+        buf: Vec<Event>,
+        /// Flush threshold: events per emitted frame.
+        frame_events: usize,
+        sink: &'a mut dyn TraceSink,
+        failed: Option<TraceError>,
+    },
+}
+
+impl Recorder<'_> {
+    #[inline]
+    fn push(&mut self, e: Event) {
+        match self {
+            Recorder::Materialize(b) => b.push(e),
+            Recorder::Stream {
+                buf,
+                frame_events,
+                sink,
+                failed,
+            } => {
+                if failed.is_some() {
+                    return;
+                }
+                buf.push(e);
+                if buf.len() >= *frame_events {
+                    if let Err(err) = sink.events(buf) {
+                        *failed = Some(err);
+                    }
+                    buf.clear();
+                }
+            }
+        }
+    }
+
+    #[inline]
+    fn extend_events(&mut self, events: &[Event]) {
+        match self {
+            Recorder::Materialize(b) => b.extend_events(events),
+            Recorder::Stream {
+                buf,
+                frame_events,
+                sink,
+                failed,
+            } => {
+                if failed.is_some() {
+                    return;
+                }
+                buf.extend_from_slice(events);
+                if buf.len() >= *frame_events {
+                    if let Err(err) = sink.events(buf) {
+                        *failed = Some(err);
+                    }
+                    buf.clear();
+                }
+            }
+        }
+    }
+
+    /// The latched sink error, if any — checked by the scheduler loops
+    /// at round boundaries to abort a run whose consumer failed.
+    fn take_failure(&mut self) -> Option<TraceError> {
+        match self {
+            Recorder::Materialize(_) => None,
+            Recorder::Stream { failed, .. } => failed.take(),
+        }
+    }
+
+    /// Flushes the partial frame and finishes the sink (streaming mode).
+    fn finish_stream(&mut self) -> Result<(), TraceError> {
+        match self {
+            Recorder::Materialize(_) => Ok(()),
+            Recorder::Stream {
+                buf, sink, failed, ..
+            } => {
+                if let Some(err) = failed.take() {
+                    return Err(err);
+                }
+                if !buf.is_empty() {
+                    sink.events(buf)?;
+                    buf.clear();
+                }
+                sink.finish()
+            }
+        }
+    }
+}
+
 /// The executor: rank arenas, flattened hot-path structures, and the
 /// per-op semantics the event-driven scheduler drives. Every structure
 /// here is sized by what the run actually touches — ranks, live
@@ -617,7 +734,7 @@ struct Exec<'a> {
     /// of distinct collective shapes across thousands of calls, and a
     /// linear scan of this short list beats recomputing the cost model.
     coll_costs: Vec<(CollectiveKind, u64, f64)>,
-    builder: TraceBuilder,
+    builder: Recorder<'a>,
     stats: SimStats,
     /// The round pair: ready ranks of the running round (drained in
     /// ascending order) and ranks woken for the next one (woken by a
@@ -674,6 +791,7 @@ impl<'a> Exec<'a> {
         program: &'a Program,
         plan: Option<&FaultPlan>,
         balance: Option<&BalancePlan>,
+        stream: Option<(&'a mut dyn TraceSink, usize)>,
     ) -> Result<Self, SimError> {
         config.validate()?;
         let p = config.processors();
@@ -734,19 +852,38 @@ impl<'a> Exec<'a> {
         }
         let rounds = Rounds::with_words(round_words, n);
 
-        let mut builder = TraceBuilder::new(n);
-        // A planned crash truncates the run at a point the hint cannot
-        // know, so the full-run reservation would be mostly dead weight
-        // and even a small floor is a net loss on heavily truncated
-        // runs; let the buffer grow on demand exactly like the polling
-        // reference does (capacity never reaches the output, only
-        // layout does).
-        if !crash_possible {
-            builder.reserve_events(program.event_capacity_hint());
-        }
-        for name in program.region_names() {
-            builder.add_region(name.clone());
-        }
+        let builder = match stream {
+            Some((sink, frame_events)) => {
+                // The sink learns the run's shape up front; events
+                // follow in frames. No full-run reservation — a frame
+                // is the most this run ever buffers.
+                sink.begin(n, program.region_names())?;
+                let frame_events = frame_events.max(1);
+                Recorder::Stream {
+                    buf: Vec::with_capacity(frame_events),
+                    frame_events,
+                    sink,
+                    failed: None,
+                }
+            }
+            None => {
+                let mut builder = TraceBuilder::new(n);
+                // A planned crash truncates the run at a point the hint
+                // cannot know, so the full-run reservation would be
+                // mostly dead weight and even a small floor is a net
+                // loss on heavily truncated runs; let the buffer grow
+                // on demand exactly like the polling reference does
+                // (capacity never reaches the output, only layout
+                // does).
+                if !crash_possible {
+                    builder.reserve_events(program.event_capacity_hint());
+                }
+                for name in program.region_names() {
+                    builder.add_region(name.clone());
+                }
+                Recorder::Materialize(builder)
+            }
+        };
 
         let link_cache = if config.has_link_overrides() {
             Some(SparseMap::new())
@@ -1449,6 +1586,9 @@ impl<'a> Exec<'a> {
     fn run_event(&mut self) -> Result<(), SimError> {
         let mut remaining = self.seed_runnable();
         while remaining > 0 {
+            if let Some(err) = self.builder.take_failure() {
+                return Err(SimError::Trace(err));
+            }
             if self.rounds.current_is_empty() {
                 if self.rounds.next_is_empty() {
                     if self.faults.as_ref().is_some_and(|f| f.any_crashed()) {
@@ -1534,6 +1674,9 @@ impl<'a> Exec<'a> {
         }
         let mut remaining = self.seed_runnable();
         while remaining > 0 {
+            if let Some(err) = self.builder.take_failure() {
+                return Err(SimError::Trace(err));
+            }
             if self.rounds.current_is_empty() {
                 if self.rounds.next_is_empty() {
                     if self.faults.as_ref().is_some_and(|f| f.any_crashed()) {
@@ -1618,7 +1761,10 @@ impl<'a> Exec<'a> {
         Ok(())
     }
 
-    fn finish(mut self) -> SimOutput {
+    /// Everything [`Exec::finish`] and [`Exec::finish_stream`] share:
+    /// final statistics, the fault and balance reports, and the scratch
+    /// handback.
+    fn finish_parts(&mut self) -> (FaultReport, BalanceReport) {
         for (rank, &RankHot { time: t, .. }) in self.arena.hot.iter().enumerate() {
             self.stats.rank_end_times[rank] = t;
             self.stats.makespan = self.stats.makespan.max(t);
@@ -1646,12 +1792,33 @@ impl<'a> Exec<'a> {
             arrivals: std::mem::take(&mut self.coll.arrivals),
         };
         SCRATCH.with(|c| c.set(Some(Box::new(scratch))));
+        (faults, balance)
+    }
+
+    fn finish(mut self) -> SimOutput {
+        let (faults, balance) = self.finish_parts();
+        let Recorder::Materialize(builder) = self.builder else {
+            unreachable!("materializing finish on a streaming run");
+        };
         SimOutput {
-            trace: self.builder.build(),
+            trace: builder.build(),
             stats: self.stats,
             faults,
             balance,
         }
+    }
+
+    /// The streaming counterpart of [`Exec::finish`]: flushes the last
+    /// partial frame, finishes the sink, and returns the trace-free
+    /// output.
+    fn finish_stream(mut self) -> Result<StreamOutput, SimError> {
+        let (faults, balance) = self.finish_parts();
+        self.builder.finish_stream()?;
+        Ok(StreamOutput {
+            stats: self.stats,
+            faults,
+            balance,
+        })
     }
 }
 
@@ -1681,7 +1848,7 @@ impl Simulator {
     /// references more ranks than the machine has, or the ranks deadlock
     /// (e.g. a receive whose matching send never happens).
     pub fn run(&self, program: &Program) -> Result<SimOutput, SimError> {
-        let mut exec = Exec::new(&self.config, program, None, None)?;
+        let mut exec = Exec::new(&self.config, program, None, None, None)?;
         exec.run_event()?;
         Ok(exec.finish())
     }
@@ -1706,7 +1873,7 @@ impl Simulator {
         program: &Program,
         plan: &FaultPlan,
     ) -> Result<SimOutput, SimError> {
-        let mut exec = Exec::new(&self.config, program, Some(plan), None)?;
+        let mut exec = Exec::new(&self.config, program, Some(plan), None, None)?;
         exec.run_event()?;
         Ok(exec.finish())
     }
@@ -1730,7 +1897,7 @@ impl Simulator {
         program: &Program,
         plan: &BalancePlan,
     ) -> Result<SimOutput, SimError> {
-        let mut exec = Exec::new(&self.config, program, None, Some(plan))?;
+        let mut exec = Exec::new(&self.config, program, None, Some(plan), None)?;
         exec.run_event()?;
         Ok(exec.finish())
     }
@@ -1750,7 +1917,7 @@ impl Simulator {
         balance: Option<&BalancePlan>,
         budget: Option<&RunBudget>,
     ) -> Result<SimOutput, SimError> {
-        let mut exec = Exec::new(&self.config, program, faults, balance)?;
+        let mut exec = Exec::new(&self.config, program, faults, balance, None)?;
         if let Some(budget) = budget {
             if !budget.is_unlimited() {
                 exec.budget = Some(budget);
@@ -1781,7 +1948,7 @@ impl Simulator {
         plan: Option<&FaultPlan>,
         budget: &RunBudget,
     ) -> Result<SimOutput, SimError> {
-        let mut exec = Exec::new(&self.config, program, plan, None)?;
+        let mut exec = Exec::new(&self.config, program, plan, None, None)?;
         if !budget.is_unlimited() {
             exec.budget = Some(budget);
         }
@@ -1807,7 +1974,7 @@ impl Simulator {
         program: &Program,
         jobs: usize,
     ) -> Result<SimOutput, SimError> {
-        let mut exec = Exec::new(&self.config, program, None, None)?;
+        let mut exec = Exec::new(&self.config, program, None, None, None)?;
         exec.run_event_parallel(jobs)?;
         Ok(exec.finish())
     }
@@ -1830,7 +1997,7 @@ impl Simulator {
         budget: Option<&RunBudget>,
         jobs: usize,
     ) -> Result<SimOutput, SimError> {
-        let mut exec = Exec::new(&self.config, program, faults, balance)?;
+        let mut exec = Exec::new(&self.config, program, faults, balance, None)?;
         if let Some(budget) = budget {
             if !budget.is_unlimited() {
                 exec.budget = Some(budget);
@@ -1838,6 +2005,86 @@ impl Simulator {
         }
         exec.run_event_parallel(jobs)?;
         Ok(exec.finish())
+    }
+
+    /// The streaming counterpart of [`Simulator::run_configured`]: the
+    /// identical simulation, but recorded events flow to `sink` in
+    /// frames of `frame_events` events as rounds retire, instead of
+    /// materializing into a [`Trace`]. The sink sees exactly the event
+    /// sequence the materialized trace would hold, in recording order —
+    /// so any streaming fold over it ([`limba_trace::stream`]) produces
+    /// bit-identical results to reducing the materialized trace, which
+    /// the stream-equivalence differential harness locks.
+    ///
+    /// Resident memory on the simulator side is O(ranks + one frame):
+    /// no full-run event reservation is made.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Simulator::run_configured`], plus
+    /// [`SimError::Trace`] carrying any error the sink returns — a
+    /// failing (e.g. cancelled) consumer aborts the run at the next
+    /// round boundary.
+    pub fn run_streaming_configured(
+        &self,
+        program: &Program,
+        faults: Option<&FaultPlan>,
+        balance: Option<&BalancePlan>,
+        budget: Option<&RunBudget>,
+        sink: &mut dyn TraceSink,
+        frame_events: usize,
+    ) -> Result<StreamOutput, SimError> {
+        let mut exec = Exec::new(
+            &self.config,
+            program,
+            faults,
+            balance,
+            Some((sink, frame_events)),
+        )?;
+        if let Some(budget) = budget {
+            if !budget.is_unlimited() {
+                exec.budget = Some(budget);
+            }
+        }
+        exec.run_event()?;
+        exec.finish_stream()
+    }
+
+    /// The streaming counterpart of
+    /// [`Simulator::run_parallel_configured`]: the parallel event
+    /// engine recording into `sink`. Byte-identical event stream to
+    /// [`Simulator::run_streaming_configured`] for every thread count
+    /// (budgeted runs fall back to the sequential scheduler, exactly as
+    /// the materialized path does).
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Simulator::run_streaming_configured`].
+    #[allow(clippy::too_many_arguments)]
+    pub fn run_streaming_parallel_configured(
+        &self,
+        program: &Program,
+        faults: Option<&FaultPlan>,
+        balance: Option<&BalancePlan>,
+        budget: Option<&RunBudget>,
+        jobs: usize,
+        sink: &mut dyn TraceSink,
+        frame_events: usize,
+    ) -> Result<StreamOutput, SimError> {
+        let mut exec = Exec::new(
+            &self.config,
+            program,
+            faults,
+            balance,
+            Some((sink, frame_events)),
+        )?;
+        if let Some(budget) = budget {
+            if !budget.is_unlimited() {
+                exec.budget = Some(budget);
+            }
+        }
+        exec.run_event_parallel(jobs)?;
+        exec.finish_stream()
     }
 
     /// Runs `program` with the polling reference engine — the original

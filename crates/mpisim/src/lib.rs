@@ -62,7 +62,7 @@ mod replicate;
 pub use balance::{BalancePlan, BalancePolicy, BalanceReport};
 pub use collectives::{collective_cost, CollectiveAlgorithm, CollectiveKind};
 pub use config::MachineConfig;
-pub use engine::{RunBudget, SimOutput, SimStats, Simulator};
+pub use engine::{RunBudget, SimOutput, SimStats, Simulator, StreamOutput};
 pub use error::SimError;
 pub use faults::{Crash, FaultPlan, FaultReport, LinkFault, MessageLoss, SlowdownWindow};
 pub use ops::{Op, Program, ProgramBuilder, RankOps};

@@ -60,16 +60,141 @@ fn malformed(detail: impl Into<String>) -> TraceError {
     }
 }
 
+/// Incremental FNV-1a state: feed bytes in any chunking, the digest is
+/// a pure function of the concatenated stream. The one-shot [`fnv1a`]
+/// and the streaming codec ([`crate::stream`]) both fold through this,
+/// so a checksum computed over a materialized buffer and one computed
+/// frame-by-frame agree by construction.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct Fnv(u64);
+
+impl Fnv {
+    pub(crate) fn new() -> Self {
+        Fnv(0xcbf2_9ce4_8422_2325)
+    }
+
+    pub(crate) fn update(&mut self, data: &[u8]) {
+        for &byte in data {
+            self.0 ^= u64::from(byte);
+            self.0 = self.0.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+
+    pub(crate) fn digest(self) -> u64 {
+        self.0
+    }
+}
+
 /// FNV-1a over arbitrary bytes — same function as
 /// `limba_core::snapshot::fnv1a`, duplicated here because this crate
 /// sits below `limba-core` in the dependency graph.
 fn fnv1a(data: &[u8]) -> u64 {
-    let mut hash = 0xcbf2_9ce4_8422_2325u64;
-    for &byte in data {
-        hash ^= u64::from(byte);
-        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    let mut fnv = Fnv::new();
+    fnv.update(data);
+    fnv.digest()
+}
+
+/// Appends the wire encoding of one event to `buf` — the record layout
+/// shared by the materialized format (versions 1–2) and the streamed
+/// chunk format (version 3, [`crate::stream`]).
+pub(crate) fn put_event(buf: &mut BytesMut, e: &Event) {
+    buf.put_f64_le(e.time);
+    buf.put_u32_le(e.proc);
+    match e.payload {
+        EventPayload::EnterRegion { region } => {
+            buf.put_u8(0);
+            buf.put_u32_le(region as u32);
+        }
+        EventPayload::LeaveRegion { region } => {
+            buf.put_u8(1);
+            buf.put_u32_le(region as u32);
+        }
+        EventPayload::BeginActivity { kind } => {
+            buf.put_u8(2);
+            buf.put_u8(kind.index() as u8);
+        }
+        EventPayload::EndActivity { kind } => {
+            buf.put_u8(3);
+            buf.put_u8(kind.index() as u8);
+        }
+        EventPayload::MessageSend { peer, bytes } => {
+            buf.put_u8(4);
+            buf.put_u32_le(peer);
+            buf.put_u64_le(bytes);
+        }
+        EventPayload::MessageRecv { peer, bytes } => {
+            buf.put_u8(5);
+            buf.put_u32_le(peer);
+            buf.put_u64_le(bytes);
+        }
     }
-    hash
+}
+
+/// Decodes one event record from the front of `buf` if a complete one
+/// is present: `Ok(Some((event, consumed)))` on success, `Ok(None)`
+/// when more bytes are needed (an incomplete record is not an error for
+/// a stream — the rest may still arrive), and a named error for
+/// structurally impossible bytes (unknown op code, bad activity index),
+/// which no amount of further input can repair.
+pub(crate) fn try_event(buf: &[u8]) -> Result<Option<(Event, usize)>, TraceError> {
+    if buf.len() < 13 {
+        return Ok(None);
+    }
+    let time = f64::from_le_bytes(buf[0..8].try_into().expect("8-byte time slice"));
+    let proc = u32::from_le_bytes(buf[8..12].try_into().expect("4-byte proc slice"));
+    let op = buf[12];
+    let rest = &buf[13..];
+    let (payload, operand_len) = match op {
+        0 | 1 => {
+            if rest.len() < 4 {
+                return Ok(None);
+            }
+            let region =
+                u32::from_le_bytes(rest[..4].try_into().expect("4-byte region slice")) as usize;
+            let payload = if op == 0 {
+                EventPayload::EnterRegion { region }
+            } else {
+                EventPayload::LeaveRegion { region }
+            };
+            (payload, 4)
+        }
+        2 | 3 => {
+            if rest.is_empty() {
+                return Ok(None);
+            }
+            let idx = rest[0] as usize;
+            let kind = ActivityKind::from_index(idx)
+                .ok_or_else(|| malformed(format!("bad activity index {idx}")))?;
+            let payload = if op == 2 {
+                EventPayload::BeginActivity { kind }
+            } else {
+                EventPayload::EndActivity { kind }
+            };
+            (payload, 1)
+        }
+        4 | 5 => {
+            if rest.len() < 12 {
+                return Ok(None);
+            }
+            let peer = u32::from_le_bytes(rest[..4].try_into().expect("4-byte peer slice"));
+            let bytes = u64::from_le_bytes(rest[4..12].try_into().expect("8-byte bytes slice"));
+            let payload = if op == 4 {
+                EventPayload::MessageSend { peer, bytes }
+            } else {
+                EventPayload::MessageRecv { peer, bytes }
+            };
+            (payload, 12)
+        }
+        other => return Err(malformed(format!("unknown op code {other}"))),
+    };
+    Ok(Some((
+        Event {
+            time,
+            proc,
+            payload,
+        },
+        13 + operand_len,
+    )))
 }
 
 /// Encodes `trace` into a byte buffer.
@@ -85,36 +210,7 @@ pub fn to_bytes(trace: &Trace) -> Bytes {
     }
     buf.put_u64_le(trace.events().len() as u64);
     for e in trace.events() {
-        buf.put_f64_le(e.time);
-        buf.put_u32_le(e.proc);
-        match e.payload {
-            EventPayload::EnterRegion { region } => {
-                buf.put_u8(0);
-                buf.put_u32_le(region as u32);
-            }
-            EventPayload::LeaveRegion { region } => {
-                buf.put_u8(1);
-                buf.put_u32_le(region as u32);
-            }
-            EventPayload::BeginActivity { kind } => {
-                buf.put_u8(2);
-                buf.put_u8(kind.index() as u8);
-            }
-            EventPayload::EndActivity { kind } => {
-                buf.put_u8(3);
-                buf.put_u8(kind.index() as u8);
-            }
-            EventPayload::MessageSend { peer, bytes } => {
-                buf.put_u8(4);
-                buf.put_u32_le(peer);
-                buf.put_u64_le(bytes);
-            }
-            EventPayload::MessageRecv { peer, bytes } => {
-                buf.put_u8(5);
-                buf.put_u32_le(peer);
-                buf.put_u64_le(bytes);
-            }
-        }
+        put_event(&mut buf, e);
     }
     let checksum = fnv1a(buf.as_ref());
     buf.put_u64_le(checksum);
@@ -161,9 +257,18 @@ pub fn from_bytes(buf: &[u8]) -> Result<Trace, TraceError> {
         return Err(malformed("bad magic"));
     }
     let version = buf.get_u16_le();
+    if version == crate::stream::STREAM_VERSION {
+        // A streamed (version-3) file: the chunked container the
+        // streaming encoder writes. Decode it through the incremental
+        // decoder into a materializing sink — readers of the
+        // materialized path see streamed files transparently.
+        return crate::stream::trace_from_stream_bytes(full);
+    }
     if !(MIN_VERSION..=VERSION).contains(&version) {
         return Err(malformed(format!(
-            "unsupported version {version} (this build reads {MIN_VERSION}..={VERSION})"
+            "unsupported version {version} (this build reads {MIN_VERSION}..={VERSION} \
+             and streamed version {})",
+            crate::stream::STREAM_VERSION
         )));
     }
     let body_len = if version >= 2 {

@@ -47,6 +47,7 @@
 #![warn(missing_docs)]
 
 pub mod binary;
+pub mod stream;
 pub mod text;
 
 mod event;
@@ -58,6 +59,10 @@ pub use event::{Event, EventPayload, Trace, TraceBuilder};
 pub use hierarchy::region_parents;
 pub use reduce::{reduce, reduce_well_formed, reduce_windows, ReducedTrace};
 pub use salvage::{reduce_checked, RankCoverage, SalvagedTrace};
+pub use stream::{
+    MaterializeSink, ReduceSink, SalvageSink, ScanSink, StreamDecoder, StreamEncoder, StreamScan,
+    TeeSink, TraceSink, WindowSink,
+};
 
 mod error;
 pub use error::TraceError;

@@ -34,60 +34,78 @@ pub(crate) enum Attribution {
     },
 }
 
-/// Walks one processor's (validated, time-sorted) events and emits
-/// attributions. Time between explicit activity intervals counts as
-/// computation; nested regions attribute to the innermost region.
-fn walk_processor<F: FnMut(Attribution)>(events: &[Event], mut sink: F) {
-    let mut stack: Vec<usize> = Vec::new();
-    let mut current: Option<(ActivityKind, f64)> = None;
-    let mut mark = 0.0f64;
-    for e in events {
+/// The incremental per-processor attribution state machine behind
+/// [`walk_processor`]: one event at a time via [`ProcWalker::step`], so
+/// the batch reduction (which iterates a materialized slice) and the
+/// streaming folds ([`crate::stream`], which see events as frames
+/// arrive) share the exact attribution code — structural identity, not
+/// merely tested equivalence.
+///
+/// Expects a well-formed, time-ordered stream (panics on malformed
+/// input, shielded by validation on the batch path); the lenient
+/// counterpart is `SalvageWalker`.
+pub(crate) struct ProcWalker {
+    stack: Vec<usize>,
+    current: Option<(ActivityKind, f64)>,
+    mark: f64,
+}
+
+impl ProcWalker {
+    pub(crate) fn new() -> Self {
+        ProcWalker {
+            stack: Vec::new(),
+            current: None,
+            mark: 0.0,
+        }
+    }
+
+    pub(crate) fn step<F: FnMut(Attribution)>(&mut self, e: &Event, sink: &mut F) {
         match e.payload {
             EventPayload::EnterRegion { region } => {
-                if let Some(&top) = stack.last() {
+                if let Some(&top) = self.stack.last() {
                     sink(Attribution::Interval {
                         region: top,
                         kind: ActivityKind::Computation,
-                        start: mark,
+                        start: self.mark,
                         end: e.time,
                     });
                 }
-                stack.push(region);
-                mark = e.time;
+                self.stack.push(region);
+                self.mark = e.time;
             }
             EventPayload::LeaveRegion { region } => {
                 sink(Attribution::Interval {
                     region,
                     kind: ActivityKind::Computation,
-                    start: mark,
+                    start: self.mark,
                     end: e.time,
                 });
-                stack.pop();
-                mark = e.time;
+                self.stack.pop();
+                self.mark = e.time;
             }
             EventPayload::BeginActivity { kind } => {
-                let top = *stack.last().expect("validated: inside a region");
+                let top = *self.stack.last().expect("validated: inside a region");
                 sink(Attribution::Interval {
                     region: top,
                     kind: ActivityKind::Computation,
-                    start: mark,
+                    start: self.mark,
                     end: e.time,
                 });
-                current = Some((kind, e.time));
+                self.current = Some((kind, e.time));
             }
             EventPayload::EndActivity { .. } => {
-                let (kind, start) = current.take().expect("validated: activity open");
-                let top = *stack.last().expect("validated: inside a region");
+                let (kind, start) = self.current.take().expect("validated: activity open");
+                let top = *self.stack.last().expect("validated: inside a region");
                 sink(Attribution::Interval {
                     region: top,
                     kind,
                     start,
                     end: e.time,
                 });
-                mark = e.time;
+                self.mark = e.time;
             }
             EventPayload::MessageSend { bytes, .. } => {
-                if let Some(&top) = stack.last() {
+                if let Some(&top) = self.stack.last() {
                     sink(Attribution::Count {
                         region: top,
                         kind: CountKind::MessagesSent,
@@ -103,7 +121,7 @@ fn walk_processor<F: FnMut(Attribution)>(events: &[Event], mut sink: F) {
                 }
             }
             EventPayload::MessageRecv { bytes, .. } => {
-                if let Some(&top) = stack.last() {
+                if let Some(&top) = self.stack.last() {
                     sink(Attribution::Count {
                         region: top,
                         kind: CountKind::MessagesReceived,
@@ -122,16 +140,36 @@ fn walk_processor<F: FnMut(Attribution)>(events: &[Event], mut sink: F) {
     }
 }
 
+/// Walks one processor's (validated, time-sorted) events and emits
+/// attributions. Time between explicit activity intervals counts as
+/// computation; nested regions attribute to the innermost region.
+fn walk_processor<F: FnMut(Attribution)>(events: &[Event], mut sink: F) {
+    let mut walker = ProcWalker::new();
+    for e in events {
+        walker.step(e, &mut sink);
+    }
+}
+
+/// Folds one event into a running activity-kind list: the paper's
+/// standard four are seeded by the caller, extras append in
+/// first-appearance order. [`trace_activities`] folds a materialized
+/// trace through this; the streaming scan ([`crate::stream`]) folds the
+/// live event stream through the same function, so both discover the
+/// identical [`ActivitySet`].
+pub(crate) fn note_activity(kinds: &mut Vec<ActivityKind>, e: &Event) {
+    if let EventPayload::BeginActivity { kind } = e.payload {
+        if !kinds.contains(&kind) {
+            kinds.push(kind);
+        }
+    }
+}
+
 /// The activity set of a trace: the paper's standard four plus whatever
 /// else the trace actually used, in canonical order.
 pub(crate) fn trace_activities(trace: &Trace) -> ActivitySet {
     let mut kinds: Vec<ActivityKind> = STANDARD_ACTIVITIES.to_vec();
     for e in trace.events() {
-        if let EventPayload::BeginActivity { kind } = e.payload {
-            if !kinds.contains(&kind) {
-                kinds.push(kind);
-            }
-        }
+        note_activity(&mut kinds, e);
     }
     ActivitySet::new(kinds)
 }
@@ -249,47 +287,13 @@ pub fn reduce_windows(trace: &Trace, windows: usize) -> Result<Vec<ReducedTrace>
             (mb, CountMatrixBuilder::new(trace.processors()))
         })
         .collect();
-    let clamp_window = |t: f64| -> usize { ((t / width) as usize).min(windows - 1) };
     let mut failure: Option<TraceError> = None;
     for (proc, events) in (0u32..).zip(trace.events_partitioned()) {
         walk_processor(&events, |attribution| {
             if failure.is_some() {
                 return;
             }
-            let result = match attribution {
-                Attribution::Interval {
-                    region,
-                    kind,
-                    start,
-                    end,
-                } => {
-                    let (first, last) = (clamp_window(start), clamp_window(end));
-                    let mut res = Ok(());
-                    for (w, builder) in builders.iter_mut().enumerate().take(last + 1).skip(first) {
-                        let lo = start.max(w as f64 * width);
-                        let hi = end.min((w + 1) as f64 * width);
-                        if hi > lo {
-                            res = res.and(builder.0.record(
-                                RegionId::new(region),
-                                kind,
-                                proc as usize,
-                                hi - lo,
-                            ));
-                        }
-                    }
-                    res
-                }
-                Attribution::Count {
-                    region,
-                    kind,
-                    amount,
-                    at,
-                } => builders[clamp_window(at)]
-                    .1
-                    .record(RegionId::new(region), kind, proc as usize, amount)
-                    .and(Ok(())),
-            };
-            if let Err(e) = result {
+            if let Err(e) = scatter_windowed(&mut builders, width, proc, attribution) {
                 failure = Some(e.into());
             }
         });
@@ -306,6 +310,54 @@ pub fn reduce_windows(trace: &Trace, windows: usize) -> Result<Vec<ReducedTrace>
             })
         })
         .collect()
+}
+
+/// Scatters one attribution over the window builders: intervals split
+/// proportionally across every window they overlap, counts land in the
+/// window of their timestamp. Shared verbatim by [`reduce_windows`] and
+/// the streaming window fold ([`crate::stream`]), so the two paths
+/// perform the identical floating-point splits in the identical order.
+pub(crate) fn scatter_windowed(
+    builders: &mut [(MeasurementsBuilder, CountMatrixBuilder)],
+    width: f64,
+    proc: u32,
+    attribution: Attribution,
+) -> Result<(), limba_model::ModelError> {
+    let windows = builders.len();
+    let clamp_window = |t: f64| -> usize { ((t / width) as usize).min(windows - 1) };
+    match attribution {
+        Attribution::Interval {
+            region,
+            kind,
+            start,
+            end,
+        } => {
+            let (first, last) = (clamp_window(start), clamp_window(end));
+            let mut res = Ok(());
+            for (w, builder) in builders.iter_mut().enumerate().take(last + 1).skip(first) {
+                let lo = start.max(w as f64 * width);
+                let hi = end.min((w + 1) as f64 * width);
+                if hi > lo {
+                    res = res.and(builder.0.record(
+                        RegionId::new(region),
+                        kind,
+                        proc as usize,
+                        hi - lo,
+                    ));
+                }
+            }
+            res
+        }
+        Attribution::Count {
+            region,
+            kind,
+            amount,
+            at,
+        } => builders[clamp_window(at)]
+            .1
+            .record(RegionId::new(region), kind, proc as usize, amount)
+            .and(Ok(())),
+    }
 }
 
 #[cfg(test)]

@@ -182,47 +182,93 @@ fn walk_salvage<F: FnMut(Attribution)>(
     regions: usize,
     mut sink: F,
 ) -> Result<RankCoverage, TraceError> {
-    let malformed = |index: usize, detail: String| TraceError::MalformedEvent {
-        proc,
-        index,
-        detail,
-    };
-    let check_region = |index: usize, verb: &str, region: usize| {
-        if region >= regions {
-            Err(malformed(
-                index,
-                format!("{verb} unknown region {region}, trace declares {regions}"),
-            ))
-        } else {
-            Ok(())
-        }
-    };
-    let mut stack: Vec<usize> = Vec::new();
-    // Open activity: kind, start time, and the innermost region at its
-    // begin — the fallback attribution target when the region closes
-    // before the activity does.
-    let mut current: Option<(ActivityKind, f64, usize)> = None;
-    let mut mark = 0.0f64;
-    let mut last_time = 0.0f64;
+    let mut walker = SalvageWalker::new(proc, regions);
     for &(index, e) in events {
-        last_time = e.time;
+        walker.step(index, &e, &mut sink)?;
+    }
+    Ok(walker.finish(&mut sink))
+}
+
+/// The incremental state machine behind [`walk_salvage`]: one event at
+/// a time via [`SalvageWalker::step`], truncation repair and the
+/// coverage record on [`SalvageWalker::finish`]. The batch salvage path
+/// drives it over a materialized, per-rank-sorted slice; the streaming
+/// salvage fold ([`crate::stream`]) drives one walker per rank as
+/// frames arrive — the same code attributes in both, so their outputs
+/// are identical by construction, not merely by test.
+pub(crate) struct SalvageWalker {
+    proc: u32,
+    regions: usize,
+    stack: Vec<usize>,
+    /// Open activity: kind, start time, and the innermost region at its
+    /// begin — the fallback attribution target when the region closes
+    /// before the activity does.
+    current: Option<(ActivityKind, f64, usize)>,
+    mark: f64,
+    last_time: f64,
+    events: usize,
+}
+
+impl SalvageWalker {
+    pub(crate) fn new(proc: u32, regions: usize) -> Self {
+        SalvageWalker {
+            proc,
+            regions,
+            stack: Vec::new(),
+            current: None,
+            mark: 0.0,
+            last_time: 0.0,
+            events: 0,
+        }
+    }
+
+    /// The rank this walker attributes for.
+    pub(crate) fn proc(&self) -> u32 {
+        self.proc
+    }
+
+    pub(crate) fn step<F: FnMut(Attribution)>(
+        &mut self,
+        index: usize,
+        e: &Event,
+        sink: &mut F,
+    ) -> Result<(), TraceError> {
+        let proc = self.proc;
+        let regions = self.regions;
+        let malformed = |index: usize, detail: String| TraceError::MalformedEvent {
+            proc,
+            index,
+            detail,
+        };
+        let check_region = |index: usize, verb: &str, region: usize| {
+            if region >= regions {
+                Err(malformed(
+                    index,
+                    format!("{verb} unknown region {region}, trace declares {regions}"),
+                ))
+            } else {
+                Ok(())
+            }
+        };
+        self.events += 1;
+        self.last_time = e.time;
         match e.payload {
             EventPayload::EnterRegion { region } => {
                 check_region(index, "enters", region)?;
-                if let Some(&top) = stack.last() {
+                if let Some(&top) = self.stack.last() {
                     sink(Attribution::Interval {
                         region: top,
                         kind: ActivityKind::Computation,
-                        start: mark,
+                        start: self.mark,
                         end: e.time,
                     });
                 }
-                stack.push(region);
-                mark = e.time;
+                self.stack.push(region);
+                self.mark = e.time;
             }
             EventPayload::LeaveRegion { region } => {
                 check_region(index, "leaves", region)?;
-                match stack.last() {
+                match self.stack.last() {
                     Some(&top) if top == region => {}
                     Some(&top) => {
                         return Err(malformed(
@@ -240,20 +286,20 @@ fn walk_salvage<F: FnMut(Attribution)>(
                 sink(Attribution::Interval {
                     region,
                     kind: ActivityKind::Computation,
-                    start: mark,
+                    start: self.mark,
                     end: e.time,
                 });
-                stack.pop();
-                mark = e.time;
+                self.stack.pop();
+                self.mark = e.time;
             }
             EventPayload::BeginActivity { kind } => {
-                if let Some((open, _, _)) = current {
+                if let Some((open, _, _)) = self.current {
                     return Err(malformed(
                         index,
                         format!("begins {kind} while {open} is still open"),
                     ));
                 }
-                let Some(&top) = stack.last() else {
+                let Some(&top) = self.stack.last() else {
                     return Err(malformed(
                         index,
                         format!("begins {kind} outside any region"),
@@ -262,30 +308,30 @@ fn walk_salvage<F: FnMut(Attribution)>(
                 sink(Attribution::Interval {
                     region: top,
                     kind: ActivityKind::Computation,
-                    start: mark,
+                    start: self.mark,
                     end: e.time,
                 });
-                current = Some((kind, e.time, top));
+                self.current = Some((kind, e.time, top));
             }
             EventPayload::EndActivity { kind } => {
-                let Some((open, start, begun_in)) = current.take() else {
+                let Some((open, start, begun_in)) = self.current.take() else {
                     return Err(malformed(index, format!("ends {kind} that never began")));
                 };
                 // Strict reduction attributes the interval to the
                 // innermost region at end time; keep that, falling back
                 // to the begin-time region when the stream left no
                 // region open (valid but previously panicked reduce).
-                let region = stack.last().copied().unwrap_or(begun_in);
+                let region = self.stack.last().copied().unwrap_or(begun_in);
                 sink(Attribution::Interval {
                     region,
                     kind: open,
                     start,
                     end: e.time,
                 });
-                mark = e.time;
+                self.mark = e.time;
             }
             EventPayload::MessageSend { bytes, .. } => {
-                if let Some(&top) = stack.last() {
+                if let Some(&top) = self.stack.last() {
                     sink(Attribution::Count {
                         region: top,
                         kind: limba_model::CountKind::MessagesSent,
@@ -301,7 +347,7 @@ fn walk_salvage<F: FnMut(Attribution)>(
                 }
             }
             EventPayload::MessageRecv { bytes, .. } => {
-                if let Some(&top) = stack.last() {
+                if let Some(&top) = self.stack.last() {
                     sink(Attribution::Count {
                         region: top,
                         kind: limba_model::CountKind::MessagesReceived,
@@ -317,39 +363,45 @@ fn walk_salvage<F: FnMut(Attribution)>(
                 }
             }
         }
+        Ok(())
     }
-    let open_activity = current.is_some();
-    let open_regions = stack.len();
-    // Truncation salvage: close whatever the stream left open at the
-    // last recorded timestamp, as if the missing end/leave events had
-    // fired there. Partial spans are attributed, not discarded.
-    if let Some((kind, start, begun_in)) = current.take() {
-        let region = stack.last().copied().unwrap_or(begun_in);
-        sink(Attribution::Interval {
-            region,
-            kind,
-            start,
-            end: last_time,
-        });
-        mark = last_time;
+
+    pub(crate) fn finish<F: FnMut(Attribution)>(mut self, sink: &mut F) -> RankCoverage {
+        let open_activity = self.current.is_some();
+        let open_regions = self.stack.len();
+        let last_time = self.last_time;
+        let mut mark = self.mark;
+        // Truncation salvage: close whatever the stream left open at the
+        // last recorded timestamp, as if the missing end/leave events had
+        // fired there. Partial spans are attributed, not discarded.
+        if let Some((kind, start, begun_in)) = self.current.take() {
+            let region = self.stack.last().copied().unwrap_or(begun_in);
+            sink(Attribution::Interval {
+                region,
+                kind,
+                start,
+                end: last_time,
+            });
+            mark = last_time;
+        }
+        while let Some(region) = self.stack.pop() {
+            sink(Attribution::Interval {
+                region,
+                kind: ActivityKind::Computation,
+                start: mark,
+                end: last_time,
+            });
+            mark = last_time;
+        }
+        RankCoverage {
+            proc: self.proc,
+            events: self.events,
+            complete: open_regions == 0 && !open_activity,
+            open_regions,
+            open_activity,
+            last_time,
+        }
     }
-    while let Some(region) = stack.pop() {
-        sink(Attribution::Interval {
-            region,
-            kind: ActivityKind::Computation,
-            start: mark,
-            end: last_time,
-        });
-        mark = last_time;
-    }
-    Ok(RankCoverage {
-        proc,
-        events: events.len(),
-        complete: open_regions == 0 && !open_activity,
-        open_regions,
-        open_activity,
-        last_time,
-    })
 }
 
 #[cfg(test)]

@@ -1,0 +1,1780 @@
+//! Streaming trace dataflow: frame-at-a-time encoding, decoding, and
+//! reduction, so no pipeline stage ever holds a whole trace.
+//!
+//! The materialized pipeline (simulate → [`Trace`] → [`binary`] file →
+//! [`reduce`](crate::reduce)) builds each stage's full output before
+//! the next starts — the memory wall at 100k+ ranks. This module is the
+//! streaming counterpart, built from three pieces:
+//!
+//! * [`TraceSink`] — the producer/consumer contract: a trace flows
+//!   through `begin → events* → finish`, with events delivered in
+//!   recording order in arbitrarily sized batches. The simulator's
+//!   engines can record straight into any sink instead of a
+//!   [`TraceBuilder`].
+//! * [`StreamEncoder`] / [`StreamDecoder`] — the chunked binary
+//!   container (format version 3): the same per-event wire records as
+//!   the materialized format, framed into self-delimiting chunks so a
+//!   writer can emit as rounds retire and a reader can fold from
+//!   arbitrarily split byte frames. The decoder also accepts
+//!   materialized version 1–2 files, and [`binary::from_bytes`] accepts
+//!   version 3 by delegating here — the two formats are mutually
+//!   readable.
+//! * the folds — [`ScanSink`], [`ReduceSink`], [`WindowSink`],
+//!   [`SalvageSink`], [`MaterializeSink`], [`TeeSink`] — sinks that
+//!   consume an event stream into a makespan/activity scan, a full or
+//!   windowed reduction, a salvaged reduction with per-rank coverage,
+//!   or a materialized [`Trace`].
+//!
+//! # Identity with the materialized path
+//!
+//! The folds do not reimplement attribution: they drive the *same*
+//! per-rank state machines (`ProcWalker`, `SalvageWalker`) and the same
+//! window-scatter arithmetic as [`reduce`](crate::reduce()) /
+//! [`reduce_windows`](crate::reduce_windows) /
+//! [`reduce_checked`](crate::reduce_checked), stepping them as events
+//! arrive instead of over materialized slices. Because every matrix
+//! cell `(region, activity, processor)` is written by exactly one
+//! rank's walker, and each rank's events reach its walker in the same
+//! order on both paths, the per-cell floating-point accumulation
+//! sequences — and therefore the results — are bit-identical. The
+//! differential harness (`tests/stream_equivalence.rs`) locks this
+//! empirically across workloads × faults × balance × frame sizes.
+//!
+//! One prerequisite the materialized path does not have: streaming
+//! folds cannot sort, so each rank's events must already be
+//! time-ordered in recording order. Every writer in this repository
+//! (both simulator engines, the codecs) preserves that; a stream that
+//! violates it fails with a named [`TraceError::NonMonotoneTime`]
+//! instead of being silently misattributed.
+//!
+//! # Bounded memory
+//!
+//! The decoder stages only the bytes of one incomplete record (plus
+//! whatever the caller feeds per call); the folds hold O(regions ×
+//! activities × processors) of matrix state (per window, for
+//! [`WindowSink`]) and O(1) walker state per rank. Nothing grows with
+//! the event count.
+//!
+//! [`binary`]: crate::binary
+//! [`binary::from_bytes`]: crate::binary::from_bytes
+
+use bytes::{BufMut, Bytes, BytesMut};
+
+use limba_model::{
+    ActivityKind, ActivitySet, CountMatrixBuilder, MeasurementsBuilder, RegionId,
+    STANDARD_ACTIVITIES,
+};
+
+use crate::binary::{put_event, try_event, Fnv, MAX_PROCESSORS};
+use crate::reduce::{note_activity, scatter_windowed, Attribution, ProcWalker, ReducedTrace};
+use crate::salvage::{SalvageWalker, SalvagedTrace};
+use crate::{Event, EventPayload, Trace, TraceBuilder, TraceError};
+
+/// Format version of the chunked streaming container.
+pub const STREAM_VERSION: u16 = 3;
+
+const MAGIC: &[u8; 8] = b"LIMBATRC";
+/// Chunk tag: a batch of events (`u32` count, then that many records).
+const CHUNK_EVENTS: u8 = 0;
+/// Chunk tag: end of stream (`u64` total events, `u64` FNV-1a checksum
+/// of every preceding byte).
+const CHUNK_END: u8 = 1;
+/// Largest region count a streamed header may declare. The
+/// materialized decoder bounds counts against the bytes remaining in
+/// the buffer; a stream has no "remaining", so a fixed cap stands in.
+const MAX_REGIONS: usize = 1 << 20;
+/// Largest single region-name length (bytes) a streamed header may
+/// declare — bounds the decoder's staging buffer.
+const MAX_REGION_NAME: usize = 1 << 20;
+/// Decoded events are handed to the sink in batches of at most this
+/// many, bounding the decoder's pending-event buffer.
+const DECODE_BATCH: usize = 4096;
+
+fn malformed(detail: impl Into<String>) -> TraceError {
+    TraceError::Malformed {
+        detail: detail.into(),
+    }
+}
+
+/// The producer/consumer contract of the streaming pipeline: a trace
+/// flows through exactly one [`begin`](TraceSink::begin), any number of
+/// [`events`](TraceSink::events) batches (events in recording order;
+/// batch boundaries carry no meaning), and one
+/// [`finish`](TraceSink::finish).
+///
+/// Both ends of the pipeline speak it: the simulator's engines record
+/// into a sink as rounds retire, and [`StreamDecoder`] replays a byte
+/// stream into one. An error returned from any method propagates to
+/// the producer, which aborts — this is how consumer cancellation
+/// reaches a running simulation.
+pub trait TraceSink {
+    /// Starts a trace: processor count and the region name table.
+    ///
+    /// # Errors
+    ///
+    /// Implementations reject streams they cannot accept (e.g. a
+    /// processor count over the supported maximum).
+    fn begin(&mut self, processors: usize, region_names: &[String]) -> Result<(), TraceError>;
+
+    /// Delivers the next batch of events, in recording order.
+    ///
+    /// # Errors
+    ///
+    /// Implementations fail on malformed events or when their consumer
+    /// is gone; the producer must stop feeding after an error.
+    fn events(&mut self, events: &[Event]) -> Result<(), TraceError>;
+
+    /// Ends the trace: no more events will arrive.
+    ///
+    /// # Errors
+    ///
+    /// Implementations surface finalization failures (e.g. a reduction
+    /// over a stream that declared no regions).
+    fn finish(&mut self) -> Result<(), TraceError>;
+}
+
+/// A [`TraceSink`] that materializes the stream into an ordinary
+/// [`Trace`] — the bridge back to the batch pipeline, and the witness
+/// that a streamed trace carries exactly the information a materialized
+/// one does.
+#[derive(Debug, Default)]
+pub struct MaterializeSink {
+    builder: Option<TraceBuilder>,
+    trace: Option<Trace>,
+}
+
+impl MaterializeSink {
+    /// Creates an empty sink.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The materialized trace, once [`TraceSink::finish`] has run.
+    pub fn into_trace(self) -> Option<Trace> {
+        self.trace
+    }
+}
+
+impl TraceSink for MaterializeSink {
+    fn begin(&mut self, processors: usize, region_names: &[String]) -> Result<(), TraceError> {
+        let mut builder = TraceBuilder::new(processors);
+        for name in region_names {
+            builder.add_region(name.clone());
+        }
+        self.builder = Some(builder);
+        Ok(())
+    }
+
+    fn events(&mut self, events: &[Event]) -> Result<(), TraceError> {
+        let builder = self
+            .builder
+            .as_mut()
+            .ok_or_else(|| malformed("events before begin"))?;
+        builder.extend_events(events);
+        Ok(())
+    }
+
+    fn finish(&mut self) -> Result<(), TraceError> {
+        let builder = self
+            .builder
+            .take()
+            .ok_or_else(|| malformed("finish before begin"))?;
+        self.trace = Some(builder.build());
+        Ok(())
+    }
+}
+
+/// Forwards one stream to two sinks — e.g. a full reduction and a
+/// windowed one folding the same frames in a single pass.
+pub struct TeeSink<'a> {
+    first: &'a mut dyn TraceSink,
+    second: &'a mut dyn TraceSink,
+}
+
+impl<'a> TeeSink<'a> {
+    /// Tees the stream into `first` then `second` (per call, in order).
+    pub fn new(first: &'a mut dyn TraceSink, second: &'a mut dyn TraceSink) -> Self {
+        TeeSink { first, second }
+    }
+}
+
+impl TraceSink for TeeSink<'_> {
+    fn begin(&mut self, processors: usize, region_names: &[String]) -> Result<(), TraceError> {
+        self.first.begin(processors, region_names)?;
+        self.second.begin(processors, region_names)
+    }
+
+    fn events(&mut self, events: &[Event]) -> Result<(), TraceError> {
+        self.first.events(events)?;
+        self.second.events(events)
+    }
+
+    fn finish(&mut self) -> Result<(), TraceError> {
+        self.first.finish()?;
+        self.second.finish()
+    }
+}
+
+// ---------------------------------------------------------------------
+// Encoder
+// ---------------------------------------------------------------------
+
+/// Encodes a trace stream into the chunked version-3 container, one
+/// self-delimiting byte frame per call:
+/// [`header`](StreamEncoder::header), then any number of
+/// [`frame`](StreamEncoder::frame)s, then
+/// [`finish`](StreamEncoder::finish) (which seals the stream with the
+/// running event total and FNV-1a checksum). Concatenating the returned
+/// frames yields a valid file that [`binary::from_bytes`] and
+/// [`StreamDecoder`] both read.
+///
+/// ```text
+/// magic    8 bytes  "LIMBATRC"
+/// version  u16      3
+/// procs    u32
+/// nregions u32
+/// regions  nregions × (u32 length, utf-8 bytes)
+/// chunks   × (u8 tag 0, u32 count, count × event records)
+/// end      u8 tag 1, u64 total events, u64 FNV-1a of all prior bytes
+/// ```
+///
+/// [`binary::from_bytes`]: crate::binary::from_bytes
+#[derive(Debug)]
+pub struct StreamEncoder {
+    hash: Fnv,
+    events: u64,
+}
+
+impl StreamEncoder {
+    /// Creates an encoder for one stream.
+    pub fn new() -> Self {
+        StreamEncoder {
+            hash: Fnv::new(),
+            events: 0,
+        }
+    }
+
+    /// Encodes the stream header.
+    ///
+    /// # Errors
+    ///
+    /// Rejects processor counts over the supported maximum and region
+    /// tables the streamed format cannot represent.
+    pub fn header(
+        &mut self,
+        processors: usize,
+        region_names: &[String],
+    ) -> Result<Bytes, TraceError> {
+        if processors > MAX_PROCESSORS {
+            return Err(malformed(format!(
+                "processor count {processors} exceeds the supported maximum {MAX_PROCESSORS}"
+            )));
+        }
+        if region_names.len() > MAX_REGIONS {
+            return Err(malformed(format!(
+                "region count {} exceeds the streamed maximum {MAX_REGIONS}",
+                region_names.len()
+            )));
+        }
+        let mut buf = BytesMut::with_capacity(64);
+        buf.put_slice(MAGIC);
+        buf.put_u16_le(STREAM_VERSION);
+        buf.put_u32_le(processors as u32);
+        buf.put_u32_le(region_names.len() as u32);
+        for name in region_names {
+            if name.len() > MAX_REGION_NAME {
+                return Err(malformed(format!(
+                    "region name of {} bytes exceeds the streamed maximum {MAX_REGION_NAME}",
+                    name.len()
+                )));
+            }
+            buf.put_u32_le(name.len() as u32);
+            buf.put_slice(name.as_bytes());
+        }
+        self.hash.update(buf.as_ref());
+        Ok(buf.freeze())
+    }
+
+    /// Encodes one batch of events as an event chunk. An empty batch
+    /// encodes to an empty frame (nothing need be sent).
+    pub fn frame(&mut self, events: &[Event]) -> Bytes {
+        if events.is_empty() {
+            return Bytes::from(Vec::new());
+        }
+        let mut buf = BytesMut::with_capacity(5 + events.len() * 25);
+        // A u32 count caps one chunk at 4Gi events; longer batches
+        // split into consecutive chunks, which decode identically.
+        for chunk in events.chunks(u32::MAX as usize) {
+            buf.put_u8(CHUNK_EVENTS);
+            buf.put_u32_le(chunk.len() as u32);
+            for e in chunk {
+                put_event(&mut buf, e);
+            }
+            self.events += chunk.len() as u64;
+        }
+        self.hash.update(buf.as_ref());
+        buf.freeze()
+    }
+
+    /// Seals the stream: the end chunk with the running event total and
+    /// content checksum.
+    pub fn finish(&mut self) -> Bytes {
+        let mut buf = BytesMut::with_capacity(17);
+        buf.put_u8(CHUNK_END);
+        buf.put_u64_le(self.events);
+        self.hash.update(buf.as_ref());
+        buf.put_u64_le(self.hash.digest());
+        buf.freeze()
+    }
+}
+
+impl Default for StreamEncoder {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+// ---------------------------------------------------------------------
+// Decoder
+// ---------------------------------------------------------------------
+
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum DecodeState {
+    /// Fixed 18-byte prelude: magic, version, processors, region count.
+    Prelude,
+    /// Region table entries still expected.
+    Regions { left: usize },
+    /// Materialized formats (v1–2): the u64 event count.
+    EventCount,
+    /// Materialized formats: events until the declared count is met.
+    Events,
+    /// Version 2 only: the trailing 8-byte checksum.
+    Checksum,
+    /// Streamed format (v3): the next chunk tag.
+    ChunkTag,
+    /// Streamed format: an event chunk's u32 count.
+    BatchCount,
+    /// Streamed format: events of the current chunk.
+    Batch { left: u32 },
+    /// Streamed format: the end chunk's total + checksum.
+    Trailer,
+    /// Stream fully consumed and verified.
+    Done,
+}
+
+impl DecodeState {
+    /// What the decoder was waiting for — names truncation errors.
+    fn expecting(self) -> &'static str {
+        match self {
+            DecodeState::Prelude => "stream header",
+            DecodeState::Regions { .. } => "region table",
+            DecodeState::EventCount => "event count",
+            DecodeState::Events => "events",
+            DecodeState::Checksum => "content checksum",
+            DecodeState::ChunkTag => "chunk tag",
+            DecodeState::BatchCount => "event chunk count",
+            DecodeState::Batch { .. } => "event chunk",
+            DecodeState::Trailer => "end chunk",
+            DecodeState::Done => "nothing",
+        }
+    }
+}
+
+/// Incremental push-based trace decoder: feed it byte chunks split at
+/// *any* boundary — frame-aligned, mid-record, even one byte at a time
+/// — and it replays the trace into a [`TraceSink`], verifying structure
+/// and content checksum as it goes. Reads the streamed version-3
+/// container and materialized version 1–2 files alike.
+///
+/// Memory: the decoder stages only the bytes of one incomplete item
+/// (record, region name, or header field) between calls, plus a
+/// bounded pending-event batch — never the whole trace.
+///
+/// A truncated stream surfaces as a named [`TraceError::Malformed`]
+/// from [`StreamDecoder::finish`] saying what was being read; corrupted
+/// bytes surface from [`StreamDecoder::feed`] as the earliest of a
+/// structural error or a [`TraceError::ChecksumMismatch`]. (The
+/// materialized decoder, holding the whole file, verifies the checksum
+/// *before* structure; a stream cannot, so mid-stream corruption may
+/// report structurally here. Valid input decodes identically on both.)
+pub struct StreamDecoder {
+    state: DecodeState,
+    version: u16,
+    processors: usize,
+    region_names: Vec<String>,
+    /// Declared event count (materialized formats only).
+    expect_events: u64,
+    /// Events decoded so far.
+    seen_events: u64,
+    hash: Fnv,
+    /// Staged input: `buf[pos..]` is unconsumed.
+    buf: Vec<u8>,
+    pos: usize,
+    /// Decoded events awaiting delivery to the sink.
+    pending: Vec<Event>,
+    /// Set once any error has been returned; the decoder is poisoned.
+    failed: bool,
+}
+
+impl StreamDecoder {
+    /// Creates a decoder for one stream.
+    pub fn new() -> Self {
+        StreamDecoder {
+            state: DecodeState::Prelude,
+            version: 0,
+            processors: 0,
+            region_names: Vec::new(),
+            expect_events: 0,
+            seen_events: 0,
+            hash: Fnv::new(),
+            buf: Vec::new(),
+            pos: 0,
+            pending: Vec::new(),
+            failed: false,
+        }
+    }
+
+    /// `true` once the stream has been fully consumed and verified.
+    pub fn is_done(&self) -> bool {
+        self.state == DecodeState::Done
+    }
+
+    /// Consumes one chunk of input, delivering any completed events to
+    /// `sink`. Chunks may be split at any byte boundary.
+    ///
+    /// # Errors
+    ///
+    /// Named [`TraceError`]s for structural damage, count caps, bytes
+    /// after the end of the stream, and checksum mismatches — plus
+    /// whatever `sink` returns. After an error the decoder is poisoned
+    /// and every further call fails.
+    pub fn feed(&mut self, chunk: &[u8], sink: &mut dyn TraceSink) -> Result<(), TraceError> {
+        if self.failed {
+            return Err(malformed("stream decoder poisoned by an earlier error"));
+        }
+        let result = self.feed_inner(chunk, sink);
+        if result.is_err() {
+            self.failed = true;
+        }
+        result
+    }
+
+    /// Ends the input: verifies the stream was complete and forwards
+    /// [`TraceSink::finish`].
+    ///
+    /// # Errors
+    ///
+    /// A named truncation error when the stream ended mid-structure
+    /// (saying what was being read), plus the conditions of
+    /// [`StreamDecoder::feed`].
+    pub fn finish(&mut self, sink: &mut dyn TraceSink) -> Result<(), TraceError> {
+        if self.failed {
+            return Err(malformed("stream decoder poisoned by an earlier error"));
+        }
+        if self.state != DecodeState::Done {
+            self.failed = true;
+            return Err(malformed(format!(
+                "stream truncated while reading {}",
+                self.state.expecting()
+            )));
+        }
+        sink.finish()
+    }
+
+    fn feed_inner(&mut self, chunk: &[u8], sink: &mut dyn TraceSink) -> Result<(), TraceError> {
+        if self.state == DecodeState::Done {
+            if chunk.is_empty() {
+                return Ok(());
+            }
+            return Err(malformed(format!(
+                "{} bytes after end of stream",
+                chunk.len()
+            )));
+        }
+        self.buf.extend_from_slice(chunk);
+        loop {
+            let made_progress = self.step(sink)?;
+            if self.pending.len() >= DECODE_BATCH {
+                self.flush_pending(sink)?;
+            }
+            if !made_progress {
+                break;
+            }
+        }
+        self.flush_pending(sink)?;
+        if self.state == DecodeState::Done && self.pos < self.buf.len() {
+            return Err(malformed(format!(
+                "{} bytes after end of stream",
+                self.buf.len() - self.pos
+            )));
+        }
+        // Compact: drop the consumed prefix so the staging buffer holds
+        // only the incomplete tail between calls.
+        self.buf.drain(..self.pos);
+        self.pos = 0;
+        Ok(())
+    }
+
+    fn flush_pending(&mut self, sink: &mut dyn TraceSink) -> Result<(), TraceError> {
+        if !self.pending.is_empty() {
+            sink.events(&self.pending)?;
+            self.pending.clear();
+        }
+        Ok(())
+    }
+
+    fn avail(&self) -> &[u8] {
+        &self.buf[self.pos..]
+    }
+
+    /// Consumes `n` bytes (caller has checked availability), folding
+    /// them into the running checksum unless `hashed` is false (the
+    /// checksum field itself is excluded from its own hash).
+    fn consume(&mut self, n: usize, hashed: bool) {
+        if hashed {
+            self.hash.update(&self.buf[self.pos..self.pos + n]);
+        }
+        self.pos += n;
+    }
+
+    /// Attempts one parsing step; `Ok(false)` means more input is
+    /// needed before anything further can be consumed.
+    fn step(&mut self, sink: &mut dyn TraceSink) -> Result<bool, TraceError> {
+        match self.state {
+            DecodeState::Prelude => {
+                let a = self.avail();
+                if a.len() < 18 {
+                    return Ok(false);
+                }
+                if &a[..8] != MAGIC {
+                    return Err(malformed("bad magic"));
+                }
+                let version = u16::from_le_bytes(a[8..10].try_into().expect("2-byte version"));
+                if !(1..=STREAM_VERSION).contains(&version) {
+                    return Err(malformed(format!(
+                        "unsupported version {version} (this build reads 1..={STREAM_VERSION})"
+                    )));
+                }
+                let processors =
+                    u32::from_le_bytes(a[10..14].try_into().expect("4-byte procs")) as usize;
+                if processors > MAX_PROCESSORS {
+                    return Err(malformed(format!(
+                        "processor count {processors} exceeds the supported maximum \
+                         {MAX_PROCESSORS}"
+                    )));
+                }
+                let nregions =
+                    u32::from_le_bytes(a[14..18].try_into().expect("4-byte nregions")) as usize;
+                if nregions > MAX_REGIONS {
+                    return Err(malformed(format!(
+                        "region count {nregions} exceeds the streamed maximum {MAX_REGIONS}"
+                    )));
+                }
+                self.version = version;
+                self.processors = processors;
+                self.region_names.reserve(nregions.min(1024));
+                self.consume(18, true);
+                self.advance_regions(nregions, sink)?;
+                Ok(true)
+            }
+            DecodeState::Regions { left } => {
+                let a = self.avail();
+                if a.len() < 4 {
+                    return Ok(false);
+                }
+                let len =
+                    u32::from_le_bytes(a[..4].try_into().expect("4-byte name length")) as usize;
+                if len > MAX_REGION_NAME {
+                    return Err(malformed(format!(
+                        "region name of {len} bytes exceeds the streamed maximum \
+                         {MAX_REGION_NAME}"
+                    )));
+                }
+                if a.len() < 4 + len {
+                    return Ok(false);
+                }
+                let name = String::from_utf8(a[4..4 + len].to_vec())
+                    .map_err(|e| malformed(format!("region name not utf-8: {e}")))?;
+                self.region_names.push(name);
+                self.consume(4 + len, true);
+                self.advance_regions(left - 1, sink)?;
+                Ok(true)
+            }
+            DecodeState::EventCount => {
+                let a = self.avail();
+                if a.len() < 8 {
+                    return Ok(false);
+                }
+                self.expect_events = u64::from_le_bytes(a[..8].try_into().expect("8-byte count"));
+                self.consume(8, true);
+                self.state = if self.expect_events == 0 {
+                    self.after_events()
+                } else {
+                    DecodeState::Events
+                };
+                Ok(true)
+            }
+            DecodeState::Events => {
+                let Some((event, len)) = try_event(self.avail())? else {
+                    return Ok(false);
+                };
+                self.pending.push(event);
+                self.seen_events += 1;
+                self.consume(len, true);
+                if self.seen_events == self.expect_events {
+                    self.state = self.after_events();
+                }
+                Ok(true)
+            }
+            DecodeState::Checksum => {
+                let a = self.avail();
+                if a.len() < 8 {
+                    return Ok(false);
+                }
+                let expected = u64::from_le_bytes(a[..8].try_into().expect("8-byte checksum"));
+                let actual = self.hash.digest();
+                if expected != actual {
+                    return Err(TraceError::ChecksumMismatch { expected, actual });
+                }
+                self.consume(8, false);
+                self.state = DecodeState::Done;
+                Ok(true)
+            }
+            DecodeState::ChunkTag => {
+                let a = self.avail();
+                let Some(&tag) = a.first() else {
+                    return Ok(false);
+                };
+                match tag {
+                    CHUNK_EVENTS => {
+                        self.consume(1, true);
+                        self.state = DecodeState::BatchCount;
+                    }
+                    CHUNK_END => {
+                        self.consume(1, true);
+                        self.state = DecodeState::Trailer;
+                    }
+                    other => return Err(malformed(format!("unknown chunk tag {other}"))),
+                }
+                Ok(true)
+            }
+            DecodeState::BatchCount => {
+                let a = self.avail();
+                if a.len() < 4 {
+                    return Ok(false);
+                }
+                let count = u32::from_le_bytes(a[..4].try_into().expect("4-byte batch count"));
+                self.consume(4, true);
+                self.state = if count == 0 {
+                    DecodeState::ChunkTag
+                } else {
+                    DecodeState::Batch { left: count }
+                };
+                Ok(true)
+            }
+            DecodeState::Batch { left } => {
+                let Some((event, len)) = try_event(self.avail())? else {
+                    return Ok(false);
+                };
+                self.pending.push(event);
+                self.seen_events += 1;
+                self.consume(len, true);
+                self.state = if left == 1 {
+                    DecodeState::ChunkTag
+                } else {
+                    DecodeState::Batch { left: left - 1 }
+                };
+                Ok(true)
+            }
+            DecodeState::Trailer => {
+                let a = self.avail();
+                if a.len() < 16 {
+                    return Ok(false);
+                }
+                let total = u64::from_le_bytes(a[..8].try_into().expect("8-byte total"));
+                if total != self.seen_events {
+                    return Err(malformed(format!(
+                        "end chunk declares {total} events, stream carried {}",
+                        self.seen_events
+                    )));
+                }
+                let expected = u64::from_le_bytes(a[8..16].try_into().expect("8-byte checksum"));
+                self.consume(8, true); // the total precedes the checksum, so it is hashed
+                let actual = self.hash.digest();
+                if expected != actual {
+                    return Err(TraceError::ChecksumMismatch { expected, actual });
+                }
+                self.consume(8, false);
+                self.state = DecodeState::Done;
+                Ok(true)
+            }
+            DecodeState::Done => Ok(false),
+        }
+    }
+
+    /// Region table complete → announce the stream to the sink and move
+    /// to the version's body state.
+    fn advance_regions(&mut self, left: usize, sink: &mut dyn TraceSink) -> Result<(), TraceError> {
+        if left > 0 {
+            self.state = DecodeState::Regions { left };
+            return Ok(());
+        }
+        sink.begin(self.processors, &self.region_names)?;
+        self.region_names = Vec::new();
+        self.state = if self.version >= STREAM_VERSION {
+            DecodeState::ChunkTag
+        } else {
+            DecodeState::EventCount
+        };
+        Ok(())
+    }
+
+    /// Where a materialized format goes once all declared events are
+    /// read: version 2 verifies its trailing checksum, version 1 ends.
+    fn after_events(&self) -> DecodeState {
+        if self.version >= 2 {
+            DecodeState::Checksum
+        } else {
+            DecodeState::Done
+        }
+    }
+}
+
+impl Default for StreamDecoder {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Decodes a complete in-memory byte buffer through the streaming
+/// decoder into `sink` — one `feed` of everything, then `finish`.
+///
+/// # Errors
+///
+/// The union of [`StreamDecoder::feed`] and [`StreamDecoder::finish`].
+pub fn decode_all(data: &[u8], sink: &mut dyn TraceSink) -> Result<(), TraceError> {
+    let mut decoder = StreamDecoder::new();
+    decoder.feed(data, sink)?;
+    decoder.finish(sink)
+}
+
+/// Materializes a streamed (version-3) byte buffer into a [`Trace`] —
+/// the delegation target of [`binary::from_bytes`].
+///
+/// [`binary::from_bytes`]: crate::binary::from_bytes
+pub(crate) fn trace_from_stream_bytes(data: &[u8]) -> Result<Trace, TraceError> {
+    let mut sink = MaterializeSink::new();
+    decode_all(data, &mut sink)?;
+    sink.into_trace()
+        .ok_or_else(|| malformed("stream ended before finish"))
+}
+
+/// Encodes a materialized trace into the streamed container (one event
+/// chunk per `frame_events` events) — the round trip partner of
+/// [`decode_all`] and the reference writer for format tests.
+///
+/// # Errors
+///
+/// Same conditions as [`StreamEncoder::header`].
+pub fn to_stream_bytes(trace: &Trace, frame_events: usize) -> Result<Bytes, TraceError> {
+    let mut enc = StreamEncoder::new();
+    let mut out = BytesMut::with_capacity(64 + trace.events().len() * 25);
+    out.put_slice(&enc.header(trace.processors(), trace.region_names())?);
+    for batch in trace.events().chunks(frame_events.max(1)) {
+        out.put_slice(&enc.frame(batch));
+    }
+    out.put_slice(&enc.finish());
+    Ok(out.freeze())
+}
+
+// ---------------------------------------------------------------------
+// Folds
+// ---------------------------------------------------------------------
+
+/// What one O(1)-memory pass over a stream learns: everything the
+/// reducing folds need to be constructed — the run's makespan (window
+/// width) and its activity set (matrix columns), both of which the
+/// materialized path reads off the whole trace up front.
+///
+/// Produced by [`ScanSink`]; the streaming pipeline's first pass. The
+/// simulator being deterministic (and a stored stream being static),
+/// the second pass sees the identical events.
+#[derive(Debug, Clone)]
+pub struct StreamScan {
+    /// Largest event timestamp — identical to the materialized
+    /// makespan fold in [`reduce_windows`](crate::reduce_windows).
+    pub makespan: f64,
+    /// The paper's standard four activities plus extras in
+    /// first-appearance order — identical to the materialized scan.
+    pub activities: ActivitySet,
+    /// Total events seen.
+    pub events: u64,
+    /// Processor count the stream declared.
+    pub processors: usize,
+    /// Region names the stream declared.
+    pub region_names: Vec<String>,
+}
+
+/// First-pass scan: folds a stream into a [`StreamScan`] in O(1) memory
+/// (plus the region name table).
+#[derive(Debug, Default)]
+pub struct ScanSink {
+    makespan: f64,
+    kinds: Vec<ActivityKind>,
+    events: u64,
+    processors: usize,
+    region_names: Vec<String>,
+    finished: bool,
+}
+
+impl ScanSink {
+    /// Creates a scan pass.
+    pub fn new() -> Self {
+        ScanSink {
+            makespan: 0.0,
+            kinds: STANDARD_ACTIVITIES.to_vec(),
+            events: 0,
+            processors: 0,
+            region_names: Vec::new(),
+            finished: false,
+        }
+    }
+
+    /// The scan result, once [`TraceSink::finish`] has run.
+    pub fn into_scan(self) -> Option<StreamScan> {
+        if !self.finished {
+            return None;
+        }
+        Some(StreamScan {
+            makespan: self.makespan,
+            activities: ActivitySet::new(self.kinds),
+            events: self.events,
+            processors: self.processors,
+            region_names: self.region_names,
+        })
+    }
+}
+
+impl TraceSink for ScanSink {
+    fn begin(&mut self, processors: usize, region_names: &[String]) -> Result<(), TraceError> {
+        self.processors = processors;
+        self.region_names = region_names.to_vec();
+        Ok(())
+    }
+
+    fn events(&mut self, events: &[Event]) -> Result<(), TraceError> {
+        for e in events {
+            // Same fold as the materialized makespan computation.
+            self.makespan = f64::max(self.makespan, e.time);
+            note_activity(&mut self.kinds, e);
+        }
+        self.events += events.len() as u64;
+        Ok(())
+    }
+
+    fn finish(&mut self) -> Result<(), TraceError> {
+        self.finished = true;
+        Ok(())
+    }
+}
+
+/// Inline per-rank structural validation for the strict folds: the
+/// streaming counterpart of [`Trace::validate`]'s per-processor pass.
+/// The batch `reduce` and `reduce_windows` validate the whole trace
+/// before walking it; a stream cannot be pre-validated, so
+/// [`ReduceSink`] and [`WindowSink`] run these checks event by event
+/// and reject exactly the malformed streams the batch paths reject —
+/// a crash-truncated trace fails windowing identically on both paths.
+///
+/// Ordering caveat (the same one [`SalvageSink`] documents): the batch
+/// validator scans rank 0's whole stream before rank 1's, so when
+/// *several* ranks are malformed it reports the lowest-ranked
+/// violation; the streaming checker reports the first in recording
+/// order. Truncation — the violation that actually occurs — only
+/// manifests at end-of-stream, where `finish` checks in rank order and
+/// reports the identical error.
+struct RankChecker {
+    stack: Vec<usize>,
+    activity: Option<ActivityKind>,
+    last_time: f64,
+}
+
+impl RankChecker {
+    fn new() -> Self {
+        RankChecker {
+            stack: Vec::new(),
+            activity: None,
+            last_time: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Mirrors one iteration of [`Trace::validate`]'s per-event loop.
+    fn step(&mut self, proc: u32, e: &Event, regions: usize) -> Result<(), TraceError> {
+        match e.payload {
+            EventPayload::EnterRegion { region } | EventPayload::LeaveRegion { region }
+                if region >= regions =>
+            {
+                return Err(TraceError::UnknownRegion { region });
+            }
+            _ => {}
+        }
+        if e.time < self.last_time {
+            return Err(TraceError::NonMonotoneTime {
+                proc,
+                before: self.last_time,
+                after: e.time,
+            });
+        }
+        self.last_time = e.time;
+        match e.payload {
+            EventPayload::EnterRegion { region } => self.stack.push(region),
+            EventPayload::LeaveRegion { region } => match self.stack.pop() {
+                Some(top) if top == region => {}
+                Some(top) => {
+                    return Err(TraceError::UnbalancedNesting {
+                        proc,
+                        detail: format!("left region {region} while inside {top}"),
+                    })
+                }
+                None => {
+                    return Err(TraceError::UnbalancedNesting {
+                        proc,
+                        detail: format!("left region {region} that was never entered"),
+                    })
+                }
+            },
+            EventPayload::BeginActivity { kind } => {
+                if let Some(current) = self.activity {
+                    return Err(TraceError::UnbalancedNesting {
+                        proc,
+                        detail: format!("began {kind} while {current} still active"),
+                    });
+                }
+                if self.stack.is_empty() {
+                    return Err(TraceError::UnbalancedNesting {
+                        proc,
+                        detail: format!("began {kind} outside any region"),
+                    });
+                }
+                self.activity = Some(kind);
+            }
+            EventPayload::EndActivity { kind } => match self.activity.take() {
+                Some(current) if current == kind => {}
+                Some(current) => {
+                    return Err(TraceError::UnbalancedNesting {
+                        proc,
+                        detail: format!("ended {kind} while {current} active"),
+                    })
+                }
+                None => {
+                    return Err(TraceError::UnbalancedNesting {
+                        proc,
+                        detail: format!("ended {kind} that never began"),
+                    })
+                }
+            },
+            EventPayload::MessageSend { .. } | EventPayload::MessageRecv { .. } => {}
+        }
+        Ok(())
+    }
+
+    /// Mirrors [`Trace::validate`]'s end-of-trace checks.
+    fn finish(&mut self, proc: u32) -> Result<(), TraceError> {
+        if let Some(kind) = self.activity {
+            return Err(TraceError::UnbalancedNesting {
+                proc,
+                detail: format!("activity {kind} still open at end of trace"),
+            });
+        }
+        if let Some(region) = self.stack.pop() {
+            return Err(TraceError::UnbalancedNesting {
+                proc,
+                detail: format!("region {region} still open at end of trace"),
+            });
+        }
+        Ok(())
+    }
+}
+
+/// Shared plumbing of the reducing folds: the measurement and count
+/// builders plus the per-rank walkers' monotonicity bookkeeping.
+struct FoldCore {
+    activities: ActivitySet,
+    mb: Option<MeasurementsBuilder>,
+    cb: Option<CountMatrixBuilder>,
+    /// Last timestamp per rank — streaming cannot sort, so each rank's
+    /// stream must arrive time-ordered (every in-repo writer's order).
+    last_time: Vec<f64>,
+}
+
+impl FoldCore {
+    fn new(activities: ActivitySet) -> Self {
+        FoldCore {
+            activities,
+            mb: None,
+            cb: None,
+            last_time: Vec::new(),
+        }
+    }
+
+    fn begin(&mut self, processors: usize, region_names: &[String]) -> Result<(), TraceError> {
+        if processors > MAX_PROCESSORS {
+            return Err(malformed(format!(
+                "processor count {processors} exceeds the supported maximum {MAX_PROCESSORS}"
+            )));
+        }
+        let mut mb = MeasurementsBuilder::with_activities(processors, self.activities.clone());
+        for name in region_names {
+            mb.add_region(name.clone());
+        }
+        self.mb = Some(mb);
+        self.cb = Some(CountMatrixBuilder::new(processors));
+        self.last_time = vec![f64::NEG_INFINITY; processors];
+        Ok(())
+    }
+}
+
+/// Streaming full reduction — the fold counterpart of
+/// [`reduce`](crate::reduce()), bit-identical on every stream the
+/// simulator produces. Structural validation runs inline (see
+/// [`RankChecker`]): malformed streams — truncation included — fail
+/// with the same [`TraceError`] the batch path's up-front validation
+/// reports, never a panic. For lenient salvage of truncated streams use
+/// [`SalvageSink`].
+///
+/// Construct it with the stream's [`ActivitySet`] (from a first-pass
+/// [`ScanSink`]); the materialized path reads the set off the whole
+/// trace, which a stream cannot.
+pub struct ReduceSink {
+    core: FoldCore,
+    walkers: Vec<ProcWalker>,
+    checkers: Vec<RankChecker>,
+    regions: usize,
+    result: Option<ReducedTrace>,
+}
+
+impl ReduceSink {
+    /// Creates the fold for a stream using `activities` (the scan
+    /// pass's [`StreamScan::activities`]).
+    pub fn new(activities: ActivitySet) -> Self {
+        ReduceSink {
+            core: FoldCore::new(activities),
+            walkers: Vec::new(),
+            checkers: Vec::new(),
+            regions: 0,
+            result: None,
+        }
+    }
+
+    /// The reduction, once [`TraceSink::finish`] has run.
+    pub fn into_reduced(self) -> Option<ReducedTrace> {
+        self.result
+    }
+}
+
+impl TraceSink for ReduceSink {
+    fn begin(&mut self, processors: usize, region_names: &[String]) -> Result<(), TraceError> {
+        self.core.begin(processors, region_names)?;
+        self.walkers = std::iter::repeat_with(ProcWalker::new)
+            .take(processors)
+            .collect();
+        self.checkers = std::iter::repeat_with(RankChecker::new)
+            .take(processors)
+            .collect();
+        self.regions = region_names.len();
+        Ok(())
+    }
+
+    fn events(&mut self, events: &[Event]) -> Result<(), TraceError> {
+        let mb = self
+            .core
+            .mb
+            .as_mut()
+            .ok_or_else(|| malformed("events before begin"))?;
+        let cb = self.core.cb.as_mut().expect("begin created both builders");
+        for e in events {
+            let Some(checker) = self.checkers.get_mut(e.proc as usize) else {
+                return Err(TraceError::UnknownProcessor { proc: e.proc });
+            };
+            checker.step(e.proc, e, self.regions)?;
+            let walker = &mut self.walkers[e.proc as usize];
+            let mut failure = None;
+            walker.step(e, &mut |attribution| {
+                if failure.is_some() {
+                    return;
+                }
+                let result = match attribution {
+                    Attribution::Interval {
+                        region,
+                        kind,
+                        start,
+                        end,
+                    } => mb.record(RegionId::new(region), kind, e.proc as usize, end - start),
+                    Attribution::Count {
+                        region,
+                        kind,
+                        amount,
+                        ..
+                    } => cb
+                        .record(RegionId::new(region), kind, e.proc as usize, amount)
+                        .and(Ok(())),
+                };
+                if let Err(err) = result {
+                    failure = Some(err.into());
+                }
+            });
+            if let Some(err) = failure {
+                return Err(err);
+            }
+        }
+        Ok(())
+    }
+
+    fn finish(&mut self) -> Result<(), TraceError> {
+        let mb = self
+            .core
+            .mb
+            .take()
+            .ok_or_else(|| malformed("finish before begin"))?;
+        let cb = self.core.cb.take().expect("begin created both builders");
+        // Rank order, matching the batch validator's reporting when
+        // several ranks were truncated.
+        for (proc, checker) in self.checkers.iter_mut().enumerate() {
+            checker.finish(proc as u32)?;
+        }
+        self.result = Some(ReducedTrace {
+            measurements: mb.build()?,
+            counts: cb.build(),
+        });
+        Ok(())
+    }
+}
+
+/// Streaming windowed reduction — the fold counterpart of
+/// [`reduce_windows`](crate::reduce_windows), driving the identical
+/// window-scatter arithmetic, bit-identical on well-formed streams.
+/// Structural validation runs inline (see [`RankChecker`]), so a
+/// malformed or crash-truncated stream fails windowing with the same
+/// [`TraceError`] the batch path reports from its up-front validation.
+///
+/// Needs the run's horizon (makespan) up front to fix the window width
+/// — which is exactly what the first-pass [`ScanSink`] provides; the
+/// deterministic simulator replays the identical stream on the second
+/// pass. Memory is O(windows × regions × activities × processors) —
+/// the size of the *output* — independent of event count.
+pub struct WindowSink {
+    windows: usize,
+    width: f64,
+    activities: ActivitySet,
+    builders: Vec<(MeasurementsBuilder, CountMatrixBuilder)>,
+    walkers: Vec<ProcWalker>,
+    checkers: Vec<RankChecker>,
+    regions: usize,
+    began: bool,
+    result: Option<Vec<ReducedTrace>>,
+}
+
+impl WindowSink {
+    /// Creates the fold: `windows` equal slices of `[0, makespan]`,
+    /// using `activities` (both from the scan pass).
+    ///
+    /// # Errors
+    ///
+    /// The same degenerate-request errors as
+    /// [`reduce_windows`](crate::reduce_windows): zero windows, or a
+    /// stream spanning no time.
+    pub fn new(windows: usize, makespan: f64, activities: ActivitySet) -> Result<Self, TraceError> {
+        if windows == 0 {
+            return Err(malformed("window count must be positive"));
+        }
+        if makespan <= 0.0 {
+            return Err(malformed("trace spans no time, cannot window"));
+        }
+        Ok(WindowSink {
+            windows,
+            width: makespan / windows as f64,
+            activities,
+            builders: Vec::new(),
+            walkers: Vec::new(),
+            checkers: Vec::new(),
+            regions: 0,
+            began: false,
+            result: None,
+        })
+    }
+
+    /// The per-window reductions, once [`TraceSink::finish`] has run.
+    pub fn into_windows(self) -> Option<Vec<ReducedTrace>> {
+        self.result
+    }
+}
+
+impl TraceSink for WindowSink {
+    fn begin(&mut self, processors: usize, region_names: &[String]) -> Result<(), TraceError> {
+        if processors > MAX_PROCESSORS {
+            return Err(malformed(format!(
+                "processor count {processors} exceeds the supported maximum {MAX_PROCESSORS}"
+            )));
+        }
+        self.builders = (0..self.windows)
+            .map(|_| {
+                let mut mb =
+                    MeasurementsBuilder::with_activities(processors, self.activities.clone());
+                for name in region_names {
+                    mb.add_region(name.clone());
+                }
+                (mb, CountMatrixBuilder::new(processors))
+            })
+            .collect();
+        self.walkers = std::iter::repeat_with(ProcWalker::new)
+            .take(processors)
+            .collect();
+        self.checkers = std::iter::repeat_with(RankChecker::new)
+            .take(processors)
+            .collect();
+        self.regions = region_names.len();
+        self.began = true;
+        Ok(())
+    }
+
+    fn events(&mut self, events: &[Event]) -> Result<(), TraceError> {
+        if !self.began {
+            return Err(malformed("events before begin"));
+        }
+        for e in events {
+            let Some(checker) = self.checkers.get_mut(e.proc as usize) else {
+                return Err(TraceError::UnknownProcessor { proc: e.proc });
+            };
+            checker.step(e.proc, e, self.regions)?;
+            let walker = &mut self.walkers[e.proc as usize];
+            let builders = &mut self.builders;
+            let width = self.width;
+            let mut failure = None;
+            walker.step(e, &mut |attribution| {
+                if failure.is_some() {
+                    return;
+                }
+                if let Err(err) = scatter_windowed(builders, width, e.proc, attribution) {
+                    failure = Some(err.into());
+                }
+            });
+            if let Some(err) = failure {
+                return Err(err);
+            }
+        }
+        Ok(())
+    }
+
+    fn finish(&mut self) -> Result<(), TraceError> {
+        if !self.began {
+            return Err(malformed("finish before begin"));
+        }
+        // Rank order, matching the batch validator's reporting when
+        // several ranks were truncated.
+        for (proc, checker) in self.checkers.iter_mut().enumerate() {
+            checker.finish(proc as u32)?;
+        }
+        let builders = std::mem::take(&mut self.builders);
+        let windows = builders
+            .into_iter()
+            .map(|(mb, cb)| {
+                Ok(ReducedTrace {
+                    measurements: mb.build()?,
+                    counts: cb.build(),
+                })
+            })
+            .collect::<Result<Vec<_>, TraceError>>()?;
+        self.result = Some(windows);
+        Ok(())
+    }
+}
+
+/// Streaming salvaged reduction — the fold counterpart of
+/// [`reduce_checked`](crate::reduce_checked): identical attribution,
+/// identical truncation repair (open regions and activities closed at
+/// each rank's last timestamp on [`TraceSink::finish`]), identical
+/// per-rank [`coverage`](crate::RankCoverage) records, and the same
+/// structured [`TraceError::MalformedEvent`] errors naming an
+/// offending event's recording-order index.
+///
+/// One divergence is inherent: the batch path walks rank 0's whole
+/// stream before rank 1's, so when *several* ranks carry malformed
+/// events it reports the lowest-ranked one; the streaming fold fails at
+/// the first malformed event in recording order. Single-error streams
+/// — and all valid or merely truncated ones — behave identically.
+pub struct SalvageSink {
+    core: FoldCore,
+    walkers: Vec<SalvageWalker>,
+    /// Recording-order index of the next event (spans batches).
+    index: usize,
+    result: Option<SalvagedTrace>,
+}
+
+impl SalvageSink {
+    /// Creates the fold for a stream using `activities` (the scan
+    /// pass's [`StreamScan::activities`]).
+    pub fn new(activities: ActivitySet) -> Self {
+        SalvageSink {
+            core: FoldCore::new(activities),
+            walkers: Vec::new(),
+            index: 0,
+            result: None,
+        }
+    }
+
+    /// The salvaged reduction, once [`TraceSink::finish`] has run.
+    pub fn into_salvaged(self) -> Option<SalvagedTrace> {
+        self.result
+    }
+}
+
+impl TraceSink for SalvageSink {
+    fn begin(&mut self, processors: usize, region_names: &[String]) -> Result<(), TraceError> {
+        self.core.begin(processors, region_names)?;
+        self.walkers = (0..processors)
+            .map(|proc| SalvageWalker::new(proc as u32, region_names.len()))
+            .collect();
+        Ok(())
+    }
+
+    fn events(&mut self, events: &[Event]) -> Result<(), TraceError> {
+        let mb = self
+            .core
+            .mb
+            .as_mut()
+            .ok_or_else(|| malformed("events before begin"))?;
+        let cb = self.core.cb.as_mut().expect("begin created both builders");
+        for e in events {
+            let index = self.index;
+            self.index += 1;
+            let Some(walker) = self.walkers.get_mut(e.proc as usize) else {
+                // Same structured error as the batch partitioner.
+                return Err(TraceError::MalformedEvent {
+                    proc: e.proc,
+                    index,
+                    detail: format!(
+                        "references processor {}, trace has {}",
+                        e.proc,
+                        self.walkers.len()
+                    ),
+                });
+            };
+            let last = &mut self.core.last_time[e.proc as usize];
+            if e.time < *last {
+                return Err(TraceError::NonMonotoneTime {
+                    proc: e.proc,
+                    before: *last,
+                    after: e.time,
+                });
+            }
+            *last = e.time;
+            let mut failure = None;
+            walker.step(index, e, &mut |attribution| {
+                if failure.is_some() {
+                    return;
+                }
+                let result = match attribution {
+                    Attribution::Interval {
+                        region,
+                        kind,
+                        start,
+                        end,
+                    } => mb.record(RegionId::new(region), kind, e.proc as usize, end - start),
+                    Attribution::Count {
+                        region,
+                        kind,
+                        amount,
+                        ..
+                    } => cb
+                        .record(RegionId::new(region), kind, e.proc as usize, amount)
+                        .and(Ok(())),
+                };
+                if let Err(err) = result {
+                    failure = Some(err.into());
+                }
+            })?;
+            if let Some(err) = failure {
+                return Err(err);
+            }
+        }
+        Ok(())
+    }
+
+    fn finish(&mut self) -> Result<(), TraceError> {
+        let mut mb = self
+            .core
+            .mb
+            .take()
+            .ok_or_else(|| malformed("finish before begin"))?;
+        let mut cb = self.core.cb.take().expect("begin created both builders");
+        let walkers = std::mem::take(&mut self.walkers);
+        let mut coverage = Vec::with_capacity(walkers.len());
+        for walker in walkers {
+            let proc = walker.proc();
+            let mut failure: Option<TraceError> = None;
+            let cov = walker.finish(&mut |attribution| {
+                if failure.is_some() {
+                    return;
+                }
+                let result = match attribution {
+                    Attribution::Interval {
+                        region,
+                        kind,
+                        start,
+                        end,
+                    } => mb.record(RegionId::new(region), kind, proc as usize, end - start),
+                    Attribution::Count {
+                        region,
+                        kind,
+                        amount,
+                        ..
+                    } => cb
+                        .record(RegionId::new(region), kind, proc as usize, amount)
+                        .and(Ok(())),
+                };
+                if let Err(err) = result {
+                    failure = Some(err.into());
+                }
+            });
+            if let Some(err) = failure {
+                return Err(err);
+            }
+            coverage.push(cov);
+        }
+        self.result = Some(SalvagedTrace {
+            reduced: ReducedTrace {
+                measurements: mb.build()?,
+                counts: cb.build(),
+            },
+            coverage,
+        });
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::binary::{from_bytes, to_bytes};
+    use crate::{reduce, reduce_checked, reduce_well_formed, reduce_windows};
+    use limba_model::ProcessorId;
+
+    fn sample() -> Trace {
+        let mut b = TraceBuilder::new(3);
+        let r0 = b.add_region("solver");
+        let r1 = b.add_region("exchange");
+        b.push(Event::enter(0.0, 0, r0));
+        b.push(Event::begin_activity(0.5, 0, ActivityKind::Synchronization));
+        b.push(Event::end_activity(0.75, 0, ActivityKind::Synchronization));
+        b.push(Event::leave(1.0, 0, r0));
+        b.push(Event::enter(0.0, 2, r1));
+        b.push(Event::message_send(0.25, 2, 1, 4096));
+        b.push(Event::message_recv(0.5, 2, 1, 128));
+        b.push(Event::leave(1.5, 2, r1));
+        b.build()
+    }
+
+    fn stream_trace(trace: &Trace, frame_events: usize, sink: &mut dyn TraceSink) {
+        sink.begin(trace.processors(), trace.region_names())
+            .unwrap();
+        for batch in trace.events().chunks(frame_events.max(1)) {
+            sink.events(batch).unwrap();
+        }
+        sink.finish().unwrap();
+    }
+
+    #[test]
+    fn materialize_sink_round_trips() {
+        let t = sample();
+        let mut sink = MaterializeSink::new();
+        stream_trace(&t, 3, &mut sink);
+        assert_eq!(sink.into_trace().unwrap(), t);
+    }
+
+    #[test]
+    fn v3_round_trips_through_materialized_reader() {
+        let t = sample();
+        for frame in [1, 2, 7, 1000] {
+            let bytes = to_stream_bytes(&t, frame).unwrap();
+            assert_eq!(from_bytes(&bytes).unwrap(), t, "frame size {frame}");
+        }
+    }
+
+    #[test]
+    fn stream_decoder_reads_materialized_formats() {
+        let t = sample();
+        let v2 = to_bytes(&t);
+        let mut sink = MaterializeSink::new();
+        decode_all(&v2, &mut sink).unwrap();
+        assert_eq!(sink.into_trace().unwrap(), t);
+
+        // Version 1: checksum stripped, version patched.
+        let mut v1 = v2[..v2.len() - 8].to_vec();
+        v1[8..10].copy_from_slice(&1u16.to_le_bytes());
+        let mut sink = MaterializeSink::new();
+        decode_all(&v1, &mut sink).unwrap();
+        assert_eq!(sink.into_trace().unwrap(), t);
+    }
+
+    #[test]
+    fn byte_at_a_time_feeding_decodes_identically() {
+        let t = sample();
+        for bytes in [
+            to_stream_bytes(&t, 2).unwrap(),
+            to_stream_bytes(&t, 1000).unwrap(),
+            to_bytes(&t),
+        ] {
+            let mut sink = MaterializeSink::new();
+            let mut dec = StreamDecoder::new();
+            for b in bytes.iter() {
+                dec.feed(&[*b], &mut sink).unwrap();
+            }
+            dec.finish(&mut sink).unwrap();
+            assert_eq!(sink.into_trace().unwrap(), t);
+        }
+    }
+
+    #[test]
+    fn truncation_yields_named_error_never_panic() {
+        let t = sample();
+        let bytes = to_stream_bytes(&t, 2).unwrap();
+        for cut in 0..bytes.len() {
+            let mut sink = MaterializeSink::new();
+            let mut dec = StreamDecoder::new();
+            let fed = dec.feed(&bytes[..cut], &mut sink);
+            let finished = fed.and_then(|()| dec.finish(&mut sink));
+            assert!(finished.is_err(), "truncation at {cut} was accepted");
+        }
+    }
+
+    #[test]
+    fn trailing_bytes_after_end_are_rejected() {
+        let t = sample();
+        let mut bytes = to_stream_bytes(&t, 4).unwrap().to_vec();
+        bytes.push(0);
+        let mut sink = MaterializeSink::new();
+        assert!(decode_all(&bytes, &mut sink).is_err());
+
+        // Also when the surplus arrives in a later feed.
+        let good = to_stream_bytes(&t, 4).unwrap();
+        let mut sink = MaterializeSink::new();
+        let mut dec = StreamDecoder::new();
+        dec.feed(&good, &mut sink).unwrap();
+        assert!(dec.feed(&[0], &mut sink).is_err());
+    }
+
+    #[test]
+    fn corrupted_stream_is_rejected() {
+        let t = sample();
+        let bytes = to_stream_bytes(&t, 3).unwrap();
+        for i in 10..bytes.len() {
+            let mut corrupt = bytes.to_vec();
+            corrupt[i] ^= 0x40;
+            let mut sink = MaterializeSink::new();
+            assert!(
+                decode_all(&corrupt, &mut sink).is_err(),
+                "flip at byte {i} was accepted"
+            );
+        }
+    }
+
+    #[test]
+    fn event_total_mismatch_is_named() {
+        let t = sample();
+        let mut enc = StreamEncoder::new();
+        let mut out = Vec::new();
+        out.extend_from_slice(&enc.header(t.processors(), t.region_names()).unwrap());
+        out.extend_from_slice(&enc.frame(t.events()));
+        enc.events += 1; // lie about the total
+        out.extend_from_slice(&enc.finish());
+        let mut sink = MaterializeSink::new();
+        let err = decode_all(&out, &mut sink).unwrap_err().to_string();
+        assert!(err.contains("declares"), "{err}");
+    }
+
+    #[test]
+    fn hostile_counts_are_rejected() {
+        // Oversized processor count.
+        let mut enc = StreamEncoder::new();
+        assert!(enc.header(MAX_PROCESSORS + 1, &[]).is_err());
+
+        // Oversized region count in the raw header.
+        let mut raw = Vec::new();
+        raw.extend_from_slice(MAGIC);
+        raw.extend_from_slice(&STREAM_VERSION.to_le_bytes());
+        raw.extend_from_slice(&1u32.to_le_bytes());
+        raw.extend_from_slice(&u32::MAX.to_le_bytes());
+        let mut sink = MaterializeSink::new();
+        let mut dec = StreamDecoder::new();
+        let err = dec.feed(&raw, &mut sink).unwrap_err().to_string();
+        assert!(err.contains("region count"), "{err}");
+
+        // Oversized region name length.
+        let mut raw = Vec::new();
+        raw.extend_from_slice(MAGIC);
+        raw.extend_from_slice(&STREAM_VERSION.to_le_bytes());
+        raw.extend_from_slice(&1u32.to_le_bytes());
+        raw.extend_from_slice(&1u32.to_le_bytes());
+        raw.extend_from_slice(&u32::MAX.to_le_bytes());
+        let mut sink = MaterializeSink::new();
+        let mut dec = StreamDecoder::new();
+        let err = dec.feed(&raw, &mut sink).unwrap_err().to_string();
+        assert!(err.contains("region name"), "{err}");
+    }
+
+    #[test]
+    fn scan_matches_materialized_preambles() {
+        let t = sample();
+        let mut scan = ScanSink::new();
+        stream_trace(&t, 3, &mut scan);
+        let scan = scan.into_scan().unwrap();
+        let makespan = t.events().iter().map(|e| e.time).fold(0.0f64, f64::max);
+        assert_eq!(scan.makespan.to_bits(), makespan.to_bits());
+        assert_eq!(scan.events, t.events().len() as u64);
+        assert_eq!(
+            scan.activities.as_slice(),
+            reduce(&t).unwrap().measurements.activities().as_slice()
+        );
+    }
+
+    #[test]
+    fn reduce_sink_is_bit_identical_to_batch() {
+        let t = sample();
+        let batch = reduce_well_formed(&t).unwrap();
+        for frame in [1, 2, 5, 100] {
+            let mut scan = ScanSink::new();
+            stream_trace(&t, frame, &mut scan);
+            let scan = scan.into_scan().unwrap();
+            let mut fold = ReduceSink::new(scan.activities.clone());
+            stream_trace(&t, frame, &mut fold);
+            let streamed = fold.into_reduced().unwrap();
+            assert_eq!(streamed.measurements, batch.measurements);
+            assert_eq!(streamed.counts, batch.counts);
+        }
+    }
+
+    #[test]
+    fn window_sink_is_bit_identical_to_batch() {
+        let t = sample();
+        for windows in [1, 2, 3, 7] {
+            let batch = reduce_windows(&t, windows).unwrap();
+            let mut scan = ScanSink::new();
+            stream_trace(&t, 3, &mut scan);
+            let scan = scan.into_scan().unwrap();
+            let mut fold =
+                WindowSink::new(windows, scan.makespan, scan.activities.clone()).unwrap();
+            stream_trace(&t, 3, &mut fold);
+            let streamed = fold.into_windows().unwrap();
+            assert_eq!(streamed.len(), batch.len());
+            for (s, b) in streamed.iter().zip(&batch) {
+                assert_eq!(s.measurements, b.measurements);
+                assert_eq!(s.counts, b.counts);
+            }
+        }
+    }
+
+    #[test]
+    fn salvage_sink_matches_batch_on_truncated_streams() {
+        // Rank 1 crashes mid-activity; rank 0 completes.
+        let mut b = TraceBuilder::new(2);
+        let r = b.add_region("r");
+        b.push(Event::enter(0.0, 0, r));
+        b.push(Event::leave(4.0, 0, r));
+        b.push(Event::enter(0.0, 1, r));
+        b.push(Event::begin_activity(2.0, 1, ActivityKind::Collective));
+        b.push(Event::message_send(2.5, 1, 0, 128));
+        let t = b.build();
+        let batch = reduce_checked(&t).unwrap();
+        for frame in [1, 2, 100] {
+            let mut scan = ScanSink::new();
+            stream_trace(&t, frame, &mut scan);
+            let scan = scan.into_scan().unwrap();
+            let mut fold = SalvageSink::new(scan.activities.clone());
+            stream_trace(&t, frame, &mut fold);
+            let streamed = fold.into_salvaged().unwrap();
+            assert_eq!(streamed.coverage, batch.coverage);
+            assert_eq!(streamed.reduced.measurements, batch.reduced.measurements);
+            assert_eq!(streamed.reduced.counts, batch.reduced.counts);
+        }
+    }
+
+    #[test]
+    fn salvage_sink_names_malformed_events() {
+        let mut b = TraceBuilder::new(2);
+        let r = b.add_region("r");
+        b.push(Event::enter(0.0, 0, r));
+        b.push(Event::leave(1.0, 0, r));
+        b.push(Event::leave(1.0, 1, r));
+        let t = b.build();
+        let mut scan = ScanSink::new();
+        stream_trace(&t, 10, &mut scan);
+        let mut fold = SalvageSink::new(scan.into_scan().unwrap().activities);
+        fold.begin(t.processors(), t.region_names()).unwrap();
+        let err = fold.events(t.events()).unwrap_err();
+        match err {
+            TraceError::MalformedEvent { proc, index, .. } => {
+                assert_eq!(proc, 1);
+                assert_eq!(index, 2);
+            }
+            other => panic!("wrong error: {other}"),
+        }
+    }
+
+    #[test]
+    fn folds_reject_backwards_rank_clocks() {
+        let mut b = TraceBuilder::new(1);
+        let r = b.add_region("r");
+        b.push(Event::enter(2.0, 0, r));
+        b.push(Event::leave(1.0, 0, r));
+        let t = b.build();
+        let mut fold = SalvageSink::new(ActivitySet::standard());
+        fold.begin(t.processors(), t.region_names()).unwrap();
+        assert!(matches!(
+            fold.events(t.events()),
+            Err(TraceError::NonMonotoneTime { proc: 0, .. })
+        ));
+    }
+
+    #[test]
+    fn tee_sink_feeds_both() {
+        let t = sample();
+        let mut a = MaterializeSink::new();
+        let mut b = MaterializeSink::new();
+        {
+            let mut tee = TeeSink::new(&mut a, &mut b);
+            stream_trace(&t, 4, &mut tee);
+        }
+        assert_eq!(a.into_trace().unwrap(), t);
+        assert_eq!(b.into_trace().unwrap(), t);
+    }
+
+    #[test]
+    fn window_sink_rejects_degenerate_requests() {
+        assert!(WindowSink::new(0, 1.0, ActivitySet::standard()).is_err());
+        assert!(WindowSink::new(2, 0.0, ActivitySet::standard()).is_err());
+    }
+
+    #[test]
+    fn salvage_single_rank_stream_closes_out() {
+        let mut b = TraceBuilder::new(1);
+        let r = b.add_region("r");
+        b.push(Event::enter(0.0, 0, r));
+        b.push(Event::leave(2.0, 0, r));
+        let t = b.build();
+        let batch = reduce_checked(&t).unwrap();
+        let mut fold = SalvageSink::new(ActivitySet::standard());
+        stream_trace(&t, 1, &mut fold);
+        let streamed = fold.into_salvaged().unwrap();
+        assert!(streamed.is_complete());
+        assert_eq!(
+            streamed
+                .reduced
+                .measurements
+                .time(r, ActivityKind::Computation, ProcessorId::new(0)),
+            batch
+                .reduced
+                .measurements
+                .time(r, ActivityKind::Computation, ProcessorId::new(0)),
+        );
+    }
+}

@@ -28,6 +28,10 @@
 //! * [`guard`] — the supervised execution runtime: deadlines,
 //!   cooperative cancellation, panic isolation with bounded retry, and
 //!   checksummed checkpoint/resume for long-running sweeps;
+//! * [`stream`] — the streaming dataflow pipeline: composable
+//!   producer/consumer stages over bounded channels of binary frames,
+//!   so simulate → reduce → analyze runs without materializing the
+//!   trace (bit-identical to the batch path);
 //! * [`viz`] — text tables, pattern diagrams, and SVG output.
 //!
 //! # Quickstart
@@ -57,6 +61,7 @@ pub use limba_model as model;
 pub use limba_mpisim as mpisim;
 pub use limba_par as par;
 pub use limba_stats as stats;
+pub use limba_stream as stream;
 pub use limba_trace as trace;
 pub use limba_viz as viz;
 pub use limba_workloads as workloads;

@@ -1,8 +1,14 @@
 //! Property-based tests of the tracefile layer: codecs round-trip
-//! arbitrary well-formed traces, and reduction conserves time exactly.
+//! arbitrary well-formed traces, the streaming container decodes
+//! identically however its bytes are split, and reduction conserves
+//! time exactly.
 
 use limba::model::ActivityKind;
-use limba::trace::{binary, reduce, text, Event, Trace, TraceBuilder};
+use limba::trace::stream;
+use limba::trace::{
+    binary, reduce, reduce_windows, text, Event, MaterializeSink, ReducedTrace, ScanSink,
+    StreamDecoder, Trace, TraceBuilder, TraceError, TraceSink, WindowSink,
+};
 use proptest::prelude::*;
 
 /// Strategy: a well-formed random trace. Each processor performs a
@@ -176,6 +182,76 @@ proptest! {
         }
     }
 
+    // -----------------------------------------------------------------
+    // Frame-boundary fuzz: the chunked stream container must decode
+    // identically however its bytes are split across feeds — frame and
+    // chunk boundaries carry no meaning — and any truncation must
+    // surface as a named error, never a panic.
+
+    #[test]
+    fn stream_chunking_is_invisible_to_the_decoder(
+        (trace, frame_events, chunk) in trace_strategy().prop_flat_map(|t| {
+            (Just(t), 1usize..9, 1usize..257)
+        })
+    ) {
+        let v3 = stream::to_stream_bytes(&trace, frame_events).unwrap().to_vec();
+        prop_assert_eq!(decode_chunks(&v3, chunk).unwrap(), trace.clone());
+        prop_assert_eq!(decode_chunks(&v3, 1).unwrap(), trace.clone());
+        // The legacy whole-file container decodes through the same
+        // chunked path, split just as arbitrarily.
+        let v2 = binary::to_bytes(&trace);
+        prop_assert_eq!(decode_chunks(&v2, chunk).unwrap(), trace.clone());
+        prop_assert_eq!(decode_chunks(&v2, 1).unwrap(), trace);
+    }
+
+    #[test]
+    fn truncated_streams_surface_named_errors(
+        (trace, frame_events, cut_seed, chunk) in trace_strategy().prop_flat_map(|t| {
+            (Just(t), 1usize..9, 0usize..4096, 1usize..64)
+        })
+    ) {
+        let bytes = stream::to_stream_bytes(&trace, frame_events).unwrap().to_vec();
+        let cut = cut_seed % bytes.len();
+        let mut sink = MaterializeSink::new();
+        let mut dec = StreamDecoder::new();
+        let mut outcome = Ok(());
+        for c in bytes[..cut].chunks(chunk) {
+            outcome = dec.feed(c, &mut sink);
+            if outcome.is_err() {
+                break;
+            }
+        }
+        let finished = outcome.and_then(|()| dec.finish(&mut sink));
+        match finished {
+            Err(e) => prop_assert!(!e.to_string().is_empty(), "unnamed error at cut {}", cut),
+            Ok(()) => {
+                return Err(proptest::test_runner::TestCaseError::Fail(
+                    format!("truncation at byte {cut} of {} was accepted", bytes.len()),
+                ));
+            }
+        }
+    }
+
+    // -----------------------------------------------------------------
+    // Windowed reduction: the streaming fold must agree with the batch
+    // `reduce_windows` on every well-formed trace — including traces
+    // that window degenerately (no span, empty windows, one rank).
+
+    #[test]
+    fn windowed_reduction_matches_on_both_paths(
+        (trace, windows) in trace_strategy().prop_flat_map(|t| (Just(t), 1usize..6))
+    ) {
+        match (reduce_windows(&trace, windows), stream_windows(&trace, windows)) {
+            (Ok(batch), Ok(streamed)) => assert_windows_match(&batch, &streamed),
+            (Err(b), Err(s)) => prop_assert_eq!(b.to_string(), s.to_string()),
+            (b, s) => {
+                return Err(proptest::test_runner::TestCaseError::Fail(
+                    format!("paths disagree: batch {b:?} vs streamed {s:?}"),
+                ));
+            }
+        }
+    }
+
     #[test]
     fn reduce_checked_names_the_corrupt_event(
         (trace, cut, evil) in trace_strategy().prop_flat_map(|t| {
@@ -203,6 +279,203 @@ proptest! {
             }
         }
     }
+}
+
+/// Decodes a byte stream through [`StreamDecoder`] in `chunk`-sized
+/// feeds, materializing the result.
+fn decode_chunks(bytes: &[u8], chunk: usize) -> Result<Trace, TraceError> {
+    let mut sink = MaterializeSink::new();
+    let mut dec = StreamDecoder::new();
+    for c in bytes.chunks(chunk.max(1)) {
+        dec.feed(c, &mut sink)?;
+    }
+    dec.finish(&mut sink)?;
+    Ok(sink.into_trace().expect("finished stream materializes"))
+}
+
+/// Replays a materialized trace into a sink through the `TraceSink`
+/// contract, in small batches so batch boundaries get exercised. Events
+/// go out in global time order (stable, like a live recording), so each
+/// rank's subsequence matches the batch pipeline's per-processor sort.
+fn replay(trace: &Trace, sink: &mut dyn TraceSink) -> Result<(), TraceError> {
+    let mut events = trace.events().to_vec();
+    events.sort_by(|a, b| a.time.total_cmp(&b.time));
+    sink.begin(trace.processors(), trace.region_names())?;
+    for batch in events.chunks(3) {
+        sink.events(batch)?;
+    }
+    sink.finish()
+}
+
+/// The streamed counterpart of [`reduce_windows`]: scan pass for the
+/// makespan and activity set, then a windowed fold.
+fn stream_windows(trace: &Trace, windows: usize) -> Result<Vec<ReducedTrace>, TraceError> {
+    let mut scan = ScanSink::new();
+    replay(trace, &mut scan)?;
+    let scan = scan.into_scan().expect("scan finished");
+    let mut sink = WindowSink::new(windows, scan.makespan, scan.activities.clone())?;
+    replay(trace, &mut sink)?;
+    Ok(sink.into_windows().expect("windowed fold finished"))
+}
+
+fn assert_windows_match(batch: &[ReducedTrace], streamed: &[ReducedTrace]) {
+    assert_eq!(batch.len(), streamed.len(), "window counts differ");
+    for (w, (b, s)) in batch.iter().zip(streamed).enumerate() {
+        assert_eq!(
+            b.measurements, s.measurements,
+            "window {w} measurements differ"
+        );
+        assert_eq!(b.counts, s.counts, "window {w} counts differ");
+    }
+}
+
+/// Two ranks whose region visits land exactly on the boundaries of a
+/// four-window split over a four-second run: busy over [0, 2] and
+/// [3, 4], idle over (2, 3).
+fn boundary_trace() -> Trace {
+    let region = limba::model::RegionId::new(0);
+    let mut b = TraceBuilder::new(2);
+    b.add_region("work");
+    for p in 0..2u32 {
+        for (t0, t1) in [(0.0, 1.0), (1.0, 2.0), (3.0, 4.0)] {
+            b.push(Event::enter(t0, p, region));
+            b.push(Event::leave(t1, p, region));
+        }
+    }
+    b.build()
+}
+
+#[test]
+fn every_split_point_of_the_container_decodes_identically() {
+    let trace = boundary_trace();
+    for frame_events in [1usize, 3, 1000] {
+        let bytes = stream::to_stream_bytes(&trace, frame_events)
+            .unwrap()
+            .to_vec();
+        for cut in 0..=bytes.len() {
+            let mut sink = MaterializeSink::new();
+            let mut dec = StreamDecoder::new();
+            dec.feed(&bytes[..cut], &mut sink).unwrap();
+            dec.feed(&bytes[cut..], &mut sink).unwrap();
+            dec.finish(&mut sink).unwrap();
+            assert_eq!(
+                sink.into_trace().unwrap(),
+                trace,
+                "frames of {frame_events}, split at byte {cut}"
+            );
+        }
+    }
+}
+
+#[test]
+fn window_boundaries_on_event_edges_conserve_time_exactly() {
+    let trace = boundary_trace();
+    let batch = reduce_windows(&trace, 4).unwrap();
+    let streamed = stream_windows(&trace, 4).unwrap();
+    assert_windows_match(&batch, &streamed);
+    // Intervals ending exactly on a boundary land in the window they
+    // fill; the idle window stays empty; nothing is double-counted.
+    for p in 0..2 {
+        let pid = limba::model::ProcessorId::new(p);
+        let times: Vec<f64> = batch
+            .iter()
+            .map(|w| w.measurements.processor_time(pid))
+            .collect();
+        for (w, (&got, want)) in times.iter().zip([1.0, 1.0, 0.0, 1.0]).enumerate() {
+            assert!(
+                (got - want).abs() < 1e-9,
+                "rank {p} window {w}: {got} vs {want}"
+            );
+        }
+    }
+}
+
+#[test]
+fn more_windows_than_the_run_can_fill_yield_empty_tails_identically() {
+    let trace = boundary_trace();
+    let batch = reduce_windows(&trace, 50).unwrap();
+    let streamed = stream_windows(&trace, 50).unwrap();
+    assert_windows_match(&batch, &streamed);
+    assert_eq!(batch.len(), 50);
+    // Total busy time is conserved across however many slices.
+    let total: f64 = batch
+        .iter()
+        .flat_map(|w| {
+            (0..2).map(|p| {
+                w.measurements
+                    .processor_time(limba::model::ProcessorId::new(p))
+            })
+        })
+        .sum();
+    assert!((total - 6.0).abs() < 1e-9, "conserved {total} vs 6.0");
+}
+
+#[test]
+fn single_rank_traces_window_identically() {
+    let region = limba::model::RegionId::new(0);
+    let mut b = TraceBuilder::new(1);
+    b.add_region("solo");
+    b.push(Event::enter(0.0, 0, region));
+    b.push(Event::begin_activity(0.5, 0, ActivityKind::Computation));
+    b.push(Event::end_activity(2.5, 0, ActivityKind::Computation));
+    b.push(Event::leave(3.0, 0, region));
+    let trace = b.build();
+    let batch = reduce_windows(&trace, 3).unwrap();
+    let streamed = stream_windows(&trace, 3).unwrap();
+    assert_windows_match(&batch, &streamed);
+    let total: f64 = batch
+        .iter()
+        .map(|w| {
+            w.measurements
+                .processor_time(limba::model::ProcessorId::new(0))
+        })
+        .sum();
+    assert!((total - 3.0).abs() < 1e-9, "conserved {total} vs 3.0");
+}
+
+#[test]
+fn degenerate_window_requests_fail_identically_on_both_paths() {
+    let trace = boundary_trace();
+    // Zero windows.
+    let b = reduce_windows(&trace, 0).expect_err("zero windows accepted");
+    let s = stream_windows(&trace, 0).expect_err("zero windows accepted");
+    assert_eq!(b.to_string(), s.to_string());
+    // A run spanning no time.
+    let region = limba::model::RegionId::new(0);
+    let mut tb = TraceBuilder::new(1);
+    tb.add_region("instant");
+    tb.push(Event::enter(0.0, 0, region));
+    tb.push(Event::leave(0.0, 0, region));
+    let flat = tb.build();
+    let b = reduce_windows(&flat, 2).expect_err("zero-span run windowed");
+    let s = stream_windows(&flat, 2).expect_err("zero-span run windowed");
+    assert_eq!(b.to_string(), s.to_string());
+}
+
+#[test]
+fn truncation_on_a_window_boundary_is_rejected_identically() {
+    // Rank 1's recording stops at t = 2.0 — exactly a boundary of the
+    // four-window split — with a region still open. Both the batch
+    // validator and the streaming fold must reject it, with the same
+    // error.
+    let region = limba::model::RegionId::new(0);
+    let mut b = TraceBuilder::new(2);
+    b.add_region("work");
+    for (t0, t1) in [(0.0, 1.0), (1.0, 2.0), (3.0, 4.0)] {
+        b.push(Event::enter(t0, 0, region));
+        b.push(Event::leave(t1, 0, region));
+    }
+    b.push(Event::enter(0.0, 1, region));
+    b.push(Event::leave(1.0, 1, region));
+    b.push(Event::enter(2.0, 1, region));
+    let trace = b.build();
+    let be = reduce_windows(&trace, 4).expect_err("truncated trace windowed");
+    let se = stream_windows(&trace, 4).expect_err("truncated stream windowed");
+    assert_eq!(be.to_string(), se.to_string());
+    // The lenient path still salvages it, flagging the cut rank.
+    let salvaged = limba::trace::reduce_checked(&trace).unwrap();
+    assert!(!salvaged.is_complete());
+    assert_eq!(salvaged.incomplete_ranks(), vec![1]);
 }
 
 /// Rebuilds `trace` keeping only its first `cut` events; when `corrupt`
