@@ -4,13 +4,16 @@
 //! suite, verifies that event, polling, and parallel-event runs produce
 //! identical traces, and writes the results as `BENCH_simulator.json`.
 //!
-//! Usage: `bench_simulator [--quick] [--ranks N] [--out PATH]`
+//! Usage: `bench_simulator [--quick] [--ranks N [--memory]] [--out PATH]`
 //!
 //! `--quick` drops the repetition count and the multi-thousand-rank
 //! cases so CI's perf-smoke job finishes in seconds; the committed
 //! baseline is produced by a full run. `--ranks N` replaces the case
-//! list with a single CFD proxy at N ranks — an ad-hoc scaling probe.
-//! See `crates/bench/README.md` for the output format.
+//! list with a single CFD proxy at N ranks — an ad-hoc scaling probe;
+//! add `--memory` to skip the (quadratic) polling baseline and probe
+//! only the event engine's peak footprint, which is how the 64k/256k
+//! baseline rows are measured. See `crates/bench/README.md` for the
+//! output format.
 
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::fmt::Write as _;
@@ -106,9 +109,9 @@ fn cfd_case(name: &str, ranks: usize, kind: Kind) -> Case {
     }
 }
 
-fn cases(quick: bool, ranks_override: Option<usize>) -> Vec<Case> {
-    if let Some(ranks) = ranks_override {
-        return vec![cfd_case(&format!("cfd_{ranks}r"), ranks, Kind::Speed)];
+fn cases(quick: bool, ranks_override: Option<(usize, Kind)>) -> Vec<Case> {
+    if let Some((ranks, kind)) = ranks_override {
+        return vec![cfd_case(&format!("cfd_{ranks}r"), ranks, kind)];
     }
     let jitter = Imbalance::RandomJitter { amplitude: 0.2 };
     let mut cases = Vec::new();
@@ -255,6 +258,11 @@ fn cases(quick: bool, ranks_override: Option<usize>) -> Vec<Case> {
     // runner instead of finishing.
     if !quick {
         cases.push(cfd_case("cfd_64kr", 65_536, Kind::Memory));
+        // And the same probe at 256k ranks: past the 100k mark the
+        // arena and routing tables are the whole footprint, so this is
+        // the case that catches a super-linear term the 64k point is
+        // still too small to expose.
+        cases.push(cfd_case("cfd_256kr", 262_144, Kind::Memory));
     }
     cases
 }
@@ -403,13 +411,26 @@ fn main() {
         .and_then(|i| argv.get(i + 1))
         .cloned()
         .unwrap_or_else(|| "BENCH_simulator.json".to_string());
+    // `--memory` turns the ad-hoc `--ranks` probe into a memory-kind
+    // case (event engine only) — the polling baseline is quadratic in
+    // ranks and unusable at the scales where the footprint matters.
+    let memory_only = argv.iter().any(|a| a == "--memory");
     let ranks_override = argv
         .iter()
         .position(|a| a == "--ranks")
         .and_then(|i| argv.get(i + 1))
         .map(|v| {
-            v.parse::<usize>()
-                .expect("--ranks takes a positive integer")
+            let ranks = v
+                .parse::<usize>()
+                .expect("--ranks takes a positive integer");
+            (
+                ranks,
+                if memory_only {
+                    Kind::Memory
+                } else {
+                    Kind::Speed
+                },
+            )
         });
     let reps = if quick { 2 } else { 9 };
     let mode = if quick { "quick" } else { "full" };

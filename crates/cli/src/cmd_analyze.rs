@@ -133,21 +133,10 @@ pub(crate) fn print_evolution(
     let matrices: Vec<_> = sliced.into_iter().map(|w| w.measurements).collect();
     let evolution = limba_analysis::evolution::imbalance_evolution(&matrices, dispersion, 0.02)
         .map_err(|e| e.to_string())?;
-    println!("\n== imbalance evolution ({windows} windows) ==");
-    for series in &evolution.series {
-        let values: Vec<String> = series
-            .values
-            .iter()
-            .map(|v| v.map(|v| format!("{v:.3}")).unwrap_or_else(|| "-".into()))
-            .collect();
-        println!(
-            "{:<16} [{}] slope {:+.4} → {:?}",
-            series.activity.to_string(),
-            values.join(" "),
-            series.slope,
-            series.trend
-        );
-    }
+    print!(
+        "{}",
+        limba_viz::report::render_evolution(&evolution, windows)
+    );
     Ok(())
 }
 
@@ -248,6 +237,36 @@ pub fn run(argv: &[String]) -> Result<crate::CmdOutcome, String> {
     let clusters: usize = parsed.get_or("clusters", 2)?;
 
     let windows: usize = parsed.get_or("windows", 0)?;
+
+    if path == "-" {
+        // The streamed analysis makes several bounded-memory passes
+        // (scan, fold, optional windows), and stdin only plays once —
+        // spool it to a temp file, analyze that, clean up. Memory
+        // stays bounded; disk holds the trace exactly once.
+        if !parsed.has("from-stream") {
+            return Err("analyze - reads a trace stream from stdin; add --from-stream".into());
+        }
+        let spool = std::env::temp_dir().join(format!("limba-stdin-{}.trc", std::process::id()));
+        let copy = (|| -> Result<(), String> {
+            let mut file = fs::File::create(&spool)
+                .map_err(|e| format!("cannot create {}: {e}", spool.display()))?;
+            std::io::copy(&mut std::io::stdin().lock(), &mut file)
+                .map_err(|e| format!("cannot spool stdin: {e}"))?;
+            Ok(())
+        })();
+        let result = copy.and_then(|()| {
+            run_from_stream(
+                &parsed,
+                &spool.to_string_lossy(),
+                dispersion,
+                criterion,
+                clusters,
+                windows,
+            )
+        });
+        let _ = fs::remove_file(&spool);
+        return result;
+    }
 
     if parsed.has("from-stream") {
         return run_from_stream(&parsed, path, dispersion, criterion, clusters, windows);

@@ -1,0 +1,201 @@
+//! `limba serve` / `limba push` / `limba query` — the live ingestion
+//! service and its clients.
+//!
+//! `serve` runs the multi-tenant trace-ingestion server: concurrent
+//! chunked-v3 streams spool to disk and fold incrementally through the
+//! online imbalance detector; a completed run's report is byte-identical
+//! to `limba analyze <spool> --from-stream`. `push` streams a tracefile
+//! — or a live simulation that is never materialized — into a serving
+//! tenant. `query` speaks the one-line text protocol (STATUS, TENANTS,
+//! RUNS, REPORT, DIGEST, ALERTS, EVOLUTION, SHUTDOWN).
+
+use limba_mpisim::{MachineConfig, Simulator};
+use limba_serve::client::{self, PushStatus};
+use limba_serve::{DetectorConfig, PushSession, ServeConfig, Server};
+
+use crate::args::{parse, parse_imbalance, Parsed};
+use crate::cmd_simulate::{build_program, Engine};
+use limba_workloads::Imbalance;
+
+/// Default listen / connect address for the serving protocol.
+const DEFAULT_ADDR: &str = "127.0.0.1:7979";
+
+/// Runs `limba serve [OPTIONS]`.
+pub fn serve(argv: &[String]) -> Result<crate::CmdOutcome, String> {
+    let parsed: Parsed = parse(argv)?;
+    if let Some(extra) = parsed.positional.first() {
+        return Err(format!(
+            "serve takes no positional arguments, got {extra:?}"
+        ));
+    }
+    let listen = parsed.get("listen").unwrap_or(DEFAULT_ADDR).to_string();
+    let mut cfg = ServeConfig {
+        max_tenants: parsed.get_or("max-tenants", 8)?,
+        shards: parsed.get_or("shards", 2)?,
+        ..ServeConfig::default()
+    };
+    if cfg.max_tenants == 0 {
+        return Err("--max-tenants must be positive".into());
+    }
+    if cfg.shards == 0 {
+        return Err("--shards must be positive".into());
+    }
+    let window: f64 = parsed.get_or("window", DetectorConfig::default().window)?;
+    if window.is_nan() || window <= 0.0 {
+        return Err("--window must be a positive number of seconds".into());
+    }
+    cfg.detector = DetectorConfig {
+        window,
+        ..DetectorConfig::default()
+    };
+    if let Some(dir) = parsed.get("checkpoint-dir") {
+        cfg.checkpoint_dir = Some(dir.into());
+    }
+
+    let persistent = cfg.checkpoint_dir.is_some();
+    let server = Server::start(&listen, cfg).map_err(|e| e.to_string())?;
+    println!(
+        "limba-serve listening on {} ({})",
+        server.addr(),
+        if persistent {
+            "checkpointed: runs survive restarts"
+        } else {
+            "ephemeral: no --checkpoint-dir"
+        }
+    );
+    println!("stop with `limba query SHUTDOWN --to {}`", server.addr());
+    server.wait_cancelled();
+    server.shutdown().map_err(|e| e.to_string())?;
+    println!("limba-serve stopped");
+    Ok(crate::CmdOutcome::Complete)
+}
+
+/// Runs `limba push [<tracefile>] [OPTIONS]`.
+pub fn push(argv: &[String]) -> Result<crate::CmdOutcome, String> {
+    let parsed: Parsed = parse(argv)?;
+    let addr = parsed.get("to").unwrap_or(DEFAULT_ADDR).to_string();
+    let tenant = parsed.get("tenant").unwrap_or("default").to_string();
+
+    let tracefile = parsed.positional.first();
+    let workload = parsed.get("workload");
+    let (source, default_run): (Source, String) = match (tracefile, workload) {
+        (Some(path), None) => {
+            let stem = std::path::Path::new(path)
+                .file_stem()
+                .and_then(|s| s.to_str())
+                .unwrap_or("run")
+                .to_string();
+            (Source::File(path.clone()), stem)
+        }
+        (None, Some(w)) => (Source::Workload(w.to_string()), w.to_string()),
+        (Some(_), Some(_)) => {
+            return Err("push takes a tracefile or --workload, not both".into());
+        }
+        (None, None) => {
+            return Err("push needs a tracefile path or --workload <name>".into());
+        }
+    };
+    let run = parsed.get("run").unwrap_or(&default_run).to_string();
+
+    let session = PushSession::connect(&addr, &tenant, &run).map_err(|e| e.to_string())?;
+    if session.offset() > 0 {
+        println!(
+            "resuming {tenant}/{run}: server holds {} bytes, skipping",
+            session.offset()
+        );
+    }
+    let outcome = match source {
+        Source::File(path) => session
+            .push_file(std::path::Path::new(&path))
+            .map_err(|e| e.to_string())?,
+        Source::Workload(w) => {
+            let ranks: usize = parsed.get_or("ranks", 16)?;
+            let iterations: Option<usize> = match parsed.get("iterations") {
+                Some(v) => Some(v.parse().map_err(|_| "invalid --iterations")?),
+                None => None,
+            };
+            let imbalance = match parsed.get("imbalance") {
+                Some(spec) => parse_imbalance(spec)?,
+                None => Imbalance::None,
+            };
+            let seed: u64 = parsed.get_or("seed", 0)?;
+            let jobs: usize = parsed.get_or("jobs", 1)?;
+            let frame_events: usize = parsed.get_or("stream-frame-events", 4096)?;
+            if frame_events == 0 {
+                return Err("--stream-frame-events must be positive".into());
+            }
+            let engine = Engine::parse(parsed.get("engine").unwrap_or("event"))?;
+            let program = build_program(&w, ranks, iterations, imbalance, seed)?;
+            let sim = Simulator::new(MachineConfig::new(ranks));
+            // The simulation streams straight into the socket; on
+            // resume the first `offset` bytes are regenerated and
+            // discarded client-side, so the server appends the exact
+            // missing suffix.
+            session
+                .push_sink(|sink| {
+                    let res = match engine {
+                        Engine::Event => sim.run_streaming_configured(
+                            &program,
+                            None,
+                            None,
+                            None,
+                            sink,
+                            frame_events,
+                        ),
+                        Engine::EventPar => sim.run_streaming_parallel_configured(
+                            &program,
+                            None,
+                            None,
+                            None,
+                            jobs,
+                            sink,
+                            frame_events,
+                        ),
+                        Engine::Polling => {
+                            return Err(limba_serve::ServeError::State(
+                                "push --workload needs --engine event or event-par".into(),
+                            ));
+                        }
+                    };
+                    res.map(|_| ())
+                        .map_err(|e| limba_serve::ServeError::State(e.to_string()))
+                })
+                .map_err(|e| e.to_string())?
+        }
+    };
+    match outcome.status {
+        PushStatus::Complete => {
+            println!("run {tenant}/{run} complete; final report:");
+            print!("{}", outcome.report);
+            Ok(crate::CmdOutcome::Complete)
+        }
+        PushStatus::Salvaged => {
+            println!("run {tenant}/{run} ended early; salvaged report:");
+            print!("{}", outcome.report);
+            Ok(crate::CmdOutcome::Partial)
+        }
+    }
+}
+
+/// What `push` streams.
+enum Source {
+    /// An existing chunked-v3 tracefile.
+    File(String),
+    /// A live simulation of the named workload.
+    Workload(String),
+}
+
+/// Runs `limba query <words...> [--to ADDR]`.
+pub fn query(argv: &[String]) -> Result<crate::CmdOutcome, String> {
+    let parsed: Parsed = parse(argv)?;
+    if parsed.positional.is_empty() {
+        return Err(
+            "query needs a request, e.g. `limba query STATUS` or `limba query REPORT t r`".into(),
+        );
+    }
+    let addr = parsed.get("to").unwrap_or(DEFAULT_ADDR).to_string();
+    let line = parsed.positional.join(" ");
+    let response = client::query(&addr, &line).map_err(|e| e.to_string())?;
+    print!("{response}");
+    Ok(crate::CmdOutcome::Complete)
+}

@@ -558,8 +558,41 @@ fn run_stream_reduce(
         ..limba_stream::StreamConfig::default()
     };
     let sim = Simulator::new(MachineConfig::new(ranks));
-    let streamed = limba_stream::stream_reduce(&sim, program, faults, balance, None, &cfg)
-        .map_err(|e| e.to_string())?;
+    // `--stream-out` composes: the reduction still streams, but the
+    // frames are teed to a chunked-v3 file on the way past.
+    let stream_out = match parsed.get("stream-out") {
+        Some("-") => {
+            // The analysis report owns stdout in this mode.
+            return Err(
+                "--stream-out - writes the trace to stdout; that clashes with the \
+                 --stream-reduce report — give a file path instead"
+                    .into(),
+            );
+        }
+        Some(path) => Some(path.to_string()),
+        None => None,
+    };
+    let mut tee_sink = match &stream_out {
+        Some(path) => {
+            let file =
+                std::fs::File::create(path).map_err(|e| format!("cannot create {path}: {e}"))?;
+            Some(limba_trace::WriteSink::new(std::io::BufWriter::new(file)))
+        }
+        None => None,
+    };
+    let streamed = limba_stream::stream_reduce_tee(
+        &sim,
+        program,
+        faults,
+        balance,
+        None,
+        &cfg,
+        tee_sink
+            .as_mut()
+            .map(|s| s as &mut (dyn limba_trace::TraceSink + Send)),
+    )
+    .map_err(|e| e.to_string())?;
+    drop(tee_sink);
 
     println!(
         "simulated {workload} on {ranks} ranks: makespan {:.4} s, {} messages, {} bytes",
@@ -575,10 +608,16 @@ fn run_stream_reduce(
             limba_viz::report::render_balance(&streamed.output.balance)
         );
     }
-    println!(
-        "streamed reduce: {} events in frames of {frame_events}, no tracefile written",
-        streamed.scan.events
-    );
+    match &stream_out {
+        Some(path) => println!(
+            "streamed reduce: {} events in frames of {frame_events}, trace teed to {path}",
+            streamed.scan.events
+        ),
+        None => println!(
+            "streamed reduce: {} events in frames of {frame_events}, no tracefile written",
+            streamed.scan.events
+        ),
+    }
     crate::cmd_analyze::guard_salvage(&streamed.salvaged)?;
     let report = crate::cmd_analyze::build_report(
         &streamed.salvaged.reduced,
@@ -592,6 +631,105 @@ fn run_stream_reduce(
     );
     if let Some(sliced) = streamed.windows {
         crate::cmd_analyze::print_evolution(sliced, dispersion, windows)?;
+    }
+    Ok(crate::CmdOutcome::Complete)
+}
+
+/// `--stream-out` without `--stream-reduce`: run the streaming
+/// simulator with a [`WriteSink`](limba_trace::WriteSink) so the
+/// chunked-v3 trace is written as rounds retire — the trace is never
+/// resident. `-` writes the container to stdout (status lines move to
+/// stderr), which is what makes
+/// `limba simulate ... --stream-out - | limba analyze - --from-stream`
+/// a real pipe.
+#[allow(clippy::too_many_arguments)]
+fn run_stream_out(
+    parsed: &Parsed,
+    workload: &str,
+    program: &Program,
+    ranks: usize,
+    engine: Engine,
+    faults: Option<&FaultPlan>,
+    balance: Option<&BalancePlan>,
+    jobs: usize,
+    replications: usize,
+) -> Result<crate::CmdOutcome, String> {
+    if replications > 1 {
+        return Err("--stream-out streams a single run; drop --replications".into());
+    }
+    if parsed.get("out").is_some() || parsed.get("format").is_some() {
+        return Err("--stream-out names the tracefile itself; drop --out/--format".into());
+    }
+    if matches!(engine, Engine::Polling) {
+        return Err("--stream-out needs --engine event or event-par".into());
+    }
+    let frame_events: usize = parsed.get_or("stream-frame-events", 4096)?;
+    if frame_events == 0 {
+        return Err("--stream-frame-events must be positive".into());
+    }
+    let path = parsed.get("stream-out").unwrap_or("-");
+    let sim = Simulator::new(MachineConfig::new(ranks));
+
+    let run_into = |sink: &mut dyn limba_trace::TraceSink| match engine {
+        Engine::Event => sim
+            .run_streaming_configured(program, faults, balance, None, sink, frame_events)
+            .map_err(|e| e.to_string()),
+        Engine::EventPar => sim
+            .run_streaming_parallel_configured(
+                program,
+                faults,
+                balance,
+                None,
+                jobs,
+                sink,
+                frame_events,
+            )
+            .map_err(|e| e.to_string()),
+        Engine::Polling => unreachable!("rejected above"),
+    };
+
+    let (output, to_stdout) = if path == "-" {
+        let stdout = std::io::stdout();
+        let mut sink = limba_trace::WriteSink::new(std::io::BufWriter::new(stdout.lock()));
+        (run_into(&mut sink)?, true)
+    } else {
+        let file = std::fs::File::create(path).map_err(|e| format!("cannot create {path}: {e}"))?;
+        let mut sink = limba_trace::WriteSink::new(std::io::BufWriter::new(file));
+        (run_into(&mut sink)?, false)
+    };
+
+    // When the trace owns stdout, the human-readable summary moves to
+    // stderr so the pipe stays clean binary.
+    let mut status = String::new();
+    use std::fmt::Write as _;
+    writeln!(
+        status,
+        "simulated {workload} on {ranks} ranks: makespan {:.4} s, {} messages, {} bytes",
+        output.stats.makespan, output.stats.messages, output.stats.bytes
+    )
+    .unwrap();
+    if faults.is_some() {
+        writeln!(status, "{}", describe_faults(&output.faults)).unwrap();
+    }
+    if balance.is_some() {
+        writeln!(status, "{}", describe_balance(&output.balance)).unwrap();
+        write!(
+            status,
+            "{}",
+            limba_viz::report::render_balance(&output.balance)
+        )
+        .unwrap();
+    }
+    writeln!(
+        status,
+        "trace streamed to {} (chunked v3, frames of {frame_events} events)",
+        if to_stdout { "stdout" } else { path }
+    )
+    .unwrap();
+    if to_stdout {
+        eprint!("{status}");
+    } else {
+        print!("{status}");
     }
     Ok(crate::CmdOutcome::Complete)
 }
@@ -644,6 +782,20 @@ pub fn run(argv: &[String]) -> Result<crate::CmdOutcome, String> {
 
     if parsed.has("stream-reduce") {
         return run_stream_reduce(
+            &parsed,
+            &workload,
+            &program,
+            ranks,
+            engine,
+            faults.as_ref(),
+            balance.as_ref(),
+            jobs,
+            replications,
+        );
+    }
+
+    if parsed.get("stream-out").is_some() {
+        return run_stream_out(
             &parsed,
             &workload,
             &program,
@@ -1094,6 +1246,81 @@ mod tests {
             ]))
             .unwrap();
             assert!(matches!(outcome, crate::CmdOutcome::Complete));
+        }
+    }
+
+    #[test]
+    fn stream_out_rejects_incompatible_flags() {
+        let err = run(&args(&[
+            "cfd",
+            "--stream-out",
+            "t.trc",
+            "--engine",
+            "polling",
+        ]))
+        .unwrap_err();
+        assert!(err.contains("event or event-par"), "{err}");
+        let err = run(&args(&[
+            "cfd",
+            "--stream-out",
+            "t.trc",
+            "--replications",
+            "3",
+        ]))
+        .unwrap_err();
+        assert!(err.contains("single run"), "{err}");
+        let err = run(&args(&["cfd", "--stream-out", "t.trc", "--out", "t.limba"])).unwrap_err();
+        assert!(err.contains("drop --out"), "{err}");
+        // Teeing to stdout while the report also prints there is refused.
+        let err = run(&args(&["cfd", "--stream-out", "-", "--stream-reduce"])).unwrap_err();
+        assert!(err.contains("clashes"), "{err}");
+    }
+
+    #[test]
+    fn stream_out_writes_the_materialized_bytes() {
+        // The streamed container must be byte-identical to encoding the
+        // materialized trace of the same run.
+        let dir = std::env::temp_dir();
+        let program = build_program("cfd", 4, Some(1), Imbalance::None, 0).unwrap();
+        let reference = simulate(&program, 4).unwrap();
+        let mut expect = Vec::new();
+        {
+            use limba_trace::TraceSink;
+            let mut sink = limba_trace::WriteSink::new(&mut expect);
+            sink.begin(reference.trace.processors(), reference.trace.region_names())
+                .unwrap();
+            sink.events(reference.trace.events()).unwrap();
+            sink.finish().unwrap();
+        }
+        for (label, extra) in [
+            ("event", vec![]),
+            ("event-par", vec!["--jobs", "2"]),
+            ("tee", vec!["--stream-reduce"]),
+        ] {
+            let path = dir.join(format!("limba-cli-stream-out-{label}.trc"));
+            let mut argv = vec![
+                "cfd",
+                "--ranks",
+                "4",
+                "--stream-out",
+                path.to_str().unwrap(),
+            ];
+            if label == "event-par" {
+                argv.extend(["--engine", "event-par"]);
+            }
+            argv.extend(extra);
+            run(&args(&argv)).unwrap();
+            let got = std::fs::read(&path).unwrap();
+            // The tee writes whole frames as the reducer sees them; the
+            // standalone path frames by --stream-frame-events. Frame
+            // boundaries differ but the decoded trace must not, and for
+            // equal framing the bytes are identical.
+            if label == "event" {
+                assert_eq!(got, expect, "streamed bytes diverge ({label})");
+            }
+            let decoded = limba_trace::binary::from_bytes(&got).unwrap();
+            assert_eq!(decoded.events(), reference.trace.events(), "{label}");
+            std::fs::remove_file(&path).unwrap();
         }
     }
 

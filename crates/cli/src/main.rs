@@ -12,6 +12,7 @@ mod cmd_advise;
 mod cmd_analyze;
 mod cmd_compare;
 mod cmd_paper;
+mod cmd_serve;
 mod cmd_simulate;
 mod cmd_suite;
 mod cmd_timeline;
@@ -44,6 +45,13 @@ USAGE:
   limba paper [OPTIONS]                 regenerate the paper's case study
   limba suite [--ranks N] [--jobs N]    sweep all workloads × injectors, print a summary
   limba timeline <tracefile> [OPTIONS]  render a tracefile as an SVG timeline
+  limba serve [OPTIONS]                 run the live multi-tenant trace-ingestion
+                                        service with online imbalance detection
+  limba push [<tracefile>] [OPTIONS]    stream a tracefile (or a live simulation
+                                        via --workload) into a serving tenant
+  limba query <words...> [--to ADDR]    query a running server (STATUS, TENANTS,
+                                        RUNS t, REPORT t r, DIGEST t r,
+                                        ALERTS t r, EVOLUTION t r n, SHUTDOWN)
   limba demo                            simulate the CFD proxy and analyze it
 
 WORKLOADS (simulate):
@@ -73,7 +81,31 @@ OPTIONS (simulate):
                          simulates: bounded memory, no tracefile; accepts
                          the analyze knobs (--dispersion/--criterion/
                          --clusters/--windows) and needs an event engine
+  --stream-out PATH      stream the chunked-v3 trace to PATH as rounds retire
+                         instead of materializing it; `-` writes the container
+                         to stdout (status moves to stderr) so it pipes into
+                         `limba analyze - --from-stream`; composes with
+                         --stream-reduce to tee the trace while reducing
   --stream-frame-events N  events per streamed frame (default 4096)
+
+OPTIONS (serve):
+  --listen ADDR          bind address (default 127.0.0.1:7979; port 0 = any)
+  --max-tenants N        admission cap on distinct tenants (default 8)
+  --shards N             ingestion shards — folds for different tenants
+                         proceed on N worker threads (default 2)
+  --window SECS          online detector window width in seconds (default 0.25)
+  --checkpoint-dir DIR   persist spools + run metadata under DIR; a restarted
+                         server resumes every tenant byte-identically
+
+OPTIONS (push):
+  --to ADDR              server address (default 127.0.0.1:7979)
+  --tenant NAME          tenant to ingest under (default `default`)
+  --run NAME             run id (default: tracefile stem or workload name)
+  --workload W           stream a live simulation instead of a tracefile
+                         (simulate's --ranks/--iterations/--imbalance/--seed/
+                         --jobs/--engine/--stream-frame-events apply)
+  exits 0 when the run completed, 3 when the stream ended early and the
+  server salvaged a partial run (reconnect to resume)
 
 OPTIONS (analyze):
   --dispersion KIND      euclidean | variance | cv | mad | max-excess |
@@ -88,7 +120,8 @@ OPTIONS (analyze):
   --from-stream          decode the tracefile through the streaming folds in
                          bounded 64 KiB chunks instead of loading it whole;
                          same report byte for byte (binary traces only,
-                         incompatible with --drilldown)
+                         incompatible with --drilldown); with `-` as the
+                         tracefile, reads the trace stream from stdin
 
 OPTIONS (advise):
   --workload W           advise on a synthetic workload instead of a tracefile
@@ -145,6 +178,9 @@ fn main() -> ExitCode {
         "paper" => cmd_paper::run(rest),
         "suite" => cmd_suite::run(rest),
         "timeline" => cmd_timeline::run(rest),
+        "serve" => cmd_serve::serve(rest),
+        "push" => cmd_serve::push(rest),
+        "query" => cmd_serve::query(rest),
         "demo" => cmd_simulate::demo(),
         "help" | "--help" | "-h" => {
             print!("{USAGE}");

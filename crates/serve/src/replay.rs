@@ -1,0 +1,212 @@
+//! Spool replay: turning a run's on-disk bytes into reports.
+//!
+//! The serving layer never grows a second analysis path. A run's
+//! **final** report is produced by replaying its spool through the
+//! exact sequence `limba analyze --from-stream` runs — scan pass,
+//! salvage fold, the default analyzer, the coverage renderer — so the
+//! served bytes are byte-for-byte what the offline CLI prints for the
+//! same tracefile. A **partial** report (mid-stream disconnect, live
+//! query) runs the same two passes but closes the folds directly
+//! instead of requiring the stream's end chunk, which is precisely the
+//! salvage repair: truncated ranks are closed at their last event and
+//! flagged in the coverage section.
+//!
+//! Replay reads the spool in bounded chunks; memory is one chunk
+//! buffer plus fold state, never the trace.
+
+use std::fs;
+use std::io::Read;
+use std::path::Path;
+
+use limba_analysis::Analyzer;
+use limba_stats::dispersion::DispersionKind;
+use limba_stats::rank::RankingCriterion;
+use limba_trace::{
+    SalvageSink, SalvagedTrace, ScanSink, StreamDecoder, StreamScan, TraceSink, WindowSink,
+};
+
+use crate::ServeError;
+
+/// Replay chunk size — matches the offline CLI's streaming reads.
+const CHUNK: usize = 64 * 1024;
+
+/// Analyzer knobs pinned to the `limba analyze` defaults. The serve
+/// layer deliberately exposes no analysis knobs: its contract is
+/// byte-identity with the *default* offline analysis.
+fn analyzer() -> Analyzer {
+    Analyzer::new()
+        .with_dispersion(DispersionKind::Euclidean)
+        .with_criterion(RankingCriterion::Maximum)
+        .with_cluster_k(2)
+}
+
+/// Feeds the spool through `sink`. With `strict`, the decoder's own
+/// `finish` runs — truncated spools fail exactly like the offline
+/// CLI. Without it, decode errors past the header are swallowed and
+/// the sink is closed directly, salvaging whatever prefix decoded.
+fn feed_spool(path: &Path, sink: &mut dyn TraceSink, strict: bool) -> Result<(), ServeError> {
+    let mut file = fs::File::open(path)?;
+    let mut decoder = StreamDecoder::new();
+    let mut buf = vec![0u8; CHUNK];
+    let mut fed = 0u64;
+    loop {
+        let n = file.read(&mut buf)?;
+        if n == 0 {
+            break;
+        }
+        fed += n as u64;
+        if let Err(e) = decoder.feed(&buf[..n], sink) {
+            if strict {
+                return Err(e.into());
+            }
+            // Salvage mode: a malformed tail (the stream died
+            // mid-write) ends the usable prefix. A header that never
+            // decoded is still fatal — there is nothing to salvage.
+            if fed == n as u64 {
+                return Err(e.into());
+            }
+            break;
+        }
+    }
+    if strict {
+        decoder.finish(sink)?;
+    } else {
+        // Close the folds over whatever arrived. ScanSink just seals
+        // its totals; SalvageSink closes every rank's walker at its
+        // last event — the truncation repair.
+        sink.finish()?;
+    }
+    Ok(())
+}
+
+/// Scan pass over the spool.
+fn scan_spool(path: &Path, strict: bool) -> Result<StreamScan, ServeError> {
+    let mut scan = ScanSink::new();
+    feed_spool(path, &mut scan, strict)?;
+    scan.into_scan()
+        .ok_or_else(|| ServeError::State("stream scan did not complete".into()))
+}
+
+/// Salvage-fold pass over the spool.
+fn fold_spool(path: &Path, scan: &StreamScan, strict: bool) -> Result<SalvagedTrace, ServeError> {
+    let mut salvage = SalvageSink::new(scan.activities.clone());
+    feed_spool(path, &mut salvage, strict)?;
+    salvage
+        .into_salvaged()
+        .ok_or_else(|| ServeError::State("stream fold did not complete".into()))
+}
+
+/// Rejects a salvage that recovered no measured time — same guard,
+/// same wording as the offline CLI.
+fn guard_salvage(salvaged: &SalvagedTrace) -> Result<(), ServeError> {
+    let SalvagedTrace { reduced, coverage } = salvaged;
+    if coverage.iter().any(|c| !c.complete) && reduced.measurements.total_time() <= 0.0 {
+        let truncated = coverage.iter().filter(|c| !c.complete).count();
+        return Err(ServeError::Trace(limba_trace::TraceError::Malformed {
+            detail: format!(
+                "unsalvageable trace: {truncated} of {} ranks truncated and no measured time survives",
+                coverage.len()
+            ),
+        }));
+    }
+    Ok(())
+}
+
+fn render(salvaged: &SalvagedTrace) -> Result<String, ServeError> {
+    let report = analyzer()
+        .analyze_with_counts(&salvaged.reduced.measurements, &salvaged.reduced.counts)
+        .map_err(|e| ServeError::State(e.to_string()))?;
+    Ok(limba_viz::report::render_with_coverage(
+        &report,
+        &salvaged.coverage,
+    ))
+}
+
+/// The final report for a **complete** spool: byte-for-byte what
+/// `limba analyze <spool> --from-stream` prints.
+pub fn complete_report(spool: &Path) -> Result<String, ServeError> {
+    let scan = scan_spool(spool, true)?;
+    let salvaged = fold_spool(spool, &scan, true)?;
+    guard_salvage(&salvaged)?;
+    render(&salvaged)
+}
+
+/// A salvage-grade report over a **partial** spool (disconnected or
+/// still-live run): both passes close their folds at the last decoded
+/// event instead of requiring the end chunk.
+pub fn partial_report(spool: &Path) -> Result<String, ServeError> {
+    let scan = scan_spool(spool, false)?;
+    let salvaged = fold_spool(spool, &scan, false)?;
+    guard_salvage(&salvaged)?;
+    render(&salvaged)
+}
+
+/// The offline imbalance-evolution section over `windows` slices of a
+/// complete spool — same pass order and rendering as
+/// `limba analyze --from-stream --windows N`.
+pub fn evolution_report(spool: &Path, windows: usize) -> Result<String, ServeError> {
+    let scan = scan_spool(spool, true)?;
+    let mut sink = WindowSink::new(windows, scan.makespan, scan.activities.clone())?;
+    feed_spool(spool, &mut sink, true)?;
+    let sliced = sink
+        .into_windows()
+        .ok_or_else(|| ServeError::State("stream fold did not complete".into()))?;
+    let matrices: Vec<_> = sliced.into_iter().map(|w| w.measurements).collect();
+    let evolution =
+        limba_analysis::evolution::imbalance_evolution(&matrices, DispersionKind::Euclidean, 0.02)
+            .map_err(|e| ServeError::State(e.to_string()))?;
+    Ok(limba_viz::report::render_evolution(&evolution, windows))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use limba_trace::WriteSink;
+
+    /// Writes a tiny two-rank trace; returns (full bytes, event count).
+    fn sample_bytes() -> Vec<u8> {
+        let mut out = Vec::new();
+        {
+            let mut sink = WriteSink::new(&mut out);
+            sink.begin(2, &["work".into(), "halo".into()]).unwrap();
+            let evs = vec![
+                limba_trace::Event::enter(0.0, 0, 0.into()),
+                limba_trace::Event::leave(1.0, 0, 0.into()),
+                limba_trace::Event::enter(0.0, 1, 0.into()),
+                limba_trace::Event::leave(3.0, 1, 0.into()),
+                limba_trace::Event::enter(3.0, 1, 1.into()),
+                limba_trace::Event::leave(3.5, 1, 1.into()),
+            ];
+            sink.events(&evs).unwrap();
+            sink.finish().unwrap();
+        }
+        out
+    }
+
+    #[test]
+    fn complete_report_round_trips() {
+        let dir = std::env::temp_dir().join(format!("limba-replay-{}", std::process::id()));
+        fs::create_dir_all(&dir).unwrap();
+        let spool = dir.join("complete.trc");
+        fs::write(&spool, sample_bytes()).unwrap();
+        let report = complete_report(&spool).unwrap();
+        assert!(report.contains("== coarse grain =="), "{report}");
+        // A complete spool's partial report matches the final one:
+        // nothing needed salvaging.
+        assert_eq!(partial_report(&spool).unwrap(), report);
+        fs::remove_file(&spool).unwrap();
+    }
+
+    #[test]
+    fn truncated_spool_salvages_but_fails_strict() {
+        let bytes = sample_bytes();
+        let dir = std::env::temp_dir().join(format!("limba-replay-{}", std::process::id()));
+        fs::create_dir_all(&dir).unwrap();
+        let spool = dir.join("partial.trc");
+        fs::write(&spool, &bytes[..bytes.len() - 21]).unwrap();
+        assert!(complete_report(&spool).is_err());
+        let report = partial_report(&spool).unwrap();
+        assert!(report.contains("== coarse grain =="), "{report}");
+        fs::remove_file(&spool).unwrap();
+    }
+}

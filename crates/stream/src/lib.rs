@@ -105,6 +105,16 @@ impl From<TraceError> for StreamError {
 /// Sending half of a bounded stage channel.
 pub struct StageTx<T>(SyncSender<T>);
 
+impl<T> Clone for StageTx<T> {
+    /// Clones the sender: many producers may feed one consumer through
+    /// the same bounded channel (e.g. one server socket per client,
+    /// all draining into a shard worker). End-of-stream reaches the
+    /// receiver when *every* clone has been dropped.
+    fn clone(&self) -> Self {
+        StageTx(self.0.clone())
+    }
+}
+
 impl<T> StageTx<T> {
     /// Sends one item downstream, blocking while the channel is full —
     /// this block is the backpressure that bounds pipeline memory.
@@ -370,7 +380,11 @@ pub struct StreamedReduction {
 }
 
 /// The source stage: runs the simulation, producing binary frames.
-struct SimulateStage<'a> {
+/// `'t` is the tee's trait-object lifetime, kept separate from the
+/// borrows of the run's inputs and outputs (trait-object lifetimes are
+/// invariant, so sharing one lifetime would force the caller's tee to
+/// live exactly as long as this call's locals).
+struct SimulateStage<'a, 't> {
     sim: &'a Simulator,
     program: &'a Program,
     faults: Option<&'a FaultPlan>,
@@ -379,23 +393,41 @@ struct SimulateStage<'a> {
     frame_events: usize,
     jobs: usize,
     out: &'a mut Option<StreamOutput>,
+    /// Extra sink the producer tees the identical event stream into
+    /// (e.g. a [`WriteSink`](limba_trace::WriteSink) persisting the
+    /// tracefile alongside the pipelined reduction).
+    tee: Option<&'a mut (dyn TraceSink + Send + 't)>,
 }
 
-impl Stage for SimulateStage<'_> {
+impl Stage for SimulateStage<'_, '_> {
     type In = ();
     type Out = Bytes;
 
     fn run(self, _rx: StageRx<()>, tx: StageTx<Bytes>) -> Result<(), StreamError> {
         let mut sink = FrameSink::new(tx);
-        let result = self.sim.run_streaming_parallel_configured(
-            self.program,
-            self.faults,
-            self.balance,
-            self.budget,
-            self.jobs,
-            &mut sink,
-            self.frame_events,
-        );
+        let result = match self.tee {
+            Some(tee) => {
+                let mut teed = TeeSink::new(tee, &mut sink);
+                self.sim.run_streaming_parallel_configured(
+                    self.program,
+                    self.faults,
+                    self.balance,
+                    self.budget,
+                    self.jobs,
+                    &mut teed,
+                    self.frame_events,
+                )
+            }
+            None => self.sim.run_streaming_parallel_configured(
+                self.program,
+                self.faults,
+                self.balance,
+                self.budget,
+                self.jobs,
+                &mut sink,
+                self.frame_events,
+            ),
+        };
         match result {
             Ok(output) => {
                 *self.out = Some(output);
@@ -473,6 +505,29 @@ pub fn stream_reduce(
     budget: Option<&RunBudget>,
     cfg: &StreamConfig,
 ) -> Result<StreamedReduction, StreamError> {
+    stream_reduce_tee(sim, program, faults, balance, budget, cfg, None)
+}
+
+/// [`stream_reduce`] with an optional producer-side tee: the second
+/// (pipelined) pass feeds the identical event stream into `tee` as well
+/// — e.g. a [`WriteSink`](limba_trace::WriteSink) persisting the
+/// chunked tracefile while the reduction folds it, still without ever
+/// materializing the trace. The first (scan) pass does not touch the
+/// tee, so the tee sees the stream exactly once.
+///
+/// # Errors
+///
+/// As [`stream_reduce`], plus whatever the tee surfaces (an error from
+/// the tee aborts the simulation like a fold error would).
+pub fn stream_reduce_tee(
+    sim: &Simulator,
+    program: &Program,
+    faults: Option<&FaultPlan>,
+    balance: Option<&BalancePlan>,
+    budget: Option<&RunBudget>,
+    cfg: &StreamConfig,
+    tee: Option<&mut (dyn TraceSink + Send)>,
+) -> Result<StreamedReduction, StreamError> {
     // Pass 1: scan.
     let mut scan_sink = ScanSink::new();
     sim.run_streaming_parallel_configured(
@@ -501,6 +556,7 @@ pub fn stream_reduce(
         frame_events: cfg.frame_events,
         jobs: cfg.jobs,
         out: &mut output,
+        tee,
     };
     let fold = FoldStage {
         scan: &scan,
@@ -611,6 +667,7 @@ mod tests {
             frame_events: 1,
             jobs: 1,
             out: &mut out,
+            tee: None,
         };
         let err = run_pipeline(source.then(0, QuitStage)).expect_err("pipeline must fail");
         // The consumer's own error survives; the producer's

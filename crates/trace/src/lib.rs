@@ -57,11 +57,11 @@ mod salvage;
 
 pub use event::{Event, EventPayload, Trace, TraceBuilder};
 pub use hierarchy::region_parents;
-pub use reduce::{reduce, reduce_well_formed, reduce_windows, ReducedTrace};
-pub use salvage::{reduce_checked, RankCoverage, SalvagedTrace};
+pub use reduce::{reduce, reduce_well_formed, reduce_windows, Attribution, ReducedTrace};
+pub use salvage::{reduce_checked, RankCoverage, SalvageWalker, SalvagedTrace};
 pub use stream::{
     MaterializeSink, ReduceSink, SalvageSink, ScanSink, StreamDecoder, StreamEncoder, StreamScan,
-    TeeSink, TraceSink, WindowSink,
+    TeeSink, TraceSink, WindowSink, WriteSink,
 };
 
 mod error;

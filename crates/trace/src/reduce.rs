@@ -19,17 +19,33 @@ pub struct ReducedTrace {
 
 /// One attributed event from the per-processor walk: either a time
 /// interval spent in an activity of a region, or a message count.
-pub(crate) enum Attribution {
+///
+/// Public so incremental consumers outside this crate (e.g. an online
+/// imbalance detector driving a [`SalvageWalker`](crate::SalvageWalker)
+/// per rank) can receive exactly the attributions the reductions fold —
+/// same state machine, same arithmetic, byte-identical results.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Attribution {
+    /// Time spent in one activity of one region.
     Interval {
+        /// Region index the interval is attributed to.
         region: usize,
+        /// Activity the interval belongs to.
         kind: ActivityKind,
+        /// Interval start time.
         start: f64,
+        /// Interval end time.
         end: f64,
     },
+    /// A message-counting parameter observation.
     Count {
+        /// Region index the count is attributed to.
         region: usize,
+        /// Which counter the amount belongs to.
         kind: CountKind,
+        /// Counted amount (messages or bytes).
         amount: f64,
+        /// Timestamp of the observation.
         at: f64,
     },
 }

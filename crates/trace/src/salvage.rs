@@ -189,14 +189,18 @@ fn walk_salvage<F: FnMut(Attribution)>(
     Ok(walker.finish(&mut sink))
 }
 
-/// The incremental state machine behind [`walk_salvage`]: one event at
-/// a time via [`SalvageWalker::step`], truncation repair and the
-/// coverage record on [`SalvageWalker::finish`]. The batch salvage path
-/// drives it over a materialized, per-rank-sorted slice; the streaming
-/// salvage fold ([`crate::stream`]) drives one walker per rank as
-/// frames arrive — the same code attributes in both, so their outputs
-/// are identical by construction, not merely by test.
-pub(crate) struct SalvageWalker {
+/// The incremental state machine behind [`reduce_checked`]'s per-rank
+/// walk: one event at a time via [`SalvageWalker::step`], truncation
+/// repair and the coverage record on [`SalvageWalker::finish`]. The
+/// batch salvage path drives it over a materialized, per-rank-sorted
+/// slice; the streaming salvage fold ([`crate::stream`]) drives one
+/// walker per rank as frames arrive — the same code attributes in both,
+/// so their outputs are identical by construction, not merely by test.
+///
+/// Public so external incremental consumers — e.g. `limba-serve`'s
+/// online window detector — fold the *same* [`Attribution`]s the
+/// reductions see, instead of reimplementing attribution.
+pub struct SalvageWalker {
     proc: u32,
     regions: usize,
     stack: Vec<usize>,
@@ -210,7 +214,9 @@ pub(crate) struct SalvageWalker {
 }
 
 impl SalvageWalker {
-    pub(crate) fn new(proc: u32, regions: usize) -> Self {
+    /// Creates a walker for one rank of a trace declaring `regions`
+    /// regions.
+    pub fn new(proc: u32, regions: usize) -> Self {
         SalvageWalker {
             proc,
             regions,
@@ -223,11 +229,19 @@ impl SalvageWalker {
     }
 
     /// The rank this walker attributes for.
-    pub(crate) fn proc(&self) -> u32 {
+    pub fn proc(&self) -> u32 {
         self.proc
     }
 
-    pub(crate) fn step<F: FnMut(Attribution)>(
+    /// Feeds the rank's next event (in time order), emitting any
+    /// attributions it completes into `sink`. `index` is the event's
+    /// recording-order position, used only to name offenders in errors.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TraceError::MalformedEvent`] for structural damage no
+    /// truncation can explain (see [`reduce_checked`]).
+    pub fn step<F: FnMut(Attribution)>(
         &mut self,
         index: usize,
         e: &Event,
@@ -366,7 +380,10 @@ impl SalvageWalker {
         Ok(())
     }
 
-    pub(crate) fn finish<F: FnMut(Attribution)>(mut self, sink: &mut F) -> RankCoverage {
+    /// Ends the rank's stream: closes whatever is still open at the
+    /// last recorded timestamp (truncation repair, emitted into `sink`)
+    /// and returns the rank's [`RankCoverage`].
+    pub fn finish<F: FnMut(Attribution)>(mut self, sink: &mut F) -> RankCoverage {
         let open_activity = self.current.is_some();
         let open_regions = self.stack.len();
         let last_time = self.last_time;

@@ -215,6 +215,72 @@ impl TraceSink for TeeSink<'_> {
     }
 }
 
+/// A [`TraceSink`] that encodes the stream into the chunked version-3
+/// container and writes each frame straight to any [`io::Write`] — the
+/// streaming counterpart of [`binary::to_bytes`]: the trace flows to a
+/// file, pipe, or socket as it is produced and is never materialized.
+///
+/// Dropping the sink without [`finish`](TraceSink::finish) leaves a
+/// truncated (salvage-grade) stream behind, exactly like a producer
+/// that died mid-write; `finish` seals the stream with the end chunk
+/// and flushes the writer.
+///
+/// [`io::Write`]: std::io::Write
+/// [`binary::to_bytes`]: crate::binary::to_bytes
+#[derive(Debug)]
+pub struct WriteSink<W: std::io::Write> {
+    writer: W,
+    encoder: StreamEncoder,
+    started: bool,
+}
+
+impl<W: std::io::Write> WriteSink<W> {
+    /// Wraps a writer; frames are written as the stream arrives.
+    pub fn new(writer: W) -> Self {
+        WriteSink {
+            writer,
+            encoder: StreamEncoder::new(),
+            started: false,
+        }
+    }
+
+    /// Consumes the sink and returns the underlying writer.
+    pub fn into_inner(self) -> W {
+        self.writer
+    }
+}
+
+impl<W: std::io::Write> TraceSink for WriteSink<W> {
+    fn begin(&mut self, processors: usize, region_names: &[String]) -> Result<(), TraceError> {
+        if self.started {
+            return Err(malformed("begin after begin"));
+        }
+        self.started = true;
+        let header = self.encoder.header(processors, region_names)?;
+        self.writer.write_all(&header)?;
+        Ok(())
+    }
+
+    fn events(&mut self, events: &[Event]) -> Result<(), TraceError> {
+        if !self.started {
+            return Err(malformed("events before begin"));
+        }
+        let frame = self.encoder.frame(events);
+        self.writer.write_all(&frame)?;
+        Ok(())
+    }
+
+    fn finish(&mut self) -> Result<(), TraceError> {
+        if !self.started {
+            return Err(malformed("finish before begin"));
+        }
+        let end = self.encoder.finish();
+        self.writer.write_all(&end)?;
+        self.writer.flush()?;
+        Ok(())
+    }
+}
+
 // ---------------------------------------------------------------------
 // Encoder
 // ---------------------------------------------------------------------

@@ -318,6 +318,33 @@ pub fn render_with_coverage(report: &Report, coverage: &[RankCoverage]) -> Strin
     assemble(&sections)
 }
 
+/// Renders the imbalance-evolution section for a windowed analysis:
+/// one line per activity with the per-window weighted dispersion, the
+/// fitted slope, and the trend classification. Shared by
+/// `limba analyze --windows` and `limba-serve`'s evolution query, so
+/// the two surfaces print byte-identical sections.
+pub fn render_evolution(
+    evolution: &limba_analysis::evolution::Evolution,
+    windows: usize,
+) -> String {
+    let mut out = format!("\n== imbalance evolution ({windows} windows) ==\n");
+    for series in &evolution.series {
+        let values: Vec<String> = series
+            .values
+            .iter()
+            .map(|v| v.map(|v| format!("{v:.3}")).unwrap_or_else(|| "-".into()))
+            .collect();
+        out.push_str(&format!(
+            "{:<16} [{}] slope {:+.4} → {:?}\n",
+            series.activity.to_string(),
+            values.join(" "),
+            series.slope,
+            series.trend
+        ));
+    }
+    out
+}
+
 /// Renders the rebalancing-actions section for a balanced run (see
 /// [`limba_mpisim::BalancePlan`]): the active policy, the migration
 /// totals, and the per-rank nominal-seconds ledger (work executed

@@ -60,6 +60,7 @@ pub use limba_guard as guard;
 pub use limba_model as model;
 pub use limba_mpisim as mpisim;
 pub use limba_par as par;
+pub use limba_serve as serve;
 pub use limba_stats as stats;
 pub use limba_stream as stream;
 pub use limba_trace as trace;

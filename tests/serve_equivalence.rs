@@ -1,0 +1,358 @@
+//! The serving differential harness: reports served by the live
+//! ingestion server must be byte-identical to the offline analysis of
+//! the same trace bytes — across concurrent tenants, workloads, fault
+//! plans, mid-stream disconnects, reconnect-resume, and server
+//! kill-and-restart from a checkpoint directory. The server is run
+//! in-process on a loopback socket with an ephemeral port; every
+//! reference report is computed through the *materialized* path
+//! (decode → salvaging reduce → analyzer → renderer), which the
+//! stream-equivalence harness already locks against the streaming
+//! folds the server actually runs.
+
+use std::net::TcpStream;
+use std::path::{Path, PathBuf};
+
+use limba::analysis::Analyzer;
+use limba::mpisim::{FaultPlan, MachineConfig, Simulator};
+use limba::serve::client::{self, PushStatus};
+use limba::serve::{PushSession, ServeConfig, Server};
+use limba::stats::dispersion::DispersionKind;
+use limba::stats::rank::RankingCriterion;
+use limba::trace::{Event, TraceSink, WriteSink};
+use limba::workloads::{
+    cfd::CfdConfig, master_worker::MasterWorkerConfig, stencil::StencilConfig, Imbalance,
+};
+use proptest::prelude::*;
+
+/// A scratch directory unique to this test binary's process.
+fn scratch(label: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("limba-serve-eq-{}-{label}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("scratch dir");
+    dir
+}
+
+/// One generated tenant workload: its name and its full trace bytes.
+#[derive(Debug, Clone)]
+struct Tenant {
+    name: String,
+    bytes: Vec<u8>,
+}
+
+/// Encodes a simulated run as chunked-v3 bytes — the exact container
+/// `limba push` streams.
+fn trace_bytes(
+    workload: u8,
+    ranks: usize,
+    imbalance: Imbalance,
+    faults: Option<&FaultPlan>,
+) -> Vec<u8> {
+    let program = match workload {
+        0 => CfdConfig::new(ranks)
+            .with_iterations(1)
+            .with_imbalance(imbalance)
+            .build_program(),
+        1 => {
+            let cols = if ranks.is_multiple_of(2) { 2 } else { 1 };
+            StencilConfig::new(ranks / cols, cols)
+                .with_imbalance(imbalance)
+                .build_program()
+        }
+        _ => MasterWorkerConfig::new(ranks)
+            .with_tasks(ranks * 4)
+            .with_imbalance(imbalance)
+            .build_program(),
+    }
+    .expect("generated workloads build");
+    let output = Simulator::new(MachineConfig::new(ranks))
+        .run_configured(&program, faults, None, None)
+        .expect("simulation runs");
+    let mut bytes = Vec::new();
+    let mut sink = WriteSink::new(&mut bytes);
+    sink.begin(output.trace.processors(), output.trace.region_names())
+        .expect("begin");
+    sink.events(output.trace.events()).expect("events");
+    sink.finish().expect("finish");
+    bytes
+}
+
+/// The offline reference report for complete trace bytes, through the
+/// materialized path with the analyzer defaults the server pins.
+fn offline_report(bytes: &[u8]) -> String {
+    let trace = limba::trace::binary::from_bytes(bytes).expect("bytes decode");
+    let salvaged = limba::trace::reduce_checked(&trace).expect("reduce");
+    let report = Analyzer::new()
+        .with_dispersion(DispersionKind::Euclidean)
+        .with_criterion(RankingCriterion::Maximum)
+        .with_cluster_k(2)
+        .analyze_with_counts(&salvaged.reduced.measurements, &salvaged.reduced.counts)
+        .expect("analyze");
+    limba::viz::report::render_with_coverage(&report, &salvaged.coverage)
+}
+
+/// Writes `bytes` to a file under `dir` and returns the path.
+fn spool_to(dir: &Path, name: &str, bytes: &[u8]) -> PathBuf {
+    let path = dir.join(name);
+    std::fs::write(&path, bytes).expect("write trace bytes");
+    path
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// N tenants push concurrently; every push returns Complete, the
+    /// returned report is byte-identical to the offline analysis of
+    /// the same bytes, and the query protocol serves the same bytes
+    /// again afterwards.
+    #[test]
+    fn concurrent_pushes_match_offline_analysis(
+        specs in proptest::collection::vec(
+            (
+                0u8..3,                         // workload family
+                2usize..6,                      // ranks
+                prop_oneof![
+                    Just(Imbalance::None),
+                    (0.1f64..0.8).prop_map(|s| Imbalance::LinearSkew { spread: s }),
+                    (0.05f64..0.4).prop_map(|a| Imbalance::RandomJitter { amplitude: a }),
+                ],
+            ),
+            2..5,
+        ),
+    ) {
+        let dir = scratch("concurrent");
+        let server = Server::start("127.0.0.1:0", ServeConfig::default())
+            .expect("server starts");
+        let addr = server.addr().to_string();
+
+        let tenants: Vec<Tenant> = specs
+            .iter()
+            .enumerate()
+            .map(|(i, (w, ranks, imb))| Tenant {
+                name: format!("tenant{i}"),
+                bytes: trace_bytes(*w, *ranks, *imb, None),
+            })
+            .collect();
+
+        // All clients push at once, one thread each.
+        let outcomes: Vec<(String, String, String)> = std::thread::scope(|scope| {
+            let handles: Vec<_> = tenants
+                .iter()
+                .map(|tenant| {
+                    let addr = addr.clone();
+                    let dir = dir.clone();
+                    scope.spawn(move || {
+                        let path = spool_to(
+                            &dir,
+                            &format!("{}.trc", tenant.name),
+                            &tenant.bytes,
+                        );
+                        let session = PushSession::connect(&addr, &tenant.name, "run")
+                            .expect("connect");
+                        let outcome = session.push_file(&path).expect("push");
+                        assert_eq!(outcome.status, PushStatus::Complete);
+                        (
+                            tenant.name.clone(),
+                            outcome.report,
+                            offline_report(&tenant.bytes),
+                        )
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().expect("client thread")).collect()
+        });
+
+        for (name, served, offline) in &outcomes {
+            prop_assert_eq!(served, offline, "push report diverges for {}", name);
+            let queried = client::query(&addr, &format!("REPORT {name} run"))
+                .expect("query");
+            prop_assert_eq!(&queried, offline, "queried report diverges for {}", name);
+        }
+        server.shutdown().expect("shutdown");
+    }
+
+    /// A client that disconnects mid-stream gets a salvage-grade
+    /// partial report; reconnecting resumes at the spooled offset and
+    /// the completed run's report is byte-identical to an
+    /// uninterrupted offline analysis.
+    #[test]
+    fn disconnect_salvages_then_resume_completes(
+        workload in 0u8..3,
+        ranks in 3usize..6,
+        spread in 0.1f64..0.7,
+        cut_num in 1usize..8,
+    ) {
+        let dir = scratch("resume");
+        let bytes = trace_bytes(
+            workload,
+            ranks,
+            Imbalance::LinearSkew { spread },
+            None,
+        );
+        // Cut somewhere strictly inside the byte stream, past the
+        // header so there is something to salvage.
+        let cut = (bytes.len() * cut_num / 8).clamp(64, bytes.len() - 1);
+        let server = Server::start("127.0.0.1:0", ServeConfig::default())
+            .expect("server starts");
+        let addr = server.addr().to_string();
+
+        let partial_path = spool_to(&dir, "partial.trc", &bytes[..cut]);
+        let session = PushSession::connect(&addr, "acme", "job").expect("connect");
+        prop_assert_eq!(session.offset(), 0);
+        let outcome = session.push_file(&partial_path).expect("push partial");
+        prop_assert_eq!(outcome.status, PushStatus::Salvaged);
+
+        // Reconnect: the server asks for exactly the missing suffix.
+        let full_path = spool_to(&dir, "full.trc", &bytes);
+        let session = PushSession::connect(&addr, "acme", "job").expect("reconnect");
+        prop_assert_eq!(session.offset(), cut as u64);
+        let outcome = session.push_file(&full_path).expect("push rest");
+        prop_assert_eq!(outcome.status, PushStatus::Complete);
+        prop_assert_eq!(outcome.report, offline_report(&bytes));
+        server.shutdown().expect("shutdown");
+    }
+}
+
+/// Kill the server (shutdown with live state checkpointed), restart it
+/// over the same directory, and finish the interrupted run: the final
+/// report must be byte-identical to the uninterrupted offline analysis,
+/// and completed runs must survive the restart verbatim.
+#[test]
+fn restart_from_checkpoint_resumes_byte_identically() {
+    let dir = scratch("restart");
+    let ckpt = dir.join("state");
+    let done_bytes = trace_bytes(0, 4, Imbalance::LinearSkew { spread: 0.4 }, None);
+    let cut_bytes = trace_bytes(2, 5, Imbalance::RandomJitter { amplitude: 0.2 }, None);
+    let cut = cut_bytes.len() / 2;
+
+    let cfg = || ServeConfig {
+        checkpoint_dir: Some(ckpt.clone()),
+        ..ServeConfig::default()
+    };
+
+    // First server lifetime: one complete run, one interrupted run.
+    let first = Server::start("127.0.0.1:0", cfg()).expect("first server");
+    let addr = first.addr().to_string();
+    let done_path = spool_to(&dir, "done.trc", &done_bytes);
+    let outcome = PushSession::connect(&addr, "t0", "done")
+        .expect("connect")
+        .push_file(&done_path)
+        .expect("push");
+    assert_eq!(outcome.status, PushStatus::Complete);
+    let partial_path = spool_to(&dir, "cut.trc", &cut_bytes[..cut]);
+    let outcome = PushSession::connect(&addr, "t1", "cut")
+        .expect("connect")
+        .push_file(&partial_path)
+        .expect("push");
+    assert_eq!(outcome.status, PushStatus::Salvaged);
+    first.shutdown().expect("first shutdown");
+
+    // Second lifetime: both runs recovered, the partial one resumable.
+    let second = Server::start("127.0.0.1:0", cfg()).expect("second server");
+    let addr = second.addr().to_string();
+    let report = client::query(&addr, "REPORT t0 done").expect("query survives restart");
+    assert_eq!(report, offline_report(&done_bytes));
+
+    let full_path = spool_to(&dir, "cut-full.trc", &cut_bytes);
+    let session = PushSession::connect(&addr, "t1", "cut").expect("reconnect after restart");
+    assert_eq!(session.offset(), cut as u64);
+    let outcome = session.push_file(&full_path).expect("finish run");
+    assert_eq!(outcome.status, PushStatus::Complete);
+    assert_eq!(outcome.report, offline_report(&cut_bytes));
+
+    // Completed runs refuse re-ingestion.
+    let err = PushSession::connect(&addr, "t1", "cut").unwrap_err();
+    assert!(err.to_string().contains("complete"), "{err}");
+    second.shutdown().expect("second shutdown");
+}
+
+/// A session that feeds garbage is failed and isolated: the connection
+/// gets an error verdict, and the same server keeps serving other
+/// tenants normally afterwards.
+#[test]
+fn poisoned_stream_is_isolated() {
+    let dir = scratch("poison");
+    let server = Server::start("127.0.0.1:0", ServeConfig::default()).expect("server");
+    let addr = server.addr().to_string();
+
+    // A syntactically valid header followed by a corrupt chunk.
+    let mut garbage = Vec::new();
+    {
+        let mut sink = WriteSink::new(&mut garbage);
+        sink.begin(2, &["work".into()]).expect("begin");
+        sink.events(&[
+            Event::enter(0.0, 0, 0.into()),
+            Event::leave(1.0, 0, 0.into()),
+        ])
+        .expect("events");
+        sink.finish().expect("finish");
+    }
+    let pivot = garbage.len() / 2;
+    for b in &mut garbage[pivot..] {
+        *b = !*b;
+    }
+    let garbage_path = spool_to(&dir, "garbage.trc", &garbage);
+    let session = PushSession::connect(&addr, "mallory", "bad").expect("connect");
+    // The push must come back with a verdict — salvage of the intact
+    // prefix or a hard rejection — never a hang or a dead server.
+    let verdict = session.push_file(&garbage_path);
+    match verdict {
+        Ok(outcome) => assert_eq!(outcome.status, PushStatus::Salvaged),
+        Err(e) => {
+            let text = e.to_string();
+            assert!(!text.is_empty(), "error verdict carries a message");
+        }
+    }
+
+    // The server is still healthy for everyone else.
+    let good = trace_bytes(0, 3, Imbalance::None, None);
+    let good_path = spool_to(&dir, "good.trc", &good);
+    let outcome = PushSession::connect(&addr, "alice", "ok")
+        .expect("connect after poison")
+        .push_file(&good_path)
+        .expect("push after poison");
+    assert_eq!(outcome.status, PushStatus::Complete);
+    assert_eq!(outcome.report, offline_report(&good));
+    server.shutdown().expect("shutdown");
+}
+
+/// Admission control: the tenant cap rejects the N+1th tenant, a live
+/// run rejects a duplicate session, and rejected connections leave the
+/// server serving.
+#[test]
+fn admission_control_enforces_caps_and_uniqueness() {
+    let cfg = ServeConfig {
+        max_tenants: 2,
+        ..ServeConfig::default()
+    };
+    let server = Server::start("127.0.0.1:0", cfg).expect("server");
+    let addr = server.addr().to_string();
+
+    let a = PushSession::connect(&addr, "t0", "r").expect("first tenant");
+    let _b = PushSession::connect(&addr, "t1", "r").expect("second tenant");
+    let err = PushSession::connect(&addr, "t2", "r").unwrap_err();
+    assert!(err.to_string().contains("tenant cap"), "{err}");
+    // Same run, second live session: rejected while the first streams.
+    let err = PushSession::connect(&addr, "t0", "r").unwrap_err();
+    assert!(err.to_string().contains("already streaming"), "{err}");
+    drop(a);
+    server.shutdown().expect("shutdown");
+}
+
+/// The query protocol's error and edge responses are well-formed.
+#[test]
+fn query_protocol_edges() {
+    let server = Server::start("127.0.0.1:0", ServeConfig::default()).expect("server");
+    let addr = server.addr().to_string();
+
+    let status = client::query(&addr, "STATUS").expect("status");
+    assert!(status.contains("0 runs"), "{status}");
+    let missing = client::query(&addr, "REPORT ghost none").expect("missing run");
+    assert!(missing.contains("error"), "{missing}");
+    let unknown = client::query(&addr, "FROB x").expect("unknown verb");
+    assert!(unknown.contains("error"), "{unknown}");
+    // A raw connection that sends nothing and closes must not wedge
+    // the accept loop.
+    drop(TcpStream::connect(&addr).expect("raw connect"));
+    let status = client::query(&addr, "STATUS").expect("status after dead conn");
+    assert!(status.contains("limba-serve"), "{status}");
+    server.shutdown().expect("shutdown");
+}
