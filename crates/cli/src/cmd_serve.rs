@@ -34,8 +34,12 @@ pub fn serve(argv: &[String]) -> Result<crate::CmdOutcome, String> {
         shards: parsed.get_or("shards", 2)?,
         ..ServeConfig::default()
     };
+    cfg.max_sessions = parsed.get_or("max-sessions", cfg.max_sessions)?;
     if cfg.max_tenants == 0 {
         return Err("--max-tenants must be positive".into());
+    }
+    if cfg.max_sessions == 0 {
+        return Err("--max-sessions must be positive".into());
     }
     if cfg.shards == 0 {
         return Err("--shards must be positive".into());

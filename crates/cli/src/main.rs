@@ -90,7 +90,10 @@ OPTIONS (simulate):
 
 OPTIONS (serve):
   --listen ADDR          bind address (default 127.0.0.1:7979; port 0 = any)
-  --max-tenants N        admission cap on distinct tenants (default 8)
+  --max-tenants N        admission cap on distinct active tenants (default 8;
+                         completed/failed runs stop counting toward the cap)
+  --max-sessions N       cap on concurrent connections; excess connections are
+                         dropped at accept (default 64)
   --shards N             ingestion shards — folds for different tenants
                          proceed on N worker threads (default 2)
   --window SECS          online detector window width in seconds (default 0.25)

@@ -26,13 +26,37 @@
 //! Memory is bounded: O(`max_active` × ranks) for the open windows
 //! plus O(1) walker state per rank. A straggling rank stalls the
 //! watermark; when more than `max_active` windows accumulate behind
-//! it, the oldest is force-retired so the bound holds.
+//! it, the oldest is force-retired so the bound holds. The bound is
+//! enforced against hostile input too: decode rejects non-finite
+//! timestamps, a single interval never materializes more than
+//! `max_active` windows past the retirement cursor (the remainder is
+//! attributed to the newest allowed window), and idle gaps longer
+//! than `MAX_IDLE_RUN` windows are elided rather than retired one
+//! zero-load stat at a time.
 
 use std::collections::BTreeMap;
 use std::fmt;
 
 use limba_model::ActivityKind;
 use limba_trace::{Attribution, Event, SalvageWalker, TraceError, TraceSink};
+
+/// Formats a float for a JSON body: six decimal places, or `null` for
+/// non-finite values (bare `NaN`/`inf` would make the object invalid
+/// JSON).
+pub(crate) fn json_f64(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v:.6}")
+    } else {
+        "null".into()
+    }
+}
+
+/// Longest run of consecutive idle (zero-load) windows retired
+/// densely; anything longer is elided down to its tail so a single
+/// absurd timestamp cannot force an unbounded number of zero-load
+/// window stats. 1024 windows is ~4 minutes at the default 0.25 s
+/// width — far past any idle gap a real trace produces.
+const MAX_IDLE_RUN: usize = 1024;
 
 /// Tuning knobs of the online detector.
 #[derive(Debug, Clone, PartialEq)]
@@ -122,14 +146,16 @@ impl Alert {
     pub fn to_json(&self) -> String {
         match self {
             Alert::Onset { window, value } => format!(
-                "{{\"kind\":\"onset\",\"window\":{window},\"cv\":{value:.6}}}"
+                "{{\"kind\":\"onset\",\"window\":{window},\"cv\":{}}}",
+                json_f64(*value)
             ),
             Alert::RisingTrend {
                 window,
                 slope,
                 over,
             } => format!(
-                "{{\"kind\":\"rising-trend\",\"window\":{window},\"slope\":{slope:.6},\"over\":{over}}}"
+                "{{\"kind\":\"rising-trend\",\"window\":{window},\"slope\":{},\"over\":{over}}}",
+                json_f64(*slope)
             ),
             Alert::RankOutlier {
                 window,
@@ -139,7 +165,14 @@ impl Alert {
                 sigmas,
             } => format!(
                 "{{\"kind\":\"rank-outlier\",\"window\":{window},\"rank\":{rank},\
-                 \"load\":{load:.6},\"mean\":{mean:.6},\"sigmas\":{sigmas:.2}}}"
+                 \"load\":{},\"mean\":{},\"sigmas\":{}}}",
+                json_f64(*load),
+                json_f64(*mean),
+                if sigmas.is_finite() {
+                    format!("{sigmas:.2}")
+                } else {
+                    "null".into()
+                },
             ),
         }
     }
@@ -196,9 +229,14 @@ impl WindowStat {
     /// The stat as one JSON object.
     pub fn to_json(&self) -> String {
         format!(
-            "{{\"window\":{},\"compute\":{:.6},\"mean\":{:.6},\"cv\":{:.6},\
-             \"busiest\":{},\"peak\":{:.6}}}",
-            self.window, self.compute, self.mean, self.cv, self.busiest, self.peak
+            "{{\"window\":{},\"compute\":{},\"mean\":{},\"cv\":{},\
+             \"busiest\":{},\"peak\":{}}}",
+            self.window,
+            json_f64(self.compute),
+            json_f64(self.mean),
+            json_f64(self.cv),
+            self.busiest,
+            json_f64(self.peak)
         )
     }
 }
@@ -274,21 +312,33 @@ impl OnlineDetector {
     }
 
     /// Bins one computation interval into the fixed-width windows it
-    /// overlaps.
+    /// overlaps, never materializing more than `max_active` windows
+    /// past the retirement cursor: an interval reaching further (a
+    /// hostile or pathological timestamp — decode already rejects
+    /// non-finite times, but finite ones can still be absurd) has its
+    /// remainder attributed to the newest allowed window, so total
+    /// binned time is conserved while memory stays O(`max_active` ×
+    /// ranks).
+    #[allow(clippy::too_many_arguments)]
     fn bin_interval(
         active: &mut BTreeMap<usize, Vec<f64>>,
         next_retire: usize,
+        max_active: usize,
         procs: usize,
         width: f64,
         rank: usize,
         start: f64,
         end: f64,
     ) {
-        if end <= start {
+        // NaN-safe: bins only when `end` is strictly greater.
+        if end.partial_cmp(&start) != Some(std::cmp::Ordering::Greater) {
             return;
         }
-        let first = (start / width).floor() as usize;
-        let last = (end / width).floor() as usize;
+        // Newest window index binning may materialize. `as usize`
+        // saturates on huge floats, which `.min(cap)` then bounds.
+        let cap = next_retire.saturating_add(max_active.max(1) - 1);
+        let first = ((start / width).floor() as usize).min(cap);
+        let last = ((end / width).floor() as usize).min(cap);
         for w in first..=last {
             // A window already retired (force-retired past a
             // straggler) drops late arrivals — the documented cost of
@@ -297,7 +347,12 @@ impl OnlineDetector {
                 continue;
             }
             let lo = start.max(w as f64 * width);
-            let hi = end.min((w + 1) as f64 * width);
+            // The cap window absorbs whatever the clamp cut off.
+            let hi = if w == cap {
+                end
+            } else {
+                end.min((w + 1) as f64 * width)
+            };
             if hi > lo {
                 let loads = active.entry(w).or_insert_with(|| vec![0.0; procs]);
                 loads[rank] += hi - lo;
@@ -312,18 +367,17 @@ impl OnlineDetector {
     /// the stat/alert sequence depends only on the event stream, not
     /// on where frame boundaries happened to fall — except past the
     /// `max_active` force-retire bound, where late arrivals behind a
-    /// straggler are dropped.
+    /// straggler are dropped, and across idle gaps longer than
+    /// `MAX_IDLE_RUN`, which are elided (see `retire_below`).
     fn retire_ready(&mut self) {
         let watermark = self.clocks.iter().copied().fold(f64::INFINITY, f64::min);
         if watermark.is_finite() {
             // Windows strictly before `boundary` are final: every
-            // rank's clock has passed their end.
+            // rank's clock has passed their end. `as usize` saturates
+            // on absurd (but finite) clocks; retire_below bounds the
+            // work regardless.
             let boundary = (watermark / self.cfg.window).floor() as usize;
-            while self.next_retire < boundary {
-                let w = self.next_retire;
-                let loads = self.active.remove(&w);
-                self.judge(w, loads);
-            }
+            self.retire_below(boundary);
         }
         while self.active.len() > self.cfg.max_active {
             let oldest = *self
@@ -335,15 +389,42 @@ impl OnlineDetector {
         }
     }
 
+    /// Retires every window strictly below `target` in ascending
+    /// order. Idle windows between loaded ones retire as zero-load
+    /// stats so indices stay dense — but a run of more than
+    /// [`MAX_IDLE_RUN`] consecutive idle windows is elided down to its
+    /// last `MAX_IDLE_RUN`: one hostile (finite but absurd) timestamp
+    /// must not force billions of zero-load stats. The work per call is
+    /// therefore bounded by the active set plus the elision cap, never
+    /// by the raw magnitude of a timestamp.
+    fn retire_below(&mut self, target: usize) {
+        while self.next_retire < target {
+            // The next loaded window before the target, if any; the
+            // stretch up to it is all idle.
+            let next_loaded = self
+                .active
+                .range(self.next_retire..)
+                .next()
+                .map(|(&w, _)| w)
+                .filter(|&w| w < target)
+                .unwrap_or(target);
+            if next_loaded - self.next_retire > MAX_IDLE_RUN {
+                self.next_retire = next_loaded - MAX_IDLE_RUN;
+            }
+            while self.next_retire < next_loaded {
+                let w = self.next_retire;
+                self.judge(w, None);
+            }
+            if next_loaded < target {
+                let loads = self.active.remove(&next_loaded);
+                self.judge(next_loaded, loads);
+            }
+        }
+    }
+
     /// Retires all windows up to and including `upto`.
     fn retire(&mut self, upto: usize) {
-        // Idle windows between the retirement cursor and the target
-        // retire as zero-load stats so indices stay dense.
-        while self.next_retire < upto {
-            let w = self.next_retire;
-            let loads = self.active.remove(&w);
-            self.judge(w, loads);
-        }
+        self.retire_below(upto);
         let w = upto.max(self.next_retire);
         let loads = self.active.remove(&w);
         self.judge(w, loads);
@@ -465,11 +546,21 @@ impl TraceSink for OnlineDetector {
             });
         }
         let width = self.cfg.window;
+        let max_active = self.cfg.max_active;
         let procs = self.clocks.len();
         for e in events {
             let index = self.index;
             self.index += 1;
             self.events += 1;
+            // The stream decoder already rejects non-finite times;
+            // this guards sinks fed from other producers.
+            if !e.time.is_finite() {
+                return Err(TraceError::MalformedEvent {
+                    proc: e.proc,
+                    index,
+                    detail: format!("non-finite event timestamp {}", e.time),
+                });
+            }
             self.makespan = self.makespan.max(e.time);
             let rank = e.proc as usize;
             let Some(walker) = self.walkers.get_mut(rank) else {
@@ -490,7 +581,16 @@ impl TraceSink for OnlineDetector {
                     ..
                 } = attribution
                 {
-                    Self::bin_interval(active, next_retire, procs, width, rank, start, end);
+                    Self::bin_interval(
+                        active,
+                        next_retire,
+                        max_active,
+                        procs,
+                        width,
+                        rank,
+                        start,
+                        end,
+                    );
                 }
             })?;
         }
@@ -508,6 +608,7 @@ impl TraceSink for OnlineDetector {
         // everything still open.
         let walkers = std::mem::take(&mut self.walkers);
         let width = self.cfg.window;
+        let max_active = self.cfg.max_active;
         let procs = self.clocks.len().max(1);
         for walker in walkers {
             let rank = walker.proc() as usize;
@@ -521,7 +622,16 @@ impl TraceSink for OnlineDetector {
                     ..
                 } = attribution
                 {
-                    Self::bin_interval(active, next_retire, procs, width, rank, start, end);
+                    Self::bin_interval(
+                        active,
+                        next_retire,
+                        max_active,
+                        procs,
+                        width,
+                        rank,
+                        start,
+                        end,
+                    );
                 }
             });
         }
@@ -643,6 +753,75 @@ mod tests {
         for chunk in [1, 2, 5] {
             assert_eq!(run(chunk), whole);
         }
+    }
+
+    /// Hostile (finite but absurd) timestamps cannot blow the memory
+    /// bound: binning clamps to the `max_active` cap with the
+    /// remainder attributed to the newest allowed window, and the
+    /// idle stretch up to the watermark is elided, so the call
+    /// returns promptly with bounded state and conserved compute.
+    #[test]
+    fn absurd_timestamps_stay_bounded() {
+        let cfg = DetectorConfig {
+            window: 0.25,
+            max_active: 8,
+            ..DetectorConfig::default()
+        };
+        let mut det = OnlineDetector::new(cfg);
+        det.begin(1, &["work".into()]).unwrap();
+        // One computation interval claiming to last 1e18 seconds —
+        // ~4e18 windows if binned naively.
+        feed(
+            &mut det,
+            &[
+                Event::enter(0.0, 0, 0.into()),
+                Event::leave(1e18, 0, 0.into()),
+            ],
+        );
+        assert!(det.active.len() <= 8, "active = {}", det.active.len());
+        det.finish().unwrap();
+        assert!(
+            det.stats().len() <= 8 + MAX_IDLE_RUN + 2,
+            "stats = {}",
+            det.stats().len()
+        );
+        let total: f64 = det.stats().iter().map(|s| s.compute).sum();
+        assert!((total - 1e18).abs() < 1e6, "compute not conserved: {total}");
+    }
+
+    /// Non-finite timestamps are rejected with a named error instead
+    /// of poisoning the window arithmetic.
+    #[test]
+    fn non_finite_timestamps_are_rejected() {
+        for time in [f64::NAN, f64::INFINITY, f64::NEG_INFINITY] {
+            let mut det = OnlineDetector::new(DetectorConfig::default());
+            det.begin(1, &["work".into()]).unwrap();
+            let err = det.events(&[Event::enter(time, 0, 0.into())]).unwrap_err();
+            assert!(err.to_string().contains("non-finite"), "{err}");
+        }
+    }
+
+    /// JSON bodies stay valid when a float goes non-finite: the value
+    /// becomes `null`, never a bare `NaN`/`inf` token.
+    #[test]
+    fn json_handles_non_finite_floats() {
+        assert_eq!(json_f64(1.5), "1.500000");
+        assert_eq!(json_f64(f64::NAN), "null");
+        assert_eq!(json_f64(f64::INFINITY), "null");
+        let alert = Alert::Onset {
+            window: 3,
+            value: f64::NAN,
+        };
+        assert_eq!(alert.to_json(), "{\"kind\":\"onset\",\"window\":3,\"cv\":null}");
+        let stat = WindowStat {
+            window: 0,
+            compute: f64::INFINITY,
+            mean: 1.0,
+            cv: 0.5,
+            busiest: 2,
+            peak: 4.0,
+        };
+        assert!(stat.to_json().contains("\"compute\":null"), "{}", stat.to_json());
     }
 
     /// The memory bound: a straggling rank cannot hold unbounded

@@ -196,11 +196,18 @@ impl Registry {
                 }
             };
         }
-        let tenants: std::collections::BTreeSet<&str> =
-            runs.keys().map(|k| k.tenant.as_str()).collect();
+        // Only tenants with non-terminal runs count toward the cap:
+        // completed and failed runs stay queryable, but a long-lived
+        // server must not drift into rejecting every new tenant just
+        // because old ones finished.
+        let tenants: std::collections::BTreeSet<&str> = runs
+            .iter()
+            .filter(|(_, e)| matches!(e.status, RunStatus::Live | RunStatus::Partial))
+            .map(|(k, _)| k.tenant.as_str())
+            .collect();
         if !tenants.contains(key.tenant.as_str()) && tenants.len() >= max_tenants {
             return Err(ServeError::Rejected(format!(
-                "tenant cap reached ({max_tenants}); tenant {} not admitted",
+                "tenant cap reached ({max_tenants} active); tenant {} not admitted",
                 key.tenant
             )));
         }
@@ -267,5 +274,30 @@ impl Registry {
             }
         }
         demoted
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Completed and failed runs stay queryable but release their
+    /// tenant-cap slot: a long-lived server never drifts into
+    /// rejecting every new tenant.
+    #[test]
+    fn terminal_runs_do_not_count_toward_tenant_cap() {
+        let reg = Registry::new();
+        let k0 = RunKey::new("t0", "r");
+        let k1 = RunKey::new("t1", "r");
+        reg.admit(&k0, 0, PathBuf::from("s0"), 1).expect("t0 admitted");
+        // Cap of 1: a second tenant is rejected while t0 is live...
+        assert!(reg.admit(&k1, 0, PathBuf::from("s1"), 1).is_err());
+        // ...but once t0's run reaches a terminal state, the slot
+        // frees up while the run itself stays queryable.
+        reg.update(&k0, |e| e.status = RunStatus::Complete);
+        reg.admit(&k1, 0, PathBuf::from("s1"), 1)
+            .expect("slot freed by terminal run");
+        let kept = reg.get(&k0).expect("terminal run still present");
+        assert_eq!(kept.status, RunStatus::Complete);
     }
 }

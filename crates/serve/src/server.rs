@@ -61,11 +61,20 @@ const META_KIND: &str = "limba-serve-meta";
 pub struct ServeConfig {
     /// Most distinct tenants admitted at once.
     pub max_tenants: usize,
+    /// Most concurrent connections (push and query sessions combined);
+    /// connections beyond the cap are dropped at accept, so idle
+    /// sockets cannot exhaust session threads.
+    pub max_sessions: usize,
     /// Shard worker threads (tenants hash onto shards).
     pub shards: usize,
     /// Bounded channel depth per shard — with [`CHUNK`], the per-shard
     /// in-flight byte bound.
     pub depth: usize,
+    /// How long a freshly accepted connection may sit idle before its
+    /// handshake byte (or query line) arrives; a client that connects
+    /// and goes silent is cut loose instead of holding a session
+    /// thread forever.
+    pub handshake_timeout: Duration,
     /// Online detector knobs applied to every run.
     pub detector: DetectorConfig,
     /// Durable state directory (spools + run metadata). `None` spools
@@ -78,8 +87,10 @@ impl Default for ServeConfig {
     fn default() -> Self {
         ServeConfig {
             max_tenants: 8,
+            max_sessions: 64,
             shards: 2,
             depth: 8,
+            handshake_timeout: Duration::from_secs(10),
             detector: DetectorConfig::default(),
             checkpoint_dir: None,
         }
@@ -392,14 +403,27 @@ fn accept_loop(
             break;
         }
         let Ok(stream) = stream else { continue };
+        let mut held = lock(&sessions);
+        // Reap finished sessions so the handle list stays bounded.
+        held.retain(|h| !h.is_finished());
+        // The session cap bounds thread count against connection
+        // floods; admission control (tenants) is per-run, this is
+        // per-socket. Excess connections are dropped — push clients
+        // see a failed ack read, query clients an empty response.
+        if held.len() >= shared.cfg.max_sessions.max(1) {
+            drop(stream);
+            continue;
+        }
+        // A read deadline from the very first byte: a client that
+        // connects and goes silent cannot hold its session thread
+        // (the push pump replaces this with its own poll timeout
+        // once the handshake acks).
+        let _ = stream.set_read_timeout(Some(shared.cfg.handshake_timeout));
         let sh = Arc::clone(&shared);
         let txs = txs.clone();
         let handle = std::thread::Builder::new()
             .name("limba-serve-session".into())
             .spawn(move || session(sh, stream, txs));
-        let mut held = lock(&sessions);
-        // Reap finished sessions so the handle list stays bounded.
-        held.retain(|h| !h.is_finished());
         if let Ok(h) = handle {
             held.push(h);
         }
@@ -560,6 +584,12 @@ struct Ingest {
     path: PathBuf,
     /// First fold failure (trace error or panic); latches the run.
     failed: Option<String>,
+    /// How many of the detector's alerts the registry already holds —
+    /// `publish` appends only the suffix past this mark instead of
+    /// re-cloning the whole history every chunk.
+    published_alerts: usize,
+    /// Same high-water mark for retired-window stats.
+    published_windows: usize,
 }
 
 fn shard_worker(shared: Arc<Shared>, rx: StageRx<ShardMsg>) {
@@ -603,6 +633,8 @@ fn open_run(
             .open(&path)?,
         path: path.clone(),
         failed: None,
+        published_alerts: 0,
+        published_windows: 0,
     };
     if resume {
         // Deterministic folds: replaying the spooled prefix rebuilds
@@ -621,7 +653,7 @@ fn open_run(
                 break;
             }
         }
-        publish(shared, key, &ingest);
+        publish(shared, key, &mut ingest);
     }
     runs.insert(key.clone(), ingest);
     Ok(())
@@ -650,21 +682,35 @@ fn feed(ingest: &mut Ingest, data: &[u8]) {
     }
 }
 
-/// Pushes the detector's current view into the registry.
-fn publish(shared: &Shared, key: &RunKey, ingest: &Ingest) {
+/// Pushes the detector's current view into the registry. Alerts and
+/// window stats are append-only over an ingest's lifetime, so only the
+/// suffix past the published high-water mark is cloned — per-chunk
+/// cost stays proportional to what the chunk produced, not to the
+/// run's whole history.
+fn publish(shared: &Shared, key: &RunKey, ingest: &mut Ingest) {
     let events = ingest.detector.events_seen();
     let processors = ingest.detector.processors();
     let makespan = ingest.detector.makespan();
-    let alerts = ingest.detector.alerts().to_vec();
-    let windows = ingest.detector.stats().to_vec();
+    let new_alerts = ingest.detector.alerts()[ingest.published_alerts..].to_vec();
+    let new_windows = ingest.detector.stats()[ingest.published_windows..].to_vec();
+    // Nothing published yet for this ingest: a resumed run's registry
+    // entry may hold state from the previous session, which the
+    // replayed detector regenerates from byte zero.
+    let fresh = ingest.published_alerts == 0 && ingest.published_windows == 0;
+    ingest.published_alerts = ingest.detector.alerts().len();
+    ingest.published_windows = ingest.detector.stats().len();
     let bytes = fs::metadata(&ingest.path).map(|m| m.len()).unwrap_or(0);
     shared.registry.update(key, |entry| {
         entry.bytes = bytes;
         entry.events = events;
         entry.processors = processors;
         entry.makespan = makespan;
-        entry.alerts = alerts;
-        entry.windows = windows;
+        if fresh {
+            entry.alerts.clear();
+            entry.windows.clear();
+        }
+        entry.alerts.extend(new_alerts);
+        entry.windows.extend(new_windows);
     });
 }
 
@@ -779,8 +825,25 @@ fn query_session(shared: &Shared, mut stream: TcpStream, first: u8) {
     let _ = stream.flush();
 }
 
+/// Escapes a string for embedding in a JSON body: backslash, quote,
+/// and all control characters (error messages carry newlines and tabs
+/// from lower layers).
 fn json_escape(s: &str) -> String {
-    s.replace('\\', "\\\\").replace('"', "\\\"")
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out
 }
 
 fn find_run(shared: &Shared, tenant: &str, run: &str) -> Result<(RunKey, RunEntry), ServeError> {
@@ -867,7 +930,7 @@ fn handle_query(shared: &Shared, line: &str) -> Result<String, ServeError> {
                 .collect();
             Ok(format!(
                 "{{\"tenant\":\"{}\",\"run\":\"{}\",\"status\":\"{}\",\"bytes\":{},\
-                 \"events\":{},\"processors\":{},\"makespan\":{:.6},\"error\":{},\
+                 \"events\":{},\"processors\":{},\"makespan\":{},\"error\":{},\
                  \"alerts\":[{}],\"windows\":[{}]}}\n",
                 json_escape(&key.tenant),
                 json_escape(&key.run),
@@ -875,7 +938,7 @@ fn handle_query(shared: &Shared, line: &str) -> Result<String, ServeError> {
                 entry.bytes,
                 entry.events,
                 entry.processors,
-                entry.makespan,
+                crate::detect::json_f64(entry.makespan),
                 match &entry.error {
                     Some(e) => format!("\"{}\"", json_escape(e)),
                     None => "null".into(),
@@ -914,5 +977,18 @@ fn handle_query(shared: &Shared, line: &str) -> Result<String, ServeError> {
             "unknown query {line:?} (try STATUS, TENANTS, RUNS <t>, REPORT <t> <r>, \
              DIGEST <t> <r>, ALERTS <t> <r>, EVOLUTION <t> <r> <n>, SHUTDOWN)"
         ))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_escape_covers_control_characters() {
+        assert_eq!(json_escape(r#"a"b\c"#), r#"a\"b\\c"#);
+        assert_eq!(json_escape("line1\nline2\ttab\r"), "line1\\nline2\\ttab\\r");
+        assert_eq!(json_escape("bell\u{7}"), "bell\\u0007");
+        assert_eq!(json_escape("plain ünïcode"), "plain ünïcode");
     }
 }

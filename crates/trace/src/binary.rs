@@ -141,6 +141,11 @@ pub(crate) fn try_event(buf: &[u8]) -> Result<Option<(Event, usize)>, TraceError
         return Ok(None);
     }
     let time = f64::from_le_bytes(buf[0..8].try_into().expect("8-byte time slice"));
+    if !time.is_finite() {
+        // No writer emits non-finite timestamps; downstream folds (the
+        // online detector's window binning in particular) rely on this.
+        return Err(malformed(format!("non-finite event timestamp {time}")));
+    }
     let proc = u32::from_le_bytes(buf[8..12].try_into().expect("4-byte proc slice"));
     let op = buf[12];
     let rest = &buf[13..];
@@ -410,6 +415,26 @@ mod tests {
         let bytes = to_bytes(&t);
         let back = from_bytes(&bytes).unwrap();
         assert_eq!(t, back);
+    }
+
+    /// Timestamps off the wire must be finite: NaN and ±inf are
+    /// structurally invalid, not values for downstream folds to cope
+    /// with.
+    #[test]
+    fn non_finite_timestamps_are_rejected() {
+        for time in [f64::NAN, f64::INFINITY, f64::NEG_INFINITY] {
+            let mut buf = BytesMut::with_capacity(24);
+            put_event(
+                &mut buf,
+                &Event {
+                    time,
+                    proc: 0,
+                    payload: EventPayload::EnterRegion { region: 0 },
+                },
+            );
+            let err = try_event(buf.as_ref()).unwrap_err();
+            assert!(err.to_string().contains("non-finite"), "{err}");
+        }
     }
 
     #[test]

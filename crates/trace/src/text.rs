@@ -136,6 +136,9 @@ fn parse_event(rest: &str) -> Result<Event, TraceError> {
         .ok_or_else(|| malformed("event missing time"))?
         .parse()
         .map_err(|e| malformed(format!("bad time: {e}")))?;
+    if !time.is_finite() {
+        return Err(malformed(format!("non-finite event timestamp {time}")));
+    }
     let proc: u32 = parts
         .next()
         .ok_or_else(|| malformed("event missing processor"))?

@@ -9,8 +9,10 @@
 //! stream-equivalence harness already locks against the streaming
 //! folds the server actually runs.
 
+use std::io::Read;
 use std::net::TcpStream;
 use std::path::{Path, PathBuf};
+use std::time::Duration;
 
 use limba::analysis::Analyzer;
 use limba::mpisim::{FaultPlan, MachineConfig, Simulator};
@@ -334,6 +336,50 @@ fn admission_control_enforces_caps_and_uniqueness() {
     let err = PushSession::connect(&addr, "t0", "r").unwrap_err();
     assert!(err.to_string().contains("already streaming"), "{err}");
     drop(a);
+    server.shutdown().expect("shutdown");
+}
+
+/// Connection hygiene: the session cap drops connections beyond it at
+/// accept instead of spawning unbounded threads, and silent
+/// connections are cut loose after the handshake timeout — in both
+/// cases the server keeps serving.
+#[test]
+fn idle_connections_time_out_and_session_cap_holds() {
+    let cfg = ServeConfig {
+        max_sessions: 2,
+        handshake_timeout: Duration::from_millis(500),
+        ..ServeConfig::default()
+    };
+    let server = Server::start("127.0.0.1:0", cfg).expect("server");
+    let addr = server.addr().to_string();
+
+    // Two silent connections occupy both session slots.
+    let _idle1 = TcpStream::connect(&addr).expect("idle connect");
+    let _idle2 = TcpStream::connect(&addr).expect("idle connect");
+    // The third is dropped at accept: its read ends promptly (clean
+    // close or reset), never a hang.
+    let mut third = TcpStream::connect(&addr).expect("third connect");
+    third
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .expect("timeout");
+    let mut buf = [0u8; 1];
+    match third.read(&mut buf) {
+        Ok(0) | Err(_) => {}
+        Ok(n) => panic!("dropped connection produced {n} bytes"),
+    }
+
+    // Once the silent sessions hit the handshake timeout their
+    // threads are reaped and the server serves queries again.
+    let deadline = std::time::Instant::now() + Duration::from_secs(10);
+    loop {
+        match limba::serve::client::query(&addr, "STATUS") {
+            Ok(status) if status.contains("limba-serve") => break,
+            _ if std::time::Instant::now() > deadline => {
+                panic!("server did not recover session slots")
+            }
+            _ => std::thread::sleep(Duration::from_millis(100)),
+        }
+    }
     server.shutdown().expect("shutdown");
 }
 
