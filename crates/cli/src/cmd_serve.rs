@@ -55,6 +55,17 @@ pub fn serve(argv: &[String]) -> Result<crate::CmdOutcome, String> {
     if let Some(dir) = parsed.get("checkpoint-dir") {
         cfg.checkpoint_dir = Some(dir.into());
     }
+    if let Some(spec) = parsed.get("io-faults") {
+        // Deterministic fault injection for chaos testing: every
+        // durable artifact (spools, run metadata) goes through the
+        // faulting layer, while sockets stay untouched.
+        let plan = limba_vfs::FaultPlan::parse(spec).map_err(|e| format!("--io-faults: {e}"))?;
+        cfg.vfs = std::sync::Arc::new(limba_vfs::FaultVfs::new(
+            std::sync::Arc::new(limba_vfs::StdVfs),
+            plan,
+        ));
+        eprintln!("limba-serve: injecting I/O faults ({spec})");
+    }
 
     let persistent = cfg.checkpoint_dir.is_some();
     let server = Server::start(&listen, cfg).map_err(|e| e.to_string())?;

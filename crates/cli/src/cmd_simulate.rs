@@ -572,12 +572,17 @@ fn run_stream_reduce(
         Some(path) => Some(path.to_string()),
         None => None,
     };
+    // The teed tracefile goes through the durable sink: fsync on
+    // finish (file, then directory entry) so a power cut after the
+    // command returns cannot lose or tear the container.
     let mut tee_sink = match &stream_out {
-        Some(path) => {
-            let file =
-                std::fs::File::create(path).map_err(|e| format!("cannot create {path}: {e}"))?;
-            Some(limba_trace::WriteSink::new(std::io::BufWriter::new(file)))
-        }
+        Some(path) => Some(
+            limba_trace::DurableSink::create(
+                std::sync::Arc::new(limba_vfs::StdVfs),
+                std::path::Path::new(path),
+            )
+            .map_err(|e| format!("cannot create {path}: {e}"))?,
+        ),
         None => None,
     };
     let streamed = limba_stream::stream_reduce_tee(
@@ -693,8 +698,13 @@ fn run_stream_out(
         let mut sink = limba_trace::WriteSink::new(std::io::BufWriter::new(stdout.lock()));
         (run_into(&mut sink)?, true)
     } else {
-        let file = std::fs::File::create(path).map_err(|e| format!("cannot create {path}: {e}"))?;
-        let mut sink = limba_trace::WriteSink::new(std::io::BufWriter::new(file));
+        // Durable on finish: the container is fsynced (file + parent
+        // directory) before the command reports success.
+        let mut sink = limba_trace::DurableSink::create(
+            std::sync::Arc::new(limba_vfs::StdVfs),
+            std::path::Path::new(path),
+        )
+        .map_err(|e| format!("cannot create {path}: {e}"))?;
         (run_into(&mut sink)?, false)
     };
 

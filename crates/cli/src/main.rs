@@ -98,7 +98,15 @@ OPTIONS (serve):
                          proceed on N worker threads (default 2)
   --window SECS          online detector window width in seconds (default 0.25)
   --checkpoint-dir DIR   persist spools + run metadata under DIR; a restarted
-                         server resumes every tenant byte-identically
+                         server resumes every tenant byte-identically (torn
+                         spool tails are scrubbed back to the last sealed
+                         chunk boundary at startup)
+  --io-faults SPEC       inject deterministic disk faults into every durable
+                         write (chaos testing): KIND[:at=N][:after=BYTES]
+                         [:match=SUBSTR][:seed=N] with KIND one of enospc,
+                         eio, short-write, rename-fail, power-cut; a faulting
+                         run degrades to a resumable partial, other tenants
+                         keep serving
 
 OPTIONS (push):
   --to ADDR              server address (default 127.0.0.1:7979)
@@ -107,8 +115,9 @@ OPTIONS (push):
   --workload W           stream a live simulation instead of a tracefile
                          (simulate's --ranks/--iterations/--imbalance/--seed/
                          --jobs/--engine/--stream-frame-events apply)
-  exits 0 when the run completed, 3 when the stream ended early and the
-  server salvaged a partial run (reconnect to resume)
+  exits 0 when the run completed, 3 when the stream ended early or a disk
+  fault degraded it and the server salvaged a partial run (reconnect to
+  resume from the server's durable offset)
 
 OPTIONS (analyze):
   --dispersion KIND      euclidean | variance | cv | mad | max-excess |

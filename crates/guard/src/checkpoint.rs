@@ -20,13 +20,22 @@
 //! fingerprint pair refuses payloads that belong to a different run
 //! ([`GuardError::KindMismatch`], [`GuardError::FingerprintMismatch`]).
 //!
-//! Writes are atomic: the file is assembled in `<path>.tmp` and
-//! renamed over the destination, so a kill mid-save leaves either the
-//! previous valid checkpoint or the new one — never a half-written
-//! file. The supervisor saves after *every* completed unit.
+//! Writes are atomic *and durable*: the file is assembled in
+//! `<path>.tmp`, fsynced, renamed over the destination, and the parent
+//! directory is fsynced — so a kill or power cut mid-save leaves
+//! either the previous valid checkpoint or the new one, never a
+//! half-written, zero-length, or vanished file. The supervisor saves
+//! after *every* completed unit.
+//!
+//! Every disk touch goes through a [`Vfs`], so the same code runs
+//! against the real filesystem ([`save_atomic`](Checkpoint::save_atomic)
+//! uses [`StdVfs`]) and against the in-memory crash model +
+//! fault injector the crash-consistency harness drives.
 
 use std::collections::BTreeMap;
 use std::path::{Path, PathBuf};
+
+use limba_vfs::{StdVfs, Vfs};
 
 use crate::codec::{ByteReader, ByteWriter};
 use crate::{fnv1a, GuardError};
@@ -196,7 +205,21 @@ impl Checkpoint {
     /// and [`GuardError::FingerprintMismatch`] for files written by a
     /// different command or configuration.
     pub fn load(path: &Path, kind: &str, fingerprint: u64) -> Result<Checkpoint, GuardError> {
-        let bytes = std::fs::read(path).map_err(|e| io_error(path, e))?;
+        Checkpoint::load_vfs(&StdVfs, path, kind, fingerprint)
+    }
+
+    /// [`load`](Self::load) against an explicit [`Vfs`] backend.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`load`](Self::load).
+    pub fn load_vfs(
+        vfs: &dyn Vfs,
+        path: &Path,
+        kind: &str,
+        fingerprint: u64,
+    ) -> Result<Checkpoint, GuardError> {
+        let bytes = vfs.read_all(path).map_err(|e| io_error(path, e))?;
         let checkpoint = Checkpoint::from_bytes(&bytes)?;
         if checkpoint.kind != kind {
             return Err(GuardError::KindMismatch {
@@ -220,28 +243,76 @@ impl Checkpoint {
         kind: &str,
         fingerprint: u64,
     ) -> Result<Checkpoint, GuardError> {
-        if path.exists() {
-            Checkpoint::load(path, kind, fingerprint)
+        Checkpoint::load_or_new_vfs(&StdVfs, path, kind, fingerprint)
+    }
+
+    /// [`load_or_new`](Self::load_or_new) against an explicit [`Vfs`]
+    /// backend.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`load`](Self::load).
+    pub fn load_or_new_vfs(
+        vfs: &dyn Vfs,
+        path: &Path,
+        kind: &str,
+        fingerprint: u64,
+    ) -> Result<Checkpoint, GuardError> {
+        if vfs.exists(path) {
+            Checkpoint::load_vfs(vfs, path, kind, fingerprint)
         } else {
             Ok(Checkpoint::new(kind, fingerprint))
         }
     }
 
-    /// Writes the checkpoint atomically: the bytes are assembled in a
-    /// sibling `<path>.tmp` file and renamed over `path`, so an
-    /// interrupted save never leaves a half-written checkpoint.
+    /// Writes the checkpoint atomically and durably: the bytes are
+    /// assembled in a sibling `<path>.tmp` file, **fsynced**, renamed
+    /// over `path`, and the parent directory is fsynced. An
+    /// interrupted save — even a power cut — leaves either the
+    /// previous checkpoint or the new one, never a torn or
+    /// zero-length file (a rename is only guaranteed durable once the
+    /// tmp content and the directory entry both reached disk).
     ///
     /// # Errors
     ///
-    /// [`GuardError::Io`] for write or rename failures.
+    /// [`GuardError::Io`] for write, sync, or rename failures.
     pub fn save_atomic(&self, path: &Path) -> Result<(), GuardError> {
+        self.save_atomic_vfs(&StdVfs, path)
+    }
+
+    /// [`save_atomic`](Self::save_atomic) against an explicit [`Vfs`]
+    /// backend.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`save_atomic`](Self::save_atomic).
+    pub fn save_atomic_vfs(&self, vfs: &dyn Vfs, path: &Path) -> Result<(), GuardError> {
         let tmp: PathBuf = {
             let mut os = path.as_os_str().to_os_string();
             os.push(".tmp");
             os.into()
         };
-        std::fs::write(&tmp, self.to_bytes()).map_err(|e| io_error(&tmp, e))?;
-        std::fs::rename(&tmp, path).map_err(|e| io_error(path, e))
+        {
+            let mut file = vfs.create(&tmp).map_err(|e| io_error(&tmp, e))?;
+            file.append(&self.to_bytes()).map_err(|e| io_error(&tmp, e))?;
+            // Sync the tmp file *before* the rename: a rename can
+            // reach disk ahead of the data it points at, leaving a
+            // zero-length or torn checkpoint after power loss.
+            file.sync().map_err(|e| io_error(&tmp, e))?;
+        }
+        vfs.rename(&tmp, path).map_err(|e| io_error(path, e))?;
+        // And sync the directory so the rename itself is durable.
+        vfs.sync_dir(parent_dir(path))
+            .map_err(|e| io_error(path, e))
+    }
+}
+
+/// The directory whose entry must be synced for `path` to be durable
+/// (`.` for bare relative filenames).
+fn parent_dir(path: &Path) -> &Path {
+    match path.parent() {
+        Some(p) if !p.as_os_str().is_empty() => p,
+        _ => Path::new("."),
     }
 }
 
@@ -336,6 +407,49 @@ mod tests {
             Err(GuardError::FingerprintMismatch { .. })
         ));
         std::fs::remove_file(&path).ok();
+    }
+
+    /// A power cut at *every* operation of the save sequence leaves
+    /// the previous checkpoint loadable with its old content — the
+    /// atomic-replace discipline (sync tmp, rename, sync dir) has no
+    /// window where the old file is gone and the new one not durable.
+    #[test]
+    fn power_cut_at_every_save_operation_preserves_the_old_checkpoint() {
+        use limba_vfs::{FaultKind, FaultPlan, FaultVfs, MemVfs};
+        use std::sync::Arc;
+
+        let path = Path::new("/ckpt/state.ckpt");
+        // Count the operations one full save performs.
+        let probe = FaultVfs::new(
+            Arc::new(MemVfs::new()),
+            FaultPlan::new(FaultKind::Eio).at_op(u64::MAX),
+        );
+        sample().save_atomic_vfs(&probe, path).unwrap();
+        let ops = probe.ops();
+        assert!(ops >= 5, "save should create+append+sync+rename+syncdir");
+
+        for cut in 0..ops {
+            let mem = MemVfs::new();
+            // A durable first checkpoint.
+            let old = sample();
+            old.save_atomic_vfs(&mem, path).unwrap();
+            // Power cut at operation `cut` of the second save.
+            let faulty = FaultVfs::new(
+                Arc::new(mem.clone()),
+                FaultPlan::new(FaultKind::PowerCut).at_op(cut),
+            );
+            let mut newer = sample();
+            newer.insert(99, b"late".to_vec());
+            assert!(newer.save_atomic_vfs(&faulty, path).is_err());
+            mem.crash();
+            let back = Checkpoint::load_vfs(&mem, path, "sweep", 0xABCD)
+                .unwrap_or_else(|e| panic!("cut at op {cut}: {e}"));
+            // Either the old or the new checkpoint — never torn.
+            assert!(
+                back.to_bytes() == old.to_bytes() || back.to_bytes() == newer.to_bytes(),
+                "cut at op {cut} left a third state"
+            );
+        }
     }
 
     #[test]

@@ -380,11 +380,9 @@ impl OnlineDetector {
             self.retire_below(boundary);
         }
         while self.active.len() > self.cfg.max_active {
-            let oldest = *self
-                .active
-                .first_key_value()
-                .map(|(w, _)| w)
-                .expect("nonempty");
+            let Some((&oldest, _)) = self.active.first_key_value() else {
+                break;
+            };
             self.retire(oldest);
         }
     }
@@ -644,6 +642,8 @@ impl TraceSink for OnlineDetector {
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
+
     use super::*;
     use limba_trace::Event;
 

@@ -40,6 +40,9 @@
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+#![warn(clippy::panic)]
+#![warn(clippy::unwrap_used)]
+#![warn(clippy::expect_used)]
 
 use std::fmt;
 
@@ -60,6 +63,16 @@ pub use server::{ServeConfig, Server};
 pub enum ServeError {
     /// A socket or spool-file operation failed.
     Io(std::io::Error),
+    /// Durable storage failed under a run (ENOSPC, EIO, torn spool).
+    /// Unlike [`ServeError::Io`] this names the run's artifact: the
+    /// run degrades to a resumable partial instead of failing, and
+    /// other tenants are unaffected.
+    Disk {
+        /// The artifact that faulted (spool or checkpoint path).
+        path: String,
+        /// The underlying failure.
+        detail: String,
+    },
     /// The peer violated the wire protocol.
     Protocol(String),
     /// The server refused the session (admission control, duplicate
@@ -76,6 +89,7 @@ impl fmt::Display for ServeError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             ServeError::Io(e) => write!(f, "i/o: {e}"),
+            ServeError::Disk { path, detail } => write!(f, "disk: {path}: {detail}"),
             ServeError::Protocol(m) => write!(f, "protocol: {m}"),
             ServeError::Rejected(m) => write!(f, "rejected: {m}"),
             ServeError::Trace(e) => write!(f, "trace: {e}"),

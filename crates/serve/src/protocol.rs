@@ -283,6 +283,8 @@ pub fn read_line_rest(first: u8, r: &mut dyn Read) -> Result<String, ServeError>
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
+
     use super::*;
 
     #[test]

@@ -279,6 +279,8 @@ impl Registry {
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
+
     use super::*;
 
     /// Completed and failed runs stay queryable but release their

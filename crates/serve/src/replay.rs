@@ -14,8 +14,6 @@
 //! Replay reads the spool in bounded chunks; memory is one chunk
 //! buffer plus fold state, never the trace.
 
-use std::fs;
-use std::io::Read;
 use std::path::Path;
 
 use limba_analysis::Analyzer;
@@ -24,6 +22,7 @@ use limba_stats::rank::RankingCriterion;
 use limba_trace::{
     SalvageSink, SalvagedTrace, ScanSink, StreamDecoder, StreamScan, TraceSink, WindowSink,
 };
+use limba_vfs::Vfs;
 
 use crate::ServeError;
 
@@ -44,8 +43,13 @@ fn analyzer() -> Analyzer {
 /// `finish` runs — truncated spools fail exactly like the offline
 /// CLI. Without it, decode errors past the header are swallowed and
 /// the sink is closed directly, salvaging whatever prefix decoded.
-fn feed_spool(path: &Path, sink: &mut dyn TraceSink, strict: bool) -> Result<(), ServeError> {
-    let mut file = fs::File::open(path)?;
+fn feed_spool(
+    vfs: &dyn Vfs,
+    path: &Path,
+    sink: &mut dyn TraceSink,
+    strict: bool,
+) -> Result<(), ServeError> {
+    let mut file = vfs.open_read(path)?;
     let mut decoder = StreamDecoder::new();
     let mut buf = vec![0u8; CHUNK];
     let mut fed = 0u64;
@@ -80,17 +84,22 @@ fn feed_spool(path: &Path, sink: &mut dyn TraceSink, strict: bool) -> Result<(),
 }
 
 /// Scan pass over the spool.
-fn scan_spool(path: &Path, strict: bool) -> Result<StreamScan, ServeError> {
+fn scan_spool(vfs: &dyn Vfs, path: &Path, strict: bool) -> Result<StreamScan, ServeError> {
     let mut scan = ScanSink::new();
-    feed_spool(path, &mut scan, strict)?;
+    feed_spool(vfs, path, &mut scan, strict)?;
     scan.into_scan()
         .ok_or_else(|| ServeError::State("stream scan did not complete".into()))
 }
 
 /// Salvage-fold pass over the spool.
-fn fold_spool(path: &Path, scan: &StreamScan, strict: bool) -> Result<SalvagedTrace, ServeError> {
+fn fold_spool(
+    vfs: &dyn Vfs,
+    path: &Path,
+    scan: &StreamScan,
+    strict: bool,
+) -> Result<SalvagedTrace, ServeError> {
     let mut salvage = SalvageSink::new(scan.activities.clone());
-    feed_spool(path, &mut salvage, strict)?;
+    feed_spool(vfs, path, &mut salvage, strict)?;
     salvage
         .into_salvaged()
         .ok_or_else(|| ServeError::State("stream fold did not complete".into()))
@@ -124,9 +133,9 @@ fn render(salvaged: &SalvagedTrace) -> Result<String, ServeError> {
 
 /// The final report for a **complete** spool: byte-for-byte what
 /// `limba analyze <spool> --from-stream` prints.
-pub fn complete_report(spool: &Path) -> Result<String, ServeError> {
-    let scan = scan_spool(spool, true)?;
-    let salvaged = fold_spool(spool, &scan, true)?;
+pub fn complete_report(vfs: &dyn Vfs, spool: &Path) -> Result<String, ServeError> {
+    let scan = scan_spool(vfs, spool, true)?;
+    let salvaged = fold_spool(vfs, spool, &scan, true)?;
     guard_salvage(&salvaged)?;
     render(&salvaged)
 }
@@ -134,9 +143,9 @@ pub fn complete_report(spool: &Path) -> Result<String, ServeError> {
 /// A salvage-grade report over a **partial** spool (disconnected or
 /// still-live run): both passes close their folds at the last decoded
 /// event instead of requiring the end chunk.
-pub fn partial_report(spool: &Path) -> Result<String, ServeError> {
-    let scan = scan_spool(spool, false)?;
-    let salvaged = fold_spool(spool, &scan, false)?;
+pub fn partial_report(vfs: &dyn Vfs, spool: &Path) -> Result<String, ServeError> {
+    let scan = scan_spool(vfs, spool, false)?;
+    let salvaged = fold_spool(vfs, spool, &scan, false)?;
     guard_salvage(&salvaged)?;
     render(&salvaged)
 }
@@ -144,10 +153,10 @@ pub fn partial_report(spool: &Path) -> Result<String, ServeError> {
 /// The offline imbalance-evolution section over `windows` slices of a
 /// complete spool — same pass order and rendering as
 /// `limba analyze --from-stream --windows N`.
-pub fn evolution_report(spool: &Path, windows: usize) -> Result<String, ServeError> {
-    let scan = scan_spool(spool, true)?;
+pub fn evolution_report(vfs: &dyn Vfs, spool: &Path, windows: usize) -> Result<String, ServeError> {
+    let scan = scan_spool(vfs, spool, true)?;
     let mut sink = WindowSink::new(windows, scan.makespan, scan.activities.clone())?;
-    feed_spool(spool, &mut sink, true)?;
+    feed_spool(vfs, spool, &mut sink, true)?;
     let sliced = sink
         .into_windows()
         .ok_or_else(|| ServeError::State("stream fold did not complete".into()))?;
@@ -160,8 +169,12 @@ pub fn evolution_report(spool: &Path, windows: usize) -> Result<String, ServeErr
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
+
     use super::*;
     use limba_trace::WriteSink;
+    use limba_vfs::StdVfs;
+    use std::fs;
 
     /// Writes a tiny two-rank trace; returns (full bytes, event count).
     fn sample_bytes() -> Vec<u8> {
@@ -189,11 +202,11 @@ mod tests {
         fs::create_dir_all(&dir).unwrap();
         let spool = dir.join("complete.trc");
         fs::write(&spool, sample_bytes()).unwrap();
-        let report = complete_report(&spool).unwrap();
+        let report = complete_report(&StdVfs, &spool).unwrap();
         assert!(report.contains("== coarse grain =="), "{report}");
         // A complete spool's partial report matches the final one:
         // nothing needed salvaging.
-        assert_eq!(partial_report(&spool).unwrap(), report);
+        assert_eq!(partial_report(&StdVfs, &spool).unwrap(), report);
         fs::remove_file(&spool).unwrap();
     }
 
@@ -204,8 +217,8 @@ mod tests {
         fs::create_dir_all(&dir).unwrap();
         let spool = dir.join("partial.trc");
         fs::write(&spool, &bytes[..bytes.len() - 21]).unwrap();
-        assert!(complete_report(&spool).is_err());
-        let report = partial_report(&spool).unwrap();
+        assert!(complete_report(&StdVfs, &spool).is_err());
+        let report = partial_report(&StdVfs, &spool).unwrap();
         assert!(report.contains("== coarse grain =="), "{report}");
         fs::remove_file(&spool).unwrap();
     }

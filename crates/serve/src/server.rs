@@ -29,11 +29,10 @@
 //! produced.
 
 use std::collections::HashMap;
-use std::fs;
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::Duration;
@@ -42,7 +41,8 @@ use limba_guard::codec::{ByteReader, ByteWriter};
 use limba_guard::{config_fingerprint, fnv1a, Checkpoint};
 use limba_par::CancelToken;
 use limba_stream::{bounded, StageRx, StageTx};
-use limba_trace::StreamDecoder;
+use limba_trace::{SealScanner, StreamDecoder};
+use limba_vfs::{StdVfs, Vfs, VfsFile};
 
 use crate::detect::{DetectorConfig, OnlineDetector};
 use crate::protocol::{self, Final, STATUS_ERROR, STATUS_OK, STATUS_REJECTED, STATUS_SALVAGED};
@@ -57,7 +57,7 @@ const POLL: Duration = Duration::from_millis(250);
 const META_KIND: &str = "limba-serve-meta";
 
 /// Server tuning. `Default` gives a small single-host deployment.
-#[derive(Debug, Clone)]
+#[derive(Clone)]
 pub struct ServeConfig {
     /// Most distinct tenants admitted at once.
     pub max_tenants: usize,
@@ -81,6 +81,25 @@ pub struct ServeConfig {
     /// to a per-process temp directory: resume works across
     /// *reconnects* but not across server restarts.
     pub checkpoint_dir: Option<PathBuf>,
+    /// Filesystem every durable artifact (spools, run metadata) goes
+    /// through. [`StdVfs`] in production; tests and the
+    /// `--io-faults` CLI flag substitute fault-injecting or in-memory
+    /// implementations.
+    pub vfs: Arc<dyn Vfs>,
+}
+
+impl std::fmt::Debug for ServeConfig {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ServeConfig")
+            .field("max_tenants", &self.max_tenants)
+            .field("max_sessions", &self.max_sessions)
+            .field("shards", &self.shards)
+            .field("depth", &self.depth)
+            .field("handshake_timeout", &self.handshake_timeout)
+            .field("detector", &self.detector)
+            .field("checkpoint_dir", &self.checkpoint_dir)
+            .finish_non_exhaustive()
+    }
 }
 
 impl Default for ServeConfig {
@@ -93,6 +112,7 @@ impl Default for ServeConfig {
             handshake_timeout: Duration::from_secs(10),
             detector: DetectorConfig::default(),
             checkpoint_dir: None,
+            vfs: Arc::new(StdVfs),
         }
     }
 }
@@ -122,6 +142,12 @@ struct Shared {
     cancel: CancelToken,
 }
 
+impl Shared {
+    fn vfs(&self) -> &dyn Vfs {
+        self.cfg.vfs.as_ref()
+    }
+}
+
 /// A running ingestion server. Dropping it shuts it down.
 pub struct Server {
     shared: Arc<Shared>,
@@ -145,10 +171,11 @@ impl Server {
         let (spool_dir, meta) = match &cfg.checkpoint_dir {
             Some(dir) => {
                 let spool_dir = dir.join("spool");
-                fs::create_dir_all(&spool_dir)?;
+                cfg.vfs.create_dir_all(&spool_dir)?;
                 let path = dir.join("serve-meta.ckpt");
-                let ckpt = Checkpoint::load_or_new(&path, META_KIND, meta_fingerprint())
-                    .map_err(|e| ServeError::State(format!("checkpoint: {e}")))?;
+                let ckpt =
+                    Checkpoint::load_or_new_vfs(cfg.vfs.as_ref(), &path, META_KIND, meta_fingerprint())
+                        .map_err(|e| ServeError::State(format!("checkpoint: {e}")))?;
                 (spool_dir, Some((path, Mutex::new(ckpt))))
             }
             None => {
@@ -157,7 +184,7 @@ impl Server {
                     std::process::id(),
                     local.port()
                 ));
-                fs::create_dir_all(&spool_dir)?;
+                cfg.vfs.create_dir_all(&spool_dir)?;
                 (spool_dir, None)
             }
         };
@@ -353,10 +380,56 @@ fn save_meta(shared: &Shared, key: &RunKey) {
     ckpt.insert(id, encode_meta(key, &entry));
     // Persistence is best-effort while serving; the spool remains the
     // source of truth and the next save retries.
-    let _ = ckpt.save_atomic(path);
+    let _ = ckpt.save_atomic_vfs(shared.vfs(), path);
 }
 
-/// Rebuilds the registry from the metadata checkpoint at startup.
+/// What a spool scrub concluded.
+struct ScrubOutcome {
+    /// The byte offset a resumed client may append from: the full
+    /// spool length for a clean prefix (even one cut mid-chunk — the
+    /// replayed decoder holds the mid-chunk state), or the last sealed
+    /// chunk boundary after a damaged tail was cut away.
+    resume: u64,
+    /// The spool verified end to end as a complete stream.
+    complete: bool,
+}
+
+/// Scrubs one spool: a crash or a faulting disk may have left a
+/// *damaged* tail — bytes past the last sealed chunk boundary that do
+/// not decode. Replaying such a spool would latch the fold and fail
+/// the run, so the tail is cut back to the sealed boundary instead:
+/// the run stays a resumable partial and the client regenerates the
+/// rest. A tail that is merely truncated (a clean prefix of the
+/// stream) is left alone — it resumes from its exact byte length.
+///
+/// Returns `None` when the spool cannot be read or repaired (the
+/// caller falls back to checkpointed metadata or degrades the run).
+fn scrub_spool(vfs: &dyn Vfs, spool: &Path) -> Option<ScrubOutcome> {
+    if !vfs.exists(spool) {
+        return Some(ScrubOutcome {
+            resume: 0,
+            complete: false,
+        });
+    }
+    let scan = SealScanner::scan_file(vfs, spool).ok()?;
+    if scan.damaged {
+        vfs.truncate(spool, scan.sealed).ok()?;
+        // Make the cut durable so a crash right after the scrub cannot
+        // resurrect the damaged tail behind a promised resume offset.
+        vfs.sync_path(spool).ok()?;
+        return Some(ScrubOutcome {
+            resume: scan.sealed,
+            complete: false,
+        });
+    }
+    Some(ScrubOutcome {
+        resume: scan.total,
+        complete: scan.complete,
+    })
+}
+
+/// Rebuilds the registry from the metadata checkpoint at startup,
+/// scrubbing every spool back to its last sealed boundary.
 fn recover(shared: &Arc<Shared>, shards: usize) -> Result<(), ServeError> {
     let Some((_, meta)) = &shared.meta else {
         return Ok(());
@@ -366,19 +439,28 @@ fn recover(shared: &Arc<Shared>, shards: usize) -> Result<(), ServeError> {
         let (key, status, bytes, events, processors, makespan, error) = decode_meta(&payload)
             .map_err(|e| ServeError::State(format!("corrupt run metadata: {e}")))?;
         let spool = shared.spool_dir.join(spool_name(&key));
-        // The spool length on disk outranks the checkpointed byte
-        // count: metadata is only saved at session boundaries, while
-        // the spool grew with every chunk.
-        let on_disk = fs::metadata(&spool).map(|m| m.len()).unwrap_or(0);
+        // The scrubbed spool length on disk outranks the checkpointed
+        // byte count: metadata is only saved at session boundaries,
+        // while the spool grew with every chunk — and a power cut may
+        // have torn its tail.
+        let on_disk = scrub_spool(shared.vfs(), &spool);
         let mut entry = RunEntry::new(shard_of(&key.tenant, shards), spool);
-        entry.status = if on_disk == 0 && status == RunStatus::Partial {
-            // Nothing spooled survived; treat as never-seen by
-            // skipping the entry entirely.
-            continue;
-        } else {
-            status
+        entry.status = match (&on_disk, status) {
+            (Some(scrub), RunStatus::Partial) if scrub.resume == 0 => {
+                // Nothing spooled survived; treat as never-seen by
+                // skipping the entry entirely.
+                continue;
+            }
+            // A run flagged Complete whose spool no longer verifies is
+            // a resumable partial, not a silently corrupt "complete"
+            // report.
+            (Some(scrub), RunStatus::Complete) if !scrub.complete => RunStatus::Partial,
+            _ => status,
         };
-        entry.bytes = if on_disk > 0 { on_disk } else { bytes };
+        entry.bytes = match &on_disk {
+            Some(scrub) if scrub.resume > 0 => scrub.resume,
+            _ => bytes,
+        };
         entry.events = events;
         entry.processors = processors;
         entry.makespan = makespan;
@@ -496,6 +578,55 @@ fn push_session(shared: &Shared, mut stream: TcpStream, txs: &[StageTx<ShardMsg>
             return;
         }
     };
+    // The offset we are about to promise must be durable and sealed:
+    // scrub any torn tail left by a crash or disk fault, then fsync,
+    // *before* the client is told how many bytes to skip. Otherwise a
+    // power cut after the ack could roll the spool back behind the
+    // offset the client already skipped past.
+    let mut offset = admission.offset;
+    if admission.resume {
+        let spool = shared.spool_dir.join(spool_name(&key));
+        match scrub_spool(shared.vfs(), &spool).and_then(|scrub| {
+            if scrub.resume > 0 {
+                // Content and directory entry both durable: the
+                // promised offset must survive a power cut the instant
+                // the client acts on it.
+                shared.vfs().sync_path(&spool).ok()?;
+                shared.vfs().sync_dir(parent_dir(&spool)).ok()?;
+            }
+            Some(scrub.resume)
+        }) {
+            Some(sealed) => {
+                offset = sealed;
+                if sealed != admission.offset {
+                    shared.registry.update(&key, |entry| entry.bytes = sealed);
+                }
+            }
+            None => {
+                // The spool cannot be made durable: degrade this run
+                // back to a resumable partial instead of promising an
+                // offset the disk may not honor.
+                let error = ServeError::Disk {
+                    path: spool.display().to_string(),
+                    detail: "spool scrub/sync failed before resume".into(),
+                };
+                shared.registry.update(&key, |entry| {
+                    entry.status = RunStatus::Partial;
+                    entry.error = Some(error.to_string());
+                });
+                save_meta(shared, &key);
+                let _ = protocol::write_ack(
+                    &mut stream,
+                    &protocol::Ack {
+                        status: STATUS_REJECTED,
+                        offset: 0,
+                        message: error.to_string(),
+                    },
+                );
+                return;
+            }
+        }
+    }
     let tx = &txs[admission.shard];
     if tx
         .send(ShardMsg::Open {
@@ -511,7 +642,7 @@ fn push_session(shared: &Shared, mut stream: TcpStream, txs: &[StageTx<ShardMsg>
         &mut stream,
         &protocol::Ack {
             status: STATUS_OK,
-            offset: admission.offset,
+            offset,
             message: String::new(),
         },
     )
@@ -576,14 +707,27 @@ fn finish_run(shared: &Shared, key: &RunKey, tx: &StageTx<ShardMsg>) -> Option<F
 // Shard workers
 // ---------------------------------------------------------------------------
 
+/// Why a run's ingest latched. The two classes degrade differently:
+/// a fold failure means the *content* is bad (the run fails), a disk
+/// failure means the *storage* is bad (the run stays resumable and
+/// the client is told to retry later).
+enum Failure {
+    /// The trace content failed to decode/fold (including fold panics).
+    Fold(String),
+    /// Durable storage faulted under the run (ENOSPC, EIO, short
+    /// write): the spooled prefix up to the last sealed boundary is
+    /// still good, so the run degrades to Partial.
+    Disk(String),
+}
+
 /// Live fold state for one run on its shard.
 struct Ingest {
     decoder: StreamDecoder,
     detector: OnlineDetector,
-    spool: fs::File,
+    spool: Box<dyn VfsFile>,
     path: PathBuf,
-    /// First fold failure (trace error or panic); latches the run.
-    failed: Option<String>,
+    /// First failure (fold or disk); latches the run.
+    failed: Option<Failure>,
     /// How many of the detector's alerts the registry already holds —
     /// `publish` appends only the suffix past this mark instead of
     /// re-cloning the whole history every chunk.
@@ -627,10 +771,7 @@ fn open_run(
     let mut ingest = Ingest {
         decoder: StreamDecoder::new(),
         detector: OnlineDetector::new(shared.cfg.detector.clone()),
-        spool: fs::OpenOptions::new()
-            .create(true)
-            .append(true)
-            .open(&path)?,
+        spool: shared.vfs().open_append(&path)?,
         path: path.clone(),
         failed: None,
         published_alerts: 0,
@@ -641,7 +782,7 @@ fn open_run(
         // the exact decoder/detector state the previous session left,
         // so the continuation is byte-identical to an uninterrupted
         // stream.
-        let mut file = fs::File::open(&path)?;
+        let mut file = shared.vfs().open_read(&path)?;
         let mut buf = vec![0u8; CHUNK];
         loop {
             let n = file.read(&mut buf)?;
@@ -670,14 +811,14 @@ fn feed(ingest: &mut Ingest, data: &[u8]) {
     } = ingest;
     match catch_unwind(AssertUnwindSafe(|| decoder.feed(data, detector))) {
         Ok(Ok(())) => {}
-        Ok(Err(e)) => ingest.failed = Some(e.to_string()),
+        Ok(Err(e)) => ingest.failed = Some(Failure::Fold(e.to_string())),
         Err(panic) => {
             let what = panic
                 .downcast_ref::<&str>()
                 .map(|s| s.to_string())
                 .or_else(|| panic.downcast_ref::<String>().cloned())
                 .unwrap_or_else(|| "unknown panic".into());
-            ingest.failed = Some(format!("ingestion fold panicked: {what}"));
+            ingest.failed = Some(Failure::Fold(format!("ingestion fold panicked: {what}")));
         }
     }
 }
@@ -699,7 +840,7 @@ fn publish(shared: &Shared, key: &RunKey, ingest: &mut Ingest) {
     let fresh = ingest.published_alerts == 0 && ingest.published_windows == 0;
     ingest.published_alerts = ingest.detector.alerts().len();
     ingest.published_windows = ingest.detector.stats().len();
-    let bytes = fs::metadata(&ingest.path).map(|m| m.len()).unwrap_or(0);
+    let bytes = shared.vfs().len(&ingest.path).unwrap_or(0);
     shared.registry.update(key, |entry| {
         entry.bytes = bytes;
         entry.events = events;
@@ -718,12 +859,29 @@ fn ingest_chunk(shared: &Shared, runs: &mut HashMap<RunKey, Ingest>, key: &RunKe
     let Some(ingest) = runs.get_mut(key) else {
         return;
     };
+    if ingest.failed.is_some() {
+        // Latched: shed this run's load without touching disk or the
+        // fold again. Other runs on the shard proceed normally.
+        return;
+    }
     // Spool before folding: the disk copy is the source of truth and
     // must contain every byte the client was allowed to send.
-    if let Err(e) = ingest.spool.write_all(data) {
-        ingest
-            .failed
-            .get_or_insert(format!("spool write failed: {e}"));
+    if let Err(e) = ingest.spool.append(data) {
+        // A short write may have appended a prefix that tears
+        // mid-chunk; the scrub truncates it back to the last sealed
+        // boundary on the next resume or restart.
+        ingest.failed = Some(Failure::Disk(format!("spool write failed: {e}")));
+        shared.registry.update(key, |entry| {
+            entry.status = RunStatus::Partial;
+            entry.error = Some(
+                ServeError::Disk {
+                    path: ingest.path.display().to_string(),
+                    detail: format!("spool write failed: {e}"),
+                }
+                .to_string(),
+            );
+        });
+        save_meta(shared, key);
         return;
     }
     feed(ingest, data);
@@ -741,24 +899,81 @@ fn end_run(shared: &Shared, runs: &mut HashMap<RunKey, Ingest>, key: &RunKey) ->
         decoder,
         path,
         failed,
-        spool,
+        mut spool,
         ..
     } = ingest;
-    drop(spool);
 
-    if let Some(error) = failed {
-        shared.registry.update(key, |entry| {
-            entry.status = RunStatus::Failed;
-            entry.error = Some(error.clone());
-        });
-        return Final {
-            status: STATUS_ERROR,
-            body: error,
-        };
+    match failed {
+        Some(Failure::Fold(error)) => {
+            drop(spool);
+            shared.registry.update(key, |entry| {
+                entry.status = RunStatus::Failed;
+                entry.error = Some(error.clone());
+            });
+            return Final {
+                status: STATUS_ERROR,
+                body: error,
+            };
+        }
+        Some(Failure::Disk(detail)) => {
+            // Best effort: whatever prefix the failing disk still
+            // holds is worth trying to pin down (the scrub re-seals
+            // on resume or restart either way).
+            let _ = spool.sync();
+            let _ = shared.vfs().sync_dir(parent_dir(&path));
+            drop(spool);
+            // Storage faulted mid-run: the run is a resumable partial,
+            // not a failure — the sealed spooled prefix is still good
+            // and the client exits with the partial code, free to
+            // retry once the disk recovers.
+            let error = ServeError::Disk {
+                path: path.display().to_string(),
+                detail,
+            };
+            shared.registry.update(key, |entry| {
+                entry.status = RunStatus::Partial;
+                entry.error = Some(error.to_string());
+            });
+            let body = match replay::partial_report(shared.vfs(), &path) {
+                Ok(report) => report,
+                Err(e) => format!("no salvageable data yet: {e}\n"),
+            };
+            return Final {
+                status: STATUS_SALVAGED,
+                body: format!("{error}\n{body}"),
+            };
+        }
+        None => {}
     }
 
     if decoder.is_done() {
-        match replay::complete_report(&path) {
+        // The spool is about to become the durable artifact behind a
+        // Complete verdict: fsync it (and its directory entry) first.
+        // A sync failure degrades to a resumable partial — never a
+        // "complete" run whose bytes may not survive a power cut.
+        let durable = spool
+            .sync()
+            .and_then(|()| shared.vfs().sync_dir(parent_dir(&path)));
+        drop(spool);
+        if let Err(e) = durable {
+            let error = ServeError::Disk {
+                path: path.display().to_string(),
+                detail: format!("spool sync failed: {e}"),
+            };
+            shared.registry.update(key, |entry| {
+                entry.status = RunStatus::Partial;
+                entry.error = Some(error.to_string());
+            });
+            let body = match replay::partial_report(shared.vfs(), &path) {
+                Ok(report) => report,
+                Err(e) => format!("no salvageable data yet: {e}\n"),
+            };
+            return Final {
+                status: STATUS_SALVAGED,
+                body: format!("{error}\n{body}"),
+            };
+        }
+        match replay::complete_report(shared.vfs(), &path) {
             Ok(report) => {
                 shared.registry.update(key, |entry| {
                     entry.status = RunStatus::Complete;
@@ -782,12 +997,18 @@ fn end_run(shared: &Shared, runs: &mut HashMap<RunKey, Ingest>, key: &RunKey) ->
             }
         }
     } else {
+        // Pin the partial down (content + directory entry) so the
+        // spooled progress survives a power cut between sessions; a
+        // sync failure is tolerable — the recovery scrub re-seals.
+        let _ = spool.sync();
+        let _ = shared.vfs().sync_dir(parent_dir(&path));
+        drop(spool);
         // The stream stopped before its end chunk: salvage the spooled
         // prefix and leave the run resumable.
         shared.registry.update(key, |entry| {
             entry.status = RunStatus::Partial;
         });
-        let body = match replay::partial_report(&path) {
+        let body = match replay::partial_report(shared.vfs(), &path) {
             Ok(report) => report,
             Err(e) => format!("no salvageable data yet: {e}\n"),
         };
@@ -795,6 +1016,14 @@ fn end_run(shared: &Shared, runs: &mut HashMap<RunKey, Ingest>, key: &RunKey) ->
             status: STATUS_SALVAGED,
             body,
         }
+    }
+}
+
+/// The directory holding `path` (`"."` for bare filenames).
+fn parent_dir(path: &Path) -> &Path {
+    match path.parent() {
+        Some(p) if !p.as_os_str().is_empty() => p,
+        _ => Path::new("."),
     }
 }
 
@@ -900,7 +1129,7 @@ fn handle_query(shared: &Shared, line: &str) -> Result<String, ServeError> {
                     // what `limba analyze --from-stream` prints for
                     // the spooled tracefile.
                     Some(report) => Ok(report),
-                    None => replay::complete_report(&entry.spool),
+                    None => replay::complete_report(shared.vfs(), &entry.spool),
                 },
                 RunStatus::Failed => Err(ServeError::State(format!(
                     "run failed: {}",
@@ -912,7 +1141,7 @@ fn handle_query(shared: &Shared, line: &str) -> Result<String, ServeError> {
                         entry.status.name(),
                         entry.bytes
                     );
-                    out.push_str(&replay::partial_report(&entry.spool)?);
+                    out.push_str(&replay::partial_report(shared.vfs(), &entry.spool)?);
                     Ok(out)
                 }
             }
@@ -971,7 +1200,7 @@ fn handle_query(shared: &Shared, line: &str) -> Result<String, ServeError> {
             if windows == 0 {
                 return Err(ServeError::Protocol("window count must be positive".into()));
             }
-            replay::evolution_report(&entry.spool, windows)
+            replay::evolution_report(shared.vfs(), &entry.spool, windows)
         }
         _ => Err(ServeError::Protocol(format!(
             "unknown query {line:?} (try STATUS, TENANTS, RUNS <t>, REPORT <t> <r>, \
@@ -982,6 +1211,8 @@ fn handle_query(shared: &Shared, line: &str) -> Result<String, ServeError> {
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
+
     use super::*;
 
     #[test]

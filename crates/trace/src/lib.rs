@@ -47,6 +47,7 @@
 #![warn(missing_docs)]
 
 pub mod binary;
+pub mod durable;
 pub mod stream;
 pub mod text;
 
@@ -59,6 +60,7 @@ pub use event::{Event, EventPayload, Trace, TraceBuilder};
 pub use hierarchy::region_parents;
 pub use reduce::{reduce, reduce_well_formed, reduce_windows, Attribution, ReducedTrace};
 pub use salvage::{reduce_checked, RankCoverage, SalvageWalker, SalvagedTrace};
+pub use durable::{DurableSink, SealScan, SealScanner};
 pub use stream::{
     MaterializeSink, ReduceSink, SalvageSink, ScanSink, StreamDecoder, StreamEncoder, StreamScan,
     TeeSink, TraceSink, WindowSink, WriteSink,

@@ -468,6 +468,9 @@ pub struct StreamDecoder {
     version: u16,
     processors: usize,
     region_names: Vec<String>,
+    /// Declared region count, kept after `region_names` is handed to
+    /// the sink: record validation needs it for the whole stream.
+    nregions: usize,
     /// Declared event count (materialized formats only).
     expect_events: u64,
     /// Events decoded so far.
@@ -480,6 +483,11 @@ pub struct StreamDecoder {
     pending: Vec<Event>,
     /// Set once any error has been returned; the decoder is poisoned.
     failed: bool,
+    /// Total bytes consumed from the input so far.
+    consumed: u64,
+    /// `consumed` as of the last *sealed* boundary (see
+    /// [`StreamDecoder::sealed`]).
+    sealed_at: u64,
 }
 
 impl StreamDecoder {
@@ -490,6 +498,7 @@ impl StreamDecoder {
             version: 0,
             processors: 0,
             region_names: Vec::new(),
+            nregions: 0,
             expect_events: 0,
             seen_events: 0,
             hash: Fnv::new(),
@@ -497,12 +506,56 @@ impl StreamDecoder {
             pos: 0,
             pending: Vec::new(),
             failed: false,
+            consumed: 0,
+            sealed_at: 0,
         }
     }
 
     /// `true` once the stream has been fully consumed and verified.
     pub fn is_done(&self) -> bool {
         self.state == DecodeState::Done
+    }
+
+    /// Total input bytes the decoder has consumed.
+    pub fn consumed(&self) -> u64 {
+        self.consumed
+    }
+
+    /// The byte offset of the last **sealed** boundary: the end of the
+    /// header or of a fully-consumed chunk (v3), the end of an event
+    /// record (materialized v1–2), or the end of a verified stream.
+    /// A file truncated at this offset decodes without error and a
+    /// resumed producer may append from exactly here — it is where the
+    /// startup recovery scrub cuts a torn spool tail back to.
+    pub fn sealed(&self) -> u64 {
+        self.sealed_at
+    }
+
+    /// Marks the current consumed offset as a sealed boundary.
+    fn seal(&mut self) {
+        self.sealed_at = self.consumed;
+    }
+
+    /// Rejects records referencing processors or regions the header
+    /// never declared. The downstream folds refuse such records, so
+    /// the decoder must too — otherwise a torn spool tail whose
+    /// garbage bytes happen to parse as records could seal a resume
+    /// boundary the replay would later fail on.
+    fn check_event(&self, event: &Event) -> Result<(), TraceError> {
+        if event.proc as usize >= self.processors {
+            return Err(TraceError::UnknownProcessor { proc: event.proc });
+        }
+        match event.payload {
+            EventPayload::EnterRegion { region } | EventPayload::LeaveRegion { region }
+                if region >= self.nregions =>
+            {
+                Err(malformed(format!(
+                    "record references region {region}, header declares {}",
+                    self.nregions
+                )))
+            }
+            _ => Ok(()),
+        }
     }
 
     /// Consumes one chunk of input, delivering any completed events to
@@ -601,6 +654,7 @@ impl StreamDecoder {
             self.hash.update(&self.buf[self.pos..self.pos + n]);
         }
         self.pos += n;
+        self.consumed += n as u64;
     }
 
     /// Attempts one parsing step; `Ok(false)` means more input is
@@ -678,18 +732,23 @@ impl StreamDecoder {
                 } else {
                     DecodeState::Events
                 };
+                self.seal();
                 Ok(true)
             }
             DecodeState::Events => {
                 let Some((event, len)) = try_event(self.avail())? else {
                     return Ok(false);
                 };
+                self.check_event(&event)?;
                 self.pending.push(event);
                 self.seen_events += 1;
                 self.consume(len, true);
                 if self.seen_events == self.expect_events {
                     self.state = self.after_events();
                 }
+                // Materialized formats have no chunk framing; every
+                // record boundary is a valid resume point.
+                self.seal();
                 Ok(true)
             }
             DecodeState::Checksum => {
@@ -704,6 +763,7 @@ impl StreamDecoder {
                 }
                 self.consume(8, false);
                 self.state = DecodeState::Done;
+                self.seal();
                 Ok(true)
             }
             DecodeState::ChunkTag => {
@@ -736,12 +796,16 @@ impl StreamDecoder {
                 } else {
                     DecodeState::Batch { left: count }
                 };
+                if count == 0 {
+                    self.seal();
+                }
                 Ok(true)
             }
             DecodeState::Batch { left } => {
                 let Some((event, len)) = try_event(self.avail())? else {
                     return Ok(false);
                 };
+                self.check_event(&event)?;
                 self.pending.push(event);
                 self.seen_events += 1;
                 self.consume(len, true);
@@ -750,6 +814,10 @@ impl StreamDecoder {
                 } else {
                     DecodeState::Batch { left: left - 1 }
                 };
+                if left == 1 {
+                    // The chunk's last record: a sealed v3 boundary.
+                    self.seal();
+                }
                 Ok(true)
             }
             DecodeState::Trailer => {
@@ -772,6 +840,7 @@ impl StreamDecoder {
                 }
                 self.consume(8, false);
                 self.state = DecodeState::Done;
+                self.seal();
                 Ok(true)
             }
             DecodeState::Done => Ok(false),
@@ -786,12 +855,16 @@ impl StreamDecoder {
             return Ok(());
         }
         sink.begin(self.processors, &self.region_names)?;
+        self.nregions = self.region_names.len();
         self.region_names = Vec::new();
         self.state = if self.version >= STREAM_VERSION {
             DecodeState::ChunkTag
         } else {
             DecodeState::EventCount
         };
+        // The header (prelude + region table) is complete: the first
+        // sealed boundary.
+        self.seal();
         Ok(())
     }
 

@@ -28,6 +28,11 @@
 //! * [`guard`] — the supervised execution runtime: deadlines,
 //!   cooperative cancellation, panic isolation with bounded retry, and
 //!   checksummed checkpoint/resume for long-running sweeps;
+//! * [`vfs`] — the filesystem abstraction behind the durability story:
+//!   the small `Vfs` trait the checkpoint/spool/stream writers go
+//!   through, an in-memory POSIX crash model, and a deterministic
+//!   I/O fault injector (ENOSPC, EIO, short writes, failed renames,
+//!   power cuts);
 //! * [`stream`] — the streaming dataflow pipeline: composable
 //!   producer/consumer stages over bounded channels of binary frames,
 //!   so simulate → reduce → analyze runs without materializing the
@@ -64,5 +69,6 @@ pub use limba_serve as serve;
 pub use limba_stats as stats;
 pub use limba_stream as stream;
 pub use limba_trace as trace;
+pub use limba_vfs as vfs;
 pub use limba_viz as viz;
 pub use limba_workloads as workloads;
